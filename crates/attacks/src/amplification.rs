@@ -1,0 +1,138 @@
+//! Empirical verification of the r-confidentiality bound.
+//!
+//! Definition 1 bounds `P(X | B, I) / P(X | B) <= r`. For the merged
+//! index, the posterior that an element of list `L` belongs to term
+//! `t` is `p_t / Σ_{u∈L} p_u` (formula (3)); this module checks, term
+//! by term, that the ratio against the prior `p_t` never exceeds the
+//! plan's achieved `r` — and that absence claims are never amplified
+//! at all.
+
+use zerber_core::merge::MergePlan;
+use zerber_core::rconf;
+use zerber_index::{CorpusStats, TermId};
+
+/// Result of exhaustive per-term verification.
+#[derive(Debug, Clone)]
+pub struct AmplificationReport {
+    /// The plan's nominal `r` (formula (7)).
+    pub claimed_r: f64,
+    /// The largest posterior/prior ratio actually observed.
+    pub max_observed: f64,
+    /// The term attaining the maximum.
+    pub worst_term: Option<TermId>,
+    /// Largest absence-claim amplification observed (must be <= 1).
+    pub max_absence: f64,
+    /// Number of terms checked.
+    pub terms_checked: usize,
+}
+
+impl AmplificationReport {
+    /// Whether the bound holds (up to floating-point slack).
+    pub fn holds(&self) -> bool {
+        self.max_observed <= self.claimed_r * (1.0 + 1e-9)
+            && self.max_absence <= 1.0 + 1e-9
+    }
+}
+
+/// Checks every term of the corpus against the plan's achieved `r`.
+pub fn verify_plan_r_bound(plan: &MergePlan, stats: &CorpusStats) -> AmplificationReport {
+    let claimed_r = plan.achieved_r();
+    let mut max_observed = 0.0f64;
+    let mut worst_term = None;
+    let mut max_absence = 0.0f64;
+    let mut terms_checked = 0usize;
+
+    for (list_index, list) in plan.lists().iter().enumerate() {
+        let mass = plan.masses()[list_index];
+        for &term in list {
+            let prior = stats.probability(term);
+            if prior <= 0.0 {
+                continue;
+            }
+            terms_checked += 1;
+            // Posterior that a random element of this list is `term`.
+            let posterior = prior / mass;
+            let ratio = posterior / prior; // == 1/mass
+            if ratio > max_observed {
+                max_observed = ratio;
+                worst_term = Some(term);
+            }
+            let absence = rconf::absence_amplification(prior, mass);
+            max_absence = max_absence.max(absence);
+        }
+    }
+    AmplificationReport {
+        claimed_r,
+        max_observed,
+        worst_term,
+        max_absence,
+        terms_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zerber_core::merge::MergeConfig;
+
+    fn stats(n: usize) -> CorpusStats {
+        let dfs: Vec<u64> = (1..=n as u64).map(|r| 1 + 40_000 / r).collect();
+        CorpusStats::from_document_frequencies(dfs)
+    }
+
+    #[test]
+    fn bound_holds_for_all_heuristics_and_sizes() {
+        let stats = stats(800);
+        let mut rng = StdRng::seed_from_u64(1);
+        for config in [
+            MergeConfig::dfm(1),
+            MergeConfig::dfm(16),
+            MergeConfig::dfm(128),
+            MergeConfig::udm(16),
+            MergeConfig::bfm_lists(16),
+            MergeConfig::bfm_r(32.0),
+        ] {
+            let plan = MergePlan::build(config, &stats, &mut rng).unwrap();
+            let report = verify_plan_r_bound(&plan, &stats);
+            assert!(
+                report.holds(),
+                "{config:?}: claimed {} observed {}",
+                report.claimed_r,
+                report.max_observed
+            );
+            assert!(report.terms_checked > 0);
+        }
+    }
+
+    #[test]
+    fn worst_term_attains_the_claimed_r() {
+        // The maximum ratio over terms must *equal* the achieved r
+        // (it is exactly 1/min-mass).
+        let stats = stats(300);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = MergePlan::build(MergeConfig::dfm(8), &stats, &mut rng).unwrap();
+        let report = verify_plan_r_bound(&plan, &stats);
+        assert!((report.max_observed - report.claimed_r).abs() < 1e-6 * report.claimed_r);
+        assert!(report.worst_term.is_some());
+    }
+
+    #[test]
+    fn absence_claims_are_never_amplified() {
+        let stats = stats(300);
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = MergePlan::build(MergeConfig::udm(8), &stats, &mut rng).unwrap();
+        let report = verify_plan_r_bound(&plan, &stats);
+        assert!(report.max_absence <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fully_merged_index_has_unit_amplification_everywhere() {
+        let stats = stats(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = MergePlan::build(MergeConfig::dfm(1), &stats, &mut rng).unwrap();
+        let report = verify_plan_r_bound(&plan, &stats);
+        assert!((report.max_observed - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Document-frequency reconstruction from a compromised server.
+//!
+//! Section 4: "In an ordinary inverted index, the length of a term's
+//! posting list is its (global) document frequency. These frequency
+//! distributions will often suffice to characterize the nature of a
+//! project … Document frequencies can also tell an industrial spy
+//! which compounds are used in the development of a new chemical
+//! process."
+//!
+//! Alice sees merged-list lengths plus the public mapping table; her
+//! best estimate of term `t`'s document frequency is the list length
+//! apportioned by her background priors:
+//! `DF̂(t) = len(L(t)) · p_t / Σ_{u∈L(t)} p_u`. On an *unmerged* index
+//! this is exact (total leakage); merging forces the estimate towards
+//! the background distribution.
+
+use zerber_core::merge::MergePlan;
+use zerber_index::CorpusStats;
+
+/// Outcome of a document-frequency reconstruction attempt.
+#[derive(Debug, Clone)]
+pub struct DfAttackReport {
+    /// Alice's per-term DF estimates (term-id indexed).
+    pub estimates: Vec<f64>,
+    /// Mean absolute error against the true document frequencies.
+    pub mean_absolute_error: f64,
+    /// Mean relative error over terms with non-zero true DF.
+    pub mean_relative_error: f64,
+    /// Fraction of terms whose DF Alice pinpoints exactly (rounded
+    /// estimate equals truth) — 1.0 on an unmerged index.
+    pub exact_fraction: f64,
+}
+
+/// The attack: background knowledge + observed merged-list lengths.
+#[derive(Debug)]
+pub struct DfReconstructionAttack<'a> {
+    /// Alice's background language statistics (the priors `p_t`).
+    pub background: &'a CorpusStats,
+    /// The merge plan (public: mapping table + list composition is
+    /// derivable from the public table over the public dictionary).
+    pub plan: &'a MergePlan,
+}
+
+impl DfReconstructionAttack<'_> {
+    /// Runs the attack against observed list lengths (element counts
+    /// per merged list, as read off the compromised server) and
+    /// evaluates it against the true document frequencies.
+    pub fn run(&self, observed_list_lengths: &[u64], true_dfs: &[u64]) -> DfAttackReport {
+        let lists = self.plan.lists();
+        assert_eq!(
+            observed_list_lengths.len(),
+            lists.len(),
+            "one observation per merged list"
+        );
+
+        let mut estimates = vec![0.0f64; true_dfs.len()];
+        for (list, &length) in lists.iter().zip(observed_list_lengths) {
+            let mass: f64 = list
+                .iter()
+                .map(|&t| self.background.probability(t))
+                .sum();
+            for &term in list {
+                let slot = term.0 as usize;
+                if slot >= estimates.len() {
+                    continue;
+                }
+                estimates[slot] = if mass > 0.0 {
+                    length as f64 * self.background.probability(term) / mass
+                } else if list.len() == 1 {
+                    length as f64
+                } else {
+                    length as f64 / list.len() as f64
+                };
+            }
+        }
+
+        let mut absolute = 0.0f64;
+        let mut relative = 0.0f64;
+        let mut relative_count = 0usize;
+        let mut exact = 0usize;
+        let mut considered = 0usize;
+        for (slot, &truth) in true_dfs.iter().enumerate() {
+            let estimate = estimates[slot];
+            if truth == 0 && estimate == 0.0 {
+                continue;
+            }
+            considered += 1;
+            let error = (estimate - truth as f64).abs();
+            absolute += error;
+            if truth > 0 {
+                relative += error / truth as f64;
+                relative_count += 1;
+            }
+            if estimate.round() as u64 == truth {
+                exact += 1;
+            }
+        }
+        DfAttackReport {
+            estimates,
+            mean_absolute_error: if considered == 0 {
+                0.0
+            } else {
+                absolute / considered as f64
+            },
+            mean_relative_error: if relative_count == 0 {
+                0.0
+            } else {
+                relative / relative_count as f64
+            },
+            exact_fraction: if considered == 0 {
+                1.0
+            } else {
+                exact as f64 / considered as f64
+            },
+        }
+    }
+}
+
+/// Convenience: the true per-list element counts a compromised server
+/// would observe for a corpus with the given document frequencies.
+pub fn observed_lengths(plan: &MergePlan, dfs: &[u64]) -> Vec<u64> {
+    plan.lists()
+        .iter()
+        .map(|list| {
+            list.iter()
+                .map(|t| dfs.get(t.0 as usize).copied().unwrap_or(0))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zerber_core::merge::MergeConfig;
+
+    fn zipf_dfs(n: usize) -> Vec<u64> {
+        (1..=n as u64).map(|r| 1 + 20_000 / r).collect()
+    }
+
+    #[test]
+    fn unmerged_index_leaks_exactly() {
+        // One list per term == no merging: attack recovers every DF.
+        let dfs = zipf_dfs(50);
+        let stats = CorpusStats::from_document_frequencies(dfs.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan =
+            MergePlan::build(MergeConfig::udm(50), &stats, &mut rng).unwrap();
+        // UDM with M = #terms puts each term alone.
+        assert!(plan.lists().iter().all(|l| l.len() == 1));
+        let attack = DfReconstructionAttack {
+            background: &stats,
+            plan: &plan,
+        };
+        let report = attack.run(&observed_lengths(&plan, &dfs), &dfs);
+        assert_eq!(report.exact_fraction, 1.0);
+        assert!(report.mean_absolute_error < 1e-9);
+    }
+
+    #[test]
+    fn merging_destroys_df_information() {
+        let dfs = zipf_dfs(500);
+        let stats = CorpusStats::from_document_frequencies(dfs.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        // Adversary's background is *imperfect*: she knows the corpus
+        // shape from similar corpora, not the exact frequencies. Model
+        // that as the true distribution with rank noise.
+        let mut shuffled = dfs.clone();
+        shuffled.rotate_right(3); // misaligned priors
+        let background = CorpusStats::from_document_frequencies(shuffled);
+
+        let merged_plan =
+            MergePlan::build(MergeConfig::dfm(8), &stats, &mut rng).unwrap();
+        let fine_plan =
+            MergePlan::build(MergeConfig::dfm(250), &stats, &mut rng).unwrap();
+
+        let coarse = DfReconstructionAttack {
+            background: &background,
+            plan: &merged_plan,
+        }
+        .run(&observed_lengths(&merged_plan, &dfs), &dfs);
+        let fine = DfReconstructionAttack {
+            background: &background,
+            plan: &fine_plan,
+        }
+        .run(&observed_lengths(&fine_plan, &dfs), &dfs);
+
+        assert!(
+            coarse.exact_fraction < fine.exact_fraction,
+            "coarse merge {} vs fine {}",
+            coarse.exact_fraction,
+            fine.exact_fraction
+        );
+    }
+
+    #[test]
+    fn single_list_reveals_only_totals() {
+        let dfs = zipf_dfs(100);
+        let stats = CorpusStats::from_document_frequencies(dfs.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = MergePlan::build(MergeConfig::dfm(1), &stats, &mut rng).unwrap();
+        // With uniform (uninformative) priors over a single list, the
+        // estimate is the same for every term.
+        let uniform = CorpusStats::from_document_frequencies(vec![1; 100]);
+        let attack = DfReconstructionAttack {
+            background: &uniform,
+            plan: &plan,
+        };
+        let report = attack.run(&observed_lengths(&plan, &dfs), &dfs);
+        let first = report.estimates[0];
+        assert!(report.estimates.iter().all(|&e| (e - first).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per merged list")]
+    fn wrong_observation_count_panics() {
+        let dfs = zipf_dfs(10);
+        let stats = CorpusStats::from_document_frequencies(dfs.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = MergePlan::build(MergeConfig::dfm(2), &stats, &mut rng).unwrap();
+        let attack = DfReconstructionAttack {
+            background: &stats,
+            plan: &plan,
+        };
+        let _ = attack.run(&[1, 2, 3], &dfs);
+    }
+}

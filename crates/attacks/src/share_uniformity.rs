@@ -1,0 +1,168 @@
+//! Statistical indistinguishability of sub-threshold share sets.
+//!
+//! Shamir sharing is information-theoretically secure: any k−1 shares
+//! are jointly uniform regardless of the secret. This module verifies
+//! the *implementation* delivers that: it splits two very different
+//! secrets many times and checks that single-share value distributions
+//! (a) match a uniform distribution and (b) match each other, via
+//! chi-square tests over value buckets.
+
+use rand::Rng;
+
+use zerber_field::{Fp, MODULUS};
+use zerber_shamir::SharingScheme;
+
+/// Chi-square statistic of observed bucket counts against the uniform
+/// expectation. Degrees of freedom = buckets − 1.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return 0.0;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Result of the two-secret share-distribution experiment.
+#[derive(Debug, Clone)]
+pub struct UniformityReport {
+    /// Chi-square of secret A's share distribution vs uniform.
+    pub chi_square_a: f64,
+    /// Chi-square of secret B's share distribution vs uniform.
+    pub chi_square_b: f64,
+    /// Two-sample chi-square between the two distributions.
+    pub chi_square_between: f64,
+    /// Buckets used (df = buckets − 1 for the one-sample statistics).
+    pub buckets: usize,
+    /// Samples per secret.
+    pub samples: usize,
+}
+
+impl UniformityReport {
+    /// A loose acceptance test: all statistics within `slack` standard
+    /// deviations of the chi-square mean (mean = df, sd = sqrt(2 df)).
+    pub fn plausible(&self, slack: f64) -> bool {
+        let df = (self.buckets - 1) as f64;
+        let bound = df + slack * (2.0 * df).sqrt();
+        self.chi_square_a < bound
+            && self.chi_square_b < bound
+            && self.chi_square_between < 2.0 * bound
+    }
+}
+
+/// Splits `secret_a` and `secret_b` `samples` times each under the
+/// scheme and compares the distribution of the *first* server's share
+/// (one share is all a single compromised server ever gets per
+/// element).
+pub fn share_distribution_test<R: Rng + ?Sized>(
+    scheme: &SharingScheme,
+    secret_a: Fp,
+    secret_b: Fp,
+    samples: usize,
+    buckets: usize,
+    rng: &mut R,
+) -> UniformityReport {
+    assert!(buckets >= 2, "need at least two buckets");
+    let bucket_width = MODULUS / buckets as u64 + 1;
+    let mut counts_a = vec![0u64; buckets];
+    let mut counts_b = vec![0u64; buckets];
+    for _ in 0..samples {
+        let share_a = scheme.split(secret_a, rng)[0].y.value();
+        let share_b = scheme.split(secret_b, rng)[0].y.value();
+        counts_a[(share_a / bucket_width) as usize] += 1;
+        counts_b[(share_b / bucket_width) as usize] += 1;
+    }
+
+    // Two-sample chi-square: sum over buckets of (a-b)^2 / (a+b).
+    let chi_square_between: f64 = counts_a
+        .iter()
+        .zip(&counts_b)
+        .filter(|(&a, &b)| a + b > 0)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d / (a + b) as f64
+        })
+        .sum();
+
+    UniformityReport {
+        chi_square_a: chi_square_uniform(&counts_a),
+        chi_square_b: chi_square_uniform(&counts_b),
+        chi_square_between,
+        buckets,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chi_square_of_perfectly_uniform_counts_is_zero() {
+        assert_eq!(chi_square_uniform(&[10, 10, 10, 10]), 0.0);
+        assert_eq!(chi_square_uniform(&[]), 0.0);
+        assert_eq!(chi_square_uniform(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_detects_skew() {
+        let skewed = chi_square_uniform(&[100, 0, 0, 0]);
+        assert!(skewed > 100.0, "skewed statistic {skewed}");
+    }
+
+    #[test]
+    fn shares_of_different_secrets_are_indistinguishable() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+        let report = share_distribution_test(
+            &scheme,
+            Fp::new(0),                  // extreme secret A
+            Fp::new(MODULUS - 1),        // extreme secret B
+            20_000,
+            16,
+            &mut rng,
+        );
+        assert!(
+            report.plausible(4.0),
+            "share distributions deviate: {report:?}"
+        );
+    }
+
+    #[test]
+    fn k_equals_one_shares_are_totally_distinguishable() {
+        // Control experiment: with k = 1 the share IS the secret, so
+        // the two distributions must be wildly different — proving the
+        // test has power.
+        let mut rng = StdRng::seed_from_u64(43);
+        let scheme =
+            SharingScheme::with_coordinates(1, vec![Fp::new(5), Fp::new(6)]).unwrap();
+        let report = share_distribution_test(
+            &scheme,
+            Fp::new(1),
+            Fp::new(MODULUS - 2),
+            2_000,
+            16,
+            &mut rng,
+        );
+        assert!(
+            !report.plausible(4.0),
+            "k=1 shares should be distinguishable: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two buckets")]
+    fn one_bucket_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme = SharingScheme::random(2, 2, &mut rng).unwrap();
+        let _ = share_distribution_test(&scheme, Fp::ONE, Fp::ONE, 10, 1, &mut rng);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the inverted-index substrate: insertion,
+//! lookup, and the Threshold Algorithm against exhaustive ranking.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerber_corpus::{CorpusConfig, SyntheticCorpus};
+use zerber_index::topk::{naive_topk, tfidf_lists};
+use zerber_index::{threshold_topk, InvertedIndex, TermId};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        num_docs: 2_000,
+        vocabulary_size: 20_000,
+        ..CorpusConfig::default()
+    })
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("index/insert_2000_docs");
+    group.sample_size(10);
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            let mut index = InvertedIndex::new();
+            for doc in &corpus.documents {
+                index.insert(black_box(doc));
+            }
+            black_box(index.total_postings())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup_and_topk(c: &mut Criterion) {
+    let corpus = corpus();
+    let index = corpus.build_index();
+    c.bench_function("index/posting_list_lookup", |b| {
+        let mut term = 0u32;
+        b.iter(|| {
+            term = (term + 1) % 20_000;
+            black_box(index.posting_list(TermId(black_box(term))).len())
+        })
+    });
+
+    let terms = [TermId(0), TermId(5), TermId(17)];
+    let lists = tfidf_lists(&index, &terms);
+    c.bench_function("index/threshold_topk_k10", |b| {
+        b.iter(|| black_box(threshold_topk(black_box(&lists), 10)))
+    });
+    c.bench_function("index/naive_topk_k10", |b| {
+        b.iter(|| black_box(naive_topk(black_box(&lists), 10)))
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_lookup_and_topk);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the merging heuristics (Section 6):
+//! runtime of DFM, BFM and UDM over a Zipfian vocabulary.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerber_core::merge::{MergeConfig, MergePlan};
+use zerber_index::CorpusStats;
+
+fn zipf_stats(terms: usize) -> CorpusStats {
+    let dfs: Vec<u64> = (1..=terms as u64).map(|r| 1 + 5_000_000 / r).collect();
+    CorpusStats::from_document_frequencies(dfs)
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let stats = zipf_stats(100_000);
+    let mut group = c.benchmark_group("merge/heuristics_100k_terms_m1024");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    group.bench_function("dfm", |b| {
+        b.iter(|| {
+            black_box(MergePlan::build(MergeConfig::dfm(1_024), &stats, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("bfm_list_target", |b| {
+        b.iter(|| {
+            black_box(
+                MergePlan::build(MergeConfig::bfm_lists(1_024), &stats, &mut rng).unwrap(),
+            )
+        })
+    });
+    group.bench_function("udm", |b| {
+        b.iter(|| {
+            black_box(MergePlan::build(MergeConfig::udm(1_024), &stats, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let stats = zipf_stats(100_000);
+    let mut rng = StdRng::seed_from_u64(2);
+    let plan = MergePlan::build(
+        MergeConfig::dfm(1_024).with_rare_term_cutoff(1e-6),
+        &stats,
+        &mut rng,
+    )
+    .unwrap();
+    let table = plan.table();
+    c.bench_function("merge/mapping_table_lookup", |b| {
+        let mut term = 0u32;
+        b.iter(|| {
+            term = (term + 1) % 100_000;
+            black_box(table.lookup(zerber_index::TermId(black_box(term))))
+        })
+    });
+}
+
+criterion_group!(benches, bench_heuristics, bench_table_lookup);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the end-to-end query path: Zerber
+//! (k servers, decryption, filtering, ranking) against the trusted
+//! central baseline — the paper's claim is that Zerber "answers most
+//! of the queries almost as fast as an ordinary inverted index".
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerber::baselines::CentralIndex;
+use zerber::{ZerberConfig, ZerberSystem};
+use zerber_core::merge::MergeConfig;
+use zerber_corpus::{CorpusConfig, SyntheticCorpus};
+use zerber_index::{GroupId, TermId, UserId};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        num_docs: 500,
+        vocabulary_size: 6_000,
+        num_groups: 5,
+        ..CorpusConfig::default()
+    })
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let corpus = corpus();
+    let stats = corpus.statistics();
+
+    // Zerber deployment.
+    let config = ZerberConfig::default().with_merge(MergeConfig::dfm(256));
+    let mut system = ZerberSystem::bootstrap(config, &stats).unwrap();
+    for group in 0..5u32 {
+        system.add_membership(UserId(1), GroupId(group));
+    }
+    system.index_corpus(&corpus.documents).unwrap();
+
+    // Ideal baseline.
+    let mut central = CentralIndex::new();
+    for doc in &corpus.documents {
+        central.insert(doc);
+    }
+    for group in 0..5u32 {
+        central.add_user_to_group(UserId(1), GroupId(group));
+    }
+
+    let queries: Vec<Vec<TermId>> = vec![
+        vec![TermId(0)],
+        vec![TermId(3), TermId(40)],
+        vec![TermId(1), TermId(9), TermId(120)],
+    ];
+
+    let mut group = c.benchmark_group("query/end_to_end_top10");
+    for (i, terms) in queries.iter().enumerate() {
+        group.bench_function(format!("zerber_q{i}"), |b| {
+            b.iter(|| black_box(system.query(UserId(1), black_box(terms), 10).unwrap()))
+        });
+        group.bench_function(format!("central_q{i}"), |b| {
+            b.iter(|| black_box(central.search(UserId(1), black_box(terms), 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_paths);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the secret-sharing layer
+//! (Section 5.1/7.3: share creation and the two decryption paths).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerber_field::Fp;
+use zerber_shamir::{BatchReconstructor, BatchSplitter, ServerId, SharingScheme};
+
+fn bench_split(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+    c.bench_function("shamir/split_one_element_2of3", |b| {
+        b.iter(|| black_box(scheme.split(black_box(Fp::new(123_456_789)), &mut rng)))
+    });
+
+    let secrets: Vec<Fp> = (0..5_000u64).map(Fp::new).collect();
+    let splitter = BatchSplitter::new(&scheme);
+    c.bench_function("shamir/split_5000_element_document", |b| {
+        b.iter(|| black_box(splitter.split_all(black_box(&secrets), &mut rng)))
+    });
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+    let shares = scheme.split(Fp::new(42), &mut rng);
+
+    c.bench_function("shamir/reconstruct_lagrange_k2", |b| {
+        b.iter(|| black_box(scheme.reconstruct(black_box(&shares)).unwrap()))
+    });
+    c.bench_function("shamir/reconstruct_gaussian_k2", |b| {
+        b.iter(|| black_box(scheme.reconstruct_gaussian(black_box(&shares)).unwrap()))
+    });
+
+    // The batch fast path behind the paper's "700 elements per msec".
+    let secrets: Vec<Fp> = (0..10_000u64).map(Fp::new).collect();
+    let rows = BatchSplitter::new(&scheme).split_all(&secrets, &mut rng);
+    let reconstructor =
+        BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+    let selected = vec![rows[0].clone(), rows[1].clone()];
+    c.bench_function("shamir/batch_reconstruct_10k_elements", |b| {
+        b.iter(|| black_box(reconstructor.reconstruct_all(black_box(&selected))))
+    });
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("shamir/reconstruct_vs_k");
+    for k in [2usize, 4, 8] {
+        let scheme = SharingScheme::random(k, k, &mut rng).unwrap();
+        let shares = scheme.split(Fp::new(7), &mut rng);
+        group.bench_function(format!("lagrange_k{k}"), |b| {
+            b.iter(|| black_box(scheme.reconstruct(black_box(&shares)).unwrap()))
+        });
+        group.bench_function(format!("gaussian_k{k}"), |b| {
+            b.iter(|| black_box(scheme.reconstruct_gaussian(black_box(&shares)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split, bench_reconstruct, bench_k_scaling);
+criterion_main!(benches);

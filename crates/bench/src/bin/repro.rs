@@ -1,0 +1,81 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section (Section 7) from the synthetic workloads.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|security|ablation]
+//! ```
+//!
+//! `--smoke` runs a reduced-scale variant (seconds instead of
+//! minutes); the default scale preserves the paper's distributional
+//! shapes at ~20k documents. Absolute numbers differ from the paper
+//! (different hardware and corpus scale); shapes, orderings and
+//! crossovers are the reproduction target — see EXPERIMENTS.md.
+
+use zerber_bench::experiments::{
+    ablation, bandwidth, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip, fig6_workload,
+    fig7_pt, fig8_r_vs_m, fig9_amplification, micro, security, storage, table1,
+};
+use zerber_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Smoke } else { Scale::Default };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted =
+        |name: &str| -> bool { selected.is_empty() || selected.contains(&"all") || selected.contains(&name) };
+
+    println!("Zerber reproduction harness (scale: {scale:?})");
+    println!("================================================\n");
+
+    let start = std::time::Instant::now();
+    if wanted("table1") {
+        println!("{}", table1::render(&table1::run(scale)));
+    }
+    if wanted("fig5") {
+        println!("{}", fig5_studip::render(&fig5_studip::run(scale)));
+    }
+    if wanted("fig6") {
+        println!("{}", fig6_workload::render(&fig6_workload::run(scale)));
+    }
+    if wanted("fig7") {
+        println!("{}", fig7_pt::render(&fig7_pt::run(scale)));
+    }
+    if wanted("fig8") {
+        println!("{}", fig8_r_vs_m::render(&fig8_r_vs_m::run(scale)));
+    }
+    if wanted("fig9") {
+        println!("{}", fig9_amplification::render(&fig9_amplification::run(scale)));
+    }
+    if wanted("fig10") {
+        println!("{}", fig10_qratio::render(&fig10_qratio::run(scale), scale));
+    }
+    if wanted("fig11") {
+        println!("{}", fig11_efficiency::render(&fig11_efficiency::run(scale)));
+    }
+    if wanted("fig12") {
+        println!("{}", fig12_response::render(&fig12_response::run(scale)));
+    }
+    if wanted("micro") {
+        println!("{}", micro::render(&micro::run()));
+    }
+    if wanted("bandwidth") {
+        println!("{}", bandwidth::render(&bandwidth::run(scale)));
+    }
+    if wanted("storage") {
+        println!("{}", storage::render(&storage::run(scale)));
+    }
+    if wanted("security") {
+        println!("{}", security::render(&security::run(scale)));
+    }
+    if wanted("ablation") {
+        println!("{}", ablation::render(&ablation::run(scale)));
+    }
+    println!("done in {:.1} s", start.elapsed().as_secs_f64());
+}

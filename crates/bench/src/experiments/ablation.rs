@@ -1,0 +1,237 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Learning fraction** — the paper learns merging from "the first
+//!    30% of the documents" (Section 7.5). How do r and workload cost
+//!    change when learning from 10% / 30% / 100%?
+//! 2. **Rare-term hash cut-off** (Section 6.4) — how much smaller does
+//!    the public mapping table get, and what does it cost?
+//! 3. **Query-stream leakage** (Section 8) — the future-work
+//!    observation that BFM/DFM leak query information through the
+//!    request stream while UDM is more robust.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_attacks::query_leakage;
+use zerber_core::analysis::cost_inflation;
+use zerber_core::merge::{MergeConfig, MergeHeuristic, MergePlan};
+use zerber_core::rconf::achieved_r;
+
+use crate::report::{sci, Table};
+use crate::scenario::{OdpScenario, Scale};
+
+/// One learning-fraction data point.
+#[derive(Debug, Clone, Copy)]
+pub struct LearningPoint {
+    /// Fraction of the corpus used to learn the merge.
+    pub fraction: f64,
+    /// r evaluated against the *full* corpus statistics.
+    pub true_r: f64,
+    /// Workload-cost inflation on the full corpus.
+    pub inflation: f64,
+    /// Terms routed by hash because they were unseen at learning time.
+    pub unseen_terms: usize,
+}
+
+/// One cut-off data point.
+#[derive(Debug, Clone, Copy)]
+pub struct CutoffPoint {
+    /// The p_t cut-off below which terms are hash-routed.
+    pub cutoff: f64,
+    /// Entries in the public mapping table.
+    pub table_entries: usize,
+    /// Achieved r (learned stats).
+    pub r: f64,
+    /// Workload-cost inflation on the full corpus.
+    pub inflation: f64,
+}
+
+/// One query-leakage data point.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakagePoint {
+    /// Heuristic.
+    pub heuristic: MergeHeuristic,
+    /// Expected adversary posterior over the query stream.
+    pub expected_posterior: f64,
+    /// Query volume hitting singleton lists.
+    pub identified_fraction: f64,
+}
+
+/// All ablation results.
+#[derive(Debug)]
+pub struct Ablation {
+    /// Learning-fraction sweep (DFM at the scale's first M).
+    pub learning: Vec<LearningPoint>,
+    /// Rare-term cut-off sweep.
+    pub cutoffs: Vec<CutoffPoint>,
+    /// Query-leakage comparison at the scale's first M.
+    pub leakage: Vec<LeakagePoint>,
+}
+
+/// Runs the three ablations.
+pub fn run(scale: Scale) -> Ablation {
+    let scenario = OdpScenario::shared(scale);
+    let m = scale.list_counts()[0];
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let learning = [0.1f64, 0.3, 1.0]
+        .into_iter()
+        .map(|fraction| {
+            let learned = scenario.corpus.prefix_statistics(fraction);
+            let plan =
+                MergePlan::build(MergeConfig::dfm(m), &learned, &mut rng).unwrap();
+            // Terms absent at learning time are resolved by hash.
+            let seen: usize = plan.lists().iter().map(Vec::len).sum();
+            let unseen_terms = scenario.distinct_terms().saturating_sub(seen);
+            LearningPoint {
+                fraction,
+                true_r: true_r_of(&plan, scenario),
+                inflation: cost_inflation(&plan, &scenario.dfs, &scenario.workload),
+                unseen_terms,
+            }
+        })
+        .collect();
+
+    let cutoffs = [0.0f64, 1e-7, 1e-6, 1e-5]
+        .into_iter()
+        .map(|cutoff| {
+            let config = MergeConfig::dfm(m).with_rare_term_cutoff(cutoff);
+            let plan =
+                MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
+            CutoffPoint {
+                cutoff,
+                table_entries: plan.table().explicit_len(),
+                r: plan.achieved_r(),
+                inflation: cost_inflation(&plan, &scenario.dfs, &scenario.workload),
+            }
+        })
+        .collect();
+
+    let leakage = MergeHeuristic::ALL
+        .into_iter()
+        .map(|heuristic| {
+            let config = match heuristic {
+                MergeHeuristic::DepthFirst => MergeConfig::dfm(m),
+                MergeHeuristic::BreadthFirst => MergeConfig::bfm_lists(m),
+                MergeHeuristic::Uniform => MergeConfig::udm(m),
+            };
+            let plan =
+                MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
+            let report = query_leakage(&plan, &scenario.workload);
+            LeakagePoint {
+                heuristic,
+                expected_posterior: report.expected_posterior,
+                identified_fraction: report.identified_fraction,
+            }
+        })
+        .collect();
+
+    Ablation {
+        learning,
+        cutoffs,
+        leakage,
+    }
+}
+
+/// r of a learned plan measured against the full-corpus statistics,
+/// with unseen terms folded into their hash-routed lists.
+fn true_r_of(plan: &MergePlan, scenario: &OdpScenario) -> f64 {
+    // Rebuild list membership including hash-routed unseen terms.
+    let mut lists: Vec<Vec<zerber_index::TermId>> =
+        vec![Vec::new(); plan.list_count()];
+    for (term_index, &df) in scenario.dfs.iter().enumerate() {
+        if df == 0 {
+            continue;
+        }
+        let term = zerber_index::TermId(term_index as u32);
+        lists[plan.list_of(term).0 as usize].push(term);
+    }
+    achieved_r(&lists, &scenario.stats)
+}
+
+/// Formats the three ablations.
+pub fn render(ablation: &Ablation) -> String {
+    let mut out = String::new();
+
+    let mut learning = Table::new(
+        "Ablation 1: merge learned from a corpus prefix (paper: 30%)",
+        &["learned from", "true r (full corpus)", "Q-inflation", "unseen terms"],
+    );
+    for point in &ablation.learning {
+        learning.row(&[
+            format!("{:.0}%", point.fraction * 100.0),
+            format!("{:.1}", point.true_r),
+            format!("{:.2}x", point.inflation),
+            point.unseen_terms.to_string(),
+        ]);
+    }
+    out.push_str(&learning.render());
+
+    let mut cutoffs = Table::new(
+        "Ablation 2: rare-term hash cut-off (Section 6.4)",
+        &["cutoff p_t", "table entries", "r", "Q-inflation"],
+    );
+    for point in &ablation.cutoffs {
+        cutoffs.row(&[
+            sci(point.cutoff),
+            point.table_entries.to_string(),
+            format!("{:.1}", point.r),
+            format!("{:.2}x", point.inflation),
+        ]);
+    }
+    out.push_str(&cutoffs.render());
+
+    let mut leakage = Table::new(
+        "Ablation 3: query-stream leakage per heuristic (Section 8)",
+        &["heuristic", "E[posterior]", "identified query volume"],
+    );
+    for point in &ablation.leakage {
+        leakage.row(&[
+            point.heuristic.name().to_string(),
+            format!("{:.3}", point.expected_posterior),
+            format!("{:.1}%", point.identified_fraction * 100.0),
+        ]);
+    }
+    out.push_str(&leakage.render());
+    out.push_str(
+        "paper (Section 8): \"BFM leaks probabilistic information in this situation,\n\
+         while the other merging heuristics are more robust.\"\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_report_expected_directions() {
+        let ablation = run(Scale::Smoke);
+
+        // Learning from more data never hurts the realized r by much
+        // and reduces unseen terms monotonically.
+        for window in ablation.learning.windows(2) {
+            assert!(window[0].unseen_terms >= window[1].unseen_terms);
+        }
+        let full = ablation.learning.last().unwrap();
+        assert_eq!(full.unseen_terms, 0, "100% learning sees everything");
+
+        // Higher cut-off => smaller public table.
+        for window in ablation.cutoffs.windows(2) {
+            assert!(window[0].table_entries >= window[1].table_entries);
+        }
+
+        // UDM leaks less query information than DFM.
+        let by = |h: MergeHeuristic| {
+            ablation
+                .leakage
+                .iter()
+                .find(|p| p.heuristic == h)
+                .unwrap()
+        };
+        assert!(
+            by(MergeHeuristic::Uniform).identified_fraction
+                <= by(MergeHeuristic::DepthFirst).identified_fraction
+        );
+    }
+}

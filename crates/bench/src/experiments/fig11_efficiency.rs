@@ -1,0 +1,156 @@
+//! Figure 11: efficiency in query answering QRatio_eff (formula (9))
+//! for the largest index of the sweep.
+//!
+//! Paper reading (32K lists, DFM/BFM): "the longest running 70% of the
+//! queries in the workload have an efficiency value QRatio_eff > 0.96
+//! and the next 10% longest-running queries have QRatio_eff = 0.75 on
+//! average. The shortest running 20% of the queries have average
+//! QRatio_eff = 0.2."
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_core::analysis::qratio_eff;
+use zerber_core::merge::{MergeConfig, MergeHeuristic, MergePlan};
+use zerber_index::TermId;
+
+use crate::report::Table;
+use crate::scenario::{OdpScenario, Scale};
+
+/// The efficiency distribution under one heuristic.
+#[derive(Debug)]
+pub struct Fig11Curve {
+    /// Heuristic.
+    pub heuristic: MergeHeuristic,
+    /// `(QRatio_eff, query frequency)` per queried term, sorted by
+    /// efficiency descending — the paper's Figure 11 X-axis walks the
+    /// *query workload* (query occurrences), not distinct terms.
+    pub efficiencies: Vec<(f64, u64)>,
+    /// Query-mass-weighted mean efficiency of the first 70% of the
+    /// workload (efficiency-sorted).
+    pub top70_mean: f64,
+    /// Weighted mean of the next 10%.
+    pub next10_mean: f64,
+    /// Weighted mean of the final 20%.
+    pub bottom20_mean: f64,
+}
+
+/// Runs the experiment at the largest table size of the sweep.
+pub fn run(scale: Scale) -> Vec<Fig11Curve> {
+    let scenario = OdpScenario::shared(scale);
+    let stats = &scenario.learned_stats;
+    let m = *scale.list_counts().last().unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let queried: Vec<(TermId, u64)> = scenario
+        .dfs
+        .iter()
+        .enumerate()
+        .filter_map(|(t, &df)| {
+            let term = TermId(t as u32);
+            let qf = scenario.workload.frequency(term);
+            if df > 0 && qf > 0 {
+                Some((term, qf))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    MergeHeuristic::ALL
+        .into_iter()
+        .map(|heuristic| {
+            let config = match heuristic {
+                MergeHeuristic::DepthFirst => MergeConfig::dfm(m),
+                MergeHeuristic::BreadthFirst => MergeConfig::bfm_lists(m),
+                MergeHeuristic::Uniform => MergeConfig::udm(m),
+            };
+            let plan = MergePlan::build(config, stats, &mut rng).unwrap();
+            let mut efficiencies: Vec<(f64, u64)> = queried
+                .iter()
+                .filter_map(|&(t, qf)| {
+                    qratio_eff(&plan, &scenario.dfs, t).map(|e| (e, qf))
+                })
+                .collect();
+            efficiencies.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let total_mass: u64 = efficiencies.iter().map(|&(_, qf)| qf).sum();
+
+            // Weighted segment means over cumulative query mass.
+            let segment = |lo: f64, hi: f64| -> f64 {
+                let lo_mass = total_mass as f64 * lo;
+                let hi_mass = total_mass as f64 * hi;
+                let mut cumulative = 0.0f64;
+                let mut weighted = 0.0f64;
+                let mut weight = 0.0f64;
+                for &(e, qf) in &efficiencies {
+                    let start = cumulative;
+                    cumulative += qf as f64;
+                    let overlap =
+                        (cumulative.min(hi_mass) - start.max(lo_mass)).max(0.0);
+                    weighted += e * overlap;
+                    weight += overlap;
+                }
+                if weight == 0.0 {
+                    f64::NAN
+                } else {
+                    weighted / weight
+                }
+            };
+            Fig11Curve {
+                heuristic,
+                top70_mean: segment(0.0, 0.7),
+                next10_mean: segment(0.7, 0.8),
+                bottom20_mean: segment(0.8, 1.0),
+                efficiencies,
+            }
+        })
+        .collect()
+}
+
+/// Formats the segment means, paper-style.
+pub fn render(curves: &[Fig11Curve]) -> String {
+    let mut table = Table::new(
+        "Figure 11: query-answering efficiency QRatio_eff (largest M; query workload, eff-sorted)",
+        &["heuristic", "top-70% mean", "next-10% mean", "bottom-20% mean"],
+    );
+    for curve in curves {
+        table.row(&[
+            curve.heuristic.name().to_string(),
+            format!("{:.2}", curve.top70_mean),
+            format!("{:.2}", curve.next10_mean),
+            format!("{:.2}", curve.bottom20_mean),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str("paper (DFM/BFM, 32K lists): > 0.96 / 0.75 / 0.2\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_queries_are_efficient_light_queries_pay() {
+        let curves = run(Scale::Smoke);
+        for curve in &curves {
+            assert!(
+                curve.top70_mean > curve.bottom20_mean,
+                "{}: {} vs {}",
+                curve.heuristic.name(),
+                curve.top70_mean,
+                curve.bottom20_mean
+            );
+            for &(e, _) in &curve.efficiencies {
+                assert!((0.0..=1.0 + 1e-9).contains(&e));
+            }
+        }
+        // DFM's heavy-query efficiency is high (paper: > 0.96 at 32K;
+        // smoke scale is coarser, so demand a looser bound).
+        let dfm = curves
+            .iter()
+            .find(|c| c.heuristic == MergeHeuristic::DepthFirst)
+            .unwrap();
+        assert!(dfm.top70_mean > 0.5, "DFM top-70% mean {}", dfm.top70_mean);
+    }
+}

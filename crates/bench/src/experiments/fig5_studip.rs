@@ -1,0 +1,119 @@
+//! Figure 5: the Stud IP statistical profile — (a) documents per
+//! group, (b) cumulative uploads over the semester, (c) users per
+//! group, (d) documents accessible per user.
+//!
+//! Paper observations: all four distributions are heavily skewed
+//! except uploads, which grow uniformly; "most users belong to at most
+//! 20 groups and can access fewer than 200 documents."
+
+use zerber_corpus::{StudipConfig, StudipData};
+
+use crate::report::Table;
+use crate::scenario::Scale;
+
+/// Reproduced Figure 5 data.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// Docs per group, descending (5a).
+    pub docs_per_group: Vec<usize>,
+    /// Cumulative uploads per day (5b).
+    pub cumulative_uploads: Vec<usize>,
+    /// Users per group, descending (5c).
+    pub users_per_group: Vec<usize>,
+    /// Docs accessible per user, descending (5d).
+    pub accessible_per_user: Vec<usize>,
+    /// Semester length used.
+    pub semester_days: u32,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig5 {
+    let config = match scale {
+        Scale::Default => StudipConfig::default(), // 8,500 docs like the paper snapshot
+        Scale::Smoke => StudipConfig {
+            num_courses: 40,
+            num_users: 200,
+            num_docs: 800,
+            vocabulary_size: 8_000,
+            ..StudipConfig::default()
+        },
+    };
+    let data = StudipData::generate(&config);
+    Fig5 {
+        docs_per_group: data.documents_per_group(),
+        cumulative_uploads: data.cumulative_uploads(config.semester_days),
+        users_per_group: data.users_per_group(),
+        accessible_per_user: data.documents_accessible_per_user(),
+        semester_days: config.semester_days,
+    }
+}
+
+fn quantiles(sorted_desc: &[usize]) -> [usize; 5] {
+    let pick = |q: f64| -> usize {
+        if sorted_desc.is_empty() {
+            return 0;
+        }
+        let index = ((sorted_desc.len() - 1) as f64 * q).round() as usize;
+        sorted_desc[index]
+    };
+    [pick(0.0), pick(0.1), pick(0.5), pick(0.9), pick(1.0)]
+}
+
+/// Formats the four panels as quantile tables.
+pub fn render(fig: &Fig5) -> String {
+    let mut out = String::new();
+    let mut panel = Table::new(
+        "Figure 5: Stud IP statistical profile (quantiles of each distribution)",
+        &["panel", "max", "p90", "median", "p10", "min"],
+    );
+    for (name, data) in [
+        ("5a docs/group", &fig.docs_per_group),
+        ("5c users/group", &fig.users_per_group),
+        ("5d docs accessible/user", &fig.accessible_per_user),
+    ] {
+        let [max, p90, median, p10, min] = quantiles(data);
+        panel.row(&[
+            name.to_string(),
+            max.to_string(),
+            p90.to_string(),
+            median.to_string(),
+            p10.to_string(),
+            min.to_string(),
+        ]);
+    }
+    out.push_str(&panel.render());
+
+    // 5b: linearity of the upload curve.
+    let total = *fig.cumulative_uploads.last().unwrap_or(&0) as f64;
+    let mut uploads = Table::new(
+        "Figure 5b: cumulative uploads over the semester (uniform growth)",
+        &["semester fraction", "uploads fraction"],
+    );
+    for q in [0.25f64, 0.5, 0.75, 1.0] {
+        let day = ((fig.semester_days - 1) as f64 * q) as usize;
+        let fraction = fig.cumulative_uploads[day] as f64 / total;
+        uploads.row(&[format!("{:.0}%", q * 100.0), format!("{:.1}%", fraction * 100.0)]);
+    }
+    out.push_str(&uploads.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reproduces_the_papers_qualitative_claims() {
+        let fig = run(Scale::Smoke);
+        // 5a: skew — the largest course dwarfs the median.
+        let [max, _, median, _, _] = quantiles(&fig.docs_per_group);
+        assert!(max >= 5 * median.max(1), "docs/group max {max} median {median}");
+        // 5b: uniform growth — half the semester, about half the docs.
+        let total = *fig.cumulative_uploads.last().unwrap() as f64;
+        let mid = fig.cumulative_uploads[fig.cumulative_uploads.len() / 2] as f64;
+        assert!((mid / total - 0.5).abs() < 0.15);
+        // 5d: the median user accesses a bounded fraction of the corpus.
+        let [_, _, median_access, _, _] = quantiles(&fig.accessible_per_user);
+        assert!(median_access < 800 / 2, "median access {median_access}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 6: cumulative query workload cost over query terms ordered
+//! by descending query frequency.
+//!
+//! Paper observation: "The most frequent queries constitute nearly the
+//! whole query workload" — the cumulative cost curve saturates after a
+//! tiny fraction of the (log-scaled) term axis.
+
+use zerber_index::TermId;
+
+use crate::report::Table;
+use crate::scenario::{OdpScenario, Scale};
+
+/// Cumulative workload-cost points.
+#[derive(Debug)]
+pub struct Fig6 {
+    /// `(rank, cumulative fraction of total workload cost)` samples at
+    /// log-spaced ranks.
+    pub points: Vec<(usize, f64)>,
+    /// Number of distinct queried terms.
+    pub queried_terms: usize,
+}
+
+/// Runs the experiment. Per Section 7.4, the per-term workload cost is
+/// `df_t · qf_t` (the posting-list transfer cost weighted by query
+/// frequency); terms are ordered by query frequency.
+pub fn run(scale: Scale) -> Fig6 {
+    let scenario = OdpScenario::shared(scale);
+    let order = scenario.workload.terms_by_descending_frequency();
+    let cost = |t: TermId| -> f64 {
+        scenario.dfs.get(t.0 as usize).copied().unwrap_or(0) as f64
+            * scenario.workload.frequency(t) as f64
+    };
+    let queried: Vec<TermId> = order
+        .into_iter()
+        .filter(|&t| scenario.workload.frequency(t) > 0)
+        .collect();
+    let total: f64 = queried.iter().map(|&t| cost(t)).sum();
+
+    let mut points = Vec::new();
+    let mut cumulative = 0.0;
+    let mut next_sample = 1usize;
+    for (index, &term) in queried.iter().enumerate() {
+        cumulative += cost(term);
+        if index + 1 == next_sample || index + 1 == queried.len() {
+            points.push((index + 1, cumulative / total));
+            next_sample = (next_sample * 2).max(next_sample + 1);
+        }
+    }
+    Fig6 {
+        points,
+        queried_terms: queried.len(),
+    }
+}
+
+/// Formats the curve.
+pub fn render(fig: &Fig6) -> String {
+    let mut table = Table::new(
+        "Figure 6: cumulative query workload cost (terms by query frequency, log-spaced)",
+        &["term rank", "cumulative cost"],
+    );
+    for &(rank, fraction) in &fig.points {
+        table.row(&[rank.to_string(), format!("{:.1}%", fraction * 100.0)]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!("distinct queried terms: {}\n", fig.queried_terms));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_terms_dominate_the_workload() {
+        let fig = run(Scale::Smoke);
+        assert!(!fig.points.is_empty());
+        // Monotone non-decreasing and ends at 100%.
+        for window in fig.points.windows(2) {
+            assert!(window[0].1 <= window[1].1 + 1e-12);
+        }
+        let last = fig.points.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        // Paper's claim: a small head carries most of the cost — the
+        // top ~10% of terms must cover well over half.
+        let head_rank = (fig.queried_terms / 10).max(1);
+        let head_fraction = fig
+            .points
+            .iter()
+            .filter(|&&(rank, _)| rank <= head_rank)
+            .map(|&(_, f)| f)
+            .fold(0.0, f64::max);
+        assert!(head_fraction > 0.5, "head fraction {head_fraction}");
+    }
+}

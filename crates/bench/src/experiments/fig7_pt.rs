@@ -1,0 +1,142 @@
+//! Figure 7: term-occurrence probability distribution (formula (2))
+//! with the horizontal `1/r` target lines for each candidate table
+//! size — for both the Stud-IP-like (7a) and ODP-like (7b) corpora.
+//!
+//! Paper reading: the distribution is Zipfian; the `1/r = 1/M` line
+//! for M lists crosses the curve at the rank below which terms get
+//! their own posting list (BFM/DFM) and above which they are merged.
+
+use zerber_corpus::{StudipConfig, StudipData};
+use zerber_index::CorpusStats;
+
+use crate::report::{sci, Table};
+use crate::scenario::{OdpScenario, Scale};
+
+/// One corpus panel.
+#[derive(Debug)]
+pub struct Fig7Panel {
+    /// Corpus label.
+    pub label: &'static str,
+    /// `(rank, p_t)` samples at log-spaced ranks.
+    pub curve: Vec<(usize, f64)>,
+    /// `(M, 1/M target line, rank where the curve crosses it)`.
+    pub lines: Vec<(u32, f64, usize)>,
+    /// Estimated Zipf exponent.
+    pub zipf_exponent: Option<f64>,
+}
+
+/// Both panels.
+#[derive(Debug)]
+pub struct Fig7 {
+    /// 7a: Stud-IP-like.
+    pub studip: Fig7Panel,
+    /// 7b: ODP-like.
+    pub odp: Fig7Panel,
+}
+
+fn panel(label: &'static str, stats: &CorpusStats, list_counts: &[u32]) -> Fig7Panel {
+    let order = stats.terms_by_descending_frequency();
+    let probabilities: Vec<f64> = order
+        .iter()
+        .map(|&t| stats.probability(t))
+        .filter(|&p| p > 0.0)
+        .collect();
+
+    let mut curve = Vec::new();
+    let mut rank = 1usize;
+    while rank <= probabilities.len() {
+        curve.push((rank, probabilities[rank - 1]));
+        rank *= 4;
+    }
+    if let Some(&last) = probabilities.last() {
+        curve.push((probabilities.len(), last));
+    }
+
+    let lines = list_counts
+        .iter()
+        .map(|&m| {
+            let target = 1.0 / m as f64;
+            let crossing = probabilities.partition_point(|&p| p >= target);
+            (m, target, crossing)
+        })
+        .collect();
+
+    Fig7Panel {
+        label,
+        curve,
+        lines,
+        zipf_exponent: stats.zipf_exponent_estimate(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig7 {
+    let scenario = OdpScenario::shared(scale);
+    let studip_config = match scale {
+        Scale::Default => StudipConfig::default(),
+        Scale::Smoke => StudipConfig {
+            num_courses: 40,
+            num_users: 200,
+            num_docs: 800,
+            vocabulary_size: 8_000,
+            ..StudipConfig::default()
+        },
+    };
+    let studip = StudipData::generate(&studip_config);
+    let counts = scale.list_counts();
+    Fig7 {
+        studip: panel("7a Stud-IP-like", &studip.statistics(), &counts),
+        odp: panel("7b ODP-like", &scenario.stats, &counts),
+    }
+}
+
+/// Formats both panels.
+pub fn render(fig: &Fig7) -> String {
+    let mut out = String::new();
+    for panel in [&fig.studip, &fig.odp] {
+        let mut curve = Table::new(
+            format!(
+                "Figure {}: term probability p_t by rank (Zipf exp ~ {:.2})",
+                panel.label,
+                panel.zipf_exponent.unwrap_or(f64::NAN)
+            ),
+            &["rank", "p_t"],
+        );
+        for &(rank, p) in &panel.curve {
+            curve.row(&[rank.to_string(), sci(p)]);
+        }
+        out.push_str(&curve.render());
+
+        let mut lines = Table::new(
+            format!("{}: 1/r lines and singleton cutoffs", panel.label),
+            &["M", "1/r = 1/M", "terms above the line"],
+        );
+        for &(m, target, crossing) in &panel.lines {
+            lines.row(&[m.to_string(), sci(target), crossing.to_string()]);
+        }
+        out.push_str(&lines.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_are_zipfian_with_sane_crossings() {
+        let fig = run(Scale::Smoke);
+        for panel in [&fig.studip, &fig.odp] {
+            // Curve is non-increasing.
+            for window in panel.curve.windows(2) {
+                assert!(window[0].1 >= window[1].1, "{}", panel.label);
+            }
+            // Larger M => lower line => more terms above it.
+            for window in panel.lines.windows(2) {
+                assert!(window[0].2 <= window[1].2, "{}", panel.label);
+            }
+            let s = panel.zipf_exponent.expect("zipf estimate");
+            assert!(s > 0.3 && s < 2.0, "{}: exponent {s}", panel.label);
+        }
+    }
+}

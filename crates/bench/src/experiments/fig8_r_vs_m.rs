@@ -1,0 +1,86 @@
+//! Figure 8: correlation between the achieved confidentiality `r` and
+//! the number of merged posting lists `M` (ODP data, BFM/DFM).
+//!
+//! Paper reading: as M increases, the confidentiality level decreases
+//! (r grows) following the Zipfian term-probability distribution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_core::merge::{MergeConfig, MergePlan};
+
+use crate::report::{sci, Table};
+use crate::scenario::{OdpScenario, Scale};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Number of merged lists.
+    pub m: u32,
+    /// Achieved r for DFM.
+    pub r_dfm: f64,
+    /// Achieved r for BFM.
+    pub r_bfm: f64,
+}
+
+/// Runs the sweep (denser than Table 1's four points).
+pub fn run(scale: Scale) -> Vec<Fig8Point> {
+    let scenario = OdpScenario::shared(scale);
+    let stats = &scenario.learned_stats;
+    let mut rng = StdRng::seed_from_u64(8);
+    let ms: Vec<u32> = match scale {
+        Scale::Default => vec![256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768],
+        Scale::Smoke => vec![16, 32, 64, 128, 256, 512, 1_024],
+    };
+    ms.into_iter()
+        .map(|m| {
+            let dfm = MergePlan::build(MergeConfig::dfm(m), stats, &mut rng).unwrap();
+            let bfm =
+                MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
+            Fig8Point {
+                m,
+                r_dfm: dfm.achieved_r(),
+                r_bfm: bfm.achieved_r(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the sweep.
+pub fn render(points: &[Fig8Point]) -> String {
+    let mut table = Table::new(
+        "Figure 8: correlation between r and M (ODP-like, BFM/DFM)",
+        &["M", "r DFM", "r BFM", "1/r DFM"],
+    );
+    for point in points {
+        table.row(&[
+            point.m.to_string(),
+            format!("{:.1}", point.r_dfm),
+            format!("{:.1}", point.r_bfm),
+            sci(1.0 / point.r_dfm),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_grows_monotonically_with_m() {
+        let points = run(Scale::Smoke);
+        for window in points.windows(2) {
+            assert!(
+                window[1].r_dfm >= window[0].r_dfm * 0.99,
+                "r must grow with M: {:?}",
+                window
+            );
+        }
+        // BFM and DFM track each other within a small factor.
+        for point in &points {
+            let ratio = point.r_dfm / point.r_bfm;
+            assert!((0.3..=3.0).contains(&ratio), "m = {}: {ratio}", point.m);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Section 7.1: security guarantees, verified empirically.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_attacks::{
+    correlation_attack_precision, share_distribution_test, verify_plan_r_bound,
+    DfReconstructionAttack,
+};
+use zerber_attacks::df_attack::observed_lengths;
+use zerber_core::merge::{MergeConfig, MergePlan};
+use zerber_field::Fp;
+use zerber_shamir::SharingScheme;
+
+use crate::report::Table;
+use crate::scenario::{OdpScenario, Scale};
+
+/// Aggregated security-experiment results.
+#[derive(Debug)]
+pub struct Security {
+    /// Plan's achieved r vs largest observed amplification.
+    pub claimed_r: f64,
+    /// Largest observed posterior/prior ratio.
+    pub observed_r: f64,
+    /// Whether the Definition-1 bound held for every term.
+    pub r_bound_holds: bool,
+    /// DF-reconstruction exact-recovery rate against the merged index
+    /// (imperfect background).
+    pub df_exact_merged: f64,
+    /// Same attack against an unmerged index (one list per term).
+    pub df_exact_unmerged: f64,
+    /// Share uniformity chi-squares `(a, b, between)`.
+    pub share_chi: (f64, f64, f64),
+    /// Correlation-attack precision at batch sizes 1/10/50.
+    pub correlation: [(usize, f64); 3],
+}
+
+/// Runs the suite.
+pub fn run(scale: Scale) -> Security {
+    let scenario = OdpScenario::shared(scale);
+    let m = scale.list_counts()[0];
+    let mut rng = StdRng::seed_from_u64(71);
+
+    let plan =
+        MergePlan::build(MergeConfig::dfm(m), &scenario.learned_stats, &mut rng).unwrap();
+    let report = verify_plan_r_bound(&plan, &scenario.learned_stats);
+
+    // DF reconstruction with the learned prefix as the adversary's
+    // (imperfect) background, against true full-corpus frequencies.
+    let attack = DfReconstructionAttack {
+        background: &scenario.learned_stats,
+        plan: &plan,
+    };
+    let merged_report = attack.run(&observed_lengths(&plan, &scenario.dfs), &scenario.dfs);
+
+    // Unmerged control: M = number of non-zero terms (UDM round-robin
+    // with that many lists puts each term alone).
+    let distinct = scenario.distinct_terms() as u32;
+    let unmerged_plan = MergePlan::build(
+        MergeConfig::udm(distinct),
+        &scenario.learned_stats,
+        &mut rng,
+    )
+    .unwrap();
+    let unmerged_report = DfReconstructionAttack {
+        background: &scenario.learned_stats,
+        plan: &unmerged_plan,
+    }
+    .run(
+        &observed_lengths(&unmerged_plan, &scenario.dfs),
+        &scenario.dfs,
+    );
+
+    // Share uniformity.
+    let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+    let uniformity = share_distribution_test(
+        &scheme,
+        Fp::new(7),
+        Fp::new((1 << 60) - 1),
+        20_000,
+        16,
+        &mut rng,
+    );
+
+    // Correlation attack.
+    let doc_sizes: Vec<usize> = scenario
+        .corpus
+        .documents
+        .iter()
+        .map(zerber_index::Document::distinct_terms)
+        .collect();
+    let correlation = [1usize, 10, 50].map(|batch| {
+        (
+            batch,
+            correlation_attack_precision(&doc_sizes, batch, &mut rng).precision,
+        )
+    });
+
+    Security {
+        claimed_r: report.claimed_r,
+        observed_r: report.max_observed,
+        r_bound_holds: report.holds(),
+        df_exact_merged: merged_report.exact_fraction,
+        df_exact_unmerged: unmerged_report.exact_fraction,
+        share_chi: (
+            uniformity.chi_square_a,
+            uniformity.chi_square_b,
+            uniformity.chi_square_between,
+        ),
+        correlation,
+    }
+}
+
+/// Formats the suite.
+pub fn render(security: &Security) -> String {
+    let mut table = Table::new("Section 7.1: security guarantees", &["check", "result"]);
+    table.row(&[
+        "Definition-1 bound (max posterior/prior <= r)".into(),
+        format!(
+            "{} (claimed r = {:.1}, observed {:.1})",
+            if security.r_bound_holds { "HOLDS" } else { "VIOLATED" },
+            security.claimed_r,
+            security.observed_r
+        ),
+    ]);
+    table.row(&[
+        "DF reconstruction, unmerged index".into(),
+        format!("{:.1}% of DFs recovered exactly", security.df_exact_unmerged * 100.0),
+    ]);
+    table.row(&[
+        "DF reconstruction, merged index".into(),
+        format!("{:.1}% of DFs recovered exactly", security.df_exact_merged * 100.0),
+    ]);
+    table.row(&[
+        "single-share chi-square (A / B / between, df = 15)".into(),
+        format!(
+            "{:.1} / {:.1} / {:.1}",
+            security.share_chi.0, security.share_chi.1, security.share_chi.2
+        ),
+    ]);
+    for (batch, precision) in security.correlation {
+        table.row(&[
+            format!("update-correlation precision, {batch} docs/batch"),
+            format!("{:.1}%", precision * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_suite_reports_the_expected_directions() {
+        let security = run(Scale::Smoke);
+        assert!(security.r_bound_holds);
+        // With an imperfect background the unmerged index must leak at
+        // least as much as the merged one.
+        assert!(security.df_exact_unmerged >= security.df_exact_merged);
+        // Correlation precision decays with batch size.
+        assert!(security.correlation[0].1 >= security.correlation[1].1);
+        assert!(security.correlation[1].1 >= security.correlation[2].1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Section 7.2: storage overhead.
+//!
+//! Paper: "each Zerber index server uses about 50% more space than an
+//! ordinary inverted index. Since Zerber replicates the index on n
+//! servers, the total index space required is 1.5n times more than for
+//! an ordinary inverted index."
+
+use zerber_net::SizeModel;
+
+use crate::report::Table;
+use crate::scenario::{OdpScenario, Scale};
+
+/// Storage accounting.
+#[derive(Debug)]
+pub struct Storage {
+    /// Total posting elements in the corpus.
+    pub total_postings: usize,
+    /// Ordinary centralized index size, bytes.
+    pub plain_bytes: usize,
+    /// One Zerber server, bytes.
+    pub per_server_bytes: usize,
+    /// All n servers, bytes.
+    pub total_bytes: usize,
+    /// Servers.
+    pub n: usize,
+    /// Overall overhead factor (paper: 1.5 n).
+    pub overhead_factor: f64,
+}
+
+/// Runs the accounting over the shared ODP scenario.
+pub fn run(scale: Scale) -> Storage {
+    let scenario = OdpScenario::shared(scale);
+    let total_postings: usize = scenario
+        .corpus
+        .documents
+        .iter()
+        .map(zerber_index::Document::distinct_terms)
+        .sum();
+    let model = SizeModel::default();
+    let n = 3;
+    Storage {
+        total_postings,
+        plain_bytes: model.plain_index_bytes(total_postings),
+        per_server_bytes: model.zerber_server_bytes(total_postings),
+        total_bytes: model.zerber_total_bytes(total_postings, n),
+        n,
+        overhead_factor: model.storage_overhead_factor(n),
+    }
+}
+
+/// Formats the accounting.
+pub fn render(storage: &Storage) -> String {
+    let mb = |bytes: usize| format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0));
+    let mut table = Table::new(
+        "Section 7.2: storage overhead (n = 3 index servers)",
+        &["index", "size"],
+    );
+    table.row(&["posting elements".into(), storage.total_postings.to_string()]);
+    table.row(&["ordinary inverted index".into(), mb(storage.plain_bytes)]);
+    table.row(&["one Zerber server (1.5x)".into(), mb(storage.per_server_bytes)]);
+    table.row(&[
+        format!("all {} Zerber servers", storage.n),
+        mb(storage.total_bytes),
+    ]);
+    let mut out = table.render();
+    out.push_str(&format!(
+        "overhead factor: {:.1}x (paper: 1.5 n = {:.1}x)\n",
+        storage.overhead_factor,
+        1.5 * storage.n as f64
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_exactly_one_point_five_n() {
+        let storage = run(Scale::Smoke);
+        assert!(storage.total_postings > 0);
+        assert!((storage.overhead_factor - 4.5).abs() < 1e-12);
+        assert_eq!(storage.per_server_bytes, storage.plain_bytes * 3 / 2);
+        assert_eq!(storage.total_bytes, storage.per_server_bytes * 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Table 1: achieved `1/r` for the three merging heuristics at each
+//! table size M.
+//!
+//! Paper values (web/ODP data, for reference):
+//!
+//! | M      | 1/r BFM,DFM | 1/r UDM   |
+//! |--------|-------------|-----------|
+//! | 1,024  | 9.30e-4     | 7.86e-4   |
+//! | 2,048  | 4.45e-4     | 3.57e-4   |
+//! | 4,096  | 2.07e-4     | 1.58e-4   |
+//! | 32,768 | 1.609e-5    | 9.60e-6   |
+//!
+//! Expected shape: 1/r shrinks roughly linearly in 1/M; BFM and DFM
+//! agree; UDM's 1/r is consistently smaller (less confidentiality).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_core::merge::{MergeConfig, MergePlan};
+
+use crate::report::{sci, Table};
+use crate::scenario::{OdpScenario, Scale};
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Number of merged posting lists.
+    pub m: u32,
+    /// 1/r for DFM.
+    pub inv_r_dfm: f64,
+    /// 1/r for BFM (list-count-matched).
+    pub inv_r_bfm: f64,
+    /// 1/r for UDM.
+    pub inv_r_udm: f64,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table1Row> {
+    let scenario = OdpScenario::shared(scale);
+    // Merging is learned from the 30% prefix, as in Section 7.5.
+    let stats = &scenario.learned_stats;
+    let mut rng = StdRng::seed_from_u64(1);
+    scale
+        .list_counts()
+        .into_iter()
+        .map(|m| {
+            let dfm = MergePlan::build(MergeConfig::dfm(m), stats, &mut rng).unwrap();
+            let bfm =
+                MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
+            let udm = MergePlan::build(MergeConfig::udm(m), stats, &mut rng).unwrap();
+            Table1Row {
+                m,
+                inv_r_dfm: 1.0 / dfm.achieved_r(),
+                inv_r_bfm: 1.0 / bfm.achieved_r(),
+                inv_r_udm: 1.0 / udm.achieved_r(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows like the paper's Table 1.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut table = Table::new(
+        "Table 1: r-parameter value for 3 merging heuristics (1/r; higher = stronger)",
+        &["# posting lists", "1/r DFM", "1/r BFM", "1/r UDM"],
+    );
+    for row in rows {
+        table.row(&[
+            row.m.to_string(),
+            sci(row.inv_r_dfm),
+            sci(row.inv_r_bfm),
+            sci(row.inv_r_udm),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_the_paper() {
+        let rows = run(Scale::Smoke);
+        assert_eq!(rows.len(), 4);
+        for window in rows.windows(2) {
+            // More lists => smaller 1/r (less confidentiality).
+            assert!(window[0].inv_r_dfm > window[1].inv_r_dfm);
+        }
+        for row in &rows {
+            // BFM tracks DFM within a small factor.
+            let ratio = row.inv_r_dfm / row.inv_r_bfm;
+            assert!((0.4..=2.5).contains(&ratio), "m = {}: {ratio}", row.m);
+            // UDM offers less confidentiality (smaller 1/r) on average.
+            assert!(
+                row.inv_r_udm <= row.inv_r_dfm * 1.05,
+                "m = {}: UDM {} vs DFM {}",
+                row.m,
+                row.inv_r_udm,
+                row.inv_r_dfm
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Zerber clients: the document-owner daemon and the querying user.
+//!
+//! Section 5.4 of the paper describes both sides:
+//!
+//! * **Indexing a document** (5.4.1): the owner parses the document,
+//!   builds one posting element per distinct term, encrypts each with
+//!   Algorithm 1a, assigns a global element id, and ships one share to
+//!   each of the n servers — optionally *batched* across documents so
+//!   an adversary watching a compromised server cannot correlate the
+//!   elements of one document.
+//! * **Processing queries** (5.4.2, Algorithm 2): the user maps her
+//!   query terms to merged posting-list ids, fetches the accessible
+//!   share sets from k servers, aligns shares by global element id,
+//!   decrypts with Algorithm 1b, filters out false positives (elements
+//!   of co-merged terms), ranks locally with a threshold algorithm,
+//!   and finally pulls snippets from the hosting peers.
+//!
+//! Modules: [`transport`] (the narrow server interface), [`owner`],
+//! [`batching`], [`query`], [`ranking`], [`snippets`].
+
+pub mod batching;
+pub mod mixing;
+pub mod owner;
+pub mod query;
+pub mod ranking;
+pub mod snippets;
+pub mod transport;
+
+pub use batching::{BatchPolicy, UpdateQueue};
+pub use mixing::UpdateMixer;
+pub use owner::DocumentOwner;
+pub use query::{QueryClient, QueryOutcome};
+pub use snippets::{OwnerSnippetService, SnippetProvider};
+pub use transport::ServerHandle;

@@ -1,0 +1,363 @@
+//! The document owner's indexing daemon.
+//!
+//! "Zerber runs a client program at the document owner that tracks
+//! local changes and performs only the necessary updates at the
+//! central indexes" (Section 5.4.1). The owner also keeps a local
+//! inverted index of its shared documents ("also useful for local
+//! search", Section 7.2) that records each element's global id — this
+//! is what makes element-wise deletion possible, since the central
+//! servers cannot map documents to elements.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use zerber_core::{ElementCodec, ElementId, PlId, PostingElement};
+use zerber_core::MappingTable;
+use zerber_index::{DocId, Document, InvertedIndex};
+use zerber_net::{AuthToken, StoredShare};
+use zerber_server::ServerError;
+use zerber_shamir::SharingScheme;
+
+use crate::batching::{BatchPolicy, UpdateQueue};
+use crate::transport::ServerHandle;
+
+/// A document owner: encrypts and distributes posting elements for the
+/// documents it hosts.
+pub struct DocumentOwner {
+    owner_id: u32,
+    token: AuthToken,
+    codec: ElementCodec,
+    scheme: SharingScheme,
+    table: Arc<MappingTable>,
+    policy: BatchPolicy,
+    queue: UpdateQueue,
+    local_index: InvertedIndex,
+    /// Per-document element inventory for deletion: `(list, element)`
+    /// pairs.
+    elements_by_doc: HashMap<DocId, Vec<(PlId, ElementId)>>,
+    next_sequence: u64,
+}
+
+impl DocumentOwner {
+    /// Creates an owner.
+    ///
+    /// `owner_id` namespaces the global element ids this owner
+    /// generates (48-bit sequence per owner), `token` authenticates it
+    /// to the index servers.
+    pub fn new(
+        owner_id: u32,
+        token: AuthToken,
+        codec: ElementCodec,
+        scheme: SharingScheme,
+        table: Arc<MappingTable>,
+        policy: BatchPolicy,
+    ) -> Self {
+        let n = scheme.server_count();
+        Self {
+            owner_id,
+            token,
+            codec,
+            scheme,
+            table,
+            policy,
+            queue: UpdateQueue::new(n),
+            local_index: InvertedIndex::new(),
+            elements_by_doc: HashMap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// The owner's local inverted index over its own documents.
+    pub fn local_index(&self) -> &InvertedIndex {
+        &self.local_index
+    }
+
+    /// Elements currently queued but not yet flushed.
+    pub fn pending_elements(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Indexes one document: builds, encrypts and enqueues one element
+    /// per distinct term (Algorithm 1a is O(n·N)); flushes according
+    /// to the batch policy.
+    ///
+    /// Returns the number of elements produced.
+    pub fn index_document<R: Rng + ?Sized>(
+        &mut self,
+        doc: &Document,
+        servers: &[Arc<dyn ServerHandle>],
+        rng: &mut R,
+    ) -> Result<usize, ServerError> {
+        assert_eq!(
+            servers.len(),
+            self.scheme.server_count(),
+            "one handle per scheme server"
+        );
+        // Re-indexing a changed document first retracts the old
+        // version's elements.
+        if self.elements_by_doc.contains_key(&doc.id) {
+            self.delete_document(doc.id, servers)?;
+        }
+
+        let mut inventory = Vec::with_capacity(doc.terms.len());
+        let mut share_buffer: Vec<zerber_field::Fp> = Vec::new();
+        for &(term, count) in &doc.terms {
+            let tf = if doc.length == 0 {
+                0.0
+            } else {
+                count as f64 / doc.length as f64
+            };
+            let element = PostingElement {
+                doc: doc.id,
+                term,
+                tf_quantized: self.codec.quantize_tf(tf),
+            };
+            let secret = self
+                .codec
+                .encode(element)
+                .expect("document ids and terms fit the configured codec");
+            let element_id = self.fresh_element_id();
+            let pl = self.table.lookup(term);
+            self.scheme.split_into(secret, rng, &mut share_buffer);
+            let stored: Vec<StoredShare> = share_buffer
+                .iter()
+                .map(|&y| StoredShare {
+                    element: element_id,
+                    group: doc.group,
+                    share: y,
+                })
+                .collect();
+            self.queue.push(pl, &stored);
+            inventory.push((pl, element_id));
+
+            if self.queue.should_flush(self.policy) {
+                self.flush(servers)?;
+            }
+        }
+
+        self.local_index.insert(doc);
+        self.elements_by_doc.insert(doc.id, inventory);
+        Ok(doc.terms.len())
+    }
+
+    /// Flushes any queued updates to the servers immediately.
+    pub fn flush(&mut self, servers: &[Arc<dyn ServerHandle>]) -> Result<(), ServerError> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let batches = self.queue.drain();
+        for (server, entries) in servers.iter().zip(batches) {
+            if !entries.is_empty() {
+                server.insert_batch(self.token, &entries)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a document: element-by-element on every server, since
+    /// servers cannot see which elements share a document (Section
+    /// 7.3 — "the document deletion network cost is thus the same as
+    /// its insertion cost").
+    pub fn delete_document(
+        &mut self,
+        doc: DocId,
+        servers: &[Arc<dyn ServerHandle>],
+    ) -> Result<usize, ServerError> {
+        let Some(inventory) = self.elements_by_doc.remove(&doc) else {
+            return Ok(0);
+        };
+        for server in servers {
+            server.delete(self.token, &inventory)?;
+        }
+        self.local_index.remove(doc);
+        Ok(inventory.len())
+    }
+
+    /// Hands the queued (unflushed) per-server batches to the caller —
+    /// the hook for pooling updates through an
+    /// [`UpdateMixer`](crate::mixing::UpdateMixer) instead of flushing
+    /// directly (Section 5.4.1 anonymity).
+    pub fn drain_pending(&mut self) -> Vec<Vec<(PlId, StoredShare)>> {
+        self.queue.drain()
+    }
+
+    /// The owner's authentication token (needed when a mixer submits
+    /// on the owner's behalf).
+    pub fn token(&self) -> AuthToken {
+        self.token
+    }
+
+    /// The `(list, element-id)` inventory of a document, if indexed.
+    pub fn document_elements(&self, doc: DocId) -> Option<&[(PlId, ElementId)]> {
+        self.elements_by_doc.get(&doc).map(Vec::as_slice)
+    }
+
+    fn fresh_element_id(&mut self) -> ElementId {
+        let id = ((self.owner_id as u64) << 40) | self.next_sequence;
+        self.next_sequence += 1;
+        ElementId(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zerber_field::Fp;
+    use zerber_index::{GroupId, TermId, UserId};
+    use zerber_server::{IndexServer, TokenAuth};
+
+    fn setup(n: usize, k: usize) -> (Vec<Arc<dyn ServerHandle>>, DocumentOwner, Arc<TokenAuth>) {
+        let auth = Arc::new(TokenAuth::new());
+        let mut coordinates = Vec::new();
+        let mut handles: Vec<Arc<dyn ServerHandle>> = Vec::new();
+        for i in 0..n {
+            let x = Fp::new(100 + i as u64);
+            coordinates.push(x);
+            let server = IndexServer::new(i as u32, x, auth.clone());
+            server.add_user_to_group(UserId(1), GroupId(0));
+            handles.push(Arc::new(server));
+        }
+        let scheme = SharingScheme::with_coordinates(k, coordinates).unwrap();
+        let table = Arc::new(MappingTable::hash_only(8, 0));
+        let token = auth.issue(UserId(1));
+        let owner = DocumentOwner::new(
+            1,
+            token,
+            ElementCodec::default(),
+            scheme,
+            table,
+            BatchPolicy::immediate(),
+        );
+        (handles, owner, auth)
+    }
+
+    fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(0),
+            terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+        )
+    }
+
+    #[test]
+    fn indexing_distributes_one_share_per_server() {
+        let (servers, mut owner, auth) = setup(3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = doc(1, &[(0, 2), (5, 1), (9, 3)]);
+        let produced = owner.index_document(&d, &servers, &mut rng).unwrap();
+        assert_eq!(produced, 3);
+        // Every server holds exactly 3 shares.
+        let token = auth.issue(UserId(1));
+        for server in &servers {
+            let mut total = 0;
+            for pl in 0..8u32 {
+                total += server
+                    .get_posting_lists(token, &[PlId(pl)])
+                    .unwrap()[0]
+                    .1
+                    .len();
+            }
+            assert_eq!(total, 3);
+        }
+    }
+
+    #[test]
+    fn local_index_tracks_documents() {
+        let (servers, mut owner, _) = setup(3, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = doc(1, &[(0, 1), (1, 1)]);
+        owner.index_document(&d, &servers, &mut rng).unwrap();
+        assert_eq!(owner.local_index().document_count(), 1);
+        assert_eq!(owner.document_elements(DocId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let (servers, mut owner, auth) = setup(3, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = doc(1, &[(0, 1), (1, 1)]);
+        owner.index_document(&d, &servers, &mut rng).unwrap();
+        let removed = owner.delete_document(DocId(1), &servers).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(owner.local_index().document_count(), 0);
+        let token = auth.issue(UserId(1));
+        for server in &servers {
+            for pl in 0..8u32 {
+                assert!(server
+                    .get_posting_lists(token, &[PlId(pl)])
+                    .unwrap()[0]
+                    .1
+                    .is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn reindexing_replaces_old_elements() {
+        let (servers, mut owner, _) = setup(3, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        owner
+            .index_document(&doc(1, &[(0, 1), (1, 1), (2, 1)]), &servers, &mut rng)
+            .unwrap();
+        owner
+            .index_document(&doc(1, &[(0, 5)]), &servers, &mut rng)
+            .unwrap();
+        assert_eq!(owner.document_elements(DocId(1)).unwrap().len(), 1);
+        assert_eq!(owner.local_index().document_frequency(TermId(1)), 0);
+    }
+
+    #[test]
+    fn batched_policy_defers_flush() {
+        let auth = Arc::new(TokenAuth::new());
+        let x = Fp::new(7);
+        let server = IndexServer::new(0, x, auth.clone());
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let handles: Vec<Arc<dyn ServerHandle>> = vec![Arc::new(server)];
+        let scheme = SharingScheme::with_coordinates(1, vec![x]).unwrap();
+        let token = auth.issue(UserId(1));
+        let mut owner = DocumentOwner::new(
+            1,
+            token,
+            ElementCodec::default(),
+            scheme,
+            Arc::new(MappingTable::hash_only(4, 0)),
+            BatchPolicy::batched(100),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        owner
+            .index_document(&doc(1, &[(0, 1), (1, 1)]), &handles, &mut rng)
+            .unwrap();
+        assert_eq!(owner.pending_elements(), 2, "still queued");
+        owner.flush(&handles).unwrap();
+        assert_eq!(owner.pending_elements(), 0);
+    }
+
+    #[test]
+    fn element_ids_are_unique_and_namespaced() {
+        let (servers, mut owner, _) = setup(3, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        owner
+            .index_document(&doc(1, &[(0, 1), (1, 1)]), &servers, &mut rng)
+            .unwrap();
+        owner
+            .index_document(&doc(2, &[(0, 1)]), &servers, &mut rng)
+            .unwrap();
+        let mut all: Vec<u64> = owner
+            .document_elements(DocId(1))
+            .unwrap()
+            .iter()
+            .chain(owner.document_elements(DocId(2)).unwrap())
+            .map(|(_, e)| e.0)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 3);
+        for id in all {
+            assert_eq!(id >> 40, 1, "namespaced by owner id");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Query execution — Algorithm 2, client side.
+//!
+//! The client maps query terms to merged posting-list ids (never
+//! revealing the terms themselves), gathers share sets from `k` index
+//! servers, aligns shares by global element id, decrypts, removes
+//! false positives (elements of co-merged terms), and ranks locally.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zerber_core::{ElementCodec, ElementId, MappingTable, PlId, PostingElement};
+use zerber_field::{lagrange_weights_at_zero, Fp};
+use zerber_index::{threshold_topk, RankedDoc, ScoredList, TermId};
+use zerber_net::AuthToken;
+use zerber_server::ServerError;
+
+use crate::transport::ServerHandle;
+
+/// Everything a query run produces, including the accounting the
+/// bandwidth experiments need.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Top-K ranked documents.
+    pub ranked: Vec<RankedDoc>,
+    /// All decrypted elements that matched the query terms.
+    pub matching_elements: Vec<PostingElement>,
+    /// Posting elements received from each contacted server (the
+    /// response-size driver of Section 7.3).
+    pub elements_received: usize,
+    /// Elements discarded as false positives (co-merged terms).
+    pub false_positives: usize,
+    /// Merged posting lists requested.
+    pub lists_requested: usize,
+}
+
+/// The querying client.
+pub struct QueryClient {
+    token: AuthToken,
+    codec: ElementCodec,
+    table: Arc<MappingTable>,
+    threshold: usize,
+}
+
+impl QueryClient {
+    /// Creates a client. `threshold` is the scheme's `k` — how many
+    /// servers must answer before decryption is possible.
+    pub fn new(
+        token: AuthToken,
+        codec: ElementCodec,
+        table: Arc<MappingTable>,
+        threshold: usize,
+    ) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        Self {
+            token,
+            codec,
+            table,
+            threshold,
+        }
+    }
+
+    /// Executes a keyword query against at least `k` of the given
+    /// servers and returns the top-`k_results` documents.
+    pub fn execute(
+        &self,
+        terms: &[TermId],
+        servers: &[Arc<dyn ServerHandle>],
+        k_results: usize,
+    ) -> Result<QueryOutcome, ServerError> {
+        assert!(
+            servers.len() >= self.threshold,
+            "need at least k = {} servers, got {}",
+            self.threshold,
+            servers.len()
+        );
+        let contacted = &servers[..self.threshold];
+
+        // 1. Map query terms to merged posting lists (deduplicated —
+        //    co-merged query terms share one fetch).
+        let mut pl_ids: Vec<PlId> = terms.iter().map(|&t| self.table.lookup(t)).collect();
+        pl_ids.sort_unstable();
+        pl_ids.dedup();
+
+        // 2. Fetch the accessible share sets from k servers.
+        let mut responses = Vec::with_capacity(contacted.len());
+        for server in contacted {
+            responses.push(server.get_posting_lists(self.token, &pl_ids)?);
+        }
+
+        // 3. Align shares across servers by (list, element id).
+        let coordinates: Vec<Fp> = contacted.iter().map(|s| s.coordinate()).collect();
+        let weights = lagrange_weights_at_zero(&coordinates);
+        let mut elements_received = 0usize;
+
+        // (pl, element) -> accumulated weighted sum + how many servers
+        // contributed. ACLs are identical on honest servers, so an
+        // element either arrives from all k servers or none.
+        let mut accumulator: HashMap<(PlId, ElementId), (Fp, usize)> = HashMap::new();
+        for (server_index, lists) in responses.into_iter().enumerate() {
+            for (pl, shares) in lists {
+                elements_received += shares.len();
+                for share in shares {
+                    let entry = accumulator
+                        .entry((pl, share.element))
+                        .or_insert((Fp::ZERO, 0));
+                    entry.0 += share.share * weights[server_index];
+                    entry.1 += 1;
+                }
+            }
+        }
+
+        // 4. Decrypt complete share sets and filter false positives.
+        let query_set: std::collections::HashSet<TermId> = terms.iter().copied().collect();
+        let mut matching: Vec<PostingElement> = Vec::new();
+        let mut false_positives = 0usize;
+        for ((_, _), (sum, contributions)) in accumulator {
+            if contributions < self.threshold {
+                // Partial share set (e.g. a server dropped the element
+                // mid-flight); cannot decrypt, skip defensively.
+                continue;
+            }
+            let Ok(element) = self.codec.decode(sum) else {
+                // Not produced by this codec (corrupt or foreign).
+                continue;
+            };
+            if query_set.contains(&element.term) {
+                matching.push(element);
+            } else {
+                false_positives += 1;
+            }
+        }
+
+        // 5. Client-side ranking with personalized statistics derived
+        //    from the accessible result set itself (Section 5.4.2).
+        let ranked = rank(&matching, &self.codec, terms, k_results);
+
+        Ok(QueryOutcome {
+            ranked,
+            matching_elements: matching,
+            elements_received,
+            false_positives,
+            lists_requested: pl_ids.len(),
+        })
+    }
+}
+
+/// Ranks decrypted elements with TF-IDF over the personalized
+/// collection (the documents visible in the response) and a threshold
+/// top-K cut.
+fn rank(
+    elements: &[PostingElement],
+    codec: &ElementCodec,
+    terms: &[TermId],
+    k: usize,
+) -> Vec<RankedDoc> {
+    if elements.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // Personalized statistics: df over the accessible elements, N =
+    // distinct accessible documents.
+    let mut df: HashMap<TermId, usize> = HashMap::new();
+    let mut docs: std::collections::HashSet<zerber_index::DocId> =
+        std::collections::HashSet::new();
+    for element in elements {
+        *df.entry(element.term).or_insert(0) += 1;
+        docs.insert(element.doc);
+    }
+    let n = docs.len() as f64;
+
+    let lists: Vec<ScoredList> = terms
+        .iter()
+        .map(|&term| {
+            let term_df = df.get(&term).copied().unwrap_or(0) as f64;
+            let idf = if term_df > 0.0 {
+                (1.0 + n / term_df).ln()
+            } else {
+                0.0
+            };
+            ScoredList::new(
+                elements
+                    .iter()
+                    .filter(|e| e.term == term)
+                    .map(|e| (e.doc, e.term_frequency(codec) * idf))
+                    .collect(),
+            )
+        })
+        .collect();
+    threshold_topk(&lists, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zerber_core::ElementCodec;
+    use zerber_index::{DocId, Document, GroupId, UserId};
+    use zerber_server::{IndexServer, TokenAuth};
+    use zerber_shamir::SharingScheme;
+
+    use crate::batching::BatchPolicy;
+    use crate::owner::DocumentOwner;
+
+    struct World {
+        servers: Vec<Arc<dyn ServerHandle>>,
+        owner: DocumentOwner,
+        auth: Arc<TokenAuth>,
+        table: Arc<MappingTable>,
+    }
+
+    fn world() -> World {
+        let auth = Arc::new(TokenAuth::new());
+        let mut coordinates = Vec::new();
+        let mut servers: Vec<Arc<dyn ServerHandle>> = Vec::new();
+        for i in 0..3u32 {
+            let x = Fp::new(11 * (i as u64 + 1));
+            coordinates.push(x);
+            let server = IndexServer::new(i, x, auth.clone());
+            server.add_user_to_group(UserId(1), GroupId(0));
+            server.add_user_to_group(UserId(2), GroupId(0));
+            server.add_user_to_group(UserId(1), GroupId(1));
+            servers.push(Arc::new(server));
+        }
+        let scheme = SharingScheme::with_coordinates(2, coordinates).unwrap();
+        let table = Arc::new(MappingTable::hash_only(4, 99));
+        let owner_token = auth.issue(UserId(1));
+        let owner = DocumentOwner::new(
+            1,
+            owner_token,
+            ElementCodec::default(),
+            scheme,
+            table.clone(),
+            BatchPolicy::immediate(),
+        );
+        World {
+            servers,
+            owner,
+            auth,
+            table,
+        }
+    }
+
+    fn doc(id: u32, group: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(group),
+            terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+        )
+    }
+
+    fn client(world: &World, user: u32) -> QueryClient {
+        QueryClient::new(
+            world.auth.issue(UserId(user)),
+            ElementCodec::default(),
+            world.table.clone(),
+            2,
+        )
+    }
+
+    #[test]
+    fn end_to_end_query_finds_documents() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 3), (20, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        w.owner
+            .index_document(&doc(2, 0, &[(10, 1), (30, 2)]), &w.servers, &mut rng)
+            .unwrap();
+
+        let outcome = client(&w, 2)
+            .execute(&[TermId(10)], &w.servers, 10)
+            .unwrap();
+        let mut docs: Vec<u32> = outcome.ranked.iter().map(|r| r.doc.0).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![1, 2]);
+        assert_eq!(outcome.matching_elements.len(), 2);
+    }
+
+    #[test]
+    fn false_positives_are_filtered_not_returned() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        // With only 4 merged lists and 8 distinct terms, collisions
+        // are guaranteed; find a term pair sharing a list.
+        let shared_pl = w.table.lookup(TermId(10));
+        let collider = (11..200u32)
+            .map(TermId)
+            .find(|&t| w.table.lookup(t) == shared_pl && t != TermId(10))
+            .expect("some term must collide in a 4-list table");
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        w.owner
+            .index_document(&doc(2, 0, &[(collider.0, 1)]), &w.servers, &mut rng)
+            .unwrap();
+
+        let outcome = client(&w, 2)
+            .execute(&[TermId(10)], &w.servers, 10)
+            .unwrap();
+        assert_eq!(outcome.ranked.len(), 1);
+        assert_eq!(outcome.ranked[0].doc, DocId(1));
+        assert_eq!(outcome.false_positives, 1, "collider counted as fp");
+        assert_eq!(outcome.elements_received, 4, "2 elements x 2 servers");
+    }
+
+    #[test]
+    fn acl_hides_other_groups_documents() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        w.owner
+            .index_document(&doc(2, 1, &[(10, 5)]), &w.servers, &mut rng)
+            .unwrap();
+
+        // User 2 is only in group 0.
+        let outcome = client(&w, 2)
+            .execute(&[TermId(10)], &w.servers, 10)
+            .unwrap();
+        assert_eq!(outcome.ranked.len(), 1);
+        assert_eq!(outcome.ranked[0].doc, DocId(1));
+        // User 1 is in both groups and sees both.
+        let outcome = client(&w, 1)
+            .execute(&[TermId(10)], &w.servers, 10)
+            .unwrap();
+        assert_eq!(outcome.ranked.len(), 2);
+    }
+
+    #[test]
+    fn multi_term_queries_rank_conjunctions_higher() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(4);
+        // doc 1 has both query terms, doc 2 only one (with same tf).
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 1), (20, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        w.owner
+            .index_document(&doc(2, 0, &[(10, 1), (99, 1)]), &w.servers, &mut rng)
+            .unwrap();
+
+        let outcome = client(&w, 1)
+            .execute(&[TermId(10), TermId(20)], &w.servers, 2)
+            .unwrap();
+        assert_eq!(outcome.ranked[0].doc, DocId(1));
+    }
+
+    #[test]
+    fn duplicate_query_terms_fetch_each_list_once() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        let outcome = client(&w, 1)
+            .execute(&[TermId(10), TermId(10)], &w.servers, 10)
+            .unwrap();
+        assert_eq!(outcome.lists_requested, 1);
+        assert_eq!(outcome.ranked.len(), 1);
+    }
+
+    #[test]
+    fn results_decrypt_to_exact_tf_quantum() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(6);
+        // tf = 3/4.
+        w.owner
+            .index_document(&doc(1, 0, &[(10, 3), (20, 1)]), &w.servers, &mut rng)
+            .unwrap();
+        let outcome = client(&w, 1)
+            .execute(&[TermId(10)], &w.servers, 10)
+            .unwrap();
+        let codec = ElementCodec::default();
+        let element = outcome.matching_elements[0];
+        assert_eq!(element.doc, DocId(1));
+        assert_eq!(element.term, TermId(10));
+        assert!((element.term_frequency(&codec) - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn too_few_servers_panics() {
+        let w = world();
+        let c = client(&w, 1);
+        let _ = c.execute(&[TermId(1)], &w.servers[..1], 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! Standalone ranking helpers shared by the query client and the
+//! baselines.
+//!
+//! Zerber ranks on the client with *personalized collection
+//! statistics* (Section 5.4.2): document frequencies computed over the
+//! set of documents the user can access, not the global corpus. This
+//! module exposes that computation for reuse and inspection.
+
+use std::collections::{HashMap, HashSet};
+
+use zerber_core::{ElementCodec, PostingElement};
+use zerber_index::{DocId, TermId};
+
+/// Personalized collection statistics derived from an accessible
+/// result set.
+#[derive(Debug, Clone)]
+pub struct PersonalizedStats {
+    document_frequency: HashMap<TermId, usize>,
+    accessible_docs: usize,
+}
+
+impl PersonalizedStats {
+    /// Computes statistics from the decrypted, ACL-filtered elements.
+    pub fn from_elements(elements: &[PostingElement]) -> Self {
+        let mut document_frequency: HashMap<TermId, usize> = HashMap::new();
+        let mut docs: HashSet<DocId> = HashSet::new();
+        for element in elements {
+            *document_frequency.entry(element.term).or_insert(0) += 1;
+            docs.insert(element.doc);
+        }
+        Self {
+            document_frequency,
+            accessible_docs: docs.len(),
+        }
+    }
+
+    /// Document frequency of a term within the accessible set.
+    pub fn document_frequency(&self, term: TermId) -> usize {
+        self.document_frequency.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct accessible documents.
+    pub fn accessible_docs(&self) -> usize {
+        self.accessible_docs
+    }
+
+    /// Inverse document frequency `ln(1 + N/df)`, 0 for unseen terms.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let df = self.document_frequency(term) as f64;
+        if df == 0.0 {
+            0.0
+        } else {
+            (1.0 + self.accessible_docs as f64 / df).ln()
+        }
+    }
+
+    /// TF-IDF score contribution of one element.
+    pub fn score(&self, element: &PostingElement, codec: &ElementCodec) -> f64 {
+        element.term_frequency(codec) * self.idf(element.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn element(doc: u32, term: u32, tf_q: u32) -> PostingElement {
+        PostingElement {
+            doc: DocId(doc),
+            term: TermId(term),
+            tf_quantized: tf_q,
+        }
+    }
+
+    #[test]
+    fn statistics_count_distinct_documents() {
+        let elements = vec![
+            element(1, 10, 100),
+            element(1, 20, 100),
+            element(2, 10, 100),
+        ];
+        let stats = PersonalizedStats::from_elements(&elements);
+        assert_eq!(stats.accessible_docs(), 2);
+        assert_eq!(stats.document_frequency(TermId(10)), 2);
+        assert_eq!(stats.document_frequency(TermId(20)), 1);
+        assert_eq!(stats.document_frequency(TermId(99)), 0);
+    }
+
+    #[test]
+    fn rarer_terms_have_higher_idf() {
+        let elements = vec![
+            element(1, 10, 100),
+            element(2, 10, 100),
+            element(2, 20, 100),
+        ];
+        let stats = PersonalizedStats::from_elements(&elements);
+        assert!(stats.idf(TermId(20)) > stats.idf(TermId(10)));
+        assert_eq!(stats.idf(TermId(99)), 0.0);
+    }
+
+    #[test]
+    fn score_is_tf_times_idf() {
+        let codec = ElementCodec::default();
+        let elements = vec![element(1, 10, codec.quantize_tf(0.5))];
+        let stats = PersonalizedStats::from_elements(&elements);
+        let score = stats.score(&elements[0], &codec);
+        let expected = 0.5 * (1.0f64 + 1.0).ln();
+        assert!((score - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_result_set_is_benign() {
+        let stats = PersonalizedStats::from_elements(&[]);
+        assert_eq!(stats.accessible_docs(), 0);
+        assert_eq!(stats.idf(TermId(0)), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The client-visible server interface.
+//!
+//! Exactly the narrow surface of Section 5 — insert, delete, look up —
+//! plus the public Shamir x-coordinate. The facade crate wraps
+//! implementations with traffic metering; tests call servers directly.
+
+use zerber_core::{ElementId, PlId};
+use zerber_field::Fp;
+use zerber_net::{AuthToken, StoredShare};
+use zerber_server::{IndexServer, ServerError};
+
+/// What a client can ask of one index server.
+pub trait ServerHandle: Send + Sync {
+    /// The server's public x-coordinate in the sharing scheme.
+    fn coordinate(&self) -> Fp;
+
+    /// Insert a batch of element shares.
+    fn insert_batch(
+        &self,
+        token: AuthToken,
+        entries: &[(PlId, StoredShare)],
+    ) -> Result<(), ServerError>;
+
+    /// Delete elements by id.
+    fn delete(
+        &self,
+        token: AuthToken,
+        elements: &[(PlId, ElementId)],
+    ) -> Result<usize, ServerError>;
+
+    /// Fetch the accessible parts of the requested posting lists.
+    fn get_posting_lists(
+        &self,
+        token: AuthToken,
+        pl_ids: &[PlId],
+    ) -> Result<Vec<(PlId, Vec<StoredShare>)>, ServerError>;
+}
+
+impl ServerHandle for IndexServer {
+    fn coordinate(&self) -> Fp {
+        IndexServer::coordinate(self)
+    }
+
+    fn insert_batch(
+        &self,
+        token: AuthToken,
+        entries: &[(PlId, StoredShare)],
+    ) -> Result<(), ServerError> {
+        IndexServer::insert_batch(self, token, entries)
+    }
+
+    fn delete(
+        &self,
+        token: AuthToken,
+        elements: &[(PlId, ElementId)],
+    ) -> Result<usize, ServerError> {
+        IndexServer::delete(self, token, elements)
+    }
+
+    fn get_posting_lists(
+        &self,
+        token: AuthToken,
+        pl_ids: &[PlId],
+    ) -> Result<Vec<(PlId, Vec<StoredShare>)>, ServerError> {
+        IndexServer::get_posting_lists(self, token, pl_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zerber_index::{GroupId, UserId};
+    use zerber_server::TokenAuth;
+
+    #[test]
+    fn index_server_implements_the_trait() {
+        let auth = Arc::new(TokenAuth::new());
+        let server = IndexServer::new(0, Fp::new(5), auth.clone());
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        let handle: &dyn ServerHandle = &server;
+        assert_eq!(handle.coordinate(), Fp::new(5));
+        assert!(handle.insert_batch(token, &[]).is_ok());
+        assert_eq!(handle.get_posting_lists(token, &[]).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the r-confidentiality core: codec round-trips
+//! and merging-heuristic invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zerber_core::merge::{MergeConfig, MergePlan};
+use zerber_core::{achieved_r, is_r_confidential, ElementCodec, PostingElement};
+use zerber_index::{CorpusStats, DocId, TermId};
+
+fn arb_stats() -> impl Strategy<Value = CorpusStats> {
+    prop::collection::vec(1u64..10_000, 1..400)
+        .prop_map(CorpusStats::from_document_frequencies)
+}
+
+proptest! {
+    /// Codec encode/decode is the identity on valid elements.
+    #[test]
+    fn codec_round_trips(
+        doc in 0u32..(1 << 26),
+        term in 0u32..(1 << 22),
+        tf in 0u32..(1 << 12),
+    ) {
+        let codec = ElementCodec::default();
+        let element = PostingElement {
+            doc: DocId(doc),
+            term: TermId(term),
+            tf_quantized: tf,
+        };
+        let encoded = codec.encode(element).unwrap();
+        prop_assert_eq!(codec.decode(encoded).unwrap(), element);
+    }
+
+    /// Distinct elements never collide in the encoding (injectivity).
+    #[test]
+    fn codec_is_injective(
+        a in (0u32..1 << 26, 0u32..1 << 22, 0u32..1 << 12),
+        b in (0u32..1 << 26, 0u32..1 << 22, 0u32..1 << 12),
+    ) {
+        prop_assume!(a != b);
+        let codec = ElementCodec::default();
+        let ea = codec.encode(PostingElement {
+            doc: DocId(a.0), term: TermId(a.1), tf_quantized: a.2,
+        }).unwrap();
+        let eb = codec.encode(PostingElement {
+            doc: DocId(b.0), term: TermId(b.1), tf_quantized: b.2,
+        }).unwrap();
+        prop_assert_ne!(ea, eb);
+    }
+
+    /// Quantization error is bounded by one quantum.
+    #[test]
+    fn tf_quantization_error_bounded(tf in 0.0f64..=1.0) {
+        let codec = ElementCodec::default();
+        let back = codec.dequantize_tf(codec.quantize_tf(tf));
+        prop_assert!((back - tf).abs() <= 1.0 / 4095.0 + 1e-12);
+    }
+
+    /// Every heuristic partitions the term universe: no term lost, no
+    /// term duplicated, for random corpora and list counts.
+    #[test]
+    fn merge_plans_partition_terms(
+        stats in arb_stats(),
+        m in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nonzero: usize = stats
+            .document_frequencies()
+            .iter()
+            .filter(|&&df| df > 0)
+            .count();
+        for config in [
+            MergeConfig::dfm(m),
+            MergeConfig::udm(m),
+            MergeConfig::bfm_lists(m),
+        ] {
+            let plan = MergePlan::build(config, &stats, &mut rng).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for list in plan.lists() {
+                for t in list {
+                    prop_assert!(seen.insert(*t), "duplicate {t:?}");
+                    prop_assert!(stats.probability(*t) > 0.0);
+                }
+            }
+            prop_assert_eq!(seen.len(), nonzero);
+        }
+    }
+
+    /// The plan's achieved r agrees with the standalone formula (7)
+    /// computation, and the plan is r-confidential at its own r.
+    #[test]
+    fn achieved_r_is_consistent(
+        stats in arb_stats(),
+        m in 1u32..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = MergePlan::build(MergeConfig::dfm(m), &stats, &mut rng).unwrap();
+        let r_plan = plan.achieved_r();
+        let r_formula = achieved_r(plan.lists(), &stats);
+        if r_plan.is_finite() {
+            prop_assert!((r_plan - r_formula).abs() < 1e-9 * r_plan.max(1.0));
+            prop_assert!(is_r_confidential(plan.lists(), &stats, r_plan + 1e-9));
+        } else {
+            prop_assert!(!r_formula.is_finite());
+        }
+    }
+
+    /// BFM with a direct confidentiality target never exceeds it
+    /// (up to the final-list redistribution, which only adds mass).
+    #[test]
+    fn bfm_confidentiality_target_holds(
+        stats in arb_stats(),
+        r in 1.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = MergePlan::build(MergeConfig::bfm_r(r), &stats, &mut rng).unwrap();
+        prop_assert!(
+            plan.achieved_r() <= r * (1.0 + 1e-9),
+            "target {r}, achieved {}", plan.achieved_r()
+        );
+    }
+
+    /// Mapping-table lookups agree with the analytical list assignment
+    /// for every term (explicit or hash-routed).
+    #[test]
+    fn table_lookup_matches_lists(
+        stats in arb_stats(),
+        m in 1u32..20,
+        cutoff_rank in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sorted = stats.terms_by_descending_frequency();
+        let cutoff = sorted
+            .get(cutoff_rank)
+            .map(|&t| stats.probability(t))
+            .unwrap_or(0.0);
+        let config = MergeConfig::dfm(m).with_rare_term_cutoff(cutoff);
+        let plan = MergePlan::build(config, &stats, &mut rng).unwrap();
+        for (i, list) in plan.lists().iter().enumerate() {
+            for t in list {
+                prop_assert_eq!(plan.list_of(*t).0 as usize, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! r-Confidential indexing over a DHT — the future-work direction the
+//! paper names in Section 3:
+//!
+//! > "Zerber distributes complete instances of an encrypted index to
+//! > multiple servers for security reasons, while in DHTs each peer
+//! > typically stores only a fraction of the index. The extension of
+//! > r-confidential indexing to a DHT-based infrastructure is an
+//! > interesting area for future research."
+//!
+//! This crate realizes the obvious design point: merged posting lists
+//! are placed on a consistent-hash **ring** of peers; the `n` Shamir
+//! shares of every element go to the list's `n` *distinct* successor
+//! peers. The security argument carries over locally: a peer holds at
+//! most one share per element it stores, so any `k-1` colluding peers
+//! still learn nothing about element contents, while each peer stores
+//! only `~n/P` of the index instead of a full replica.
+//!
+//! What changes relative to centralized Zerber (and is exercised in
+//! the tests):
+//!
+//! * **storage** drops from `1.5 n ×` per server to `1.5 n / P ×` per
+//!   peer in expectation,
+//! * **queries** are routed per posting list — a multi-term query may
+//!   touch many peers (the DHT trade-off),
+//! * **churn**: a joining peer takes over arcs of the ring; new
+//!   inserts route to it immediately, and the affected lists can be
+//!   migrated share-by-share without decryption (shares are opaque).
+
+pub mod placement;
+pub mod ring;
+
+pub use placement::{DhtIndex, DhtStats};
+pub use ring::{ConsistentHashRing, PeerId};

@@ -1,0 +1,277 @@
+//! Share placement and query routing over the ring.
+//!
+//! A [`DhtIndex`] owns one [`ShareStore`](zerber_server::ShareStore)
+//! per peer. Inserting an element routes its `n` shares to the `n`
+//! replica peers of the element's merged posting list; querying a list
+//! contacts any `k` of its replicas and reconstructs client-side,
+//! exactly like centralized Zerber — the sharing scheme, codec and
+//! merge plan are unchanged, only *placement* differs.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use zerber_core::{ElementCodec, ElementId, PlId, PostingElement};
+use zerber_field::lagrange_weights_at_zero;
+use zerber_index::{GroupId, TermId};
+use zerber_net::StoredShare;
+use zerber_server::ShareStore;
+use zerber_shamir::SharingScheme;
+
+use crate::ring::{ConsistentHashRing, PeerId};
+
+/// Aggregate placement statistics (the DHT-vs-replication comparison).
+#[derive(Debug, Clone)]
+pub struct DhtStats {
+    /// Elements stored per peer.
+    pub elements_per_peer: HashMap<PeerId, usize>,
+    /// Total element-shares stored across the DHT.
+    pub total_shares: usize,
+    /// Peers participating.
+    pub peers: usize,
+}
+
+/// A DHT-distributed r-confidential index.
+pub struct DhtIndex {
+    ring: ConsistentHashRing,
+    stores: HashMap<PeerId, ShareStore>,
+    scheme: SharingScheme,
+    codec: ElementCodec,
+    next_element: u64,
+}
+
+impl DhtIndex {
+    /// Creates a DHT index over `peers` peers with the given sharing
+    /// scheme (its `n` is the replication factor, its `k` the read
+    /// quorum).
+    ///
+    /// # Panics
+    /// Panics if there are fewer peers than `n`.
+    pub fn new(peers: u32, scheme: SharingScheme, codec: ElementCodec) -> Self {
+        assert!(
+            peers as usize >= scheme.server_count(),
+            "need at least n = {} peers",
+            scheme.server_count()
+        );
+        let mut ring = ConsistentHashRing::new(32);
+        let mut stores = HashMap::new();
+        for p in 0..peers {
+            ring.join(PeerId(p));
+            stores.insert(PeerId(p), ShareStore::new());
+        }
+        Self {
+            ring,
+            stores,
+            scheme,
+            codec,
+            next_element: 0,
+        }
+    }
+
+    /// The replica peers responsible for one posting list.
+    pub fn replicas_of(&self, pl: PlId) -> Vec<PeerId> {
+        self.ring
+            .replicas_for(pl.0 as u64, self.scheme.server_count())
+    }
+
+    /// Inserts one posting element: encodes, splits, and routes share
+    /// `i` to replica `i` of the element's list.
+    pub fn insert<R: Rng + ?Sized>(
+        &mut self,
+        pl: PlId,
+        element: PostingElement,
+        group: GroupId,
+        rng: &mut R,
+    ) -> ElementId {
+        let secret = self
+            .codec
+            .encode(element)
+            .expect("element fits the codec");
+        let shares = self.scheme.split(secret, rng);
+        let element_id = ElementId(self.next_element);
+        self.next_element += 1;
+        let replicas = self.replicas_of(pl);
+        for (replica, share) in replicas.iter().zip(&shares) {
+            self.stores[replica].insert_batch(&[(
+                pl,
+                StoredShare {
+                    element: element_id,
+                    group,
+                    share: share.y,
+                },
+            )]);
+        }
+        element_id
+    }
+
+    /// Fetches one merged posting list from `k` of its replicas and
+    /// reconstructs the elements that match `wanted` terms (client-side
+    /// false-positive filtering, as in Algorithm 2).
+    ///
+    /// Note: this prototype trusts peers to apply ACL filtering as in
+    /// centralized Zerber; the filter hook is the same
+    /// [`ShareStore::filtered`] the real server uses.
+    pub fn query(&self, pl: PlId, wanted: &[TermId]) -> Vec<PostingElement> {
+        let replicas = self.replicas_of(pl);
+        let k = self.scheme.threshold();
+        let chosen = &replicas[..k];
+
+        // Which scheme coordinate does each replica hold? Share i went
+        // to replica i, i.e. coordinate i of the scheme.
+        let coordinates: Vec<zerber_field::Fp> = (0..k)
+            .map(|i| self.scheme.coordinates()[i])
+            .collect();
+        let weights = lagrange_weights_at_zero(&coordinates);
+
+        let mut partial: HashMap<ElementId, (zerber_field::Fp, usize)> = HashMap::new();
+        for (replica_index, replica) in chosen.iter().enumerate() {
+            for share in self.stores[replica].filtered(pl, |_| true) {
+                let entry = partial
+                    .entry(share.element)
+                    .or_insert((zerber_field::Fp::ZERO, 0));
+                entry.0 += share.share * weights[replica_index];
+                entry.1 += 1;
+            }
+        }
+
+        let wanted: std::collections::HashSet<TermId> = wanted.iter().copied().collect();
+        partial
+            .into_values()
+            .filter(|&(_, contributions)| contributions == k)
+            .filter_map(|(sum, _)| self.codec.decode(sum).ok())
+            .filter(|element| wanted.contains(&element.term))
+            .collect()
+    }
+
+    /// Placement statistics.
+    pub fn stats(&self) -> DhtStats {
+        let elements_per_peer: HashMap<PeerId, usize> = self
+            .stores
+            .iter()
+            .map(|(&peer, store)| (peer, store.total_elements()))
+            .collect();
+        DhtStats {
+            total_shares: elements_per_peer.values().sum(),
+            peers: elements_per_peer.len(),
+            elements_per_peer,
+        }
+    }
+
+    /// A joining peer: extends the ring; subsequently inserted lists
+    /// may route to it. (Migration of existing arcs is share-by-share
+    /// opaque copying and is out of scope for the prototype.)
+    pub fn join(&mut self, peer: PeerId) -> bool {
+        if self.stores.contains_key(&peer) {
+            return false;
+        }
+        self.ring.join(peer);
+        self.stores.insert(peer, ShareStore::new());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zerber_index::DocId;
+
+    fn index(peers: u32) -> (DhtIndex, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+        (
+            DhtIndex::new(peers, scheme, ElementCodec::default()),
+            rng,
+        )
+    }
+
+    fn element(doc: u32, term: u32) -> PostingElement {
+        PostingElement {
+            doc: DocId(doc),
+            term: TermId(term),
+            tf_quantized: 100,
+        }
+    }
+
+    #[test]
+    fn insert_then_query_round_trips() {
+        let (mut dht, mut rng) = index(8);
+        dht.insert(PlId(5), element(1, 10), GroupId(0), &mut rng);
+        dht.insert(PlId(5), element(2, 10), GroupId(0), &mut rng);
+        dht.insert(PlId(5), element(3, 99), GroupId(0), &mut rng); // co-merged term
+        let results = dht.query(PlId(5), &[TermId(10)]);
+        let mut docs: Vec<u32> = results.iter().map(|e| e.doc.0).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![1, 2], "false positives filtered");
+    }
+
+    #[test]
+    fn shares_land_on_n_distinct_peers() {
+        let (mut dht, mut rng) = index(10);
+        dht.insert(PlId(7), element(1, 1), GroupId(0), &mut rng);
+        let stats = dht.stats();
+        let holders: Vec<_> = stats
+            .elements_per_peer
+            .iter()
+            .filter(|(_, &count)| count > 0)
+            .collect();
+        assert_eq!(holders.len(), 3, "n = 3 replicas hold one share each");
+        assert_eq!(stats.total_shares, 3);
+    }
+
+    #[test]
+    fn each_peer_stores_a_fraction_of_the_index() {
+        // The Section-3 contrast: centralized Zerber replicates the
+        // whole index on every server; the DHT spreads it.
+        let (mut dht, mut rng) = index(12);
+        let lists = 200u32;
+        for pl in 0..lists {
+            dht.insert(PlId(pl), element(pl, pl), GroupId(0), &mut rng);
+        }
+        let stats = dht.stats();
+        assert_eq!(stats.total_shares, 3 * lists as usize);
+        let max_per_peer = stats.elements_per_peer.values().max().copied().unwrap();
+        assert!(
+            max_per_peer < lists as usize,
+            "no peer holds a full replica ({max_per_peer} of {lists})"
+        );
+    }
+
+    #[test]
+    fn queries_touch_only_the_lists_replicas() {
+        let (mut dht, mut rng) = index(10);
+        dht.insert(PlId(1), element(1, 1), GroupId(0), &mut rng);
+        let replicas = dht.replicas_of(PlId(1));
+        assert_eq!(replicas.len(), 3);
+        // Elements are only on those peers.
+        for (peer, count) in dht.stats().elements_per_peer {
+            if count > 0 {
+                assert!(replicas.contains(&peer));
+            }
+        }
+    }
+
+    #[test]
+    fn joined_peer_receives_future_load() {
+        let (mut dht, mut rng) = index(4);
+        assert!(dht.join(PeerId(100)));
+        assert!(!dht.join(PeerId(100)));
+        for pl in 0..400u32 {
+            dht.insert(PlId(pl), element(pl, pl), GroupId(0), &mut rng);
+        }
+        let stats = dht.stats();
+        assert!(
+            stats.elements_per_peer[&PeerId(100)] > 0,
+            "new peer takes over part of the ring"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least n")]
+    fn too_few_peers_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
+        let _ = DhtIndex::new(2, scheme, ElementCodec::default());
+    }
+}

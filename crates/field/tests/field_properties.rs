@@ -1,0 +1,107 @@
+//! Property-based tests for the field axioms and interpolation
+//! identities that Shamir's scheme relies on.
+
+use proptest::prelude::*;
+use zerber_field::{
+    interpolate_at_zero, solve_vandermonde_gaussian, Fp, Polynomial, MODULUS,
+};
+
+fn arb_fp() -> impl Strategy<Value = Fp> {
+    (0..MODULUS).prop_map(Fp::from_canonical)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn nonzero_elements_have_inverses(a in (1..MODULUS).prop_map(Fp::from_canonical)) {
+        let inverse = a.inverse().unwrap();
+        prop_assert_eq!(a * inverse, Fp::ONE);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference(a in 0..MODULUS, b in 0..MODULUS) {
+        let expected = ((a as u128 * b as u128) % MODULUS as u128) as u64;
+        prop_assert_eq!((Fp::from_canonical(a) * Fp::from_canonical(b)).value(), expected);
+    }
+
+    #[test]
+    fn new_is_mod_reduction(raw in any::<u64>()) {
+        prop_assert_eq!(Fp::new(raw).value(), raw % MODULUS);
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation(
+        coefficients in prop::collection::vec(arb_fp(), 0..8),
+        x in arb_fp(),
+    ) {
+        let f = Polynomial::new(coefficients.clone());
+        let mut expected = Fp::ZERO;
+        let mut power = Fp::ONE;
+        for &c in &coefficients {
+            expected += c * power;
+            power *= x;
+        }
+        prop_assert_eq!(f.evaluate(x), expected);
+    }
+
+    #[test]
+    fn interpolation_inverts_evaluation(
+        secret in arb_fp(),
+        degree in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = Polynomial::random_with_constant(secret, degree, &mut rng);
+        let points: Vec<(Fp, Fp)> = (1..=(degree as u64 + 1))
+            .map(|x| (Fp::new(x * 1_000 + 7), f.evaluate(Fp::new(x * 1_000 + 7))))
+            .collect();
+        prop_assert_eq!(interpolate_at_zero(&points), secret);
+    }
+
+    #[test]
+    fn gaussian_and_lagrange_agree(
+        secret in arb_fp(),
+        degree in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = Polynomial::random_with_constant(secret, degree, &mut rng);
+        let xs: Vec<Fp> = (1..=(degree as u64 + 1)).map(|x| Fp::new(x * 31 + 5)).collect();
+        let ys: Vec<Fp> = xs.iter().map(|&x| f.evaluate(x)).collect();
+        let coefficients = solve_vandermonde_gaussian(&xs, &ys).unwrap();
+        let points: Vec<(Fp, Fp)> = xs.into_iter().zip(ys).collect();
+        prop_assert_eq!(coefficients[0], interpolate_at_zero(&points));
+        prop_assert_eq!(coefficients[0], secret);
+    }
+}

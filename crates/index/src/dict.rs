@@ -1,0 +1,107 @@
+//! Term dictionary: bidirectional interning between term strings and
+//! dense [`TermId`]s.
+//!
+//! The mapping table of Section 6 ("a publicly available mapping table
+//! that maps a term to the ID of its posting list") is keyed by interned
+//! term ids, so every component of the system shares one dictionary.
+
+use std::collections::HashMap;
+
+use crate::types::TermId;
+
+/// Bidirectional term ↔ id map with dense, stable ids.
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    by_term: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its stable id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.by_id.len() as u32);
+        self.by_term.insert(term.to_owned(), id);
+        self.by_id.push(term.to_owned());
+        id
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Resolves an id back to its term string.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True iff no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, term)| (TermId(i as u32), term.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut dict = TermDict::new();
+        let a = dict.intern("martha");
+        let b = dict.intern("imclone");
+        let a_again = dict.intern("martha");
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut dict = TermDict::new();
+        for i in 0..100u32 {
+            let id = dict.intern(&format!("term{i}"));
+            assert_eq!(id, TermId(i));
+        }
+        assert_eq!(dict.term(TermId(42)), Some("term42"));
+        assert_eq!(dict.get("term99"), Some(TermId(99)));
+    }
+
+    #[test]
+    fn unknown_lookups_return_none() {
+        let dict = TermDict::new();
+        assert!(dict.get("missing").is_none());
+        assert!(dict.term(TermId(0)).is_none());
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut dict = TermDict::new();
+        dict.intern("b");
+        dict.intern("a");
+        let collected: Vec<_> = dict.iter().map(|(id, t)| (id.0, t.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "b".to_owned()), (1, "a".to_owned())]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The ordinary inverted index (paper Figure 1).
+//!
+//! This is both a substrate of Zerber (each document server "maintains
+//! an inverted index (also useful for local search) of its local shared
+//! documents", Section 7.2) and the baseline against which storage,
+//! bandwidth and query costs are compared throughout Section 7.
+
+use std::collections::HashMap;
+
+use crate::doc::Document;
+use crate::postings::{Posting, PostingList};
+use crate::stats::CorpusStats;
+use crate::types::{DocId, GroupId, TermId};
+
+/// An in-memory inverted index over processed documents.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: Vec<PostingList>,
+    documents: HashMap<DocId, DocMeta>,
+}
+
+#[derive(Debug, Clone)]
+struct DocMeta {
+    group: GroupId,
+    length: u32,
+    terms: Vec<TermId>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or re-inserts) a document. Re-inserting a document id
+    /// first removes its previous postings, so the index always reflects
+    /// "only the most recent copy of the document" (Section 5.4.1,
+    /// footnote 2).
+    pub fn insert(&mut self, doc: &Document) {
+        if self.documents.contains_key(&doc.id) {
+            self.remove(doc.id);
+        }
+        for &(term, count) in &doc.terms {
+            let slot = term.0 as usize;
+            if slot >= self.postings.len() {
+                self.postings.resize_with(slot + 1, PostingList::new);
+            }
+            self.postings[slot].upsert(Posting {
+                doc: doc.id,
+                count,
+                doc_length: doc.length,
+            });
+        }
+        self.documents.insert(
+            doc.id,
+            DocMeta {
+                group: doc.group,
+                length: doc.length,
+                terms: doc.terms.iter().map(|&(t, _)| t).collect(),
+            },
+        );
+    }
+
+    /// Removes a document and all its postings. Returns true iff the
+    /// document was present.
+    pub fn remove(&mut self, doc: DocId) -> bool {
+        let Some(meta) = self.documents.remove(&doc) else {
+            return false;
+        };
+        for term in meta.terms {
+            if let Some(list) = self.postings.get_mut(term.0 as usize) {
+                list.remove(doc);
+            }
+        }
+        true
+    }
+
+    /// The posting list for a term (empty if the term is unknown).
+    pub fn posting_list(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.0 as usize)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of a term: the length of its posting list.
+    pub fn document_frequency(&self, term: TermId) -> usize {
+        self.posting_list(term).len()
+    }
+
+    /// Number of indexed documents.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of term slots (upper bound on distinct terms seen).
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of posting elements — the index size driver for the
+    /// storage-overhead analysis of Section 7.2.
+    pub fn total_postings(&self) -> usize {
+        self.postings.iter().map(PostingList::len).sum()
+    }
+
+    /// The owning group of a document, if indexed.
+    pub fn document_group(&self, doc: DocId) -> Option<GroupId> {
+        self.documents.get(&doc).map(|m| m.group)
+    }
+
+    /// The token length of a document, if indexed.
+    pub fn document_length(&self, doc: DocId) -> Option<u32> {
+        self.documents.get(&doc).map(|m| m.length)
+    }
+
+    /// Iterates all indexed document ids (arbitrary order).
+    pub fn documents(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.documents.keys().copied()
+    }
+
+    /// Snapshot of per-term document frequencies, indexed by term id.
+    pub fn document_frequencies(&self) -> Vec<u64> {
+        self.postings.iter().map(|l| l.len() as u64).collect()
+    }
+
+    /// Computes corpus statistics (document frequencies and the
+    /// normalized term probabilities `p_t` of formula (2)).
+    pub fn statistics(&self) -> CorpusStats {
+        CorpusStats::from_document_frequencies(self.document_frequencies())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, group: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(group),
+            terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+        )
+    }
+
+    #[test]
+    fn figure_1_example() {
+        // Figure 1: three posting lists, nine elements overall is the
+        // illustration; here: Martha -> {d1}, ImClone -> {d1}, Layoff
+        // -> {d2, d3}.
+        let mut index = InvertedIndex::new();
+        index.insert(&doc(1, 0, &[(0, 1), (1, 2)]));
+        index.insert(&doc(2, 0, &[(2, 1)]));
+        index.insert(&doc(3, 0, &[(2, 4)]));
+        assert_eq!(index.document_frequency(TermId(0)), 1);
+        assert_eq!(index.document_frequency(TermId(2)), 2);
+        assert_eq!(index.total_postings(), 4);
+        assert_eq!(index.document_count(), 3);
+    }
+
+    #[test]
+    fn reinsert_replaces_old_version() {
+        let mut index = InvertedIndex::new();
+        index.insert(&doc(1, 0, &[(0, 1), (1, 1)]));
+        // New version drops term 1, adds term 2.
+        index.insert(&doc(1, 0, &[(0, 3), (2, 1)]));
+        assert_eq!(index.document_frequency(TermId(1)), 0);
+        assert_eq!(index.document_frequency(TermId(2)), 1);
+        assert_eq!(index.posting_list(TermId(0))[0].count, 3);
+        assert_eq!(index.document_count(), 1);
+    }
+
+    #[test]
+    fn remove_clears_all_postings() {
+        let mut index = InvertedIndex::new();
+        index.insert(&doc(1, 0, &[(0, 1), (1, 1), (2, 1)]));
+        assert!(index.remove(DocId(1)));
+        assert!(!index.remove(DocId(1)));
+        assert_eq!(index.total_postings(), 0);
+        assert_eq!(index.document_count(), 0);
+    }
+
+    #[test]
+    fn unknown_term_has_empty_list() {
+        let index = InvertedIndex::new();
+        assert!(index.posting_list(TermId(7)).is_empty());
+        assert_eq!(index.document_frequency(TermId(7)), 0);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut index = InvertedIndex::new();
+        index.insert(&doc(5, 3, &[(0, 2), (1, 3)]));
+        assert_eq!(index.document_group(DocId(5)), Some(GroupId(3)));
+        assert_eq!(index.document_length(DocId(5)), Some(5));
+        assert_eq!(index.document_group(DocId(6)), None);
+    }
+
+    #[test]
+    fn statistics_reflect_document_frequencies() {
+        let mut index = InvertedIndex::new();
+        index.insert(&doc(1, 0, &[(0, 1), (1, 1)]));
+        index.insert(&doc(2, 0, &[(0, 1)]));
+        let stats = index.statistics();
+        assert_eq!(stats.document_frequency(TermId(0)), 2);
+        assert_eq!(stats.document_frequency(TermId(1)), 1);
+        // p_0 = 2/3, p_1 = 1/3 (formula 2 normalizes by the sum).
+        assert!((stats.probability(TermId(0)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

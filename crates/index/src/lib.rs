@@ -1,0 +1,46 @@
+//! Inverted-index substrate for the Zerber reproduction.
+//!
+//! Zerber (EDBT'08) is built *on top of* a conventional inverted index:
+//! "An inverted index is a sequence of posting lists, each of which
+//! contains the IDs of all documents containing one particular term"
+//! (Figure 1). This crate provides that substrate plus everything the
+//! evaluation section needs around it:
+//!
+//! * [`tokenizer`] / [`dict`] — document parsing and term interning,
+//! * [`doc`] / [`postings`] / [`inverted`] — documents, posting lists
+//!   with term frequencies, and the index itself,
+//! * [`stats`] — corpus statistics: document frequencies and the
+//!   normalized term-occurrence probability `p_t` of formula (2),
+//! * [`cost`] — the disk cost model of Section 7.4 and the workload
+//!   cost `Q` of formula (6),
+//! * [`topk`] — TF-IDF scoring and the Fagin-style Threshold Algorithm
+//!   used for client-side ranking (Section 5.4.2),
+//! * [`bloom`] — a Bloom filter, the substrate of the μ-Serv baseline
+//!   from related work [3],
+//! * [`baseline`] — the "ideal" trusted central index of Section 2: an
+//!   ordinary inverted index with an access-control check on the ranked
+//!   result list.
+
+pub mod baseline;
+pub mod bloom;
+pub mod cost;
+pub mod dict;
+pub mod doc;
+pub mod inverted;
+pub mod postings;
+pub mod stats;
+pub mod tokenizer;
+pub mod topk;
+pub mod types;
+
+pub use baseline::CentralIndex;
+pub use bloom::BloomFilter;
+pub use cost::{workload_cost, QueryWorkload};
+pub use dict::TermDict;
+pub use doc::{Document, RawDocument};
+pub use inverted::InvertedIndex;
+pub use postings::{Posting, PostingList};
+pub use stats::CorpusStats;
+pub use tokenizer::Tokenizer;
+pub use topk::{threshold_topk, RankedDoc, ScoredList};
+pub use types::{DocId, GroupId, TermId, UserId};

@@ -1,0 +1,153 @@
+//! Posting lists: the building block of the inverted index (Figure 1).
+
+use crate::types::DocId;
+
+/// One posting-list element of the *plain* (unencrypted) index: a
+/// document id plus the raw term occurrence count. The Zerber element
+/// additionally carries the term id and a global element id and is
+/// secret-shared — see `zerber-core::element`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The containing document.
+    pub doc: DocId,
+    /// Raw occurrence count of the term in the document.
+    pub count: u32,
+    /// Document length (token count) — kept alongside so the
+    /// normalized term frequency can be computed without a second
+    /// lookup when ranking.
+    pub doc_length: u32,
+}
+
+impl Posting {
+    /// Normalized term frequency `count / doc_length` (Section 1: "a
+    /// count of the number of times that term appears in that document,
+    /// divided by the document's length").
+    pub fn term_frequency(&self) -> f64 {
+        if self.doc_length == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.doc_length as f64
+        }
+    }
+}
+
+/// A posting list: all documents containing one term, kept sorted by
+/// document id for O(log n) membership checks and deterministic
+/// iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    entries: Vec<Posting>,
+}
+
+impl PostingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the posting for `posting.doc`.
+    pub fn upsert(&mut self, posting: Posting) {
+        match self
+            .entries
+            .binary_search_by_key(&posting.doc, |p| p.doc)
+        {
+            Ok(i) => self.entries[i] = posting,
+            Err(i) => self.entries.insert(i, posting),
+        }
+    }
+
+    /// Removes the posting for `doc`, returning it if present.
+    pub fn remove(&mut self, doc: DocId) -> Option<Posting> {
+        match self.entries.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Looks up the posting for `doc`.
+    pub fn get(&self, doc: DocId) -> Option<Posting> {
+        self.entries
+            .binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| self.entries[i])
+    }
+
+    /// Document frequency: "the length of a term's posting list is its
+    /// (global) document frequency" (Section 4).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no document contains the term.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates postings in document-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.entries.iter()
+    }
+
+    /// All postings as a slice.
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posting(doc: u32, count: u32) -> Posting {
+        Posting {
+            doc: DocId(doc),
+            count,
+            doc_length: 100,
+        }
+    }
+
+    #[test]
+    fn upsert_keeps_sorted_order() {
+        let mut list = PostingList::new();
+        for doc in [5u32, 1, 3, 2, 4] {
+            list.upsert(posting(doc, doc));
+        }
+        let docs: Vec<u32> = list.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn upsert_replaces_existing_doc() {
+        let mut list = PostingList::new();
+        list.upsert(posting(1, 2));
+        list.upsert(posting(1, 9));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get(DocId(1)).unwrap().count, 9);
+    }
+
+    #[test]
+    fn remove_returns_the_posting() {
+        let mut list = PostingList::new();
+        list.upsert(posting(1, 2));
+        assert_eq!(list.remove(DocId(1)).unwrap().count, 2);
+        assert!(list.remove(DocId(1)).is_none());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn term_frequency_normalizes_by_length() {
+        let p = Posting {
+            doc: DocId(1),
+            count: 5,
+            doc_length: 50,
+        };
+        assert!((p.term_frequency() - 0.1).abs() < 1e-12);
+        let zero = Posting {
+            doc: DocId(1),
+            count: 5,
+            doc_length: 0,
+        };
+        assert_eq!(zero.term_frequency(), 0.0);
+    }
+}

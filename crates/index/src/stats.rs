@@ -1,0 +1,171 @@
+//! Corpus statistics: document frequencies and term-occurrence
+//! probabilities.
+//!
+//! Formula (2) of the paper: the probability of occurrence of term `t`
+//! in corpus `D` is its *normalized document frequency*
+//! `p_t = n_d(t) / Σ_i n_d(t_i)`, where `n_d(t)` is the number of
+//! documents containing `t`. These probabilities drive every merging
+//! heuristic and the r-confidentiality analysis.
+
+use crate::types::TermId;
+
+/// Immutable snapshot of per-term statistics.
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    document_frequencies: Vec<u64>,
+    total: u64,
+}
+
+impl CorpusStats {
+    /// Builds statistics from per-term document frequencies (indexed by
+    /// term id).
+    pub fn from_document_frequencies(document_frequencies: Vec<u64>) -> Self {
+        let total = document_frequencies.iter().sum();
+        Self {
+            document_frequencies,
+            total,
+        }
+    }
+
+    /// Number of term slots.
+    pub fn term_count(&self) -> usize {
+        self.document_frequencies.len()
+    }
+
+    /// Document frequency of one term (0 for unknown ids).
+    pub fn document_frequency(&self, term: TermId) -> u64 {
+        self.document_frequencies
+            .get(term.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All document frequencies, term-id indexed.
+    pub fn document_frequencies(&self) -> &[u64] {
+        &self.document_frequencies
+    }
+
+    /// Sum of all document frequencies (the normalization denominator
+    /// of formula (2)).
+    pub fn total_document_frequency(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized occurrence probability `p_t` — formula (2).
+    pub fn probability(&self, term: TermId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.document_frequency(term) as f64 / self.total as f64
+        }
+    }
+
+    /// All probabilities, term-id indexed.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.document_frequencies.len()];
+        }
+        self.document_frequencies
+            .iter()
+            .map(|&df| df as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Term ids sorted by descending document frequency (ties by id for
+    /// determinism) — the input order of all three merging heuristics
+    /// ("sort terms into descending order, based on p_t").
+    pub fn terms_by_descending_frequency(&self) -> Vec<TermId> {
+        let mut terms: Vec<TermId> = (0..self.document_frequencies.len() as u32)
+            .map(TermId)
+            .collect();
+        terms.sort_by(|&a, &b| {
+            self.document_frequency(b)
+                .cmp(&self.document_frequency(a))
+                .then(a.0.cmp(&b.0))
+        });
+        terms
+    }
+
+    /// Least-squares estimate of the Zipf exponent `s` from the ranked
+    /// non-zero frequencies (log-log regression). Used to verify that
+    /// the synthetic corpora match the paper's "document frequency
+    /// distribution in real documents is usually Zipfian" (Section 6,
+    /// Figure 7).
+    pub fn zipf_exponent_estimate(&self) -> Option<f64> {
+        let mut frequencies: Vec<u64> = self
+            .document_frequencies
+            .iter()
+            .copied()
+            .filter(|&df| df > 0)
+            .collect();
+        if frequencies.len() < 3 {
+            return None;
+        }
+        frequencies.sort_unstable_by(|a, b| b.cmp(a));
+        let n = frequencies.len() as f64;
+        let (mut sum_x, mut sum_y, mut sum_xx, mut sum_xy) = (0.0, 0.0, 0.0, 0.0);
+        for (rank, &frequency) in frequencies.iter().enumerate() {
+            let x = ((rank + 1) as f64).ln();
+            let y = (frequency as f64).ln();
+            sum_x += x;
+            sum_y += y;
+            sum_xx += x * x;
+            sum_xy += x * y;
+        }
+        let denominator = n * sum_xx - sum_x * sum_x;
+        if denominator.abs() < f64::EPSILON {
+            return None;
+        }
+        let slope = (n * sum_xy - sum_x * sum_y) / denominator;
+        Some(-slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let stats = CorpusStats::from_document_frequencies(vec![10, 20, 30, 40]);
+        let sum: f64 = stats.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((stats.probability(TermId(3)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_has_zero_probabilities() {
+        let stats = CorpusStats::from_document_frequencies(vec![0, 0]);
+        assert_eq!(stats.probability(TermId(0)), 0.0);
+        assert_eq!(stats.probabilities(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unknown_term_is_zero() {
+        let stats = CorpusStats::from_document_frequencies(vec![5]);
+        assert_eq!(stats.document_frequency(TermId(9)), 0);
+        assert_eq!(stats.probability(TermId(9)), 0.0);
+    }
+
+    #[test]
+    fn descending_sort_breaks_ties_by_id() {
+        let stats = CorpusStats::from_document_frequencies(vec![5, 9, 5, 12]);
+        let order = stats.terms_by_descending_frequency();
+        assert_eq!(order, vec![TermId(3), TermId(1), TermId(0), TermId(2)]);
+    }
+
+    #[test]
+    fn zipf_exponent_recovers_synthetic_slope() {
+        // df(rank) = C / rank^1.0 exactly.
+        let frequencies: Vec<u64> = (1..=500u64).map(|rank| 1_000_000 / rank).collect();
+        let stats = CorpusStats::from_document_frequencies(frequencies);
+        let s = stats.zipf_exponent_estimate().unwrap();
+        assert!((s - 1.0).abs() < 0.05, "estimated exponent {s}");
+    }
+
+    #[test]
+    fn zipf_estimate_needs_enough_data() {
+        let stats = CorpusStats::from_document_frequencies(vec![3, 1]);
+        assert!(stats.zipf_exponent_estimate().is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Document tokenization.
+//!
+//! "To index a document, its owner first parses the document and
+//! computes its elements" (Section 5.1). The tokenizer lower-cases,
+//! splits on non-alphanumeric characters and optionally drops very
+//! short tokens. Stop-word removal is *off* by default because the
+//! paper explicitly kept stop words: "we did not remove stop words"
+//! (Section 7.5) — the most frequent terms are exactly the ones whose
+//! protection/merging trade-off the evaluation studies.
+
+use std::collections::HashSet;
+
+/// Configurable tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    min_token_len: usize,
+    max_token_len: usize,
+    stopwords: HashSet<String>,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            min_token_len: 1,
+            max_token_len: 64,
+            stopwords: HashSet::new(),
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer with default settings (keep everything, like the
+    /// paper's evaluation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops tokens shorter than `len` characters.
+    pub fn with_min_token_len(mut self, len: usize) -> Self {
+        self.min_token_len = len;
+        self
+    }
+
+    /// Truncates tokens longer than `len` characters (defensive bound
+    /// against pathological inputs).
+    pub fn with_max_token_len(mut self, len: usize) -> Self {
+        self.max_token_len = len.max(1);
+        self
+    }
+
+    /// Adds a stop-word list (lower-cased on insertion).
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.stopwords
+            .extend(words.into_iter().map(|w| w.as_ref().to_lowercase()));
+        self
+    }
+
+    /// Tokenizes `text` into lower-case terms.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lower in ch.to_lowercase() {
+                    current.push(lower);
+                }
+            } else if !current.is_empty() {
+                self.flush(&mut current, &mut tokens);
+            }
+        }
+        if !current.is_empty() {
+            self.flush(&mut current, &mut tokens);
+        }
+        tokens
+    }
+
+    fn flush(&self, current: &mut String, tokens: &mut Vec<String>) {
+        if current.chars().count() >= self.min_token_len && !self.stopwords.contains(current) {
+            let mut token = std::mem::take(current);
+            if token.chars().count() > self.max_token_len {
+                token = token.chars().take(self.max_token_len).collect();
+            }
+            tokens.push(token);
+        } else {
+            current.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let tokenizer = Tokenizer::new();
+        assert_eq!(
+            tokenizer.tokenize("Martha, ImClone; layoff!"),
+            vec!["martha", "imclone", "layoff"]
+        );
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        let tokenizer = Tokenizer::new();
+        assert_eq!(tokenizer.tokenize("Цербер İstanbul"), vec!["цербер", "i̇stanbul"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        let tokenizer = Tokenizer::new();
+        assert_eq!(
+            tokenizer.tokenize("doc1.eml HTTP 1.0"),
+            vec!["doc1", "eml", "http", "1", "0"]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        let tokenizer = Tokenizer::new();
+        assert!(tokenizer.tokenize("").is_empty());
+        assert!(tokenizer.tokenize("  ,;--  ").is_empty());
+    }
+
+    #[test]
+    fn min_len_filter_applies() {
+        let tokenizer = Tokenizer::new().with_min_token_len(3);
+        assert_eq!(
+            tokenizer.tokenize("an ox ate the hay"),
+            vec!["ate", "the", "hay"]
+        );
+    }
+
+    #[test]
+    fn stopwords_are_dropped_case_insensitively() {
+        let tokenizer = Tokenizer::new().with_stopwords(["THE", "a"]);
+        assert_eq!(
+            tokenizer.tokenize("The CEO saw a buyout"),
+            vec!["ceo", "saw", "buyout"]
+        );
+    }
+
+    #[test]
+    fn overlong_tokens_are_truncated() {
+        let tokenizer = Tokenizer::new().with_max_token_len(4);
+        assert_eq!(tokenizer.tokenize("hesselhofer"), vec!["hess"]);
+    }
+}

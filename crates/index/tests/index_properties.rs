@@ -1,0 +1,138 @@
+//! Property tests for the inverted-index substrate: index/document
+//! round-trips, statistics invariants, and equivalence of the
+//! Threshold Algorithm with exhaustive ranking.
+
+use proptest::prelude::*;
+use zerber_index::topk::naive_topk;
+use zerber_index::{
+    threshold_topk, CorpusStats, Document, DocId, GroupId, InvertedIndex, ScoredList, TermId,
+};
+
+/// A random document over a small term universe.
+fn arb_document(id: u32) -> impl Strategy<Value = Document> {
+    prop::collection::btree_map(0u32..50, 1u32..20, 0..15).prop_map(move |terms| {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(0),
+            terms.into_iter().map(|(t, c)| (TermId(t), c)).collect(),
+        )
+    })
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    (1u32..30).prop_flat_map(|n| {
+        (0..n)
+            .map(arb_document)
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Inserting then removing every document leaves an empty index.
+    #[test]
+    fn insert_remove_round_trip(corpus in arb_corpus()) {
+        let mut index = InvertedIndex::new();
+        for doc in &corpus {
+            index.insert(doc);
+        }
+        for doc in &corpus {
+            prop_assert!(index.remove(doc.id));
+        }
+        prop_assert_eq!(index.total_postings(), 0);
+        prop_assert_eq!(index.document_count(), 0);
+    }
+
+    /// Document frequency of every term equals the number of documents
+    /// containing it.
+    #[test]
+    fn document_frequencies_are_exact(corpus in arb_corpus()) {
+        let mut index = InvertedIndex::new();
+        for doc in &corpus {
+            index.insert(doc);
+        }
+        for t in 0u32..50 {
+            let expected = corpus
+                .iter()
+                .filter(|d| d.term_count(TermId(t)) > 0)
+                .count();
+            prop_assert_eq!(index.document_frequency(TermId(t)), expected);
+        }
+    }
+
+    /// Total postings equal the sum of distinct terms over documents.
+    #[test]
+    fn total_postings_match(corpus in arb_corpus()) {
+        let mut index = InvertedIndex::new();
+        for doc in &corpus {
+            index.insert(doc);
+        }
+        let expected: usize = corpus.iter().map(Document::distinct_terms).sum();
+        prop_assert_eq!(index.total_postings(), expected);
+    }
+
+    /// Statistics probabilities are a distribution (when non-empty).
+    #[test]
+    fn probabilities_form_distribution(corpus in arb_corpus()) {
+        let mut index = InvertedIndex::new();
+        for doc in &corpus {
+            index.insert(doc);
+        }
+        let stats = index.statistics();
+        let sum: f64 = stats.probabilities().iter().sum();
+        if stats.total_document_frequency() > 0 {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    /// The merging heuristics rely on descending frequency order being
+    /// a permutation of all terms.
+    #[test]
+    fn frequency_order_is_permutation(dfs in prop::collection::vec(0u64..100, 1..60)) {
+        let stats = CorpusStats::from_document_frequencies(dfs.clone());
+        let order = stats.terms_by_descending_frequency();
+        prop_assert_eq!(order.len(), dfs.len());
+        let mut seen: Vec<bool> = vec![false; dfs.len()];
+        for t in &order {
+            prop_assert!(!seen[t.0 as usize]);
+            seen[t.0 as usize] = true;
+        }
+        for window in order.windows(2) {
+            prop_assert!(
+                stats.document_frequency(window[0]) >= stats.document_frequency(window[1])
+            );
+        }
+    }
+
+    /// Threshold Algorithm == exhaustive ranking, for random score
+    /// lists (the paper's client-side top-K processing must be exact).
+    #[test]
+    fn threshold_topk_equals_naive(
+        lists in prop::collection::vec(
+            prop::collection::vec((0u32..40, 0.0f64..10.0), 0..30),
+            1..5,
+        ),
+        k in 1usize..12,
+    ) {
+        // Deduplicate docs within a list (ScoredList assumes one entry
+        // per doc per list).
+        let lists: Vec<ScoredList> = lists
+            .into_iter()
+            .map(|entries| {
+                let mut map = std::collections::HashMap::new();
+                for (d, s) in entries {
+                    map.insert(DocId(d), s);
+                }
+                ScoredList::new(map.into_iter().collect())
+            })
+            .collect();
+        let fast = threshold_topk(&lists, k);
+        let slow = naive_topk(&lists, k);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            // Scores must agree exactly; docs may differ only on ties.
+            prop_assert!((f.score - s.score).abs() < 1e-9);
+        }
+    }
+}

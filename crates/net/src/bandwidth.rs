@@ -1,0 +1,178 @@
+//! Traffic accounting and link models.
+//!
+//! All Zerber traffic flows through a [`TrafficMeter`]; the experiments
+//! read per-link byte totals from it and convert them to transfer
+//! times with the paper's link speeds (55 Mb/s WLAN for users, 100
+//! Mb/s LAN for servers — Section 7.3).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// A participant in the simulated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// A querying user's machine.
+    User(u32),
+    /// A document owner's machine (also serves snippets).
+    Owner(u32),
+    /// One of the n index servers.
+    IndexServer(u32),
+}
+
+/// A network link's nominal capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Capacity in megabits per second.
+    pub megabits_per_second: f64,
+}
+
+impl LinkSpec {
+    /// The paper's user link: 55 Mb/s wireless LAN.
+    pub const WLAN_55: LinkSpec = LinkSpec {
+        megabits_per_second: 55.0,
+    };
+    /// The paper's server link: 100 Mb/s LAN.
+    pub const LAN_100: LinkSpec = LinkSpec {
+        megabits_per_second: 100.0,
+    };
+
+    /// Time to move `bytes` over this link, in milliseconds.
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        let bits = bytes as f64 * 8.0;
+        bits / (self.megabits_per_second * 1_000_000.0) * 1_000.0
+    }
+}
+
+/// Thread-safe per-link byte accounting.
+#[derive(Debug, Default)]
+pub struct TrafficMeter {
+    links: Mutex<HashMap<(NodeId, NodeId), u64>>,
+}
+
+impl TrafficMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` sent `from → to`.
+    pub fn record(&self, from: NodeId, to: NodeId, bytes: usize) {
+        *self.links.lock().entry((from, to)).or_insert(0) += bytes as u64;
+    }
+
+    /// Total bytes sent over one directed link.
+    pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.links.lock().get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Total bytes sent by a node.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.links
+            .lock()
+            .iter()
+            .filter(|((from, _), _)| *from == node)
+            .map(|(_, &bytes)| bytes)
+            .sum()
+    }
+
+    /// Total bytes received by a node.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.links
+            .lock()
+            .iter()
+            .filter(|((_, to), _)| *to == node)
+            .map(|(_, &bytes)| bytes)
+            .sum()
+    }
+
+    /// Grand total across every link.
+    pub fn total(&self) -> u64 {
+        self.links.lock().values().sum()
+    }
+
+    /// Total bytes that crossed links matching a predicate (e.g. all
+    /// traffic into index servers).
+    pub fn total_matching<F>(&self, mut predicate: F) -> u64
+    where
+        F: FnMut(NodeId, NodeId) -> bool,
+    {
+        self.links
+            .lock()
+            .iter()
+            .filter(|((from, to), _)| predicate(*from, *to))
+            .map(|(_, &bytes)| bytes)
+            .sum()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        self.links.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_link() {
+        let meter = TrafficMeter::new();
+        let user = NodeId::User(1);
+        let server = NodeId::IndexServer(0);
+        meter.record(user, server, 100);
+        meter.record(user, server, 50);
+        meter.record(server, user, 2_000);
+        assert_eq!(meter.link_bytes(user, server), 150);
+        assert_eq!(meter.link_bytes(server, user), 2_000);
+        assert_eq!(meter.total(), 2_150);
+    }
+
+    #[test]
+    fn per_node_aggregates() {
+        let meter = TrafficMeter::new();
+        let user = NodeId::User(1);
+        meter.record(user, NodeId::IndexServer(0), 10);
+        meter.record(user, NodeId::IndexServer(1), 20);
+        meter.record(NodeId::IndexServer(0), user, 100);
+        assert_eq!(meter.sent_by(user), 30);
+        assert_eq!(meter.received_by(user), 100);
+        assert_eq!(meter.received_by(NodeId::IndexServer(1)), 20);
+    }
+
+    #[test]
+    fn predicate_totals() {
+        let meter = TrafficMeter::new();
+        meter.record(NodeId::Owner(0), NodeId::IndexServer(0), 10);
+        meter.record(NodeId::Owner(0), NodeId::IndexServer(1), 10);
+        meter.record(NodeId::User(0), NodeId::Owner(0), 5);
+        let into_servers =
+            meter.total_matching(|_, to| matches!(to, NodeId::IndexServer(_)));
+        assert_eq!(into_servers, 20);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let meter = TrafficMeter::new();
+        meter.record(NodeId::User(0), NodeId::User(1), 5);
+        meter.reset();
+        assert_eq!(meter.total(), 0);
+    }
+
+    #[test]
+    fn transfer_times_match_link_speeds() {
+        // 21.5 KB per query-term response over 55 Mb/s WLAN ≈ 3.2 ms
+        // (the paper derives ~35 queries/second/user from ~2.45 terms
+        // per query).
+        let bytes = 21_500;
+        let ms = LinkSpec::WLAN_55.transfer_ms(bytes);
+        assert!((ms - 3.127).abs() < 0.1, "got {ms} ms");
+        // The LAN is faster.
+        assert!(LinkSpec::LAN_100.transfer_ms(bytes) < ms);
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        assert_eq!(LinkSpec::WLAN_55.transfer_ms(0), 0.0);
+    }
+}

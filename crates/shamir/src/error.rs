@@ -1,0 +1,54 @@
+//! Error type for secret-sharing operations.
+
+use std::fmt;
+
+/// Errors surfaced by splitting, reconstruction and refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShamirError {
+    /// `k` must satisfy `1 <= k <= n`.
+    InvalidThreshold {
+        /// Requested threshold.
+        k: usize,
+        /// Number of servers.
+        n: usize,
+    },
+    /// Reconstruction was attempted with fewer than `k` shares.
+    NotEnoughShares {
+        /// Threshold `k`.
+        needed: usize,
+        /// Shares supplied.
+        got: usize,
+    },
+    /// Two supplied shares carry the same x-coordinate.
+    DuplicateShare,
+    /// A share's x-coordinate does not belong to the scheme's server set.
+    UnknownCoordinate,
+    /// Server x-coordinates must be distinct and non-zero (a zero
+    /// coordinate would hand that server the raw secret).
+    InvalidCoordinates,
+    /// The secret does not fit in the field (must be `< p`).
+    SecretOutOfRange,
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShamirError::InvalidThreshold { k, n } => {
+                write!(f, "invalid threshold: k = {k} must be in 1..={n}")
+            }
+            ShamirError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: need {needed}, got {got}")
+            }
+            ShamirError::DuplicateShare => write!(f, "duplicate share x-coordinate"),
+            ShamirError::UnknownCoordinate => {
+                write!(f, "share x-coordinate not in the scheme's server set")
+            }
+            ShamirError::InvalidCoordinates => {
+                write!(f, "server x-coordinates must be distinct and non-zero")
+            }
+            ShamirError::SecretOutOfRange => write!(f, "secret does not fit in Z_p"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}

@@ -1,0 +1,137 @@
+//! Proactive share refresh (Herzberg et al. [21], cited in Section 5.1).
+//!
+//! "If an adversary learns some of the shares, proactive sharing
+//! techniques can be used to prevent the adversary from getting k
+//! shares. With this technique, the shares are updated so that those
+//! she already knows become useless."
+//!
+//! A refresh round samples a random polynomial `δ(x)` of the scheme
+//! degree with `δ(0) = 0` and sends `δ(x_i)` to server `i`, which adds
+//! it to every stored y-share. The shared secret (the constant term) is
+//! unchanged, but any pre-refresh share becomes statistically
+//! independent of the post-refresh sharing, so old leaked shares cannot
+//! be combined with new ones.
+
+use rand::Rng;
+
+use zerber_field::{Fp, Polynomial};
+
+use crate::scheme::{ServerId, Share, SharingScheme};
+
+/// One proactive refresh round: per-server additive deltas.
+#[derive(Debug, Clone)]
+pub struct RefreshRound {
+    deltas: Vec<Fp>,
+}
+
+impl RefreshRound {
+    /// Samples a refresh round for the given scheme.
+    pub fn generate<R: Rng + ?Sized>(scheme: &SharingScheme, rng: &mut R) -> Self {
+        let delta_polynomial = Polynomial::random_zero_constant(scheme.threshold() - 1, rng);
+        let deltas = scheme
+            .coordinates()
+            .iter()
+            .map(|&x| delta_polynomial.evaluate(x))
+            .collect();
+        Self { deltas }
+    }
+
+    /// The additive delta for one server, or `None` for an unknown id.
+    pub fn delta_for(&self, server: ServerId) -> Option<Fp> {
+        self.deltas.get(server.index()).copied()
+    }
+
+    /// Applies the round to one share held by `server`.
+    pub fn apply(&self, server: ServerId, share: Share) -> Share {
+        let delta = self
+            .delta_for(server)
+            .expect("refresh round covers every server");
+        Share {
+            x: share.x,
+            y: share.y + delta,
+        }
+    }
+
+    /// Applies the round in place to a server's whole share column.
+    pub fn apply_all(&self, server: ServerId, ys: &mut [Fp]) {
+        let delta = self
+            .delta_for(server)
+            .expect("refresh round covers every server");
+        for y in ys {
+            *y += delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scheme() -> SharingScheme {
+        SharingScheme::with_coordinates(
+            2,
+            vec![Fp::new(3), Fp::new(5), Fp::new(8)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn refresh_preserves_secret() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let scheme = scheme();
+        let secret = Fp::new(600_613);
+        let shares = scheme.split(secret, &mut rng);
+        let round = RefreshRound::generate(&scheme, &mut rng);
+        let refreshed: Vec<Share> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| round.apply(ServerId(i as u32), s))
+            .collect();
+        assert_eq!(scheme.reconstruct(&refreshed[..2]).unwrap(), secret);
+        assert_eq!(scheme.reconstruct(&refreshed[1..]).unwrap(), secret);
+    }
+
+    #[test]
+    fn refresh_changes_shares() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let scheme = scheme();
+        let shares = scheme.split(Fp::new(1), &mut rng);
+        let round = RefreshRound::generate(&scheme, &mut rng);
+        let changed = (0..shares.len())
+            .filter(|&i| round.apply(ServerId(i as u32), shares[i]).y != shares[i].y)
+            .count();
+        // With overwhelming probability all shares move; require most.
+        assert!(changed >= 2, "refresh should re-randomize shares");
+    }
+
+    #[test]
+    fn stale_share_mixed_with_fresh_shares_is_useless() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let scheme = scheme();
+        let secret = Fp::new(424_242);
+        let shares = scheme.split(secret, &mut rng);
+        let round = RefreshRound::generate(&scheme, &mut rng);
+        let fresh_1 = round.apply(ServerId(1), shares[1]);
+        // Adversary leaked shares[0] *before* the refresh; combining it
+        // with a post-refresh share yields garbage, not the secret.
+        let mixed = [shares[0], fresh_1];
+        let wrong = scheme.reconstruct(&mixed).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn apply_all_shifts_whole_column() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let scheme = scheme();
+        let round = RefreshRound::generate(&scheme, &mut rng);
+        let mut column = vec![Fp::new(1), Fp::new(2), Fp::new(3)];
+        let before = column.clone();
+        round.apply_all(ServerId(0), &mut column);
+        let delta = round.delta_for(ServerId(0)).unwrap();
+        for (b, a) in before.iter().zip(&column) {
+            assert_eq!(*b + delta, *a);
+        }
+    }
+}

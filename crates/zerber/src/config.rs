@@ -1,0 +1,90 @@
+//! Deployment configuration.
+
+use zerber_core::merge::MergeConfig;
+use zerber_core::ElementCodec;
+use zerber_client::BatchPolicy;
+
+/// Everything needed to bootstrap a Zerber deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ZerberConfig {
+    /// Number of index servers `n`.
+    pub servers: usize,
+    /// Reconstruction threshold `k` (the paper's experiments use
+    /// 2-out-of-3).
+    pub threshold: usize,
+    /// Posting-list merging configuration.
+    pub merge: MergeConfig,
+    /// Posting-element bit layout.
+    pub codec: ElementCodec,
+    /// Owner-side update batching.
+    pub batch: BatchPolicy,
+    /// Master RNG seed (coordinates, BFM redistribution, element
+    /// encryption).
+    pub seed: u64,
+}
+
+impl Default for ZerberConfig {
+    /// The paper's experimental setup: 2-out-of-3 sharing, DFM
+    /// merging, immediate updates.
+    fn default() -> Self {
+        Self {
+            servers: 3,
+            threshold: 2,
+            merge: MergeConfig::dfm(1024),
+            codec: ElementCodec::default(),
+            batch: BatchPolicy::immediate(),
+            seed: 0xEDB7_2008,
+        }
+    }
+}
+
+impl ZerberConfig {
+    /// Overrides the merge configuration.
+    pub fn with_merge(mut self, merge: MergeConfig) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Overrides `n` and `k`.
+    pub fn with_sharing(mut self, servers: usize, threshold: usize) -> Self {
+        self.servers = servers;
+        self.threshold = threshold;
+        self
+    }
+
+    /// Overrides the batch policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let config = ZerberConfig::default();
+        assert_eq!(config.servers, 3);
+        assert_eq!(config.threshold, 2);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let config = ZerberConfig::default()
+            .with_sharing(5, 3)
+            .with_seed(1)
+            .with_batch(BatchPolicy::batched(50));
+        assert_eq!(config.servers, 5);
+        assert_eq!(config.threshold, 3);
+        assert_eq!(config.seed, 1);
+        assert_eq!(config.batch, BatchPolicy::batched(50));
+    }
+}

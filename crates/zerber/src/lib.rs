@@ -1,0 +1,29 @@
+//! The Zerber system facade: a full simulated deployment of the
+//! EDBT'08 design, plus the baseline systems it is evaluated against.
+//!
+//! A [`ZerberSystem`] wires together:
+//!
+//! * `n` index servers ([`zerber_server::IndexServer`]), each owning a
+//!   public Shamir x-coordinate and enforcing group ACLs,
+//! * one document owner per collaboration group
+//!   ([`zerber_client::DocumentOwner`]) that encrypts and distributes
+//!   posting elements,
+//! * query clients executing Algorithm 2 end to end,
+//! * a shared [`zerber_net::TrafficMeter`] so every byte crossing the
+//!   simulated network is accounted for,
+//! * the public [`zerber_core::MappingTable`] produced by one of the
+//!   merging heuristics.
+//!
+//! The [`baselines`] module provides the comparators used throughout
+//! the paper: the trusted central index ("ideal scheme", Section 2),
+//! the shotgun per-owner broadcast (Section 1), and a μ-Serv-style
+//! Bloom-filter site index (Section 3, [3]).
+
+pub mod baselines;
+pub mod config;
+pub mod metered;
+pub mod system;
+
+pub use config::ZerberConfig;
+pub use metered::MeteredHandle;
+pub use system::{SystemError, ZerberSystem};

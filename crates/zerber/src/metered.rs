@@ -1,0 +1,139 @@
+//! Traffic-metered server handles.
+//!
+//! Every client call is serialized into its wire format
+//! ([`zerber_net::Message`]) purely to account its exact byte size on
+//! the shared [`TrafficMeter`], then dispatched in-process. This gives
+//! the Section 7.3 bandwidth experiments real serialized sizes without
+//! sockets.
+
+use std::sync::Arc;
+
+use zerber_core::{ElementId, PlId};
+use zerber_field::Fp;
+use zerber_net::{AuthToken, Message, NodeId, StoredShare, TrafficMeter};
+use zerber_server::{IndexServer, ServerError};
+
+use zerber_client::ServerHandle;
+
+/// A [`ServerHandle`] that records request/response sizes per link.
+pub struct MeteredHandle {
+    inner: Arc<IndexServer>,
+    meter: Arc<TrafficMeter>,
+    from: NodeId,
+    to: NodeId,
+}
+
+impl MeteredHandle {
+    /// Wraps a server for a particular client endpoint.
+    pub fn new(
+        inner: Arc<IndexServer>,
+        meter: Arc<TrafficMeter>,
+        from: NodeId,
+        to: NodeId,
+    ) -> Self {
+        Self {
+            inner,
+            meter,
+            from,
+            to,
+        }
+    }
+}
+
+impl ServerHandle for MeteredHandle {
+    fn coordinate(&self) -> Fp {
+        self.inner.coordinate()
+    }
+
+    fn insert_batch(
+        &self,
+        token: AuthToken,
+        entries: &[(PlId, StoredShare)],
+    ) -> Result<(), ServerError> {
+        let request = Message::InsertBatch {
+            entries: entries.to_vec(),
+        };
+        self.meter.record(self.from, self.to, request.wire_size());
+        self.inner.insert_batch(token, entries)
+    }
+
+    fn delete(
+        &self,
+        token: AuthToken,
+        elements: &[(PlId, ElementId)],
+    ) -> Result<usize, ServerError> {
+        let request = Message::Delete {
+            elements: elements.to_vec(),
+        };
+        self.meter.record(self.from, self.to, request.wire_size());
+        self.inner.delete(token, elements)
+    }
+
+    fn get_posting_lists(
+        &self,
+        token: AuthToken,
+        pl_ids: &[PlId],
+    ) -> Result<Vec<(PlId, Vec<StoredShare>)>, ServerError> {
+        let request = Message::Query {
+            auth: token,
+            pl_ids: pl_ids.to_vec(),
+        };
+        self.meter.record(self.from, self.to, request.wire_size());
+        let lists = self.inner.get_posting_lists(token, pl_ids)?;
+        let response = Message::QueryResponse {
+            lists: lists.clone(),
+        };
+        self.meter.record(self.to, self.from, response.wire_size());
+        Ok(lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::{GroupId, UserId};
+    use zerber_server::TokenAuth;
+
+    #[test]
+    fn traffic_is_recorded_in_both_directions() {
+        let auth = Arc::new(TokenAuth::new());
+        let server = Arc::new(IndexServer::new(0, Fp::new(3), auth.clone()));
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let meter = Arc::new(TrafficMeter::new());
+        let user = NodeId::User(1);
+        let node = NodeId::IndexServer(0);
+        let handle = MeteredHandle::new(server, meter.clone(), user, node);
+        let token = auth.issue(UserId(1));
+
+        let share = StoredShare {
+            element: ElementId(1),
+            group: GroupId(0),
+            share: Fp::new(9),
+        };
+        handle.insert_batch(token, &[(PlId(0), share)]).unwrap();
+        let upstream = meter.link_bytes(user, node);
+        assert!(upstream > 0, "insert bytes recorded");
+
+        handle.get_posting_lists(token, &[PlId(0)]).unwrap();
+        assert!(meter.link_bytes(node, user) > 0, "response bytes recorded");
+        assert!(meter.link_bytes(user, node) > upstream, "query bytes added");
+    }
+
+    #[test]
+    fn failed_calls_still_meter_the_request() {
+        let auth = Arc::new(TokenAuth::new());
+        let server = Arc::new(IndexServer::new(0, Fp::new(3), auth));
+        let meter = Arc::new(TrafficMeter::new());
+        let handle = MeteredHandle::new(
+            server,
+            meter.clone(),
+            NodeId::User(9),
+            NodeId::IndexServer(0),
+        );
+        let bogus = AuthToken(123);
+        assert!(handle.get_posting_lists(bogus, &[PlId(0)]).is_err());
+        // The request went out even though it was rejected.
+        assert!(meter.link_bytes(NodeId::User(9), NodeId::IndexServer(0)) > 0);
+        assert_eq!(meter.link_bytes(NodeId::IndexServer(0), NodeId::User(9)), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The assembled Zerber deployment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_client::{DocumentOwner, QueryClient, QueryOutcome, ServerHandle};
+use zerber_core::merge::{MergeError, MergePlan};
+use zerber_core::MappingTable;
+use zerber_index::{CorpusStats, Document, GroupId, TermId, UserId};
+use zerber_net::{NodeId, TrafficMeter};
+use zerber_server::{IndexServer, ServerError, TokenAuth};
+use zerber_shamir::{RefreshRound, ShamirError, SharingScheme};
+
+use crate::config::ZerberConfig;
+use crate::metered::MeteredHandle;
+
+/// Errors from deployment bootstrap or operation.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The merging heuristic failed.
+    Merge(MergeError),
+    /// The sharing parameters were invalid.
+    Sharing(ShamirError),
+    /// An index server rejected a request.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Merge(e) => write!(f, "merge error: {e}"),
+            SystemError::Sharing(e) => write!(f, "sharing error: {e}"),
+            SystemError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<MergeError> for SystemError {
+    fn from(e: MergeError) -> Self {
+        SystemError::Merge(e)
+    }
+}
+
+impl From<ShamirError> for SystemError {
+    fn from(e: ShamirError) -> Self {
+        SystemError::Sharing(e)
+    }
+}
+
+impl From<ServerError> for SystemError {
+    fn from(e: ServerError) -> Self {
+        SystemError::Server(e)
+    }
+}
+
+/// User-id namespace for the per-group owner daemons (kept out of the
+/// way of ordinary users).
+const OWNER_USER_BASE: u32 = 0x4000_0000;
+
+/// A complete simulated deployment.
+pub struct ZerberSystem {
+    config: ZerberConfig,
+    auth: Arc<TokenAuth>,
+    servers: Vec<Arc<IndexServer>>,
+    meter: Arc<TrafficMeter>,
+    scheme: SharingScheme,
+    table: Arc<MappingTable>,
+    plan: MergePlan,
+    owners: HashMap<GroupId, DocumentOwner>,
+    owner_handles: HashMap<GroupId, Vec<Arc<dyn ServerHandle>>>,
+    rng: StdRng,
+}
+
+impl ZerberSystem {
+    /// Bootstraps a deployment: runs the merging heuristic over the
+    /// (learned) corpus statistics, provisions `n` servers with random
+    /// public coordinates, and publishes the mapping table.
+    ///
+    /// `stats` plays the role of the paper's learning prefix — "we
+    /// learned the document frequency distribution from the first 30%
+    /// of the documents" (Section 7.5); pass full-corpus statistics
+    /// for an oracle variant.
+    pub fn bootstrap(config: ZerberConfig, stats: &CorpusStats) -> Result<Self, SystemError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let plan = MergePlan::build(config.merge, stats, &mut rng)?;
+        let table = Arc::new(plan.table().clone());
+        let scheme = SharingScheme::random(config.threshold, config.servers, &mut rng)?;
+        let auth = Arc::new(TokenAuth::new());
+        let servers: Vec<Arc<IndexServer>> = scheme
+            .coordinates()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| Arc::new(IndexServer::new(i as u32, x, auth.clone())))
+            .collect();
+        Ok(Self {
+            config,
+            auth,
+            servers,
+            meter: Arc::new(TrafficMeter::new()),
+            scheme,
+            table,
+            plan,
+            owners: HashMap::new(),
+            owner_handles: HashMap::new(),
+            rng,
+        })
+    }
+
+    /// The merge plan in force.
+    pub fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    /// The public mapping table.
+    pub fn table(&self) -> &MappingTable {
+        &self.table
+    }
+
+    /// The sharing scheme's public parameters.
+    pub fn scheme(&self) -> &SharingScheme {
+        &self.scheme
+    }
+
+    /// The shared traffic meter.
+    pub fn traffic(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Raw access to the index servers (for attack simulations: a
+    /// compromised server is just `servers()[i].adversary_view()`).
+    pub fn servers(&self) -> &[Arc<IndexServer>] {
+        &self.servers
+    }
+
+    /// Grants a user membership of a group on every index server.
+    pub fn add_membership(&self, user: UserId, group: GroupId) {
+        for server in &self.servers {
+            server.add_user_to_group(user, group);
+        }
+    }
+
+    /// Revokes a membership everywhere; effective on the next query.
+    pub fn remove_membership(&self, user: UserId, group: GroupId) {
+        for server in &self.servers {
+            server.remove_user_from_group(user, group);
+        }
+    }
+
+    /// Indexes a document through its group's owner daemon (created on
+    /// first use). Returns the number of posting elements produced.
+    pub fn index_document(&mut self, doc: &Document) -> Result<usize, SystemError> {
+        let group = doc.group;
+        if !self.owners.contains_key(&group) {
+            let owner_user = UserId(OWNER_USER_BASE + group.0);
+            self.add_membership(owner_user, group);
+            let token = self.auth.issue(owner_user);
+            let owner = DocumentOwner::new(
+                group.0,
+                token,
+                self.config.codec,
+                self.scheme.clone(),
+                self.table.clone(),
+                self.config.batch,
+            );
+            let handles = self.handles_for(NodeId::Owner(group.0));
+            self.owners.insert(group, owner);
+            self.owner_handles.insert(group, handles);
+        }
+        let owner = self.owners.get_mut(&group).expect("just inserted");
+        let handles = self.owner_handles.get(&group).expect("just inserted");
+        Ok(owner.index_document(doc, handles, &mut self.rng)?)
+    }
+
+    /// Indexes a whole corpus; returns total elements produced.
+    pub fn index_corpus(&mut self, docs: &[Document]) -> Result<usize, SystemError> {
+        let mut total = 0;
+        for doc in docs {
+            total += self.index_document(doc)?;
+        }
+        self.flush_owners()?;
+        Ok(total)
+    }
+
+    /// Flushes every owner's pending batches.
+    pub fn flush_owners(&mut self) -> Result<(), SystemError> {
+        for (group, owner) in self.owners.iter_mut() {
+            let handles = &self.owner_handles[group];
+            owner.flush(handles)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a document through its group's owner.
+    pub fn delete_document(
+        &mut self,
+        group: GroupId,
+        doc: zerber_index::DocId,
+    ) -> Result<usize, SystemError> {
+        let Some(owner) = self.owners.get_mut(&group) else {
+            return Ok(0);
+        };
+        let handles = &self.owner_handles[&group];
+        Ok(owner.delete_document(doc, handles)?)
+    }
+
+    /// Executes a keyword query as `user`, returning the top
+    /// `k_results`.
+    pub fn query(
+        &self,
+        user: UserId,
+        terms: &[TermId],
+        k_results: usize,
+    ) -> Result<QueryOutcome, SystemError> {
+        let token = self.auth.issue(user);
+        let client = QueryClient::new(
+            token,
+            self.config.codec,
+            self.table.clone(),
+            self.config.threshold,
+        );
+        let handles = self.handles_for(NodeId::User(user.0));
+        Ok(client.execute(terms, &handles, k_results)?)
+    }
+
+    /// Applies one proactive refresh round to every server (Section
+    /// 5.1 / [21]).
+    pub fn proactive_refresh(&mut self) {
+        let round = RefreshRound::generate(&self.scheme, &mut self.rng);
+        for server in &self.servers {
+            server.apply_refresh(&round);
+        }
+    }
+
+    /// Total posting elements on one server (identical across honest
+    /// servers) — the Section 7.2 storage driver.
+    pub fn elements_per_server(&self) -> usize {
+        self.servers.first().map_or(0, |s| s.total_elements())
+    }
+
+    fn handles_for(&self, from: NodeId) -> Vec<Arc<dyn ServerHandle>> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, server)| {
+                Arc::new(MeteredHandle::new(
+                    server.clone(),
+                    self.meter.clone(),
+                    from,
+                    NodeId::IndexServer(i as u32),
+                )) as Arc<dyn ServerHandle>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_core::merge::MergeConfig;
+    use zerber_index::DocId;
+
+    fn stats() -> CorpusStats {
+        let dfs: Vec<u64> = (1..=100u64).map(|r| 1 + 1_000 / r).collect();
+        CorpusStats::from_document_frequencies(dfs)
+    }
+
+    fn doc(id: u32, group: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(group),
+            terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+        )
+    }
+
+    fn system() -> ZerberSystem {
+        let config = ZerberConfig::default().with_merge(MergeConfig::dfm(8));
+        ZerberSystem::bootstrap(config, &stats()).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_builds_n_servers() {
+        let sys = system();
+        assert_eq!(sys.servers().len(), 3);
+        assert_eq!(sys.scheme().threshold(), 2);
+        assert_eq!(sys.plan().list_count(), 8);
+    }
+
+    #[test]
+    fn end_to_end_index_and_query() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.index_document(&doc(1, 0, &[(5, 2), (7, 1)])).unwrap();
+        sys.index_document(&doc(2, 0, &[(5, 1)])).unwrap();
+        let outcome = sys.query(UserId(1), &[TermId(5)], 10).unwrap();
+        assert_eq!(outcome.ranked.len(), 2);
+        assert!(sys.traffic().total() > 0);
+    }
+
+    #[test]
+    fn acl_and_revocation_work_through_the_facade() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.index_document(&doc(1, 0, &[(5, 1)])).unwrap();
+        assert_eq!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(), 1);
+        sys.remove_membership(UserId(1), GroupId(0));
+        assert_eq!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(), 0);
+    }
+
+    #[test]
+    fn deletion_removes_results() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.index_document(&doc(1, 0, &[(5, 1), (6, 1)])).unwrap();
+        let removed = sys.delete_document(GroupId(0), DocId(1)).unwrap();
+        assert_eq!(removed, 2);
+        assert!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.is_empty());
+        assert_eq!(sys.elements_per_server(), 0);
+    }
+
+    #[test]
+    fn storage_is_replicated_on_every_server() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.index_document(&doc(1, 0, &[(5, 1), (6, 1), (7, 1)])).unwrap();
+        for server in sys.servers() {
+            assert_eq!(server.total_elements(), 3);
+        }
+    }
+
+    #[test]
+    fn proactive_refresh_keeps_queries_working() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.index_document(&doc(1, 0, &[(5, 2)])).unwrap();
+        sys.proactive_refresh();
+        let outcome = sys.query(UserId(1), &[TermId(5)], 10).unwrap();
+        assert_eq!(outcome.ranked.len(), 1, "refresh must not break decryption");
+    }
+
+    #[test]
+    fn queries_from_different_groups_are_isolated() {
+        let mut sys = system();
+        sys.add_membership(UserId(1), GroupId(0));
+        sys.add_membership(UserId(2), GroupId(1));
+        sys.index_document(&doc(1, 0, &[(5, 1)])).unwrap();
+        sys.index_document(&doc(2, 1, &[(5, 1)])).unwrap();
+        let u1 = sys.query(UserId(1), &[TermId(5)], 10).unwrap();
+        assert_eq!(u1.ranked.len(), 1);
+        assert_eq!(u1.ranked[0].doc, DocId(1));
+        let u2 = sys.query(UserId(2), &[TermId(5)], 10).unwrap();
+        assert_eq!(u2.ranked.len(), 1);
+        assert_eq!(u2.ranked[0].doc, DocId(2));
+    }
+}

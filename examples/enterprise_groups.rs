@@ -1,0 +1,125 @@
+//! Enterprise collaboration scenario: a Stud-IP-like learning
+//! management deployment (paper Section 7.4.1) with hundreds of
+//! courses, churn in membership, and bandwidth accounting.
+//!
+//! Run with: `cargo run --release --example enterprise_groups`
+
+use zerber::{ZerberConfig, ZerberSystem};
+use zerber_core::merge::MergeConfig;
+use zerber_corpus::{StudipConfig, StudipData};
+use zerber_index::{TermId, UserId};
+use zerber_net::{LinkSpec, NodeId};
+
+fn main() {
+    // A scaled-down university: 80 courses, 400 users, 1,500 docs.
+    let config = StudipConfig {
+        num_courses: 80,
+        num_users: 400,
+        num_docs: 1_500,
+        vocabulary_size: 20_000,
+        avg_doc_length: 120,
+        ..StudipConfig::default()
+    };
+    let data = StudipData::generate(&config);
+    println!("== Stud-IP-like deployment ==");
+    println!(
+        "{} documents across {} courses, {} users",
+        data.documents.len(),
+        data.num_courses,
+        config.num_users
+    );
+    let docs_per_group = data.documents_per_group();
+    println!(
+        "docs/course: max {}, median {}",
+        docs_per_group[0],
+        docs_per_group[docs_per_group.len() / 2]
+    );
+    let accessible = data.documents_accessible_per_user();
+    println!(
+        "docs accessible/user: max {}, median {} (paper: most users < 200)",
+        accessible[0],
+        accessible[accessible.len() / 2]
+    );
+
+    // Bootstrap Zerber with BFM at a confidentiality target.
+    let stats = data.statistics();
+    let zerber_config = ZerberConfig::default().with_merge(
+        MergeConfig::bfm_lists(512).with_rare_term_cutoff(1e-5),
+    );
+    let mut system = ZerberSystem::bootstrap(zerber_config, &stats).expect("bootstrap");
+    println!(
+        "\nZerber: {} lists, achieved r = {:.1}, public table entries = {}",
+        system.plan().list_count(),
+        system.plan().achieved_r(),
+        system.table().explicit_len(),
+    );
+
+    // Enroll users per the generated memberships.
+    for user in data.memberships.users() {
+        for group in data.memberships.groups_of(user) {
+            system.add_membership(user, group);
+        }
+    }
+
+    // Index the semester's material.
+    let elements = system.index_corpus(&data.documents).expect("indexing");
+    println!("indexed {elements} posting elements per server");
+
+    // Every enrolled user fires a couple of queries.
+    let mut total_hits = 0usize;
+    let mut total_elements = 0usize;
+    let mut queries = 0usize;
+    for user in 0..40u32 {
+        for term in [0u32, 10, 100, 1_000] {
+            let outcome = system
+                .query(UserId(user), &[TermId(term)], 10)
+                .expect("query");
+            total_hits += outcome.ranked.len();
+            total_elements += outcome.elements_received;
+            queries += 1;
+        }
+    }
+    println!(
+        "\nran {queries} queries: {:.1} hits and {:.0} transported elements on average",
+        total_hits as f64 / queries as f64,
+        total_elements as f64 / queries as f64
+    );
+
+    // Membership churn: drop a user from a course mid-semester.
+    let victim = UserId(0);
+    let course = data
+        .memberships
+        .groups_of(victim)
+        .next()
+        .expect("user 0 has courses");
+    let before = system
+        .query(victim, &[TermId(0)], usize::MAX)
+        .unwrap()
+        .ranked
+        .len();
+    system.remove_membership(victim, course);
+    let after = system
+        .query(victim, &[TermId(0)], usize::MAX)
+        .unwrap()
+        .ranked
+        .len();
+    println!(
+        "\nrevoked {victim} from {course}: \"t0\" hits {before} -> {after} (instant, no re-keying)"
+    );
+
+    // Bandwidth accounting (Section 7.3 style).
+    let meter = system.traffic();
+    let uploads = meter.total_matching(|from, to| {
+        matches!(from, NodeId::Owner(_)) && matches!(to, NodeId::IndexServer(_))
+    });
+    let responses = meter.total_matching(|from, to| {
+        matches!(from, NodeId::IndexServer(_)) && matches!(to, NodeId::User(_))
+    });
+    println!("\n== bandwidth ==");
+    println!("owner -> servers (indexing):  {:>12} bytes", uploads);
+    println!("servers -> users (responses): {:>12} bytes", responses);
+    println!(
+        "mean response transfer on the paper's 55 Mb/s WLAN: {:.2} ms/query",
+        LinkSpec::WLAN_55.transfer_ms((responses / queries as u64) as usize)
+    );
+}

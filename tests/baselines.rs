@@ -1,0 +1,121 @@
+//! Baseline-system integration tests: shotgun and μ-Serv must return
+//! the same result sets as the ideal central index (they differ in
+//! *cost*, not correctness), reproducing the comparisons of Sections 1
+//! and 3.
+
+use zerber::baselines::{CentralIndex, MuServIndex, ShotgunSearch};
+use zerber_corpus::{CorpusConfig, SyntheticCorpus};
+use zerber_index::{GroupId, RankedDoc, TermId, UserId};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig {
+        num_docs: 100,
+        vocabulary_size: 600,
+        zipf_exponent: 1.0,
+        avg_doc_length: 50,
+        doc_length_sigma: 0.4,
+        num_groups: 10, // ten hosts, one group per host
+        seed: 77,
+    })
+}
+
+fn result_set(ranked: &[RankedDoc]) -> std::collections::BTreeSet<u32> {
+    ranked.iter().map(|r| r.doc.0).collect()
+}
+
+fn build_all() -> (CentralIndex, ShotgunSearch, MuServIndex) {
+    let corpus = corpus();
+    let mut central = CentralIndex::new();
+    let mut shotgun = ShotgunSearch::new();
+    let mut muserv = MuServIndex::new(2_000, 0.01);
+    for doc in &corpus.documents {
+        central.insert(doc);
+        shotgun.insert(doc);
+        muserv.insert(doc);
+    }
+    // Memberships granted after insertion so every site has its index.
+    for user in 0..5u32 {
+        for group in 0..10u32 {
+            central.add_user_to_group(UserId(user), GroupId(group));
+            shotgun.add_user_to_group(UserId(user), GroupId(group));
+            muserv.add_user_to_group(UserId(user), GroupId(group));
+        }
+    }
+    (central, shotgun, muserv)
+}
+
+#[test]
+fn all_systems_agree_on_result_sets() {
+    let (central, shotgun, muserv) = build_all();
+    for term in [0u32, 1, 4, 17, 60, 200] {
+        let terms = [TermId(term)];
+        let expected = result_set(&central.search(UserId(1), &terms, usize::MAX));
+        let shotgun_hits = result_set(&shotgun.query(UserId(1), &terms, usize::MAX).ranked);
+        let muserv_hits = result_set(&muserv.query(UserId(1), &terms, usize::MAX).ranked);
+        assert_eq!(shotgun_hits, expected, "shotgun, term {term}");
+        assert_eq!(muserv_hits, expected, "muserv, term {term}");
+    }
+}
+
+#[test]
+fn shotgun_contacts_every_site_regardless_of_relevance() {
+    let (_central, shotgun, _muserv) = build_all();
+    // A rare term lives on few sites, yet all 10 are queried.
+    let outcome = shotgun.query(UserId(1), &[TermId(550)], 10);
+    assert_eq!(outcome.sites_contacted, 10);
+    assert!(outcome.sites_with_hits <= outcome.sites_contacted);
+}
+
+#[test]
+fn muserv_prunes_sites_for_rare_terms() {
+    let (_central, shotgun, muserv) = build_all();
+    // Find a term appearing on few sites: high-id (rare) terms.
+    let rare = (400..600u32)
+        .map(TermId)
+        .find(|&t| {
+            let o = muserv.query(UserId(1), &[t], 10);
+            !o.ranked.is_empty() && o.candidate_sites < 10
+        })
+        .expect("some rare term is prunable");
+    let muserv_outcome = muserv.query(UserId(1), &[rare], 10);
+    let shotgun_outcome = shotgun.query(UserId(1), &[rare], 10);
+    assert!(
+        muserv_outcome.candidate_sites < shotgun_outcome.sites_contacted,
+        "muserv {} vs shotgun {}",
+        muserv_outcome.candidate_sites,
+        shotgun_outcome.sites_contacted
+    );
+}
+
+#[test]
+fn muserv_precision_degrades_with_sloppier_filters() {
+    // The μ-Serv x% knob: a sloppier filter (more privacy) flags more
+    // candidate sites, wasting follow-up queries — Section 3's
+    // "query 20 times as many sites" observation, directionally.
+    let corpus = corpus();
+    let mut precise = MuServIndex::new(2_000, 0.001);
+    let mut sloppy = MuServIndex::new(2_000, 0.6);
+    for doc in &corpus.documents {
+        precise.insert(doc);
+        sloppy.insert(doc);
+    }
+    let mut precise_total = 0usize;
+    let mut sloppy_total = 0usize;
+    for term in 300..340u32 {
+        precise_total += precise.candidate_sites(&[TermId(term)]).len();
+        sloppy_total += sloppy.candidate_sites(&[TermId(term)]).len();
+    }
+    assert!(
+        sloppy_total > precise_total,
+        "sloppy {sloppy_total} vs precise {precise_total}"
+    );
+}
+
+#[test]
+fn frequent_terms_defeat_muserv_pruning() {
+    // Head terms appear at every site, so the Bloom index cannot help
+    // — candidate count equals site count.
+    let (_central, _shotgun, muserv) = build_all();
+    let outcome = muserv.query(UserId(1), &[TermId(0)], 10);
+    assert_eq!(outcome.candidate_sites, 10);
+}

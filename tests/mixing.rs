@@ -1,0 +1,147 @@
+//! Integration test for update pooling (Section 5.4.1): several
+//! owners route their batched index updates through an [`UpdateMixer`]
+//! and the resulting index answers queries exactly as if each owner
+//! had flushed directly — while the arrival stream is interleaved.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zerber_client::{BatchPolicy, DocumentOwner, QueryClient, ServerHandle, UpdateMixer};
+use zerber_core::{ElementCodec, MappingTable};
+use zerber_field::Fp;
+use zerber_index::{DocId, Document, GroupId, TermId, UserId};
+use zerber_server::{IndexServer, TokenAuth};
+use zerber_shamir::SharingScheme;
+
+struct World {
+    servers: Vec<Arc<dyn ServerHandle>>,
+    raw_servers: Vec<Arc<IndexServer>>,
+    auth: Arc<TokenAuth>,
+    scheme: SharingScheme,
+    table: Arc<MappingTable>,
+}
+
+fn world() -> World {
+    let auth = Arc::new(TokenAuth::new());
+    let mut coordinates = Vec::new();
+    let mut servers: Vec<Arc<dyn ServerHandle>> = Vec::new();
+    let mut raw_servers = Vec::new();
+    for i in 0..3u32 {
+        let x = Fp::new(41 * (i as u64 + 1));
+        coordinates.push(x);
+        let server = Arc::new(IndexServer::new(i, x, auth.clone()));
+        server.add_user_to_group(UserId(100), GroupId(0));
+        server.add_user_to_group(UserId(101), GroupId(1));
+        server.add_user_to_group(UserId(1), GroupId(0));
+        server.add_user_to_group(UserId(1), GroupId(1));
+        raw_servers.push(server.clone());
+        servers.push(server);
+    }
+    let scheme = SharingScheme::with_coordinates(2, coordinates).unwrap();
+    let table = Arc::new(MappingTable::hash_only(16, 7));
+    World {
+        servers,
+        raw_servers,
+        auth,
+        scheme,
+        table,
+    }
+}
+
+fn owner(world: &World, owner_id: u32, user: u32) -> DocumentOwner {
+    DocumentOwner::new(
+        owner_id,
+        world.auth.issue(UserId(user)),
+        ElementCodec::default(),
+        world.scheme.clone(),
+        world.table.clone(),
+        // Never auto-flush: everything goes through the mixer.
+        BatchPolicy::batched(usize::MAX),
+    )
+}
+
+fn doc(host: u16, local: u32, group: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId::from_parts(host, local),
+        GroupId(group),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+#[test]
+fn mixed_updates_are_queryable_and_interleaved() {
+    let w = world();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut alice = owner(&w, 0, 100);
+    let mut bob = owner(&w, 1, 101);
+    for i in 0..10u32 {
+        alice
+            .index_document(&doc(0, i, 0, &[(i, 1), (i + 50, 2)]), &w.servers, &mut rng)
+            .unwrap();
+        bob.index_document(&doc(1, i, 1, &[(i, 3), (i + 80, 1)]), &w.servers, &mut rng)
+            .unwrap();
+    }
+    assert_eq!(alice.pending_elements(), 20);
+    assert_eq!(bob.pending_elements(), 20);
+    // Nothing on the servers yet.
+    assert_eq!(w.raw_servers[0].total_elements(), 0);
+
+    let mut mixer = UpdateMixer::new(3);
+    mixer.submit(alice.token(), alice.drain_pending());
+    mixer.submit(bob.token(), bob.drain_pending());
+    assert_eq!(mixer.pooled_elements(), 40);
+    let rpcs = mixer.flush(&w.servers, &mut rng).unwrap();
+    assert!(rpcs > 2, "interleaving produces multiple runs, got {rpcs}");
+
+    // Every server holds all 40 elements.
+    for server in &w.raw_servers {
+        assert_eq!(server.total_elements(), 40);
+    }
+
+    // A user in both groups finds documents from both owners.
+    let client = QueryClient::new(
+        w.auth.issue(UserId(1)),
+        ElementCodec::default(),
+        w.table.clone(),
+        2,
+    );
+    let outcome = client.execute(&[TermId(3)], &w.servers, 10).unwrap();
+    let docs: std::collections::BTreeSet<(u16, u32)> = outcome
+        .ranked
+        .iter()
+        .map(|r| (r.doc.host(), r.doc.local()))
+        .collect();
+    assert!(docs.contains(&(0, 3)), "alice's doc found");
+    assert!(docs.contains(&(1, 3)), "bob's doc found");
+}
+
+#[test]
+fn mixing_preserves_share_alignment_across_servers() {
+    // The same interleaving must be applied per server or the
+    // element-id -> share alignment breaks and decryption garbles.
+    let w = world();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut alice = owner(&w, 0, 100);
+    alice
+        .index_document(&doc(0, 0, 0, &[(7, 3)]), &w.servers, &mut rng)
+        .unwrap();
+    let mut mixer = UpdateMixer::new(3);
+    mixer.submit(alice.token(), alice.drain_pending());
+    mixer.flush(&w.servers, &mut rng).unwrap();
+
+    let client = QueryClient::new(
+        w.auth.issue(UserId(1)),
+        ElementCodec::default(),
+        w.table.clone(),
+        2,
+    );
+    let outcome = client.execute(&[TermId(7)], &w.servers, 10).unwrap();
+    assert_eq!(outcome.ranked.len(), 1);
+    let element = outcome.matching_elements[0];
+    assert_eq!(element.term, TermId(7));
+    assert_eq!(element.doc, DocId::from_parts(0, 0));
+    assert!((element.term_frequency(&ElementCodec::default()) - 1.0).abs() < 1e-3);
+}

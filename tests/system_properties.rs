@@ -1,0 +1,76 @@
+//! System-level property test: for random small corpora, group
+//! layouts and queries, the Zerber deployment returns exactly the
+//! result set of the ideal central index (Section 2's equivalence
+//! contract), under every merging heuristic.
+
+use proptest::prelude::*;
+use zerber::baselines::CentralIndex;
+use zerber::{ZerberConfig, ZerberSystem};
+use zerber_core::merge::MergeConfig;
+use zerber_index::{DocId, Document, GroupId, TermId, UserId};
+
+fn arb_document(index: u32) -> impl Strategy<Value = Document> {
+    (
+        prop::collection::btree_map(0u32..30, 1u32..8, 1..8),
+        0u32..3,
+    )
+        .prop_map(move |(terms, group)| {
+            Document::from_term_counts(
+                DocId(index),
+                GroupId(group),
+                terms.into_iter().map(|(t, c)| (TermId(t), c)).collect(),
+            )
+        })
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    (3u32..15).prop_flat_map(|n| (0..n).map(arb_document).collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn zerber_equals_ideal_index_on_random_corpora(
+        corpus in arb_corpus(),
+        merge_choice in 0usize..3,
+        query_terms in prop::collection::vec(0u32..30, 1..4),
+        user_groups in prop::collection::vec(0u32..3, 1..3),
+    ) {
+        let mut index = zerber_index::InvertedIndex::new();
+        for doc in &corpus {
+            index.insert(doc);
+        }
+        let stats = index.statistics();
+        prop_assume!(stats.total_document_frequency() > 0);
+
+        let merge = match merge_choice {
+            0 => MergeConfig::dfm(4),
+            1 => MergeConfig::udm(4),
+            _ => MergeConfig::bfm_lists(4),
+        };
+        let config = ZerberConfig::default().with_merge(merge);
+        let mut system = ZerberSystem::bootstrap(config, &stats).unwrap();
+        let mut central = CentralIndex::new();
+
+        let user = UserId(9);
+        for &group in &user_groups {
+            system.add_membership(user, GroupId(group));
+            central.add_user_to_group(user, GroupId(group));
+        }
+        for doc in &corpus {
+            central.insert(doc);
+        }
+        system.index_corpus(&corpus).unwrap();
+
+        let terms: Vec<TermId> = query_terms.iter().map(|&t| TermId(t)).collect();
+        let zerber_hits = system.query(user, &terms, usize::MAX).unwrap();
+        let central_hits = central.search(user, &terms, usize::MAX);
+
+        let zerber_set: std::collections::BTreeSet<u32> =
+            zerber_hits.ranked.iter().map(|r| r.doc.0).collect();
+        let central_set: std::collections::BTreeSet<u32> =
+            central_hits.iter().map(|r| r.doc.0).collect();
+        prop_assert_eq!(zerber_set, central_set);
+    }
+}
