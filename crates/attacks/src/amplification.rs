@@ -29,8 +29,7 @@ pub struct AmplificationReport {
 impl AmplificationReport {
     /// Whether the bound holds (up to floating-point slack).
     pub fn holds(&self) -> bool {
-        self.max_observed <= self.claimed_r * (1.0 + 1e-9)
-            && self.max_absence <= 1.0 + 1e-9
+        self.max_observed <= self.claimed_r * (1.0 + 1e-9) && self.max_absence <= 1.0 + 1e-9
     }
 }
 

@@ -114,7 +114,11 @@ mod tests {
         // At batch 10 with equal docs, precision ≈ 1/10 (intra-doc
         // pairs over all pairs).
         let report = correlation_attack_precision(&docs, 10, &mut rng);
-        assert!((report.precision - 0.09).abs() < 0.03, "{}", report.precision);
+        assert!(
+            (report.precision - 0.09).abs() < 0.03,
+            "{}",
+            report.precision
+        );
     }
 
     #[test]

@@ -55,10 +55,7 @@ impl DfReconstructionAttack<'_> {
 
         let mut estimates = vec![0.0f64; true_dfs.len()];
         for (list, &length) in lists.iter().zip(observed_list_lengths) {
-            let mass: f64 = list
-                .iter()
-                .map(|&t| self.background.probability(t))
-                .sum();
+            let mass: f64 = list.iter().map(|&t| self.background.probability(t)).sum();
             for &term in list {
                 let slot = term.0 as usize;
                 if slot >= estimates.len() {
@@ -146,8 +143,7 @@ mod tests {
         let dfs = zipf_dfs(50);
         let stats = CorpusStats::from_document_frequencies(dfs.clone());
         let mut rng = StdRng::seed_from_u64(1);
-        let plan =
-            MergePlan::build(MergeConfig::udm(50), &stats, &mut rng).unwrap();
+        let plan = MergePlan::build(MergeConfig::udm(50), &stats, &mut rng).unwrap();
         // UDM with M = #terms puts each term alone.
         assert!(plan.lists().iter().all(|l| l.len() == 1));
         let attack = DfReconstructionAttack {
@@ -171,10 +167,8 @@ mod tests {
         shuffled.rotate_right(3); // misaligned priors
         let background = CorpusStats::from_document_frequencies(shuffled);
 
-        let merged_plan =
-            MergePlan::build(MergeConfig::dfm(8), &stats, &mut rng).unwrap();
-        let fine_plan =
-            MergePlan::build(MergeConfig::dfm(250), &stats, &mut rng).unwrap();
+        let merged_plan = MergePlan::build(MergeConfig::dfm(8), &stats, &mut rng).unwrap();
+        let fine_plan = MergePlan::build(MergeConfig::dfm(250), &stats, &mut rng).unwrap();
 
         let coarse = DfReconstructionAttack {
             background: &background,

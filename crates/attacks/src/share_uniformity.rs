@@ -124,8 +124,8 @@ mod tests {
         let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
         let report = share_distribution_test(
             &scheme,
-            Fp::new(0),                  // extreme secret A
-            Fp::new(MODULUS - 1),        // extreme secret B
+            Fp::new(0),           // extreme secret A
+            Fp::new(MODULUS - 1), // extreme secret B
             20_000,
             16,
             &mut rng,
@@ -142,8 +142,7 @@ mod tests {
         // the two distributions must be wildly different — proving the
         // test has power.
         let mut rng = StdRng::seed_from_u64(43);
-        let scheme =
-            SharingScheme::with_coordinates(1, vec![Fp::new(5), Fp::new(6)]).unwrap();
+        let scheme = SharingScheme::with_coordinates(1, vec![Fp::new(5), Fp::new(6)]).unwrap();
         let report = share_distribution_test(
             &scheme,
             Fp::new(1),

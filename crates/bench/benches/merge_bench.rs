@@ -21,21 +21,15 @@ fn bench_heuristics(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
 
     group.bench_function("dfm", |b| {
-        b.iter(|| {
-            black_box(MergePlan::build(MergeConfig::dfm(1_024), &stats, &mut rng).unwrap())
-        })
+        b.iter(|| black_box(MergePlan::build(MergeConfig::dfm(1_024), &stats, &mut rng).unwrap()))
     });
     group.bench_function("bfm_list_target", |b| {
         b.iter(|| {
-            black_box(
-                MergePlan::build(MergeConfig::bfm_lists(1_024), &stats, &mut rng).unwrap(),
-            )
+            black_box(MergePlan::build(MergeConfig::bfm_lists(1_024), &stats, &mut rng).unwrap())
         })
     });
     group.bench_function("udm", |b| {
-        b.iter(|| {
-            black_box(MergePlan::build(MergeConfig::udm(1_024), &stats, &mut rng).unwrap())
-        })
+        b.iter(|| black_box(MergePlan::build(MergeConfig::udm(1_024), &stats, &mut rng).unwrap()))
     });
     group.finish();
 }

@@ -38,8 +38,7 @@ fn bench_reconstruct(c: &mut Criterion) {
     // The batch fast path behind the paper's "700 elements per msec".
     let secrets: Vec<Fp> = (0..10_000u64).map(Fp::new).collect();
     let rows = BatchSplitter::new(&scheme).split_all(&secrets, &mut rng);
-    let reconstructor =
-        BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+    let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
     let selected = vec![rows[0].clone(), rows[1].clone()];
     c.bench_function("shamir/batch_reconstruct_10k_elements", |b| {
         b.iter(|| black_box(reconstructor.reconstruct_all(black_box(&selected))))

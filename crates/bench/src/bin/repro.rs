@@ -14,8 +14,8 @@
 //! crossovers are the reproduction target — see EXPERIMENTS.md.
 
 use zerber_bench::experiments::{
-    ablation, bandwidth, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip, fig6_workload,
-    fig7_pt, fig8_r_vs_m, fig9_amplification, micro, security, storage, table1,
+    ablation, bandwidth, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
+    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, micro, security, storage, table1,
 };
 use zerber_bench::Scale;
 
@@ -28,8 +28,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let wanted =
-        |name: &str| -> bool { selected.is_empty() || selected.contains(&"all") || selected.contains(&name) };
+    let wanted = |name: &str| -> bool {
+        selected.is_empty() || selected.contains(&"all") || selected.contains(&name)
+    };
 
     println!("Zerber reproduction harness (scale: {scale:?})");
     println!("================================================\n");
@@ -51,13 +52,19 @@ fn main() {
         println!("{}", fig8_r_vs_m::render(&fig8_r_vs_m::run(scale)));
     }
     if wanted("fig9") {
-        println!("{}", fig9_amplification::render(&fig9_amplification::run(scale)));
+        println!(
+            "{}",
+            fig9_amplification::render(&fig9_amplification::run(scale))
+        );
     }
     if wanted("fig10") {
         println!("{}", fig10_qratio::render(&fig10_qratio::run(scale), scale));
     }
     if wanted("fig11") {
-        println!("{}", fig11_efficiency::render(&fig11_efficiency::run(scale)));
+        println!(
+            "{}",
+            fig11_efficiency::render(&fig11_efficiency::run(scale))
+        );
     }
     if wanted("fig12") {
         println!("{}", fig12_response::render(&fig12_response::run(scale)));

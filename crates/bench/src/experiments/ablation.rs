@@ -78,8 +78,7 @@ pub fn run(scale: Scale) -> Ablation {
         .into_iter()
         .map(|fraction| {
             let learned = scenario.corpus.prefix_statistics(fraction);
-            let plan =
-                MergePlan::build(MergeConfig::dfm(m), &learned, &mut rng).unwrap();
+            let plan = MergePlan::build(MergeConfig::dfm(m), &learned, &mut rng).unwrap();
             // Terms absent at learning time are resolved by hash.
             let seen: usize = plan.lists().iter().map(Vec::len).sum();
             let unseen_terms = scenario.distinct_terms().saturating_sub(seen);
@@ -96,8 +95,7 @@ pub fn run(scale: Scale) -> Ablation {
         .into_iter()
         .map(|cutoff| {
             let config = MergeConfig::dfm(m).with_rare_term_cutoff(cutoff);
-            let plan =
-                MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
+            let plan = MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
             CutoffPoint {
                 cutoff,
                 table_entries: plan.table().explicit_len(),
@@ -115,8 +113,7 @@ pub fn run(scale: Scale) -> Ablation {
                 MergeHeuristic::BreadthFirst => MergeConfig::bfm_lists(m),
                 MergeHeuristic::Uniform => MergeConfig::udm(m),
             };
-            let plan =
-                MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
+            let plan = MergePlan::build(config, &scenario.learned_stats, &mut rng).unwrap();
             let report = query_leakage(&plan, &scenario.workload);
             LeakagePoint {
                 heuristic,
@@ -137,8 +134,7 @@ pub fn run(scale: Scale) -> Ablation {
 /// with unseen terms folded into their hash-routed lists.
 fn true_r_of(plan: &MergePlan, scenario: &OdpScenario) -> f64 {
     // Rebuild list membership including hash-routed unseen terms.
-    let mut lists: Vec<Vec<zerber_index::TermId>> =
-        vec![Vec::new(); plan.list_count()];
+    let mut lists: Vec<Vec<zerber_index::TermId>> = vec![Vec::new(); plan.list_count()];
     for (term_index, &df) in scenario.dfs.iter().enumerate() {
         if df == 0 {
             continue;
@@ -155,7 +151,12 @@ pub fn render(ablation: &Ablation) -> String {
 
     let mut learning = Table::new(
         "Ablation 1: merge learned from a corpus prefix (paper: 30%)",
-        &["learned from", "true r (full corpus)", "Q-inflation", "unseen terms"],
+        &[
+            "learned from",
+            "true r (full corpus)",
+            "Q-inflation",
+            "unseen terms",
+        ],
     );
     for point in &ablation.learning {
         learning.row(&[
@@ -222,13 +223,7 @@ mod tests {
         }
 
         // UDM leaks less query information than DFM.
-        let by = |h: MergeHeuristic| {
-            ablation
-                .leakage
-                .iter()
-                .find(|p| p.heuristic == h)
-                .unwrap()
-        };
+        let by = |h: MergeHeuristic| ablation.leakage.iter().find(|p| p.heuristic == h).unwrap();
         assert!(
             by(MergeHeuristic::Uniform).identified_fraction
                 <= by(MergeHeuristic::DepthFirst).identified_fraction

@@ -7,7 +7,6 @@
 //! Altavista 37 KB / Yahoo 59 KB; shares are incompressible so HTTP
 //! compression does not help.
 
-
 use zerber::{ZerberConfig, ZerberSystem};
 use zerber_core::merge::MergeConfig;
 use zerber_corpus::{OdpConfig, OdpCorpus, QueryLog, QueryLogConfig};
@@ -91,7 +90,8 @@ pub fn run(scale: Scale) -> Bandwidth {
     let k = system.scheme().threshold() as f64;
     let elements_per_term = elements as f64 / k / terms.max(1) as f64;
     let terms_per_query = terms as f64 / queries.max(1) as f64;
-    let kb_per_term_model = model.response_bytes(elements_per_term.round() as usize) as f64 / 1024.0;
+    let kb_per_term_model =
+        model.response_bytes(elements_per_term.round() as usize) as f64 / 1024.0;
 
     let wire_down = system.traffic().total_matching(|from, to| {
         matches!(from, zerber_net::NodeId::IndexServer(_))

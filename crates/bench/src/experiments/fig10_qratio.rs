@@ -61,16 +61,13 @@ pub fn run(scale: Scale) -> Vec<Fig10Cell> {
             .dfs
             .iter()
             .enumerate()
-            .filter(|&(t, &df)| {
-                df > 0 && scenario.workload.frequency(TermId(t as u32)) > 0
-            })
+            .filter(|&(t, &df)| df > 0 && scenario.workload.frequency(TermId(t as u32)) > 0)
             .map(|(t, &df)| (df.abs_diff(target), TermId(t as u32)))
             .collect();
         candidates.sort_unstable();
         candidates.into_iter().take(30).map(|(_, t)| t).collect()
     };
-    let buckets: Vec<(u64, Vec<TermId>)> =
-        targets.iter().map(|&t| (t, sample_terms(t))).collect();
+    let buckets: Vec<(u64, Vec<TermId>)> = targets.iter().map(|&t| (t, sample_terms(t))).collect();
 
     let mut cells = Vec::new();
     for m in scale.list_counts() {
@@ -89,8 +86,7 @@ pub fn run(scale: Scale) -> Vec<Fig10Cell> {
                 let geo_mean = if ratios.is_empty() {
                     f64::NAN
                 } else {
-                    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64)
-                        .exp()
+                    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
                 };
                 cells.push(Fig10Cell {
                     heuristic,

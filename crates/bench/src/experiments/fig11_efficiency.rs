@@ -68,9 +68,7 @@ pub fn run(scale: Scale) -> Vec<Fig11Curve> {
             let plan = MergePlan::build(config, stats, &mut rng).unwrap();
             let mut efficiencies: Vec<(f64, u64)> = queried
                 .iter()
-                .filter_map(|&(t, qf)| {
-                    qratio_eff(&plan, &scenario.dfs, t).map(|e| (e, qf))
-                })
+                .filter_map(|&(t, qf)| qratio_eff(&plan, &scenario.dfs, t).map(|e| (e, qf)))
                 .collect();
             efficiencies.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
             let total_mass: u64 = efficiencies.iter().map(|&(_, qf)| qf).sum();
@@ -85,8 +83,7 @@ pub fn run(scale: Scale) -> Vec<Fig11Curve> {
                 for &(e, qf) in &efficiencies {
                     let start = cumulative;
                     cumulative += qf as f64;
-                    let overlap =
-                        (cumulative.min(hi_mass) - start.max(lo_mass)).max(0.0);
+                    let overlap = (cumulative.min(hi_mass) - start.max(lo_mass)).max(0.0);
                     weighted += e * overlap;
                     weight += overlap;
                 }
@@ -111,7 +108,12 @@ pub fn run(scale: Scale) -> Vec<Fig11Curve> {
 pub fn render(curves: &[Fig11Curve]) -> String {
     let mut table = Table::new(
         "Figure 11: query-answering efficiency QRatio_eff (largest M; query workload, eff-sorted)",
-        &["heuristic", "top-70% mean", "next-10% mean", "bottom-20% mean"],
+        &[
+            "heuristic",
+            "top-70% mean",
+            "next-10% mean",
+            "bottom-20% mean",
+        ],
     );
     for curve in curves {
         table.row(&[

@@ -92,7 +92,10 @@ pub fn render(fig: &Fig5) -> String {
     for q in [0.25f64, 0.5, 0.75, 1.0] {
         let day = ((fig.semester_days - 1) as f64 * q) as usize;
         let fraction = fig.cumulative_uploads[day] as f64 / total;
-        uploads.row(&[format!("{:.0}%", q * 100.0), format!("{:.1}%", fraction * 100.0)]);
+        uploads.row(&[
+            format!("{:.0}%", q * 100.0),
+            format!("{:.1}%", fraction * 100.0),
+        ]);
     }
     out.push_str(&uploads.render());
     out
@@ -107,7 +110,10 @@ mod tests {
         let fig = run(Scale::Smoke);
         // 5a: skew — the largest course dwarfs the median.
         let [max, _, median, _, _] = quantiles(&fig.docs_per_group);
-        assert!(max >= 5 * median.max(1), "docs/group max {max} median {median}");
+        assert!(
+            max >= 5 * median.max(1),
+            "docs/group max {max} median {median}"
+        );
         // 5b: uniform growth — half the semester, about half the docs.
         let total = *fig.cumulative_uploads.last().unwrap() as f64;
         let mid = fig.cumulative_uploads[fig.cumulative_uploads.len() / 2] as f64;

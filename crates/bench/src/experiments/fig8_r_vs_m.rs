@@ -35,8 +35,7 @@ pub fn run(scale: Scale) -> Vec<Fig8Point> {
     ms.into_iter()
         .map(|m| {
             let dfm = MergePlan::build(MergeConfig::dfm(m), stats, &mut rng).unwrap();
-            let bfm =
-                MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
+            let bfm = MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
             Fig8Point {
                 m,
                 r_dfm: dfm.achieved_r(),

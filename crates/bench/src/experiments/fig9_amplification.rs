@@ -65,9 +65,7 @@ pub fn run(scale: Scale) -> Vec<Fig9Curve> {
             }
             let singletons = profile
                 .iter()
-                .filter(|&&(t, _)| {
-                    plan.lists()[plan.list_of(t).0 as usize].len() == 1
-                })
+                .filter(|&&(t, _)| plan.lists()[plan.list_of(t).0 as usize].len() == 1)
                 .count();
             Fig9Curve {
                 heuristic,
@@ -130,7 +128,10 @@ mod tests {
         let udm = by(MergeHeuristic::Uniform);
 
         // DFM/BFM: head terms in singleton lists; UDM: none.
-        assert!(dfm.singleton_fraction > 0.0, "DFM should have singleton heads");
+        assert!(
+            dfm.singleton_fraction > 0.0,
+            "DFM should have singleton heads"
+        );
         assert!(udm.singleton_fraction == 0.0, "UDM merges everything");
 
         // UDM gives the very top term more confidentiality (lower

@@ -55,8 +55,7 @@ pub fn run() -> Micro {
     // --- Decrypt throughput, Lagrange fast path. ---------------------
     let big: Vec<Fp> = (0..200_000u64).map(Fp::new).collect();
     let rows = splitter.split_all(&big, &mut rng);
-    let reconstructor =
-        BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(2)]).unwrap();
+    let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(2)]).unwrap();
     let selected = vec![rows[0].clone(), rows[2].clone()];
     let start = Instant::now();
     let recovered = reconstructor.reconstruct_all(&selected);
@@ -155,23 +154,38 @@ pub fn render(micro: &Micro) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn micro_measurements_are_plausible() {
-        let micro = run();
+    fn plausible(micro: &Micro) -> Result<(), String> {
         // Modern hardware beats the 2006 laptop; throughput must at
         // least reach the paper's numbers.
-        assert!(
-            micro.lagrange_elements_per_ms > 700.0,
-            "Lagrange {} el/ms",
-            micro.lagrange_elements_per_ms
-        );
-        assert!(micro.split_per_server_ms < 33.0 * 10.0);
+        if micro.lagrange_elements_per_ms <= 700.0 {
+            return Err(format!("Lagrange {} el/ms", micro.lagrange_elements_per_ms));
+        }
+        if micro.split_per_server_ms >= 33.0 * 10.0 {
+            return Err(format!("split {} ms/server", micro.split_per_server_ms));
+        }
         // Lagrange beats Gaussian for every k, increasingly so.
         for &(k, gaussian_ns, lagrange_ns) in &micro.per_k {
-            assert!(
-                gaussian_ns > lagrange_ns * 0.8,
-                "k = {k}: gaussian {gaussian_ns} vs lagrange {lagrange_ns}"
-            );
+            if gaussian_ns <= lagrange_ns * 0.8 {
+                return Err(format!(
+                    "k = {k}: gaussian {gaussian_ns} vs lagrange {lagrange_ns}"
+                ));
+            }
         }
+        Ok(())
+    }
+
+    #[test]
+    fn micro_measurements_are_plausible() {
+        // Wall-clock measurements share the CPU with every other test
+        // binary `cargo test` runs in parallel; retry a few times so a
+        // contended scheduler slice doesn't fail the suite.
+        let mut last = String::new();
+        for _ in 0..3 {
+            match plausible(&run()) {
+                Ok(()) => return,
+                Err(reason) => last = reason,
+            }
+        }
+        panic!("micro measurements implausible after 3 attempts: {last}");
     }
 }

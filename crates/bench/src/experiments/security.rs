@@ -3,11 +3,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use zerber_attacks::df_attack::observed_lengths;
 use zerber_attacks::{
     correlation_attack_precision, share_distribution_test, verify_plan_r_bound,
     DfReconstructionAttack,
 };
-use zerber_attacks::df_attack::observed_lengths;
 use zerber_core::merge::{MergeConfig, MergePlan};
 use zerber_field::Fp;
 use zerber_shamir::SharingScheme;
@@ -41,8 +41,7 @@ pub fn run(scale: Scale) -> Security {
     let m = scale.list_counts()[0];
     let mut rng = StdRng::seed_from_u64(71);
 
-    let plan =
-        MergePlan::build(MergeConfig::dfm(m), &scenario.learned_stats, &mut rng).unwrap();
+    let plan = MergePlan::build(MergeConfig::dfm(m), &scenario.learned_stats, &mut rng).unwrap();
     let report = verify_plan_r_bound(&plan, &scenario.learned_stats);
 
     // DF reconstruction with the learned prefix as the adversary's
@@ -118,18 +117,28 @@ pub fn render(security: &Security) -> String {
         "Definition-1 bound (max posterior/prior <= r)".into(),
         format!(
             "{} (claimed r = {:.1}, observed {:.1})",
-            if security.r_bound_holds { "HOLDS" } else { "VIOLATED" },
+            if security.r_bound_holds {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
             security.claimed_r,
             security.observed_r
         ),
     ]);
     table.row(&[
         "DF reconstruction, unmerged index".into(),
-        format!("{:.1}% of DFs recovered exactly", security.df_exact_unmerged * 100.0),
+        format!(
+            "{:.1}% of DFs recovered exactly",
+            security.df_exact_unmerged * 100.0
+        ),
     ]);
     table.row(&[
         "DF reconstruction, merged index".into(),
-        format!("{:.1}% of DFs recovered exactly", security.df_exact_merged * 100.0),
+        format!(
+            "{:.1}% of DFs recovered exactly",
+            security.df_exact_merged * 100.0
+        ),
     ]);
     table.row(&[
         "single-share chi-square (A / B / between, df = 15)".into(),

@@ -55,9 +55,15 @@ pub fn render(storage: &Storage) -> String {
         "Section 7.2: storage overhead (n = 3 index servers)",
         &["index", "size"],
     );
-    table.row(&["posting elements".into(), storage.total_postings.to_string()]);
+    table.row(&[
+        "posting elements".into(),
+        storage.total_postings.to_string(),
+    ]);
     table.row(&["ordinary inverted index".into(), mb(storage.plain_bytes)]);
-    table.row(&["one Zerber server (1.5x)".into(), mb(storage.per_server_bytes)]);
+    table.row(&[
+        "one Zerber server (1.5x)".into(),
+        mb(storage.per_server_bytes),
+    ]);
     table.row(&[
         format!("all {} Zerber servers", storage.n),
         mb(storage.total_bytes),

@@ -45,8 +45,7 @@ pub fn run(scale: Scale) -> Vec<Table1Row> {
         .into_iter()
         .map(|m| {
             let dfm = MergePlan::build(MergeConfig::dfm(m), stats, &mut rng).unwrap();
-            let bfm =
-                MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
+            let bfm = MergePlan::build(MergeConfig::bfm_lists(m), stats, &mut rng).unwrap();
             let udm = MergePlan::build(MergeConfig::udm(m), stats, &mut rng).unwrap();
             Table1Row {
                 m,

@@ -93,10 +93,7 @@ impl UpdateQueue {
     /// Drains all queues, returning one entry vector per server.
     pub fn drain(&mut self) -> Vec<Vec<(PlId, StoredShare)>> {
         self.queued_elements = 0;
-        self.per_server
-            .iter_mut()
-            .map(std::mem::take)
-            .collect()
+        self.per_server.iter_mut().map(std::mem::take).collect()
     }
 }
 

@@ -148,13 +148,7 @@ mod tests {
         )
     }
 
-    fn world(
-        owners: u32,
-    ) -> (
-        Vec<Arc<dyn ServerHandle>>,
-        Vec<AuthToken>,
-        Arc<TokenAuth>,
-    ) {
+    fn world(owners: u32) -> (Vec<Arc<dyn ServerHandle>>, Vec<AuthToken>, Arc<TokenAuth>) {
         let auth = Arc::new(TokenAuth::new());
         let server = IndexServer::new(0, Fp::new(3), auth.clone());
         let mut tokens = Vec::new();
@@ -196,8 +190,9 @@ mod tests {
         let (servers, tokens, _auth) = world(4);
         let mut mixer = UpdateMixer::new(1);
         for (owner, token) in tokens.iter().enumerate() {
-            let entries: Vec<_> =
-                (0..50u64).map(|i| entry(owner as u64 * 100 + i, 0)).collect();
+            let entries: Vec<_> = (0..50u64)
+                .map(|i| entry(owner as u64 * 100 + i, 0))
+                .collect();
             mixer.submit(*token, vec![entries]);
         }
         let mut rng = StdRng::seed_from_u64(2);

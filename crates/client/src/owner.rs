@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use zerber_core::{ElementCodec, ElementId, PlId, PostingElement};
 use zerber_core::MappingTable;
+use zerber_core::{ElementCodec, ElementId, PlId, PostingElement};
 use zerber_index::{DocId, Document, InvertedIndex};
 use zerber_net::{AuthToken, StoredShare};
 use zerber_server::ServerError;
@@ -255,9 +255,7 @@ mod tests {
         for server in &servers {
             let mut total = 0;
             for pl in 0..8u32 {
-                total += server
-                    .get_posting_lists(token, &[PlId(pl)])
-                    .unwrap()[0]
+                total += server.get_posting_lists(token, &[PlId(pl)]).unwrap()[0]
                     .1
                     .len();
             }
@@ -287,9 +285,7 @@ mod tests {
         let token = auth.issue(UserId(1));
         for server in &servers {
             for pl in 0..8u32 {
-                assert!(server
-                    .get_posting_lists(token, &[PlId(pl)])
-                    .unwrap()[0]
+                assert!(server.get_posting_lists(token, &[PlId(pl)]).unwrap()[0]
                     .1
                     .is_empty());
             }

@@ -159,8 +159,7 @@ fn rank(
     // Personalized statistics: df over the accessible elements, N =
     // distinct accessible documents.
     let mut df: HashMap<TermId, usize> = HashMap::new();
-    let mut docs: std::collections::HashSet<zerber_index::DocId> =
-        std::collections::HashSet::new();
+    let mut docs: std::collections::HashSet<zerber_index::DocId> = std::collections::HashSet::new();
     for element in elements {
         *df.entry(element.term).or_insert(0) += 1;
         docs.insert(element.doc);

@@ -248,9 +248,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let coarse = MergePlan::build(MergeConfig::dfm(2), &stats, &mut rng).unwrap();
         let fine = MergePlan::build(MergeConfig::dfm(64), &stats, &mut rng).unwrap();
-        assert!(
-            cost_inflation(&coarse, &dfs, &workload)
-                > cost_inflation(&fine, &dfs, &workload)
-        );
+        assert!(cost_inflation(&coarse, &dfs, &workload) > cost_inflation(&fine, &dfs, &workload));
     }
 }

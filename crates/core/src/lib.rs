@@ -56,4 +56,4 @@ pub mod rconf;
 pub use element::{CodecError, ElementCodec, ElementId, PostingElement};
 pub use mapping::{MappingTable, PlId};
 pub use merge::{MergeConfig, MergeHeuristic, MergePlan};
-pub use rconf::{amplification_bound, is_r_confidential, list_mass, achieved_r};
+pub use rconf::{achieved_r, amplification_bound, is_r_confidential, list_mass};

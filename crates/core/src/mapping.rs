@@ -53,7 +53,10 @@ impl MappingTable {
     /// # Panics
     /// Panics if `lists` is empty or a term appears twice.
     pub fn from_lists(lists: &[Vec<TermId>], hash_salt: u64) -> Self {
-        assert!(!lists.is_empty(), "an index needs at least one posting list");
+        assert!(
+            !lists.is_empty(),
+            "an index needs at least one posting list"
+        );
         let mut explicit = HashMap::new();
         for (i, list) in lists.iter().enumerate() {
             for &term in list {
@@ -100,12 +103,8 @@ impl MappingTable {
     /// id — any fixed public mixing function works; what matters is
     /// that everyone computes the same value).
     fn hash_route(&self, term: TermId) -> u32 {
-        let mut z = (term.0 as u64) ^ self.hash_salt;
-        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        (z % self.list_count as u64) as u32
+        let mut state = (term.0 as u64) ^ self.hash_salt;
+        (zerber_field::splitmix64(&mut state) % self.list_count as u64) as u32
     }
 
     /// Iterates the explicit entries (the published part of the table).
@@ -174,7 +173,10 @@ mod tests {
         let differing = (0..1000u32)
             .filter(|&t| a.lookup(TermId(t)) != b.lookup(TermId(t)))
             .count();
-        assert!(differing > 900, "salt must reshuffle routes, got {differing}");
+        assert!(
+            differing > 900,
+            "salt must reshuffle routes, got {differing}"
+        );
     }
 
     #[test]

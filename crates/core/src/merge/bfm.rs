@@ -198,12 +198,8 @@ mod tests {
             raw.into_iter().map(|p| p / total).collect()
         };
         for m in [1u32, 5, 20, 100] {
-            let lists = breadth_first_merge_with_list_target(
-                &terms(1000),
-                &probabilities,
-                m,
-                &mut rng,
-            );
+            let lists =
+                breadth_first_merge_with_list_target(&terms(1000), &probabilities, m, &mut rng);
             assert_eq!(lists.len(), m as usize, "m = {m}");
         }
     }

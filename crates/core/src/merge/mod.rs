@@ -388,8 +388,7 @@ mod tests {
         let stats = zipf_stats(400);
         let mut rng = StdRng::seed_from_u64(4);
         for m in [2u32, 8, 32] {
-            let plan =
-                MergePlan::build(MergeConfig::bfm_lists(m), &stats, &mut rng).unwrap();
+            let plan = MergePlan::build(MergeConfig::bfm_lists(m), &stats, &mut rng).unwrap();
             assert_eq!(plan.list_count(), m as usize, "m = {m}");
         }
     }

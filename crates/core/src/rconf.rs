@@ -95,9 +95,8 @@ mod tests {
         // Section 6: with a uniform distribution, r equals the number
         // of merged posting lists.
         let s = stats(&[10; 8]);
-        let partition: Vec<Vec<TermId>> = (0..4)
-            .map(|i| vec![tid(i * 2), tid(i * 2 + 1)])
-            .collect();
+        let partition: Vec<Vec<TermId>> =
+            (0..4).map(|i| vec![tid(i * 2), tid(i * 2 + 1)]).collect();
         assert!((achieved_r(&partition, &s) - 4.0).abs() < 1e-12);
         assert!(is_r_confidential(&partition, &s, 4.0));
         assert!(!is_r_confidential(&partition, &s, 3.9));

@@ -9,8 +9,7 @@ use zerber_core::{achieved_r, is_r_confidential, ElementCodec, PostingElement};
 use zerber_index::{CorpusStats, DocId, TermId};
 
 fn arb_stats() -> impl Strategy<Value = CorpusStats> {
-    prop::collection::vec(1u64..10_000, 1..400)
-        .prop_map(CorpusStats::from_document_frequencies)
+    prop::collection::vec(1u64..10_000, 1..400).prop_map(CorpusStats::from_document_frequencies)
 }
 
 proptest! {

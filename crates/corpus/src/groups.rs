@@ -33,12 +33,7 @@ impl GroupAssignments {
     /// per-user group count and the chosen groups are Zipf-skewed so a
     /// few groups (large courses / popular projects) end up big, as in
     /// Figure 5c.
-    pub fn generate(
-        num_users: u32,
-        num_groups: u32,
-        max_groups_per_user: u32,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(num_users: u32, num_groups: u32, max_groups_per_user: u32, seed: u64) -> Self {
         assert!(num_groups > 0 && num_users > 0, "need users and groups");
         assert!(max_groups_per_user >= 1, "users join at least one group");
         let mut rng = StdRng::seed_from_u64(seed);

@@ -251,9 +251,7 @@ mod tests {
         let corpus = OdpCorpus::generate(&OdpConfig::tiny());
         let full = corpus.statistics();
         let prefix = corpus.prefix_statistics(0.3);
-        assert!(
-            prefix.total_document_frequency() < full.total_document_frequency()
-        );
+        assert!(prefix.total_document_frequency() < full.total_document_frequency());
         assert!(prefix.total_document_frequency() > 0);
     }
 

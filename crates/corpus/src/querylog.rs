@@ -184,15 +184,16 @@ pub fn df_qf_rank_correlation(stats: &CorpusStats, workload: &QueryWorkload) -> 
     if n < 3 {
         return 0.0;
     }
-    let rank_of = |key: &dyn Fn(TermId) -> u64, terms: &[TermId]| -> std::collections::HashMap<TermId, f64> {
-        let mut sorted = terms.to_vec();
-        sorted.sort_by(|&a, &b| key(b).cmp(&key(a)).then(a.0.cmp(&b.0)));
-        sorted
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| (t, i as f64))
-            .collect()
-    };
+    let rank_of =
+        |key: &dyn Fn(TermId) -> u64, terms: &[TermId]| -> std::collections::HashMap<TermId, f64> {
+            let mut sorted = terms.to_vec();
+            sorted.sort_by(|&a, &b| key(b).cmp(&key(a)).then(a.0.cmp(&b.0)));
+            sorted
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (t, i as f64))
+                .collect()
+        };
     terms.sort_by_key(|t| t.0);
     let df_rank = rank_of(&|t| stats.document_frequency(t), &terms);
     let qf_rank = rank_of(&|t| workload.frequency(t), &terms);

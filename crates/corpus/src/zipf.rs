@@ -23,7 +23,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0f64;
         for rank in 0..n {
@@ -59,7 +62,9 @@ impl ZipfSampler {
         let needle = rng.random::<f64>() * self.total;
         // partition_point returns the first index with cumulative >
         // needle, i.e. the sampled rank.
-        self.cumulative.partition_point(|&c| c <= needle).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= needle)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -166,8 +171,7 @@ mod tests {
         let n = 100_000;
         let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean: f64 = draws.iter().sum::<f64>() / n as f64;
-        let variance: f64 =
-            draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        let variance: f64 = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((variance - 1.0).abs() < 0.05, "variance {variance}");
     }

@@ -1,6 +1,6 @@
 //! Share placement and query routing over the ring.
 //!
-//! A [`DhtIndex`] owns one [`ShareStore`](zerber_server::ShareStore)
+//! A [`DhtIndex`] owns one [`zerber_server::ShareStore`]
 //! per peer. Inserting an element routes its `n` shares to the `n`
 //! replica peers of the element's merged posting list; querying a list
 //! contacts any `k` of its replicas and reconstructs client-side,
@@ -83,10 +83,7 @@ impl DhtIndex {
         group: GroupId,
         rng: &mut R,
     ) -> ElementId {
-        let secret = self
-            .codec
-            .encode(element)
-            .expect("element fits the codec");
+        let secret = self.codec.encode(element).expect("element fits the codec");
         let shares = self.scheme.split(secret, rng);
         let element_id = ElementId(self.next_element);
         self.next_element += 1;
@@ -118,9 +115,8 @@ impl DhtIndex {
 
         // Which scheme coordinate does each replica hold? Share i went
         // to replica i, i.e. coordinate i of the scheme.
-        let coordinates: Vec<zerber_field::Fp> = (0..k)
-            .map(|i| self.scheme.coordinates()[i])
-            .collect();
+        let coordinates: Vec<zerber_field::Fp> =
+            (0..k).map(|i| self.scheme.coordinates()[i]).collect();
         let weights = lagrange_weights_at_zero(&coordinates);
 
         let mut partial: HashMap<ElementId, (zerber_field::Fp, usize)> = HashMap::new();
@@ -180,10 +176,7 @@ mod tests {
     fn index(peers: u32) -> (DhtIndex, StdRng) {
         let mut rng = StdRng::seed_from_u64(1);
         let scheme = SharingScheme::random(2, 3, &mut rng).unwrap();
-        (
-            DhtIndex::new(peers, scheme, ElementCodec::default()),
-            rng,
-        )
+        (DhtIndex::new(peers, scheme, ElementCodec::default()), rng)
     }
 
     fn element(doc: u32, term: u32) -> PostingElement {

@@ -21,10 +21,8 @@ pub struct ConsistentHashRing {
 }
 
 fn mix(key: u64, salt: u64) -> u64 {
-    let mut z = key ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    let mut state = key ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    zerber_field::splitmix64(&mut state)
 }
 
 impl ConsistentHashRing {

@@ -179,7 +179,11 @@ impl Sub for Fp {
     #[inline]
     fn sub(self, rhs: Fp) -> Fp {
         let (diff, borrow) = self.0.overflowing_sub(rhs.0);
-        Fp(if borrow { diff.wrapping_add(MODULUS) } else { diff })
+        Fp(if borrow {
+            diff.wrapping_add(MODULUS)
+        } else {
+            diff
+        })
     }
 }
 

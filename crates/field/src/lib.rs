@@ -34,8 +34,10 @@
 
 pub mod fp;
 pub mod linalg;
+pub mod mix;
 pub mod poly;
 
 pub use fp::{Fp, MODULUS};
 pub use linalg::{solve_vandermonde_gaussian, GaussianError};
+pub use mix::splitmix64;
 pub use poly::{interpolate_at, interpolate_at_zero, lagrange_weights_at_zero, Polynomial};

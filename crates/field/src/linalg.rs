@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn solves_linear_system() {
         // f(x) = 5x + 3 through (1, 8), (2, 13).
-        let coefficients =
-            solve_vandermonde_gaussian(&[fp(1), fp(2)], &[fp(8), fp(13)]).unwrap();
+        let coefficients = solve_vandermonde_gaussian(&[fp(1), fp(2)], &[fp(8), fp(13)]).unwrap();
         assert_eq!(coefficients[0].value(), 3);
         assert_eq!(coefficients[1].value(), 5);
     }

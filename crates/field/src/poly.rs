@@ -37,11 +37,7 @@ impl Polynomial {
     /// Samples a polynomial of exactly `degree` (i.e. `degree + 1`
     /// coefficient slots) with the given constant term and uniformly
     /// random remaining coefficients — Algorithm 1a, steps 1–2.
-    pub fn random_with_constant<R: Rng + ?Sized>(
-        constant: Fp,
-        degree: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_with_constant<R: Rng + ?Sized>(constant: Fp, degree: usize, rng: &mut R) -> Self {
         let mut coefficients = Vec::with_capacity(degree + 1);
         coefficients.push(constant);
         for _ in 0..degree {
@@ -127,7 +123,10 @@ pub fn lagrange_weights_at_zero(xs: &[Fp]) -> Vec<Fp> {
             // ℓ_i(0) = Π_{j≠i} (0 - x_j) / (x_i - x_j)
             numerator *= -xj;
             let difference = xi - xj;
-            assert!(!difference.is_zero(), "duplicate x-coordinates in share set");
+            assert!(
+                !difference.is_zero(),
+                "duplicate x-coordinates in share set"
+            );
             denominator *= difference;
         }
         weights.push(numerator * denominator.inverse().expect("non-zero denominator"));
@@ -145,11 +144,7 @@ pub fn lagrange_weights_at_zero(xs: &[Fp]) -> Vec<Fp> {
 pub fn interpolate_at_zero(points: &[(Fp, Fp)]) -> Fp {
     let xs: Vec<Fp> = points.iter().map(|&(x, _)| x).collect();
     let weights = lagrange_weights_at_zero(&xs);
-    points
-        .iter()
-        .zip(weights)
-        .map(|(&(_, y), w)| y * w)
-        .sum()
+    points.iter().zip(weights).map(|(&(_, y), w)| y * w).sum()
 }
 
 /// Interpolates the polynomial through `points` and evaluates it at an
@@ -169,7 +164,10 @@ pub fn interpolate_at(points: &[(Fp, Fp)], target: Fp) -> Fp {
             }
             numerator *= target - xj;
             let difference = xi - xj;
-            assert!(!difference.is_zero(), "duplicate x-coordinates in share set");
+            assert!(
+                !difference.is_zero(),
+                "duplicate x-coordinates in share set"
+            );
             denominator *= difference;
         }
         result += yi * numerator * denominator.inverse().expect("non-zero denominator");

@@ -2,9 +2,7 @@
 //! identities that Shamir's scheme relies on.
 
 use proptest::prelude::*;
-use zerber_field::{
-    interpolate_at_zero, solve_vandermonde_gaussian, Fp, Polynomial, MODULUS,
-};
+use zerber_field::{interpolate_at_zero, solve_vandermonde_gaussian, Fp, Polynomial, MODULUS};
 
 fn arb_fp() -> impl Strategy<Value = Fp> {
     (0..MODULUS).prop_map(Fp::from_canonical)

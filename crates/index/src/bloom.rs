@@ -64,8 +64,7 @@ impl BloomFilter {
         let h1 = fnv1a(0x517c_c1b7_2722_0a95, item);
         let h2 = fnv1a(0x9e37_79b9_7f4a_7c15, item) | 1; // odd => full period
         let m = self.bit_count as u64;
-        (0..self.hash_count as u64)
-            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+        (0..self.hash_count as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 
     /// Inserts an item.
@@ -129,7 +128,10 @@ mod tests {
             .filter(|i| filter.contains(&i.to_le_bytes()))
             .count();
         // 1% nominal rate over 1000 probes: allow generous slack.
-        assert!(false_positives < 50, "got {false_positives} false positives");
+        assert!(
+            false_positives < 50,
+            "got {false_positives} false positives"
+        );
     }
 
     #[test]

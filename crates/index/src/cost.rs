@@ -144,10 +144,7 @@ mod tests {
         let merged = vec![vec![tid(0), tid(1), tid(2)]];
         // Q = (10+20+30) * (1+2+3) = 360 >= 140.
         assert_eq!(workload_cost(&merged, &df, &workload), 360);
-        assert!(
-            workload_cost(&merged, &df, &workload)
-                >= unmerged_workload_cost(&df, &workload)
-        );
+        assert!(workload_cost(&merged, &df, &workload) >= unmerged_workload_cost(&df, &workload));
     }
 
     #[test]

@@ -143,11 +143,8 @@ mod tests {
 
     #[test]
     fn from_term_counts_sorts_and_sums() {
-        let doc = Document::from_term_counts(
-            DocId(9),
-            GroupId(1),
-            vec![(TermId(5), 2), (TermId(1), 3)],
-        );
+        let doc =
+            Document::from_term_counts(DocId(9), GroupId(1), vec![(TermId(5), 2), (TermId(1), 3)]);
         assert_eq!(doc.terms[0].0, TermId(1));
         assert_eq!(doc.length, 5);
     }
@@ -155,10 +152,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate term")]
     fn duplicate_terms_panic() {
-        let _ = Document::from_term_counts(
-            DocId(9),
-            GroupId(1),
-            vec![(TermId(5), 2), (TermId(5), 3)],
-        );
+        let _ =
+            Document::from_term_counts(DocId(9), GroupId(1), vec![(TermId(5), 2), (TermId(5), 3)]);
     }
 }

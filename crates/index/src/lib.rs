@@ -16,7 +16,7 @@
 //! * [`topk`] — TF-IDF scoring and the Fagin-style Threshold Algorithm
 //!   used for client-side ranking (Section 5.4.2),
 //! * [`bloom`] — a Bloom filter, the substrate of the μ-Serv baseline
-//!   from related work [3],
+//!   from related work \[3\],
 //! * [`baseline`] — the "ideal" trusted central index of Section 2: an
 //!   ordinary inverted index with an access-control check on the ranked
 //!   result list.

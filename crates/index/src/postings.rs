@@ -47,10 +47,7 @@ impl PostingList {
 
     /// Inserts or replaces the posting for `posting.doc`.
     pub fn upsert(&mut self, posting: Posting) {
-        match self
-            .entries
-            .binary_search_by_key(&posting.doc, |p| p.doc)
-        {
+        match self.entries.binary_search_by_key(&posting.doc, |p| p.doc) {
             Ok(i) => self.entries[i] = posting,
             Err(i) => self.entries.insert(i, posting),
         }

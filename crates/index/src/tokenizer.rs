@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn lowercases_unicode() {
         let tokenizer = Tokenizer::new();
-        assert_eq!(tokenizer.tokenize("Цербер İstanbul"), vec!["цербер", "i̇stanbul"]);
+        assert_eq!(
+            tokenizer.tokenize("Цербер İstanbul"),
+            vec!["цербер", "i̇stanbul"]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Section 5.4.2: "Zerber uses client-side ranking with personalized
 //! collection statistics obtained from the set of all documents
 //! accessible to the user. We use a modification of Fagin's Threshold
-//! Algorithm [15] that lets one obtain the top-K ranked results"
+//! Algorithm \[15\] that lets one obtain the top-K ranked results"
 //! without scanning every posting element. The contract of this module
 //! — verified by property tests — is that the threshold algorithm
 //! returns exactly the same top-K as a full sort of the aggregate
@@ -94,7 +94,12 @@ pub fn threshold_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
 
         // Sort the buffer and test the stopping condition: k docs at or
         // above the threshold for everything not yet seen.
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.doc.cmp(&b.doc))
+        });
         if results.len() >= k && results[k - 1].score >= threshold {
             break;
         }
@@ -119,7 +124,12 @@ pub fn naive_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
         .into_iter()
         .map(|(doc, score)| RankedDoc { doc, score })
         .collect();
-    results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
     results.truncate(k);
     results
 }

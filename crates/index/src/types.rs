@@ -28,8 +28,14 @@ impl DocId {
     /// Panics if `local` exceeds the 20-bit per-host space or `host`
     /// exceeds the remaining 12 bits.
     pub fn from_parts(host: u16, local: u32) -> Self {
-        assert!(local < (1 << DOC_LOCAL_BITS), "per-host doc number overflow");
-        assert!((host as u32) < (1 << (32 - DOC_LOCAL_BITS)), "host id overflow");
+        assert!(
+            local < (1 << DOC_LOCAL_BITS),
+            "per-host doc number overflow"
+        );
+        assert!(
+            (host as u32) < (1 << (32 - DOC_LOCAL_BITS)),
+            "host id overflow"
+        );
         DocId(((host as u32) << DOC_LOCAL_BITS) | local)
     }
 

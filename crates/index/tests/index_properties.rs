@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use zerber_index::topk::naive_topk;
 use zerber_index::{
-    threshold_topk, CorpusStats, Document, DocId, GroupId, InvertedIndex, ScoredList, TermId,
+    threshold_topk, CorpusStats, DocId, Document, GroupId, InvertedIndex, ScoredList, TermId,
 };
 
 /// A random document over a small term universe.
@@ -20,11 +20,7 @@ fn arb_document(id: u32) -> impl Strategy<Value = Document> {
 }
 
 fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
-    (1u32..30).prop_flat_map(|n| {
-        (0..n)
-            .map(arb_document)
-            .collect::<Vec<_>>()
-    })
+    (1u32..30).prop_flat_map(|n| (0..n).map(arb_document).collect::<Vec<_>>())
 }
 
 proptest! {

@@ -146,8 +146,7 @@ mod tests {
         meter.record(NodeId::Owner(0), NodeId::IndexServer(0), 10);
         meter.record(NodeId::Owner(0), NodeId::IndexServer(1), 10);
         meter.record(NodeId::User(0), NodeId::Owner(0), 5);
-        let into_servers =
-            meter.total_matching(|_, to| matches!(to, NodeId::IndexServer(_)));
+        let into_servers = meter.total_matching(|_, to| matches!(to, NodeId::IndexServer(_)));
         assert_eq!(into_servers, 20);
     }
 

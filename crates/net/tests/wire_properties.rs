@@ -20,7 +20,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
         prop::collection::vec((any::<u32>().prop_map(PlId), arb_share()), 0..40)
             .prop_map(|entries| Message::InsertBatch { entries }),
         prop::collection::vec(
-            (any::<u32>().prop_map(PlId), any::<u64>().prop_map(ElementId)),
+            (
+                any::<u32>().prop_map(PlId),
+                any::<u64>().prop_map(ElementId)
+            ),
             0..40
         )
         .prop_map(|elements| Message::Delete { elements }),

@@ -38,7 +38,9 @@ impl TokenAuth {
         let mut next = self.next.write();
         // Simple LCG step keeps tokens non-sequential without needing
         // an RNG; uniqueness is what matters for the simulation.
-        *next = next.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *next = next
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let token = AuthToken(*next);
         self.tokens.write().insert(token.0, user);
         token

@@ -27,7 +27,11 @@ impl GroupTable {
 
     /// Adds a membership.
     pub fn add(&self, user: UserId, group: GroupId) {
-        self.memberships.write().entry(user).or_default().insert(group);
+        self.memberships
+            .write()
+            .entry(user)
+            .or_default()
+            .insert(group);
     }
 
     /// Removes a membership; returns true iff it existed. Takes effect

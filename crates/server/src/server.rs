@@ -141,13 +141,17 @@ impl IndexServer {
             .collect())
     }
 
-    /// Applies a proactive refresh round (Section 5.1 / [21]): every
-    /// stored y-share is shifted by this server's delta.
+    /// Applies a proactive refresh round (Section 5.1 / \[21\]): every
+    /// stored y-share is shifted by this server's delta for that
+    /// element (each element is an independent sharing, so each gets
+    /// its own zero-constant delta polynomial).
     pub fn apply_refresh(&self, round: &RefreshRound) {
-        let delta = round
-            .delta_for(zerber_shamir::ServerId(self.id))
-            .expect("refresh round covers this server");
-        self.store.update_all(|share| share.share += delta);
+        let server = zerber_shamir::ServerId(self.id);
+        self.store.update_all(|share| {
+            share.share += round
+                .delta_for(server, share.element.0)
+                .expect("refresh round covers this server");
+        });
     }
 
     /// Total elements stored (for storage accounting).
@@ -315,10 +319,7 @@ mod tests {
         server.add_user_to_group(UserId(1), GroupId(0));
         let token = auth.issue(UserId(1));
         server
-            .insert_batch(
-                token,
-                &[(PlId(0), share(1, 0)), (PlId(0), share(2, 0))],
-            )
+            .insert_batch(token, &[(PlId(0), share(1, 0)), (PlId(0), share(2, 0))])
             .unwrap();
         let view = server.adversary_view();
         assert_eq!(view.list_len(PlId(0)), 2);
@@ -333,20 +334,33 @@ mod tests {
         server.add_user_to_group(UserId(1), GroupId(0));
         let token = auth.issue(UserId(1));
         server
-            .insert_batch(token, &[(PlId(0), share(1, 0))])
+            .insert_batch(token, &[(PlId(0), share(1, 0)), (PlId(0), share(2, 0))])
             .unwrap();
-        let before = server.adversary_view().raw_list(PlId(0))[0].share;
+        let before: Vec<Fp> = server
+            .adversary_view()
+            .raw_list(PlId(0))
+            .iter()
+            .map(|s| s.share)
+            .collect();
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Threshold 2 so the zero-constant delta polynomial has a
+        // nonzero linear term (threshold 1 would make every delta zero
+        // and the assertions vacuous); this server sits at index 0.
         let scheme = zerber_shamir::SharingScheme::with_coordinates(
-            1,
-            vec![server.coordinate()],
+            2,
+            vec![server.coordinate(), Fp::new(23)],
         )
         .unwrap();
         let round = RefreshRound::generate(&scheme, &mut rng);
         server.apply_refresh(&round);
-        let after = server.adversary_view().raw_list(PlId(0))[0].share;
-        let delta = round.delta_for(zerber_shamir::ServerId(0)).unwrap();
-        assert_eq!(before + delta, after);
+        let view = server.adversary_view().raw_list(PlId(0));
+        for (stored, &old) in view.iter().zip(&before) {
+            let delta = round
+                .delta_for(zerber_shamir::ServerId(0), stored.element.0)
+                .unwrap();
+            assert_ne!(delta, Fp::ZERO, "delta must actually shift the share");
+            assert_eq!(old + delta, stored.share);
+        }
     }
 }

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use parking_lot::RwLock;
 
 use zerber_core::{ElementId, PlId};
-use zerber_net::StoredShare;
 use zerber_index::GroupId;
+use zerber_net::StoredShare;
 
 /// Thread-safe share storage for one index server.
 #[derive(Debug, Default)]

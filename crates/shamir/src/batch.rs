@@ -86,10 +86,7 @@ impl BatchReconstructor {
     #[inline]
     pub fn reconstruct_one(&self, ys: &[Fp]) -> Fp {
         assert_eq!(ys.len(), self.weights.len(), "one share per chosen server");
-        ys.iter()
-            .zip(&self.weights)
-            .map(|(&y, &w)| y * w)
-            .sum()
+        ys.iter().zip(&self.weights).map(|(&y, &w)| y * w).sum()
     }
 
     /// Reconstructs a whole batch. `rows[i]` must hold the shares from
@@ -124,11 +121,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn scheme() -> SharingScheme {
-        SharingScheme::with_coordinates(
-            2,
-            vec![Fp::new(101), Fp::new(202), Fp::new(303)],
-        )
-        .unwrap()
+        SharingScheme::with_coordinates(2, vec![Fp::new(101), Fp::new(202), Fp::new(303)]).unwrap()
     }
 
     #[test]
@@ -140,8 +133,7 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.len() == secrets.len()));
 
-        let reconstructor =
-            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(2)]).unwrap();
+        let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(2)]).unwrap();
         let selected = vec![rows[0].clone(), rows[2].clone()];
         let recovered = reconstructor.reconstruct_all(&selected);
         assert_eq!(recovered, secrets);
@@ -153,8 +145,7 @@ mod tests {
         let scheme = scheme();
         let secret = Fp::new(5_000_000);
         let shares = scheme.split(secret, &mut rng);
-        let reconstructor =
-            BatchReconstructor::new(&scheme, &[ServerId(1), ServerId(2)]).unwrap();
+        let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(1), ServerId(2)]).unwrap();
         let recovered = reconstructor.reconstruct_one(&[shares[1].y, shares[2].y]);
         assert_eq!(recovered, secret);
     }
@@ -173,8 +164,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let scheme = scheme();
         let reconstructor =
-            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1), ServerId(2)])
-                .unwrap();
+            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1), ServerId(2)]).unwrap();
         assert_eq!(reconstructor.servers().len(), 2);
         let secret = Fp::new(77);
         let shares = scheme.split(secret, &mut rng);
@@ -187,8 +177,7 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let scheme = scheme();
-        let reconstructor =
-            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+        let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
         let rows = vec![vec![], vec![]];
         assert!(reconstructor.reconstruct_all(&rows).is_empty());
     }
@@ -197,8 +186,7 @@ mod tests {
     #[should_panic(expected = "aligned")]
     fn misaligned_rows_panic() {
         let scheme = scheme();
-        let reconstructor =
-            BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
+        let reconstructor = BatchReconstructor::new(&scheme, &[ServerId(0), ServerId(1)]).unwrap();
         let rows = vec![vec![Fp::ONE], vec![]];
         let _ = reconstructor.reconstruct_all(&rows);
     }

@@ -16,7 +16,7 @@
 //!   Lagrange variant used on the hot path.
 //! * [`batch`] — amortized splitting/reconstruction for whole documents
 //!   and query responses ("700 elements per msec", Section 7.3).
-//! * [`proactive`] — share refresh à la Herzberg et al. [21], which the
+//! * [`proactive`] — share refresh à la Herzberg et al. \[21\], which the
 //!   paper cites for recovering from partial share exposure.
 
 //! # Example

@@ -138,8 +138,8 @@ impl SharingScheme {
         let shares = self.validated(shares)?;
         let xs: Vec<Fp> = shares.iter().map(|s| s.x).collect();
         let ys: Vec<Fp> = shares.iter().map(|s| s.y).collect();
-        let coefficients = solve_vandermonde_gaussian(&xs, &ys)
-            .map_err(|_| ShamirError::DuplicateShare)?;
+        let coefficients =
+            solve_vandermonde_gaussian(&xs, &ys).map_err(|_| ShamirError::DuplicateShare)?;
         Ok(coefficients[0])
     }
 
@@ -221,11 +221,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn scheme_2_of_3() -> SharingScheme {
-        SharingScheme::with_coordinates(
-            2,
-            vec![Fp::new(11), Fp::new(22), Fp::new(33)],
-        )
-        .unwrap()
+        SharingScheme::with_coordinates(2, vec![Fp::new(11), Fp::new(22), Fp::new(33)]).unwrap()
     }
 
     #[test]
@@ -289,8 +285,7 @@ mod tests {
     #[test]
     fn k_equals_one_broadcasts_the_secret() {
         // Degenerate but legal: every share *is* the secret.
-        let scheme =
-            SharingScheme::with_coordinates(1, vec![Fp::new(7), Fp::new(9)]).unwrap();
+        let scheme = SharingScheme::with_coordinates(1, vec![Fp::new(7), Fp::new(9)]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let shares = scheme.split(Fp::new(101), &mut rng);
         assert!(shares.iter().all(|s| s.y.value() == 101));
@@ -298,11 +293,8 @@ mod tests {
 
     #[test]
     fn k_equals_n_requires_all_shares() {
-        let scheme = SharingScheme::with_coordinates(
-            3,
-            vec![Fp::new(1), Fp::new(2), Fp::new(3)],
-        )
-        .unwrap();
+        let scheme =
+            SharingScheme::with_coordinates(3, vec![Fp::new(1), Fp::new(2), Fp::new(3)]).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let secret = Fp::new(2_000_000_000);
         let shares = scheme.split(secret, &mut rng);
@@ -383,9 +375,6 @@ mod tests {
         let shares = scheme.split(secret, &mut rng_a);
         let mut ys = Vec::new();
         scheme.split_into(secret, &mut rng_b, &mut ys);
-        assert_eq!(
-            shares.iter().map(|s| s.y).collect::<Vec<_>>(),
-            ys
-        );
+        assert_eq!(shares.iter().map(|s| s.y).collect::<Vec<_>>(), ys);
     }
 }

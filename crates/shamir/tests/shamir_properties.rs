@@ -105,7 +105,7 @@ proptest! {
         let refreshed: Vec<_> = shares
             .iter()
             .enumerate()
-            .map(|(i, &s)| round.apply(ServerId(i as u32), s))
+            .map(|(i, &s)| round.apply(ServerId(i as u32), 7, s))
             .collect();
         for window in refreshed.windows(3) {
             prop_assert_eq!(scheme.reconstruct(window).unwrap(), secret);

@@ -5,7 +5,7 @@
 //!   Re-exported from `zerber-index` as [`CentralIndex`].
 //! * **Shotgun search** ([`shotgun`]) — Section 1's strawman: each
 //!   owner indexes locally and every query is broadcast to all owners.
-//! * **μ-Serv** ([`muserv`]) — Section 3's closest related system [3]:
+//! * **μ-Serv** ([`muserv`]) — Section 3's closest related system \[3\]:
 //!   a central Bloom-filter index that returns *candidate sites*,
 //!   which the user must then query individually.
 

@@ -1,4 +1,4 @@
-//! The μ-Serv baseline (paper Section 3, reference [3]).
+//! The μ-Serv baseline (paper Section 3, reference \[3\]).
 //!
 //! "μ-Serv has a centralized index based on a Bloom filter; it
 //! responds to a keyword search by returning a list of sites that have
@@ -88,11 +88,7 @@ impl MuServIndex {
         let mut candidates: Vec<u16> = self
             .filters
             .iter()
-            .filter(|(_, filter)| {
-                terms
-                    .iter()
-                    .any(|t| filter.contains(&t.0.to_le_bytes()))
-            })
+            .filter(|(_, filter)| terms.iter().any(|t| filter.contains(&t.0.to_le_bytes())))
             .map(|(&host, _)| host)
             .collect();
         candidates.sort_unstable();
@@ -179,9 +175,7 @@ mod tests {
         let precise = deployment(0.001);
         let sloppy = deployment(0.5);
         let term = [TermId(1005)];
-        assert!(
-            sloppy.candidate_sites(&term).len() >= precise.candidate_sites(&term).len()
-        );
+        assert!(sloppy.candidate_sites(&term).len() >= precise.candidate_sites(&term).len());
     }
 
     #[test]
@@ -199,6 +193,9 @@ mod tests {
         // No membership granted.
         let outcome = muserv.query(UserId(9), &[TermId(7)], 10);
         assert!(outcome.ranked.is_empty());
-        assert!(outcome.candidate_sites >= 1, "site flagged but inaccessible");
+        assert!(
+            outcome.candidate_sites >= 1,
+            "site flagged but inaccessible"
+        );
     }
 }

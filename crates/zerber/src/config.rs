@@ -1,8 +1,8 @@
 //! Deployment configuration.
 
+use zerber_client::BatchPolicy;
 use zerber_core::merge::MergeConfig;
 use zerber_core::ElementCodec;
-use zerber_client::BatchPolicy;
 
 /// Everything needed to bootstrap a Zerber deployment.
 #[derive(Debug, Clone, Copy)]

@@ -17,7 +17,47 @@
 //! The [`baselines`] module provides the comparators used throughout
 //! the paper: the trusted central index ("ideal scheme", Section 2),
 //! the shotgun per-owner broadcast (Section 1), and a μ-Serv-style
-//! Bloom-filter site index (Section 3, [3]).
+//! Bloom-filter site index (Section 3, \[3\]).
+//!
+//! # Example
+//!
+//! Deploy a 2-out-of-3 system over one tiny group, index a document,
+//! and run an authorized query end to end:
+//!
+//! ```
+//! use zerber::{ZerberConfig, ZerberSystem};
+//! use zerber_core::merge::MergeConfig;
+//! use zerber_index::{DocId, GroupId, InvertedIndex, RawDocument, TermDict, Tokenizer, UserId};
+//!
+//! let tokenizer = Tokenizer::new();
+//! let mut dict = TermDict::new();
+//! let raw = RawDocument {
+//!     id: DocId::from_parts(0, 1),
+//!     group: GroupId(0),
+//!     text: "the quarterly layoff plan is confidential".to_owned(),
+//! };
+//! let doc = raw.process(&tokenizer, &mut dict);
+//!
+//! let mut index = InvertedIndex::new();
+//! index.insert(&doc);
+//! let config = ZerberConfig::default().with_merge(MergeConfig::dfm(4));
+//! let mut system = ZerberSystem::bootstrap(config, &index.statistics()).unwrap();
+//!
+//! let reader = UserId(7);
+//! system.add_membership(reader, GroupId(0));
+//! system.index_document(&doc).unwrap();
+//!
+//! let term = dict.get("layoff").unwrap();
+//! let outcome = system.query(reader, &[term], 10).unwrap();
+//! assert_eq!(outcome.ranked[0].doc, doc.id);
+//!
+//! // A stranger without the group membership sees nothing.
+//! let outsider = UserId(8);
+//! let empty = system.query(outsider, &[term], 10).unwrap();
+//! assert!(empty.ranked.is_empty());
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod config;

@@ -228,7 +228,7 @@ impl ZerberSystem {
     }
 
     /// Applies one proactive refresh round to every server (Section
-    /// 5.1 / [21]).
+    /// 5.1 / \[21\]).
     pub fn proactive_refresh(&mut self) {
         let round = RefreshRound::generate(&self.scheme, &mut self.rng);
         for server in &self.servers {
@@ -306,9 +306,15 @@ mod tests {
         let mut sys = system();
         sys.add_membership(UserId(1), GroupId(0));
         sys.index_document(&doc(1, 0, &[(5, 1)])).unwrap();
-        assert_eq!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(), 1);
+        assert_eq!(
+            sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(),
+            1
+        );
         sys.remove_membership(UserId(1), GroupId(0));
-        assert_eq!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(), 0);
+        assert_eq!(
+            sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.len(),
+            0
+        );
     }
 
     #[test]
@@ -318,7 +324,11 @@ mod tests {
         sys.index_document(&doc(1, 0, &[(5, 1), (6, 1)])).unwrap();
         let removed = sys.delete_document(GroupId(0), DocId(1)).unwrap();
         assert_eq!(removed, 2);
-        assert!(sys.query(UserId(1), &[TermId(5)], 10).unwrap().ranked.is_empty());
+        assert!(sys
+            .query(UserId(1), &[TermId(5)], 10)
+            .unwrap()
+            .ranked
+            .is_empty());
         assert_eq!(sys.elements_per_server(), 0);
     }
 
@@ -326,7 +336,8 @@ mod tests {
     fn storage_is_replicated_on_every_server() {
         let mut sys = system();
         sys.add_membership(UserId(1), GroupId(0));
-        sys.index_document(&doc(1, 0, &[(5, 1), (6, 1), (7, 1)])).unwrap();
+        sys.index_document(&doc(1, 0, &[(5, 1), (6, 1), (7, 1)]))
+            .unwrap();
         for server in sys.servers() {
             assert_eq!(server.total_elements(), 3);
         }

@@ -45,7 +45,10 @@ fn main() {
 
     println!("== Attack 1: document-frequency reconstruction ==");
     println!("Alice owns one index server and knows the language statistics.");
-    println!("{:>8} | {:>10} {:>12} {:>12}", "M", "exact %", "mean |err|", "achieved r");
+    println!(
+        "{:>8} | {:>10} {:>12} {:>12}",
+        "M", "exact %", "mean |err|", "achieved r"
+    );
     for m in [1u32, 16, 256, 4096] {
         let config = ZerberConfig::default().with_merge(MergeConfig::dfm(m));
         let mut system = ZerberSystem::bootstrap(config, &stats).expect("bootstrap");
@@ -78,8 +81,8 @@ fn main() {
     let scheme = zerber_shamir::SharingScheme::random(2, 3, &mut rng).unwrap();
     let report = share_distribution_test(
         &scheme,
-        Fp::new(7),                // "layoff" encoded
-        Fp::new((1 << 60) - 1),    // a completely different element
+        Fp::new(7),             // "layoff" encoded
+        Fp::new((1 << 60) - 1), // a completely different element
         50_000,
         16,
         &mut rng,

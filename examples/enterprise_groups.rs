@@ -43,9 +43,8 @@ fn main() {
 
     // Bootstrap Zerber with BFM at a confidentiality target.
     let stats = data.statistics();
-    let zerber_config = ZerberConfig::default().with_merge(
-        MergeConfig::bfm_lists(512).with_rare_term_cutoff(1e-5),
-    );
+    let zerber_config =
+        ZerberConfig::default().with_merge(MergeConfig::bfm_lists(512).with_rare_term_cutoff(1e-5));
     let mut system = ZerberSystem::bootstrap(zerber_config, &stats).expect("bootstrap");
     println!(
         "\nZerber: {} lists, achieved r = {:.1}, public table entries = {}",

@@ -12,10 +12,26 @@ use zerber_index::{DocId, GroupId, RawDocument, TermDict, Tokenizer, UserId};
 fn main() {
     // --- 1. The sensitive documents of two collaboration groups. ----
     let texts = [
-        (1u32, 0u32, "Martha spoke with the ImClone board about the layoff plan."),
-        (2, 0, "The layoff schedule for Q3 is attached; do not forward."),
-        (3, 1, "Hesselhofer is a finalist for the CEO position at HP."),
-        (4, 1, "Board meeting notes: CEO succession and the buyout offer."),
+        (
+            1u32,
+            0u32,
+            "Martha spoke with the ImClone board about the layoff plan.",
+        ),
+        (
+            2,
+            0,
+            "The layoff schedule for Q3 is attached; do not forward.",
+        ),
+        (
+            3,
+            1,
+            "Hesselhofer is a finalist for the CEO position at HP.",
+        ),
+        (
+            4,
+            1,
+            "Board meeting notes: CEO succession and the buyout offer.",
+        ),
     ];
     let tokenizer = Tokenizer::new();
     let mut dict = TermDict::new();
@@ -74,7 +90,10 @@ fn main() {
         for word in ["layoff", "ceo"] {
             let Some(term) = dict.get(word) else { continue };
             let outcome = system.query(user, &[term], 10).expect("query");
-            println!("\n{name} searches \"{word}\": {} hit(s)", outcome.ranked.len());
+            println!(
+                "\n{name} searches \"{word}\": {} hit(s)",
+                outcome.ranked.len()
+            );
             for hit in &outcome.ranked {
                 let snippet = snippets
                     .snippet(hit.doc, word)

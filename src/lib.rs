@@ -6,6 +6,17 @@
 //! lives in the `crates/` subdirectories; start with [`zerber`] for the
 //! system facade and [`zerber_core`] for the paper's primary
 //! contribution (r-confidential term merging).
+//!
+//! ```
+//! // Every workspace member is reachable through this facade.
+//! use zerber_repro::zerber::ZerberConfig;
+//! use zerber_repro::zerber_field::Fp;
+//!
+//! let _ = ZerberConfig::default();
+//! assert_eq!(Fp::new(3) + Fp::new(4), Fp::new(7));
+//! ```
+
+#![deny(missing_docs)]
 
 pub use zerber;
 pub use zerber_attacks;

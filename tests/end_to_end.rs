@@ -115,7 +115,9 @@ fn deletion_matches_baseline() {
         assert!(central.remove(doc));
     }
     for term in [0u32, 2, 9, 33] {
-        let zerber_hits = system.query(UserId(1), &[TermId(term)], usize::MAX).unwrap();
+        let zerber_hits = system
+            .query(UserId(1), &[TermId(term)], usize::MAX)
+            .unwrap();
         let central_hits = central.search(UserId(1), &[TermId(term)], usize::MAX);
         assert_eq!(
             result_set(&zerber_hits.ranked),
@@ -132,11 +134,7 @@ fn document_update_reflects_newest_version_only() {
     // term, and re-index.
     let old = corpus.documents[0].clone();
     let marker = TermId(799);
-    let updated = zerber_index::Document::from_term_counts(
-        old.id,
-        old.group,
-        vec![(marker, 5)],
-    );
+    let updated = zerber_index::Document::from_term_counts(old.id, old.group, vec![(marker, 5)]);
     system.index_document(&updated).unwrap();
     system.flush_owners().unwrap();
 

@@ -1,0 +1,263 @@
+//! Offline, API-compatible subset of the [`bytes`](https://docs.rs/bytes/1)
+//! crate, vendored so the Zerber wire protocol builds without network
+//! access.
+//!
+//! Provides [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`] traits
+//! with exactly the cursor methods the wire codec uses. Multi-byte
+//! integers are big-endian, matching the real crate. [`Bytes`] is backed
+//! by `Arc<[u8]>`, so clones are cheap reference bumps as in the real
+//! crate (no copy-on-clone surprises in bandwidth accounting).
+//!
+//! ```
+//! use bytes::{Buf, BufMut, BytesMut};
+//!
+//! let mut w = BytesMut::with_capacity(6);
+//! w.put_u8(1);
+//! w.put_u32(0xDEAD_BEEF);
+//! let frozen = w.freeze();
+//! let mut r: &[u8] = &frozen;
+//! assert_eq!(r.get_u8(), 1);
+//! assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+//! assert_eq!(r.remaining(), 0);
+//! ```
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source; advances past consumed data.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes and returns a big-endian `u32`. Panics if short.
+    fn get_u32(&mut self) -> u32;
+
+    /// Consumes and returns a big-endian `u64`. Panics if short.
+    fn get_u64(&mut self) -> u64;
+
+    /// Skips `count` bytes. Panics if short.
+    fn advance(&mut self, count: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let value = u32::from_be_bytes(head.try_into().unwrap());
+        *self = rest;
+        value
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let value = u64::from_be_bytes(head.try_into().unwrap());
+        *self = rest;
+        value
+    }
+
+    fn advance(&mut self, count: usize) {
+        *self = &self[count..];
+    }
+}
+
+/// Write cursor appending to a growable byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer (`Arc`-backed).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte string without additional indirection cost.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Copies `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Bytes::from_static(data)
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying the tail.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.put_u8(value);
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.data.put_u32(value);
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.data.put_u64(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_exact_and_big_endian() {
+        let mut w = BytesMut::with_capacity(13);
+        w.put_u8(7);
+        w.put_u32(0x0102_0304);
+        w.put_u64(0x0506_0708_090A_0B0C);
+        assert_eq!(w.len(), 13);
+        let frozen = w.freeze();
+        assert_eq!(frozen[1..5], [1, 2, 3, 4]);
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0x0102_0304);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.get_u64(), 0x0506_0708_090A_0B0C);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32();
+    }
+}

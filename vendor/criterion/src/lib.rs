@@ -1,0 +1,216 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) benchmark harness, vendored
+//! so the Zerber workspace's benches compile and run without network
+//! access.
+//!
+//! The statistical machinery (outlier detection, regression analysis, HTML
+//! reports) is replaced by a plain time-boxed loop that prints mean
+//! nanoseconds per iteration. Bench *registration* is identical to real
+//! criterion — `criterion_group!` / `criterion_main!` with
+//! `harness = false` targets — so swapping the real crate back in is a
+//! manifest-only change.
+//!
+//! Passing `--test` (as `cargo test --benches` does) or setting
+//! `CRITERION_SMOKE=1` runs every closure exactly once, keeping CI fast.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function; mirrors
+/// `criterion::Criterion`.
+pub struct Criterion {
+    /// Run each closure once instead of measuring (smoke/CI mode).
+    smoke: bool,
+    /// Requested sample size (accepted for API compatibility; the stub
+    /// time-boxes instead of sampling).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Criterion {
+            smoke,
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            measurement: None,
+        };
+        f(&mut bencher);
+        match bencher.measurement {
+            Some(m) if !self.smoke => {
+                println!(
+                    "{id:<50} {:>12.1} ns/iter ({} iters)",
+                    m.ns_per_iter, m.iters
+                );
+            }
+            _ => println!("{id:<50} ok (smoke)"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested sample size (accepted, not enforced).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group (report flushing is a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Timing loop driver; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    smoke: bool,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records mean wall-clock time.
+    ///
+    /// In smoke mode the routine runs exactly once and nothing is measured.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up, then time-boxed measurement (~100 ms or 10k iters).
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let budget = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 10_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.measurement = Some(Measurement {
+            ns_per_iter: elapsed.as_nanos() as f64 / iters.max(1) as f64,
+            iters,
+        });
+    }
+}
+
+/// Prevents the optimizer from deleting a value; re-export of
+/// [`std::hint::black_box`] for call sites that import it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles bench functions into one runnable group, exactly like real
+/// criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target, exactly like real
+/// criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion {
+            smoke: false,
+            sample_size: 10,
+        };
+        let mut calls = 0u64;
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0, "routine never executed");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            smoke: true,
+            sample_size: 10,
+        };
+        let mut calls = 0u64;
+        c.bench_function("stub/smoke_test", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion {
+            smoke: true,
+            sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(20);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

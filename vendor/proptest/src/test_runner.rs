@@ -1,0 +1,220 @@
+//! Deterministic test runner behind the [`proptest!`](crate::proptest)
+//! macro: per-test seeding, case iteration, and rejection accounting.
+
+use crate::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!` misses) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should be retried.
+    Reject(&'static str),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failed-assertion constructor used by the `prop_assert*` macros.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// Rejection constructor used by `prop_assume!`.
+    pub fn reject(reason: &'static str) -> Self {
+        TestCaseError::Reject(reason)
+    }
+}
+
+/// Deterministic generator handed to strategies (xoshiro256**, seeded from
+/// the test name so every run explores the same cases).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Drives one `proptest!` test item: generates inputs, runs the body,
+/// panics with a reproducible report on the first failing case.
+pub struct TestRunner {
+    name: &'static str,
+    config: Config,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the test `name` (the seed derives from it).
+    pub fn new(name: &'static str, config: Config) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner { name, config, seed }
+    }
+
+    /// Runs `body` against `config.cases` generated inputs.
+    pub fn run<S, F>(&self, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            // One RNG stream per case keeps cases independent and lets a
+            // failure be replayed from (test name, case index) alone.
+            let mut rng = TestRng::from_seed(self.seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let value = strategy.new_value(&mut rng);
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "{}: too many prop_assume! rejections ({rejected}), last: {reason}",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{}: property failed at case {case} (deterministic; rerun reproduces it)\n{message}",
+                        self.name
+                    );
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        let runner = TestRunner::new("trivial", Config::with_cases(16));
+        let mut seen = 0;
+        runner.run(&(0u64..100), |v| {
+            assert!(v < 100);
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_reports_failures() {
+        let runner = TestRunner::new("failing", Config::default());
+        runner.run(&(0u64..100), |v| {
+            if v >= 50 {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let runner = TestRunner::new("rejecting", Config::with_cases(8));
+        let mut passed = 0;
+        runner.run(&(0u64..100), |v| {
+            if v % 2 == 0 {
+                Err(TestCaseError::reject("odd only"))
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut out = vec![];
+            TestRunner::new("det", Config::with_cases(10)).run(&(0u64..1 << 40), |v| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        let b: Vec<u64> = {
+            let mut out = vec![];
+            TestRunner::new("det", Config::with_cases(10)).run(&(0u64..1 << 40), |v| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(a, b);
+    }
+}
