@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the block-compressed posting engine:
+//! encode, full decode, `advance_to` block skipping, and streaming
+//! k-way merge throughput over Zipf-shaped lists.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zerber_postings::{
+    merge_compressed, CompressedPostingBuilder, CompressedPostingList, RawEntry,
+};
+
+/// A sorted posting list with Zipf-ish gaps: mostly dense runs with
+/// occasional large jumps, the shape real doc-id lists have.
+fn synthetic_entries(len: usize, seed: u64) -> Vec<RawEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = 0u64;
+    (0..len)
+        .map(|_| {
+            doc += 1 + (rng.random::<u64>() % 16) * u64::from(rng.random::<u8>() % 8 == 0);
+            RawEntry {
+                doc,
+                count: 1 + rng.random::<u32>() % 12,
+                doc_length: 120,
+            }
+        })
+        .collect()
+}
+
+fn compress(entries: &[RawEntry]) -> CompressedPostingList {
+    CompressedPostingBuilder::from_sorted(entries.iter().copied())
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let entries = synthetic_entries(100_000, 1);
+    c.bench_function("postings/encode_100k", |b| {
+        b.iter(|| black_box(compress(black_box(&entries))))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let list = compress(&synthetic_entries(100_000, 2));
+    c.bench_function("postings/decode_100k", |b| {
+        b.iter(|| {
+            let mut checksum = 0u64;
+            for entry in list.iter() {
+                checksum = checksum.wrapping_add(entry.doc);
+            }
+            black_box(checksum)
+        })
+    });
+}
+
+fn bench_advance_to(c: &mut Criterion) {
+    let entries = synthetic_entries(100_000, 3);
+    let list = compress(&entries);
+    let last = entries.last().expect("non-empty").doc;
+    c.bench_function("postings/advance_to_strided_100k", |b| {
+        b.iter(|| {
+            // ~100 skip targets spread across the list: block skipping
+            // should decode only the landing blocks.
+            let mut iter = list.iter();
+            let mut hits = 0usize;
+            let mut target = 0u64;
+            while target < last {
+                target += last / 100;
+                if iter.advance_to(black_box(target)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let lists: Vec<CompressedPostingList> = (0..8)
+        .map(|i| compress(&synthetic_entries(20_000, 10 + i)))
+        .collect();
+    let refs: Vec<&CompressedPostingList> = lists.iter().collect();
+    let mut group = c.benchmark_group("postings/merge_8x20k");
+    group.sample_size(10);
+    group.bench_function("kway_streaming", |b| {
+        b.iter(|| black_box(merge_compressed(black_box(&refs))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_advance_to,
+    bench_merge
+);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|security|ablation]
+//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|security|ablation]
 //! ```
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
@@ -14,7 +14,7 @@
 //! crossovers are the reproduction target — see EXPERIMENTS.md.
 
 use zerber_bench::experiments::{
-    ablation, bandwidth, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
+    ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
     fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, micro, security, storage, table1,
 };
 use zerber_bench::Scale;
@@ -77,6 +77,9 @@ fn main() {
     }
     if wanted("storage") {
         println!("{}", storage::render(&storage::run(scale)));
+    }
+    if wanted("compression") {
+        println!("{}", compression::render(&compression::run(scale)));
     }
     if wanted("security") {
         println!("{}", security::render(&security::run(scale)));

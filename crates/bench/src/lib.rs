@@ -13,6 +13,7 @@ pub mod experiments {
     //! One module per paper artifact.
     pub mod ablation;
     pub mod bandwidth;
+    pub mod compression;
     pub mod fig10_qratio;
     pub mod fig11_efficiency;
     pub mod fig12_response;

@@ -183,13 +183,10 @@ impl OdpCorpus {
         zerber_index::CorpusStats::from_document_frequencies(dfs)
     }
 
-    /// Builds an inverted index over the whole corpus.
+    /// Builds an inverted index over the whole corpus (bulk path: one
+    /// sort per posting list instead of per-document inserts).
     pub fn build_index(&self) -> zerber_index::InvertedIndex {
-        let mut index = zerber_index::InvertedIndex::new();
-        for doc in &self.documents {
-            index.insert(doc);
-        }
-        index
+        zerber_index::InvertedIndex::from_documents(&self.documents)
     }
 }
 

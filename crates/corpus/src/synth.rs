@@ -87,13 +87,10 @@ impl SyntheticCorpus {
         }
     }
 
-    /// Builds an inverted index over the whole corpus.
+    /// Builds an inverted index over the whole corpus (bulk path: one
+    /// sort per posting list instead of per-document inserts).
     pub fn build_index(&self) -> zerber_index::InvertedIndex {
-        let mut index = zerber_index::InvertedIndex::new();
-        for doc in &self.documents {
-            index.insert(doc);
-        }
-        index
+        zerber_index::InvertedIndex::from_documents(&self.documents)
     }
 
     /// Per-term document frequencies (term-id indexed, over the full

@@ -9,6 +9,9 @@
 //! * [`tokenizer`] / [`dict`] — document parsing and term interning,
 //! * [`doc`] / [`postings`] / [`inverted`] — documents, posting lists
 //!   with term frequencies, and the index itself,
+//! * [`store`] — the pluggable posting-storage abstraction
+//!   ([`store::PostingStore`]): raw `Vec<Posting>` lists here, the
+//!   block-compressed backend in the `zerber-postings` crate,
 //! * [`stats`] — corpus statistics: document frequencies and the
 //!   normalized term-occurrence probability `p_t` of formula (2),
 //! * [`cost`] — the disk cost model of Section 7.4 and the workload
@@ -29,6 +32,7 @@ pub mod doc;
 pub mod inverted;
 pub mod postings;
 pub mod stats;
+pub mod store;
 pub mod tokenizer;
 pub mod topk;
 pub mod types;
@@ -41,6 +45,7 @@ pub use doc::{Document, RawDocument};
 pub use inverted::InvertedIndex;
 pub use postings::{Posting, PostingList};
 pub use stats::CorpusStats;
+pub use store::{PostingBackend, PostingStore, RawPostingStore};
 pub use tokenizer::Tokenizer;
-pub use topk::{threshold_topk, RankedDoc, ScoredList};
+pub use topk::{block_max_topk, threshold_topk, BlockScoredList, RankedDoc, ScoredList};
 pub use types::{DocId, GroupId, TermId, UserId};

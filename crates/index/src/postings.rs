@@ -45,6 +45,21 @@ impl PostingList {
         Self::default()
     }
 
+    /// Builds a list from postings already sorted by strictly
+    /// increasing document id — the bulk-construction path for corpus
+    /// builds, which avoids the O(n²) repeated-`insert` cost of
+    /// [`PostingList::upsert`] on large inputs.
+    ///
+    /// Sort order is debug-asserted; in release builds the caller's
+    /// contract is trusted.
+    pub fn from_sorted(entries: Vec<Posting>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].doc < w[1].doc),
+            "postings must be sorted by strictly increasing doc id"
+        );
+        Self { entries }
+    }
+
     /// Inserts or replaces the posting for `posting.doc`.
     pub fn upsert(&mut self, posting: Posting) {
         match self.entries.binary_search_by_key(&posting.doc, |p| p.doc) {
@@ -101,6 +116,24 @@ mod tests {
             count,
             doc_length: 100,
         }
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental_build() {
+        let entries: Vec<Posting> = (1..=50).map(|doc| posting(doc, doc)).collect();
+        let bulk = PostingList::from_sorted(entries.clone());
+        let mut incremental = PostingList::new();
+        for p in entries {
+            incremental.upsert(p);
+        }
+        assert_eq!(bulk, incremental);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by strictly increasing doc id")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_rejects_unsorted_input() {
+        let _ = PostingList::from_sorted(vec![posting(2, 1), posting(1, 1)]);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Pluggable posting-list storage backends.
+//!
+//! The index substrate historically hard-wired `Vec<Posting>` lists.
+//! Production-scale corpora want a block-compressed representation
+//! instead (doc-id deltas + bit-packed counts, see the
+//! `zerber-postings` crate), so read access is abstracted behind
+//! [`PostingStore`]: an immutable, term-addressed view of the posting
+//! data that both the raw and the compressed backends implement.
+//!
+//! The mutable [`crate::InvertedIndex`] remains the build/update
+//! surface; a store is a frozen snapshot of it. [`PostingBackend`]
+//! names the backend choice so configuration layers (the `zerber`
+//! facade, the bench harness) can select one without depending on the
+//! compressed implementation directly.
+
+use crate::postings::{Posting, PostingList};
+use crate::stats::CorpusStats;
+use crate::types::TermId;
+use crate::InvertedIndex;
+
+/// Which posting-list representation a deployment stores and serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingBackend {
+    /// Plain `Vec<Posting>` lists — fastest random access, largest
+    /// footprint.
+    #[default]
+    Raw,
+    /// Block-compressed lists (varint doc-id deltas, bit-packed
+    /// counts, per-block skip metadata) from `zerber-postings`.
+    Compressed,
+}
+
+/// Read-only, term-addressed access to posting data.
+///
+/// Implementations must present each term's postings in strictly
+/// increasing document-id order, matching [`PostingList`] iteration.
+pub trait PostingStore {
+    /// Number of term slots (upper bound on distinct terms).
+    fn term_count(&self) -> usize;
+
+    /// Document frequency of a term (0 when unknown).
+    fn document_frequency(&self, term: TermId) -> usize;
+
+    /// Iterates a term's postings in document-id order (empty when the
+    /// term is unknown).
+    fn postings(&self, term: TermId) -> Box<dyn Iterator<Item = Posting> + '_>;
+
+    /// Total posting elements across all terms.
+    fn total_postings(&self) -> usize {
+        (0..self.term_count())
+            .map(|t| self.document_frequency(TermId(t as u32)))
+            .sum()
+    }
+
+    /// Approximate heap footprint of the posting payload in bytes —
+    /// the storage-accounting hook for the Section 7.2/7.3
+    /// experiments.
+    fn posting_bytes(&self) -> usize;
+
+    /// Corpus statistics over the stored document frequencies
+    /// (formula (2)).
+    fn statistics(&self) -> CorpusStats {
+        CorpusStats::from_document_frequencies(
+            (0..self.term_count())
+                .map(|t| self.document_frequency(TermId(t as u32)) as u64)
+                .collect(),
+        )
+    }
+}
+
+/// The raw backend: posting lists exactly as the mutable index holds
+/// them.
+#[derive(Debug, Clone, Default)]
+pub struct RawPostingStore {
+    lists: Vec<PostingList>,
+}
+
+impl RawPostingStore {
+    /// Snapshots an index's posting lists.
+    pub fn from_index(index: &InvertedIndex) -> Self {
+        Self {
+            lists: index.posting_lists().to_vec(),
+        }
+    }
+
+    /// Wraps pre-built lists (term-id indexed).
+    pub fn from_lists(lists: Vec<PostingList>) -> Self {
+        Self { lists }
+    }
+
+    /// The underlying list for a term (empty slice when unknown).
+    pub fn posting_list(&self, term: TermId) -> &[Posting] {
+        self.lists
+            .get(term.0 as usize)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+impl PostingStore for RawPostingStore {
+    fn term_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn document_frequency(&self, term: TermId) -> usize {
+        self.lists
+            .get(term.0 as usize)
+            .map(PostingList::len)
+            .unwrap_or(0)
+    }
+
+    fn postings(&self, term: TermId) -> Box<dyn Iterator<Item = Posting> + '_> {
+        Box::new(self.posting_list(term).iter().copied())
+    }
+
+    fn total_postings(&self) -> usize {
+        self.lists.iter().map(PostingList::len).sum()
+    }
+
+    fn posting_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<Posting>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::Document;
+    use crate::types::{DocId, GroupId};
+
+    fn sample_index() -> InvertedIndex {
+        let docs = vec![
+            Document::from_term_counts(DocId(1), GroupId(0), vec![(TermId(0), 1), (TermId(1), 2)]),
+            Document::from_term_counts(DocId(2), GroupId(0), vec![(TermId(0), 3)]),
+        ];
+        InvertedIndex::from_documents(&docs)
+    }
+
+    #[test]
+    fn raw_store_mirrors_the_index() {
+        let index = sample_index();
+        let store = RawPostingStore::from_index(&index);
+        assert_eq!(store.term_count(), index.term_count());
+        assert_eq!(store.total_postings(), index.total_postings());
+        assert_eq!(store.document_frequency(TermId(0)), 2);
+        assert_eq!(store.document_frequency(TermId(9)), 0);
+        let docs: Vec<u32> = store.postings(TermId(0)).map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 2]);
+        assert!(store.postings(TermId(9)).next().is_none());
+        assert_eq!(store.posting_bytes(), 3 * std::mem::size_of::<Posting>());
+    }
+
+    #[test]
+    fn store_statistics_match_index_statistics() {
+        let index = sample_index();
+        let store = RawPostingStore::from_index(&index);
+        let a = store.statistics();
+        let b = index.statistics();
+        assert_eq!(
+            a.document_frequency(TermId(0)),
+            b.document_frequency(TermId(0))
+        );
+        assert_eq!(a.total_document_frequency(), b.total_document_frequency());
+    }
+}

@@ -109,6 +109,238 @@ pub fn threshold_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
     results
 }
 
+/// A document-id-ordered scored list partitioned into fixed-size
+/// blocks, each carrying the maximum score inside the block — the skip
+/// metadata of block-max indexes (the `max_next_weight` idea of
+/// compressed sparse indexes, at block rather than element
+/// granularity).
+///
+/// Scores must be non-negative and finite (TF-IDF contributions are):
+/// the block-max bound treats "document absent from this list" as a
+/// zero contribution, which only upper-bounds correctly when no score
+/// is negative.
+#[derive(Debug, Clone)]
+pub struct BlockScoredList {
+    entries: Vec<(DocId, f64)>,
+    block_size: usize,
+    /// Per block: (last doc id in block, max score in block).
+    blocks: Vec<(DocId, f64)>,
+}
+
+impl BlockScoredList {
+    /// Builds a list from (doc, score) pairs, sorting by document id
+    /// and computing per-block maxima. `block_size` must be ≥ 1;
+    /// document ids must be distinct.
+    pub fn from_doc_ordered(mut entries: Vec<(DocId, f64)>, block_size: usize) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        entries.sort_by_key(|&(doc, _)| doc);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate document id in scored list"
+        );
+        debug_assert!(
+            entries.iter().all(|&(_, s)| s >= 0.0 && s.is_finite()),
+            "block-max lists require non-negative finite scores"
+        );
+        let blocks = entries
+            .chunks(block_size)
+            .map(|chunk| {
+                let last = chunk.last().expect("chunks are non-empty").0;
+                let max = chunk.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+                (last, max)
+            })
+            .collect();
+        Self {
+            entries,
+            block_size,
+            blocks,
+        }
+    }
+
+    /// Builds a list from doc-ordered entries plus *precomputed* block
+    /// maxima (one per `block_size` chunk, in order) — the path used by
+    /// the compressed posting store, whose blocks already carry their
+    /// maxima. Each supplied maximum must upper-bound the scores of its
+    /// chunk (debug-asserted).
+    pub fn from_blocks(entries: Vec<(DocId, f64)>, block_size: usize, maxes: Vec<f64>) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        assert_eq!(
+            maxes.len(),
+            entries.len().div_ceil(block_size),
+            "one maximum per block"
+        );
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted by strictly increasing doc id"
+        );
+        debug_assert!(
+            entries
+                .chunks(block_size)
+                .zip(&maxes)
+                .all(|(chunk, &m)| chunk.iter().all(|&(_, s)| s >= 0.0 && s <= m)),
+            "each block maximum must upper-bound its chunk's scores"
+        );
+        let blocks = entries
+            .chunks(block_size)
+            .zip(maxes)
+            .map(|(chunk, max)| (chunk.last().expect("chunks are non-empty").0, max))
+            .collect();
+        Self {
+            entries,
+            block_size,
+            blocks,
+        }
+    }
+
+    /// Number of scored documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no document matches this term.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The max score of the block containing position `pos`.
+    fn block_max(&self, pos: usize) -> f64 {
+        self.blocks[pos / self.block_size].1
+    }
+
+    /// The last document id of the block containing position `pos`.
+    fn block_last_doc(&self, pos: usize) -> DocId {
+        self.blocks[pos / self.block_size].0
+    }
+
+    /// First position at or after `pos` whose document id exceeds
+    /// `doc`. Skips whole blocks via the block index before touching
+    /// entries.
+    fn seek_after(&self, pos: usize, doc: DocId) -> usize {
+        if pos >= self.entries.len() {
+            return pos;
+        }
+        // Jump over fully-skippable blocks first.
+        let first_block = pos / self.block_size;
+        let skip = self.blocks[first_block..].partition_point(|&(last, _)| last <= doc);
+        let block = first_block + skip;
+        let start = (block * self.block_size).max(pos);
+        let end = ((block + 1) * self.block_size).min(self.entries.len());
+        if start >= end {
+            return self.entries.len();
+        }
+        start + self.entries[start..end].partition_point(|&(d, _)| d <= doc)
+    }
+}
+
+/// Total-order wrapper for the non-NaN scores tracked by the top-k
+/// heap.
+#[derive(PartialEq, PartialOrd)]
+struct Score(f64);
+
+impl Eq for Score {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Block-max variant of the Threshold Algorithm: document-at-a-time
+/// evaluation over doc-id-ordered lists that uses each list's
+/// `block_max_score` to skip blocks that cannot contend for the
+/// top-`k`.
+///
+/// Whenever `k` results are buffered and the sum of the current block
+/// maxima is *strictly* below the current `k`-th best score, no
+/// document inside the overlap of the current blocks can reach the
+/// top-`k`, so every cursor jumps past the nearest block boundary
+/// without decoding those postings. Returns exactly the same ranked
+/// results as [`naive_topk`] / [`threshold_topk`] (property-tested):
+/// contributions are accumulated in list order, so even the
+/// floating-point sums match bit for bit.
+pub fn block_max_topk(lists: &[BlockScoredList], k: usize) -> Vec<RankedDoc> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if k == 0 || lists.is_empty() {
+        return Vec::new();
+    }
+    let mut pos = vec![0usize; lists.len()];
+    let mut results: Vec<RankedDoc> = Vec::new();
+    // Min-heap of the k best scores seen so far; its top is the
+    // pruning threshold.
+    let mut best: BinaryHeap<Reverse<Score>> = BinaryHeap::with_capacity(k + 1);
+
+    loop {
+        // Candidate: the smallest current document id across lists.
+        let mut candidate: Option<DocId> = None;
+        for (list, &p) in lists.iter().zip(&pos) {
+            if let Some(&(doc, _)) = list.entries.get(p) {
+                candidate = Some(candidate.map_or(doc, |c: DocId| c.min(doc)));
+            }
+        }
+        let Some(candidate) = candidate else { break };
+
+        if best.len() == k {
+            let kth = best.peek().expect("heap holds k scores").0 .0;
+            let mut upper_bound = 0.0;
+            for (list, &p) in lists.iter().zip(&pos) {
+                if p < list.entries.len() {
+                    upper_bound += list.block_max(p);
+                }
+            }
+            if upper_bound < kth {
+                // Skip to just past the nearest current-block boundary:
+                // every document up to it is bounded by `upper_bound`.
+                let boundary = lists
+                    .iter()
+                    .zip(&pos)
+                    .filter(|(list, &p)| p < list.entries.len())
+                    .map(|(list, &p)| list.block_last_doc(p))
+                    .min()
+                    .expect("a candidate exists");
+                for (list, p) in lists.iter().zip(pos.iter_mut()) {
+                    *p = list.seek_after(*p, boundary);
+                }
+                continue;
+            }
+        }
+
+        // Fully score the candidate: every list containing it has its
+        // cursor parked on it (cursors only advance past scored or
+        // provably non-contending documents).
+        let mut score = 0.0;
+        for (list, p) in lists.iter().zip(pos.iter_mut()) {
+            if let Some(&(doc, s)) = list.entries.get(*p) {
+                if doc == candidate {
+                    score += s;
+                    *p += 1;
+                }
+            }
+        }
+        results.push(RankedDoc {
+            doc: candidate,
+            score,
+        });
+        if best.len() < k {
+            best.push(Reverse(Score(score)));
+        } else if score > best.peek().expect("heap holds k scores").0 .0 {
+            best.pop();
+            best.push(Reverse(Score(score)));
+        }
+    }
+
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are non-NaN")
+            .then(a.doc.cmp(&b.doc))
+    });
+    results.truncate(k);
+    results
+}
+
 /// Reference implementation: aggregates every posting and sorts — used
 /// to validate [`threshold_topk`] and as the "return all answers" mode
 /// Zerber actually ships to clients (the index returns *all* accessible
@@ -228,6 +460,73 @@ mod tests {
             top.iter().map(|r| r.doc.0).collect::<Vec<_>>(),
             vec![2, 5, 9]
         );
+    }
+
+    fn block_list(entries: &[(u32, f64)], block_size: usize) -> BlockScoredList {
+        BlockScoredList::from_doc_ordered(
+            entries.iter().map(|&(d, s)| (DocId(d), s)).collect(),
+            block_size,
+        )
+    }
+
+    #[test]
+    fn block_max_matches_naive_on_fixed_example() {
+        let raw: Vec<Vec<(u32, f64)>> = vec![
+            vec![(1, 0.5), (2, 0.4), (3, 0.3), (4, 0.2), (7, 0.9), (9, 0.1)],
+            vec![(2, 0.2), (4, 0.9), (5, 0.1), (9, 0.8)],
+            vec![(1, 0.6), (5, 0.7)],
+        ];
+        for block_size in [1, 2, 3, 128] {
+            let blocked: Vec<BlockScoredList> =
+                raw.iter().map(|l| block_list(l, block_size)).collect();
+            let scored: Vec<ScoredList> = raw
+                .iter()
+                .map(|l| ScoredList::new(l.iter().map(|&(d, s)| (DocId(d), s)).collect()))
+                .collect();
+            for k in 1..=8 {
+                let fast = block_max_topk(&blocked, k);
+                let slow = naive_topk(&scored, k);
+                assert_eq!(fast.len(), slow.len(), "k = {k}, bs = {block_size}");
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert_eq!(f.doc, s.doc, "k = {k}, bs = {block_size}");
+                    assert_eq!(f.score, s.score, "k = {k}, bs = {block_size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_max_skips_cannot_lose_tied_docs() {
+        // Three docs tie at the k-th score; block-max pruning uses a
+        // strict bound, so all tied docs must survive for tie-breaking.
+        let l = block_list(&[(5, 0.5), (2, 0.5), (9, 0.5), (1, 0.9)], 2);
+        let top = block_max_topk(&[l], 3);
+        assert_eq!(
+            top.iter().map(|r| r.doc.0).collect::<Vec<_>>(),
+            vec![1, 2, 5]
+        );
+    }
+
+    #[test]
+    fn block_max_edge_cases() {
+        assert!(block_max_topk(&[], 3).is_empty());
+        let l = block_list(&[(1, 0.5)], 4);
+        assert!(block_max_topk(std::slice::from_ref(&l), 0).is_empty());
+        let empty = BlockScoredList::from_doc_ordered(vec![], 4);
+        assert!(empty.is_empty());
+        assert!(block_max_topk(&[empty], 3).is_empty());
+        let top = block_max_topk(&[l], 10);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn from_blocks_accepts_precomputed_maxima() {
+        let entries = vec![(DocId(1), 0.2), (DocId(3), 0.4), (DocId(8), 0.1)];
+        let list = BlockScoredList::from_blocks(entries, 2, vec![0.4, 0.1]);
+        assert_eq!(list.len(), 3);
+        let top = block_max_topk(&[list], 2);
+        assert_eq!(top[0].doc, DocId(3));
+        assert_eq!(top[1].doc, DocId(1));
     }
 
     #[test]

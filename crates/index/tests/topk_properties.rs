@@ -1,0 +1,51 @@
+//! Property tests for the ranking algorithms: the block-max variant of
+//! the Threshold Algorithm must return exactly the same top-k
+//! documents and scores as the exhaustive evaluation, for arbitrary
+//! corpora, k, and block sizes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use zerber_index::topk::naive_topk;
+use zerber_index::{block_max_topk, BlockScoredList, DocId, ScoredList};
+
+fn arb_list() -> impl Strategy<Value = BTreeMap<u32, f64>> {
+    // Scores must be non-negative and finite — the documented
+    // precondition of `BlockScoredList` (TF-IDF contributions are).
+    prop::collection::btree_map(0u32..200, 0.0..100.0f64, 0..60)
+}
+
+fn arb_lists() -> impl Strategy<Value = Vec<BTreeMap<u32, f64>>> {
+    prop::collection::vec(arb_list(), 1..6)
+}
+
+proptest! {
+    #[test]
+    fn block_max_topk_matches_naive(
+        lists in arb_lists(),
+        k in 1usize..12,
+        block_size in 1usize..10,
+    ) {
+        let blocked: Vec<BlockScoredList> = lists
+            .iter()
+            .map(|l| {
+                BlockScoredList::from_doc_ordered(
+                    l.iter().map(|(&d, &s)| (DocId(d), s)).collect(),
+                    block_size,
+                )
+            })
+            .collect();
+        let scored: Vec<ScoredList> = lists
+            .iter()
+            .map(|l| ScoredList::new(l.iter().map(|(&d, &s)| (DocId(d), s)).collect()))
+            .collect();
+        let fast = block_max_topk(&blocked, k);
+        let slow = naive_topk(&scored, k);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.doc, s.doc);
+            // Same list-order accumulation => bit-identical sums.
+            prop_assert_eq!(f.score, s.score);
+        }
+    }
+}

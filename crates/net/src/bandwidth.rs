@@ -44,10 +44,28 @@ impl LinkSpec {
     }
 }
 
+/// Byte totals for one directed link: the logical payload and what
+/// actually crossed the wire (smaller when the payload shipped
+/// compressed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LinkTraffic {
+    raw: u64,
+    wire: u64,
+}
+
 /// Thread-safe per-link byte accounting.
+///
+/// Every record tracks two totals: *raw* bytes (the uncompressed
+/// payload size) and *wire* bytes (what actually crossed the link).
+/// Plain [`TrafficMeter::record`] counts both equally;
+/// [`TrafficMeter::record_compressed`] lets baselines claim their
+/// posting-compression discount while Zerber's share traffic — which
+/// the Section 7.3 entropy argument shows cannot compress — records
+/// wire == raw. Unqualified totals report wire bytes (transfer time
+/// is what the experiments derive from them).
 #[derive(Debug, Default)]
 pub struct TrafficMeter {
-    links: Mutex<HashMap<(NodeId, NodeId), u64>>,
+    links: Mutex<HashMap<(NodeId, NodeId), LinkTraffic>>,
 }
 
 impl TrafficMeter {
@@ -56,43 +74,87 @@ impl TrafficMeter {
         Self::default()
     }
 
-    /// Records `bytes` sent `from → to`.
+    /// Records `bytes` sent `from → to` uncompressed (wire == raw).
     pub fn record(&self, from: NodeId, to: NodeId, bytes: usize) {
-        *self.links.lock().entry((from, to)).or_insert(0) += bytes as u64;
+        self.record_compressed(from, to, bytes, bytes);
     }
 
-    /// Total bytes sent over one directed link.
+    /// Records a payload of `raw_bytes` that crossed the link as
+    /// `wire_bytes` after compression.
+    pub fn record_compressed(&self, from: NodeId, to: NodeId, raw_bytes: usize, wire_bytes: usize) {
+        let mut links = self.links.lock();
+        let entry = links.entry((from, to)).or_default();
+        entry.raw += raw_bytes as u64;
+        entry.wire += wire_bytes as u64;
+    }
+
+    /// Total wire bytes sent over one directed link.
     pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
-        self.links.lock().get(&(from, to)).copied().unwrap_or(0)
+        self.links
+            .lock()
+            .get(&(from, to))
+            .map(|t| t.wire)
+            .unwrap_or(0)
     }
 
-    /// Total bytes sent by a node.
+    /// Total uncompressed payload bytes sent over one directed link.
+    pub fn link_raw_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.links
+            .lock()
+            .get(&(from, to))
+            .map(|t| t.raw)
+            .unwrap_or(0)
+    }
+
+    /// Total wire bytes sent by a node.
     pub fn sent_by(&self, node: NodeId) -> u64 {
         self.links
             .lock()
             .iter()
             .filter(|((from, _), _)| *from == node)
-            .map(|(_, &bytes)| bytes)
+            .map(|(_, traffic)| traffic.wire)
             .sum()
     }
 
-    /// Total bytes received by a node.
+    /// Total wire bytes received by a node.
     pub fn received_by(&self, node: NodeId) -> u64 {
         self.links
             .lock()
             .iter()
             .filter(|((_, to), _)| *to == node)
-            .map(|(_, &bytes)| bytes)
+            .map(|(_, traffic)| traffic.wire)
             .sum()
     }
 
-    /// Grand total across every link.
+    /// Grand total of wire bytes across every link.
     pub fn total(&self) -> u64 {
-        self.links.lock().values().sum()
+        self.links.lock().values().map(|t| t.wire).sum()
     }
 
-    /// Total bytes that crossed links matching a predicate (e.g. all
-    /// traffic into index servers).
+    /// Grand total of uncompressed payload bytes across every link.
+    pub fn total_raw(&self) -> u64 {
+        self.links.lock().values().map(|t| t.raw).sum()
+    }
+
+    /// Overall compression savings: `1 - wire / raw` (0 when nothing
+    /// was recorded or nothing compressed).
+    pub fn compression_savings(&self) -> f64 {
+        let (raw, wire) = {
+            let links = self.links.lock();
+            (
+                links.values().map(|t| t.raw).sum::<u64>(),
+                links.values().map(|t| t.wire).sum::<u64>(),
+            )
+        };
+        if raw == 0 {
+            0.0
+        } else {
+            1.0 - wire as f64 / raw as f64
+        }
+    }
+
+    /// Total wire bytes that crossed links matching a predicate (e.g.
+    /// all traffic into index servers).
     pub fn total_matching<F>(&self, mut predicate: F) -> u64
     where
         F: FnMut(NodeId, NodeId) -> bool,
@@ -101,7 +163,7 @@ impl TrafficMeter {
             .lock()
             .iter()
             .filter(|((from, to), _)| predicate(*from, *to))
-            .map(|(_, &bytes)| bytes)
+            .map(|(_, traffic)| traffic.wire)
             .sum()
     }
 
@@ -148,6 +210,31 @@ mod tests {
         meter.record(NodeId::User(0), NodeId::Owner(0), 5);
         let into_servers = meter.total_matching(|_, to| matches!(to, NodeId::IndexServer(_)));
         assert_eq!(into_servers, 20);
+    }
+
+    #[test]
+    fn compressed_records_split_raw_and_wire() {
+        let meter = TrafficMeter::new();
+        let server = NodeId::IndexServer(0);
+        let user = NodeId::User(1);
+        // A baseline response: 10 KB of postings shipped as 4 KB.
+        meter.record_compressed(server, user, 10_000, 4_000);
+        // Share traffic: incompressible, wire == raw.
+        meter.record(user, server, 2_000);
+        assert_eq!(meter.link_bytes(server, user), 4_000);
+        assert_eq!(meter.link_raw_bytes(server, user), 10_000);
+        assert_eq!(meter.total(), 6_000);
+        assert_eq!(meter.total_raw(), 12_000);
+        assert!((meter.compression_savings() - 0.5).abs() < 1e-12);
+        assert_eq!(meter.received_by(user), 4_000);
+    }
+
+    #[test]
+    fn savings_are_zero_without_traffic() {
+        let meter = TrafficMeter::new();
+        assert_eq!(meter.compression_savings(), 0.0);
+        meter.record(NodeId::User(0), NodeId::User(1), 100);
+        assert_eq!(meter.compression_savings(), 0.0);
     }
 
     #[test]

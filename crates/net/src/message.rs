@@ -5,6 +5,38 @@
 //! delete, and look up posting list elements)". Each message encodes to
 //! a length-exact byte buffer so the bandwidth experiments of Section
 //! 7.3 measure real serialized sizes rather than estimates.
+//!
+//! # Wire formats
+//!
+//! Two posting payload encodings exist in the stack:
+//!
+//! * **Share columns (this module).** Zerber responses carry
+//!   [`StoredShare`]s verbatim — element id (8 B) + group id (4 B) +
+//!   y-share (8 B). Shares are near-uniform field elements
+//!   (`crate::entropy` measures ≈ 8 bits/byte), so no compressed
+//!   variant exists: re-coding them buys nothing, which is exactly the
+//!   paper's Section 7.3 claim and what the `compression` experiment
+//!   demonstrates empirically.
+//!
+//! * **Block-compressed plaintext postings (`zerber-postings`).**
+//!   Baseline engines ship plaintext posting lists, which do
+//!   compress. Their payload format, defined by
+//!   `zerber_postings::block` and reused here for baseline wire-size
+//!   accounting (`crate::sizes::SizeModel::compressed_response_bytes`),
+//!   is a sequence of ≤ 128-posting blocks:
+//!
+//!   ```text
+//!   block index entry: first_doc varint | (last_doc − first_doc) varint
+//!                      | max_tf u16 (ceil-quantized) | len u8
+//!   block payload:     count_bits u8 | length_bits u8
+//!                      | LEB128 doc-key gaps (len-1 varints)
+//!                      | counts, bit-packed at count_bits
+//!                      | doc lengths, bit-packed at length_bits
+//!   ```
+//!
+//!   The `(first_doc, last_doc, max_tf)` triple doubles as skip
+//!   metadata: readers seek (`advance_to`) and prune (block-max
+//!   top-k) from the block index without decoding payloads.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

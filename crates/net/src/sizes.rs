@@ -70,6 +70,28 @@ impl SizeModel {
         elements * self.plain_element_bytes
     }
 
+    /// Bytes a *baseline* (plaintext) engine ships for the same
+    /// response after posting-list compression at `compression_ratio`
+    /// (raw/compressed, as measured by the `zerber-postings` codec on
+    /// the corpus). Ratios below 1 are clamped: a real stack ships raw
+    /// rather than expanded payloads.
+    ///
+    /// Section 7.3's comparison is only fair if baselines get this
+    /// discount while Zerber does not — see
+    /// [`SizeModel::zerber_share_response_bytes`].
+    pub fn compressed_response_bytes(&self, elements: usize, compression_ratio: f64) -> usize {
+        (self.response_bytes(elements) as f64 / compression_ratio.max(1.0)).ceil() as usize
+    }
+
+    /// Bytes one Zerber index server ships for a response of
+    /// `elements` share elements. Share columns are near-uniform bytes
+    /// ("Zerber's element shares are almost random, so standard HTML
+    /// compression is ineffective", Section 7.3), so they always go
+    /// out raw at the 1.5× Zerber element size.
+    pub fn zerber_share_response_bytes(&self, elements: usize) -> usize {
+        elements * self.zerber_element_bytes()
+    }
+
     /// Total size of a top-K answer: element payload for the matched
     /// lists plus `k` snippets.
     pub fn topk_response_bytes(&self, elements: usize, k: usize) -> usize {
@@ -118,6 +140,19 @@ mod tests {
         assert_eq!(snippets, 2_500);
         let total = model.topk_response_bytes(2_700, 10);
         assert_eq!(total, 21_600 + 2_500);
+    }
+
+    #[test]
+    fn compressed_accounting_discounts_baselines_only() {
+        let model = SizeModel::default();
+        // Plaintext postings compress (ratio measured ≫ 1).
+        assert_eq!(model.compressed_response_bytes(2_700, 3.0), 7_200);
+        // Ratios below 1 (adversarially incompressible data) clamp to
+        // raw rather than expanding.
+        assert_eq!(model.compressed_response_bytes(1_000, 0.97), 8_000);
+        // Zerber share responses never shrink: 1.5× element size, raw.
+        assert_eq!(model.zerber_share_response_bytes(2_700), 2_700 * 12);
+        assert!(model.zerber_share_response_bytes(2_700) > model.response_bytes(2_700));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Block-compressed posting-list storage for the Zerber reproduction.
+//!
+//! The plaintext index substrate (`zerber-index`) keeps every posting
+//! list as a plain `Vec<Posting>`. That is the right build/update
+//! structure, but it caps corpus scale and leaves the paper's Section
+//! 7.3 storage/bandwidth argument — *plaintext postings compress
+//! well; Shamir share columns do not* — asserted rather than
+//! demonstrated. This crate supplies the production-shaped storage
+//! engine:
+//!
+//! * [`varint`] — LEB128 integers and the ZigZag mapping,
+//! * [`block`] — the block codec: sorted doc-key deltas (varint) plus
+//!   bit-packed count/length columns in [`block::BLOCK_SIZE`]-posting
+//!   blocks, each carrying `(first_doc, last_doc, block_max_score)`
+//!   skip metadata,
+//! * [`builder`] — [`CompressedPostingBuilder`], the streaming
+//!   sorted-order constructor,
+//! * [`list`] — the immutable [`CompressedPostingList`] and its
+//!   decoding [`CompressedPostingIter`] with block-skipping
+//!   [`CompressedPostingIter::advance_to`],
+//! * [`merge`] — [`merge_compressed`], a k-way merge that streams
+//!   blocks instead of materializing whole lists,
+//! * [`mod@column`] — a general integer-column codec with a raw escape,
+//!   used to reproduce the share-vs-plaintext compressibility
+//!   experiment,
+//! * [`store`] — [`CompressedPostingStore`], the
+//!   [`zerber_index::store::PostingStore`] backend, whose stored
+//!   block maxima feed `zerber_index::block_max_topk` directly.
+
+#![deny(missing_docs)]
+
+pub mod block;
+pub mod builder;
+pub mod column;
+pub mod list;
+pub mod merge;
+pub mod store;
+pub mod varint;
+
+pub use block::{BlockMeta, DecodeError, RawEntry, BLOCK_SIZE};
+pub use builder::CompressedPostingBuilder;
+pub use column::{compression_ratio, decode_column, encode_column};
+pub use list::{block_meta_bytes, CompressedPostingIter, CompressedPostingList, RAW_ELEMENT_BYTES};
+pub use merge::{merge_compressed, naive_merge};
+pub use store::{build_store, CompressedPostingStore};

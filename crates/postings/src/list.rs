@@ -1,0 +1,297 @@
+//! The immutable block-compressed posting list and its decoding
+//! iterator.
+
+use crate::block::{decode_block, BlockMeta, RawEntry, BLOCK_SIZE};
+use crate::varint;
+
+/// Bytes one posting element occupies uncompressed on the wire — the
+/// paper's Section 7.3 accounting ("each posting element is encoded
+/// using 64 bits").
+pub const RAW_ELEMENT_BYTES: usize = 8;
+
+/// Serialized size of one block's skip metadata: varint first doc
+/// key, varint `last_doc − first_doc`, the block-max term frequency
+/// quantized to 16 bits (an upper bound stays an upper bound under
+/// ceiling quantization), and a one-byte entry count. Payload offsets
+/// are implicit in serial order.
+pub fn block_meta_bytes(meta: &BlockMeta) -> usize {
+    varint::encoded_len(meta.first_doc) + varint::encoded_len(meta.last_doc - meta.first_doc) + 3
+}
+
+/// An immutable, block-compressed posting list: varint doc-key deltas
+/// and bit-packed count/length columns in fixed-size blocks, plus an
+/// uncompressed block index carrying `(first_doc, last_doc,
+/// block_max_score)` skip metadata.
+///
+/// Built by [`crate::CompressedPostingBuilder`]; read through
+/// [`CompressedPostingIter`], which decodes one block at a time and
+/// skips whole blocks on [`CompressedPostingIter::advance_to`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompressedPostingList {
+    pub(crate) data: Vec<u8>,
+    pub(crate) blocks: Vec<BlockMeta>,
+    pub(crate) len: usize,
+}
+
+impl CompressedPostingList {
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The block index.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// Compressed footprint in bytes: encoded payload plus serialized
+    /// skip metadata ([`block_meta_bytes`] per block).
+    pub fn compressed_bytes(&self) -> usize {
+        self.data.len() + self.blocks.iter().map(block_meta_bytes).sum::<usize>()
+    }
+
+    /// Uncompressed wire footprint under the paper's 64-bit-element
+    /// accounting.
+    pub fn raw_bytes(&self) -> usize {
+        self.len * RAW_ELEMENT_BYTES
+    }
+
+    /// `raw_bytes / compressed_bytes` (1.0 for an empty list).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.is_empty() {
+            1.0
+        } else {
+            self.raw_bytes() as f64 / self.compressed_bytes() as f64
+        }
+    }
+
+    /// A decoding iterator positioned before the first posting.
+    pub fn iter(&self) -> CompressedPostingIter<'_> {
+        CompressedPostingIter {
+            list: self,
+            block: 0,
+            buffer: Vec::with_capacity(BLOCK_SIZE),
+            pos: 0,
+            decoded_block: usize::MAX,
+        }
+    }
+
+    /// Decodes the whole list (test/diagnostic convenience; hot paths
+    /// should stream through [`CompressedPostingList::iter`]).
+    pub fn decode_all(&self) -> Vec<RawEntry> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a CompressedPostingList {
+    type Item = RawEntry;
+    type IntoIter = CompressedPostingIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Streaming decoder over a [`CompressedPostingList`].
+///
+/// Holds at most one decoded block; `advance_to` consults only the
+/// block index to jump over blocks that cannot contain the target.
+#[derive(Debug, Clone)]
+pub struct CompressedPostingIter<'a> {
+    list: &'a CompressedPostingList,
+    /// Index of the current block.
+    block: usize,
+    /// Decoded entries of `decoded_block`.
+    buffer: Vec<RawEntry>,
+    /// Next position within `buffer`.
+    pos: usize,
+    /// Which block `buffer` holds (`usize::MAX` = none yet).
+    decoded_block: usize,
+}
+
+impl CompressedPostingIter<'_> {
+    fn ensure_decoded(&mut self) -> bool {
+        if self.block >= self.list.blocks.len() {
+            return false;
+        }
+        if self.decoded_block != self.block {
+            decode_block(
+                &self.list.blocks[self.block],
+                &self.list.data,
+                &mut self.buffer,
+            )
+            .expect("builder-produced blocks decode cleanly");
+            self.decoded_block = self.block;
+            self.pos = 0;
+        }
+        true
+    }
+
+    /// Postings not yet yielded.
+    pub fn remaining(&self) -> usize {
+        if self.block >= self.list.blocks.len() {
+            return 0;
+        }
+        let later: usize = self.list.blocks[self.block + 1..]
+            .iter()
+            .map(|b| b.len as usize)
+            .sum();
+        let current = self.list.blocks[self.block].len as usize;
+        let consumed = if self.decoded_block == self.block {
+            self.pos
+        } else {
+            0
+        };
+        current - consumed + later
+    }
+
+    /// The next posting with doc key ≥ `doc`, consuming everything
+    /// before it. Whole blocks whose `last_doc` precedes the target
+    /// are skipped without decoding.
+    pub fn advance_to(&mut self, doc: u64) -> Option<RawEntry> {
+        loop {
+            // Skip blocks entirely below the target via the block
+            // index alone.
+            self.block += self.list.blocks[self.block..].partition_point(|b| b.last_doc < doc);
+            if !self.ensure_decoded() {
+                return None;
+            }
+            self.pos += self.buffer[self.pos..].partition_point(|e| e.doc < doc);
+            if let Some(&entry) = self.buffer.get(self.pos) {
+                self.pos += 1;
+                return Some(entry);
+            }
+            // The current block had already been consumed up to its
+            // end; resume the search in the next block.
+            self.block += 1;
+        }
+    }
+
+    /// The doc key the iterator is currently positioned at (the next
+    /// entry `next` would yield), without consuming it.
+    pub fn peek_doc(&mut self) -> Option<u64> {
+        loop {
+            if !self.ensure_decoded() {
+                return None;
+            }
+            if let Some(entry) = self.buffer.get(self.pos) {
+                return Some(entry.doc);
+            }
+            self.block += 1;
+        }
+    }
+}
+
+impl Iterator for CompressedPostingIter<'_> {
+    type Item = RawEntry;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if !self.ensure_decoded() {
+                return None;
+            }
+            if let Some(entry) = self.buffer.get(self.pos) {
+                self.pos += 1;
+                return Some(*entry);
+            }
+            self.block += 1;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CompressedPostingBuilder;
+
+    fn list_of(docs: &[u64]) -> CompressedPostingList {
+        let mut builder = CompressedPostingBuilder::new();
+        for &doc in docs {
+            builder.push(RawEntry {
+                doc,
+                count: (doc % 7) as u32 + 1,
+                doc_length: 100,
+            });
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn iterates_across_block_boundaries() {
+        let docs: Vec<u64> = (0..300).map(|i| i * 3).collect();
+        let list = list_of(&docs);
+        assert_eq!(list.len(), 300);
+        assert_eq!(list.blocks().len(), 3); // 128 + 128 + 44
+        let decoded: Vec<u64> = list.iter().map(|e| e.doc).collect();
+        assert_eq!(decoded, docs);
+    }
+
+    #[test]
+    fn advance_to_skips_blocks() {
+        let docs: Vec<u64> = (0..1000).map(|i| i * 2).collect();
+        let list = list_of(&docs);
+        let mut iter = list.iter();
+        // Target deep inside a later block: exact hit.
+        assert_eq!(iter.advance_to(1000).unwrap().doc, 1000);
+        // Between entries: next larger doc.
+        assert_eq!(iter.advance_to(1501).unwrap().doc, 1502);
+        // Past the end.
+        assert!(iter.advance_to(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn advance_interleaves_with_next() {
+        let docs: Vec<u64> = (0..500).collect();
+        let list = list_of(&docs);
+        let mut iter = list.iter();
+        assert_eq!(iter.next().unwrap().doc, 0);
+        assert_eq!(iter.advance_to(130).unwrap().doc, 130);
+        assert_eq!(iter.next().unwrap().doc, 131);
+        assert_eq!(iter.advance_to(131).unwrap().doc, 132);
+        assert_eq!(iter.remaining(), 500 - 133);
+    }
+
+    #[test]
+    fn advance_after_exhausting_a_block_moves_on() {
+        let docs: Vec<u64> = (0..256).collect();
+        let list = list_of(&docs);
+        let mut iter = list.iter();
+        for _ in 0..128 {
+            iter.next().unwrap(); // consume block 0 exactly
+        }
+        // Target inside the consumed block: never rewinds, lands on
+        // the first entry of the next block.
+        assert_eq!(iter.advance_to(5).unwrap().doc, 128);
+    }
+
+    #[test]
+    fn compression_beats_raw_on_dense_lists() {
+        let docs: Vec<u64> = (0..10_000).map(|i| i * 5).collect();
+        let list = list_of(&docs);
+        assert!(
+            list.compression_ratio() > 2.0,
+            "ratio {}",
+            list.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn empty_list_is_well_behaved() {
+        let list = CompressedPostingList::default();
+        assert!(list.is_empty());
+        assert_eq!(list.compression_ratio(), 1.0);
+        assert!(list.iter().next().is_none());
+        assert!(list.iter().advance_to(0).is_none());
+        assert_eq!(list.iter().remaining(), 0);
+    }
+}

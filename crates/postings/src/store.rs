@@ -1,0 +1,235 @@
+//! The compressed posting-store backend and backend selection.
+
+use zerber_index::store::{PostingBackend, PostingStore, RawPostingStore};
+use zerber_index::topk::BlockScoredList;
+use zerber_index::{DocId, InvertedIndex, Posting, TermId};
+
+use crate::block::{RawEntry, BLOCK_SIZE};
+use crate::builder::CompressedPostingBuilder;
+use crate::list::CompressedPostingList;
+
+fn to_raw(posting: &Posting) -> RawEntry {
+    RawEntry {
+        doc: u64::from(posting.doc.0),
+        count: posting.count,
+        doc_length: posting.doc_length,
+    }
+}
+
+fn to_posting(entry: RawEntry) -> Posting {
+    Posting {
+        // Doc keys built from `DocId` round-trip losslessly: the codec
+        // layer is wider (u64) than today's 32-bit ids by design.
+        doc: DocId(u32::try_from(entry.doc).expect("doc key fits the DocId width")),
+        count: entry.count,
+        doc_length: entry.doc_length,
+    }
+}
+
+/// A frozen, block-compressed snapshot of an index's posting lists.
+///
+/// Term-addressed like the raw store; each list is delta- and
+/// bit-packed per [`crate::block`] and carries per-block skip
+/// metadata, which [`CompressedPostingStore::block_scored_lists`]
+/// reuses directly as the `block_max_score` bounds of block-max
+/// top-k.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedPostingStore {
+    lists: Vec<CompressedPostingList>,
+}
+
+impl CompressedPostingStore {
+    /// Compresses every posting list of an index.
+    pub fn from_index(index: &InvertedIndex) -> Self {
+        Self {
+            lists: index
+                .posting_lists()
+                .iter()
+                .map(|list| CompressedPostingBuilder::from_sorted(list.iter().map(to_raw)))
+                .collect(),
+        }
+    }
+
+    /// The compressed list for a term, when the term is known.
+    pub fn list(&self, term: TermId) -> Option<&CompressedPostingList> {
+        self.lists.get(term.0 as usize)
+    }
+
+    /// Uncompressed wire footprint of all lists (8 B per element, the
+    /// paper's accounting).
+    pub fn raw_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(CompressedPostingList::raw_bytes)
+            .sum()
+    }
+
+    /// Overall compression ratio (raw / compressed; 1.0 when empty).
+    pub fn compression_ratio(&self) -> f64 {
+        let compressed = self.posting_bytes();
+        if compressed == 0 {
+            1.0
+        } else {
+            self.raw_bytes() as f64 / compressed as f64
+        }
+    }
+
+    /// TF-IDF scored lists for a query, in the block-partitioned form
+    /// [`zerber_index::block_max_topk`] consumes. Block maxima come
+    /// straight from the stored `max_tf` skip metadata (scaled by the
+    /// term's IDF) — no rescan of the entries.
+    ///
+    /// Mirrors `zerber_index::topk::tfidf_lists`: score contribution
+    /// `tf(t, d) · ln(1 + N / df(t))` with `document_count` the
+    /// user-accessible collection size.
+    pub fn block_scored_lists(
+        &self,
+        terms: &[TermId],
+        document_count: usize,
+    ) -> Vec<BlockScoredList> {
+        let n = document_count as f64;
+        terms
+            .iter()
+            .map(|&term| match self.list(term) {
+                Some(list) if !list.is_empty() => {
+                    let df = list.len() as f64;
+                    let idf = (1.0 + n / df).ln();
+                    let entries = list
+                        .iter()
+                        .map(|e| (DocId(e.doc as u32), e.term_frequency() * idf))
+                        .collect();
+                    let maxes = list.blocks().iter().map(|b| b.max_tf * idf).collect();
+                    BlockScoredList::from_blocks(entries, BLOCK_SIZE, maxes)
+                }
+                _ => BlockScoredList::from_doc_ordered(Vec::new(), BLOCK_SIZE),
+            })
+            .collect()
+    }
+}
+
+impl PostingStore for CompressedPostingStore {
+    fn term_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn document_frequency(&self, term: TermId) -> usize {
+        self.list(term).map(CompressedPostingList::len).unwrap_or(0)
+    }
+
+    fn postings(&self, term: TermId) -> Box<dyn Iterator<Item = Posting> + '_> {
+        match self.list(term) {
+            Some(list) => Box::new(list.iter().map(to_posting)),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    fn total_postings(&self) -> usize {
+        self.lists.iter().map(CompressedPostingList::len).sum()
+    }
+
+    fn posting_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(CompressedPostingList::compressed_bytes)
+            .sum()
+    }
+}
+
+/// Builds the posting store a [`PostingBackend`] selection names.
+pub fn build_store(backend: PostingBackend, index: &InvertedIndex) -> Box<dyn PostingStore> {
+    match backend {
+        PostingBackend::Raw => Box::new(RawPostingStore::from_index(index)),
+        PostingBackend::Compressed => Box::new(CompressedPostingStore::from_index(index)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::Document;
+    use zerber_index::GroupId;
+
+    fn sample_index(docs: usize, terms_per_doc: u32) -> InvertedIndex {
+        let documents: Vec<Document> = (0..docs)
+            .map(|d| {
+                Document::from_term_counts(
+                    DocId(d as u32),
+                    GroupId(0),
+                    (0..terms_per_doc)
+                        .map(|t| (TermId((d as u32 + t) % 50), 1 + t % 3))
+                        .collect(),
+                )
+            })
+            .collect();
+        InvertedIndex::from_documents(&documents)
+    }
+
+    #[test]
+    fn compressed_store_agrees_with_raw_store() {
+        let index = sample_index(500, 8);
+        let raw = RawPostingStore::from_index(&index);
+        let compressed = CompressedPostingStore::from_index(&index);
+        assert_eq!(raw.term_count(), compressed.term_count());
+        assert_eq!(raw.total_postings(), compressed.total_postings());
+        for term in 0..raw.term_count() as u32 {
+            let term = TermId(term);
+            assert_eq!(
+                raw.document_frequency(term),
+                compressed.document_frequency(term)
+            );
+            let a: Vec<Posting> = raw.postings(term).collect();
+            let b: Vec<Posting> = compressed.postings(term).collect();
+            assert_eq!(a, b, "term {term}");
+        }
+    }
+
+    #[test]
+    fn compressed_store_is_smaller_than_raw_accounting() {
+        let index = sample_index(2_000, 10);
+        let store = CompressedPostingStore::from_index(&index);
+        assert!(
+            store.compression_ratio() > 2.0,
+            "ratio {}",
+            store.compression_ratio()
+        );
+        assert!(store.posting_bytes() < store.raw_bytes());
+    }
+
+    #[test]
+    fn build_store_honors_the_backend_choice() {
+        let index = sample_index(100, 4);
+        let raw = build_store(PostingBackend::Raw, &index);
+        let compressed = build_store(PostingBackend::Compressed, &index);
+        assert_eq!(raw.total_postings(), compressed.total_postings());
+        assert!(compressed.posting_bytes() < raw.posting_bytes());
+    }
+
+    #[test]
+    fn block_scored_lists_feed_block_max_topk() {
+        use zerber_index::topk::{naive_topk, tfidf_lists};
+        use zerber_index::{block_max_topk, ScoredList};
+        let index = sample_index(800, 6);
+        let store = CompressedPostingStore::from_index(&index);
+        let terms: Vec<TermId> = (0..6).map(TermId).collect();
+        let blocked = store.block_scored_lists(&terms, index.document_count());
+        let exhaustive: Vec<ScoredList> = tfidf_lists(&index, &terms);
+        for k in [1, 5, 20] {
+            let fast = block_max_topk(&blocked, k);
+            let slow = naive_topk(&exhaustive, k);
+            assert_eq!(fast.len(), slow.len(), "k = {k}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.doc, s.doc, "k = {k}");
+                assert!((f.score - s.score).abs() < 1e-12, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_terms_are_empty_everywhere() {
+        let store = CompressedPostingStore::default();
+        assert_eq!(store.document_frequency(TermId(3)), 0);
+        assert!(store.postings(TermId(3)).next().is_none());
+        let lists = store.block_scored_lists(&[TermId(3)], 10);
+        assert!(lists[0].is_empty());
+    }
+}

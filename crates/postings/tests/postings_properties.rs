@@ -1,0 +1,104 @@
+//! Property tests for the compressed posting codec: encode→decode is
+//! the identity for arbitrary sorted lists (including empty,
+//! single-element, and ≥ 2³² doc-key gaps), `advance_to` agrees with
+//! linear scanning, the streaming k-way merge matches the naive
+//! merge, and the column codec round-trips arbitrary columns.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use zerber_postings::{
+    column, merge_compressed, naive_merge, CompressedPostingBuilder, CompressedPostingList,
+    RawEntry,
+};
+
+/// Sorted lists with doc keys drawn from the full u64 range, so block
+/// and list boundaries see gaps far beyond 2³².
+fn arb_entries() -> impl Strategy<Value = Vec<RawEntry>> {
+    prop::collection::btree_map(any::<u64>(), (any::<u32>(), any::<u32>()), 0..400).prop_map(
+        |map: BTreeMap<u64, (u32, u32)>| {
+            map.into_iter()
+                .map(|(doc, (count, doc_length))| RawEntry {
+                    doc,
+                    count,
+                    doc_length,
+                })
+                .collect()
+        },
+    )
+}
+
+fn compress(entries: &[RawEntry]) -> CompressedPostingList {
+    CompressedPostingBuilder::from_sorted(entries.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_is_identity(entries in arb_entries()) {
+        let list = compress(&entries);
+        prop_assert_eq!(list.len(), entries.len());
+        prop_assert_eq!(list.decode_all(), entries);
+    }
+
+    #[test]
+    fn single_element_lists_round_trip(doc in any::<u64>(), count in any::<u32>()) {
+        let entries = vec![RawEntry { doc, count, doc_length: count / 2 }];
+        prop_assert_eq!(compress(&entries).decode_all(), entries);
+    }
+
+    #[test]
+    fn advance_to_matches_linear_scan(
+        entries in arb_entries(),
+        targets in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let list = compress(&entries);
+        let mut iter = list.iter();
+        // Reference cursor: the iterator never rewinds, so each call
+        // returns the first *unconsumed* entry with doc >= target.
+        let mut next_idx = 0usize;
+        for target in targets {
+            let pos = next_idx + entries[next_idx..].partition_point(|e| e.doc < target);
+            let expected = entries.get(pos).copied();
+            let got = iter.advance_to(target);
+            prop_assert_eq!(got, expected);
+            next_idx = match expected {
+                Some(_) => pos + 1,
+                None => entries.len(),
+            };
+        }
+    }
+
+    #[test]
+    fn merge_matches_naive_reference(
+        lists in prop::collection::vec(arb_entries(), 0..5),
+    ) {
+        let compressed: Vec<CompressedPostingList> =
+            lists.iter().map(|l| compress(l)).collect();
+        let refs: Vec<&CompressedPostingList> = compressed.iter().collect();
+        let merged = merge_compressed(&refs);
+        prop_assert_eq!(merged.decode_all(), naive_merge(&refs));
+    }
+
+    #[test]
+    fn column_codec_round_trips(values in prop::collection::vec(any::<u64>(), 0..600)) {
+        let encoded = column::encode_column(&values);
+        prop_assert_eq!(column::decode_column(&encoded), Some(values));
+    }
+}
+
+#[test]
+fn gaps_beyond_u32_cross_block_boundaries() {
+    // 200 entries straddling a block boundary, every gap ≥ 2³².
+    let entries: Vec<RawEntry> = (0..200u64)
+        .map(|i| RawEntry {
+            doc: i << 33,
+            count: i as u32,
+            doc_length: 1 + i as u32,
+        })
+        .collect();
+    let list = compress(&entries);
+    assert_eq!(list.blocks().len(), 2);
+    assert_eq!(list.decode_all(), entries);
+    let mut iter = list.iter();
+    assert_eq!(iter.advance_to(150 << 33).unwrap().doc, 150 << 33);
+}

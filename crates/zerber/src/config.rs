@@ -3,6 +3,7 @@
 use zerber_client::BatchPolicy;
 use zerber_core::merge::MergeConfig;
 use zerber_core::ElementCodec;
+use zerber_index::PostingBackend;
 
 /// Everything needed to bootstrap a Zerber deployment.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +19,13 @@ pub struct ZerberConfig {
     pub codec: ElementCodec,
     /// Owner-side update batching.
     pub batch: BatchPolicy,
+    /// Posting-list storage backend used when freezing plaintext index
+    /// snapshots via [`ZerberConfig::posting_store`] (the storage
+    /// experiments and baseline accounting honor it): raw
+    /// `Vec<Posting>` lists or the block-compressed engine. Share
+    /// columns are unaffected — they are incompressible by design
+    /// (Section 7.3).
+    pub postings: PostingBackend,
     /// Master RNG seed (coordinates, BFM redistribution, element
     /// encryption).
     pub seed: u64,
@@ -33,6 +41,7 @@ impl Default for ZerberConfig {
             merge: MergeConfig::dfm(1024),
             codec: ElementCodec::default(),
             batch: BatchPolicy::immediate(),
+            postings: PostingBackend::Raw,
             seed: 0xEDB7_2008,
         }
     }
@@ -63,6 +72,21 @@ impl ZerberConfig {
         self.seed = seed;
         self
     }
+
+    /// Overrides the posting-storage backend.
+    pub fn with_postings(mut self, postings: PostingBackend) -> Self {
+        self.postings = postings;
+        self
+    }
+
+    /// Builds the configured posting store from a plaintext index
+    /// snapshot (see [`zerber_index::PostingStore`]).
+    pub fn posting_store(
+        &self,
+        index: &zerber_index::InvertedIndex,
+    ) -> Box<dyn zerber_index::PostingStore> {
+        zerber_postings::build_store(self.postings, index)
+    }
 }
 
 #[cfg(test)]
@@ -81,10 +105,33 @@ mod tests {
         let config = ZerberConfig::default()
             .with_sharing(5, 3)
             .with_seed(1)
-            .with_batch(BatchPolicy::batched(50));
+            .with_batch(BatchPolicy::batched(50))
+            .with_postings(PostingBackend::Compressed);
         assert_eq!(config.servers, 5);
         assert_eq!(config.threshold, 3);
         assert_eq!(config.seed, 1);
         assert_eq!(config.batch, BatchPolicy::batched(50));
+        assert_eq!(config.postings, PostingBackend::Compressed);
+    }
+
+    #[test]
+    fn posting_store_follows_the_backend() {
+        use zerber_index::{DocId, Document, GroupId, InvertedIndex, TermId};
+        let docs: Vec<Document> = (0..200u32)
+            .map(|d| {
+                Document::from_term_counts(
+                    DocId(d),
+                    GroupId(0),
+                    (0..6).map(|t| (TermId((d + t) % 20), 1)).collect(),
+                )
+            })
+            .collect();
+        let index = InvertedIndex::from_documents(&docs);
+        let raw = ZerberConfig::default().posting_store(&index);
+        let compressed = ZerberConfig::default()
+            .with_postings(PostingBackend::Compressed)
+            .posting_store(&index);
+        assert_eq!(raw.total_postings(), compressed.total_postings());
+        assert!(compressed.posting_bytes() < raw.posting_bytes());
     }
 }

@@ -67,3 +67,4 @@ pub mod system;
 pub use config::ZerberConfig;
 pub use metered::MeteredHandle;
 pub use system::{SystemError, ZerberSystem};
+pub use zerber_index::PostingBackend;

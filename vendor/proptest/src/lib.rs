@@ -26,6 +26,8 @@
 //! }
 //! ```
 
+#![allow(clippy::test_attr_in_doctest)] // the doctest shows proptest! usage
+
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

@@ -76,6 +76,7 @@ impl TestRng {
     }
 
     /// Next 64 uniformly random bits.
+    #[allow(clippy::should_implement_trait)] // xoshiro step, not an Iterator
     pub fn next(&mut self) -> u64 {
         let s = &mut self.s;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
