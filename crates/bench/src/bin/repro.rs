@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|security|ablation]
+//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|security|ablation]
 //! ```
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
@@ -15,7 +15,8 @@
 
 use zerber_bench::experiments::{
     ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
-    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, micro, security, storage, table1,
+    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, micro, scalability, security, storage,
+    table1,
 };
 use zerber_bench::Scale;
 
@@ -80,6 +81,9 @@ fn main() {
     }
     if wanted("compression") {
         println!("{}", compression::render(&compression::run(scale)));
+    }
+    if wanted("scalability") {
+        println!("{}", scalability::render(&scalability::run(scale)));
     }
     if wanted("security") {
         println!("{}", security::render(&security::run(scale)));

@@ -1,0 +1,251 @@
+//! Scalability of the concurrent sharded peer runtime: throughput and
+//! latency versus peer count under concurrent clients.
+//!
+//! The paper's system argument (Section 5, and the Section 3
+//! DHT-extension direction) is that per-peer work shrinks as the index
+//! spreads over more peers. This experiment deploys the document-
+//! sharded [`ShardedSearch`] runtime at 1/2/4/8/16 peers, drives it
+//! with several concurrent client threads replaying the shared query
+//! log, and reports throughput, p50/p95 query latency, per-link wire
+//! bytes, and the gather stage's work accounting. Before measuring,
+//! every configuration's results are checked against the single-node
+//! [`local_topk`] reference — the sharded path must be *identical*,
+//! not just close (the `sharded_topk` property test proves this for
+//! arbitrary corpora; here it is re-asserted on the real workload).
+
+use std::time::Instant;
+
+use zerber::runtime::{local_topk, ShardedSearch};
+use zerber::ZerberConfig;
+use zerber_index::{RankedDoc, TermId};
+use zerber_net::NodeId;
+
+use crate::report::Table;
+use crate::scenario::{OdpScenario, Scale};
+
+/// Ranked results to request per query.
+const K: usize = 10;
+
+/// Queries cross-checked against the single-node reference per
+/// configuration.
+const REFERENCE_CHECKS: usize = 5;
+
+/// The peer counts the experiment sweeps.
+pub const PEER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One measured deployment size.
+#[derive(Debug)]
+pub struct ScalabilityPoint {
+    /// Shard peers in the deployment.
+    pub peers: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries executed in the measured phase.
+    pub queries: usize,
+    /// Sustained queries per second across all clients.
+    pub qps: f64,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile query latency, milliseconds.
+    pub p95_ms: f64,
+    /// Mean client→peer request bytes per query (all links).
+    pub wire_up_per_query: f64,
+    /// Mean peer→client response bytes per query (all links).
+    pub wire_down_per_query: f64,
+    /// Mean candidates shipped by peers per query.
+    pub candidates_received_per_query: f64,
+    /// Mean candidates the gather merge examined per query (the rest
+    /// were cut off by the threshold bound).
+    pub candidates_examined_per_query: f64,
+    /// Whether every reference query returned results identical to
+    /// single-node evaluation.
+    pub matches_single_node: bool,
+}
+
+/// The full sweep.
+#[derive(Debug)]
+pub struct Scalability {
+    /// One point per peer count.
+    pub points: Vec<ScalabilityPoint>,
+    /// Reference queries compared per point.
+    pub reference_checks: usize,
+}
+
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs the sweep on the shared ODP scenario.
+pub fn run(scale: Scale) -> Scalability {
+    let scenario = OdpScenario::shared(scale);
+    let docs = &scenario.corpus.documents;
+    let (clients, sample) = match scale {
+        Scale::Default => (8usize, 1_600usize),
+        Scale::Smoke => (4, 160),
+    };
+    let queries: Vec<Vec<TermId>> = scenario
+        .log
+        .queries
+        .iter()
+        .filter(|q| !q.is_empty())
+        .take(sample)
+        .cloned()
+        .collect();
+
+    let base = ZerberConfig::default();
+    let checks = REFERENCE_CHECKS.min(queries.len());
+    let reference: Vec<Vec<RankedDoc>> = queries[..checks]
+        .iter()
+        .map(|q| local_topk(&base, docs, q, K))
+        .collect();
+
+    let mut points = Vec::new();
+    for peers in PEER_COUNTS {
+        let config = base.with_peers(peers);
+        let search = ShardedSearch::launch(&config, docs).expect("valid config");
+
+        let mut matches_single_node = true;
+        for (query, expected) in queries[..checks].iter().zip(&reference) {
+            let outcome = search.query(query, K).expect("peers alive");
+            matches_single_node &= &outcome.ranked == expected;
+        }
+
+        search.traffic().reset(); // measure the concurrent phase only
+        let started = Instant::now();
+        let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|client| {
+                    let search = &search;
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        let mut latencies = Vec::new();
+                        let mut received = 0usize;
+                        let mut examined = 0usize;
+                        // Strided assignment: client c takes queries
+                        // c, c + C, c + 2C, …
+                        let mut i = client;
+                        while i < queries.len() {
+                            let begun = Instant::now();
+                            let outcome = search
+                                .query_from(client as u32, &queries[i], K)
+                                .expect("peers alive");
+                            latencies.push(begun.elapsed().as_secs_f64() * 1e3);
+                            received += outcome.candidates_received;
+                            examined += outcome.candidates_examined;
+                            i += clients;
+                        }
+                        (latencies, received, examined)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("client thread"))
+                .collect()
+        });
+        let wall = started.elapsed().as_secs_f64().max(1e-9);
+
+        let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _, _)| l.clone()).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let received: usize = per_client.iter().map(|&(_, r, _)| r).sum();
+        let examined: usize = per_client.iter().map(|&(_, _, e)| e).sum();
+        let executed = latencies.len().max(1);
+
+        let meter = search.traffic();
+        let up = meter.total_matching(|from, to| {
+            matches!(from, NodeId::User(_)) && matches!(to, NodeId::IndexServer(_))
+        });
+        let down = meter.total_matching(|from, to| {
+            matches!(from, NodeId::IndexServer(_)) && matches!(to, NodeId::User(_))
+        });
+
+        points.push(ScalabilityPoint {
+            peers,
+            clients,
+            queries: latencies.len(),
+            qps: latencies.len() as f64 / wall,
+            p50_ms: percentile(&latencies, 0.50),
+            p95_ms: percentile(&latencies, 0.95),
+            wire_up_per_query: up as f64 / executed as f64,
+            wire_down_per_query: down as f64 / executed as f64,
+            candidates_received_per_query: received as f64 / executed as f64,
+            candidates_examined_per_query: examined as f64 / executed as f64,
+            matches_single_node,
+        });
+    }
+
+    Scalability {
+        points,
+        reference_checks: checks,
+    }
+}
+
+/// Formats the sweep.
+pub fn render(result: &Scalability) -> String {
+    let mut table = Table::new(
+        "Scalability: sharded fan-out/gather vs peer count (concurrent clients)",
+        &[
+            "peers", "clients", "queries", "qps", "p50 ms", "p95 ms", "up B/q", "down B/q",
+            "cand/q", "gathered", "= 1-node",
+        ],
+    );
+    for p in &result.points {
+        table.row(&[
+            p.peers.to_string(),
+            p.clients.to_string(),
+            p.queries.to_string(),
+            format!("{:.0}", p.qps),
+            format!("{:.3}", p.p50_ms),
+            format!("{:.3}", p.p95_ms),
+            format!("{:.0}", p.wire_up_per_query),
+            format!("{:.0}", p.wire_down_per_query),
+            format!("{:.1}", p.candidates_received_per_query),
+            format!("{:.1}", p.candidates_examined_per_query),
+            if p.matches_single_node { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "per-query fan-out grows with peers (more links), while per-peer work shrinks; \
+         every configuration's top-{K} verified identical to single-node evaluation \
+         on {} reference queries\n",
+        result.reference_checks
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_matches_single_node() {
+        let result = run(Scale::Smoke);
+        assert_eq!(result.points.len(), PEER_COUNTS.len());
+        assert!(result.reference_checks > 0);
+        for point in &result.points {
+            assert!(point.matches_single_node, "{} peers diverged", point.peers);
+            assert!(point.queries > 0);
+            assert!(point.qps > 0.0);
+            assert!(point.p95_ms >= point.p50_ms);
+            assert!(point.wire_up_per_query > 0.0);
+            assert!(point.wire_down_per_query > 0.0);
+            assert!(
+                point.candidates_examined_per_query <= K as f64 + 1e-9,
+                "gather examines at most k"
+            );
+            assert!(
+                point.candidates_received_per_query >= point.candidates_examined_per_query - 1e-9
+            );
+        }
+        // Fan-out cost: 16 peers ship more request bytes per query
+        // than 1 peer.
+        let first = &result.points[0];
+        let last = result.points.last().unwrap();
+        assert!(last.wire_up_per_query > first.wire_up_per_query);
+    }
+}

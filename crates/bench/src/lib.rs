@@ -23,6 +23,7 @@ pub mod experiments {
     pub mod fig8_r_vs_m;
     pub mod fig9_amplification;
     pub mod micro;
+    pub mod scalability;
     pub mod security;
     pub mod storage;
     pub mod table1;

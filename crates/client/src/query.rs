@@ -81,10 +81,32 @@ impl QueryClient {
         pl_ids.sort_unstable();
         pl_ids.dedup();
 
-        // 2. Fetch the accessible share sets from k servers.
+        // 2. Fetch the accessible share sets from k servers — in
+        //    parallel, one fetch thread per server, so the round trip
+        //    costs the slowest server rather than the sum (the servers
+        //    run on their own peer threads behind the runtime
+        //    transport). Responses stay aligned with `contacted` order
+        //    for the Lagrange weights below.
+        let fetched: Vec<Result<_, ServerError>> = std::thread::scope(|scope| {
+            let pl_ids = &pl_ids;
+            let token = self.token;
+            let fetches: Vec<_> = contacted
+                .iter()
+                .map(|server| scope.spawn(move || server.get_posting_lists(token, pl_ids)))
+                .collect();
+            fetches
+                .into_iter()
+                .map(|fetch| match fetch.join() {
+                    Ok(response) => response,
+                    // Re-raise the original payload (e.g. a dead-peer
+                    // panic with its context) instead of masking it.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
         let mut responses = Vec::with_capacity(contacted.len());
-        for server in contacted {
-            responses.push(server.get_posting_lists(self.token, &pl_ids)?);
+        for fetch in fetched {
+            responses.push(fetch?);
         }
 
         // 3. Align shares across servers by (list, element id).
@@ -164,22 +186,18 @@ fn rank(
         *df.entry(element.term).or_insert(0) += 1;
         docs.insert(element.doc);
     }
-    let n = docs.len() as f64;
+    let n = docs.len();
 
     let lists: Vec<ScoredList> = terms
         .iter()
         .map(|&term| {
-            let term_df = df.get(&term).copied().unwrap_or(0) as f64;
-            let idf = if term_df > 0.0 {
-                (1.0 + n / term_df).ln()
-            } else {
-                0.0
-            };
+            let term_df = df.get(&term).copied().unwrap_or(0);
+            let weight = zerber_index::idf(n, term_df);
             ScoredList::new(
                 elements
                     .iter()
                     .filter(|e| e.term == term)
-                    .map(|e| (e.doc, e.term_frequency(codec) * idf))
+                    .map(|e| (e.doc, e.term_frequency(codec) * weight))
                     .collect(),
             )
         })

@@ -28,6 +28,8 @@
 
 pub mod placement;
 pub mod ring;
+pub mod shard;
 
 pub use placement::{DhtIndex, DhtStats};
 pub use ring::{ConsistentHashRing, PeerId};
+pub use shard::ShardMap;

@@ -1,0 +1,110 @@
+//! Document sharding over the consistent-hash ring.
+//!
+//! The peer runtime partitions a collection *by document*: every
+//! document's postings live on exactly one peer, so a peer can rank
+//! its shard locally (each candidate's full score is computable from
+//! one shard) and the gather stage merges disjoint candidate sets.
+//! Placement reuses the same [`ConsistentHashRing`] that places
+//! posting-list share replicas, so peer joins relocate only `~1/(P+1)`
+//! of the documents.
+
+use zerber_index::DocId;
+
+use crate::ring::{ConsistentHashRing, PeerId};
+
+/// Virtual ring points per peer (matches the share-placement ring).
+const VIRTUAL_NODES: u32 = 32;
+
+/// A deterministic document → peer assignment over `P` peers.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    ring: ConsistentHashRing,
+    peers: u32,
+}
+
+impl ShardMap {
+    /// A map over peers `0..peers`.
+    ///
+    /// # Panics
+    /// Panics if `peers == 0`.
+    pub fn new(peers: u32) -> Self {
+        assert!(peers > 0, "need at least one peer");
+        let mut ring = ConsistentHashRing::new(VIRTUAL_NODES);
+        for p in 0..peers {
+            ring.join(PeerId(p));
+        }
+        Self { ring, peers }
+    }
+
+    /// Number of peers in the map.
+    pub fn peer_count(&self) -> u32 {
+        self.peers
+    }
+
+    /// The peer that owns an arbitrary 64-bit key.
+    pub fn shard_of_key(&self, key: u64) -> PeerId {
+        self.ring.replicas_for(key, 1)[0]
+    }
+
+    /// The peer that owns a document (and all of its postings).
+    pub fn shard_of(&self, doc: DocId) -> PeerId {
+        self.shard_of_key(u64::from(doc.0))
+    }
+
+    /// Splits a document set into per-peer shards, indexed by peer id.
+    pub fn partition<T: Clone>(&self, docs: &[T], id_of: impl Fn(&T) -> DocId) -> Vec<Vec<T>> {
+        let mut shards: Vec<Vec<T>> = vec![Vec::new(); self.peers as usize];
+        for doc in docs {
+            shards[self.shard_of(id_of(doc)).0 as usize].push(doc.clone());
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_document_lands_on_exactly_one_peer() {
+        let map = ShardMap::new(5);
+        let docs: Vec<DocId> = (0..500).map(DocId).collect();
+        let shards = map.partition(&docs, |&d| d);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 500);
+        for (peer, shard) in shards.iter().enumerate() {
+            for &doc in shard {
+                assert_eq!(map.shard_of(doc), PeerId(peer as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let map = ShardMap::new(1);
+        for d in 0..100 {
+            assert_eq!(map.shard_of(DocId(d)), PeerId(0));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let map = ShardMap::new(8);
+        let docs: Vec<DocId> = (0..8_000).map(DocId).collect();
+        let shards = map.partition(&docs, |&d| d);
+        let expected = 1_000usize;
+        for (peer, shard) in shards.iter().enumerate() {
+            assert!(
+                shard.len() > expected / 3 && shard.len() < expected * 3,
+                "peer {peer} owns {} of 8000 docs",
+                shard.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_panics() {
+        let _ = ShardMap::new(0);
+    }
+}

@@ -15,8 +15,14 @@
 
 use crate::postings::{Posting, PostingList};
 use crate::stats::CorpusStats;
+use crate::topk::BlockScoredList;
 use crate::types::TermId;
 use crate::InvertedIndex;
+
+/// Posting entries per block when a store materializes scored lists
+/// (matches the compressed engine's physical block granularity, so
+/// its stored block maxima can be reused one-to-one).
+pub const SCORING_BLOCK: usize = 128;
 
 /// Which posting-list representation a deployment stores and serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +62,31 @@ pub trait PostingStore {
     /// the storage-accounting hook for the Section 7.2/7.3
     /// experiments.
     fn posting_bytes(&self) -> usize;
+
+    /// Materializes one block-partitioned scored list per `(term,
+    /// weight)` pair — entry `(doc, tf · weight)` in document order,
+    /// [`SCORING_BLOCK`]-sized blocks — ready for
+    /// [`crate::block_max_topk`]. Weights must be non-negative and
+    /// finite (IDF factors are).
+    ///
+    /// The default decodes every posting and computes exact block
+    /// maxima; backends with stored skip metadata (the compressed
+    /// engine's per-block `max_tf`) override it to derive the maxima
+    /// without rescanning. Entry values are identical either way, so
+    /// ranking results do not depend on the backend.
+    fn weighted_block_lists(&self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        terms
+            .iter()
+            .map(|&(term, weight)| {
+                BlockScoredList::from_doc_ordered(
+                    self.postings(term)
+                        .map(|p| (p.doc, p.term_frequency() * weight))
+                        .collect(),
+                    SCORING_BLOCK,
+                )
+            })
+            .collect()
+    }
 
     /// Corpus statistics over the stored document frequencies
     /// (formula (2)).

@@ -63,6 +63,41 @@ pub struct RankedDoc {
     pub score: f64,
 }
 
+impl RankedDoc {
+    /// The canonical result ordering — score descending, ties broken
+    /// by ascending document id. Every ranking path (TA, block-max
+    /// TA, the sharded gather merge) sorts by exactly this, which is
+    /// what makes their outputs comparable element for element.
+    ///
+    /// # Panics
+    /// Panics on NaN scores (no ranking path produces them).
+    pub fn result_order(a: &Self, b: &Self) -> std::cmp::Ordering {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are non-NaN")
+            .then(a.doc.cmp(&b.doc))
+    }
+
+    /// True iff `self` ranks strictly before `other` in
+    /// [`RankedDoc::result_order`].
+    pub fn ranks_before(&self, other: &Self) -> bool {
+        Self::result_order(self, other) == std::cmp::Ordering::Less
+    }
+}
+
+/// The IDF factor `ln(1 + N / df)` for a term with document frequency
+/// `df` in a collection of `collection_size` documents (0 for unseen
+/// terms). The single definition every ranking path — [`tfidf_lists`],
+/// the client's personalized ranking, the sharded runtime's global
+/// weights — must share, or their scores stop being comparable.
+pub fn idf(collection_size: usize, df: usize) -> f64 {
+    if df > 0 {
+        (1.0 + collection_size as f64 / df as f64).ln()
+    } else {
+        0.0
+    }
+}
+
 /// Fagin's Threshold Algorithm: returns the top-`k` documents by
 /// aggregate score without necessarily scanning entire lists.
 ///
@@ -94,12 +129,7 @@ pub fn threshold_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
 
         // Sort the buffer and test the stopping condition: k docs at or
         // above the threshold for everything not yet seen.
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.doc.cmp(&b.doc))
-        });
+        results.sort_by(RankedDoc::result_order);
         if results.len() >= k && results[k - 1].score >= threshold {
             break;
         }
@@ -331,12 +361,7 @@ pub fn block_max_topk(lists: &[BlockScoredList], k: usize) -> Vec<RankedDoc> {
         }
     }
 
-    results.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are non-NaN")
-            .then(a.doc.cmp(&b.doc))
-    });
+    results.sort_by(RankedDoc::result_order);
     results.truncate(k);
     results
 }
@@ -356,12 +381,7 @@ pub fn naive_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
         .into_iter()
         .map(|(doc, score)| RankedDoc { doc, score })
         .collect();
-    results.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap()
-            .then(a.doc.cmp(&b.doc))
-    });
+    results.sort_by(RankedDoc::result_order);
     results.truncate(k);
     results
 }
@@ -374,17 +394,16 @@ pub fn naive_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
 /// frequency. `N` is the number of documents in the *user-accessible*
 /// collection — pass the personalized index (Section 5.4.2).
 pub fn tfidf_lists(index: &InvertedIndex, terms: &[TermId]) -> Vec<ScoredList> {
-    let n = index.document_count() as f64;
+    let n = index.document_count();
     terms
         .iter()
         .map(|&term| {
             let postings = index.posting_list(term);
-            let df = postings.len() as f64;
-            let idf = if df > 0.0 { (1.0 + n / df).ln() } else { 0.0 };
+            let weight = idf(n, postings.len());
             ScoredList::new(
                 postings
                     .iter()
-                    .map(|p| (p.doc, p.term_frequency() * idf))
+                    .map(|p| (p.doc, p.term_frequency() * weight))
                     .collect(),
             )
         })

@@ -42,7 +42,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use zerber_core::{ElementId, PlId};
 use zerber_field::Fp;
-use zerber_index::{DocId, GroupId};
+use zerber_index::{DocId, GroupId, TermId};
 
 /// An opaque authentication token (the enterprise authentication
 /// service of Section 5.4.2 is a black box to Zerber).
@@ -107,6 +107,55 @@ pub enum Message {
         /// Raw snippet payload.
         payload: Bytes,
     },
+    /// User → shard peer: rank the top `k` documents for a weighted
+    /// term query (the sharded plaintext serving path of the peer
+    /// runtime). Weights are the per-term IDF factors computed from
+    /// *global* collection statistics, shipped as exact `f64` bit
+    /// patterns so every shard scores with bit-identical floats.
+    TopKQuery {
+        /// Query terms with their global IDF weights.
+        terms: Vec<(TermId, f64)>,
+        /// How many ranked results to return.
+        k: u32,
+    },
+    /// Shard peer → user: the shard-local top-k, sorted by score
+    /// descending then document id ascending — the sorted-access order
+    /// the gather stage's threshold bound relies on.
+    TopKResponse {
+        /// Ranked `(doc, score)` candidates, at most `k` of them.
+        candidates: Vec<(DocId, f64)>,
+    },
+    /// Server → owner: a share batch was accepted.
+    InsertOk,
+    /// Server → owner: deletion outcome.
+    DeleteOk {
+        /// Elements actually removed.
+        removed: u64,
+    },
+    /// Server → client: an RPC fault (failed authentication, missing
+    /// group membership, or an unsupported request for this peer
+    /// role). `code` is one of the `fault` constants; `group`
+    /// identifies the offending group for membership faults and is
+    /// zero otherwise.
+    Fault {
+        /// Fault discriminant (see [`fault`]).
+        code: u8,
+        /// Offending group for [`fault::NOT_GROUP_MEMBER`].
+        group: GroupId,
+    },
+}
+
+/// Fault codes carried by [`Message::Fault`].
+pub mod fault {
+    /// The authentication token was rejected.
+    pub const AUTH_FAILED: u8 = 1;
+    /// The authenticated user is not a member of the required group.
+    pub const NOT_GROUP_MEMBER: u8 = 2;
+    /// The peer does not serve this request type (e.g. a plaintext
+    /// shard peer receiving a share insert).
+    pub const UNSUPPORTED: u8 = 3;
+    /// The request bytes did not decode to a message.
+    pub const MALFORMED: u8 = 4;
 }
 
 /// Wire decoding errors.
@@ -135,6 +184,11 @@ const TAG_QUERY: u8 = 3;
 const TAG_RESPONSE: u8 = 4;
 const TAG_SNIPPET_REQ: u8 = 5;
 const TAG_SNIPPET_RESP: u8 = 6;
+const TAG_TOPK_QUERY: u8 = 7;
+const TAG_TOPK_RESPONSE: u8 = 8;
+const TAG_INSERT_OK: u8 = 9;
+const TAG_DELETE_OK: u8 = 10;
+const TAG_FAULT: u8 = 11;
 
 impl Message {
     /// Serializes the message.
@@ -184,6 +238,35 @@ impl Message {
                 buffer.put_u8(TAG_SNIPPET_RESP);
                 buffer.put_u32(payload.len() as u32);
                 buffer.put_slice(payload);
+            }
+            Message::TopKQuery { terms, k } => {
+                buffer.put_u8(TAG_TOPK_QUERY);
+                buffer.put_u32(*k);
+                buffer.put_u32(terms.len() as u32);
+                for (term, weight) in terms {
+                    buffer.put_u32(term.0);
+                    buffer.put_u64(weight.to_bits());
+                }
+            }
+            Message::TopKResponse { candidates } => {
+                buffer.put_u8(TAG_TOPK_RESPONSE);
+                buffer.put_u32(candidates.len() as u32);
+                for (doc, score) in candidates {
+                    buffer.put_u32(doc.0);
+                    buffer.put_u64(score.to_bits());
+                }
+            }
+            Message::InsertOk => {
+                buffer.put_u8(TAG_INSERT_OK);
+            }
+            Message::DeleteOk { removed } => {
+                buffer.put_u8(TAG_DELETE_OK);
+                buffer.put_u64(*removed);
+            }
+            Message::Fault { code, group } => {
+                buffer.put_u8(TAG_FAULT);
+                buffer.put_u8(*code);
+                buffer.put_u32(group.0);
             }
         }
         buffer.freeze()
@@ -250,6 +333,39 @@ impl Message {
                     payload: Bytes::copy_from_slice(&buffer[..len]),
                 })
             }
+            TAG_TOPK_QUERY => {
+                let k = read_u32(&mut buffer)?;
+                let count = read_u32(&mut buffer)? as usize;
+                let mut terms = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let term = TermId(read_u32(&mut buffer)?);
+                    let weight = f64::from_bits(read_u64(&mut buffer)?);
+                    terms.push((term, weight));
+                }
+                Ok(Message::TopKQuery { terms, k })
+            }
+            TAG_TOPK_RESPONSE => {
+                let count = read_u32(&mut buffer)? as usize;
+                let mut candidates = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let doc = DocId(read_u32(&mut buffer)?);
+                    let score = f64::from_bits(read_u64(&mut buffer)?);
+                    candidates.push((doc, score));
+                }
+                Ok(Message::TopKResponse { candidates })
+            }
+            TAG_INSERT_OK => Ok(Message::InsertOk),
+            TAG_DELETE_OK => Ok(Message::DeleteOk {
+                removed: read_u64(&mut buffer)?,
+            }),
+            TAG_FAULT => {
+                if buffer.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                let code = buffer.get_u8();
+                let group = GroupId(read_u32(&mut buffer)?);
+                Ok(Message::Fault { code, group })
+            }
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -271,6 +387,11 @@ impl Message {
             }
             Message::SnippetRequest { .. } => 1 + 4,
             Message::SnippetResponse { payload } => 1 + 4 + payload.len(),
+            Message::TopKQuery { terms, .. } => 1 + 4 + 4 + terms.len() * (4 + 8),
+            Message::TopKResponse { candidates } => 1 + 4 + candidates.len() * (4 + 8),
+            Message::InsertOk => 1,
+            Message::DeleteOk { .. } => 1 + 8,
+            Message::Fault { .. } => 1 + 1 + 4,
         }
     }
 }
@@ -377,6 +498,57 @@ mod tests {
         let encoded = response.encode();
         assert_eq!(encoded.len(), response.wire_size());
         assert_eq!(Message::decode(&encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn topk_messages_round_trip_exact_floats() {
+        // 0.1 has no finite binary expansion; bit-level transport must
+        // still reproduce it exactly.
+        let query = Message::TopKQuery {
+            terms: vec![(TermId(7), 0.1), (TermId(9), 3.75)],
+            k: 10,
+        };
+        let encoded = query.encode();
+        assert_eq!(encoded.len(), query.wire_size());
+        assert_eq!(Message::decode(&encoded).unwrap(), query);
+
+        let response = Message::TopKResponse {
+            candidates: vec![(DocId(3), 1.0 / 3.0), (DocId(1), 0.0)],
+        };
+        let encoded = response.encode();
+        assert_eq!(encoded.len(), response.wire_size());
+        assert_eq!(Message::decode(&encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for message in [
+            Message::InsertOk,
+            Message::DeleteOk { removed: 42 },
+            Message::Fault {
+                code: crate::message::fault::NOT_GROUP_MEMBER,
+                group: GroupId(9),
+            },
+        ] {
+            let encoded = message.encode();
+            assert_eq!(encoded.len(), message.wire_size());
+            assert_eq!(Message::decode(&encoded).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn truncated_topk_errors() {
+        let message = Message::TopKQuery {
+            terms: vec![(TermId(1), 2.0)],
+            k: 3,
+        };
+        let encoded = message.encode();
+        for cut in 0..encoded.len() {
+            assert!(
+                Message::decode(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
     }
 
     #[test]

@@ -87,23 +87,16 @@ impl CompressedPostingStore {
         terms: &[TermId],
         document_count: usize,
     ) -> Vec<BlockScoredList> {
-        let n = document_count as f64;
-        terms
+        let weights: Vec<(TermId, f64)> = terms
             .iter()
-            .map(|&term| match self.list(term) {
-                Some(list) if !list.is_empty() => {
-                    let df = list.len() as f64;
-                    let idf = (1.0 + n / df).ln();
-                    let entries = list
-                        .iter()
-                        .map(|e| (DocId(e.doc as u32), e.term_frequency() * idf))
-                        .collect();
-                    let maxes = list.blocks().iter().map(|b| b.max_tf * idf).collect();
-                    BlockScoredList::from_blocks(entries, BLOCK_SIZE, maxes)
-                }
-                _ => BlockScoredList::from_doc_ordered(Vec::new(), BLOCK_SIZE),
+            .map(|&term| {
+                (
+                    term,
+                    zerber_index::idf(document_count, self.document_frequency(term)),
+                )
             })
-            .collect()
+            .collect();
+        self.weighted_block_lists(&weights)
     }
 }
 
@@ -133,7 +126,34 @@ impl PostingStore for CompressedPostingStore {
             .map(CompressedPostingList::compressed_bytes)
             .sum()
     }
+
+    /// Override: block maxima come from the stored ceil-quantized
+    /// `max_tf` skip metadata scaled by the weight — no rescan of the
+    /// entries. The entry scores are identical to the default path
+    /// (same decoded postings, same `tf · weight`), and the quantized
+    /// maxima upper-bound them, so ranking results are unchanged;
+    /// only the pruning bounds (and therefore the skipping) differ.
+    fn weighted_block_lists(&self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        terms
+            .iter()
+            .map(|&(term, weight)| match self.list(term) {
+                Some(list) if !list.is_empty() => {
+                    let entries = list
+                        .iter()
+                        .map(|e| (DocId(e.doc as u32), e.term_frequency() * weight))
+                        .collect();
+                    let maxes = list.blocks().iter().map(|b| b.max_tf * weight).collect();
+                    BlockScoredList::from_blocks(entries, BLOCK_SIZE, maxes)
+                }
+                _ => BlockScoredList::from_doc_ordered(Vec::new(), BLOCK_SIZE),
+            })
+            .collect()
+    }
 }
+
+// The trait's scored-list blocks must coincide with the physical
+// compression blocks for the stored maxima to be reusable one-to-one.
+const _: () = assert!(BLOCK_SIZE == zerber_index::store::SCORING_BLOCK);
 
 /// Builds the posting store a [`PostingBackend`] selection names.
 pub fn build_store(backend: PostingBackend, index: &InvertedIndex) -> Box<dyn PostingStore> {
@@ -180,6 +200,25 @@ mod tests {
             let a: Vec<Posting> = raw.postings(term).collect();
             let b: Vec<Posting> = compressed.postings(term).collect();
             assert_eq!(a, b, "term {term}");
+        }
+    }
+
+    #[test]
+    fn weighted_block_lists_rank_identically_across_backends() {
+        // The compressed override derives block maxima from stored
+        // skip metadata instead of rescanning; results must not
+        // change.
+        let index = sample_index(400, 8);
+        let raw = RawPostingStore::from_index(&index);
+        let compressed = CompressedPostingStore::from_index(&index);
+        let weights: Vec<(TermId, f64)> =
+            vec![(TermId(3), 1.7), (TermId(10), 0.4), (TermId(49), 0.0)];
+        let a = zerber_index::block_max_topk(&raw.weighted_block_lists(&weights), 12);
+        let b = zerber_index::block_max_topk(&compressed.weighted_block_lists(&weights), 12);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
         }
     }
 

@@ -36,6 +36,31 @@ impl std::fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+impl ServerError {
+    /// The wire encoding of this rejection as a
+    /// [`zerber_net::Message::Fault`] frame: `(code, group)`, with
+    /// `group` zero unless the fault names one.
+    pub fn to_fault(&self) -> (u8, GroupId) {
+        use zerber_net::message::fault;
+        match self {
+            ServerError::AuthFailed => (fault::AUTH_FAILED, GroupId(0)),
+            ServerError::NotGroupMember(group) => (fault::NOT_GROUP_MEMBER, *group),
+        }
+    }
+
+    /// Decodes a wire fault frame back into the server error it
+    /// carries. `None` for transport-level faults (malformed or
+    /// unsupported requests) that have no server-side equivalent.
+    pub fn from_fault(code: u8, group: GroupId) -> Option<Self> {
+        use zerber_net::message::fault;
+        match code {
+            fault::AUTH_FAILED => Some(ServerError::AuthFailed),
+            fault::NOT_GROUP_MEMBER => Some(ServerError::NotGroupMember(group)),
+            _ => None,
+        }
+    }
+}
+
 /// One Zerber index server.
 pub struct IndexServer {
     id: u32,
@@ -225,6 +250,21 @@ mod tests {
             .unwrap();
         let lists = server.get_posting_lists(token, &[PlId(3)]).unwrap();
         assert_eq!(lists[0].1.len(), 1);
+    }
+
+    #[test]
+    fn fault_frames_round_trip_server_errors() {
+        for error in [
+            ServerError::AuthFailed,
+            ServerError::NotGroupMember(GroupId(7)),
+        ] {
+            let (code, group) = error.to_fault();
+            assert_eq!(ServerError::from_fault(code, group), Some(error));
+        }
+        assert_eq!(
+            ServerError::from_fault(zerber_net::message::fault::UNSUPPORTED, GroupId(0)),
+            None
+        );
     }
 
     #[test]

@@ -5,6 +5,55 @@ use zerber_core::merge::MergeConfig;
 use zerber_core::ElementCodec;
 use zerber_index::PostingBackend;
 
+/// A structurally invalid [`ZerberConfig`], caught by
+/// [`ZerberConfig::validate`] at bootstrap time instead of deep inside
+/// placement or sharing code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threshold` must be at least 1 — a 0-of-n sharing reconstructs
+    /// from nothing.
+    ThresholdZero,
+    /// `threshold` exceeds `servers`: no quorum of `k` servers exists.
+    ThresholdExceedsServers {
+        /// The configured reconstruction threshold `k`.
+        threshold: usize,
+        /// The configured server count `n`.
+        servers: usize,
+    },
+    /// The peer count is zero — nothing can host a shard or a share.
+    NoPeers,
+    /// The peer ring is smaller than the sharing degree: placing the
+    /// `n` shares of an element on `n` *distinct* peers (and hence
+    /// assembling any `k`-quorum) is impossible. Previously this was
+    /// only caught as a panic deep in `zerber_dht` placement.
+    TooFewPeers {
+        /// The configured ring width.
+        peers: usize,
+        /// The minimum ring width (`servers`).
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ThresholdZero => write!(f, "sharing threshold must be at least 1"),
+            ConfigError::NoPeers => write!(f, "peer count must be at least 1"),
+            ConfigError::ThresholdExceedsServers { threshold, servers } => write!(
+                f,
+                "threshold k = {threshold} exceeds server count n = {servers}"
+            ),
+            ConfigError::TooFewPeers { peers, need } => write!(
+                f,
+                "peer ring has {peers} peers but share placement needs at least n = {need} \
+                 distinct peers (which also covers the k-quorum)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Everything needed to bootstrap a Zerber deployment.
 #[derive(Debug, Clone, Copy)]
 pub struct ZerberConfig {
@@ -13,6 +62,12 @@ pub struct ZerberConfig {
     /// Reconstruction threshold `k` (the paper's experiments use
     /// 2-out-of-3).
     pub threshold: usize,
+    /// Width of the distributed peer ring for DHT-placed deployments
+    /// (share placement in `zerber-dht`, document shards in the peer
+    /// runtime). Must be at least `servers` so every element's `n`
+    /// shares land on distinct peers; [`ZerberConfig::with_sharing`]
+    /// widens it automatically.
+    pub peers: usize,
     /// Posting-list merging configuration.
     pub merge: MergeConfig,
     /// Posting-element bit layout.
@@ -38,6 +93,7 @@ impl Default for ZerberConfig {
         Self {
             servers: 3,
             threshold: 2,
+            peers: 3,
             merge: MergeConfig::dfm(1024),
             codec: ElementCodec::default(),
             batch: BatchPolicy::immediate(),
@@ -54,11 +110,43 @@ impl ZerberConfig {
         self
     }
 
-    /// Overrides `n` and `k`.
+    /// Overrides `n` and `k`. Widens the peer ring to at least `n` so
+    /// the configuration stays placeable (see
+    /// [`ZerberConfig::validate`]).
     pub fn with_sharing(mut self, servers: usize, threshold: usize) -> Self {
         self.servers = servers;
         self.threshold = threshold;
+        self.peers = self.peers.max(servers);
         self
+    }
+
+    /// Overrides the peer-ring width.
+    pub fn with_peers(mut self, peers: usize) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Checks the structural invariants: `1 ≤ threshold ≤ servers ≤
+    /// peers`. Called by `ZerberSystem::bootstrap` and the peer
+    /// runtime so a mis-sized ring fails fast with a typed error
+    /// instead of panicking deep in placement.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threshold == 0 {
+            return Err(ConfigError::ThresholdZero);
+        }
+        if self.threshold > self.servers {
+            return Err(ConfigError::ThresholdExceedsServers {
+                threshold: self.threshold,
+                servers: self.servers,
+            });
+        }
+        if self.peers < self.servers {
+            return Err(ConfigError::TooFewPeers {
+                peers: self.peers,
+                need: self.servers,
+            });
+        }
+        Ok(())
     }
 
     /// Overrides the batch policy.
@@ -112,6 +200,49 @@ mod tests {
         assert_eq!(config.seed, 1);
         assert_eq!(config.batch, BatchPolicy::batched(50));
         assert_eq!(config.postings, PostingBackend::Compressed);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(ZerberConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn with_sharing_widens_the_ring() {
+        let config = ZerberConfig::default().with_sharing(5, 3);
+        assert_eq!(config.peers, 5);
+        assert_eq!(config.validate(), Ok(()));
+    }
+
+    #[test]
+    fn undersized_ring_is_rejected() {
+        // Fewer ring peers than share replicas: previously only caught
+        // as a panic deep in DHT placement.
+        let config = ZerberConfig::default().with_peers(2);
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::TooFewPeers { peers: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn degenerate_sharing_is_rejected() {
+        let zero = ZerberConfig {
+            threshold: 0,
+            ..ZerberConfig::default()
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ThresholdZero));
+        let over = ZerberConfig {
+            threshold: 4,
+            ..ZerberConfig::default()
+        };
+        assert_eq!(
+            over.validate(),
+            Err(ConfigError::ThresholdExceedsServers {
+                threshold: 4,
+                servers: 3
+            })
+        );
     }
 
     #[test]

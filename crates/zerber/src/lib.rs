@@ -14,6 +14,14 @@
 //! * the public [`zerber_core::MappingTable`] produced by one of the
 //!   merging heuristics.
 //!
+//! Since the runtime refactor every index server runs on its own peer
+//! thread behind the message-passing [`runtime`] layer: data-plane
+//! calls are serialized to their exact wire bytes, metered per link,
+//! and executed off the caller's thread, and the same layer provides
+//! [`runtime::ShardedSearch`] — a document-sharded, concurrent top-k
+//! serving engine with a fan-out/gather query path (see its docs for
+//! a 4-peer end-to-end example).
+//!
 //! The [`baselines`] module provides the comparators used throughout
 //! the paper: the trusted central index ("ideal scheme", Section 2),
 //! the shotgun per-owner broadcast (Section 1), and a μ-Serv-style
@@ -61,10 +69,10 @@
 
 pub mod baselines;
 pub mod config;
-pub mod metered;
+pub mod runtime;
 pub mod system;
 
-pub use config::ZerberConfig;
-pub use metered::MeteredHandle;
+pub use config::{ConfigError, ZerberConfig};
+pub use runtime::{RuntimeHandle, ShardedSearch};
 pub use system::{SystemError, ZerberSystem};
 pub use zerber_index::PostingBackend;

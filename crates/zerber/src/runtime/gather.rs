@@ -1,0 +1,162 @@
+//! Merging per-peer top-k candidates with the threshold-algorithm
+//! bound.
+//!
+//! Documents are sharded — every document's postings live on exactly
+//! one peer — so each candidate arrives with its *complete* score and
+//! the per-peer candidate sets are disjoint. Each peer's list is
+//! sorted by `(score desc, doc asc)` (the order
+//! [`zerber_index::block_max_topk`] emits), which makes it a *sorted
+//! access* path in Fagin's sense: the head of each list upper-bounds
+//! everything behind it. The gather loop therefore only ever pulls
+//! the globally best head, and after `k` pulls the threshold `τ =
+//! max(remaining heads)` certifies that no unexamined candidate can
+//! enter the top-k — the same stopping rule as the Threshold
+//! Algorithm, needing no random access because scores are already
+//! complete.
+//!
+//! Correctness does not depend on the early stop: a global top-k
+//! document ranks at least as high within its own shard, so it is
+//! always inside that shard's local top-k and the first `k` pulls of
+//! the merge reproduce the global order exactly (see the
+//! `sharded_topk` property test).
+
+use zerber_index::RankedDoc;
+
+/// What the gather stage produced, with the work accounting the
+/// scalability experiment reports.
+#[derive(Debug, Clone)]
+pub struct GatherOutcome {
+    /// The global top-k, sorted by `(score desc, doc asc)`.
+    pub ranked: Vec<RankedDoc>,
+    /// Candidates shipped by all peers (`≤ peers · k`).
+    pub candidates_received: usize,
+    /// Candidates the merge actually examined (`≤ k`): the rest were
+    /// pruned by the threshold bound without being looked at.
+    pub candidates_examined: usize,
+    /// The threshold `τ` at the stop point — the best score any
+    /// unexamined candidate could have. `None` when every candidate
+    /// was examined. When present, `ranked.last().score ≥ τ` is the
+    /// gather's correctness certificate.
+    pub threshold_bound: Option<f64>,
+}
+
+/// Merges per-peer candidate lists into the global top-`k`.
+///
+/// Each inner list must be sorted by [`RankedDoc::result_order`]
+/// (debug-asserted) — the order peers produce. Lists may be shorter
+/// than `k` (small shards) or empty.
+pub fn gather_topk(per_peer: &[Vec<RankedDoc>], k: usize) -> GatherOutcome {
+    debug_assert!(per_peer
+        .iter()
+        .all(|list| list.windows(2).all(|w| !w[1].ranks_before(&w[0]))));
+
+    let candidates_received = per_peer.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; per_peer.len()];
+    let mut ranked: Vec<RankedDoc> = Vec::with_capacity(k);
+
+    while ranked.len() < k {
+        // Sorted access over every peer's head; the best head is the
+        // best remaining candidate overall.
+        let mut best: Option<(usize, RankedDoc)> = None;
+        for (peer, list) in per_peer.iter().enumerate() {
+            if let Some(&head) = list.get(cursors[peer]) {
+                let better = match &best {
+                    None => true,
+                    Some((_, current)) => head.ranks_before(current),
+                };
+                if better {
+                    best = Some((peer, head));
+                }
+            }
+        }
+        let Some((peer, candidate)) = best else { break };
+        cursors[peer] += 1;
+        ranked.push(candidate);
+    }
+
+    // The threshold at the stop point: the best head still unexamined.
+    let threshold_bound = per_peer
+        .iter()
+        .zip(&cursors)
+        .filter_map(|(list, &cursor)| list.get(cursor))
+        .map(|head| head.score)
+        .fold(None, |acc: Option<f64>, s| {
+            Some(acc.map_or(s, |a| a.max(s)))
+        });
+    if let (Some(bound), Some(last)) = (threshold_bound, ranked.last()) {
+        debug_assert!(
+            last.score >= bound,
+            "gather certificate violated: kth = {}, τ = {bound}",
+            last.score
+        );
+    }
+
+    GatherOutcome {
+        candidates_examined: ranked.len(),
+        ranked,
+        candidates_received,
+        threshold_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::DocId;
+
+    fn doc(doc: u32, score: f64) -> RankedDoc {
+        RankedDoc {
+            doc: DocId(doc),
+            score,
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_shards_in_global_order() {
+        let peers = vec![
+            vec![doc(1, 0.9), doc(4, 0.5)],
+            vec![doc(2, 0.8), doc(5, 0.1)],
+            vec![doc(3, 0.7)],
+        ];
+        let outcome = gather_topk(&peers, 3);
+        let docs: Vec<u32> = outcome.ranked.iter().map(|r| r.doc.0).collect();
+        assert_eq!(docs, vec![1, 2, 3]);
+        assert_eq!(outcome.candidates_received, 5);
+        assert_eq!(outcome.candidates_examined, 3);
+        // τ = 0.5 (doc 4), and the 3rd result scores 0.7 ≥ τ.
+        assert_eq!(outcome.threshold_bound, Some(0.5));
+    }
+
+    #[test]
+    fn ties_across_peers_break_by_doc_id() {
+        let peers = vec![vec![doc(9, 0.5)], vec![doc(2, 0.5)], vec![doc(5, 0.5)]];
+        let outcome = gather_topk(&peers, 2);
+        let docs: Vec<u32> = outcome.ranked.iter().map(|r| r.doc.0).collect();
+        assert_eq!(docs, vec![2, 5]);
+    }
+
+    #[test]
+    fn k_exceeding_supply_returns_everything() {
+        let peers = vec![vec![doc(1, 0.3)], vec![]];
+        let outcome = gather_topk(&peers, 10);
+        assert_eq!(outcome.ranked.len(), 1);
+        assert_eq!(outcome.threshold_bound, None);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(gather_topk(&[], 5).ranked.is_empty());
+        let outcome = gather_topk(&[vec![], vec![]], 5);
+        assert!(outcome.ranked.is_empty());
+        assert_eq!(outcome.candidates_examined, 0);
+    }
+
+    #[test]
+    fn k_zero_examines_nothing() {
+        let peers = vec![vec![doc(1, 1.0)]];
+        let outcome = gather_topk(&peers, 0);
+        assert!(outcome.ranked.is_empty());
+        assert_eq!(outcome.candidates_examined, 0);
+        assert_eq!(outcome.threshold_bound, Some(1.0));
+    }
+}

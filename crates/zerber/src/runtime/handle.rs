@@ -1,0 +1,178 @@
+//! Client-side stubs speaking the wire protocol to peer threads.
+//!
+//! A [`RuntimeHandle`] is what `ZerberSystem` hands to owners and
+//! query clients instead of a direct [`zerber_server::IndexServer`]
+//! reference: every call is encoded to its exact wire bytes, crosses
+//! the [`Transport`] (metering the link both ways), executes on the
+//! server's own peer thread, and the typed result is decoded from the
+//! response frame. This replaces the old `MeteredHandle`, which
+//! serialized messages purely for byte accounting and then dispatched
+//! inline on the caller's thread.
+
+use std::sync::Arc;
+
+use zerber_core::{ElementId, PlId};
+use zerber_field::Fp;
+use zerber_net::{AuthToken, Message, NodeId, StoredShare};
+use zerber_server::ServerError;
+
+use zerber_client::ServerHandle;
+
+use crate::runtime::transport::Transport;
+
+/// A [`ServerHandle`] backed by a peer thread behind a transport.
+pub struct RuntimeHandle {
+    transport: Arc<dyn Transport>,
+    from: NodeId,
+    to: NodeId,
+    coordinate: Fp,
+}
+
+impl RuntimeHandle {
+    /// A handle for calls `from → to`. The server's public Shamir
+    /// x-coordinate is cached client-side (it is public scheme
+    /// metadata, not worth a round trip).
+    pub fn new(transport: Arc<dyn Transport>, from: NodeId, to: NodeId, coordinate: Fp) -> Self {
+        Self {
+            transport,
+            from,
+            to,
+            coordinate,
+        }
+    }
+
+    /// One round trip. Peers are in-process threads owned by the same
+    /// deployment object, so a dead peer is a bug, not a recoverable
+    /// condition — transport failures panic with context.
+    fn round_trip(&self, auth: AuthToken, request: &Message) -> Message {
+        self.transport
+            .request(self.from, self.to, auth, request)
+            .expect("index-server peer thread is alive for the deployment's lifetime")
+    }
+}
+
+/// Decodes a fault frame into the `ServerError` it carries.
+fn server_error(response: Message) -> ServerError {
+    match response {
+        Message::Fault { code, group } => ServerError::from_fault(code, group)
+            .unwrap_or_else(|| panic!("peer returned a transport fault (code {code})")),
+        other => panic!("protocol violation: unexpected response {other:?}"),
+    }
+}
+
+impl ServerHandle for RuntimeHandle {
+    fn coordinate(&self) -> Fp {
+        self.coordinate
+    }
+
+    fn insert_batch(
+        &self,
+        token: AuthToken,
+        entries: &[(PlId, StoredShare)],
+    ) -> Result<(), ServerError> {
+        let request = Message::InsertBatch {
+            entries: entries.to_vec(),
+        };
+        match self.round_trip(token, &request) {
+            Message::InsertOk => Ok(()),
+            other => Err(server_error(other)),
+        }
+    }
+
+    fn delete(
+        &self,
+        token: AuthToken,
+        elements: &[(PlId, ElementId)],
+    ) -> Result<usize, ServerError> {
+        let request = Message::Delete {
+            elements: elements.to_vec(),
+        };
+        match self.round_trip(token, &request) {
+            Message::DeleteOk { removed } => Ok(removed as usize),
+            other => Err(server_error(other)),
+        }
+    }
+
+    fn get_posting_lists(
+        &self,
+        token: AuthToken,
+        pl_ids: &[PlId],
+    ) -> Result<Vec<(PlId, Vec<StoredShare>)>, ServerError> {
+        let request = Message::Query {
+            auth: token,
+            pl_ids: pl_ids.to_vec(),
+        };
+        match self.round_trip(token, &request) {
+            Message::QueryResponse { lists } => Ok(lists),
+            other => Err(server_error(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::peer::{PeerRuntime, ServerService};
+    use zerber_index::{GroupId, UserId};
+    use zerber_net::TrafficMeter;
+    use zerber_server::{IndexServer, TokenAuth};
+
+    fn world() -> (PeerRuntime, RuntimeHandle, AuthToken, Arc<TrafficMeter>) {
+        let auth = Arc::new(TokenAuth::new());
+        let server = Arc::new(IndexServer::new(0, Fp::new(3), auth.clone()));
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let meter = Arc::new(TrafficMeter::new());
+        let mut runtime = PeerRuntime::new(meter.clone());
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, move || ServerService::new(server));
+        let handle = RuntimeHandle::new(
+            runtime.transport().clone(),
+            NodeId::User(1),
+            node,
+            Fp::new(3),
+        );
+        (runtime, handle, auth.issue(UserId(1)), meter)
+    }
+
+    #[test]
+    fn traffic_is_recorded_in_both_directions() {
+        let (_runtime, handle, token, meter) = world();
+        let user = NodeId::User(1);
+        let node = NodeId::IndexServer(0);
+
+        let share = StoredShare {
+            element: ElementId(1),
+            group: GroupId(0),
+            share: Fp::new(9),
+        };
+        handle.insert_batch(token, &[(PlId(0), share)]).unwrap();
+        let upstream = meter.link_bytes(user, node);
+        assert!(upstream > 0, "insert bytes recorded");
+
+        let lists = handle.get_posting_lists(token, &[PlId(0)]).unwrap();
+        assert_eq!(lists[0].1.len(), 1);
+        assert!(meter.link_bytes(node, user) > 0, "response bytes recorded");
+        assert!(meter.link_bytes(user, node) > upstream, "query bytes added");
+
+        assert_eq!(handle.delete(token, &[(PlId(0), ElementId(1))]), Ok(1));
+    }
+
+    #[test]
+    fn server_rejections_come_back_typed() {
+        let (_runtime, handle, _token, _meter) = world();
+        let bogus = AuthToken(4242);
+        assert_eq!(
+            handle.get_posting_lists(bogus, &[PlId(0)]).unwrap_err(),
+            ServerError::AuthFailed
+        );
+        let share = StoredShare {
+            element: ElementId(1),
+            group: GroupId(7),
+            share: Fp::new(1),
+        };
+        assert_eq!(
+            handle.insert_batch(bogus, &[(PlId(0), share)]).unwrap_err(),
+            ServerError::AuthFailed
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! The concurrent sharded peer runtime.
+//!
+//! The paper's deployment model (Section 5) is a set of *untrusted
+//! peers*, each doing its own work: index servers hold share columns,
+//! DHT peers hold fractions of the index (Section 3's future-work
+//! direction), and clients talk to all of them over a network. This
+//! module makes that structure real inside one process:
+//!
+//! * [`transport`] — the message-passing substrate: every RPC is
+//!   serialized to its exact [`zerber_net::Message`] wire bytes,
+//!   metered per link on a [`zerber_net::TrafficMeter`], and handed to
+//!   the destination peer's inbox ([`InProcTransport`] today; the
+//!   trait is wire-shaped so sockets can replace it).
+//! * [`peer`] — one OS thread per peer. [`ServerService`] runs the
+//!   share-holding index-server role (`ZerberSystem` hosts its `n`
+//!   servers this way); [`ShardService`] serves one *document shard*
+//!   of a plaintext collection behind the
+//!   [`zerber_index::PostingStore`] trait and answers top-k queries
+//!   with [`zerber_index::block_max_topk`].
+//! * [`gather`] — merges per-peer top-k candidates under the
+//!   threshold-algorithm bound; with document sharding the merge is
+//!   provably identical to single-node evaluation (property-tested in
+//!   `tests/sharded_topk.rs`).
+//! * [`ShardedSearch`] — the facade: place documents on `P` peers via
+//!   the consistent-hash ring ([`zerber_dht::ShardMap`]), build every
+//!   shard's posting store in parallel on its own thread, fan queries
+//!   out, gather.
+//!
+//! # Query path
+//!
+//! ```text
+//!  client thread                    peer threads (one per shard)
+//!  ─────────────                    ────────────────────────────
+//!  idf weights (global df)
+//!  TopKQuery ── fan_out ──┬──────▶  shard 0: block_max_topk ─┐
+//!      (wire bytes        ├──────▶  shard 1: block_max_topk ─┤
+//!       metered per link) └──────▶  shard P: block_max_topk ─┤
+//!                                                            ▼
+//!  ranked top-k  ◀── gather (TA bound) ◀── TopKResponse (sorted)
+//! ```
+
+pub mod gather;
+pub mod handle;
+pub mod peer;
+pub mod transport;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zerber_dht::ShardMap;
+use zerber_index::{Document, InvertedIndex, RankedDoc, TermId};
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+
+pub use gather::{gather_topk, GatherOutcome};
+pub use handle::RuntimeHandle;
+pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
+pub use transport::{InProcTransport, Transport, TransportError};
+
+use crate::config::{ConfigError, ZerberConfig};
+
+/// Global collection statistics driving IDF weights: total documents
+/// and per-term document frequency. Computed over the *full*
+/// collection before sharding, so every shard scores with the same
+/// weights a single node would use.
+#[derive(Debug, Clone, Default)]
+pub struct TermStats {
+    /// Total documents in the collection.
+    pub doc_count: usize,
+    /// Documents containing each term.
+    pub df: HashMap<TermId, u32>,
+}
+
+impl TermStats {
+    /// Gathers statistics from a document set.
+    pub fn from_documents(docs: &[Document]) -> Self {
+        let mut df: HashMap<TermId, u32> = HashMap::new();
+        for doc in docs {
+            for &(term, _) in &doc.terms {
+                *df.entry(term).or_insert(0) += 1;
+            }
+        }
+        Self {
+            doc_count: docs.len(),
+            df,
+        }
+    }
+
+    /// The IDF factor of one term (0 for unseen terms) — delegates to
+    /// the shared [`zerber_index::idf`] every ranking path uses.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let df = self.df.get(&term).copied().unwrap_or(0) as usize;
+        zerber_index::idf(self.doc_count, df)
+    }
+
+    /// Per-term `(term, idf)` weights for a query, in query order.
+    pub fn weights(&self, terms: &[TermId]) -> Vec<(TermId, f64)> {
+        terms.iter().map(|&t| (t, self.idf(t))).collect()
+    }
+}
+
+/// What one sharded query produced.
+#[derive(Debug, Clone)]
+pub struct ShardedQueryOutcome {
+    /// The global top-k, identical to single-node evaluation.
+    pub ranked: Vec<RankedDoc>,
+    /// Peers the query fanned out to.
+    pub peers_contacted: usize,
+    /// Candidates shipped back by all peers.
+    pub candidates_received: usize,
+    /// Candidates the gather merge examined before the threshold
+    /// bound cut it off.
+    pub candidates_examined: usize,
+}
+
+/// A concurrent, document-sharded top-k search deployment.
+///
+/// Documents are placed on `config.peers` peer threads by the
+/// consistent-hash ring; each peer indexes its shard on its own
+/// thread (parallel build) and serves [`Message::TopKQuery`] with the
+/// block-max Threshold Algorithm over the configured
+/// [`zerber_index::PostingStore`] backend. `query` is `&self` and
+/// thread-safe: concurrent clients fan out and gather independently,
+/// which is what the `scalability` repro experiment measures.
+///
+/// This is the *plaintext* serving engine: shard peers enforce no
+/// authentication or group ACLs (see [`ShardService`]) — use the
+/// share-based [`crate::ZerberSystem`] path for access-controlled
+/// collections.
+///
+/// # Example: a 4-peer deployment, end to end
+///
+/// ```
+/// use zerber::runtime::{local_topk, ShardedSearch};
+/// use zerber::ZerberConfig;
+/// use zerber_index::{DocId, Document, GroupId, TermId};
+///
+/// // 40 documents; term 9 is everywhere, terms 0–6 rotate.
+/// let docs: Vec<Document> = (0..40u32)
+///     .map(|d| {
+///         Document::from_term_counts(
+///             DocId(d),
+///             GroupId(0),
+///             vec![(TermId(d % 7), 1 + d % 3), (TermId(9), 1)],
+///         )
+///     })
+///     .collect();
+///
+/// let config = ZerberConfig::default().with_peers(4);
+/// let search = ShardedSearch::launch(&config, &docs).unwrap();
+/// assert_eq!(search.peer_count(), 4);
+///
+/// let query = [TermId(3), TermId(9)];
+/// let outcome = search.query(&query, 5).unwrap();
+/// assert_eq!(outcome.ranked.len(), 5);
+/// assert_eq!(outcome.peers_contacted, 4);
+///
+/// // The sharded result is identical to single-node evaluation…
+/// assert_eq!(outcome.ranked, local_topk(&config, &docs, &query, 5));
+/// // …and every byte that crossed a link was accounted for.
+/// assert!(search.traffic().total() > 0);
+/// ```
+pub struct ShardedSearch {
+    runtime: PeerRuntime,
+    peer_nodes: Vec<NodeId>,
+    stats: TermStats,
+}
+
+impl ShardedSearch {
+    /// Places `docs` on `config.peers` shards and spawns one
+    /// indexing/serving thread per shard.
+    ///
+    /// The plaintext sharded engine places no Shamir shares, so the
+    /// only ring requirement is `peers ≥ 1` — a single-peer deployment
+    /// is the legitimate scaling baseline. (Share-placement rings are
+    /// validated by [`ZerberConfig::validate`] at
+    /// `ZerberSystem::bootstrap`.) Like the share path, this engine
+    /// honors `config.postings` for the per-shard store backend.
+    pub fn launch(config: &ZerberConfig, docs: &[Document]) -> Result<Self, ConfigError> {
+        if config.peers == 0 {
+            return Err(ConfigError::NoPeers);
+        }
+        let map = ShardMap::new(config.peers as u32);
+        let shards = map.partition(docs, |doc| doc.id);
+        let stats = TermStats::from_documents(docs);
+
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let mut peer_nodes = Vec::with_capacity(shards.len());
+        for (peer, shard) in shards.into_iter().enumerate() {
+            let node = NodeId::IndexServer(peer as u32);
+            let shard_config = *config;
+            // The initializer runs on the peer's thread: shard indexes
+            // build in parallel across all peers.
+            runtime.spawn_peer(node, move || {
+                let index = InvertedIndex::from_documents(&shard);
+                ShardService::new(shard_config.posting_store(&index))
+            });
+            peer_nodes.push(node);
+        }
+        Ok(Self {
+            runtime,
+            peer_nodes,
+            stats,
+        })
+    }
+
+    /// Number of shard peers.
+    pub fn peer_count(&self) -> usize {
+        self.peer_nodes.len()
+    }
+
+    /// Global collection statistics (the IDF source).
+    pub fn stats(&self) -> &TermStats {
+        &self.stats
+    }
+
+    /// The per-link wire-byte accounting for this deployment.
+    pub fn traffic(&self) -> &Arc<TrafficMeter> {
+        self.runtime.transport().meter()
+    }
+
+    /// Executes a top-`k` query as anonymous client 0.
+    pub fn query(&self, terms: &[TermId], k: usize) -> Result<ShardedQueryOutcome, TransportError> {
+        self.query_from(0, terms, k)
+    }
+
+    /// Executes a top-`k` query as client `client` (distinct clients
+    /// get distinct links in the traffic accounting).
+    pub fn query_from(
+        &self,
+        client: u32,
+        terms: &[TermId],
+        k: usize,
+    ) -> Result<ShardedQueryOutcome, TransportError> {
+        let request = Message::TopKQuery {
+            terms: self.stats.weights(terms),
+            // Saturate rather than truncate: document ids are 32-bit,
+            // so no shard can hold more than u32::MAX results anyway.
+            k: u32::try_from(k).unwrap_or(u32::MAX),
+        };
+        let from = NodeId::User(client);
+        let responses =
+            self.runtime
+                .transport()
+                .fan_out(from, &self.peer_nodes, AuthToken(0), &request);
+        let mut per_peer: Vec<Vec<RankedDoc>> = Vec::with_capacity(responses.len());
+        for response in responses {
+            match response? {
+                Message::TopKResponse { candidates } => per_peer.push(
+                    candidates
+                        .into_iter()
+                        .map(|(doc, score)| RankedDoc { doc, score })
+                        .collect(),
+                ),
+                other => panic!("protocol violation: unexpected response {other:?}"),
+            }
+        }
+        let gathered = gather_topk(&per_peer, k);
+        Ok(ShardedQueryOutcome {
+            ranked: gathered.ranked,
+            peers_contacted: self.peer_nodes.len(),
+            candidates_received: gathered.candidates_received,
+            candidates_examined: gathered.candidates_examined,
+        })
+    }
+}
+
+/// The single-node reference: the same store backend, the same global
+/// IDF weights, the same block-max Threshold Algorithm — without
+/// sharding. [`ShardedSearch::query`] returns exactly this (the
+/// `sharded_topk` property test proves bit-identity for arbitrary
+/// corpora, peer counts, and `k`).
+pub fn local_topk(
+    config: &ZerberConfig,
+    docs: &[Document],
+    terms: &[TermId],
+    k: usize,
+) -> Vec<RankedDoc> {
+    let index = InvertedIndex::from_documents(docs);
+    let store = config.posting_store(&index);
+    let stats = TermStats::from_documents(docs);
+    let lists = store.weighted_block_lists(&stats.weights(terms));
+    zerber_index::block_max_topk(&lists, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::{DocId, GroupId};
+
+    fn corpus(docs: u32, terms: u32) -> Vec<Document> {
+        (0..docs)
+            .map(|d| {
+                Document::from_term_counts(
+                    DocId(d),
+                    GroupId(0),
+                    (0..3)
+                        .map(|i| (TermId((d + i) % terms), 1 + (d * 7 + i) % 4))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_query_matches_local_reference() {
+        let docs = corpus(120, 17);
+        let config = ZerberConfig::default().with_peers(5);
+        let search = ShardedSearch::launch(&config, &docs).unwrap();
+        for terms in [
+            vec![TermId(0)],
+            vec![TermId(3), TermId(8)],
+            vec![TermId(1), TermId(1), TermId(16)],
+        ] {
+            let outcome = search.query(&terms, 10).unwrap();
+            assert_eq!(outcome.ranked, local_topk(&config, &docs, &terms, 10));
+            assert!(outcome.candidates_examined <= 10);
+            assert!(outcome.candidates_received >= outcome.candidates_examined);
+        }
+    }
+
+    #[test]
+    fn compressed_backend_serves_identically() {
+        let docs = corpus(200, 9);
+        let raw = ZerberConfig::default().with_peers(4);
+        let compressed = raw.with_postings(zerber_index::PostingBackend::Compressed);
+        let a = ShardedSearch::launch(&raw, &docs).unwrap();
+        let b = ShardedSearch::launch(&compressed, &docs).unwrap();
+        let terms = [TermId(2), TermId(5)];
+        assert_eq!(
+            a.query(&terms, 15).unwrap().ranked,
+            b.query(&terms, 15).unwrap().ranked
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_deployment() {
+        let docs = corpus(150, 11);
+        let config = ZerberConfig::default().with_peers(4);
+        let search = ShardedSearch::launch(&config, &docs).unwrap();
+        let reference = local_topk(&config, &docs, &[TermId(4)], 8);
+        std::thread::scope(|scope| {
+            for client in 0..6u32 {
+                let search = &search;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let outcome = search.query_from(client, &[TermId(4)], 8).unwrap();
+                        assert_eq!(&outcome.ranked, reference);
+                    }
+                });
+            }
+        });
+        // Each client got its own metered links.
+        for client in 0..6u32 {
+            assert!(search.traffic().sent_by(NodeId::User(client)) > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_terms_and_empty_queries_are_harmless() {
+        let docs = corpus(30, 5);
+        let config = ZerberConfig::default().with_peers(3);
+        let search = ShardedSearch::launch(&config, &docs).unwrap();
+        assert!(search.query(&[], 5).unwrap().ranked.is_empty());
+        assert!(search.query(&[TermId(999)], 5).unwrap().ranked.is_empty());
+        assert!(search.query(&[TermId(1)], 0).unwrap().ranked.is_empty());
+    }
+
+    #[test]
+    fn single_peer_is_valid_and_zero_peers_fail_fast() {
+        let docs = corpus(20, 4);
+        let single = ZerberConfig::default().with_peers(1);
+        let search = ShardedSearch::launch(&single, &docs).unwrap();
+        assert_eq!(
+            search.query(&[TermId(1)], 3).unwrap().ranked,
+            local_topk(&single, &docs, &[TermId(1)], 3)
+        );
+        let zero = ZerberConfig::default().with_peers(0);
+        assert!(ShardedSearch::launch(&zero, &docs).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Peer threads and the services they run.
+//!
+//! A *peer* is one OS thread with an inbox on the
+//! [`InProcTransport`]. The thread
+//! decodes each request from its wire bytes, hands it to its
+//! [`PeerService`], and replies with the encoded response. Two
+//! services exist:
+//!
+//! * [`ServerService`] hosts a share-holding
+//!   [`IndexServer`] — the paper's index-server role
+//!   (insert/delete/lookup, Section 5), now executing off the caller's
+//!   thread;
+//! * [`ShardService`] hosts one *document shard* of a plaintext
+//!   collection behind the [`PostingStore`] trait and answers
+//!   [`Message::TopKQuery`] with its shard-local block-max top-k.
+//!
+//! Service state is built *inside* the peer thread (the spawn takes an
+//! initializer closure), so expensive shard construction — tokenizing,
+//! compressing posting blocks — runs on all peers in parallel and the
+//! state never needs to be `Send`.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use zerber_index::{block_max_topk, GroupId, PostingStore};
+use zerber_net::message::fault;
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+use zerber_server::{IndexServer, ServerError};
+
+use crate::runtime::transport::{InProcTransport, PeerInbox};
+
+/// One peer's request handler. `handle` runs on the peer's own thread;
+/// requests from concurrent clients are serialized per peer, which is
+/// exactly the contention the scalability experiment measures.
+pub trait PeerService {
+    /// Produces the response for one decoded request.
+    fn handle(&mut self, from: NodeId, auth: AuthToken, request: Message) -> Message;
+}
+
+/// Translates a server-side rejection into its wire fault frame
+/// (the mapping itself lives with [`ServerError`]).
+fn fault_of(error: ServerError) -> Message {
+    let (code, group) = error.to_fault();
+    Message::Fault { code, group }
+}
+
+/// The index-server role as a peer service: the narrow
+/// insert/delete/lookup interface, driven by decoded wire messages.
+pub struct ServerService {
+    server: Arc<IndexServer>,
+}
+
+impl ServerService {
+    /// Wraps a server. The `Arc` is shared with the control plane
+    /// (membership administration, proactive refresh, adversary
+    /// views), which stays direct — only the data plane crosses the
+    /// transport.
+    pub fn new(server: Arc<IndexServer>) -> Self {
+        Self { server }
+    }
+}
+
+impl PeerService for ServerService {
+    fn handle(&mut self, _from: NodeId, auth: AuthToken, request: Message) -> Message {
+        match request {
+            Message::InsertBatch { entries } => match self.server.insert_batch(auth, &entries) {
+                Ok(()) => Message::InsertOk,
+                Err(e) => fault_of(e),
+            },
+            Message::Delete { elements } => match self.server.delete(auth, &elements) {
+                Ok(removed) => Message::DeleteOk {
+                    removed: removed as u64,
+                },
+                Err(e) => fault_of(e),
+            },
+            // Queries carry their token in the message body (the wire
+            // format of Section 5.4.2); the envelope token is the same
+            // session token and is ignored here.
+            Message::Query { auth, pl_ids } => match self.server.get_posting_lists(auth, &pl_ids) {
+                Ok(lists) => Message::QueryResponse { lists },
+                Err(e) => fault_of(e),
+            },
+            _ => Message::Fault {
+                code: fault::UNSUPPORTED,
+                group: GroupId(0),
+            },
+        }
+    }
+}
+
+/// One document shard of a plaintext collection, served ranked.
+///
+/// Scored lists come from
+/// [`PostingStore::weighted_block_lists`], so the compressed backend
+/// serves straight from its stored block-max skip metadata.
+///
+/// # No access control
+///
+/// Unlike the share path (where [`ServerService`] authenticates every
+/// request and filters by group ACL), a shard peer serves its whole
+/// collection to any caller and ignores the session token: it models
+/// the *plaintext baseline* serving engine, where confidentiality is
+/// out of scope and scale is the subject. Do not put
+/// access-controlled collections behind it.
+pub struct ShardService {
+    store: Box<dyn PostingStore>,
+}
+
+impl ShardService {
+    /// Serves a frozen posting store (any backend).
+    pub fn new(store: Box<dyn PostingStore>) -> Self {
+        Self { store }
+    }
+}
+
+impl PeerService for ShardService {
+    fn handle(&mut self, _from: NodeId, _auth: AuthToken, request: Message) -> Message {
+        match request {
+            Message::TopKQuery { terms, k } => {
+                // Wire input is untrusted (the transport is designed
+                // to be swappable for sockets): a NaN weight would
+                // panic this thread inside the result ordering, and a
+                // negative one would turn the block maxima into lower
+                // bounds and silently corrupt the pruning. Reject both
+                // as malformed.
+                if terms
+                    .iter()
+                    .any(|&(_, weight)| !weight.is_finite() || weight < 0.0)
+                {
+                    return Message::Fault {
+                        code: fault::MALFORMED,
+                        group: GroupId(0),
+                    };
+                }
+                let lists = self.store.weighted_block_lists(&terms);
+                let ranked = block_max_topk(&lists, k as usize);
+                Message::TopKResponse {
+                    candidates: ranked.into_iter().map(|r| (r.doc, r.score)).collect(),
+                }
+            }
+            _ => Message::Fault {
+                code: fault::UNSUPPORTED,
+                group: GroupId(0),
+            },
+        }
+    }
+}
+
+/// A set of peer threads sharing one transport. Dropping the runtime
+/// shuts every peer down and joins its thread.
+pub struct PeerRuntime {
+    transport: Arc<InProcTransport>,
+    peers: Vec<(NodeId, thread::JoinHandle<()>)>,
+}
+
+impl PeerRuntime {
+    /// An empty runtime accounting traffic on `meter`.
+    pub fn new(meter: Arc<TrafficMeter>) -> Self {
+        Self {
+            transport: Arc::new(InProcTransport::new(meter)),
+            peers: Vec::new(),
+        }
+    }
+
+    /// The shared transport (clone the `Arc` into client handles).
+    pub fn transport(&self) -> &Arc<InProcTransport> {
+        &self.transport
+    }
+
+    /// Addresses of all spawned peers, in spawn order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.peers.iter().map(|(node, _)| *node).collect()
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Spawns one peer thread at `node`. `init` runs *on the new
+    /// thread* to build the service state, so per-peer construction
+    /// (e.g. indexing a document shard) parallelizes across peers.
+    pub fn spawn_peer<F, S>(&mut self, node: NodeId, init: F)
+    where
+        F: FnOnce() -> S + Send + 'static,
+        S: PeerService + 'static,
+    {
+        let (inbox, requests) = mpsc::channel();
+        self.transport.register(node, inbox);
+        let handle = thread::spawn(move || {
+            let mut service = init();
+            // Ends on an explicit `Shutdown` or when every sender is
+            // dropped.
+            while let Ok(PeerInbox::Request(envelope)) = requests.recv() {
+                let response = match Message::decode(&envelope.payload) {
+                    Ok(request) => service.handle(envelope.from, envelope.auth, request),
+                    Err(_) => Message::Fault {
+                        code: fault::MALFORMED,
+                        group: GroupId(0),
+                    },
+                };
+                // A vanished requester is not the peer's problem.
+                let _ = envelope.reply.send(response.encode().to_vec());
+            }
+        });
+        self.peers.push((node, handle));
+    }
+}
+
+impl Drop for PeerRuntime {
+    fn drop(&mut self) {
+        for (node, _) in &self.peers {
+            self.transport.shutdown(*node);
+        }
+        for (_, handle) in self.peers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::transport::Transport;
+    use zerber_field::Fp;
+    use zerber_index::{DocId, Document, InvertedIndex, RawPostingStore, TermId, UserId};
+    use zerber_server::TokenAuth;
+
+    #[test]
+    fn server_peer_answers_over_the_wire() {
+        let auth = Arc::new(TokenAuth::new());
+        let server = Arc::new(IndexServer::new(0, Fp::new(5), auth.clone()));
+        server.add_user_to_group(UserId(1), GroupId(0));
+        let token = auth.issue(UserId(1));
+
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, move || ServerService::new(server));
+        let transport = runtime.transport().clone();
+
+        let share = zerber_net::StoredShare {
+            element: zerber_core::ElementId(1),
+            group: GroupId(0),
+            share: Fp::new(9),
+        };
+        let insert = Message::InsertBatch {
+            entries: vec![(zerber_core::PlId(0), share)],
+        };
+        let response = transport
+            .request(NodeId::Owner(0), node, token, &insert)
+            .unwrap();
+        assert_eq!(response, Message::InsertOk);
+
+        let query = Message::Query {
+            auth: token,
+            pl_ids: vec![zerber_core::PlId(0)],
+        };
+        match transport
+            .request(NodeId::User(1), node, token, &query)
+            .unwrap()
+        {
+            Message::QueryResponse { lists } => assert_eq!(lists[0].1.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // An unauthenticated token comes back as a typed fault.
+        match transport
+            .request(NodeId::Owner(0), node, AuthToken(999), &insert)
+            .unwrap()
+        {
+            Message::Fault { code, group } => {
+                assert_eq!(
+                    ServerError::from_fault(code, group),
+                    Some(ServerError::AuthFailed)
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_peer_ranks_its_documents() {
+        let docs: Vec<Document> = (1..=3u32)
+            .map(|d| Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(1), d)]))
+            .collect();
+        let index = InvertedIndex::from_documents(&docs);
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, move || {
+            ShardService::new(Box::new(RawPostingStore::from_index(&index)))
+        });
+
+        let query = Message::TopKQuery {
+            terms: vec![(TermId(1), 1.0)],
+            k: 2,
+        };
+        match runtime
+            .transport()
+            .request(NodeId::User(0), node, AuthToken(0), &query)
+            .unwrap()
+        {
+            Message::TopKResponse { candidates } => {
+                assert_eq!(candidates.len(), 2);
+                // All three docs have length d, so tf = count/length = 1
+                // everywhere and ties break by doc id.
+                assert_eq!(candidates[0].0, DocId(1));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_weights_are_rejected_not_served() {
+        let docs = vec![Document::from_term_counts(DocId(1), GroupId(0), vec![(TermId(1), 1)]); 1];
+        let index = InvertedIndex::from_documents(&docs);
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, move || {
+            ShardService::new(Box::new(RawPostingStore::from_index(&index)))
+        });
+        for weight in [f64::NAN, f64::INFINITY, -1.0] {
+            let query = Message::TopKQuery {
+                terms: vec![(TermId(1), weight)],
+                k: 1,
+            };
+            match runtime
+                .transport()
+                .request(NodeId::User(0), node, AuthToken(0), &query)
+                .unwrap()
+            {
+                Message::Fault { code, .. } => assert_eq!(code, fault::MALFORMED),
+                other => panic!("weight {weight} produced {other:?}"),
+            }
+        }
+        // The peer survived and still serves valid queries.
+        let ok = Message::TopKQuery {
+            terms: vec![(TermId(1), 1.0)],
+            k: 1,
+        };
+        match runtime
+            .transport()
+            .request(NodeId::User(0), node, AuthToken(0), &ok)
+            .unwrap()
+        {
+            Message::TopKResponse { candidates } => assert_eq!(candidates.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_request_type_is_a_typed_fault() {
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || {
+            ShardService::new(Box::new(RawPostingStore::default()))
+        });
+        match runtime
+            .transport()
+            .request(NodeId::User(0), node, AuthToken(0), &Message::InsertOk)
+            .unwrap()
+        {
+            Message::Fault { code, .. } => assert_eq!(code, fault::UNSUPPORTED),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

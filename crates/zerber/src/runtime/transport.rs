@@ -1,0 +1,279 @@
+//! Message-passing transport between runtime nodes.
+//!
+//! Every data-plane RPC crosses a [`Transport`]: the request is
+//! serialized to its exact [`Message`] wire bytes, the per-link byte
+//! count lands on the shared [`TrafficMeter`], and the peer decodes,
+//! executes, and replies the same way. [`InProcTransport`] is the
+//! in-process implementation — one mpsc inbox per peer thread — but
+//! the trait is deliberately wire-shaped (opaque byte buffers, node
+//! addressing, fan-out) so a socket transport can slot in without
+//! touching the peers or the clients.
+//!
+//! The [`AuthToken`] accompanying a request models the authenticated
+//! session (the enterprise authentication layer of Section 5.4.2); it
+//! is carried by the envelope, not the message body, and is therefore
+//! *not* counted in wire bytes — matching the paper's accounting,
+//! which sizes payloads only.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireError};
+
+/// Transport-level failures (distinct from server-side
+/// [`zerber_server::ServerError`]s, which travel as
+/// [`Message::Fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// No peer is registered under this address.
+    UnknownPeer(NodeId),
+    /// The peer's inbox or reply channel is closed (its thread exited).
+    PeerGone(NodeId),
+    /// The response bytes did not decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownPeer(node) => write!(f, "unknown peer {node:?}"),
+            TransportError::PeerGone(node) => write!(f, "peer {node:?} is gone"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A request as a peer thread receives it.
+pub struct RequestEnvelope {
+    /// The calling node (per-link accounting and reply routing).
+    pub from: NodeId,
+    /// The caller's session token.
+    pub auth: AuthToken,
+    /// Encoded request [`Message`].
+    pub payload: Vec<u8>,
+    /// Channel for the encoded response [`Message`].
+    pub reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// What arrives in a peer's inbox.
+pub enum PeerInbox {
+    /// A client request awaiting a reply.
+    Request(RequestEnvelope),
+    /// Orderly shutdown: drain nothing further and exit the thread.
+    Shutdown,
+}
+
+/// Request/response messaging between nodes, with per-link wire-byte
+/// accounting.
+pub trait Transport: Send + Sync {
+    /// Sends one request and blocks for the response.
+    fn request(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        message: &Message,
+    ) -> Result<Message, TransportError>;
+
+    /// Scatter-gathers one request to many peers: all sends complete
+    /// before any receive blocks, so the round trip costs the *slowest
+    /// peer*, not the sum. Responses align with `peers` order.
+    fn fan_out(
+        &self,
+        from: NodeId,
+        peers: &[NodeId],
+        auth: AuthToken,
+        message: &Message,
+    ) -> Vec<Result<Message, TransportError>>;
+}
+
+/// The in-process transport: one mpsc inbox per registered peer.
+#[derive(Default)]
+pub struct InProcTransport {
+    meter: Arc<TrafficMeter>,
+    inboxes: Mutex<HashMap<NodeId, mpsc::Sender<PeerInbox>>>,
+}
+
+impl InProcTransport {
+    /// A transport accounting on `meter`.
+    pub fn new(meter: Arc<TrafficMeter>) -> Self {
+        Self {
+            meter,
+            inboxes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared traffic meter.
+    pub fn meter(&self) -> &Arc<TrafficMeter> {
+        &self.meter
+    }
+
+    /// Registers a peer's inbox under its address. Replaces any
+    /// previous registration.
+    pub fn register(&self, node: NodeId, inbox: mpsc::Sender<PeerInbox>) {
+        self.inboxes.lock().insert(node, inbox);
+    }
+
+    /// Sends a shutdown signal to a peer's inbox (ignored if the peer
+    /// is already gone).
+    pub fn shutdown(&self, node: NodeId) {
+        if let Some(inbox) = self.inboxes.lock().remove(&node) {
+            let _ = inbox.send(PeerInbox::Shutdown);
+        }
+    }
+
+    fn inbox_of(&self, node: NodeId) -> Result<mpsc::Sender<PeerInbox>, TransportError> {
+        self.inboxes
+            .lock()
+            .get(&node)
+            .cloned()
+            .ok_or(TransportError::UnknownPeer(node))
+    }
+
+    /// Dispatches one pre-encoded request, returning the receiver its
+    /// response will arrive on. (Encoding stays with the callers so a
+    /// fan-out serializes the message once, not once per peer.)
+    fn dispatch(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        payload: Vec<u8>,
+    ) -> Result<mpsc::Receiver<Vec<u8>>, TransportError> {
+        let inbox = self.inbox_of(to)?;
+        self.meter.record(from, to, payload.len());
+        let (reply, response) = mpsc::channel();
+        inbox
+            .send(PeerInbox::Request(RequestEnvelope {
+                from,
+                auth,
+                payload,
+                reply,
+            }))
+            .map_err(|_| TransportError::PeerGone(to))?;
+        Ok(response)
+    }
+
+    /// Receives, meters, and decodes one response.
+    fn collect(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        response: mpsc::Receiver<Vec<u8>>,
+    ) -> Result<Message, TransportError> {
+        let bytes = response.recv().map_err(|_| TransportError::PeerGone(to))?;
+        self.meter.record(to, from, bytes.len());
+        Message::decode(&bytes).map_err(TransportError::Wire)
+    }
+}
+
+impl Transport for InProcTransport {
+    fn request(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        message: &Message,
+    ) -> Result<Message, TransportError> {
+        let response = self.dispatch(from, to, auth, message.encode().to_vec())?;
+        self.collect(from, to, response)
+    }
+
+    fn fan_out(
+        &self,
+        from: NodeId,
+        peers: &[NodeId],
+        auth: AuthToken,
+        message: &Message,
+    ) -> Vec<Result<Message, TransportError>> {
+        // One serialization for the whole fan-out.
+        let payload = message.encode().to_vec();
+        let pending: Vec<_> = peers
+            .iter()
+            .map(|&to| self.dispatch(from, to, auth, payload.clone()))
+            .collect();
+        pending
+            .into_iter()
+            .zip(peers)
+            .map(|(dispatched, &to)| dispatched.and_then(|rx| self.collect(from, to, rx)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Spawns an echo peer that replies with the request bytes.
+    fn echo_peer(transport: &InProcTransport, node: NodeId) -> thread::JoinHandle<()> {
+        let (tx, rx) = mpsc::channel();
+        transport.register(node, tx);
+        thread::spawn(move || {
+            while let Ok(PeerInbox::Request(envelope)) = rx.recv() {
+                let _ = envelope.reply.send(envelope.payload);
+            }
+        })
+    }
+
+    #[test]
+    fn round_trip_meters_both_directions() {
+        let meter = Arc::new(TrafficMeter::new());
+        let transport = InProcTransport::new(meter.clone());
+        let peer = NodeId::IndexServer(0);
+        let handle = echo_peer(&transport, peer);
+
+        let user = NodeId::User(1);
+        let message = Message::SnippetRequest {
+            doc: zerber_index::DocId(7),
+        };
+        let echoed = transport
+            .request(user, peer, AuthToken(1), &message)
+            .unwrap();
+        assert_eq!(echoed, message);
+        assert_eq!(meter.link_bytes(user, peer), message.wire_size() as u64);
+        assert_eq!(meter.link_bytes(peer, user), message.wire_size() as u64);
+
+        transport.shutdown(peer);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let transport = InProcTransport::new(Arc::new(TrafficMeter::new()));
+        let result = transport.request(
+            NodeId::User(0),
+            NodeId::IndexServer(9),
+            AuthToken(0),
+            &Message::InsertOk,
+        );
+        assert_eq!(
+            result,
+            Err(TransportError::UnknownPeer(NodeId::IndexServer(9)))
+        );
+    }
+
+    #[test]
+    fn fan_out_reaches_every_peer_in_order() {
+        let transport = InProcTransport::new(Arc::new(TrafficMeter::new()));
+        let peers: Vec<NodeId> = (0..4).map(NodeId::IndexServer).collect();
+        let handles: Vec<_> = peers.iter().map(|&p| echo_peer(&transport, p)).collect();
+        let message = Message::DeleteOk { removed: 3 };
+        let responses = transport.fan_out(NodeId::User(0), &peers, AuthToken(0), &message);
+        assert_eq!(responses.len(), 4);
+        for response in responses {
+            assert_eq!(response.unwrap(), message);
+        }
+        for peer in peers {
+            transport.shutdown(peer);
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+}

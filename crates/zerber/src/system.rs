@@ -14,12 +14,14 @@ use zerber_net::{NodeId, TrafficMeter};
 use zerber_server::{IndexServer, ServerError, TokenAuth};
 use zerber_shamir::{RefreshRound, ShamirError, SharingScheme};
 
-use crate::config::ZerberConfig;
-use crate::metered::MeteredHandle;
+use crate::config::{ConfigError, ZerberConfig};
+use crate::runtime::{PeerRuntime, RuntimeHandle, ServerService};
 
 /// Errors from deployment bootstrap or operation.
 #[derive(Debug)]
 pub enum SystemError {
+    /// The configuration is structurally invalid.
+    Config(ConfigError),
     /// The merging heuristic failed.
     Merge(MergeError),
     /// The sharing parameters were invalid.
@@ -31,6 +33,7 @@ pub enum SystemError {
 impl std::fmt::Display for SystemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SystemError::Config(e) => write!(f, "config error: {e}"),
             SystemError::Merge(e) => write!(f, "merge error: {e}"),
             SystemError::Sharing(e) => write!(f, "sharing error: {e}"),
             SystemError::Server(e) => write!(f, "server error: {e}"),
@@ -39,6 +42,12 @@ impl std::fmt::Display for SystemError {
 }
 
 impl std::error::Error for SystemError {}
+
+impl From<ConfigError> for SystemError {
+    fn from(e: ConfigError) -> Self {
+        SystemError::Config(e)
+    }
+}
 
 impl From<MergeError> for SystemError {
     fn from(e: MergeError) -> Self {
@@ -63,11 +72,20 @@ impl From<ServerError> for SystemError {
 const OWNER_USER_BASE: u32 = 0x4000_0000;
 
 /// A complete simulated deployment.
+///
+/// Since the runtime refactor this is a genuinely *concurrent* system:
+/// every index server runs on its own peer thread behind the
+/// message-passing transport (`crate::runtime`), every data-plane call
+/// crosses the wire format with per-link byte accounting, and query
+/// clients fan their `k` fetches out in parallel. Administrative
+/// operations — membership changes, proactive refresh, adversary
+/// views — remain direct control-plane calls on the shared
+/// [`IndexServer`] handles.
 pub struct ZerberSystem {
     config: ZerberConfig,
     auth: Arc<TokenAuth>,
     servers: Vec<Arc<IndexServer>>,
-    meter: Arc<TrafficMeter>,
+    runtime: PeerRuntime,
     scheme: SharingScheme,
     table: Arc<MappingTable>,
     plan: MergePlan,
@@ -77,15 +95,17 @@ pub struct ZerberSystem {
 }
 
 impl ZerberSystem {
-    /// Bootstraps a deployment: runs the merging heuristic over the
-    /// (learned) corpus statistics, provisions `n` servers with random
-    /// public coordinates, and publishes the mapping table.
+    /// Bootstraps a deployment: validates the configuration, runs the
+    /// merging heuristic over the (learned) corpus statistics,
+    /// provisions `n` servers with random public coordinates — each on
+    /// its own peer thread — and publishes the mapping table.
     ///
     /// `stats` plays the role of the paper's learning prefix — "we
     /// learned the document frequency distribution from the first 30%
     /// of the documents" (Section 7.5); pass full-corpus statistics
     /// for an oracle variant.
     pub fn bootstrap(config: ZerberConfig, stats: &CorpusStats) -> Result<Self, SystemError> {
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let plan = MergePlan::build(config.merge, stats, &mut rng)?;
         let table = Arc::new(plan.table().clone());
@@ -97,11 +117,18 @@ impl ZerberSystem {
             .enumerate()
             .map(|(i, &x)| Arc::new(IndexServer::new(i as u32, x, auth.clone())))
             .collect();
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        for (i, server) in servers.iter().enumerate() {
+            let server = server.clone();
+            runtime.spawn_peer(NodeId::IndexServer(i as u32), move || {
+                ServerService::new(server)
+            });
+        }
         Ok(Self {
             config,
             auth,
             servers,
-            meter: Arc::new(TrafficMeter::new()),
+            runtime,
             scheme,
             table,
             plan,
@@ -128,7 +155,7 @@ impl ZerberSystem {
 
     /// The shared traffic meter.
     pub fn traffic(&self) -> &TrafficMeter {
-        &self.meter
+        self.runtime.transport().meter()
     }
 
     /// Raw access to the index servers (for attack simulations: a
@@ -243,15 +270,17 @@ impl ZerberSystem {
     }
 
     fn handles_for(&self, from: NodeId) -> Vec<Arc<dyn ServerHandle>> {
-        self.servers
+        let transport: Arc<dyn crate::runtime::Transport> = self.runtime.transport().clone();
+        self.scheme
+            .coordinates()
             .iter()
             .enumerate()
-            .map(|(i, server)| {
-                Arc::new(MeteredHandle::new(
-                    server.clone(),
-                    self.meter.clone(),
+            .map(|(i, &coordinate)| {
+                Arc::new(RuntimeHandle::new(
+                    transport.clone(),
                     from,
                     NodeId::IndexServer(i as u32),
+                    coordinate,
                 )) as Arc<dyn ServerHandle>
             })
             .collect()
@@ -288,6 +317,42 @@ mod tests {
         assert_eq!(sys.servers().len(), 3);
         assert_eq!(sys.scheme().threshold(), 2);
         assert_eq!(sys.plan().list_count(), 8);
+    }
+
+    #[test]
+    fn bootstrap_rejects_invalid_configs() {
+        // A ring narrower than the sharing degree fails fast at
+        // bootstrap instead of panicking deep in placement.
+        let config = ZerberConfig::default().with_peers(1);
+        match ZerberSystem::bootstrap(config, &stats()) {
+            Err(SystemError::Config(crate::config::ConfigError::TooFewPeers {
+                peers: 1,
+                need: 3,
+            })) => {}
+            Err(other) => panic!("expected TooFewPeers, got {other:?}"),
+            Ok(_) => panic!("expected TooFewPeers, got a running system"),
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_system() {
+        let mut sys = system();
+        for user in 1..=4u32 {
+            sys.add_membership(UserId(user), GroupId(0));
+        }
+        sys.index_document(&doc(1, 0, &[(5, 2), (7, 1)])).unwrap();
+        sys.index_document(&doc(2, 0, &[(5, 1)])).unwrap();
+        std::thread::scope(|scope| {
+            for user in 1..=4u32 {
+                let sys = &sys;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let outcome = sys.query(UserId(user), &[TermId(5)], 10).unwrap();
+                        assert_eq!(outcome.ranked.len(), 2);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

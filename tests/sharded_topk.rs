@@ -1,0 +1,80 @@
+//! Property test for the sharded peer runtime: fan-out/gather top-k
+//! must be *bit-identical* to single-node `block_max_topk` — same
+//! documents, same order, same f64 score bits — for arbitrary
+//! corpora, peer counts, and k.
+//!
+//! Why this holds: documents are sharded (each document's postings
+//! live on exactly one peer), every peer scores with the same global
+//! IDF weights (shipped as exact f64 bit patterns), contributions
+//! accumulate in the same query-term order, and the gather stage is a
+//! sorted merge with the threshold-algorithm bound under the same
+//! `(score desc, doc asc)` tie-breaking.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use zerber::runtime::{local_topk, ShardedSearch};
+use zerber::ZerberConfig;
+use zerber_index::{DocId, Document, GroupId, PostingBackend, TermId};
+
+/// An arbitrary corpus: doc id → (term → count), with gaps in the doc
+/// id space and shared vocabulary so shards genuinely overlap on
+/// terms.
+fn arb_corpus() -> impl Strategy<Value = BTreeMap<u32, BTreeMap<u32, u32>>> {
+    prop::collection::btree_map(
+        0u32..500,
+        prop::collection::btree_map(0u32..30, 1u32..6, 1..8),
+        1..80,
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<u32>> {
+    // May contain duplicates and terms absent from the corpus.
+    prop::collection::vec(0u32..35, 1..5)
+}
+
+fn materialize(corpus: &BTreeMap<u32, BTreeMap<u32, u32>>) -> Vec<Document> {
+    corpus
+        .iter()
+        .map(|(&doc, terms)| {
+            Document::from_term_counts(
+                DocId(doc),
+                GroupId(0),
+                terms.iter().map(|(&t, &c)| (TermId(t), c)).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn sharded_gather_is_bit_identical_to_single_node(
+        corpus in arb_corpus(),
+        peers in 1usize..9,
+        k in 1usize..15,
+        query in arb_query(),
+        compressed in any::<bool>(),
+    ) {
+        let docs = materialize(&corpus);
+        let terms: Vec<TermId> = query.into_iter().map(TermId).collect();
+        let backend = if compressed {
+            PostingBackend::Compressed
+        } else {
+            PostingBackend::Raw
+        };
+        let config = ZerberConfig::default().with_peers(peers).with_postings(backend);
+
+        let expected = local_topk(&config, &docs, &terms, k);
+        let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+        let outcome = search.query(&terms, k).expect("peers alive");
+
+        prop_assert_eq!(outcome.ranked.len(), expected.len());
+        for (got, want) in outcome.ranked.iter().zip(&expected) {
+            prop_assert_eq!(got.doc, want.doc);
+            // Bit-identical floats, not approximately equal.
+            prop_assert_eq!(got.score.to_bits(), want.score.to_bits());
+        }
+        // The gather never examines more than k candidates.
+        prop_assert!(outcome.candidates_examined <= k);
+    }
+}
