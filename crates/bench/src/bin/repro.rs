@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|security|ablation]
+//! repro [--smoke] [--json <dir>]
+//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|security|ablation]
 //! ```
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
@@ -12,21 +13,54 @@
 //! shapes at ~20k documents. Absolute numbers differ from the paper
 //! (different hardware and corpus scale); shapes, orderings and
 //! crossovers are the reproduction target — see EXPERIMENTS.md.
+//!
+//! `--json <dir>` additionally writes machine-readable
+//! `BENCH_<target>.json` files (currently for the perf-trajectory
+//! targets `scalability` and `ingest`) so qps/latency/bytes are
+//! trackable across commits; CI uploads the directory as a workflow
+//! artifact.
 
 use zerber_bench::experiments::{
     ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
-    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, micro, scalability, security, storage,
-    table1,
+    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, scalability, security,
+    storage, table1,
 };
 use zerber_bench::Scale;
+
+fn write_json(dir: &std::path::Path, target: &str, document: String) {
+    std::fs::create_dir_all(dir).expect("--json directory is creatable");
+    let path = dir.join(format!("BENCH_{target}.json"));
+    std::fs::write(&path, document + "\n").expect("--json file is writable");
+    println!("wrote {}", path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Default };
+    let json_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--json needs a directory argument");
+                std::process::exit(2);
+            })
+            .into()
+    });
+    let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
     let wanted = |name: &str| -> bool {
@@ -83,7 +117,18 @@ fn main() {
         println!("{}", compression::render(&compression::run(scale)));
     }
     if wanted("scalability") {
-        println!("{}", scalability::render(&scalability::run(scale)));
+        let result = scalability::run(scale);
+        println!("{}", scalability::render(&result));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "scalability", scalability::to_json(&result));
+        }
+    }
+    if wanted("ingest") {
+        let result = ingest::run(scale);
+        println!("{}", ingest::render(&result));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "ingest", ingest::to_json(&result));
+        }
     }
     if wanted("security") {
         println!("{}", security::render(&security::run(scale)));

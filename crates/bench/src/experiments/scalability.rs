@@ -105,7 +105,7 @@ pub fn run(scale: Scale) -> Scalability {
 
     let mut points = Vec::new();
     for peers in PEER_COUNTS {
-        let config = base.with_peers(peers);
+        let config = base.clone().with_peers(peers);
         let search = ShardedSearch::launch(&config, docs).expect("valid config");
 
         let mut matches_single_node = true;
@@ -218,9 +218,77 @@ pub fn render(result: &Scalability) -> String {
     out
 }
 
+/// Machine-readable form for `repro --json`
+/// (`BENCH_scalability.json`): one object per swept peer count.
+pub fn to_json(result: &Scalability) -> String {
+    use crate::json::{array, number, object};
+    let points: Vec<String> = result
+        .points
+        .iter()
+        .map(|p| {
+            object(&[
+                ("peers", number(p.peers as f64)),
+                ("clients", number(p.clients as f64)),
+                ("queries", number(p.queries as f64)),
+                ("qps", number(p.qps)),
+                ("p50_ms", number(p.p50_ms)),
+                ("p95_ms", number(p.p95_ms)),
+                ("wire_up_per_query", number(p.wire_up_per_query)),
+                ("wire_down_per_query", number(p.wire_down_per_query)),
+                (
+                    "candidates_received_per_query",
+                    number(p.candidates_received_per_query),
+                ),
+                (
+                    "candidates_examined_per_query",
+                    number(p.candidates_examined_per_query),
+                ),
+                (
+                    "matches_single_node",
+                    if p.matches_single_node {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                    .to_owned(),
+                ),
+            ])
+        })
+        .collect();
+    object(&[
+        ("k", number(K as f64)),
+        ("reference_checks", number(result.reference_checks as f64)),
+        ("points", array(&points)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_form_carries_every_point() {
+        let result = Scalability {
+            points: vec![ScalabilityPoint {
+                peers: 2,
+                clients: 4,
+                queries: 10,
+                qps: 123.0,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                wire_up_per_query: 100.0,
+                wire_down_per_query: 200.0,
+                candidates_received_per_query: 20.0,
+                candidates_examined_per_query: 9.5,
+                matches_single_node: true,
+            }],
+            reference_checks: 5,
+        };
+        let json = to_json(&result);
+        assert!(json.contains("\"points\":[{"));
+        assert!(json.contains("\"qps\":123"));
+        assert!(json.contains("\"matches_single_node\":true"));
+    }
 
     #[test]
     fn sweep_runs_and_matches_single_node() {

@@ -1,0 +1,69 @@
+//! Minimal JSON emission (keeps the harness dependency-free, like
+//! [`crate::report`]).
+//!
+//! The `repro --json <dir>` flag writes one `BENCH_<target>.json` per
+//! supported target so the perf trajectory is machine-trackable across
+//! PRs; these helpers build the documents by hand with deterministic
+//! formatting.
+
+/// A JSON string literal with the mandatory escapes.
+pub fn string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number; non-finite values become `null` (JSON has no NaN).
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        // Shortest round-trip formatting keeps files diff-friendly.
+        format!("{value}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// A JSON array from already-rendered element documents.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// A JSON object from `(key, rendered value)` pairs, in order.
+pub fn object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| format!("{}:{}", string(key), value))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_shapes() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let doc = object(&[
+            ("qps", number(100.0)),
+            ("name", string("ingest")),
+            ("points", array(&[number(1.0), number(2.0)])),
+        ]);
+        assert_eq!(doc, "{\"qps\":100,\"name\":\"ingest\",\"points\":[1,2]}");
+    }
+}

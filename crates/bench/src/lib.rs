@@ -6,6 +6,7 @@
 //! the numbers directly. Everything is deterministic given the
 //! built-in seeds.
 
+pub mod json;
 pub mod report;
 pub mod scenario;
 
@@ -22,6 +23,7 @@ pub mod experiments {
     pub mod fig7_pt;
     pub mod fig8_r_vs_m;
     pub mod fig9_amplification;
+    pub mod ingest;
     pub mod micro;
     pub mod scalability;
     pub mod security;

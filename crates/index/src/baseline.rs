@@ -33,6 +33,14 @@ impl CentralIndex {
         self.index.insert(doc);
     }
 
+    /// Indexes a batch of documents with one merge pass per posting
+    /// list (see [`InvertedIndex::insert_batch`]) — use this for bulk
+    /// construction instead of an `insert` loop, whose per-posting
+    /// `upsert` cost is quadratic in list length.
+    pub fn insert_batch(&mut self, docs: &[Document]) {
+        self.index.insert_batch(docs);
+    }
+
     /// Removes a document.
     pub fn remove(&mut self, doc: crate::types::DocId) -> bool {
         self.index.remove(doc)

@@ -45,7 +45,7 @@ pub use doc::{Document, RawDocument};
 pub use inverted::InvertedIndex;
 pub use postings::{Posting, PostingList};
 pub use stats::CorpusStats;
-pub use store::{PostingBackend, PostingStore, RawPostingStore};
+pub use store::{PostingBackend, PostingStore, RawPostingStore, SegmentPolicy};
 pub use tokenizer::Tokenizer;
 pub use topk::{block_max_topk, idf, threshold_topk, BlockScoredList, RankedDoc, ScoredList};
 pub use types::{DocId, GroupId, TermId, UserId};

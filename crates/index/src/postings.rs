@@ -68,6 +68,60 @@ impl PostingList {
         }
     }
 
+    /// Merges a doc-id-sorted batch of postings into the list in one
+    /// pass, replacing existing entries for the same document — the
+    /// batched counterpart of repeated [`PostingList::upsert`], which
+    /// pays a shift-on-insert per posting and turns bulk construction
+    /// quadratic.
+    ///
+    /// Sort order of `updates` is debug-asserted, like
+    /// [`PostingList::from_sorted`].
+    pub fn merge_from_sorted(&mut self, updates: Vec<Posting>) {
+        debug_assert!(
+            updates.windows(2).all(|w| w[0].doc < w[1].doc),
+            "batched postings must be sorted by strictly increasing doc id"
+        );
+        if updates.is_empty() {
+            return;
+        }
+        if self
+            .entries
+            .last()
+            .is_none_or(|last| last.doc < updates[0].doc)
+        {
+            // Pure append — the common case for fresh doc-id ranges.
+            self.entries.extend(updates);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + updates.len());
+        let mut old = self.entries.drain(..).peekable();
+        let mut new = updates.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(o), Some(n)) => match o.doc.cmp(&n.doc) {
+                    std::cmp::Ordering::Less => merged.push(old.next().expect("peeked")),
+                    std::cmp::Ordering::Greater => merged.push(new.next().expect("peeked")),
+                    std::cmp::Ordering::Equal => {
+                        old.next();
+                        merged.push(new.next().expect("peeked")); // update wins
+                    }
+                },
+                (Some(_), None) => merged.push(old.next().expect("peeked")),
+                (None, Some(_)) => merged.push(new.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        drop(old);
+        self.entries = merged;
+    }
+
+    /// Keeps only the postings `keep` accepts (one pass, order
+    /// preserved) — the batched counterpart of repeated
+    /// [`PostingList::remove`].
+    pub fn retain(&mut self, keep: impl FnMut(&Posting) -> bool) {
+        self.entries.retain(keep);
+    }
+
     /// Removes the posting for `doc`, returning it if present.
     pub fn remove(&mut self, doc: DocId) -> Option<Posting> {
         match self.entries.binary_search_by_key(&doc, |p| p.doc) {
@@ -154,6 +208,37 @@ mod tests {
         list.upsert(posting(1, 9));
         assert_eq!(list.len(), 1);
         assert_eq!(list.get(DocId(1)).unwrap().count, 9);
+    }
+
+    #[test]
+    fn merge_from_sorted_matches_upsert_loop() {
+        let existing: Vec<Posting> = [1u32, 3, 5, 8].iter().map(|&d| posting(d, d)).collect();
+        let updates: Vec<Posting> = [0u32, 3, 9].iter().map(|&d| posting(d, d + 100)).collect();
+        let mut batched = PostingList::from_sorted(existing.clone());
+        batched.merge_from_sorted(updates.clone());
+        let mut looped = PostingList::from_sorted(existing);
+        for p in updates {
+            looped.upsert(p);
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(batched.get(DocId(3)).unwrap().count, 103);
+    }
+
+    #[test]
+    fn merge_from_sorted_append_fast_path() {
+        let mut list = PostingList::from_sorted(vec![posting(1, 1), posting(2, 2)]);
+        list.merge_from_sorted(vec![posting(5, 5), posting(9, 9)]);
+        list.merge_from_sorted(Vec::new());
+        let docs: Vec<u32> = list.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn retain_filters_in_one_pass() {
+        let mut list = PostingList::from_sorted((1..=6).map(|d| posting(d, d)).collect());
+        list.retain(|p| p.doc.0 % 2 == 0);
+        let docs: Vec<u32> = list.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![2, 4, 6]);
     }
 
     #[test]

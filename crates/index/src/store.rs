@@ -25,7 +25,9 @@ use crate::InvertedIndex;
 pub const SCORING_BLOCK: usize = 128;
 
 /// Which posting-list representation a deployment stores and serves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Not `Copy`: the segmented backend names an on-disk directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum PostingBackend {
     /// Plain `Vec<Posting>` lists — fastest random access, largest
     /// footprint.
@@ -34,6 +36,48 @@ pub enum PostingBackend {
     /// Block-compressed lists (varint doc-id deltas, bit-packed
     /// counts, per-block skip metadata) from `zerber-postings`.
     Compressed,
+    /// The durable LSM-style store from `zerber-segment`: a
+    /// WAL-journaled memtable plus immutable block-compressed on-disk
+    /// segments with background compaction. The only backend that
+    /// supports live inserts and deletes.
+    Segmented {
+        /// Root directory of the store. Multi-shard deployments create
+        /// one `shard-<i>` subdirectory per peer underneath it.
+        dir: std::path::PathBuf,
+        /// Flush and compaction tuning.
+        compaction: SegmentPolicy,
+    },
+}
+
+/// Flush/compaction tuning of the segmented backend. Defined here (and
+/// not in `zerber-segment`) so configuration layers can name it without
+/// depending on the storage engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPolicy {
+    /// Seal the memtable into an on-disk segment once it holds at
+    /// least this many postings. Must be ≥ 1.
+    pub flush_postings: usize,
+    /// Merge the oldest segments whenever more than this many exist
+    /// (tiered compaction down to this count). Must be ≥ 1.
+    pub max_segments: usize,
+    /// Run compaction on a background thread (`true`) or inline at
+    /// flush time (`false`; deterministic, used by tests).
+    pub background: bool,
+    /// `fsync` the WAL after every acknowledged batch. Durability
+    /// against machine crashes costs one disk sync per batch; process
+    /// crashes are covered either way.
+    pub sync_wal: bool,
+}
+
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        Self {
+            flush_postings: 64 * 1024,
+            max_segments: 4,
+            background: true,
+            sync_wal: false,
+        }
+    }
 }
 
 /// Read-only, term-addressed access to posting data.
@@ -128,6 +172,35 @@ impl RawPostingStore {
     }
 }
 
+/// The mutable index itself is also a valid read backend: a *live*
+/// view over its current posting lists. Unlike [`RawPostingStore`]
+/// (a frozen snapshot), nothing is copied — the runtime's mutable
+/// shard engine serves queries straight from the index it updates.
+impl PostingStore for InvertedIndex {
+    fn term_count(&self) -> usize {
+        InvertedIndex::term_count(self)
+    }
+
+    fn document_frequency(&self, term: TermId) -> usize {
+        InvertedIndex::document_frequency(self, term)
+    }
+
+    fn postings(&self, term: TermId) -> Box<dyn Iterator<Item = Posting> + '_> {
+        Box::new(self.posting_list(term).iter().copied())
+    }
+
+    fn total_postings(&self) -> usize {
+        InvertedIndex::total_postings(self)
+    }
+
+    fn posting_bytes(&self) -> usize {
+        self.posting_lists()
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<Posting>())
+            .sum()
+    }
+}
+
 impl PostingStore for RawPostingStore {
     fn term_count(&self) -> usize {
         self.lists.len()
@@ -182,6 +255,20 @@ mod tests {
         assert_eq!(docs, vec![1, 2]);
         assert!(store.postings(TermId(9)).next().is_none());
         assert_eq!(store.posting_bytes(), 3 * std::mem::size_of::<Posting>());
+    }
+
+    #[test]
+    fn live_index_store_matches_frozen_snapshot() {
+        let index = sample_index();
+        let frozen = RawPostingStore::from_index(&index);
+        assert_eq!(
+            PostingStore::term_count(&index),
+            PostingStore::term_count(&frozen)
+        );
+        assert_eq!(index.posting_bytes(), frozen.posting_bytes());
+        let live: Vec<Posting> = PostingStore::postings(&index, TermId(0)).collect();
+        let snap: Vec<Posting> = frozen.postings(TermId(0)).collect();
+        assert_eq!(live, snap);
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod sizes;
 
 pub use bandwidth::{LinkSpec, NodeId, TrafficMeter};
 pub use entropy::entropy_bits_per_byte;
-pub use message::{AuthToken, Message, StoredShare, WireError};
+pub use message::{AuthToken, Message, StoredShare, WireDocument, WireError};
 pub use sizes::SizeModel;

@@ -66,6 +66,30 @@ pub struct StoredShare {
     pub share: Fp,
 }
 
+/// One plaintext document as shipped to a shard peer by
+/// [`Message::IndexDocs`]: exactly the fields of
+/// `zerber_index::Document`, kept as a separate wire struct so the
+/// protocol layer owns its own layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDocument {
+    /// Global document id.
+    pub doc: DocId,
+    /// Owning collaboration group.
+    pub group: GroupId,
+    /// Token length (term-frequency denominator).
+    pub length: u32,
+    /// Distinct terms with raw occurrence counts, sorted by term id.
+    pub terms: Vec<(TermId, u32)>,
+}
+
+impl WireDocument {
+    /// Serialized size: id + group + length + count prefix + 8 B per
+    /// term pair.
+    pub fn wire_size(&self) -> usize {
+        4 + 4 + 4 + 4 + self.terms.len() * 8
+    }
+}
+
 /// Every message of the Zerber wire protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -125,6 +149,20 @@ pub enum Message {
         /// Ranked `(doc, score)` candidates, at most `k` of them.
         candidates: Vec<(DocId, f64)>,
     },
+    /// Owner → shard peer: index a batch of plaintext documents (the
+    /// mutable-shard ingest path of the peer runtime). Unlike share
+    /// inserts, the peer sees the documents in the clear — this frame
+    /// belongs to the *plaintext baseline* serving engine only.
+    IndexDocs {
+        /// Documents to index; re-sent document ids replace the
+        /// previous version ("only the most recent copy").
+        docs: Vec<WireDocument>,
+    },
+    /// Owner → shard peer: remove one document and all its postings.
+    RemoveDoc {
+        /// The document to drop.
+        doc: DocId,
+    },
     /// Server → owner: a share batch was accepted.
     InsertOk,
     /// Server → owner: deletion outcome.
@@ -156,6 +194,9 @@ pub mod fault {
     pub const UNSUPPORTED: u8 = 3;
     /// The request bytes did not decode to a message.
     pub const MALFORMED: u8 = 4;
+    /// The peer's storage engine rejected the operation (e.g. a WAL
+    /// write failed on a durable shard).
+    pub const STORAGE: u8 = 5;
 }
 
 /// Wire decoding errors.
@@ -189,6 +230,8 @@ const TAG_TOPK_RESPONSE: u8 = 8;
 const TAG_INSERT_OK: u8 = 9;
 const TAG_DELETE_OK: u8 = 10;
 const TAG_FAULT: u8 = 11;
+const TAG_INDEX_DOCS: u8 = 12;
+const TAG_REMOVE_DOC: u8 = 13;
 
 impl Message {
     /// Serializes the message.
@@ -255,6 +298,24 @@ impl Message {
                     buffer.put_u32(doc.0);
                     buffer.put_u64(score.to_bits());
                 }
+            }
+            Message::IndexDocs { docs } => {
+                buffer.put_u8(TAG_INDEX_DOCS);
+                buffer.put_u32(docs.len() as u32);
+                for doc in docs {
+                    buffer.put_u32(doc.doc.0);
+                    buffer.put_u32(doc.group.0);
+                    buffer.put_u32(doc.length);
+                    buffer.put_u32(doc.terms.len() as u32);
+                    for (term, count) in &doc.terms {
+                        buffer.put_u32(term.0);
+                        buffer.put_u32(*count);
+                    }
+                }
+            }
+            Message::RemoveDoc { doc } => {
+                buffer.put_u8(TAG_REMOVE_DOC);
+                buffer.put_u32(doc.0);
             }
             Message::InsertOk => {
                 buffer.put_u8(TAG_INSERT_OK);
@@ -354,6 +415,32 @@ impl Message {
                 }
                 Ok(Message::TopKResponse { candidates })
             }
+            TAG_INDEX_DOCS => {
+                let doc_count = read_u32(&mut buffer)? as usize;
+                let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
+                for _ in 0..doc_count {
+                    let doc = DocId(read_u32(&mut buffer)?);
+                    let group = GroupId(read_u32(&mut buffer)?);
+                    let length = read_u32(&mut buffer)?;
+                    let term_count = read_u32(&mut buffer)? as usize;
+                    let mut terms = Vec::with_capacity(term_count.min(1 << 20));
+                    for _ in 0..term_count {
+                        let term = TermId(read_u32(&mut buffer)?);
+                        let count = read_u32(&mut buffer)?;
+                        terms.push((term, count));
+                    }
+                    docs.push(WireDocument {
+                        doc,
+                        group,
+                        length,
+                        terms,
+                    });
+                }
+                Ok(Message::IndexDocs { docs })
+            }
+            TAG_REMOVE_DOC => Ok(Message::RemoveDoc {
+                doc: DocId(read_u32(&mut buffer)?),
+            }),
             TAG_INSERT_OK => Ok(Message::InsertOk),
             TAG_DELETE_OK => Ok(Message::DeleteOk {
                 removed: read_u64(&mut buffer)?,
@@ -389,6 +476,10 @@ impl Message {
             Message::SnippetResponse { payload } => 1 + 4 + payload.len(),
             Message::TopKQuery { terms, .. } => 1 + 4 + 4 + terms.len() * (4 + 8),
             Message::TopKResponse { candidates } => 1 + 4 + candidates.len() * (4 + 8),
+            Message::IndexDocs { docs } => {
+                1 + 4 + docs.iter().map(WireDocument::wire_size).sum::<usize>()
+            }
+            Message::RemoveDoc { .. } => 1 + 4,
             Message::InsertOk => 1,
             Message::DeleteOk { .. } => 1 + 8,
             Message::Fault { .. } => 1 + 1 + 4,
@@ -518,6 +609,45 @@ mod tests {
         let encoded = response.encode();
         assert_eq!(encoded.len(), response.wire_size());
         assert_eq!(Message::decode(&encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn index_docs_round_trips() {
+        let message = Message::IndexDocs {
+            docs: vec![
+                WireDocument {
+                    doc: DocId(7),
+                    group: GroupId(1),
+                    length: 12,
+                    terms: vec![(TermId(3), 2), (TermId(9), 10)],
+                },
+                WireDocument {
+                    doc: DocId(8),
+                    group: GroupId(0),
+                    length: 0,
+                    terms: vec![],
+                },
+            ],
+        };
+        let encoded = message.encode();
+        assert_eq!(encoded.len(), message.wire_size());
+        assert_eq!(Message::decode(&encoded).unwrap(), message);
+        for cut in 0..encoded.len() {
+            assert!(
+                Message::decode(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_doc_round_trips() {
+        let message = Message::RemoveDoc {
+            doc: DocId::from_parts(3, 99),
+        };
+        let encoded = message.encode();
+        assert_eq!(encoded.len(), message.wire_size());
+        assert_eq!(Message::decode(&encoded).unwrap(), message);
     }
 
     #[test]

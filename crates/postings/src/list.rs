@@ -49,6 +49,28 @@ impl CompressedPostingList {
         &self.blocks
     }
 
+    /// The encoded payload bytes (block payloads in serial order).
+    /// Together with [`CompressedPostingList::blocks`] and
+    /// [`CompressedPostingList::len`] this is the list's complete
+    /// state — the serialization surface for on-disk segment files.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reassembles a list from its serialized parts (the inverse of
+    /// reading [`CompressedPostingList::data`] /
+    /// [`CompressedPostingList::blocks`] /
+    /// [`CompressedPostingList::len`] back from storage).
+    ///
+    /// The parts are trusted to come from a builder-produced list —
+    /// storage layers must checksum their files and treat a mismatch
+    /// as corruption *before* reconstructing; decoding malformed
+    /// payloads panics like any builder-contract violation.
+    pub fn from_parts(data: Vec<u8>, blocks: Vec<BlockMeta>, len: usize) -> Self {
+        debug_assert_eq!(blocks.iter().map(|b| b.len as usize).sum::<usize>(), len);
+        Self { data, blocks, len }
+    }
+
     /// Compressed footprint in bytes: encoded payload plus serialized
     /// skip metadata ([`block_meta_bytes`] per block).
     pub fn compressed_bytes(&self) -> usize {

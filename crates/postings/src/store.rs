@@ -155,11 +155,23 @@ impl PostingStore for CompressedPostingStore {
 // compression blocks for the stored maxima to be reusable one-to-one.
 const _: () = assert!(BLOCK_SIZE == zerber_index::store::SCORING_BLOCK);
 
-/// Builds the posting store a [`PostingBackend`] selection names.
-pub fn build_store(backend: PostingBackend, index: &InvertedIndex) -> Box<dyn PostingStore> {
+/// Builds the frozen posting store a [`PostingBackend`] selection
+/// names.
+///
+/// Serves the two in-memory backends. `Segmented` is *not* buildable
+/// here — the durable engine lives in `zerber-segment`, which sits
+/// above this crate; configuration layers (the `zerber` facade)
+/// dispatch it themselves.
+///
+/// # Panics
+/// Panics on [`PostingBackend::Segmented`].
+pub fn build_store(backend: &PostingBackend, index: &InvertedIndex) -> Box<dyn PostingStore> {
     match backend {
         PostingBackend::Raw => Box::new(RawPostingStore::from_index(index)),
         PostingBackend::Compressed => Box::new(CompressedPostingStore::from_index(index)),
+        PostingBackend::Segmented { .. } => {
+            panic!("segmented stores are built by zerber-segment, not zerber-postings")
+        }
     }
 }
 
@@ -237,8 +249,8 @@ mod tests {
     #[test]
     fn build_store_honors_the_backend_choice() {
         let index = sample_index(100, 4);
-        let raw = build_store(PostingBackend::Raw, &index);
-        let compressed = build_store(PostingBackend::Compressed, &index);
+        let raw = build_store(&PostingBackend::Raw, &index);
+        let compressed = build_store(&PostingBackend::Compressed, &index);
         assert_eq!(raw.total_postings(), compressed.total_postings());
         assert!(compressed.posting_bytes() < raw.posting_bytes());
     }

@@ -1,0 +1,46 @@
+//! Error type of the storage engine.
+
+/// Failures surfaced by the segmented store.
+///
+/// A *torn WAL tail* is not an error — recovery ignores it by design.
+/// `Corrupt` means a file that must be internally consistent (a
+/// segment or the manifest, both written atomically via
+/// temp-file-then-rename) failed its checksum or layout checks.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A durable file is damaged.
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What check failed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "storage I/O error: {e}"),
+            SegmentError::Corrupt { file, reason } => {
+                write!(f, "corrupt store file {file}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Io(e) => Some(e),
+            SegmentError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}

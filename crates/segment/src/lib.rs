@@ -1,0 +1,108 @@
+//! Durable LSM-style posting storage for the Zerber reproduction.
+//!
+//! The paper's index is not a one-shot artifact: peers continuously
+//! insert and delete document postings. The in-memory backends
+//! (`zerber_index::RawPostingStore`, the block-compressed store in
+//! `zerber-postings`) are frozen snapshots; this crate supplies the
+//! storage engine that absorbs a *write stream* and survives crashes:
+//!
+//! * [`wal`] — the checksummed write-ahead log: a batch is
+//!   acknowledged only after its CRC'd record is on the log, and
+//!   recovery ignores torn tails without losing any acknowledged
+//!   batch,
+//! * [`memtable`] — immutable per-batch deltas ([`MemDelta`]): the
+//!   memtable is a list of frozen `Arc`'d batch effects, so reader
+//!   snapshots are pointer copies,
+//! * [`segment`] — immutable on-disk segments ([`Segment`]): per-term
+//!   `zerber_postings::CompressedPostingList`s with their block-max
+//!   skip metadata, the documents whose current version the segment
+//!   defines, and absorbed tombstones — written atomically and
+//!   CRC-verified on load,
+//! * [`store`] — the engine ([`SegmentStore`]): flush seals deltas
+//!   into segments, tiered compaction (optionally on a background
+//!   thread) bounds the segment count via the streaming compressed
+//!   merge and garbage-collects tombstones, a `MANIFEST` names the
+//!   live segment set atomically, and [`SegmentSnapshot`] implements
+//!   `zerber_index::PostingStore` so `block_max_topk` and the sharded
+//!   peer runtime serve from it unchanged.
+//!
+//! # Open → ingest → crash → recover
+//!
+//! ```
+//! use zerber_index::{DocId, Document, GroupId, PostingStore, SegmentPolicy, TermId};
+//! use zerber_segment::{scratch_dir, SegmentStore};
+//!
+//! let dir = scratch_dir("doctest");
+//! let policy = SegmentPolicy {
+//!     flush_postings: 4, // tiny, to force a segment seal below
+//!     ..SegmentPolicy::default()
+//! };
+//!
+//! // Open an empty store and ingest live: an insert batch, then a
+//! // delete. Each batch is journaled before it is acknowledged.
+//! let store = SegmentStore::open(&dir, policy).unwrap();
+//! let docs: Vec<Document> = (0..3)
+//!     .map(|d| Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(7), 1 + d)]))
+//!     .collect();
+//! store.insert(&docs).unwrap(); // ≥ 4 postings → sealed into a segment
+//! store.insert(&[Document::from_term_counts(DocId(9), GroupId(0), vec![(TermId(7), 5)])])
+//!     .unwrap();
+//! store.delete(DocId(0)).unwrap(); // tombstone, still in the WAL
+//! assert_eq!(store.snapshot().document_frequency(TermId(7)), 3);
+//!
+//! // "Crash": drop the store with the latest batches only in the WAL,
+//! // and tear the log mid-record as an interrupted write would.
+//! drop(store);
+//! let wal = dir.join("wal.log");
+//! let mut bytes = std::fs::read(&wal).unwrap();
+//! bytes.extend_from_slice(&[0x17, 0x00, 0x00, 0x00]); // torn partial record
+//! std::fs::write(&wal, &bytes).unwrap();
+//!
+//! // Recovery replays every acknowledged batch and ignores the tail.
+//! let recovered = SegmentStore::open(&dir, policy).unwrap();
+//! let snapshot = recovered.snapshot();
+//! assert_eq!(snapshot.document_frequency(TermId(7)), 3); // docs 1, 2, 9
+//! assert!(!snapshot.contains_doc(DocId(0)), "the delete survived");
+//! assert!(snapshot.contains_doc(DocId(9)), "the unflushed insert survived");
+//! # drop(recovered);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod memtable;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use error::SegmentError;
+pub use memtable::MemDelta;
+pub use segment::Segment;
+pub use store::{SegmentSnapshot, SegmentStore};
+pub use wal::WalOp;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Creates a unique empty directory under the system temp dir —
+/// shared by this crate's tests, the repository's persistence tests,
+/// and the `ingest` bench target, so every run stays hermetic.
+///
+/// The caller owns cleanup (`std::fs::remove_dir_all`); a leaked
+/// directory under `$TMPDIR` is the worst failure mode.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let path = std::env::temp_dir().join(format!(
+        "zerber-segment-{tag}-{}-{}-{nanos}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&path).expect("temp dir is writable");
+    path
+}

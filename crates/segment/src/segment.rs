@@ -1,0 +1,551 @@
+//! Immutable on-disk segments.
+//!
+//! A segment is the frozen, block-compressed image of a run of
+//! mutation batches: per-term [`CompressedPostingList`]s (the same
+//! codec the wire/storage experiments use), the set of documents whose
+//! *current version* this segment defines, and the tombstones it
+//! absorbed. Files are written to a temp name, fsync'd, and renamed —
+//! a segment either exists completely or not at all — and carry a
+//! CRC-32 over the whole body, verified on load.
+//!
+//! # Shadowing
+//!
+//! Document updates are whole-document replacements ("only the most
+//! recent copy of the document"), so correctness needs *doc-level*
+//! masking, not just per-(term, doc) recency: if a newer source
+//! re-inserts doc `d` without term `t`, the old `(t, d)` posting must
+//! die even though no newer `(t, d)` posting exists. Every source
+//! therefore records the documents it *touches* (inserts ∪
+//! tombstones), and a posting from source `i` is live iff no newer
+//! source touches its document. The crate-internal `merge_sources`
+//! applies exactly that rule; readers apply it lazily per query.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use zerber_postings::{BlockMeta, CompressedPostingBuilder, CompressedPostingList, RawEntry};
+
+use crate::crc::crc32;
+use crate::error::SegmentError;
+use crate::memtable::MemDelta;
+
+/// A read source in the engine's recency order (segments oldest →
+/// newest, then memtable deltas oldest → newest).
+pub(crate) trait Source {
+    /// Does this source define `doc`'s current version (insert or
+    /// tombstone)?
+    fn touches(&self, doc: u32) -> bool;
+    /// Documents inserted here, ascending.
+    fn live_docs(&self) -> &[u32];
+    /// Documents tombstoned here, ascending.
+    fn tombstones(&self) -> &[u32];
+    /// Decoded postings for one term, doc-ascending.
+    fn term_entries(&self, term: u32) -> Vec<RawEntry>;
+    /// Term ids with at least one posting, ascending.
+    fn terms_present(&self) -> Vec<u32>;
+    /// One past the highest term id.
+    fn term_slots(&self) -> u32;
+}
+
+impl Source for MemDelta {
+    fn touches(&self, doc: u32) -> bool {
+        MemDelta::touches(self, doc)
+    }
+    fn live_docs(&self) -> &[u32] {
+        MemDelta::live_docs(self)
+    }
+    fn tombstones(&self) -> &[u32] {
+        MemDelta::tombstones(self)
+    }
+    fn term_entries(&self, term: u32) -> Vec<RawEntry> {
+        self.term_postings(term).to_vec()
+    }
+    fn terms_present(&self) -> Vec<u32> {
+        MemDelta::terms_present(self).collect()
+    }
+    fn term_slots(&self) -> u32 {
+        MemDelta::term_slots(self)
+    }
+}
+
+/// One immutable segment, fully resident (posting payloads stay
+/// block-compressed in memory; the file exists for recovery).
+#[derive(Debug)]
+pub struct Segment {
+    file_name: String,
+    live: Vec<u32>,
+    tombstones: Vec<u32>,
+    term_slots: u32,
+    /// `(term, list)` sorted by term id; only non-empty lists.
+    terms: Vec<(u32, CompressedPostingList)>,
+    disk_bytes: u64,
+}
+
+impl Segment {
+    /// The file this segment was loaded from / written to.
+    pub fn file_name(&self) -> &str {
+        &self.file_name
+    }
+
+    /// On-disk footprint in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Documents whose current version lives here, ascending.
+    pub fn live_docs(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Tombstones carried for older segments, ascending.
+    pub fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    /// The compressed list for a term, when present.
+    pub fn list(&self, term: u32) -> Option<&CompressedPostingList> {
+        self.terms
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .ok()
+            .map(|i| &self.terms[i].1)
+    }
+
+    /// Total postings stored.
+    pub fn posting_count(&self) -> usize {
+        self.terms.iter().map(|(_, l)| l.len()).sum()
+    }
+
+    /// Compressed posting payload bytes (excluding doc/tombstone
+    /// tables).
+    pub fn compressed_bytes(&self) -> usize {
+        self.terms.iter().map(|(_, l)| l.compressed_bytes()).sum()
+    }
+}
+
+impl Source for Segment {
+    fn touches(&self, doc: u32) -> bool {
+        self.live.binary_search(&doc).is_ok() || self.tombstones.binary_search(&doc).is_ok()
+    }
+    fn live_docs(&self) -> &[u32] {
+        &self.live
+    }
+    fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+    fn term_entries(&self, term: u32) -> Vec<RawEntry> {
+        self.list(term).map(|l| l.decode_all()).unwrap_or_default()
+    }
+    fn terms_present(&self) -> Vec<u32> {
+        self.terms.iter().map(|&(t, _)| t).collect()
+    }
+    fn term_slots(&self) -> u32 {
+        self.term_slots
+    }
+}
+
+/// The merged image of a stack of sources, not yet on disk.
+pub(crate) struct SegmentContent {
+    live: Vec<u32>,
+    tombstones: Vec<u32>,
+    term_slots: u32,
+    terms: Vec<(u32, CompressedPostingList)>,
+}
+
+/// Merges sources (recency-ordered, oldest first) into one segment
+/// image under the shadowing rule. With `gc_tombstones`, tombstones
+/// are dropped — only sound when the merge covers the *oldest* level,
+/// so no older posting can be left for a tombstone to mask.
+pub(crate) fn merge_sources(sources: &[&dyn Source], gc_tombstones: bool) -> SegmentContent {
+    // Newest source index touching each doc, and the doc's final
+    // liveness.
+    let mut version: BTreeMap<u32, (usize, bool)> = BTreeMap::new();
+    for (i, source) in sources.iter().enumerate() {
+        for &doc in source.live_docs() {
+            version.insert(doc, (i, true));
+        }
+        for &doc in source.tombstones() {
+            version.insert(doc, (i, false));
+        }
+    }
+    let live: Vec<u32> = version
+        .iter()
+        .filter(|&(_, &(_, alive))| alive)
+        .map(|(&doc, _)| doc)
+        .collect();
+    let tombstones: Vec<u32> = if gc_tombstones {
+        Vec::new()
+    } else {
+        version
+            .iter()
+            .filter(|&(_, &(_, alive))| !alive)
+            .map(|(&doc, _)| doc)
+            .collect()
+    };
+
+    let mut all_terms: Vec<u32> = sources.iter().flat_map(|s| s.terms_present()).collect();
+    all_terms.sort_unstable();
+    all_terms.dedup();
+
+    let mut terms = Vec::with_capacity(all_terms.len());
+    for term in all_terms {
+        let mut builder = CompressedPostingBuilder::new();
+        let mut merged: BTreeMap<u64, RawEntry> = BTreeMap::new();
+        for (i, source) in sources.iter().enumerate() {
+            for entry in source.term_entries(term) {
+                let doc = entry.doc as u32;
+                // Exactly one source passes this filter per document:
+                // the one defining its current (live) version.
+                if version.get(&doc) == Some(&(i, true)) {
+                    merged.insert(entry.doc, entry);
+                }
+            }
+        }
+        for entry in merged.into_values() {
+            builder.push(entry);
+        }
+        if !builder.is_empty() {
+            terms.push((term, builder.build()));
+        }
+    }
+
+    SegmentContent {
+        live,
+        tombstones,
+        term_slots: sources.iter().map(|s| s.term_slots()).max().unwrap_or(0),
+        terms,
+    }
+}
+
+const MAGIC: u32 = 0x5A53_4547; // "ZSEG"
+const VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    file: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SegmentError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(SegmentError::Corrupt {
+                file: self.file.to_owned(),
+                reason: "body shorter than declared layout",
+            })?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, SegmentError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 B")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SegmentError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SegmentError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 B")))
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, SegmentError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 22));
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Writes `body` to `path` under the shared framed layout (magic,
+/// version, length, CRC-32, body) via a temp file + fsync + atomic
+/// rename, then fsyncs the parent directory so the *rename itself* is
+/// durable — the manifest protocol truncates the WAL only after this
+/// returns, so a power loss must not be able to keep the truncation
+/// while dropping the rename's directory entry. Returns the file
+/// size.
+pub(crate) fn write_framed(path: &Path, body: &[u8]) -> Result<u64, SegmentError> {
+    let mut framed = Vec::with_capacity(20 + body.len());
+    put_u32(&mut framed, MAGIC);
+    put_u32(&mut framed, VERSION);
+    put_u64(&mut framed, body.len() as u64);
+    put_u32(&mut framed, crc32(body));
+    framed.extend_from_slice(body);
+    let tmp: PathBuf = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&framed)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(framed.len() as u64)
+}
+
+/// Reads a framed file back, verifying magic, version, length and
+/// checksum before returning the body.
+pub(crate) fn read_framed(path: &Path) -> Result<Vec<u8>, SegmentError> {
+    let name = path.display().to_string();
+    let corrupt = |reason| SegmentError::Corrupt {
+        file: name.clone(),
+        reason,
+    };
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < 20 {
+        return Err(corrupt("shorter than the frame header"));
+    }
+    let magic = u32::from_le_bytes(raw[0..4].try_into().expect("4 B"));
+    let version = u32::from_le_bytes(raw[4..8].try_into().expect("4 B"));
+    let body_len = u64::from_le_bytes(raw[8..16].try_into().expect("8 B")) as usize;
+    let crc = u32::from_le_bytes(raw[16..20].try_into().expect("4 B"));
+    if magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if version != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    if raw.len() != 20 + body_len {
+        return Err(corrupt("length mismatch"));
+    }
+    let body = raw.split_off(20);
+    if crc32(&body) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(body)
+}
+
+impl SegmentContent {
+    /// Assembles an image from already-merged parts (the compaction
+    /// fast path merges whole compressed lists without re-deriving
+    /// doc tables).
+    pub(crate) fn from_parts(
+        live: Vec<u32>,
+        tombstones: Vec<u32>,
+        term_slots: u32,
+        terms: Vec<(u32, CompressedPostingList)>,
+    ) -> Self {
+        Self {
+            live,
+            tombstones,
+            term_slots,
+            terms,
+        }
+    }
+
+    /// True iff the merge produced no state at all (nothing to
+    /// persist).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Persists the image as `seg-<seq>.zseg` in `dir`.
+    pub(crate) fn write(self, dir: &Path, seq: u64) -> Result<Segment, SegmentError> {
+        let file_name = format!("seg-{seq:06}.zseg");
+        let mut body = Vec::new();
+        put_u32(&mut body, self.term_slots);
+        put_u32(&mut body, self.live.len() as u32);
+        for &doc in &self.live {
+            put_u32(&mut body, doc);
+        }
+        put_u32(&mut body, self.tombstones.len() as u32);
+        for &doc in &self.tombstones {
+            put_u32(&mut body, doc);
+        }
+        put_u32(&mut body, self.terms.len() as u32);
+        for (term, list) in &self.terms {
+            put_u32(&mut body, *term);
+            put_u64(&mut body, list.len() as u64);
+            put_u64(&mut body, list.data().len() as u64);
+            body.extend_from_slice(list.data());
+            put_u32(&mut body, list.blocks().len() as u32);
+            for block in list.blocks() {
+                put_u64(&mut body, block.first_doc);
+                put_u64(&mut body, block.last_doc);
+                put_u64(&mut body, block.max_tf.to_bits());
+                body.extend_from_slice(&block.len.to_le_bytes());
+                put_u64(&mut body, block.offset as u64);
+            }
+        }
+        let disk_bytes = write_framed(&dir.join(&file_name), &body)?;
+        Ok(Segment {
+            file_name,
+            live: self.live,
+            tombstones: self.tombstones,
+            term_slots: self.term_slots,
+            terms: self.terms,
+            disk_bytes,
+        })
+    }
+}
+
+impl Segment {
+    /// Loads and verifies a segment file.
+    pub(crate) fn load(path: &Path) -> Result<Segment, SegmentError> {
+        let body = read_framed(path)?;
+        let name = path.display().to_string();
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| name.clone());
+        let mut r = Reader {
+            bytes: &body,
+            pos: 0,
+            file: &name,
+        };
+        let term_slots = r.u32()?;
+        let live = r.u32_vec()?;
+        let tombstones = r.u32_vec()?;
+        let term_count = r.u32()? as usize;
+        let mut terms = Vec::with_capacity(term_count.min(1 << 22));
+        for _ in 0..term_count {
+            let term = r.u32()?;
+            let len = r.u64()? as usize;
+            let data_len = r.u64()? as usize;
+            let data = r.take(data_len)?.to_vec();
+            let block_count = r.u32()? as usize;
+            let mut blocks = Vec::with_capacity(block_count.min(1 << 22));
+            for _ in 0..block_count {
+                blocks.push(BlockMeta {
+                    first_doc: r.u64()?,
+                    last_doc: r.u64()?,
+                    max_tf: f64::from_bits(r.u64()?),
+                    len: r.u16()?,
+                    offset: r.u64()? as usize,
+                });
+            }
+            terms.push((term, CompressedPostingList::from_parts(data, blocks, len)));
+        }
+        if r.pos != body.len() {
+            return Err(SegmentError::Corrupt {
+                file: name,
+                reason: "trailing bytes after declared layout",
+            });
+        }
+        Ok(Segment {
+            file_name,
+            live,
+            tombstones,
+            term_slots,
+            terms,
+            disk_bytes: (20 + body.len()) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+    use crate::wal::WalOp;
+
+    fn delta(ops: &[WalOp]) -> MemDelta {
+        MemDelta::from_ops(ops)
+    }
+
+    fn insert(doc: u32, terms: &[(u32, u32)]) -> WalOp {
+        WalOp::Insert {
+            doc,
+            length: terms.iter().map(|&(_, c)| c).sum(),
+            terms: terms.to_vec(),
+        }
+    }
+
+    #[test]
+    fn merge_applies_doc_level_shadowing() {
+        // Doc 1 first has terms {0, 1}; a newer delta re-inserts it
+        // with only term 0 — the (1, d1) posting must die.
+        let old = delta(&[insert(1, &[(0, 1), (1, 1)]), insert(2, &[(1, 2)])]);
+        let new = delta(&[insert(1, &[(0, 5)])]);
+        let content = merge_sources(&[&old, &new], false);
+        assert_eq!(content.live, vec![1, 2]);
+        let term0: Vec<RawEntry> = content.terms[0].1.decode_all();
+        assert_eq!(term0.len(), 1);
+        assert_eq!((term0[0].doc, term0[0].count), (1, 5));
+        let term1: Vec<RawEntry> = content.terms[1].1.decode_all();
+        assert_eq!(term1.len(), 1, "doc 1 dropped term 1");
+        assert_eq!(term1[0].doc, 2);
+    }
+
+    #[test]
+    fn tombstones_survive_unless_collected() {
+        let old = delta(&[insert(1, &[(0, 1)])]);
+        let tomb = delta(&[WalOp::Delete { doc: 1 }, WalOp::Delete { doc: 7 }]);
+        let kept = merge_sources(&[&old, &tomb], false);
+        assert!(kept.live.is_empty());
+        assert_eq!(kept.tombstones, vec![1, 7]);
+        assert!(kept.terms.is_empty(), "no live postings remain");
+        let collected = merge_sources(&[&old, &tomb], true);
+        assert!(collected.tombstones.is_empty());
+        assert!(collected.is_empty());
+    }
+
+    #[test]
+    fn segment_round_trips_through_its_file() {
+        let dir = scratch_dir("segment-roundtrip");
+        let many: Vec<WalOp> = (0..400u32)
+            .map(|d| insert(d * 3, &[(d % 17, 1 + d % 5), (40, 2)]))
+            .collect();
+        let content = merge_sources(&[&delta(&many), &delta(&[WalOp::Delete { doc: 3 }])], false);
+        let written = content.write(&dir, 7).unwrap();
+        let loaded = Segment::load(&dir.join(written.file_name())).unwrap();
+        assert_eq!(loaded.live_docs(), written.live_docs());
+        assert_eq!(loaded.tombstones(), written.tombstones());
+        assert_eq!(loaded.posting_count(), written.posting_count());
+        assert_eq!(loaded.disk_bytes(), written.disk_bytes());
+        for term in 0..45u32 {
+            assert_eq!(
+                loaded.term_entries(term),
+                written.term_entries(term),
+                "term {term}"
+            );
+            // Skip metadata (incl. block maxima) must round-trip
+            // bit-exactly — the block-max pruning depends on it.
+            match (loaded.list(term), written.list(term)) {
+                (Some(a), Some(b)) => assert_eq!(a, b),
+                (None, None) => {}
+                _ => panic!("presence mismatch for term {term}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_segment_files_are_rejected() {
+        let dir = scratch_dir("segment-damage");
+        let content = merge_sources(&[&delta(&[insert(1, &[(0, 1)])])], false);
+        let segment = content.write(&dir, 1).unwrap();
+        let path = dir.join(segment.file_name());
+        let pristine = std::fs::read(&path).unwrap();
+        // Flip one byte at every offset: load must fail, never panic.
+        for at in 0..pristine.len() {
+            let mut damaged = pristine.clone();
+            damaged[at] ^= 0x10;
+            std::fs::write(&path, &damaged).unwrap();
+            assert!(Segment::load(&path).is_err(), "byte {at}");
+        }
+        // Truncations too.
+        for cut in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(Segment::load(&path).is_err(), "cut {cut}");
+        }
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(Segment::load(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,669 @@
+//! The LSM engine: WAL → memtable deltas → immutable segments, with
+//! tiered compaction and MVCC reader snapshots.
+//!
+//! # Write path
+//!
+//! ```text
+//! insert/delete batch
+//!   │ 1. append checksummed WAL record (ack point)
+//!   │ 2. freeze the batch into an Arc'd MemDelta
+//!   │ 3. push it onto the engine state (brief write lock)
+//!   ▼
+//! [deltas ...] ──(≥ flush_postings)──► seal: merge deltas → seg-N.zseg
+//!                                      → MANIFEST → truncate WAL
+//! [segments ...] ──(> max_segments)──► compact oldest run → one segment
+//!                                      (tombstone GC) → MANIFEST → rm inputs
+//! ```
+//!
+//! # Crash safety
+//!
+//! The `MANIFEST` names the live segment set and is replaced
+//! atomically (temp file + rename); segment files are written the same
+//! way. Any crash therefore leaves one of two recoverable worlds:
+//! either the manifest predates the crash (unlisted segment files are
+//! garbage and deleted on open; the WAL still holds the batches) or it
+//! includes the new segment (the WAL tail is then redundant — replay
+//! re-applies batches whose content the segment already carries, which
+//! is idempotent under newest-wins). The WAL is truncated only *after*
+//! the manifest naming its data is durable.
+//!
+//! # Snapshots
+//!
+//! Readers clone `Arc`s of the current segment list and delta list —
+//! no locks are held while a query runs, so sustained top-k load never
+//! blocks ingest and vice versa.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use parking_lot::{Mutex, RwLock};
+
+use zerber_index::store::SCORING_BLOCK;
+use zerber_index::{
+    BlockScoredList, DocId, Document, Posting, PostingStore, SegmentPolicy, TermId,
+};
+use zerber_postings::{merge_compressed, CompressedPostingList, RawEntry};
+
+use crate::error::SegmentError;
+use crate::memtable::MemDelta;
+use crate::segment::{merge_sources, read_framed, write_framed, Segment, SegmentContent, Source};
+use crate::wal::{replay, Wal, WalOp};
+
+const WAL_FILE: &str = "wal.log";
+const MANIFEST_FILE: &str = "MANIFEST.zman";
+
+/// The engine's current world: segments oldest → newest, then memtable
+/// deltas oldest → newest. Read access clones the `Arc`s.
+struct EngineState {
+    segments: Vec<Arc<Segment>>,
+    deltas: Vec<Arc<MemDelta>>,
+    /// Flush pressure: live postings + tombstones across `deltas`.
+    mem_weight: usize,
+}
+
+/// The WAL handle plus the segment sequence counter; its mutex also
+/// serializes all mutations (WAL order = apply order = ack order).
+struct Writer {
+    wal: Wal,
+    next_seq: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    policy: SegmentPolicy,
+    state: RwLock<EngineState>,
+    writer: Mutex<Writer>,
+    /// Cumulative bytes written to disk (WAL + every segment file,
+    /// including compaction rewrites) — the write-amplification
+    /// numerator.
+    written: AtomicU64,
+    /// At most one compaction at a time (explicit or background).
+    compaction: Mutex<()>,
+}
+
+/// A durable, crash-safe posting store with live inserts and deletes.
+///
+/// See the [crate docs](crate) for a full open → ingest → crash →
+/// recover example. All methods take `&self`: the store is shared
+/// across threads behind an `Arc` (or borrowed) — ingest, queries, and
+/// background compaction proceed concurrently.
+pub struct SegmentStore {
+    inner: Arc<Inner>,
+    compactor: Option<(mpsc::Sender<()>, thread::JoinHandle<()>)>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.inner.dir)
+            .field("segments", &self.segment_count())
+            .field("memtable_postings", &self.memtable_postings())
+            .finish()
+    }
+}
+
+fn manifest_body(next_seq: u64, names: &[&str]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&next_seq.to_le_bytes());
+    body.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for name in names {
+        let bytes = name.as_bytes();
+        body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        body.extend_from_slice(bytes);
+    }
+    body
+}
+
+fn parse_manifest(path: &Path) -> Result<(u64, Vec<String>), SegmentError> {
+    let body = read_framed(path)?;
+    let corrupt = || SegmentError::Corrupt {
+        file: path.display().to_string(),
+        reason: "manifest layout",
+    };
+    let next_seq = u64::from_le_bytes(body.get(0..8).ok_or_else(corrupt)?.try_into().unwrap());
+    let count =
+        u32::from_le_bytes(body.get(8..12).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let mut names = Vec::with_capacity(count.min(1 << 16));
+    let mut pos = 12usize;
+    for _ in 0..count {
+        let len = u16::from_le_bytes(
+            body.get(pos..pos + 2)
+                .ok_or_else(corrupt)?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        pos += 2;
+        let bytes = body.get(pos..pos + len).ok_or_else(corrupt)?;
+        pos += len;
+        names.push(String::from_utf8(bytes.to_vec()).map_err(|_| corrupt())?);
+    }
+    if pos != body.len() {
+        return Err(corrupt());
+    }
+    Ok((next_seq, names))
+}
+
+impl Inner {
+    /// Writes the manifest naming the given segment order. Called with
+    /// the writer lock held, so manifest contents always match the
+    /// engine state it was derived from.
+    fn write_manifest(&self, next_seq: u64, names: &[&str]) -> Result<(), SegmentError> {
+        let bytes = write_framed(
+            &self.dir.join(MANIFEST_FILE),
+            &manifest_body(next_seq, names),
+        )?;
+        self.written.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Seals every current delta into one segment. Writer lock held by
+    /// the caller: the delta list cannot change underneath.
+    fn flush_locked(&self, writer: &mut Writer) -> Result<(), SegmentError> {
+        let (deltas, no_segments) = {
+            let state = self.state.read();
+            (state.deltas.clone(), state.segments.is_empty())
+        };
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let sources: Vec<&dyn Source> = deltas.iter().map(|d| d.as_ref() as &dyn Source).collect();
+        // With no older segments a tombstone has nothing to mask.
+        let content = merge_sources(&sources, no_segments);
+        if content.is_empty() {
+            let mut state = self.state.write();
+            state.deltas.clear();
+            state.mem_weight = 0;
+            drop(state);
+            return writer.wal.truncate();
+        }
+        let seq = writer.next_seq;
+        writer.next_seq += 1;
+        let segment = Arc::new(content.write(&self.dir, seq)?);
+        self.written
+            .fetch_add(segment.disk_bytes(), Ordering::Relaxed);
+        let names: Vec<String> = {
+            let mut state = self.state.write();
+            state.segments.push(segment);
+            state.deltas.clear();
+            state.mem_weight = 0;
+            state
+                .segments
+                .iter()
+                .map(|s| s.file_name().to_owned())
+                .collect()
+        };
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.write_manifest(writer.next_seq, &name_refs)?;
+        // Only now is the WAL redundant.
+        writer.wal.truncate()
+    }
+
+    /// One tiered compaction step: when more than `max_segments`
+    /// segments exist, merge the oldest run down so exactly
+    /// `max_segments` remain. Returns whether it did anything.
+    fn compact_once(&self) -> Result<bool, SegmentError> {
+        let _at_most_one = self.compaction.lock();
+        let inputs: Vec<Arc<Segment>> = {
+            let state = self.state.read();
+            if state.segments.len() <= self.policy.max_segments.max(1) {
+                return Ok(false);
+            }
+            let take = state.segments.len() - self.policy.max_segments.max(1) + 1;
+            state.segments[..take].to_vec()
+        };
+        // The merge covers the oldest level, so surviving tombstones
+        // have nothing left to mask: garbage-collect them.
+        let content = merge_segments(&inputs, true);
+        let mut writer = self.writer.lock();
+        let seq = writer.next_seq;
+        writer.next_seq += 1;
+        let merged: Option<Arc<Segment>> = if content.is_empty() {
+            None
+        } else {
+            let segment = Arc::new(content.write(&self.dir, seq)?);
+            self.written
+                .fetch_add(segment.disk_bytes(), Ordering::Relaxed);
+            Some(segment)
+        };
+        let names: Vec<String> = {
+            let mut state = self.state.write();
+            // Only compaction replaces the prefix, and `compaction`
+            // is locked: the inputs are still segments[..inputs.len()].
+            debug_assert!(state.segments[..inputs.len()]
+                .iter()
+                .zip(&inputs)
+                .all(|(a, b)| Arc::ptr_eq(a, b)));
+            let mut rebuilt: Vec<Arc<Segment>> = merged.into_iter().collect();
+            rebuilt.extend_from_slice(&state.segments[inputs.len()..]);
+            state.segments = rebuilt;
+            state
+                .segments
+                .iter()
+                .map(|s| s.file_name().to_owned())
+                .collect()
+        };
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.write_manifest(writer.next_seq, &name_refs)?;
+        drop(writer);
+        // The inputs are no longer reachable from the manifest; their
+        // files are garbage (readers still holding snapshot Arcs read
+        // from memory, not the files).
+        for input in &inputs {
+            let _ = std::fs::remove_file(self.dir.join(input.file_name()));
+        }
+        Ok(true)
+    }
+}
+
+/// Merges whole segments, preferring the streaming compressed k-way
+/// merge when it is exactly equivalent: disjoint document sets and no
+/// tombstones mean no shadowing can occur, so
+/// [`merge_compressed`]'s per-(term, doc) recency rule coincides with
+/// the doc-level rule and no list needs re-deriving from decoded
+/// entries. Otherwise falls back to the generic masked merge.
+fn merge_segments(inputs: &[Arc<Segment>], gc_tombstones: bool) -> SegmentContent {
+    let sources: Vec<&dyn Source> = inputs.iter().map(|s| s.as_ref() as &dyn Source).collect();
+    let no_tombstones = inputs.iter().all(|s| s.tombstones().is_empty());
+    let disjoint = {
+        let mut all: Vec<u32> = inputs.iter().flat_map(|s| s.live_docs().to_vec()).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        all.len() == total
+    };
+    if !(no_tombstones && disjoint) {
+        return merge_sources(&sources, gc_tombstones);
+    }
+    let mut all_terms: Vec<u32> = sources.iter().flat_map(|s| s.terms_present()).collect();
+    all_terms.sort_unstable();
+    all_terms.dedup();
+    let terms: Vec<(u32, CompressedPostingList)> = all_terms
+        .into_iter()
+        .map(|term| {
+            let lists: Vec<&CompressedPostingList> =
+                inputs.iter().filter_map(|s| s.list(term)).collect();
+            let merged = match lists.as_slice() {
+                [single] => (*single).clone(),
+                many => merge_compressed(many),
+            };
+            (term, merged)
+        })
+        .collect();
+    let mut live: Vec<u32> = inputs.iter().flat_map(|s| s.live_docs().to_vec()).collect();
+    live.sort_unstable();
+    let term_slots = sources.iter().map(|s| s.term_slots()).max().unwrap_or(0);
+    SegmentContent::from_parts(live, Vec::new(), term_slots, terms)
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the store rooted at `dir` and recovers its
+    /// durable state: the manifest's segment set is loaded and
+    /// CRC-verified, stray files from interrupted flushes or
+    /// compactions are deleted, and the WAL is replayed — every fully
+    /// written batch back into the memtable, a torn tail ignored.
+    pub fn open(dir: impl Into<PathBuf>, policy: SegmentPolicy) -> Result<Self, SegmentError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST_FILE);
+        let (next_seq, names) = if manifest.exists() {
+            parse_manifest(&manifest)?
+        } else {
+            (1, Vec::new())
+        };
+        let listed: HashSet<&str> = names.iter().map(String::as_str).collect();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_garbage = (name.ends_with(".zseg") || name.ends_with(".tmp"))
+                && !listed.contains(name.as_str());
+            if is_garbage {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        let mut segments = Vec::with_capacity(names.len());
+        for name in &names {
+            segments.push(Arc::new(Segment::load(&dir.join(name))?));
+        }
+        let deltas: Vec<Arc<MemDelta>> = replay(&dir.join(WAL_FILE))?
+            .iter()
+            .map(|batch| Arc::new(MemDelta::from_ops(batch)))
+            .collect();
+        let mem_weight = deltas.iter().map(|d| d.weight()).sum();
+        let wal = Wal::open(&dir.join(WAL_FILE))?;
+        let inner = Arc::new(Inner {
+            dir,
+            policy,
+            state: RwLock::new(EngineState {
+                segments,
+                deltas,
+                mem_weight,
+            }),
+            writer: Mutex::new(Writer { wal, next_seq }),
+            written: AtomicU64::new(0),
+            compaction: Mutex::new(()),
+        });
+        let compactor = policy.background.then(|| {
+            let worker = Arc::clone(&inner);
+            let (signal, wakeups) = mpsc::channel::<()>();
+            let handle = thread::spawn(move || {
+                while wakeups.recv().is_ok() {
+                    // A failed background step leaves extra segments
+                    // behind; the next signal retries. Reads and
+                    // writes stay correct at any segment count.
+                    while worker.compact_once().unwrap_or(false) {}
+                    while wakeups.try_recv().is_ok() {}
+                }
+            });
+            (signal, handle)
+        });
+        Ok(Self { inner, compactor })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Inserts (or replaces — "only the most recent copy") a batch of
+    /// documents. Returns the batch's memtable weight (posting
+    /// elements written; a term-less document counts as 1). The batch
+    /// is acknowledged once its WAL record is written (and, under
+    /// [`SegmentPolicy::sync_wal`], synced): from that moment it
+    /// survives a crash.
+    pub fn insert(&self, docs: &[Document]) -> Result<usize, SegmentError> {
+        if docs.is_empty() {
+            return Ok(0);
+        }
+        let ops: Vec<WalOp> = docs
+            .iter()
+            .map(|doc| WalOp::Insert {
+                doc: doc.id.0,
+                length: doc.length,
+                terms: doc.terms.iter().map(|&(t, c)| (t.0, c)).collect(),
+            })
+            .collect();
+        self.apply(ops)
+    }
+
+    /// Removes a document and all its postings. Returns whether the
+    /// document was live *at the point the delete applied* — the
+    /// liveness check runs under the same writer lock that orders the
+    /// WAL, so the answer can never contradict the applied mutation
+    /// order under concurrent writers. Durable like
+    /// [`SegmentStore::insert`].
+    pub fn delete(&self, doc: DocId) -> Result<bool, SegmentError> {
+        let mut writer = self.inner.writer.lock();
+        let existed = self.snapshot().contains_doc(doc);
+        self.apply_locked(&mut writer, vec![WalOp::Delete { doc: doc.0 }])?;
+        drop(writer);
+        self.wake_compactor();
+        Ok(existed)
+    }
+
+    fn apply(&self, ops: Vec<WalOp>) -> Result<usize, SegmentError> {
+        let mut writer = self.inner.writer.lock();
+        let added = self.apply_locked(&mut writer, ops)?;
+        drop(writer);
+        self.wake_compactor();
+        Ok(added)
+    }
+
+    fn apply_locked(&self, writer: &mut Writer, ops: Vec<WalOp>) -> Result<usize, SegmentError> {
+        let bytes = writer.wal.append(&ops, self.inner.policy.sync_wal)?;
+        self.inner.written.fetch_add(bytes, Ordering::Relaxed);
+        let delta = Arc::new(MemDelta::from_ops(&ops));
+        let added = delta.weight();
+        let over_threshold = {
+            let mut state = self.inner.state.write();
+            state.mem_weight += delta.weight();
+            state.deltas.push(delta);
+            state.mem_weight >= self.inner.policy.flush_postings.max(1)
+        };
+        if over_threshold {
+            self.inner.flush_locked(writer)?;
+        }
+        Ok(added)
+    }
+
+    fn wake_compactor(&self) {
+        if let Some((signal, _)) = &self.compactor {
+            let _ = signal.send(());
+        }
+    }
+
+    /// Seals the memtable into a segment now, regardless of the flush
+    /// threshold.
+    pub fn flush(&self) -> Result<(), SegmentError> {
+        let mut writer = self.inner.writer.lock();
+        self.inner.flush_locked(&mut writer)?;
+        drop(writer);
+        self.wake_compactor();
+        Ok(())
+    }
+
+    /// Runs tiered compaction to completion on the calling thread
+    /// (also available with `background: true`; the lock ensures at
+    /// most one compaction runs either way).
+    pub fn compact(&self) -> Result<(), SegmentError> {
+        while self.inner.compact_once()? {}
+        Ok(())
+    }
+
+    /// An immutable point-in-time view for queries. O(sources) `Arc`
+    /// clones; never blocks or is blocked by ingest for longer than
+    /// the state lock handover.
+    pub fn snapshot(&self) -> SegmentSnapshot {
+        let state = self.inner.state.read();
+        SegmentSnapshot {
+            segments: state.segments.clone(),
+            deltas: state.deltas.clone(),
+        }
+    }
+
+    /// Number of on-disk segments.
+    pub fn segment_count(&self) -> usize {
+        self.inner.state.read().segments.len()
+    }
+
+    /// Flush pressure currently in the memtable (live postings +
+    /// tombstones).
+    pub fn memtable_postings(&self) -> usize {
+        self.inner.state.read().mem_weight
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.inner.writer.lock().wal.bytes()
+    }
+
+    /// Current on-disk footprint: live segment files plus the WAL.
+    pub fn disk_bytes(&self) -> u64 {
+        let segments: u64 = {
+            let state = self.inner.state.read();
+            state.segments.iter().map(|s| s.disk_bytes()).sum()
+        };
+        segments + self.wal_bytes()
+    }
+
+    /// Cumulative bytes ever written to disk (WAL records, every
+    /// segment file including compaction rewrites, manifests) — divide
+    /// by the logical data size for write amplification.
+    pub fn written_bytes(&self) -> u64 {
+        self.inner.written.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SegmentStore {
+    fn drop(&mut self) {
+        if let Some((signal, handle)) = self.compactor.take() {
+            drop(signal); // disconnects the channel; the worker exits
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A frozen view of the store: `Arc`'d segment and delta sets.
+/// Implements [`PostingStore`], so `block_max_topk`, `ShardedSearch`,
+/// and the peer runtime's shard service run on it unchanged.
+#[derive(Clone)]
+pub struct SegmentSnapshot {
+    segments: Vec<Arc<Segment>>,
+    deltas: Vec<Arc<MemDelta>>,
+}
+
+impl std::fmt::Debug for SegmentSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentSnapshot")
+            .field("segments", &self.segments.len())
+            .field("deltas", &self.deltas.len())
+            .finish()
+    }
+}
+
+impl SegmentSnapshot {
+    fn sources(&self) -> Vec<&dyn Source> {
+        self.segments
+            .iter()
+            .map(|s| s.as_ref() as &dyn Source)
+            .chain(self.deltas.iter().map(|d| d.as_ref() as &dyn Source))
+            .collect()
+    }
+
+    /// The live postings of one term, doc-ascending, with every
+    /// shadowed or tombstoned posting masked out.
+    pub fn live_postings(&self, term: TermId) -> Vec<RawEntry> {
+        let sources = self.sources();
+        // Newest source wins per (term, doc)…
+        let mut merged: std::collections::BTreeMap<u64, (usize, RawEntry)> = Default::default();
+        for (i, source) in sources.iter().enumerate() {
+            for entry in source.term_entries(term.0) {
+                merged.insert(entry.doc, (i, entry));
+            }
+        }
+        // …and survives only if no newer source redefines its doc
+        // (a source holding a (term, doc) posting always touches doc,
+        // so this is exactly the doc-level shadowing rule).
+        merged
+            .into_values()
+            .filter(|&(i, entry)| {
+                !sources[i + 1..]
+                    .iter()
+                    .any(|newer| newer.touches(entry.doc as u32))
+            })
+            .map(|(_, entry)| entry)
+            .collect()
+    }
+
+    /// Is this document live in the snapshot?
+    pub fn contains_doc(&self, doc: DocId) -> bool {
+        for source in self.sources().into_iter().rev() {
+            if source.live_docs().binary_search(&doc.0).is_ok() {
+                return true;
+            }
+            if source.tombstones().binary_search(&doc.0).is_ok() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Number of live documents.
+    pub fn live_doc_count(&self) -> usize {
+        let sources = self.sources();
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut count = 0usize;
+        for source in sources.into_iter().rev() {
+            for &doc in source.live_docs() {
+                if seen.insert(doc) {
+                    count += 1;
+                }
+            }
+            for &doc in source.tombstones() {
+                seen.insert(doc);
+            }
+        }
+        count
+    }
+
+    /// Number of on-disk segments in view.
+    pub fn segment_len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of memtable deltas in view.
+    pub fn delta_len(&self) -> usize {
+        self.deltas.len()
+    }
+}
+
+fn to_posting(entry: RawEntry) -> Posting {
+    Posting {
+        doc: DocId(u32::try_from(entry.doc).expect("doc keys originate from 32-bit DocIds")),
+        count: entry.count,
+        doc_length: entry.doc_length,
+    }
+}
+
+impl PostingStore for SegmentSnapshot {
+    fn term_count(&self) -> usize {
+        self.sources()
+            .iter()
+            .map(|s| s.term_slots() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn document_frequency(&self, term: TermId) -> usize {
+        self.live_postings(term).len()
+    }
+
+    fn postings(&self, term: TermId) -> Box<dyn Iterator<Item = Posting> + '_> {
+        Box::new(self.live_postings(term).into_iter().map(to_posting))
+    }
+
+    fn posting_bytes(&self) -> usize {
+        let segments: usize = self.segments.iter().map(|s| s.compressed_bytes()).sum();
+        let deltas: usize = self.deltas.iter().map(|d| d.approx_bytes()).sum();
+        segments + deltas
+    }
+
+    /// Like the frozen compressed store, reuses stored block-max skip
+    /// metadata where it is sound: a term whose postings live entirely
+    /// in the newest segment (no deltas, no older copy) cannot be
+    /// shadowed, so its quantity-exact entries pair with the stored
+    /// maxima. Terms touched by newer state fall back to exact maxima
+    /// over the masked merge. Entry values are identical either way,
+    /// so ranking does not depend on which path served a term.
+    fn weighted_block_lists(&self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        terms
+            .iter()
+            .map(|&(term, weight)| {
+                if self.deltas.is_empty() && !self.segments.is_empty() {
+                    let (newest, older) = self.segments.split_last().expect("non-empty");
+                    let only_here = older.iter().all(|s| s.list(term.0).is_none());
+                    if only_here {
+                        if let Some(list) = newest.list(term.0) {
+                            let entries: Vec<(DocId, f64)> = list
+                                .iter()
+                                .map(|e| (DocId(e.doc as u32), e.term_frequency() * weight))
+                                .collect();
+                            let maxes: Vec<f64> =
+                                list.blocks().iter().map(|b| b.max_tf * weight).collect();
+                            return BlockScoredList::from_blocks(entries, SCORING_BLOCK, maxes);
+                        }
+                    }
+                }
+                BlockScoredList::from_doc_ordered(
+                    self.live_postings(term)
+                        .into_iter()
+                        .map(|e| (DocId(e.doc as u32), e.term_frequency() * weight))
+                        .collect(),
+                    SCORING_BLOCK,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,204 @@
+//! Property: under *arbitrary* interleaved insert / delete / flush /
+//! compact schedules, a [`SegmentStore`] snapshot is indistinguishable
+//! from a rebuild-from-scratch oracle — same live documents, same
+//! document frequencies, and **bit-identical** block-max top-k — and
+//! reopening the store from disk preserves all of it.
+//!
+//! The oracle is the plain mutable [`InvertedIndex`] rebuilt from the
+//! current live document set, served through the same
+//! `PostingStore::weighted_block_lists` + `block_max_topk` path the
+//! runtime uses.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use zerber_index::{
+    block_max_topk, DocId, Document, GroupId, InvertedIndex, PostingStore, SegmentPolicy, TermId,
+};
+use zerber_segment::{scratch_dir, SegmentStore};
+
+/// One step of a schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert (or replace) a batch of documents.
+    Insert(Vec<(u32, Vec<(u32, u32)>)>),
+    /// Delete one document id (present or not).
+    Delete(u32),
+    /// Seal the memtable.
+    Flush,
+    /// Run tiered compaction to completion.
+    Compact,
+    /// Compare a top-k query against the oracle.
+    Query(Vec<u32>, usize),
+}
+
+fn arb_doc() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (
+        0u32..60,
+        prop::collection::vec((0u32..25, 1u32..5), 1..6).prop_map(|mut terms| {
+            terms.sort_by_key(|&(t, _)| t);
+            terms.dedup_by_key(|&mut (t, _)| t);
+            terms
+        }),
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest stub's `prop_oneof!` draws uniformly;
+    // repeated arms stand in for weights.
+    prop_oneof![
+        prop::collection::vec(arb_doc(), 1..5).prop_map(Op::Insert),
+        prop::collection::vec(arb_doc(), 1..5).prop_map(Op::Insert),
+        prop::collection::vec(arb_doc(), 1..5).prop_map(Op::Insert),
+        (0u32..60).prop_map(Op::Delete),
+        (0u32..60).prop_map(Op::Delete),
+        Just(Op::Flush),
+        Just(Op::Compact),
+        (prop::collection::vec(0u32..30, 1..4), 1usize..8)
+            .prop_map(|(terms, k)| Op::Query(terms, k)),
+        (prop::collection::vec(0u32..30, 1..4), 1usize..8)
+            .prop_map(|(terms, k)| Op::Query(terms, k)),
+    ]
+}
+
+fn materialize(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+/// The oracle's document frequency: live documents containing the
+/// term.
+fn oracle_df(live: &BTreeMap<u32, Document>, term: u32) -> usize {
+    live.values()
+        .filter(|d| d.terms.iter().any(|&(t, _)| t == TermId(term)))
+        .count()
+}
+
+/// The rebuilt oracle's ranked answer.
+fn oracle_topk(live: &BTreeMap<u32, Document>, terms: &[u32], k: usize) -> Vec<(DocId, u64)> {
+    let docs: Vec<Document> = live.values().cloned().collect();
+    let index = InvertedIndex::from_documents(&docs);
+    let weights: Vec<(TermId, f64)> = terms
+        .iter()
+        .map(|&t| {
+            (
+                TermId(t),
+                zerber_index::idf(live.len(), index.document_frequency(TermId(t))),
+            )
+        })
+        .collect();
+    let lists = index.weighted_block_lists(&weights);
+    block_max_topk(&lists, k)
+        .into_iter()
+        .map(|r| (r.doc, r.score.to_bits()))
+        .collect()
+}
+
+/// The store's ranked answer through the same query machinery, with
+/// IDF weights from the *oracle's* statistics (both sides must agree
+/// on df for the comparison to be meaningful — and they do, which
+/// `document_frequency` asserts separately).
+fn store_topk(
+    snapshot: &zerber_segment::SegmentSnapshot,
+    live: &BTreeMap<u32, Document>,
+    terms: &[u32],
+    k: usize,
+) -> Vec<(DocId, u64)> {
+    let weights: Vec<(TermId, f64)> = terms
+        .iter()
+        .map(|&t| {
+            (
+                TermId(t),
+                zerber_index::idf(live.len(), snapshot.document_frequency(TermId(t))),
+            )
+        })
+        .collect();
+    let lists = snapshot.weighted_block_lists(&weights);
+    block_max_topk(&lists, k)
+        .into_iter()
+        .map(|r| (r.doc, r.score.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn interleaved_schedules_match_the_rebuild_oracle(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        flush_postings in 4usize..40,
+        max_segments in 1usize..4,
+    ) {
+        let dir = scratch_dir("props");
+        let policy = SegmentPolicy {
+            flush_postings,
+            max_segments,
+            background: false, // deterministic compaction points
+            sync_wal: false,
+        };
+        let store = SegmentStore::open(&dir, policy).expect("open");
+        let mut live: BTreeMap<u32, Document> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(batch) => {
+                    let docs: Vec<Document> =
+                        batch.iter().map(|(id, t)| materialize(*id, t)).collect();
+                    store.insert(&docs).expect("insert");
+                    for doc in docs {
+                        live.insert(doc.id.0, doc);
+                    }
+                }
+                Op::Delete(id) => {
+                    let existed = store.delete(DocId(*id)).expect("delete");
+                    prop_assert_eq!(existed, live.remove(id).is_some());
+                }
+                Op::Flush => store.flush().expect("flush"),
+                Op::Compact => store.compact().expect("compact"),
+                Op::Query(terms, k) => {
+                    let snapshot = store.snapshot();
+                    for &t in terms {
+                        prop_assert_eq!(
+                            snapshot.document_frequency(TermId(t)),
+                            oracle_df(&live, t),
+                            "df of term {}", t
+                        );
+                    }
+                    prop_assert_eq!(
+                        store_topk(&snapshot, &live, terms, *k),
+                        oracle_topk(&live, terms, *k)
+                    );
+                }
+            }
+        }
+
+        // Bounded segment count: the tiered policy held after every
+        // explicit compaction; run one more and check the bound.
+        store.compact().expect("compact");
+        prop_assert!(store.segment_count() <= max_segments.max(1));
+        prop_assert_eq!(store.snapshot().live_doc_count(), live.len());
+
+        // Durability: reopen from disk and re-verify everything.
+        drop(store);
+        let reopened = SegmentStore::open(&dir, policy).expect("reopen");
+        let snapshot = reopened.snapshot();
+        prop_assert_eq!(snapshot.live_doc_count(), live.len());
+        for term in 0..30u32 {
+            prop_assert_eq!(
+                snapshot.document_frequency(TermId(term)),
+                oracle_df(&live, term),
+                "df after reopen, term {}", term
+            );
+        }
+        let probe: Vec<u32> = (0..6).collect();
+        prop_assert_eq!(
+            store_topk(&snapshot, &live, &probe, 5),
+            oracle_topk(&live, &probe, 5)
+        );
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

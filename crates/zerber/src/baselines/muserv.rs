@@ -70,6 +70,31 @@ impl MuServIndex {
         self.sites.entry(host).or_default().insert(doc);
     }
 
+    /// Indexes a batch of documents: per-site grouping, one Bloom
+    /// insert pass, and a bulk merge into each site's index
+    /// (`CentralIndex::insert_batch`) — the non-quadratic construction
+    /// path for corpus-scale deployments.
+    pub fn insert_batch(&mut self, docs: &[Document]) {
+        let mut per_site: HashMap<u16, Vec<Document>> = HashMap::new();
+        for doc in docs {
+            per_site.entry(doc.id.host()).or_default().push(doc.clone());
+        }
+        for (host, site_docs) in per_site {
+            let filter = self.filters.entry(host).or_insert_with(|| {
+                BloomFilter::with_false_positive_rate(
+                    self.expected_terms_per_site,
+                    self.false_positive_rate,
+                )
+            });
+            for doc in &site_docs {
+                for &(term, _) in &doc.terms {
+                    filter.insert(&term.0.to_le_bytes());
+                }
+            }
+            self.sites.entry(host).or_default().insert_batch(&site_docs);
+        }
+    }
+
     /// Grants a membership at every site.
     pub fn add_user_to_group(&mut self, user: UserId, group: GroupId) {
         for site in self.sites.values_mut() {
@@ -184,6 +209,36 @@ mod tests {
         let outcome = muserv.query(UserId(1), &[TermId(999_999)], 10);
         assert!(outcome.ranked.is_empty());
         assert_eq!(outcome.sites_with_hits, 0);
+    }
+
+    #[test]
+    fn batch_build_matches_per_doc_inserts() {
+        let docs: Vec<Document> = (0..50u32)
+            .map(|i| doc((i % 5) as u16, i, &[1000 + i % 12, 2000]))
+            .collect();
+        let mut batched = MuServIndex::new(100, 0.01);
+        batched.insert_batch(&docs);
+        let mut looped = MuServIndex::new(100, 0.01);
+        for d in &docs {
+            looped.insert(d);
+        }
+        batched.add_user_to_group(UserId(1), GroupId(0));
+        looped.add_user_to_group(UserId(1), GroupId(0));
+        assert_eq!(batched.site_count(), looped.site_count());
+        for term in [1000u32, 1005, 2000, 9999] {
+            // Identical Bloom state (same per-site insert sequence per
+            // filter) and identical indexes ⇒ identical answers.
+            assert_eq!(
+                batched.candidate_sites(&[TermId(term)]),
+                looped.candidate_sites(&[TermId(term)]),
+                "candidates for {term}"
+            );
+            assert_eq!(
+                batched.query(UserId(1), &[TermId(term)], 30).ranked,
+                looped.query(UserId(1), &[TermId(term)], 30).ranked,
+                "ranked for {term}"
+            );
+        }
     }
 
     #[test]

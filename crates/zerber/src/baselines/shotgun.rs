@@ -44,6 +44,22 @@ impl ShotgunSearch {
         self.sites.entry(doc.id.host()).or_default().insert(doc);
     }
 
+    /// Indexes a batch of documents, grouped per hosting site and
+    /// bulk-merged into each site's index
+    /// (`CentralIndex::insert_batch`). Use this for deployment
+    /// construction: the per-document `insert` path pays
+    /// `PostingList::upsert`'s shift-per-posting cost, which is
+    /// quadratic over a corpus-sized loop.
+    pub fn insert_batch(&mut self, docs: &[Document]) {
+        let mut per_site: HashMap<u16, Vec<Document>> = HashMap::new();
+        for doc in docs {
+            per_site.entry(doc.id.host()).or_default().push(doc.clone());
+        }
+        for (host, site_docs) in per_site {
+            self.sites.entry(host).or_default().insert_batch(&site_docs);
+        }
+    }
+
     /// Removes a document from its hosting site.
     pub fn remove(&mut self, doc: zerber_index::DocId) -> bool {
         self.sites
@@ -141,6 +157,31 @@ mod tests {
         let outcome = shotgun.query(UserId(1), &[TermId(10)], 10);
         assert_eq!(outcome.ranked.len(), 2);
         assert_eq!(outcome.sites_with_hits, 2);
+    }
+
+    #[test]
+    fn batch_build_matches_per_doc_inserts() {
+        let docs: Vec<Document> = (0..60u32)
+            .map(|i| doc((i % 4) as u16, i, i % 3, &[(i % 9, 1 + i % 2), (50, 1)]))
+            .collect();
+        let mut batched = ShotgunSearch::new();
+        batched.insert_batch(&docs);
+        let mut looped = ShotgunSearch::new();
+        for d in &docs {
+            looped.insert(d);
+        }
+        for search in [&mut batched, &mut looped] {
+            search.add_user_to_group(UserId(1), GroupId(0));
+            search.add_user_to_group(UserId(1), GroupId(1));
+            search.add_user_to_group(UserId(1), GroupId(2));
+        }
+        assert_eq!(batched.site_count(), looped.site_count());
+        for term in [0u32, 5, 50, 99] {
+            let a = batched.query(UserId(1), &[TermId(term)], 20);
+            let b = looped.query(UserId(1), &[TermId(term)], 20);
+            assert_eq!(a.ranked, b.ranked, "term {term}");
+            assert_eq!(a.sites_with_hits, b.sites_with_hits);
+        }
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum ConfigError {
         /// The minimum ring width (`servers`).
         need: usize,
     },
+    /// The segmented posting backend's policy is degenerate (a zero
+    /// flush threshold or segment bound would wedge the engine).
+    InvalidSegmentPolicy {
+        /// Which knob is broken.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -48,6 +54,9 @@ impl std::fmt::Display for ConfigError {
                 "peer ring has {peers} peers but share placement needs at least n = {need} \
                  distinct peers (which also covers the k-quorum)"
             ),
+            ConfigError::InvalidSegmentPolicy { reason } => {
+                write!(f, "segmented posting backend misconfigured: {reason}")
+            }
         }
     }
 }
@@ -55,7 +64,10 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Everything needed to bootstrap a Zerber deployment.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Clone` but not `Copy` since the segmented posting backend carries
+/// its storage directory.
+#[derive(Debug, Clone)]
 pub struct ZerberConfig {
     /// Number of index servers `n`.
     pub servers: usize,
@@ -127,9 +139,11 @@ impl ZerberConfig {
     }
 
     /// Checks the structural invariants: `1 ≤ threshold ≤ servers ≤
-    /// peers`. Called by `ZerberSystem::bootstrap` and the peer
-    /// runtime so a mis-sized ring fails fast with a typed error
-    /// instead of panicking deep in placement.
+    /// peers`, and a sane segmented-storage policy when that backend
+    /// is selected. Called by `ZerberSystem::bootstrap` and the peer
+    /// runtime so a misconfiguration fails fast with a typed error
+    /// instead of panicking deep in placement or wedging the storage
+    /// engine.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.threshold == 0 {
             return Err(ConfigError::ThresholdZero);
@@ -145,6 +159,23 @@ impl ZerberConfig {
                 peers: self.peers,
                 need: self.servers,
             });
+        }
+        if let PostingBackend::Segmented { dir, compaction } = &self.postings {
+            if dir.as_os_str().is_empty() {
+                return Err(ConfigError::InvalidSegmentPolicy {
+                    reason: "storage directory is empty",
+                });
+            }
+            if compaction.flush_postings == 0 {
+                return Err(ConfigError::InvalidSegmentPolicy {
+                    reason: "flush_postings must be at least 1",
+                });
+            }
+            if compaction.max_segments == 0 {
+                return Err(ConfigError::InvalidSegmentPolicy {
+                    reason: "max_segments must be at least 1",
+                });
+            }
         }
         Ok(())
     }
@@ -169,11 +200,36 @@ impl ZerberConfig {
 
     /// Builds the configured posting store from a plaintext index
     /// snapshot (see [`zerber_index::PostingStore`]).
+    ///
+    /// For the segmented backend this opens (or creates) the durable
+    /// store at the configured directory, bulk-loads the index's
+    /// documents, seals and compacts, and returns a snapshot —
+    /// re-opening an existing directory upserts on top of whatever it
+    /// already holds, matching re-insertion semantics. Multi-shard
+    /// deployments derive one subdirectory per shard (see
+    /// `runtime::ShardedSearch`) so stores never collide.
+    ///
+    /// # Panics
+    /// Panics if the segmented store cannot be opened or written (the
+    /// mutable ingest path returns typed errors instead; a frozen
+    /// snapshot build has no caller able to recover).
     pub fn posting_store(
         &self,
         index: &zerber_index::InvertedIndex,
     ) -> Box<dyn zerber_index::PostingStore> {
-        zerber_postings::build_store(self.postings, index)
+        match &self.postings {
+            PostingBackend::Segmented { dir, compaction } => {
+                let store = zerber_segment::SegmentStore::open(dir.clone(), *compaction)
+                    .expect("segmented posting store opens");
+                store
+                    .insert(&index.export_documents())
+                    .expect("bulk load fits the store");
+                store.flush().expect("flush succeeds");
+                store.compact().expect("compaction succeeds");
+                Box::new(store.snapshot())
+            }
+            backend => zerber_postings::build_store(backend, index),
+        }
     }
 }
 
@@ -243,6 +299,85 @@ mod tests {
                 servers: 3
             })
         );
+    }
+
+    #[test]
+    fn segmented_policy_is_validated() {
+        use zerber_index::SegmentPolicy;
+        let good = ZerberConfig::default().with_postings(PostingBackend::Segmented {
+            dir: std::path::PathBuf::from("/tmp/zerber-validate-never-created"),
+            compaction: SegmentPolicy::default(),
+        });
+        assert_eq!(good.validate(), Ok(()));
+        for (policy, what) in [
+            (
+                SegmentPolicy {
+                    flush_postings: 0,
+                    ..SegmentPolicy::default()
+                },
+                "flush",
+            ),
+            (
+                SegmentPolicy {
+                    max_segments: 0,
+                    ..SegmentPolicy::default()
+                },
+                "segments",
+            ),
+        ] {
+            let bad = ZerberConfig::default().with_postings(PostingBackend::Segmented {
+                dir: std::path::PathBuf::from("/tmp/zerber-validate-never-created"),
+                compaction: policy,
+            });
+            assert!(
+                matches!(
+                    bad.validate(),
+                    Err(ConfigError::InvalidSegmentPolicy { .. })
+                ),
+                "{what}"
+            );
+        }
+        let empty_dir = ZerberConfig::default().with_postings(PostingBackend::Segmented {
+            dir: std::path::PathBuf::new(),
+            compaction: SegmentPolicy::default(),
+        });
+        assert!(matches!(
+            empty_dir.validate(),
+            Err(ConfigError::InvalidSegmentPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn segmented_posting_store_serves_the_same_postings() {
+        use zerber_index::{DocId, Document, GroupId, InvertedIndex, SegmentPolicy, TermId};
+        let docs: Vec<Document> = (0..120u32)
+            .map(|d| {
+                Document::from_term_counts(
+                    DocId(d),
+                    GroupId(0),
+                    (0..4).map(|t| (TermId((d + t) % 15), 1 + t)).collect(),
+                )
+            })
+            .collect();
+        let index = InvertedIndex::from_documents(&docs);
+        let dir = zerber_segment::scratch_dir("config-posting-store");
+        let segmented = ZerberConfig::default()
+            .with_postings(PostingBackend::Segmented {
+                dir: dir.clone(),
+                compaction: SegmentPolicy {
+                    background: false,
+                    ..SegmentPolicy::default()
+                },
+            })
+            .posting_store(&index);
+        let raw = ZerberConfig::default().posting_store(&index);
+        assert_eq!(segmented.total_postings(), raw.total_postings());
+        for term in 0..15u32 {
+            let a: Vec<_> = segmented.postings(TermId(term)).collect();
+            let b: Vec<_> = raw.postings(TermId(term)).collect();
+            assert_eq!(a, b, "term {term}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

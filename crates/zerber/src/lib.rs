@@ -73,6 +73,6 @@ pub mod runtime;
 pub mod system;
 
 pub use config::{ConfigError, ZerberConfig};
-pub use runtime::{RuntimeHandle, ShardedSearch};
+pub use runtime::{IngestError, RuntimeHandle, ShardedSearch};
 pub use system::{SystemError, ZerberSystem};
-pub use zerber_index::PostingBackend;
+pub use zerber_index::{PostingBackend, SegmentPolicy};

@@ -42,18 +42,22 @@
 pub mod gather;
 pub mod handle;
 pub mod peer;
+pub mod shard;
 pub mod transport;
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use zerber_dht::ShardMap;
-use zerber_index::{Document, InvertedIndex, RankedDoc, TermId};
-use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 
 pub use gather::{gather_topk, GatherOutcome};
 pub use handle::RuntimeHandle;
 pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
+pub use shard::{build_shard_store, ShardStore, ShardStoreError};
 pub use transport::{InProcTransport, Transport, TransportError};
 
 use crate::config::{ConfigError, ZerberConfig};
@@ -95,6 +99,31 @@ impl TermStats {
     /// Per-term `(term, idf)` weights for a query, in query order.
     pub fn weights(&self, terms: &[TermId]) -> Vec<(TermId, f64)> {
         terms.iter().map(|&t| (t, self.idf(t))).collect()
+    }
+
+    /// Accounts one newly indexed document (its distinct terms).
+    /// Exact-integer df/doc-count updates keep incrementally
+    /// maintained statistics *identical* to a from-scratch rebuild —
+    /// the invariant that keeps live-mutated deployments bit-identical
+    /// to the oracle.
+    pub fn add_document(&mut self, terms: impl IntoIterator<Item = TermId>) {
+        self.doc_count += 1;
+        for term in terms {
+            *self.df.entry(term).or_insert(0) += 1;
+        }
+    }
+
+    /// Reverses [`TermStats::add_document`] for a removed document.
+    pub fn remove_document(&mut self, terms: impl IntoIterator<Item = TermId>) {
+        self.doc_count = self.doc_count.saturating_sub(1);
+        for term in terms {
+            if let Some(df) = self.df.get_mut(&term) {
+                *df -= 1;
+                if *df == 0 {
+                    self.df.remove(&term);
+                }
+            }
+        }
     }
 }
 
@@ -162,7 +191,67 @@ pub struct ShardedQueryOutcome {
 pub struct ShardedSearch {
     runtime: PeerRuntime,
     peer_nodes: Vec<NodeId>,
+    map: ShardMap,
+    /// Global statistics plus the per-document term registry that
+    /// keeps them incrementally exact under inserts and deletes.
+    stats: RwLock<StatsState>,
+}
+
+struct StatsState {
     stats: TermStats,
+    doc_terms: HashMap<DocId, Vec<TermId>>,
+}
+
+/// Why a live mutation did not land.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The transport failed (peer gone, wire damage).
+    Transport(TransportError),
+    /// The shard peer refused the mutation — `code` is the
+    /// `zerber_net::message::fault` discriminant (frozen shard,
+    /// storage failure, malformed document).
+    Rejected {
+        /// Fault code from the peer.
+        code: u8,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Transport(e) => write!(f, "ingest transport failure: {e}"),
+            IngestError::Rejected { code } => write!(f, "shard rejected mutation (fault {code})"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<TransportError> for IngestError {
+    fn from(e: TransportError) -> Self {
+        IngestError::Transport(e)
+    }
+}
+
+/// The backend one shard peer should build: the segmented backend
+/// gets a per-shard subdirectory so stores never collide on disk.
+fn shard_backend(backend: &PostingBackend, peer: usize) -> PostingBackend {
+    match backend {
+        PostingBackend::Segmented { dir, compaction } => PostingBackend::Segmented {
+            dir: dir.join(format!("shard-{peer:03}")),
+            compaction: *compaction,
+        },
+        other => other.clone(),
+    }
+}
+
+fn to_wire(doc: &Document) -> WireDocument {
+    WireDocument {
+        doc: doc.id,
+        group: doc.group,
+        length: doc.length,
+        terms: doc.terms.clone(),
+    }
 }
 
 impl ShardedSearch {
@@ -174,7 +263,15 @@ impl ShardedSearch {
     /// is the legitimate scaling baseline. (Share-placement rings are
     /// validated by [`ZerberConfig::validate`] at
     /// `ZerberSystem::bootstrap`.) Like the share path, this engine
-    /// honors `config.postings` for the per-shard store backend.
+    /// honors `config.postings` for the per-shard store backend; with
+    /// [`PostingBackend::Segmented`], each peer owns a durable store
+    /// in a `shard-<i>` subdirectory and the deployment supports live
+    /// [`ShardedSearch::insert_documents`] /
+    /// [`ShardedSearch::delete_document`] traffic. The segmented
+    /// directories must be *fresh*: global statistics are computed
+    /// from `docs`, so a shard peer panics rather than silently merge
+    /// previously recovered state (reopen such stores with
+    /// `zerber_segment::SegmentStore` directly).
     pub fn launch(config: &ZerberConfig, docs: &[Document]) -> Result<Self, ConfigError> {
         if config.peers == 0 {
             return Err(ConfigError::NoPeers);
@@ -182,24 +279,29 @@ impl ShardedSearch {
         let map = ShardMap::new(config.peers as u32);
         let shards = map.partition(docs, |doc| doc.id);
         let stats = TermStats::from_documents(docs);
+        let doc_terms: HashMap<DocId, Vec<TermId>> = docs
+            .iter()
+            .map(|doc| (doc.id, doc.terms.iter().map(|&(t, _)| t).collect()))
+            .collect();
 
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let mut peer_nodes = Vec::with_capacity(shards.len());
         for (peer, shard) in shards.into_iter().enumerate() {
             let node = NodeId::IndexServer(peer as u32);
-            let shard_config = *config;
-            // The initializer runs on the peer's thread: shard indexes
-            // build in parallel across all peers.
+            let backend = shard_backend(&config.postings, peer);
+            // The initializer runs on the peer's thread: shard stores
+            // build (index, compress, or seed the durable engine) in
+            // parallel across all peers.
             runtime.spawn_peer(node, move || {
-                let index = InvertedIndex::from_documents(&shard);
-                ShardService::new(shard_config.posting_store(&index))
+                ShardService::new(build_shard_store(&backend, &shard))
             });
             peer_nodes.push(node);
         }
         Ok(Self {
             runtime,
             peer_nodes,
-            stats,
+            map,
+            stats: RwLock::new(StatsState { stats, doc_terms }),
         })
     }
 
@@ -208,14 +310,97 @@ impl ShardedSearch {
         self.peer_nodes.len()
     }
 
-    /// Global collection statistics (the IDF source).
-    pub fn stats(&self) -> &TermStats {
-        &self.stats
+    /// A copy of the current global collection statistics (the IDF
+    /// source).
+    pub fn stats(&self) -> TermStats {
+        self.stats.read().stats.clone()
+    }
+
+    /// Number of live documents across all shards.
+    pub fn document_count(&self) -> usize {
+        self.stats.read().stats.doc_count
     }
 
     /// The per-link wire-byte accounting for this deployment.
     pub fn traffic(&self) -> &Arc<TrafficMeter> {
         self.runtime.transport().meter()
+    }
+
+    /// Inserts (or replaces) documents live, as owner node `owner`:
+    /// each document is routed to the shard peer the consistent-hash
+    /// ring assigns it, and the global statistics are updated exactly
+    /// once the shards acknowledge. Returns the number of documents
+    /// shipped.
+    ///
+    /// Concurrent queries keep running against whichever side of the
+    /// mutation they catch — a query observes either the old or the
+    /// new state of each document, never a torn one.
+    pub fn insert_documents(&self, owner: u32, docs: &[Document]) -> Result<usize, IngestError> {
+        if docs.is_empty() {
+            return Ok(0);
+        }
+        // Group per owning peer, preserving arrival order within each
+        // group (later copies of a doc id must win).
+        let mut per_peer: HashMap<u32, Vec<&Document>> = HashMap::new();
+        for doc in docs {
+            per_peer
+                .entry(self.map.shard_of(doc.id).0)
+                .or_default()
+                .push(doc);
+        }
+        for (peer, group) in per_peer {
+            let request = Message::IndexDocs {
+                docs: group.iter().map(|doc| to_wire(doc)).collect(),
+            };
+            let response = self.runtime.transport().request(
+                NodeId::Owner(owner),
+                NodeId::IndexServer(peer),
+                AuthToken(0),
+                &request,
+            )?;
+            match response {
+                Message::InsertOk => {}
+                Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
+                other => panic!("protocol violation: unexpected response {other:?}"),
+            }
+            // Account this peer's documents the moment it acknowledges:
+            // if a later peer fails, the statistics still describe
+            // exactly the documents that actually landed.
+            let mut state = self.stats.write();
+            for doc in &group {
+                let terms: Vec<TermId> = doc.terms.iter().map(|&(t, _)| t).collect();
+                if let Some(old) = state.doc_terms.insert(doc.id, terms.clone()) {
+                    state.stats.remove_document(old);
+                }
+                state.stats.add_document(terms);
+            }
+        }
+        Ok(docs.len())
+    }
+
+    /// Deletes one document live (routed like
+    /// [`ShardedSearch::insert_documents`]). Returns whether the
+    /// document existed.
+    pub fn delete_document(&self, owner: u32, doc: DocId) -> Result<bool, IngestError> {
+        let peer = self.map.shard_of(doc).0;
+        let response = self.runtime.transport().request(
+            NodeId::Owner(owner),
+            NodeId::IndexServer(peer),
+            AuthToken(0),
+            &Message::RemoveDoc { doc },
+        )?;
+        let removed = match response {
+            Message::DeleteOk { removed } => removed > 0,
+            Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
+            other => panic!("protocol violation: unexpected response {other:?}"),
+        };
+        if removed {
+            let mut state = self.stats.write();
+            if let Some(old) = state.doc_terms.remove(&doc) {
+                state.stats.remove_document(old);
+            }
+        }
+        Ok(removed)
     }
 
     /// Executes a top-`k` query as anonymous client 0.
@@ -232,7 +417,7 @@ impl ShardedSearch {
         k: usize,
     ) -> Result<ShardedQueryOutcome, TransportError> {
         let request = Message::TopKQuery {
-            terms: self.stats.weights(terms),
+            terms: self.stats.read().stats.weights(terms),
             // Saturate rather than truncate: document ids are 32-bit,
             // so no shard can hold more than u32::MAX results anyway.
             k: u32::try_from(k).unwrap_or(u32::MAX),
@@ -322,7 +507,7 @@ mod tests {
     fn compressed_backend_serves_identically() {
         let docs = corpus(200, 9);
         let raw = ZerberConfig::default().with_peers(4);
-        let compressed = raw.with_postings(zerber_index::PostingBackend::Compressed);
+        let compressed = raw.clone().with_postings(PostingBackend::Compressed);
         let a = ShardedSearch::launch(&raw, &docs).unwrap();
         let b = ShardedSearch::launch(&compressed, &docs).unwrap();
         let terms = [TermId(2), TermId(5)];
@@ -364,6 +549,93 @@ mod tests {
         assert!(search.query(&[], 5).unwrap().ranked.is_empty());
         assert!(search.query(&[TermId(999)], 5).unwrap().ranked.is_empty());
         assert!(search.query(&[TermId(1)], 0).unwrap().ranked.is_empty());
+    }
+
+    #[test]
+    fn live_mutation_tracks_the_rebuild_oracle_on_every_backend() {
+        let initial = corpus(90, 13);
+        let dir = zerber_segment::scratch_dir("sharded-mutation-unit");
+        let backends = vec![
+            PostingBackend::Raw,
+            PostingBackend::Compressed,
+            PostingBackend::Segmented {
+                dir: dir.clone(),
+                compaction: zerber_index::SegmentPolicy {
+                    flush_postings: 32,
+                    max_segments: 2,
+                    background: true,
+                    sync_wal: false,
+                },
+            },
+        ];
+        for backend in backends {
+            let config = ZerberConfig::default().with_peers(3).with_postings(backend);
+            let search = ShardedSearch::launch(&config, &initial).unwrap();
+            let mut live = initial.clone();
+            // Replace one doc (dropping terms), delete one, add one.
+            let replacement =
+                Document::from_term_counts(DocId(4), GroupId(0), vec![(TermId(12), 2)]);
+            let addition = Document::from_term_counts(DocId(500), GroupId(0), vec![(TermId(0), 1)]);
+            search
+                .insert_documents(0, std::slice::from_ref(&replacement))
+                .unwrap();
+            assert!(search.delete_document(0, DocId(7)).unwrap());
+            assert!(!search.delete_document(0, DocId(7777)).unwrap());
+            search
+                .insert_documents(0, std::slice::from_ref(&addition))
+                .unwrap();
+            live.retain(|d| d.id != DocId(4) && d.id != DocId(7));
+            live.push(replacement.clone());
+            live.push(addition.clone());
+
+            let raw_reference = ZerberConfig::default();
+            for terms in [vec![TermId(0)], vec![TermId(12), TermId(3)]] {
+                let outcome = search.query(&terms, 10).unwrap();
+                let expected = local_topk(&raw_reference, &live, &terms, 10);
+                assert_eq!(outcome.ranked.len(), expected.len());
+                for (got, want) in outcome.ranked.iter().zip(&expected) {
+                    assert_eq!(got.doc, want.doc);
+                    assert_eq!(got.score.to_bits(), want.score.to_bits());
+                }
+            }
+            assert_eq!(search.document_count(), live.len());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frozen_rejection_surfaces_as_ingest_error() {
+        // A deployment whose shards were bulk-built frozen takes no
+        // writes; the typed rejection must reach the caller.
+        let docs = corpus(20, 4);
+        let config = ZerberConfig::default().with_peers(2);
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let map = ShardMap::new(2);
+        let shards = map.partition(&docs, |doc| doc.id);
+        let mut peer_nodes = Vec::new();
+        for (peer, shard) in shards.into_iter().enumerate() {
+            let node = NodeId::IndexServer(peer as u32);
+            let frozen_config = config.clone();
+            runtime.spawn_peer(node, move || {
+                let index = InvertedIndex::from_documents(&shard);
+                ShardService::frozen(frozen_config.posting_store(&index))
+            });
+            peer_nodes.push(node);
+        }
+        let search = ShardedSearch {
+            runtime,
+            peer_nodes,
+            map,
+            stats: RwLock::new(StatsState {
+                stats: TermStats::from_documents(&docs),
+                doc_terms: HashMap::new(),
+            }),
+        };
+        let doc = Document::from_term_counts(DocId(900), GroupId(0), vec![(TermId(1), 1)]);
+        assert!(matches!(
+            search.insert_documents(0, &[doc]),
+            Err(IngestError::Rejected { .. })
+        ));
     }
 
     #[test]

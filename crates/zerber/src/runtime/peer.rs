@@ -23,11 +23,12 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
-use zerber_index::{block_max_topk, GroupId, PostingStore};
+use zerber_index::{block_max_topk, Document, GroupId, PostingStore};
 use zerber_net::message::fault;
-use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 use zerber_server::{IndexServer, ServerError};
 
+use crate::runtime::shard::{FrozenShard, ShardStore, ShardStoreError};
 use crate::runtime::transport::{InProcTransport, PeerInbox};
 
 /// One peer's request handler. `handle` runs on the peer's own thread;
@@ -89,11 +90,16 @@ impl PeerService for ServerService {
     }
 }
 
-/// One document shard of a plaintext collection, served ranked.
+/// One document shard of a plaintext collection: ranked reads plus
+/// the live write stream.
 ///
-/// Scored lists come from
-/// [`PostingStore::weighted_block_lists`], so the compressed backend
-/// serves straight from its stored block-max skip metadata.
+/// Scored lists come from the shard store's
+/// [`PostingStore::weighted_block_lists`]-shaped read path, so the
+/// compressed and segmented backends serve straight from their stored
+/// block-max skip metadata. [`Message::IndexDocs`] and
+/// [`Message::RemoveDoc`] mutate the shard; a frozen shard answers
+/// them with an `UNSUPPORTED` fault, a durable shard that fails to
+/// persist answers `STORAGE`.
 ///
 /// # No access control
 ///
@@ -104,18 +110,53 @@ impl PeerService for ServerService {
 /// out of scope and scale is the subject. Do not put
 /// access-controlled collections behind it.
 pub struct ShardService {
-    store: Box<dyn PostingStore>,
+    shard: Box<dyn ShardStore>,
+}
+
+/// Validates and converts one wire document. Wire input is untrusted:
+/// unsorted or duplicate terms would violate `Document`'s invariant
+/// (and panic deep in the index), so they bounce as `MALFORMED`.
+fn decode_document(wire: WireDocument) -> Option<Document> {
+    if !wire.terms.windows(2).all(|w| w[0].0 < w[1].0) {
+        return None;
+    }
+    Some(Document {
+        id: wire.doc,
+        group: wire.group,
+        terms: wire.terms,
+        length: wire.length,
+    })
+}
+
+fn shard_fault(error: ShardStoreError) -> Message {
+    Message::Fault {
+        code: match error {
+            ShardStoreError::Frozen => fault::UNSUPPORTED,
+            ShardStoreError::Storage(_) => fault::STORAGE,
+        },
+        group: GroupId(0),
+    }
 }
 
 impl ShardService {
-    /// Serves a frozen posting store (any backend).
-    pub fn new(store: Box<dyn PostingStore>) -> Self {
-        Self { store }
+    /// Serves a shard store (mutable or frozen).
+    pub fn new(shard: Box<dyn ShardStore>) -> Self {
+        Self { shard }
+    }
+
+    /// Serves a frozen posting store (any backend) read-only — the
+    /// pre-ingest constructor, kept for bulk-built deployments.
+    pub fn frozen(store: Box<dyn PostingStore>) -> Self {
+        Self::new(Box::new(FrozenShard::new(store)))
     }
 }
 
 impl PeerService for ShardService {
     fn handle(&mut self, _from: NodeId, _auth: AuthToken, request: Message) -> Message {
+        let malformed = Message::Fault {
+            code: fault::MALFORMED,
+            group: GroupId(0),
+        };
         match request {
             Message::TopKQuery { terms, k } => {
                 // Wire input is untrusted (the transport is designed
@@ -128,17 +169,33 @@ impl PeerService for ShardService {
                     .iter()
                     .any(|&(_, weight)| !weight.is_finite() || weight < 0.0)
                 {
-                    return Message::Fault {
-                        code: fault::MALFORMED,
-                        group: GroupId(0),
-                    };
+                    return malformed;
                 }
-                let lists = self.store.weighted_block_lists(&terms);
+                let lists = self.shard.weighted_block_lists(&terms);
                 let ranked = block_max_topk(&lists, k as usize);
                 Message::TopKResponse {
                     candidates: ranked.into_iter().map(|r| (r.doc, r.score)).collect(),
                 }
             }
+            Message::IndexDocs { docs } => {
+                let mut decoded = Vec::with_capacity(docs.len());
+                for wire in docs {
+                    match decode_document(wire) {
+                        Some(doc) => decoded.push(doc),
+                        None => return malformed,
+                    }
+                }
+                match self.shard.insert_documents(&decoded) {
+                    Ok(_) => Message::InsertOk,
+                    Err(e) => shard_fault(e),
+                }
+            }
+            Message::RemoveDoc { doc } => match self.shard.delete_document(doc) {
+                Ok(removed) => Message::DeleteOk {
+                    removed: u64::from(removed),
+                },
+                Err(e) => shard_fault(e),
+            },
             _ => Message::Fault {
                 code: fault::UNSUPPORTED,
                 group: GroupId(0),
@@ -288,7 +345,7 @@ mod tests {
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || {
-            ShardService::new(Box::new(RawPostingStore::from_index(&index)))
+            ShardService::frozen(Box::new(RawPostingStore::from_index(&index)))
         });
 
         let query = Message::TopKQuery {
@@ -317,7 +374,7 @@ mod tests {
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || {
-            ShardService::new(Box::new(RawPostingStore::from_index(&index)))
+            ShardService::frozen(Box::new(RawPostingStore::from_index(&index)))
         });
         for weight in [f64::NAN, f64::INFINITY, -1.0] {
             let query = Message::TopKQuery {
@@ -353,7 +410,7 @@ mod tests {
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, || {
-            ShardService::new(Box::new(RawPostingStore::default()))
+            ShardService::frozen(Box::new(RawPostingStore::default()))
         });
         match runtime
             .transport()
@@ -361,6 +418,107 @@ mod tests {
             .unwrap()
         {
             Message::Fault { code, .. } => assert_eq!(code, fault::UNSUPPORTED),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_shards_fault_on_mutation_frames() {
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || {
+            ShardService::frozen(Box::new(RawPostingStore::default()))
+        });
+        let insert = Message::IndexDocs {
+            docs: vec![zerber_net::WireDocument {
+                doc: DocId(1),
+                group: GroupId(0),
+                length: 1,
+                terms: vec![(TermId(0), 1)],
+            }],
+        };
+        for request in [insert, Message::RemoveDoc { doc: DocId(1) }] {
+            match runtime
+                .transport()
+                .request(NodeId::Owner(0), node, AuthToken(0), &request)
+                .unwrap()
+            {
+                Message::Fault { code, .. } => assert_eq!(code, fault::UNSUPPORTED),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mutable_shard_takes_inserts_and_deletes_over_the_wire() {
+        use crate::runtime::shard::LiveIndexShard;
+        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || {
+            ShardService::new(Box::new(LiveIndexShard::raw(&[])))
+        });
+        let transport = runtime.transport().clone();
+        let insert = Message::IndexDocs {
+            docs: vec![zerber_net::WireDocument {
+                doc: DocId(4),
+                group: GroupId(0),
+                length: 3,
+                terms: vec![(TermId(2), 3)],
+            }],
+        };
+        assert_eq!(
+            transport
+                .request(NodeId::Owner(0), node, AuthToken(0), &insert)
+                .unwrap(),
+            Message::InsertOk
+        );
+        let query = Message::TopKQuery {
+            terms: vec![(TermId(2), 1.0)],
+            k: 5,
+        };
+        match transport
+            .request(NodeId::User(0), node, AuthToken(0), &query)
+            .unwrap()
+        {
+            Message::TopKResponse { candidates } => {
+                assert_eq!(candidates.len(), 1);
+                assert_eq!(candidates[0].0, DocId(4));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(
+            transport
+                .request(
+                    NodeId::Owner(0),
+                    node,
+                    AuthToken(0),
+                    &Message::RemoveDoc { doc: DocId(4) }
+                )
+                .unwrap(),
+            Message::DeleteOk { removed: 1 }
+        );
+        match transport
+            .request(NodeId::User(0), node, AuthToken(0), &query)
+            .unwrap()
+        {
+            Message::TopKResponse { candidates } => assert!(candidates.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Unsorted wire terms violate the Document invariant: rejected,
+        // peer survives.
+        let hostile = Message::IndexDocs {
+            docs: vec![zerber_net::WireDocument {
+                doc: DocId(5),
+                group: GroupId(0),
+                length: 2,
+                terms: vec![(TermId(3), 1), (TermId(3), 1)],
+            }],
+        };
+        match transport
+            .request(NodeId::Owner(0), node, AuthToken(0), &hostile)
+            .unwrap()
+        {
+            Message::Fault { code, .. } => assert_eq!(code, fault::MALFORMED),
             other => panic!("unexpected response {other:?}"),
         }
     }

@@ -1,0 +1,316 @@
+//! Mutable document-shard storage behind the peer runtime.
+//!
+//! A shard peer needs two capabilities: serve ranked reads
+//! ([`ShardStore::weighted_block_lists`], the
+//! [`zerber_index::PostingStore`] query surface) and absorb the
+//! *write stream* — document inserts and deletes arriving as
+//! [`zerber_net::Message::IndexDocs`] / `RemoveDoc` frames. The
+//! backends differ sharply in how they take writes:
+//!
+//! * [`LiveIndexShard`] — the in-memory backends. `Raw` serves
+//!   straight from the mutable [`InvertedIndex`] (no snapshot copy at
+//!   all); `Compressed` re-freezes its block-compressed store lazily
+//!   on the first query after a mutation (correct, but pays a full
+//!   recompression — the measured reason the durable engine exists).
+//! * [`SegmentShard`] — the `zerber-segment` LSM engine: writes land
+//!   in the WAL + memtable, queries run on cheap MVCC snapshots, and
+//!   crash recovery is free.
+//! * [`FrozenShard`] — any read-only [`PostingStore`]; mutations are
+//!   rejected with [`ShardStoreError::Frozen`] (surfaced to clients
+//!   as an `UNSUPPORTED` fault).
+
+use zerber_index::{
+    BlockScoredList, DocId, Document, InvertedIndex, PostingBackend, PostingStore, TermId,
+};
+use zerber_postings::CompressedPostingStore;
+use zerber_segment::SegmentStore;
+
+/// Why a shard rejected a mutation.
+#[derive(Debug)]
+pub enum ShardStoreError {
+    /// The shard serves a frozen snapshot; it takes no writes.
+    Frozen,
+    /// The durable engine failed to persist the mutation.
+    Storage(zerber_segment::SegmentError),
+}
+
+impl std::fmt::Display for ShardStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardStoreError::Frozen => write!(f, "shard is frozen (read-only snapshot)"),
+            ShardStoreError::Storage(e) => write!(f, "shard storage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardStoreError {}
+
+/// One document shard's storage: ranked reads plus the write stream.
+///
+/// Not `Send`-bound — a shard store is built and driven entirely on
+/// its peer's thread.
+pub trait ShardStore {
+    /// The scored, block-partitioned read path (see
+    /// [`PostingStore::weighted_block_lists`]).
+    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList>;
+
+    /// Inserts (or replaces) documents; returns posting elements
+    /// written.
+    fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError>;
+
+    /// Removes one document; returns whether it was live.
+    fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError>;
+}
+
+/// A read-only posting store wrapped as a shard (the pre-ingest
+/// deployment shape, still used when a collection is bulk-built and
+/// never mutated).
+pub struct FrozenShard {
+    store: Box<dyn PostingStore>,
+}
+
+impl FrozenShard {
+    /// Wraps a frozen store.
+    pub fn new(store: Box<dyn PostingStore>) -> Self {
+        Self { store }
+    }
+}
+
+impl ShardStore for FrozenShard {
+    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        self.store.weighted_block_lists(terms)
+    }
+
+    fn insert_documents(&mut self, _docs: &[Document]) -> Result<usize, ShardStoreError> {
+        Err(ShardStoreError::Frozen)
+    }
+
+    fn delete_document(&mut self, _doc: DocId) -> Result<bool, ShardStoreError> {
+        Err(ShardStoreError::Frozen)
+    }
+}
+
+/// The in-memory mutable shard: an [`InvertedIndex`] plus the
+/// configured read representation.
+pub struct LiveIndexShard {
+    index: InvertedIndex,
+    /// `None` = serve raw from the live index; `Some` = compressed,
+    /// with the frozen store rebuilt lazily after mutations.
+    compressed: Option<Option<CompressedPostingStore>>,
+}
+
+impl LiveIndexShard {
+    /// A raw-backend shard over `docs`.
+    pub fn raw(docs: &[Document]) -> Self {
+        Self {
+            index: InvertedIndex::from_documents(docs),
+            compressed: None,
+        }
+    }
+
+    /// A compressed-backend shard over `docs`.
+    pub fn compressed(docs: &[Document]) -> Self {
+        Self {
+            index: InvertedIndex::from_documents(docs),
+            compressed: Some(None),
+        }
+    }
+}
+
+impl ShardStore for LiveIndexShard {
+    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        match &mut self.compressed {
+            None => self.index.weighted_block_lists(terms),
+            Some(cache) => cache
+                .get_or_insert_with(|| CompressedPostingStore::from_index(&self.index))
+                .weighted_block_lists(terms),
+        }
+    }
+
+    fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
+        self.index.insert_batch(docs);
+        if let Some(cache) = &mut self.compressed {
+            *cache = None; // refreeze on the next read
+        }
+        Ok(docs.iter().map(Document::distinct_terms).sum())
+    }
+
+    fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError> {
+        let removed = self.index.remove(doc);
+        if removed {
+            if let Some(cache) = &mut self.compressed {
+                *cache = None;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// The durable shard: every mutation journaled and crash-safe, reads
+/// on MVCC snapshots.
+pub struct SegmentShard {
+    store: SegmentStore,
+}
+
+impl SegmentShard {
+    /// Wraps an open store.
+    pub fn new(store: SegmentStore) -> Self {
+        Self { store }
+    }
+
+    /// The underlying engine (bench instrumentation).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+}
+
+impl ShardStore for SegmentShard {
+    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+        self.store.snapshot().weighted_block_lists(terms)
+    }
+
+    fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
+        self.store.insert(docs).map_err(ShardStoreError::Storage)
+    }
+
+    fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError> {
+        self.store.delete(doc).map_err(ShardStoreError::Storage)
+    }
+}
+
+/// Builds the shard store a backend selection names, over an initial
+/// document set. Runs on the peer's own thread (see
+/// `PeerRuntime::spawn_peer`), so per-shard construction — indexing,
+/// compressing, seeding the durable store — parallelizes across peers.
+///
+/// # Panics
+/// Panics if the segmented backend cannot open or seed its directory,
+/// **or if the directory already holds recovered documents**: a
+/// `ShardedSearch` deployment computes its global IDF statistics from
+/// the launch-time document set alone, so silently merging recovered
+/// state would serve documents the statistics don't know about —
+/// diverging from the single-node oracle instead of failing. Reopen
+/// recovered stores with [`SegmentStore::open`] directly, or launch
+/// into a fresh directory. (A shard that cannot come up correctly is
+/// a deployment bug, matching the runtime's dead-peer stance.)
+pub fn build_shard_store(backend: &PostingBackend, docs: &[Document]) -> Box<dyn ShardStore> {
+    match backend {
+        PostingBackend::Raw => Box::new(LiveIndexShard::raw(docs)),
+        PostingBackend::Compressed => Box::new(LiveIndexShard::compressed(docs)),
+        PostingBackend::Segmented { dir, compaction } => {
+            let store =
+                SegmentStore::open(dir.clone(), *compaction).expect("segmented shard store opens");
+            let recovered = store.snapshot().live_doc_count();
+            assert_eq!(
+                recovered,
+                0,
+                "segmented shard dir {} holds {recovered} recovered documents; \
+                 ShardedSearch::launch needs a fresh directory (reopen recovered \
+                 stores with SegmentStore::open directly)",
+                dir.display()
+            );
+            store.insert(docs).expect("segmented shard store seeds");
+            Box::new(SegmentShard::new(store))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::{block_max_topk, GroupId, RawPostingStore};
+
+    fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_counts(
+            DocId(id),
+            GroupId(0),
+            terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+        )
+    }
+
+    fn corpus() -> Vec<Document> {
+        (0..40u32)
+            .map(|d| doc(d, &[(d % 7, 1 + d % 3), (9, 1)]))
+            .collect()
+    }
+
+    fn topk_of(store: &mut dyn ShardStore, docs_live: &[Document]) -> Vec<(DocId, u64)> {
+        let index = InvertedIndex::from_documents(docs_live);
+        let n = index.document_count();
+        let weights: Vec<(TermId, f64)> = (0..10)
+            .map(|t| {
+                (
+                    TermId(t),
+                    zerber_index::idf(n, index.document_frequency(TermId(t))),
+                )
+            })
+            .collect();
+        block_max_topk(&store.weighted_block_lists(&weights), 8)
+            .into_iter()
+            .map(|r| (r.doc, r.score.to_bits()))
+            .collect()
+    }
+
+    fn oracle(docs_live: &[Document]) -> Vec<(DocId, u64)> {
+        let mut frozen = FrozenShard::new(Box::new(RawPostingStore::from_index(
+            &InvertedIndex::from_documents(docs_live),
+        )));
+        topk_of(&mut frozen, docs_live)
+    }
+
+    #[test]
+    fn every_mutable_backend_tracks_the_oracle() {
+        let initial = corpus();
+        let dir = zerber_segment::scratch_dir("shard-backends");
+        let segmented_backend = PostingBackend::Segmented {
+            dir: dir.clone(),
+            compaction: zerber_index::SegmentPolicy {
+                flush_postings: 16,
+                max_segments: 2,
+                background: false,
+                sync_wal: false,
+            },
+        };
+        let mut shards: Vec<Box<dyn ShardStore>> = vec![
+            build_shard_store(&PostingBackend::Raw, &initial),
+            build_shard_store(&PostingBackend::Compressed, &initial),
+            build_shard_store(&segmented_backend, &initial),
+        ];
+        let mut live = initial.clone();
+        // Mutate: replace doc 3 (dropping its old terms), delete doc 9,
+        // add doc 100.
+        let replacement = doc(3, &[(5, 9)]);
+        let addition = doc(100, &[(0, 2), (9, 4)]);
+        for shard in &mut shards {
+            shard
+                .insert_documents(std::slice::from_ref(&replacement))
+                .unwrap();
+            assert!(shard.delete_document(DocId(9)).unwrap());
+            assert!(!shard.delete_document(DocId(999)).unwrap());
+            shard
+                .insert_documents(std::slice::from_ref(&addition))
+                .unwrap();
+        }
+        live.retain(|d| d.id != DocId(3) && d.id != DocId(9));
+        live.push(replacement);
+        live.push(addition);
+        let expected = oracle(&live);
+        for (i, shard) in shards.iter_mut().enumerate() {
+            assert_eq!(topk_of(shard.as_mut(), &live), expected, "backend {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frozen_shards_reject_writes() {
+        let mut frozen = FrozenShard::new(Box::new(RawPostingStore::default()));
+        assert!(matches!(
+            frozen.insert_documents(&[doc(1, &[(0, 1)])]),
+            Err(ShardStoreError::Frozen)
+        ));
+        assert!(matches!(
+            frozen.delete_document(DocId(1)),
+            Err(ShardStoreError::Frozen)
+        ));
+    }
+}

@@ -28,5 +28,6 @@ pub use zerber_field;
 pub use zerber_index;
 pub use zerber_net;
 pub use zerber_postings;
+pub use zerber_segment;
 pub use zerber_server;
 pub use zerber_shamir;

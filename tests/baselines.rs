@@ -28,11 +28,11 @@ fn build_all() -> (CentralIndex, ShotgunSearch, MuServIndex) {
     let mut central = CentralIndex::new();
     let mut shotgun = ShotgunSearch::new();
     let mut muserv = MuServIndex::new(2_000, 0.01);
-    for doc in &corpus.documents {
-        central.insert(doc);
-        shotgun.insert(doc);
-        muserv.insert(doc);
-    }
+    // Batched sorted builds: one merge pass per posting list instead
+    // of the quadratic per-document upsert loop.
+    central.insert_batch(&corpus.documents);
+    shotgun.insert_batch(&corpus.documents);
+    muserv.insert_batch(&corpus.documents);
     // Memberships granted after insertion so every site has its index.
     for user in 0..5u32 {
         for group in 0..10u32 {
@@ -95,10 +95,8 @@ fn muserv_precision_degrades_with_sloppier_filters() {
     let corpus = corpus();
     let mut precise = MuServIndex::new(2_000, 0.001);
     let mut sloppy = MuServIndex::new(2_000, 0.6);
-    for doc in &corpus.documents {
-        precise.insert(doc);
-        sloppy.insert(doc);
-    }
+    precise.insert_batch(&corpus.documents);
+    sloppy.insert_batch(&corpus.documents);
     let mut precise_total = 0usize;
     let mut sloppy_total = 0usize;
     for term in 300..340u32 {

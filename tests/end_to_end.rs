@@ -37,9 +37,7 @@ fn build_pair() -> (ZerberSystem, CentralIndex, SyntheticCorpus) {
             central.add_user_to_group(UserId(user), GroupId(group));
         }
     }
-    for doc in &corpus.documents {
-        central.insert(doc);
-    }
+    central.insert_batch(&corpus.documents);
     system.index_corpus(&corpus.documents).unwrap();
     (system, central, corpus)
 }

@@ -18,6 +18,7 @@ use zerber_repro::zerber_dht as _;
 use zerber_repro::zerber_field as _;
 use zerber_repro::zerber_index as _;
 use zerber_repro::zerber_net as _;
+use zerber_repro::zerber_segment as _;
 use zerber_repro::zerber_server as _;
 use zerber_repro::zerber_shamir as _;
 

@@ -1,0 +1,135 @@
+//! End-to-end `delete_document` through the peer runtime.
+//!
+//! Two halves of the Section 5 deletion story:
+//!
+//! * the *authorized* path — insert → delete → query — through the
+//!   full `ZerberSystem` facade, where every data-plane call crosses
+//!   the message-passing transport to an index-server peer thread;
+//! * the *unauthorized* path — a delete carrying a bogus session token
+//!   must come back as a `Fault` wire frame that maps to
+//!   `ServerError::AuthFailed`, both at the raw transport level and
+//!   through the typed `RuntimeHandle` stub.
+
+use std::sync::Arc;
+
+use zerber::runtime::{PeerRuntime, RuntimeHandle, ServerService, Transport};
+use zerber::{ZerberConfig, ZerberSystem};
+use zerber_client::ServerHandle;
+use zerber_core::merge::MergeConfig;
+use zerber_core::{ElementId, PlId};
+use zerber_field::Fp;
+use zerber_index::{CorpusStats, DocId, Document, GroupId, TermId, UserId};
+use zerber_net::{AuthToken, Message, NodeId, StoredShare, TrafficMeter};
+use zerber_server::{IndexServer, ServerError, TokenAuth};
+
+fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+#[test]
+fn insert_delete_query_through_the_peer_runtime() {
+    let stats = CorpusStats::from_document_frequencies((1..=60u64).map(|r| 1 + 600 / r).collect());
+    let config = ZerberConfig::default().with_merge(MergeConfig::dfm(16));
+    let mut system = ZerberSystem::bootstrap(config, &stats).unwrap();
+    system.add_membership(UserId(1), GroupId(0));
+
+    system.index_document(&doc(1, &[(5, 2), (7, 1)])).unwrap();
+    system.index_document(&doc(2, &[(5, 1)])).unwrap();
+    let before = system.query(UserId(1), &[TermId(5)], 10).unwrap();
+    assert_eq!(before.ranked.len(), 2, "both documents hit before delete");
+
+    // Delete doc 1: every one of its posting elements is removed from
+    // every server, over the wire.
+    let removed = system.delete_document(GroupId(0), DocId(1)).unwrap();
+    assert_eq!(removed, 2, "doc 1 had two distinct terms");
+    let after = system.query(UserId(1), &[TermId(5)], 10).unwrap();
+    assert_eq!(after.ranked.len(), 1, "deleted document no longer hits");
+    assert_eq!(after.ranked[0].doc, DocId(2));
+    let gone = system.query(UserId(1), &[TermId(7)], 10).unwrap();
+    assert!(gone.ranked.is_empty(), "no orphaned postings remain");
+}
+
+/// A single server peer plus one stored element, for the fault tests.
+fn one_server_world() -> (PeerRuntime, AuthToken) {
+    let auth = Arc::new(TokenAuth::new());
+    let server = Arc::new(IndexServer::new(0, Fp::new(5), auth.clone()));
+    server.add_user_to_group(UserId(1), GroupId(0));
+    let token = auth.issue(UserId(1));
+    let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+    runtime.spawn_peer(NodeId::IndexServer(0), move || ServerService::new(server));
+    let share = StoredShare {
+        element: ElementId(1),
+        group: GroupId(0),
+        share: Fp::new(9),
+    };
+    let insert = Message::InsertBatch {
+        entries: vec![(PlId(0), share)],
+    };
+    let response = runtime
+        .transport()
+        .request(NodeId::Owner(0), NodeId::IndexServer(0), token, &insert)
+        .unwrap();
+    assert_eq!(response, Message::InsertOk);
+    (runtime, token)
+}
+
+#[test]
+fn unauthenticated_delete_is_a_fault_frame_mapping_to_server_error() {
+    let (runtime, token) = one_server_world();
+    let delete = Message::Delete {
+        elements: vec![(PlId(0), ElementId(1))],
+    };
+
+    // Bogus token: the peer answers with a Fault frame whose code maps
+    // back to the typed server error.
+    match runtime
+        .transport()
+        .request(
+            NodeId::Owner(0),
+            NodeId::IndexServer(0),
+            AuthToken(0xBAD),
+            &delete,
+        )
+        .unwrap()
+    {
+        Message::Fault { code, group } => {
+            assert_eq!(
+                ServerError::from_fault(code, group),
+                Some(ServerError::AuthFailed)
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The element survived the rejected delete; the real owner token
+    // removes it.
+    match runtime
+        .transport()
+        .request(NodeId::Owner(0), NodeId::IndexServer(0), token, &delete)
+        .unwrap()
+    {
+        Message::DeleteOk { removed } => assert_eq!(removed, 1),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_handle_surfaces_the_delete_fault_as_a_typed_error() {
+    let (runtime, token) = one_server_world();
+    let handle = RuntimeHandle::new(
+        runtime.transport().clone(),
+        NodeId::Owner(0),
+        NodeId::IndexServer(0),
+        Fp::new(5),
+    );
+    assert_eq!(
+        handle.delete(AuthToken(0xBAD), &[(PlId(0), ElementId(1))]),
+        Err(ServerError::AuthFailed),
+        "the client stub decodes the fault frame into the server error"
+    );
+    assert_eq!(handle.delete(token, &[(PlId(0), ElementId(1))]), Ok(1));
+}

@@ -1,0 +1,127 @@
+//! Property test for the *mutable* sharded peer runtime: under
+//! arbitrary interleaved insert/delete/query schedules against the
+//! durable segmented backend — flushes and compactions landing
+//! wherever the tiny thresholds put them — every query's top-k must be
+//! **bit-identical** to a single-node rebuild-from-scratch oracle over
+//! the current live document set.
+//!
+//! This extends `tests/sharded_topk.rs` (static corpora) to live
+//! traffic: inserts and deletes travel as `IndexDocs`/`RemoveDoc` wire
+//! frames to the owning shard peers (`zerber-segment` stores
+//! underneath, background compaction enabled), the global IDF
+//! statistics are maintained incrementally, and the oracle rebuilds a
+//! raw in-memory index from scratch each time — two maximally
+//! different code paths that must agree to the last float bit.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use zerber::runtime::{local_topk, ShardedSearch};
+use zerber::{PostingBackend, SegmentPolicy, ZerberConfig};
+use zerber_index::{DocId, Document, GroupId, TermId};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(Vec<(u32, Vec<(u32, u32)>)>),
+    Delete(u32),
+    Query(Vec<u32>, usize),
+}
+
+fn arb_doc() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (
+        0u32..120,
+        prop::collection::vec((0u32..20, 1u32..5), 1..6).prop_map(|mut terms| {
+            terms.sort_by_key(|&(t, _)| t);
+            terms.dedup_by_key(|&mut (t, _)| t);
+            terms
+        }),
+    )
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        prop::collection::vec(arb_doc(), 1..4).prop_map(Step::Insert),
+        prop::collection::vec(arb_doc(), 1..4).prop_map(Step::Insert),
+        (0u32..120).prop_map(Step::Delete),
+        (prop::collection::vec(0u32..25, 1..4), 1usize..12)
+            .prop_map(|(terms, k)| Step::Query(terms, k)),
+        (prop::collection::vec(0u32..25, 1..4), 1usize..12)
+            .prop_map(|(terms, k)| Step::Query(terms, k)),
+    ]
+}
+
+fn materialize(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn mutated_sharded_topk_is_bit_identical_to_the_rebuild_oracle(
+        initial in prop::collection::vec(arb_doc(), 0..30),
+        steps in prop::collection::vec(arb_step(), 1..25),
+        peers in 1usize..5,
+        flush_postings in 4usize..40,
+    ) {
+        let dir = zerber_segment::scratch_dir("sharded-mutation");
+        let config = ZerberConfig::default()
+            .with_peers(peers)
+            .with_postings(PostingBackend::Segmented {
+                dir: dir.clone(),
+                compaction: SegmentPolicy {
+                    flush_postings,
+                    max_segments: 2,
+                    background: true, // compaction races queries; results must not care
+                    sync_wal: false,
+                },
+            });
+
+        // Oracle state: the live documents, newest copy per id.
+        let mut live: BTreeMap<u32, Document> = BTreeMap::new();
+        let initial_docs: Vec<Document> = {
+            for (id, terms) in &initial {
+                live.insert(*id, materialize(*id, terms));
+            }
+            live.values().cloned().collect()
+        };
+        let search = ShardedSearch::launch(&config, &initial_docs).expect("valid config");
+        let oracle_config = ZerberConfig::default();
+
+        for step in &steps {
+            match step {
+                Step::Insert(batch) => {
+                    let docs: Vec<Document> =
+                        batch.iter().map(|(id, t)| materialize(*id, t)).collect();
+                    search.insert_documents(0, &docs).expect("insert lands");
+                    for doc in docs {
+                        live.insert(doc.id.0, doc);
+                    }
+                }
+                Step::Delete(id) => {
+                    let removed = search.delete_document(0, DocId(*id)).expect("delete lands");
+                    prop_assert_eq!(removed, live.remove(id).is_some());
+                }
+                Step::Query(terms, k) => {
+                    let terms: Vec<TermId> = terms.iter().map(|&t| TermId(t)).collect();
+                    let docs: Vec<Document> = live.values().cloned().collect();
+                    let expected = local_topk(&oracle_config, &docs, &terms, *k);
+                    let outcome = search.query(&terms, *k).expect("peers alive");
+                    prop_assert_eq!(outcome.ranked.len(), expected.len());
+                    for (got, want) in outcome.ranked.iter().zip(&expected) {
+                        prop_assert_eq!(got.doc, want.doc);
+                        // Bit-identical floats, not approximately equal.
+                        prop_assert_eq!(got.score.to_bits(), want.score.to_bits());
+                    }
+                    prop_assert!(outcome.candidates_examined <= *k);
+                }
+            }
+        }
+        prop_assert_eq!(search.document_count(), live.len());
+        drop(search);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
