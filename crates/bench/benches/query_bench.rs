@@ -1,7 +1,9 @@
 //! Criterion benchmarks for the end-to-end query path: Zerber
 //! (k servers, decryption, filtering, ranking) against the trusted
 //! central baseline — the paper's claim is that Zerber "answers most
-//! of the queries almost as fast as an ordinary inverted index".
+//! of the queries almost as fast as an ordinary inverted index" —
+//! plus the lazy decode-on-demand top-k against eager materialization
+//! across corpus sizes × k on the block-compressed store.
 
 use std::hint::black_box;
 
@@ -10,7 +12,9 @@ use zerber::baselines::CentralIndex;
 use zerber::{ZerberConfig, ZerberSystem};
 use zerber_core::merge::MergeConfig;
 use zerber_corpus::{CorpusConfig, SyntheticCorpus};
-use zerber_index::{GroupId, TermId, UserId};
+use zerber_index::cursor::{block_max_topk_cursors, TopKScratch};
+use zerber_index::{block_max_topk, idf, GroupId, InvertedIndex, PostingStore, TermId, UserId};
+use zerber_postings::CompressedPostingStore;
 
 fn corpus() -> SyntheticCorpus {
     SyntheticCorpus::generate(&CorpusConfig {
@@ -60,5 +64,44 @@ fn bench_query_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_paths);
+/// Lazy cursor-driven block-max top-k vs eager materialization on the
+/// same compressed store: same bit-identical ranking, different decode
+/// work. Swept across corpus sizes × k.
+fn bench_topk_lazy_vs_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/topk_lazy_vs_eager");
+    for docs in [1_000usize, 4_000] {
+        let corpus = SyntheticCorpus::generate(&CorpusConfig {
+            num_docs: docs,
+            vocabulary_size: 2_000,
+            num_groups: 1,
+            ..CorpusConfig::default()
+        });
+        let index = InvertedIndex::from_documents(&corpus.documents);
+        let store = CompressedPostingStore::from_index(&index);
+        let n = index.document_count();
+        // The head of the vocabulary: long, block-spanning lists.
+        let weights: Vec<(TermId, f64)> = (0..3u32)
+            .map(|t| (TermId(t), idf(n, store.document_frequency(TermId(t)))))
+            .collect();
+        for k in [10usize, 100] {
+            group.bench_function(format!("lazy_d{docs}_k{k}"), |b| {
+                let mut scratch = TopKScratch::new();
+                b.iter(|| {
+                    let mut cursors = store.query_cursors(black_box(&weights));
+                    block_max_topk_cursors(&mut cursors, k, &mut scratch);
+                    black_box(scratch.ranked.len())
+                })
+            });
+            group.bench_function(format!("eager_d{docs}_k{k}"), |b| {
+                b.iter(|| {
+                    let lists = store.weighted_block_lists(black_box(&weights));
+                    black_box(block_max_topk(&lists, k).len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_paths, bench_topk_lazy_vs_eager);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! repro [--smoke] [--json <dir>]
-//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|security|ablation]
+//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|security|ablation]
 //! ```
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
@@ -16,14 +16,14 @@
 //!
 //! `--json <dir>` additionally writes machine-readable
 //! `BENCH_<target>.json` files (currently for the perf-trajectory
-//! targets `scalability` and `ingest`) so qps/latency/bytes are
-//! trackable across commits; CI uploads the directory as a workflow
-//! artifact.
+//! targets `scalability`, `ingest`, and `query`) so
+//! qps/latency/bytes/blocks-decoded are trackable across commits; CI
+//! uploads the directory as a workflow artifact.
 
 use zerber_bench::experiments::{
     ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
-    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, scalability, security,
-    storage, table1,
+    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, query, scalability,
+    security, storage, table1,
 };
 use zerber_bench::Scale;
 
@@ -128,6 +128,13 @@ fn main() {
         println!("{}", ingest::render(&result));
         if let Some(dir) = &json_dir {
             write_json(dir, "ingest", ingest::to_json(&result));
+        }
+    }
+    if wanted("query") {
+        let result = query::run(scale);
+        println!("{}", query::render(&result));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "query", query::to_json(&result));
         }
     }
     if wanted("security") {

@@ -16,13 +16,12 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use zerber_index::{
-    block_max_topk, idf, DocId, Document, InvertedIndex, PostingStore, SegmentPolicy, TermId,
-};
+use zerber_index::cursor::{block_max_topk_cursors, TopKScratch};
+use zerber_index::{idf, DocId, Document, InvertedIndex, PostingStore, SegmentPolicy, TermId};
 use zerber_postings::RAW_ELEMENT_BYTES;
 use zerber_segment::{scratch_dir, SegmentStore};
 
-use crate::report::Table;
+use crate::report::{percentile, Table};
 use crate::scenario::{OdpScenario, Scale};
 
 /// Ranked results per query.
@@ -79,15 +78,8 @@ pub struct Ingest {
     pub matches_oracle: bool,
 }
 
-fn percentile(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
-/// Top-k over a posting store with oracle-provided statistics.
+/// Top-k over a posting store with oracle-provided statistics,
+/// through the lazy cursor pipeline the runtime serves with.
 fn store_topk(
     store: &dyn PostingStore,
     doc_count: usize,
@@ -98,8 +90,12 @@ fn store_topk(
         .iter()
         .map(|&t| (t, idf(doc_count, store.document_frequency(t))))
         .collect();
-    block_max_topk(&store.weighted_block_lists(&weights), k)
-        .into_iter()
+    let mut cursors = store.query_cursors(&weights);
+    let mut scratch = TopKScratch::new();
+    block_max_topk_cursors(&mut cursors, k, &mut scratch);
+    scratch
+        .ranked
+        .iter()
         .map(|r| (r.doc, r.score.to_bits()))
         .collect()
 }

@@ -20,7 +20,7 @@ use zerber::ZerberConfig;
 use zerber_index::{RankedDoc, TermId};
 use zerber_net::NodeId;
 
-use crate::report::Table;
+use crate::report::{percentile, Table};
 use crate::scenario::{OdpScenario, Scale};
 
 /// Ranked results to request per query.
@@ -69,14 +69,6 @@ pub struct Scalability {
     pub points: Vec<ScalabilityPoint>,
     /// Reference queries compared per point.
     pub reference_checks: usize,
-}
-
-fn percentile(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// Runs the sweep on the shared ODP scenario.

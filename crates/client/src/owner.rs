@@ -101,8 +101,13 @@ impl DocumentOwner {
             self.delete_document(doc.id, servers)?;
         }
 
+        // Encode every element first, then split the whole document in
+        // one `split_batch` call: the per-server coordinate powers are
+        // computed once and the polynomial coefficients live in one
+        // reused scratch — no per-element allocation (Section 7.3's
+        // 33 ms-per-document number rests on this amortization).
         let mut inventory = Vec::with_capacity(doc.terms.len());
-        let mut share_buffer: Vec<zerber_field::Fp> = Vec::new();
+        let mut secrets = Vec::with_capacity(doc.terms.len());
         for &(term, count) in &doc.terms {
             let tf = if doc.length == 0 {
                 0.0
@@ -114,23 +119,23 @@ impl DocumentOwner {
                 term,
                 tf_quantized: self.codec.quantize_tf(tf),
             };
-            let secret = self
-                .codec
-                .encode(element)
-                .expect("document ids and terms fit the configured codec");
-            let element_id = self.fresh_element_id();
-            let pl = self.table.lookup(term);
-            self.scheme.split_into(secret, rng, &mut share_buffer);
-            let stored: Vec<StoredShare> = share_buffer
-                .iter()
-                .map(|&y| StoredShare {
-                    element: element_id,
-                    group: doc.group,
-                    share: y,
-                })
-                .collect();
+            secrets.push(
+                self.codec
+                    .encode(element)
+                    .expect("document ids and terms fit the configured codec"),
+            );
+            inventory.push((self.table.lookup(term), self.fresh_element_id()));
+        }
+        let rows = self.scheme.split_batch(&secrets, rng);
+        let mut stored: Vec<StoredShare> = Vec::with_capacity(rows.len());
+        for (index, &(pl, element_id)) in inventory.iter().enumerate() {
+            stored.clear();
+            stored.extend(rows.iter().map(|row| StoredShare {
+                element: element_id,
+                group: doc.group,
+                share: row[index],
+            }));
             self.queue.push(pl, &stored);
-            inventory.push((pl, element_id));
 
             if self.queue.should_flush(self.policy) {
                 self.flush(servers)?;

@@ -18,6 +18,10 @@
 //!   cost `Q` of formula (6),
 //! * [`topk`] — TF-IDF scoring and the Fagin-style Threshold Algorithm
 //!   used for client-side ranking (Section 5.4.2),
+//! * [`cursor`] — the lazy decode-on-demand query pipeline:
+//!   [`cursor::BlockCursor`] sorted access with block-max peeking, and
+//!   the cursor-driven [`cursor::block_max_topk_cursors`] that only
+//!   decompresses blocks surviving the upper-bound test,
 //! * [`bloom`] — a Bloom filter, the substrate of the μ-Serv baseline
 //!   from related work \[3\],
 //! * [`baseline`] — the "ideal" trusted central index of Section 2: an
@@ -27,6 +31,7 @@
 pub mod baseline;
 pub mod bloom;
 pub mod cost;
+pub mod cursor;
 pub mod dict;
 pub mod doc;
 pub mod inverted;
@@ -40,6 +45,10 @@ pub mod types;
 pub use baseline::CentralIndex;
 pub use bloom::BloomFilter;
 pub use cost::{workload_cost, QueryWorkload};
+pub use cursor::{
+    block_max_topk_cursors, BlockCursor, EmptyCursor, QueryCost, ScoredListCursor,
+    ShadowedMergeCursor, TopKScratch,
+};
 pub use dict::TermDict;
 pub use doc::{Document, RawDocument};
 pub use inverted::InvertedIndex;

@@ -13,6 +13,7 @@
 //! facade, the bench harness) can select one without depending on the
 //! compressed implementation directly.
 
+use crate::cursor::{BlockCursor, ScoredListCursor};
 use crate::postings::{Posting, PostingList};
 use crate::stats::CorpusStats;
 use crate::topk::BlockScoredList;
@@ -113,6 +114,14 @@ pub trait PostingStore {
     /// [`crate::block_max_topk`]. Weights must be non-negative and
     /// finite (IDF factors are).
     ///
+    /// This is the **eager** read path: every posting of every query
+    /// term is decoded before ranking starts, so its cost is O(total
+    /// postings) regardless of `k`. The hot query path uses
+    /// [`PostingStore::query_cursors`] instead, which defers decoding
+    /// until the block-max bounds demand it; this method remains the
+    /// reference baseline (the `query` bench compares the two) and
+    /// the building block of the default cursor adapter.
+    ///
     /// The default decodes every posting and computes exact block
     /// maxima; backends with stored skip metadata (the compressed
     /// engine's per-block `max_tf`) override it to derive the maxima
@@ -129,6 +138,27 @@ pub trait PostingStore {
                     SCORING_BLOCK,
                 )
             })
+            .collect()
+    }
+
+    /// One lazy [`BlockCursor`] per `(term, weight)` pair — the hot
+    /// query path [`crate::block_max_topk_cursors`] drives. Cursors
+    /// present the same `(doc, tf · weight)` entries as
+    /// [`PostingStore::weighted_block_lists`] (ranking is
+    /// bit-identical either way, property-tested), but defer decoding:
+    /// backends with stored per-block skip metadata (the compressed
+    /// engine, the segmented store) only decompress blocks the
+    /// block-max bound cannot rule out, and report the decode work
+    /// through [`BlockCursor::decoded_blocks`].
+    ///
+    /// The default is the trivial adapter for backends without stored
+    /// skip metadata (raw lists, the live [`InvertedIndex`]): it
+    /// materializes the scored lists eagerly and the cursor merely
+    /// counts the blocks the algorithm examines.
+    fn query_cursors<'a>(&'a self, terms: &[(TermId, f64)]) -> Vec<Box<dyn BlockCursor + 'a>> {
+        self.weighted_block_lists(terms)
+            .into_iter()
+            .map(|list| Box::new(ScoredListCursor::owned(list)) as Box<dyn BlockCursor + 'a>)
             .collect()
     }
 

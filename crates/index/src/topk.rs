@@ -151,10 +151,10 @@ pub fn threshold_topk(lists: &[ScoredList], k: usize) -> Vec<RankedDoc> {
 /// is negative.
 #[derive(Debug, Clone)]
 pub struct BlockScoredList {
-    entries: Vec<(DocId, f64)>,
-    block_size: usize,
+    pub(crate) entries: Vec<(DocId, f64)>,
+    pub(crate) block_size: usize,
     /// Per block: (last doc id in block, max score in block).
-    blocks: Vec<(DocId, f64)>,
+    pub(crate) blocks: Vec<(DocId, f64)>,
 }
 
 impl BlockScoredList {
@@ -232,40 +232,16 @@ impl BlockScoredList {
         self.entries.is_empty()
     }
 
-    /// The max score of the block containing position `pos`.
-    fn block_max(&self, pos: usize) -> f64 {
-        self.blocks[pos / self.block_size].1
-    }
-
-    /// The last document id of the block containing position `pos`.
-    fn block_last_doc(&self, pos: usize) -> DocId {
-        self.blocks[pos / self.block_size].0
-    }
-
-    /// First position at or after `pos` whose document id exceeds
-    /// `doc`. Skips whole blocks via the block index before touching
-    /// entries.
-    fn seek_after(&self, pos: usize, doc: DocId) -> usize {
-        if pos >= self.entries.len() {
-            return pos;
-        }
-        // Jump over fully-skippable blocks first.
-        let first_block = pos / self.block_size;
-        let skip = self.blocks[first_block..].partition_point(|&(last, _)| last <= doc);
-        let block = first_block + skip;
-        let start = (block * self.block_size).max(pos);
-        let end = ((block + 1) * self.block_size).min(self.entries.len());
-        if start >= end {
-            return self.entries.len();
-        }
-        start + self.entries[start..end].partition_point(|&(d, _)| d <= doc)
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
     }
 }
 
 /// Total-order wrapper for the non-NaN scores tracked by the top-k
 /// heap.
-#[derive(PartialEq, PartialOrd)]
-struct Score(f64);
+#[derive(Debug, PartialEq, PartialOrd)]
+pub(crate) struct Score(pub(crate) f64);
 
 impl Eq for Score {}
 
@@ -276,94 +252,28 @@ impl Ord for Score {
     }
 }
 
-/// Block-max variant of the Threshold Algorithm: document-at-a-time
-/// evaluation over doc-id-ordered lists that uses each list's
-/// `block_max_score` to skip blocks that cannot contend for the
-/// top-`k`.
+/// Block-max variant of the Threshold Algorithm over eager
+/// [`BlockScoredList`]s — a thin wrapper around the cursor-driven
+/// [`crate::cursor::block_max_topk_cursors`], which does the actual
+/// document-at-a-time evaluation and block skipping.
 ///
 /// Whenever `k` results are buffered and the sum of the current block
 /// maxima is *strictly* below the current `k`-th best score, no
 /// document inside the overlap of the current blocks can reach the
 /// top-`k`, so every cursor jumps past the nearest block boundary
-/// without decoding those postings. Returns exactly the same ranked
+/// without examining those postings. Returns exactly the same ranked
 /// results as [`naive_topk`] / [`threshold_topk`] (property-tested):
 /// contributions are accumulated in list order, so even the
 /// floating-point sums match bit for bit.
 pub fn block_max_topk(lists: &[BlockScoredList], k: usize) -> Vec<RankedDoc> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    if k == 0 || lists.is_empty() {
-        return Vec::new();
-    }
-    let mut pos = vec![0usize; lists.len()];
-    let mut results: Vec<RankedDoc> = Vec::new();
-    // Min-heap of the k best scores seen so far; its top is the
-    // pruning threshold.
-    let mut best: BinaryHeap<Reverse<Score>> = BinaryHeap::with_capacity(k + 1);
-
-    loop {
-        // Candidate: the smallest current document id across lists.
-        let mut candidate: Option<DocId> = None;
-        for (list, &p) in lists.iter().zip(&pos) {
-            if let Some(&(doc, _)) = list.entries.get(p) {
-                candidate = Some(candidate.map_or(doc, |c: DocId| c.min(doc)));
-            }
-        }
-        let Some(candidate) = candidate else { break };
-
-        if best.len() == k {
-            let kth = best.peek().expect("heap holds k scores").0 .0;
-            let mut upper_bound = 0.0;
-            for (list, &p) in lists.iter().zip(&pos) {
-                if p < list.entries.len() {
-                    upper_bound += list.block_max(p);
-                }
-            }
-            if upper_bound < kth {
-                // Skip to just past the nearest current-block boundary:
-                // every document up to it is bounded by `upper_bound`.
-                let boundary = lists
-                    .iter()
-                    .zip(&pos)
-                    .filter(|(list, &p)| p < list.entries.len())
-                    .map(|(list, &p)| list.block_last_doc(p))
-                    .min()
-                    .expect("a candidate exists");
-                for (list, p) in lists.iter().zip(pos.iter_mut()) {
-                    *p = list.seek_after(*p, boundary);
-                }
-                continue;
-            }
-        }
-
-        // Fully score the candidate: every list containing it has its
-        // cursor parked on it (cursors only advance past scored or
-        // provably non-contending documents).
-        let mut score = 0.0;
-        for (list, p) in lists.iter().zip(pos.iter_mut()) {
-            if let Some(&(doc, s)) = list.entries.get(*p) {
-                if doc == candidate {
-                    score += s;
-                    *p += 1;
-                }
-            }
-        }
-        results.push(RankedDoc {
-            doc: candidate,
-            score,
-        });
-        if best.len() < k {
-            best.push(Reverse(Score(score)));
-        } else if score > best.peek().expect("heap holds k scores").0 .0 {
-            best.pop();
-            best.push(Reverse(Score(score)));
-        }
-    }
-
-    results.sort_by(RankedDoc::result_order);
-    results.truncate(k);
-    results
+    use crate::cursor::{block_max_topk_cursors, BlockCursor, ScoredListCursor, TopKScratch};
+    let mut cursors: Vec<Box<dyn BlockCursor + '_>> = lists
+        .iter()
+        .map(|list| Box::new(ScoredListCursor::borrowed(list)) as Box<dyn BlockCursor + '_>)
+        .collect();
+    let mut scratch = TopKScratch::new();
+    block_max_topk_cursors(&mut cursors, k, &mut scratch);
+    scratch.take_ranked()
 }
 
 /// Reference implementation: aggregates every posting and sorts — used

@@ -25,13 +25,18 @@
 //!   experiment,
 //! * [`store`] — [`CompressedPostingStore`], the
 //!   [`zerber_index::store::PostingStore`] backend, whose stored
-//!   block maxima feed `zerber_index::block_max_topk` directly.
+//!   block maxima feed `zerber_index::block_max_topk` directly,
+//! * [`cursor`] — [`CompressedBlockCursor`], the decode-on-demand
+//!   query cursor: block-max peeks and seeks from the skip metadata
+//!   alone, decompression only for blocks that survive the top-k
+//!   upper-bound test.
 
 #![deny(missing_docs)]
 
 pub mod block;
 pub mod builder;
 pub mod column;
+pub mod cursor;
 pub mod list;
 pub mod merge;
 pub mod store;
@@ -40,6 +45,7 @@ pub mod varint;
 pub use block::{BlockMeta, DecodeError, RawEntry, BLOCK_SIZE};
 pub use builder::CompressedPostingBuilder;
 pub use column::{compression_ratio, decode_column, encode_column};
+pub use cursor::CompressedBlockCursor;
 pub use list::{block_meta_bytes, CompressedPostingIter, CompressedPostingList, RAW_ELEMENT_BYTES};
 pub use merge::{merge_compressed, naive_merge};
 pub use store::{build_store, CompressedPostingStore};

@@ -1,11 +1,13 @@
 //! The compressed posting-store backend and backend selection.
 
+use zerber_index::cursor::{BlockCursor, EmptyCursor};
 use zerber_index::store::{PostingBackend, PostingStore, RawPostingStore};
 use zerber_index::topk::BlockScoredList;
 use zerber_index::{DocId, InvertedIndex, Posting, TermId};
 
 use crate::block::{RawEntry, BLOCK_SIZE};
 use crate::builder::CompressedPostingBuilder;
+use crate::cursor::CompressedBlockCursor;
 use crate::list::CompressedPostingList;
 
 fn to_raw(posting: &Posting) -> RawEntry {
@@ -149,6 +151,23 @@ impl PostingStore for CompressedPostingStore {
             })
             .collect()
     }
+
+    /// Override: one [`CompressedBlockCursor`] per term, decoding
+    /// straight from the stored blocks on demand — the lazy hot path.
+    /// No posting is touched here at all; the cursor's metadata peeks
+    /// serve the block-max bounds and only surviving blocks ever
+    /// decompress.
+    fn query_cursors<'a>(&'a self, terms: &[(TermId, f64)]) -> Vec<Box<dyn BlockCursor + 'a>> {
+        terms
+            .iter()
+            .map(|&(term, weight)| match self.list(term) {
+                Some(list) if !list.is_empty() => {
+                    Box::new(CompressedBlockCursor::new(list, weight)) as Box<dyn BlockCursor + 'a>
+                }
+                _ => Box::new(EmptyCursor) as Box<dyn BlockCursor + 'a>,
+            })
+            .collect()
+    }
 }
 
 // The trait's scored-list blocks must coincide with the physical
@@ -273,6 +292,49 @@ mod tests {
                 assert!((f.score - s.score).abs() < 1e-12, "k = {k}");
             }
         }
+    }
+
+    #[test]
+    fn lazy_cursors_rank_identically_and_prune_decode_work() {
+        use zerber_index::cursor::{block_max_topk_cursors, QueryCost, TopKScratch};
+        let index = sample_index(3_000, 8);
+        let store = CompressedPostingStore::from_index(&index);
+        let weights: Vec<(TermId, f64)> = (0..6u32).map(|t| (TermId(t), 1.0 + t as f64)).collect();
+        let mut scratch = TopKScratch::new();
+        for k in [1usize, 5, 50] {
+            let eager = zerber_index::block_max_topk(&store.weighted_block_lists(&weights), k);
+            let mut cursors = store.query_cursors(&weights);
+            block_max_topk_cursors(&mut cursors, k, &mut scratch);
+            let cost = QueryCost::of(&cursors);
+            assert_eq!(scratch.ranked.len(), eager.len(), "k = {k}");
+            for (lazy, e) in scratch.ranked.iter().zip(&eager) {
+                assert_eq!(lazy.doc, e.doc, "k = {k}");
+                assert_eq!(lazy.score.to_bits(), e.score.to_bits(), "k = {k}");
+            }
+            assert!(cost.blocks_decoded <= cost.blocks_total, "k = {k}");
+        }
+        // A selective query (one dominant rare term, small k) must
+        // decode strictly fewer blocks than exist — the eager path
+        // always decompresses all of them.
+        let mut selective = InvertedIndex::new();
+        for d in 0..2_000u32 {
+            let mut terms = vec![(TermId(1), 1)];
+            if d < 3 {
+                terms.insert(0, (TermId(0), 60));
+            }
+            selective.insert(&Document::from_term_counts(DocId(d), GroupId(0), terms));
+        }
+        let store = CompressedPostingStore::from_index(&selective);
+        let weights = vec![(TermId(0), 8.0), (TermId(1), 0.1)];
+        let mut cursors = store.query_cursors(&weights);
+        block_max_topk_cursors(&mut cursors, 3, &mut scratch);
+        let cost = QueryCost::of(&cursors);
+        assert!(
+            cost.blocks_decoded < cost.blocks_total,
+            "pruning must skip decompression: {cost:?}"
+        );
+        let eager = zerber_index::block_max_topk(&store.weighted_block_lists(&weights), 3);
+        assert_eq!(scratch.ranked, eager);
     }
 
     #[test]

@@ -41,11 +41,12 @@ use std::thread;
 
 use parking_lot::{Mutex, RwLock};
 
+use zerber_index::cursor::{BlockCursor, EmptyCursor, ScoredListCursor, ShadowedMergeCursor};
 use zerber_index::store::SCORING_BLOCK;
 use zerber_index::{
     BlockScoredList, DocId, Document, Posting, PostingStore, SegmentPolicy, TermId,
 };
-use zerber_postings::{merge_compressed, CompressedPostingList, RawEntry};
+use zerber_postings::{merge_compressed, CompressedBlockCursor, CompressedPostingList, RawEntry};
 
 use crate::error::SegmentError;
 use crate::memtable::MemDelta;
@@ -663,6 +664,64 @@ impl PostingStore for SegmentSnapshot {
                         .collect(),
                     SCORING_BLOCK,
                 )
+            })
+            .collect()
+    }
+
+    /// Override: the lazy read path. Each term gets one cursor that
+    /// merges the memtable deltas *over* the on-disk segments under
+    /// the doc-level shadowing rule **without flattening**: segment
+    /// postings stay block-compressed behind a
+    /// [`CompressedBlockCursor`] (their stored block maxima serve the
+    /// peeks; a block decompresses only when the top-k bound cannot
+    /// rule it out), deltas — already decoded in memory — ride a
+    /// materialized adapter, and the shadow test is a binary search
+    /// over the newer sources' doc tables. Entry values coincide with
+    /// the eager [`SegmentSnapshot::weighted_block_lists`] path, so
+    /// ranking is bit-identical (property-tested in
+    /// `store_properties.rs`); only the decode work differs.
+    fn query_cursors<'a>(&'a self, terms: &[(TermId, f64)]) -> Vec<Box<dyn BlockCursor + 'a>> {
+        let sources = self.sources();
+        terms
+            .iter()
+            .map(|&(term, weight)| {
+                let mut subs: Vec<(usize, Box<dyn BlockCursor + 'a>)> = Vec::new();
+                for (rank, segment) in self.segments.iter().enumerate() {
+                    if let Some(list) = segment.list(term.0) {
+                        if !list.is_empty() {
+                            subs.push((rank, Box::new(CompressedBlockCursor::new(list, weight))));
+                        }
+                    }
+                }
+                for (offset, delta) in self.deltas.iter().enumerate() {
+                    let entries = delta.term_postings(term.0);
+                    if !entries.is_empty() {
+                        let scored: Vec<(DocId, f64)> = entries
+                            .iter()
+                            .map(|e| (DocId(e.doc as u32), e.term_frequency() * weight))
+                            .collect();
+                        subs.push((
+                            self.segments.len() + offset,
+                            Box::new(ScoredListCursor::owned(BlockScoredList::from_doc_ordered(
+                                scored,
+                                SCORING_BLOCK,
+                            ))),
+                        ));
+                    }
+                }
+                match subs.len() {
+                    0 => Box::new(EmptyCursor) as Box<dyn BlockCursor + 'a>,
+                    // A term living entirely in the newest source can
+                    // never be shadowed: skip the merge wrapper.
+                    1 if subs[0].0 == sources.len() - 1 => subs.pop().expect("one sub").1,
+                    _ => {
+                        let shadows = sources.clone();
+                        let shadow = move |rank: usize, doc: DocId| {
+                            shadows[rank + 1..].iter().any(|s| s.touches(doc.0))
+                        };
+                        Box::new(ShadowedMergeCursor::new(subs, Box::new(shadow)))
+                    }
+                }
             })
             .collect()
     }

@@ -5,14 +5,19 @@
 //! reopening the store from disk preserves all of it.
 //!
 //! The oracle is the plain mutable [`InvertedIndex`] rebuilt from the
-//! current live document set, served through the same
-//! `PostingStore::weighted_block_lists` + `block_max_topk` path the
-//! runtime uses.
+//! current live document set. The store side answers through the
+//! *lazy* `PostingStore::query_cursors` + `block_max_topk_cursors`
+//! pipeline the runtime serves queries with (memtable deltas merged
+//! over compressed segment cursors under the shadowing rule, decode on
+//! demand), and every query double-checks the eager
+//! `weighted_block_lists` path against it — three paths, one answer,
+//! bit for bit.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
+use zerber_index::cursor::{block_max_topk_cursors, QueryCost, TopKScratch};
 use zerber_index::{
     block_max_topk, DocId, Document, GroupId, InvertedIndex, PostingStore, SegmentPolicy, TermId,
 };
@@ -98,10 +103,12 @@ fn oracle_topk(live: &BTreeMap<u32, Document>, terms: &[u32], k: usize) -> Vec<(
         .collect()
 }
 
-/// The store's ranked answer through the same query machinery, with
-/// IDF weights from the *oracle's* statistics (both sides must agree
-/// on df for the comparison to be meaningful — and they do, which
-/// `document_frequency` asserts separately).
+/// The store's ranked answer through the *lazy* cursor pipeline the
+/// runtime serves with, with IDF weights from the *oracle's*
+/// statistics (both sides must agree on df for the comparison to be
+/// meaningful — and they do, which `document_frequency` asserts
+/// separately). Also asserts the eager `weighted_block_lists` path
+/// agrees bit for bit and the decode accounting stays sane.
 fn store_topk(
     snapshot: &zerber_segment::SegmentSnapshot,
     live: &BTreeMap<u32, Document>,
@@ -117,11 +124,25 @@ fn store_topk(
             )
         })
         .collect();
-    let lists = snapshot.weighted_block_lists(&weights);
-    block_max_topk(&lists, k)
+    let mut cursors = snapshot.query_cursors(&weights);
+    let mut scratch = TopKScratch::new();
+    block_max_topk_cursors(&mut cursors, k, &mut scratch);
+    let cost = QueryCost::of(&cursors);
+    assert!(
+        cost.blocks_decoded <= cost.blocks_total,
+        "decode accounting out of range: {cost:?}"
+    );
+    let lazy: Vec<(DocId, u64)> = scratch
+        .ranked
+        .iter()
+        .map(|r| (r.doc, r.score.to_bits()))
+        .collect();
+    let eager: Vec<(DocId, u64)> = block_max_topk(&snapshot.weighted_block_lists(&weights), k)
         .into_iter()
         .map(|r| (r.doc, r.score.to_bits()))
-        .collect()
+        .collect();
+    assert_eq!(lazy, eager, "lazy cursor path diverged from eager path");
+    lazy
 }
 
 proptest! {

@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use zerber_field::{Fp, Polynomial};
+use zerber_field::Fp;
 
 use crate::error::ShamirError;
 use crate::scheme::{ServerId, SharingScheme};
@@ -29,19 +29,12 @@ impl<'a> BatchSplitter<'a> {
     }
 
     /// Splits `secrets`, returning `n` rows where row `i` holds the
-    /// y-shares destined for server `i`, aligned with `secrets`.
+    /// y-shares destined for server `i`, aligned with `secrets` —
+    /// delegates to [`SharingScheme::split_batch`], the allocation-free
+    /// per-element fast path (precomputed coordinate power tables, one
+    /// reused coefficient scratch).
     pub fn split_all<R: Rng + ?Sized>(&self, secrets: &[Fp], rng: &mut R) -> Vec<Vec<Fp>> {
-        let n = self.scheme.server_count();
-        let k = self.scheme.threshold();
-        let coordinates = self.scheme.coordinates();
-        let mut rows: Vec<Vec<Fp>> = (0..n).map(|_| Vec::with_capacity(secrets.len())).collect();
-        for &secret in secrets {
-            let polynomial = Polynomial::random_with_constant(secret, k - 1, rng);
-            for (row, &x) in rows.iter_mut().zip(coordinates) {
-                row.push(polynomial.evaluate(x));
-            }
-        }
-        rows
+        self.scheme.split_batch(secrets, rng)
     }
 }
 

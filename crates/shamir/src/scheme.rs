@@ -122,6 +122,55 @@ impl SharingScheme {
         out.extend(self.coordinates.iter().map(|&x| polynomial.evaluate(x)));
     }
 
+    /// Algorithm 1a over a whole batch: splits every secret, returning
+    /// `n` rows where row `i` holds the y-shares destined for server
+    /// `i`, aligned with `secrets`.
+    ///
+    /// The per-element cost drops to pure field arithmetic: each
+    /// server's coordinate powers `x_i^0 … x_i^{k-1}` are precomputed
+    /// once per call, and the fresh random coefficients live in one
+    /// scratch buffer reused across elements — no `Polynomial` (or any
+    /// other) allocation per element, unlike
+    /// [`split`](Self::split)/[`split_into`](Self::split_into). Each
+    /// share is the dot product `Σ_j c_j · x_i^j`, exactly the value
+    /// Horner evaluation produces (field arithmetic is exact), and the
+    /// coefficients are drawn in the same order — so the output is
+    /// identical to calling [`split`](Self::split) per element with
+    /// the same RNG.
+    pub fn split_batch<R: Rng + ?Sized>(&self, secrets: &[Fp], rng: &mut R) -> Vec<Vec<Fp>> {
+        let k = self.k;
+        // Per-server power tables, server-major: powers[i·k + j] = x_i^j.
+        let mut powers: Vec<Fp> = Vec::with_capacity(self.coordinates.len() * k);
+        for &x in &self.coordinates {
+            let mut power = Fp::ONE;
+            for _ in 0..k {
+                powers.push(power);
+                power *= x;
+            }
+        }
+        let mut rows: Vec<Vec<Fp>> = self
+            .coordinates
+            .iter()
+            .map(|_| Vec::with_capacity(secrets.len()))
+            .collect();
+        let mut coefficients: Vec<Fp> = Vec::with_capacity(k);
+        for &secret in secrets {
+            coefficients.clear();
+            coefficients.push(secret);
+            for _ in 1..k {
+                coefficients.push(Fp::random(rng));
+            }
+            for (row, table) in rows.iter_mut().zip(powers.chunks_exact(k)) {
+                let mut y = Fp::ZERO;
+                for (&c, &p) in coefficients.iter().zip(table) {
+                    y += c * p;
+                }
+                row.push(y);
+            }
+        }
+        rows
+    }
+
     /// Algorithm 1b (fast path): recovers the secret from at least `k`
     /// shares via Lagrange interpolation at zero — O(k^2).
     pub fn reconstruct(&self, shares: &[Share]) -> Result<Fp, ShamirError> {
@@ -364,6 +413,54 @@ mod tests {
             assert!(!x.is_zero());
             assert!(!coordinates[..i].contains(x));
         }
+    }
+
+    #[test]
+    fn split_batch_matches_per_element_split() {
+        // Same RNG stream, same coefficients, exact field arithmetic:
+        // the power-table dot product must equal Horner evaluation
+        // share for share.
+        let scheme = SharingScheme::with_coordinates(
+            3,
+            vec![Fp::new(11), Fp::new(22), Fp::new(33), Fp::new(44)],
+        )
+        .unwrap();
+        let secrets: Vec<Fp> = (0..50u64).map(|v| Fp::new(v * 31 + 5)).collect();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let rows = scheme.split_batch(&secrets, &mut rng_a);
+        assert_eq!(rows.len(), 4);
+        for (e, &secret) in secrets.iter().enumerate() {
+            let shares = scheme.split(secret, &mut rng_b);
+            for (i, share) in shares.iter().enumerate() {
+                assert_eq!(rows[i][e], share.y, "element {e}, server {i}");
+            }
+        }
+        // And the rows reconstruct.
+        let subset = [
+            Share {
+                x: Fp::new(22),
+                y: rows[1][7],
+            },
+            Share {
+                x: Fp::new(33),
+                y: rows[2][7],
+            },
+            Share {
+                x: Fp::new(44),
+                y: rows[3][7],
+            },
+        ];
+        assert_eq!(scheme.reconstruct(&subset).unwrap(), secrets[7]);
+    }
+
+    #[test]
+    fn split_batch_of_nothing_is_empty_rows() {
+        let scheme = scheme_2_of_3();
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = scheme.split_batch(&[], &mut rng);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(Vec::is_empty));
     }
 
     #[test]

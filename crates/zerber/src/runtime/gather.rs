@@ -40,18 +40,38 @@ pub struct GatherOutcome {
     pub threshold_bound: Option<f64>,
 }
 
+/// Reusable scratch for [`gather_topk_with`]: the per-peer head
+/// cursors. One lives per querying thread so the fan-out/gather path
+/// does not allocate per query.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    cursors: Vec<usize>,
+}
+
 /// Merges per-peer candidate lists into the global top-`k`.
 ///
 /// Each inner list must be sorted by [`RankedDoc::result_order`]
 /// (debug-asserted) — the order peers produce. Lists may be shorter
 /// than `k` (small shards) or empty.
 pub fn gather_topk(per_peer: &[Vec<RankedDoc>], k: usize) -> GatherOutcome {
+    gather_topk_with(&mut GatherScratch::default(), per_peer, k)
+}
+
+/// [`gather_topk`] with a caller-owned [`GatherScratch`] (the hot-path
+/// form `ShardedSearch::query_from` uses).
+pub fn gather_topk_with(
+    scratch: &mut GatherScratch,
+    per_peer: &[Vec<RankedDoc>],
+    k: usize,
+) -> GatherOutcome {
     debug_assert!(per_peer
         .iter()
         .all(|list| list.windows(2).all(|w| !w[1].ranks_before(&w[0]))));
 
     let candidates_received = per_peer.iter().map(Vec::len).sum();
-    let mut cursors = vec![0usize; per_peer.len()];
+    scratch.cursors.clear();
+    scratch.cursors.resize(per_peer.len(), 0);
+    let cursors = &mut scratch.cursors;
     let mut ranked: Vec<RankedDoc> = Vec::with_capacity(k);
 
     while ranked.len() < k {
@@ -77,7 +97,7 @@ pub fn gather_topk(per_peer: &[Vec<RankedDoc>], k: usize) -> GatherOutcome {
     // The threshold at the stop point: the best head still unexamined.
     let threshold_bound = per_peer
         .iter()
-        .zip(&cursors)
+        .zip(cursors.iter())
         .filter_map(|(list, &cursor)| list.get(cursor))
         .map(|head| head.score)
         .fold(None, |acc: Option<f64>, s| {

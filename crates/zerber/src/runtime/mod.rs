@@ -16,7 +16,10 @@
 //!   servers this way); [`ShardService`] serves one *document shard*
 //!   of a plaintext collection behind the
 //!   [`zerber_index::PostingStore`] trait and answers top-k queries
-//!   with [`zerber_index::block_max_topk`].
+//!   with the lazy cursor-driven
+//!   [`zerber_index::block_max_topk_cursors`] over
+//!   [`zerber_index::PostingStore::query_cursors`] — only blocks that
+//!   survive the block-max bound ever decompress.
 //! * [`gather`] — merges per-peer top-k candidates under the
 //!   threshold-algorithm bound; with document sharding the merge is
 //!   provably identical to single-node evaluation (property-tested in
@@ -32,9 +35,9 @@
 //!  client thread                    peer threads (one per shard)
 //!  ─────────────                    ────────────────────────────
 //!  idf weights (global df)
-//!  TopKQuery ── fan_out ──┬──────▶  shard 0: block_max_topk ─┐
-//!      (wire bytes        ├──────▶  shard 1: block_max_topk ─┤
-//!       metered per link) └──────▶  shard P: block_max_topk ─┤
+//!  TopKQuery ── fan_out ──┬──────▶  shard 0: lazy block-max topk ─┐
+//!      (wire bytes        ├──────▶  shard 1: lazy block-max topk ─┤
+//!       metered per link) └──────▶  shard P: lazy block-max topk ─┤
 //!                                                            ▼
 //!  ranked top-k  ◀── gather (TA bound) ◀── TopKResponse (sorted)
 //! ```
@@ -54,13 +57,21 @@ use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 
-pub use gather::{gather_topk, GatherOutcome};
+pub use gather::{gather_topk, gather_topk_with, GatherOutcome, GatherScratch};
 pub use handle::RuntimeHandle;
 pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
 pub use shard::{build_shard_store, ShardStore, ShardStoreError};
 pub use transport::{InProcTransport, Transport, TransportError};
 
 use crate::config::{ConfigError, ZerberConfig};
+
+thread_local! {
+    /// Per-client-thread gather scratch: concurrent clients each keep
+    /// their own, so `query_from` stays `&self` without a lock and the
+    /// gather stage stops allocating per query.
+    static GATHER_SCRATCH: std::cell::RefCell<GatherScratch> =
+        std::cell::RefCell::new(GatherScratch::default());
+}
 
 /// Global collection statistics driving IDF weights: total documents
 /// and per-term document frequency. Computed over the *full*
@@ -234,14 +245,17 @@ impl From<TransportError> for IngestError {
 }
 
 /// The backend one shard peer should build: the segmented backend
-/// gets a per-shard subdirectory so stores never collide on disk.
-fn shard_backend(backend: &PostingBackend, peer: usize) -> PostingBackend {
+/// gets a per-shard subdirectory so stores never collide on disk; the
+/// in-memory backends are borrowed as-is (no clone).
+fn shard_backend(backend: &PostingBackend, peer: usize) -> std::borrow::Cow<'_, PostingBackend> {
     match backend {
-        PostingBackend::Segmented { dir, compaction } => PostingBackend::Segmented {
-            dir: dir.join(format!("shard-{peer:03}")),
-            compaction: *compaction,
-        },
-        other => other.clone(),
+        PostingBackend::Segmented { dir, compaction } => {
+            std::borrow::Cow::Owned(PostingBackend::Segmented {
+                dir: dir.join(format!("shard-{peer:03}")),
+                compaction: *compaction,
+            })
+        }
+        other => std::borrow::Cow::Borrowed(other),
     }
 }
 
@@ -286,14 +300,22 @@ impl ShardedSearch {
 
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let mut peer_nodes = Vec::with_capacity(shards.len());
+        // One shared backend description for every peer; the
+        // per-shard variant (a subdirectory for the segmented engine)
+        // is derived on the peer's own thread without cloning the
+        // in-memory backends.
+        let backend = Arc::new(config.postings.clone());
         for (peer, shard) in shards.into_iter().enumerate() {
             let node = NodeId::IndexServer(peer as u32);
-            let backend = shard_backend(&config.postings, peer);
+            let backend = Arc::clone(&backend);
             // The initializer runs on the peer's thread: shard stores
             // build (index, compress, or seed the durable engine) in
             // parallel across all peers.
             runtime.spawn_peer(node, move || {
-                ShardService::new(build_shard_store(&backend, &shard))
+                ShardService::new(build_shard_store(
+                    shard_backend(&backend, peer).as_ref(),
+                    &shard,
+                ))
             });
             peer_nodes.push(node);
         }
@@ -369,10 +391,10 @@ impl ShardedSearch {
             let mut state = self.stats.write();
             for doc in &group {
                 let terms: Vec<TermId> = doc.terms.iter().map(|&(t, _)| t).collect();
-                if let Some(old) = state.doc_terms.insert(doc.id, terms.clone()) {
+                state.stats.add_document(terms.iter().copied());
+                if let Some(old) = state.doc_terms.insert(doc.id, terms) {
                     state.stats.remove_document(old);
                 }
-                state.stats.add_document(terms);
             }
         }
         Ok(docs.len())
@@ -439,7 +461,8 @@ impl ShardedSearch {
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
         }
-        let gathered = gather_topk(&per_peer, k);
+        let gathered = GATHER_SCRATCH
+            .with(|scratch| gather_topk_with(&mut scratch.borrow_mut(), &per_peer, k));
         Ok(ShardedQueryOutcome {
             ranked: gathered.ranked,
             peers_contacted: self.peer_nodes.len(),
@@ -450,10 +473,10 @@ impl ShardedSearch {
 }
 
 /// The single-node reference: the same store backend, the same global
-/// IDF weights, the same block-max Threshold Algorithm — without
-/// sharding. [`ShardedSearch::query`] returns exactly this (the
-/// `sharded_topk` property test proves bit-identity for arbitrary
-/// corpora, peer counts, and `k`).
+/// IDF weights, the same lazy cursor-driven block-max Threshold
+/// Algorithm — without sharding. [`ShardedSearch::query`] returns
+/// exactly this (the `sharded_topk` property test proves bit-identity
+/// for arbitrary corpora, peer counts, and `k`).
 pub fn local_topk(
     config: &ZerberConfig,
     docs: &[Document],
@@ -463,8 +486,11 @@ pub fn local_topk(
     let index = InvertedIndex::from_documents(docs);
     let store = config.posting_store(&index);
     let stats = TermStats::from_documents(docs);
-    let lists = store.weighted_block_lists(&stats.weights(terms));
-    zerber_index::block_max_topk(&lists, k)
+    let mut cursors = store.query_cursors(&stats.weights(terms));
+    let mut scratch = zerber_index::TopKScratch::new();
+    zerber_index::block_max_topk_cursors(&mut cursors, k, &mut scratch);
+    drop(cursors);
+    scratch.take_ranked()
 }
 
 #[cfg(test)]

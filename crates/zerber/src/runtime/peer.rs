@@ -23,7 +23,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
-use zerber_index::{block_max_topk, Document, GroupId, PostingStore};
+use zerber_index::cursor::TopKScratch;
+use zerber_index::{Document, GroupId, PostingStore};
 use zerber_net::message::fault;
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 use zerber_server::{IndexServer, ServerError};
@@ -93,10 +94,14 @@ impl PeerService for ServerService {
 /// One document shard of a plaintext collection: ranked reads plus
 /// the live write stream.
 ///
-/// Scored lists come from the shard store's
-/// [`PostingStore::weighted_block_lists`]-shaped read path, so the
-/// compressed and segmented backends serve straight from their stored
-/// block-max skip metadata. [`Message::IndexDocs`] and
+/// Queries run the lazy [`ShardStore::query_topk`] pipeline — cursor-
+/// driven block-max top-k over
+/// [`PostingStore::query_cursors`], so the compressed and segmented
+/// backends peek their stored block-max skip metadata and only
+/// decompress blocks that survive the upper-bound test. The service
+/// owns the [`TopKScratch`] (top-k heap + result buffer), reused
+/// across every RPC this peer serves: the fan-out hot path stops
+/// allocating per query. [`Message::IndexDocs`] and
 /// [`Message::RemoveDoc`] mutate the shard; a frozen shard answers
 /// them with an `UNSUPPORTED` fault, a durable shard that fails to
 /// persist answers `STORAGE`.
@@ -111,6 +116,8 @@ impl PeerService for ServerService {
 /// access-controlled collections behind it.
 pub struct ShardService {
     shard: Box<dyn ShardStore>,
+    /// Per-peer reusable query scratch (heap, result buffer).
+    scratch: TopKScratch,
 }
 
 /// Validates and converts one wire document. Wire input is untrusted:
@@ -141,7 +148,10 @@ fn shard_fault(error: ShardStoreError) -> Message {
 impl ShardService {
     /// Serves a shard store (mutable or frozen).
     pub fn new(shard: Box<dyn ShardStore>) -> Self {
-        Self { shard }
+        Self {
+            shard,
+            scratch: TopKScratch::new(),
+        }
     }
 
     /// Serves a frozen posting store (any backend) read-only — the
@@ -171,10 +181,14 @@ impl PeerService for ShardService {
                 {
                     return malformed;
                 }
-                let lists = self.shard.weighted_block_lists(&terms);
-                let ranked = block_max_topk(&lists, k as usize);
+                let _cost = self.shard.query_topk(&terms, k as usize, &mut self.scratch);
                 Message::TopKResponse {
-                    candidates: ranked.into_iter().map(|r| (r.doc, r.score)).collect(),
+                    candidates: self
+                        .scratch
+                        .ranked
+                        .iter()
+                        .map(|r| (r.doc, r.score))
+                        .collect(),
                 }
             }
             Message::IndexDocs { docs } => {

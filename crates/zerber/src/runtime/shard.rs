@@ -1,9 +1,10 @@
 //! Mutable document-shard storage behind the peer runtime.
 //!
 //! A shard peer needs two capabilities: serve ranked reads
-//! ([`ShardStore::weighted_block_lists`], the
-//! [`zerber_index::PostingStore`] query surface) and absorb the
-//! *write stream* — document inserts and deletes arriving as
+//! ([`ShardStore::query_topk`], the lazy
+//! [`zerber_index::PostingStore::query_cursors`] pipeline driven with
+//! a caller-owned [`TopKScratch`]) and absorb the *write stream* —
+//! document inserts and deletes arriving as
 //! [`zerber_net::Message::IndexDocs`] / `RemoveDoc` frames. The
 //! backends differ sharply in how they take writes:
 //!
@@ -19,11 +20,24 @@
 //!   rejected with [`ShardStoreError::Frozen`] (surfaced to clients
 //!   as an `UNSUPPORTED` fault).
 
-use zerber_index::{
-    BlockScoredList, DocId, Document, InvertedIndex, PostingBackend, PostingStore, TermId,
-};
+use zerber_index::cursor::{block_max_topk_cursors, QueryCost, TopKScratch};
+use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, PostingStore, TermId};
 use zerber_postings::CompressedPostingStore;
 use zerber_segment::SegmentStore;
+
+/// Runs the lazy cursor-driven top-k over any [`PostingStore`],
+/// leaving the ranked result in `scratch.ranked` and returning the
+/// decode accounting.
+fn cursor_topk(
+    store: &dyn PostingStore,
+    terms: &[(TermId, f64)],
+    k: usize,
+    scratch: &mut TopKScratch,
+) -> QueryCost {
+    let mut cursors = store.query_cursors(terms);
+    block_max_topk_cursors(&mut cursors, k, scratch);
+    QueryCost::of(&cursors)
+}
 
 /// Why a shard rejected a mutation.
 #[derive(Debug)]
@@ -50,9 +64,19 @@ impl std::error::Error for ShardStoreError {}
 /// Not `Send`-bound — a shard store is built and driven entirely on
 /// its peer's thread.
 pub trait ShardStore {
-    /// The scored, block-partitioned read path (see
-    /// [`PostingStore::weighted_block_lists`]).
-    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList>;
+    /// The lazy ranked read path: drives
+    /// [`PostingStore::query_cursors`] through the cursor-driven
+    /// block-max Threshold Algorithm, reusing the caller's
+    /// [`TopKScratch`] (heap + result buffer) so the fan-out hot path
+    /// allocates nothing per RPC. The top-`k` lands in
+    /// `scratch.ranked`; the return value accounts the decode work
+    /// pruning saved.
+    fn query_topk(
+        &mut self,
+        terms: &[(TermId, f64)],
+        k: usize,
+        scratch: &mut TopKScratch,
+    ) -> QueryCost;
 
     /// Inserts (or replaces) documents; returns posting elements
     /// written.
@@ -77,8 +101,13 @@ impl FrozenShard {
 }
 
 impl ShardStore for FrozenShard {
-    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
-        self.store.weighted_block_lists(terms)
+    fn query_topk(
+        &mut self,
+        terms: &[(TermId, f64)],
+        k: usize,
+        scratch: &mut TopKScratch,
+    ) -> QueryCost {
+        cursor_topk(self.store.as_ref(), terms, k, scratch)
     }
 
     fn insert_documents(&mut self, _docs: &[Document]) -> Result<usize, ShardStoreError> {
@@ -118,12 +147,20 @@ impl LiveIndexShard {
 }
 
 impl ShardStore for LiveIndexShard {
-    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
+    fn query_topk(
+        &mut self,
+        terms: &[(TermId, f64)],
+        k: usize,
+        scratch: &mut TopKScratch,
+    ) -> QueryCost {
         match &mut self.compressed {
-            None => self.index.weighted_block_lists(terms),
-            Some(cache) => cache
-                .get_or_insert_with(|| CompressedPostingStore::from_index(&self.index))
-                .weighted_block_lists(terms),
+            None => cursor_topk(&self.index, terms, k, scratch),
+            Some(cache) => cursor_topk(
+                cache.get_or_insert_with(|| CompressedPostingStore::from_index(&self.index)),
+                terms,
+                k,
+                scratch,
+            ),
         }
     }
 
@@ -165,8 +202,16 @@ impl SegmentShard {
 }
 
 impl ShardStore for SegmentShard {
-    fn weighted_block_lists(&mut self, terms: &[(TermId, f64)]) -> Vec<BlockScoredList> {
-        self.store.snapshot().weighted_block_lists(terms)
+    fn query_topk(
+        &mut self,
+        terms: &[(TermId, f64)],
+        k: usize,
+        scratch: &mut TopKScratch,
+    ) -> QueryCost {
+        // The MVCC snapshot pins the sources the cursors borrow from
+        // for exactly the duration of this query.
+        let snapshot = self.store.snapshot();
+        cursor_topk(&snapshot, terms, k, scratch)
     }
 
     fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
@@ -218,7 +263,7 @@ pub fn build_shard_store(backend: &PostingBackend, docs: &[Document]) -> Box<dyn
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zerber_index::{block_max_topk, GroupId, RawPostingStore};
+    use zerber_index::{GroupId, RawPostingStore};
 
     fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
         Document::from_term_counts(
@@ -245,8 +290,12 @@ mod tests {
                 )
             })
             .collect();
-        block_max_topk(&store.weighted_block_lists(&weights), 8)
-            .into_iter()
+        let mut scratch = TopKScratch::new();
+        let cost = store.query_topk(&weights, 8, &mut scratch);
+        assert!(cost.blocks_decoded <= cost.blocks_total);
+        scratch
+            .ranked
+            .iter()
             .map(|r| (r.doc, r.score.to_bits()))
             .collect()
     }

@@ -54,8 +54,10 @@ pub struct RequestEnvelope {
     pub from: NodeId,
     /// The caller's session token.
     pub auth: AuthToken,
-    /// Encoded request [`Message`].
-    pub payload: Vec<u8>,
+    /// Encoded request [`Message`]. Shared, not copied: a fan-out
+    /// serializes the message once and every peer's envelope holds the
+    /// same buffer.
+    pub payload: Arc<[u8]>,
     /// Channel for the encoded response [`Message`].
     pub reply: mpsc::Sender<Vec<u8>>,
 }
@@ -136,14 +138,15 @@ impl InProcTransport {
     }
 
     /// Dispatches one pre-encoded request, returning the receiver its
-    /// response will arrive on. (Encoding stays with the callers so a
-    /// fan-out serializes the message once, not once per peer.)
+    /// response will arrive on. (Encoding stays with the callers, and
+    /// the buffer is reference-counted, so a fan-out serializes *and
+    /// allocates* the message once, not once per peer.)
     fn dispatch(
         &self,
         from: NodeId,
         to: NodeId,
         auth: AuthToken,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
     ) -> Result<mpsc::Receiver<Vec<u8>>, TransportError> {
         let inbox = self.inbox_of(to)?;
         self.meter.record(from, to, payload.len());
@@ -180,7 +183,7 @@ impl Transport for InProcTransport {
         auth: AuthToken,
         message: &Message,
     ) -> Result<Message, TransportError> {
-        let response = self.dispatch(from, to, auth, message.encode().to_vec())?;
+        let response = self.dispatch(from, to, auth, Arc::from(message.encode().as_ref()))?;
         self.collect(from, to, response)
     }
 
@@ -191,11 +194,12 @@ impl Transport for InProcTransport {
         auth: AuthToken,
         message: &Message,
     ) -> Vec<Result<Message, TransportError>> {
-        // One serialization for the whole fan-out.
-        let payload = message.encode().to_vec();
+        // One serialization and one allocation for the whole fan-out;
+        // each peer's envelope bumps a refcount instead of copying.
+        let payload: Arc<[u8]> = Arc::from(message.encode().as_ref());
         let pending: Vec<_> = peers
             .iter()
-            .map(|&to| self.dispatch(from, to, auth, payload.clone()))
+            .map(|&to| self.dispatch(from, to, auth, Arc::clone(&payload)))
             .collect();
         pending
             .into_iter()
@@ -216,7 +220,7 @@ mod tests {
         transport.register(node, tx);
         thread::spawn(move || {
             while let Ok(PeerInbox::Request(envelope)) = rx.recv() {
-                let _ = envelope.reply.send(envelope.payload);
+                let _ = envelope.reply.send(envelope.payload.to_vec());
             }
         })
     }
