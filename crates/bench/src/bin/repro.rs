@@ -4,9 +4,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [--json <dir>]
+//! repro [--smoke] [--json <dir>] [--socket]
 //!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|security|ablation]
 //! ```
+//!
+//! `--socket` additionally runs the `scalability` kill-a-peer scenario
+//! in multi-process mode: this binary re-executes itself as the shard
+//! peers (hidden `--serve-peer <i>` mode), each serving its replica
+//! shards over real length-framed TCP, and one child is SIGKILLed
+//! halfway through the workload.
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
 //! minutes); the default scale preserves the paper's distributional
@@ -38,6 +44,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Default };
+    // Hidden child mode for `scalability --socket`: this process *is*
+    // one shard peer of the multi-process deployment.
+    if let Some(i) = args.iter().position(|a| a == "--serve-peer") {
+        let peer: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--serve-peer needs a peer index");
+                std::process::exit(2);
+            });
+        scalability::serve_socket_peer(peer, scale);
+        return;
+    }
+    let socket_mode = args.iter().any(|a| a == "--socket");
     let json_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--json").map(|i| {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
@@ -117,7 +137,27 @@ fn main() {
         println!("{}", compression::render(&compression::run(scale)));
     }
     if wanted("scalability") {
-        let result = scalability::run(scale);
+        let mut result = scalability::run(scale);
+        if socket_mode {
+            // Multi-process mode: this binary re-executes itself as
+            // the shard peers (`--serve-peer <i>`), each serving its
+            // replica shards over a real TCP socket.
+            let exe = std::env::current_exe().expect("own path");
+            let point = scalability::run_socket(scale, &mut |peer| {
+                let mut command = std::process::Command::new(&exe);
+                command
+                    .arg("--serve-peer")
+                    .arg(peer.to_string())
+                    .stdin(std::process::Stdio::piped())
+                    .stdout(std::process::Stdio::piped());
+                if smoke {
+                    command.arg("--smoke");
+                }
+                command.spawn()
+            })
+            .expect("socket-mode children");
+            result.failover.push(point);
+        }
         println!("{}", scalability::render(&result));
         if let Some(dir) = &json_dir {
             write_json(dir, "scalability", scalability::to_json(&result));

@@ -13,12 +13,18 @@
 //! not just close (the `sharded_topk` property test proves this for
 //! arbitrary corpora; here it is re-asserted on the real workload).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use zerber::runtime::{local_topk, ShardedSearch};
+use zerber::runtime::socket::{serve_peer, SocketTransport};
+use zerber::runtime::{
+    build_shard_store, gather_topk, hedged_fan_out, local_topk, HedgePolicy, ShardService,
+    ShardedSearch, TermStats,
+};
 use zerber::ZerberConfig;
+use zerber_dht::ShardMap;
 use zerber_index::{RankedDoc, TermId};
-use zerber_net::NodeId;
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
 
 use crate::report::{percentile, Table};
 use crate::scenario::{OdpScenario, Scale};
@@ -62,6 +68,41 @@ pub struct ScalabilityPoint {
     pub matches_single_node: bool,
 }
 
+/// Peers in the kill-a-peer scenarios (in-proc and socket mode).
+pub const FAILOVER_PEERS: usize = 4;
+/// Replication factor in the kill-a-peer scenarios.
+pub const FAILOVER_REPLICATION: usize = 2;
+/// The peer the scenarios kill halfway through the workload.
+pub const KILLED_PEER: u32 = 1;
+
+/// Availability under failure: a replicated deployment with one peer
+/// killed mid-workload. Queries keep flowing through the kill; the
+/// survivors' hedged gather must absorb it.
+#[derive(Debug)]
+pub struct FailoverPoint {
+    /// `"in-proc"` (message-passing transport, peer thread shut down)
+    /// or `"socket"` (real TCP to child processes, one SIGKILLed).
+    pub transport: &'static str,
+    /// Shard peers in the deployment.
+    pub peers: usize,
+    /// Replicas per shard.
+    pub replication: usize,
+    /// Queries driven through the kill.
+    pub queries: usize,
+    /// Queries that returned a result (the rest failed closed).
+    pub ok: usize,
+    /// `ok / queries`, in percent.
+    pub availability_pct: f64,
+    /// Hedged (beyond-primary) requests per query.
+    pub hedge_rate: f64,
+    /// Median query latency across the whole run, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile query latency (the kill lives in the tail).
+    pub p95_ms: f64,
+    /// Whether post-kill results still match single-node evaluation.
+    pub matches_single_node: bool,
+}
+
 /// The full sweep.
 #[derive(Debug)]
 pub struct Scalability {
@@ -69,6 +110,9 @@ pub struct Scalability {
     pub points: Vec<ScalabilityPoint>,
     /// Reference queries compared per point.
     pub reference_checks: usize,
+    /// Kill-a-peer scenarios (always the in-proc one; `repro
+    /// scalability --socket` appends the multi-process point).
+    pub failover: Vec<FailoverPoint>,
 }
 
 /// Runs the sweep on the shared ODP scenario.
@@ -170,10 +214,255 @@ pub fn run(scale: Scale) -> Scalability {
         });
     }
 
+    let failover = vec![inproc_failover(docs, &queries, &reference)];
+
     Scalability {
         points,
         reference_checks: checks,
+        failover,
     }
+}
+
+/// Sorts latencies and folds the common failover bookkeeping into a
+/// [`FailoverPoint`].
+fn failover_point(
+    transport: &'static str,
+    mut latencies: Vec<f64>,
+    ok: usize,
+    hedges: usize,
+    matches_single_node: bool,
+) -> FailoverPoint {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let executed = latencies.len().max(1);
+    FailoverPoint {
+        transport,
+        peers: FAILOVER_PEERS,
+        replication: FAILOVER_REPLICATION,
+        queries: latencies.len(),
+        ok,
+        availability_pct: 100.0 * ok as f64 / executed as f64,
+        hedge_rate: hedges as f64 / executed as f64,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        matches_single_node,
+    }
+}
+
+/// The in-proc kill-a-peer scenario: replicated deployment, one peer's
+/// thread shut down halfway through the workload. With R = 2 no shard
+/// is lost, so availability must hold at 100% while the hedge rate
+/// records the failovers.
+fn inproc_failover(
+    docs: &[zerber_index::Document],
+    queries: &[Vec<TermId>],
+    reference: &[Vec<RankedDoc>],
+) -> FailoverPoint {
+    let config = ZerberConfig::default()
+        .with_peers(FAILOVER_PEERS)
+        .with_replication(FAILOVER_REPLICATION);
+    let search = ShardedSearch::launch(&config, docs).expect("valid config");
+    let kill_at = queries.len() / 2;
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut ok = 0usize;
+    let mut hedges = 0usize;
+    for (i, query) in queries.iter().enumerate() {
+        if i == kill_at {
+            search.kill_peer(KILLED_PEER);
+        }
+        let begun = Instant::now();
+        if let Ok(outcome) = search.query(query, K) {
+            ok += 1;
+            hedges += outcome.hedges;
+        }
+        latencies.push(begun.elapsed().as_secs_f64() * 1e3);
+    }
+    // Post-kill correctness: failover may never change results.
+    let mut matches_single_node = true;
+    for (query, expected) in queries[..reference.len()].iter().zip(reference) {
+        matches_single_node &= match search.query(query, K) {
+            Ok(outcome) => &outcome.ranked == expected,
+            Err(_) => false,
+        };
+    }
+    failover_point("in-proc", latencies, ok, hedges, matches_single_node)
+}
+
+// ---------------------------------------------------------------------
+// Multi-process socket mode (`repro scalability --socket`): the same
+// kill-a-peer scenario over real TCP, with each peer its own OS
+// process. The parent spawns `repro --serve-peer <i>` children, which
+// rebuild the (deterministic) shared scenario, serve their replica
+// shards, and print `READY <addr>`; the parent then drives the query
+// log through a `SocketTransport` and SIGKILLs one child halfway.
+// ---------------------------------------------------------------------
+
+/// Child-process entry for socket mode: serve peer `peer` of the
+/// [`FAILOVER_PEERS`]-peer, [`FAILOVER_REPLICATION`]-replica
+/// deployment on an ephemeral loopback port, announce `READY <addr>`
+/// on stdout, and hold until stdin closes (or the process is killed —
+/// which is the point of the scenario).
+pub fn serve_socket_peer(peer: usize, scale: Scale) {
+    let scenario = OdpScenario::shared(scale);
+    let docs = &scenario.corpus.documents;
+    let map = ShardMap::new(FAILOVER_PEERS as u32);
+    let shards = map.partition(docs, |doc| doc.id);
+    let hosted = map.hosted_shards(peer as u32, FAILOVER_REPLICATION as u32);
+    let backend = ZerberConfig::default().postings;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let peer_handle = serve_peer(
+        listener,
+        NodeId::IndexServer(peer as u32),
+        move || {
+            ShardService::hosting(hosted.into_iter().map(|shard| {
+                let store = build_shard_store(&backend, &shards[shard as usize]);
+                (shard, store)
+            }))
+        },
+        Arc::new(TrafficMeter::new()),
+    )
+    .expect("serve on loopback");
+    println!("READY {}", peer_handle.addr());
+    use std::io::Read as _;
+    let mut hold = String::new();
+    std::io::stdin().read_to_string(&mut hold).ok();
+}
+
+/// One query through the socket transport: the same client-side path
+/// as [`ShardedSearch::query`] (global IDF weights, per-shard top-k,
+/// hedged fan-out, TA gather), over TCP. Returns the ranked results
+/// and the hedges spent, or `None` if a shard was unavailable.
+fn socket_query(
+    transport: &SocketTransport,
+    map: &ShardMap,
+    stats: &TermStats,
+    policy: &HedgePolicy,
+    terms: &[TermId],
+) -> Option<(Vec<RankedDoc>, usize)> {
+    let weights = stats.weights(terms);
+    let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..map.peer_count())
+        .map(|shard| {
+            let request = Message::TopKQuery {
+                shard,
+                terms: weights.clone(),
+                k: K as u32,
+            };
+            let replicas = map
+                .replica_peers(shard, FAILOVER_REPLICATION as u32)
+                .into_iter()
+                .map(|peer| NodeId::IndexServer(peer.0))
+                .collect();
+            (shard, replicas, Arc::from(request.encode().as_ref()))
+        })
+        .collect();
+    let fetches = hedged_fan_out(transport, NodeId::User(0), AuthToken(0), &shards, policy);
+    let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
+    let mut hedges = 0usize;
+    for fetch in fetches {
+        let fetch = fetch.ok()?;
+        hedges += fetch.hedges;
+        match fetch.response {
+            Message::TopKResponse { candidates } => per_shard.push(
+                candidates
+                    .into_iter()
+                    .map(|(doc, score)| RankedDoc { doc, score })
+                    .collect(),
+            ),
+            _ => return None,
+        }
+    }
+    Some((gather_topk(&per_shard, K).ranked, hedges))
+}
+
+/// Parent side of socket mode. `spawn` launches one peer child (the
+/// `repro` binary re-executing itself with `--serve-peer <i>`) with
+/// piped stdin/stdout; the parent reads each child's `READY <addr>`
+/// handshake, registers the addresses, replays the query log, and
+/// SIGKILLs peer [`KILLED_PEER`] halfway through.
+pub fn run_socket(
+    scale: Scale,
+    spawn: &mut dyn FnMut(usize) -> std::io::Result<std::process::Child>,
+) -> std::io::Result<FailoverPoint> {
+    use std::io::BufRead as _;
+
+    let scenario = OdpScenario::shared(scale);
+    let docs = &scenario.corpus.documents;
+    let sample = match scale {
+        Scale::Default => 800usize,
+        Scale::Smoke => 120,
+    };
+    let queries: Vec<Vec<TermId>> = scenario
+        .log
+        .queries
+        .iter()
+        .filter(|q| !q.is_empty())
+        .take(sample)
+        .cloned()
+        .collect();
+    let stats = TermStats::from_documents(docs);
+    let map = ShardMap::new(FAILOVER_PEERS as u32);
+    let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+    let policy = HedgePolicy {
+        hedge_after: std::time::Duration::from_millis(25),
+        deadline: std::time::Duration::from_secs(2),
+    };
+
+    let mut children = Vec::with_capacity(FAILOVER_PEERS);
+    for peer in 0..FAILOVER_PEERS {
+        let mut child = spawn(peer)?;
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut ready = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut ready)?;
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("bad child handshake: {ready:?}"))
+            .parse()
+            .expect("child printed a socket address");
+        transport.register(NodeId::IndexServer(peer as u32), addr);
+        children.push(child);
+    }
+
+    let base = ZerberConfig::default();
+    let checks = REFERENCE_CHECKS.min(queries.len());
+    let reference: Vec<Vec<RankedDoc>> = queries[..checks]
+        .iter()
+        .map(|q| local_topk(&base, docs, q, K))
+        .collect();
+
+    let kill_at = queries.len() / 2;
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut ok = 0usize;
+    let mut hedges = 0usize;
+    for (i, query) in queries.iter().enumerate() {
+        if i == kill_at {
+            children[KILLED_PEER as usize].kill()?;
+        }
+        let begun = Instant::now();
+        if let Some((_, spent)) = socket_query(&transport, &map, &stats, &policy, query) {
+            ok += 1;
+            hedges += spent;
+        }
+        latencies.push(begun.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut matches_single_node = true;
+    for (query, expected) in queries[..checks].iter().zip(&reference) {
+        matches_single_node &= match socket_query(&transport, &map, &stats, &policy, query) {
+            Some((ranked, _)) => &ranked == expected,
+            None => false,
+        };
+    }
+
+    for child in &mut children {
+        child.kill().ok();
+        child.wait().ok();
+    }
+    Ok(failover_point(
+        "socket",
+        latencies,
+        ok,
+        hedges,
+        matches_single_node,
+    ))
 }
 
 /// Formats the sweep.
@@ -206,6 +495,41 @@ pub fn render(result: &Scalability) -> String {
          every configuration's top-{K} verified identical to single-node evaluation \
          on {} reference queries\n",
         result.reference_checks
+    ));
+
+    let mut failover = Table::new(
+        "Kill-a-peer: one replica killed mid-workload (queries keep flowing)",
+        &[
+            "transport",
+            "peers",
+            "R",
+            "queries",
+            "avail %",
+            "hedges/q",
+            "p50 ms",
+            "p95 ms",
+            "= 1-node",
+        ],
+    );
+    for p in &result.failover {
+        failover.row(&[
+            p.transport.to_string(),
+            p.peers.to_string(),
+            p.replication.to_string(),
+            p.queries.to_string(),
+            format!("{:.2}", p.availability_pct),
+            format!("{:.3}", p.hedge_rate),
+            format!("{:.3}", p.p50_ms),
+            format!("{:.3}", p.p95_ms),
+            if p.matches_single_node { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&failover.render());
+    out.push_str(&format!(
+        "peer {KILLED_PEER} is killed halfway; with R = {FAILOVER_REPLICATION} every shard \
+         keeps a live replica, so availability holds and the hedge rate records the \
+         failovers (run `repro scalability --socket` for the multi-process TCP variant)\n",
     ));
     out
 }
@@ -247,10 +571,38 @@ pub fn to_json(result: &Scalability) -> String {
             ])
         })
         .collect();
+    let failover: Vec<String> = result
+        .failover
+        .iter()
+        .map(|p| {
+            object(&[
+                ("transport", crate::json::string(p.transport)),
+                ("peers", number(p.peers as f64)),
+                ("replication", number(p.replication as f64)),
+                ("killed_peer", number(f64::from(KILLED_PEER))),
+                ("queries", number(p.queries as f64)),
+                ("ok", number(p.ok as f64)),
+                ("availability_pct", number(p.availability_pct)),
+                ("hedge_rate", number(p.hedge_rate)),
+                ("p50_ms", number(p.p50_ms)),
+                ("p95_ms", number(p.p95_ms)),
+                (
+                    "matches_single_node",
+                    if p.matches_single_node {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                    .to_owned(),
+                ),
+            ])
+        })
+        .collect();
     object(&[
         ("k", number(K as f64)),
         ("reference_checks", number(result.reference_checks as f64)),
         ("points", array(&points)),
+        ("failover", array(&failover)),
     ])
 }
 
@@ -275,11 +627,27 @@ mod tests {
                 matches_single_node: true,
             }],
             reference_checks: 5,
+            failover: vec![FailoverPoint {
+                transport: "in-proc",
+                peers: 4,
+                replication: 2,
+                queries: 100,
+                ok: 100,
+                availability_pct: 100.0,
+                hedge_rate: 0.25,
+                p50_ms: 1.0,
+                p95_ms: 4.0,
+                matches_single_node: true,
+            }],
         };
         let json = to_json(&result);
         assert!(json.contains("\"points\":[{"));
         assert!(json.contains("\"qps\":123"));
         assert!(json.contains("\"matches_single_node\":true"));
+        assert!(json.contains("\"failover\":[{"));
+        assert!(json.contains("\"availability_pct\":100"));
+        assert!(json.contains("\"hedge_rate\":0.25"));
+        assert!(json.contains("\"transport\":\"in-proc\""));
     }
 
     #[test]
@@ -307,5 +675,14 @@ mod tests {
         let first = &result.points[0];
         let last = result.points.last().unwrap();
         assert!(last.wire_up_per_query > first.wire_up_per_query);
+
+        // The kill-a-peer scenario: R = 2 keeps every shard covered,
+        // so no query is lost and the failovers show up as hedges.
+        let failover = &result.failover[0];
+        assert_eq!(failover.transport, "in-proc");
+        assert_eq!(failover.ok, failover.queries, "no availability loss");
+        assert!((failover.availability_pct - 100.0).abs() < 1e-9);
+        assert!(failover.hedge_rate > 0.0, "the kill must force hedges");
+        assert!(failover.matches_single_node, "failover changed results");
     }
 }

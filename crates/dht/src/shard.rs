@@ -59,6 +59,37 @@ impl ShardMap {
         }
         shards
     }
+
+    /// The peers hosting copies of logical shard `shard` under
+    /// `replicas`-fold replication: the shard's home peer plus its
+    /// successors on the peer-id cycle (chord-style successor lists —
+    /// the same scheme Section 6 uses for posting-list share
+    /// replicas). Replication degrees beyond the peer count clamp to
+    /// one copy per peer.
+    ///
+    /// # Panics
+    /// Panics if `replicas == 0` or `shard` is not a valid peer id.
+    pub fn replica_peers(&self, shard: u32, replicas: u32) -> Vec<PeerId> {
+        assert!(replicas > 0, "need at least one replica");
+        assert!(shard < self.peers, "shard {shard} out of range");
+        (0..replicas.min(self.peers))
+            .map(|j| PeerId((shard + j) % self.peers))
+            .collect()
+    }
+
+    /// The logical shards `peer` hosts under `replicas`-fold
+    /// replication: its own shard plus its predecessors' — the exact
+    /// inverse of [`ShardMap::replica_peers`].
+    ///
+    /// # Panics
+    /// Panics if `replicas == 0` or `peer` is not a valid peer id.
+    pub fn hosted_shards(&self, peer: u32, replicas: u32) -> Vec<u32> {
+        assert!(replicas > 0, "need at least one replica");
+        assert!(peer < self.peers, "peer {peer} out of range");
+        (0..replicas.min(self.peers))
+            .map(|j| (peer + self.peers - j) % self.peers)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +137,40 @@ mod tests {
     #[should_panic(expected = "at least one peer")]
     fn zero_peers_panics() {
         let _ = ShardMap::new(0);
+    }
+
+    #[test]
+    fn replica_sets_are_successor_runs() {
+        let map = ShardMap::new(5);
+        assert_eq!(
+            map.replica_peers(3, 3),
+            vec![PeerId(3), PeerId(4), PeerId(0)]
+        );
+        assert_eq!(map.replica_peers(0, 1), vec![PeerId(0)]);
+        // Over-replication clamps to one copy per peer.
+        assert_eq!(map.replica_peers(2, 9).len(), 5);
+    }
+
+    #[test]
+    fn hosted_shards_inverts_replica_peers() {
+        for peers in 1..7u32 {
+            let map = ShardMap::new(peers);
+            for replicas in 1..=peers + 2 {
+                for shard in 0..peers {
+                    for peer in map.replica_peers(shard, replicas) {
+                        assert!(
+                            map.hosted_shards(peer.0, replicas).contains(&shard),
+                            "peer {peer:?} hosts a replica of shard {shard} \
+                             but hosted_shards omits it (P={peers}, R={replicas})"
+                        );
+                    }
+                }
+                // Total copies = shards × effective replication.
+                let copies: usize = (0..peers)
+                    .map(|p| map.hosted_shards(p, replicas).len())
+                    .sum();
+                assert_eq!(copies as u32, peers * replicas.min(peers));
+            }
+        }
     }
 }

@@ -11,6 +11,8 @@
 //! * [`message`] — binary wire formats for every Zerber RPC (insert
 //!   batches, deletes, posting-list queries and responses, snippet
 //!   fetches) with exact byte sizes,
+//! * [`framing`] — length-prefixed, CRC-protected frames that carry
+//!   those messages over real byte streams (TCP / Unix sockets),
 //! * [`bandwidth`] — per-link traffic accounting and transfer-time
 //!   models for the paper's link speeds,
 //! * [`sizes`] — the storage/overhead arithmetic of Section 7.2
@@ -20,10 +22,12 @@
 
 pub mod bandwidth;
 pub mod entropy;
+pub mod framing;
 pub mod message;
 pub mod sizes;
 
 pub use bandwidth::{LinkSpec, NodeId, TrafficMeter};
 pub use entropy::entropy_bits_per_byte;
+pub use framing::{Frame, FrameDecoder, FrameError};
 pub use message::{AuthToken, Message, StoredShare, WireDocument, WireError};
 pub use sizes::SizeModel;

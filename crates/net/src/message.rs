@@ -137,6 +137,11 @@ pub enum Message {
     /// *global* collection statistics, shipped as exact `f64` bit
     /// patterns so every shard scores with bit-identical floats.
     TopKQuery {
+        /// Which logical shard this peer should answer from. Under
+        /// replication a peer hosts several shard stores; the id
+        /// routes the query to the right one and lets any replica of
+        /// a shard serve the identical request.
+        shard: u32,
         /// Query terms with their global IDF weights.
         terms: Vec<(TermId, f64)>,
         /// How many ranked results to return.
@@ -154,12 +159,17 @@ pub enum Message {
     /// inserts, the peer sees the documents in the clear — this frame
     /// belongs to the *plaintext baseline* serving engine only.
     IndexDocs {
+        /// The logical shard these documents belong to (writes fan to
+        /// every replica of the shard; each applies them to its copy).
+        shard: u32,
         /// Documents to index; re-sent document ids replace the
         /// previous version ("only the most recent copy").
         docs: Vec<WireDocument>,
     },
     /// Owner → shard peer: remove one document and all its postings.
     RemoveDoc {
+        /// The logical shard the document lives on.
+        shard: u32,
         /// The document to drop.
         doc: DocId,
     },
@@ -282,8 +292,9 @@ impl Message {
                 buffer.put_u32(payload.len() as u32);
                 buffer.put_slice(payload);
             }
-            Message::TopKQuery { terms, k } => {
+            Message::TopKQuery { shard, terms, k } => {
                 buffer.put_u8(TAG_TOPK_QUERY);
+                buffer.put_u32(*shard);
                 buffer.put_u32(*k);
                 buffer.put_u32(terms.len() as u32);
                 for (term, weight) in terms {
@@ -299,8 +310,9 @@ impl Message {
                     buffer.put_u64(score.to_bits());
                 }
             }
-            Message::IndexDocs { docs } => {
+            Message::IndexDocs { shard, docs } => {
                 buffer.put_u8(TAG_INDEX_DOCS);
+                buffer.put_u32(*shard);
                 buffer.put_u32(docs.len() as u32);
                 for doc in docs {
                     buffer.put_u32(doc.doc.0);
@@ -313,8 +325,9 @@ impl Message {
                     }
                 }
             }
-            Message::RemoveDoc { doc } => {
+            Message::RemoveDoc { shard, doc } => {
                 buffer.put_u8(TAG_REMOVE_DOC);
+                buffer.put_u32(*shard);
                 buffer.put_u32(doc.0);
             }
             Message::InsertOk => {
@@ -395,6 +408,7 @@ impl Message {
                 })
             }
             TAG_TOPK_QUERY => {
+                let shard = read_u32(&mut buffer)?;
                 let k = read_u32(&mut buffer)?;
                 let count = read_u32(&mut buffer)? as usize;
                 let mut terms = Vec::with_capacity(count.min(1 << 20));
@@ -403,7 +417,7 @@ impl Message {
                     let weight = f64::from_bits(read_u64(&mut buffer)?);
                     terms.push((term, weight));
                 }
-                Ok(Message::TopKQuery { terms, k })
+                Ok(Message::TopKQuery { shard, terms, k })
             }
             TAG_TOPK_RESPONSE => {
                 let count = read_u32(&mut buffer)? as usize;
@@ -416,6 +430,7 @@ impl Message {
                 Ok(Message::TopKResponse { candidates })
             }
             TAG_INDEX_DOCS => {
+                let shard = read_u32(&mut buffer)?;
                 let doc_count = read_u32(&mut buffer)? as usize;
                 let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
                 for _ in 0..doc_count {
@@ -436,9 +451,10 @@ impl Message {
                         terms,
                     });
                 }
-                Ok(Message::IndexDocs { docs })
+                Ok(Message::IndexDocs { shard, docs })
             }
             TAG_REMOVE_DOC => Ok(Message::RemoveDoc {
+                shard: read_u32(&mut buffer)?,
                 doc: DocId(read_u32(&mut buffer)?),
             }),
             TAG_INSERT_OK => Ok(Message::InsertOk),
@@ -474,12 +490,12 @@ impl Message {
             }
             Message::SnippetRequest { .. } => 1 + 4,
             Message::SnippetResponse { payload } => 1 + 4 + payload.len(),
-            Message::TopKQuery { terms, .. } => 1 + 4 + 4 + terms.len() * (4 + 8),
+            Message::TopKQuery { terms, .. } => 1 + 4 + 4 + 4 + terms.len() * (4 + 8),
             Message::TopKResponse { candidates } => 1 + 4 + candidates.len() * (4 + 8),
-            Message::IndexDocs { docs } => {
-                1 + 4 + docs.iter().map(WireDocument::wire_size).sum::<usize>()
+            Message::IndexDocs { docs, .. } => {
+                1 + 4 + 4 + docs.iter().map(WireDocument::wire_size).sum::<usize>()
             }
-            Message::RemoveDoc { .. } => 1 + 4,
+            Message::RemoveDoc { .. } => 1 + 4 + 4,
             Message::InsertOk => 1,
             Message::DeleteOk { .. } => 1 + 8,
             Message::Fault { .. } => 1 + 1 + 4,
@@ -596,6 +612,7 @@ mod tests {
         // 0.1 has no finite binary expansion; bit-level transport must
         // still reproduce it exactly.
         let query = Message::TopKQuery {
+            shard: 2,
             terms: vec![(TermId(7), 0.1), (TermId(9), 3.75)],
             k: 10,
         };
@@ -614,6 +631,7 @@ mod tests {
     #[test]
     fn index_docs_round_trips() {
         let message = Message::IndexDocs {
+            shard: 5,
             docs: vec![
                 WireDocument {
                     doc: DocId(7),
@@ -643,6 +661,7 @@ mod tests {
     #[test]
     fn remove_doc_round_trips() {
         let message = Message::RemoveDoc {
+            shard: 1,
             doc: DocId::from_parts(3, 99),
         };
         let encoded = message.encode();
@@ -669,6 +688,7 @@ mod tests {
     #[test]
     fn truncated_topk_errors() {
         let message = Message::TopKQuery {
+            shard: 0,
             terms: vec![(TermId(1), 2.0)],
             k: 3,
         };

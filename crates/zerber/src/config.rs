@@ -38,6 +38,9 @@ pub enum ConfigError {
         /// Which knob is broken.
         reason: &'static str,
     },
+    /// The shard replication degree is zero — no copy of any shard
+    /// would exist.
+    NoReplicas,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -57,6 +60,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidSegmentPolicy { reason } => {
                 write!(f, "segmented posting backend misconfigured: {reason}")
             }
+            ConfigError::NoReplicas => write!(f, "shard replication must be at least 1"),
         }
     }
 }
@@ -80,6 +84,14 @@ pub struct ZerberConfig {
     /// shares land on distinct peers; [`ZerberConfig::with_sharing`]
     /// widens it automatically.
     pub peers: usize,
+    /// Copies of each document shard in the peer runtime: shard `s`
+    /// lives on peers `s, s+1, …, s+R-1 (mod peers)` (chord-style
+    /// successor replication — the same scheme Section 6 uses for
+    /// posting-list shares). `1` means no redundancy; degrees beyond
+    /// the peer count clamp to one copy per peer. Queries hedge across
+    /// replicas, so a deployment survives any failure pattern that
+    /// leaves at least one live replica per shard.
+    pub replication: usize,
     /// Posting-list merging configuration.
     pub merge: MergeConfig,
     /// Posting-element bit layout.
@@ -106,6 +118,7 @@ impl Default for ZerberConfig {
             servers: 3,
             threshold: 2,
             peers: 3,
+            replication: 1,
             merge: MergeConfig::dfm(1024),
             codec: ElementCodec::default(),
             batch: BatchPolicy::immediate(),
@@ -138,6 +151,12 @@ impl ZerberConfig {
         self
     }
 
+    /// Overrides the shard replication degree of the peer runtime.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
     /// Checks the structural invariants: `1 ≤ threshold ≤ servers ≤
     /// peers`, and a sane segmented-storage policy when that backend
     /// is selected. Called by `ZerberSystem::bootstrap` and the peer
@@ -159,6 +178,9 @@ impl ZerberConfig {
                 peers: self.peers,
                 need: self.servers,
             });
+        }
+        if self.replication == 0 {
+            return Err(ConfigError::NoReplicas);
         }
         if let PostingBackend::Segmented { dir, compaction } = &self.postings {
             if dir.as_os_str().is_empty() {
@@ -298,6 +320,16 @@ mod tests {
                 threshold: 4,
                 servers: 3
             })
+        );
+    }
+
+    #[test]
+    fn zero_replication_is_rejected() {
+        let config = ZerberConfig::default().with_replication(0);
+        assert_eq!(config.validate(), Err(ConfigError::NoReplicas));
+        assert_eq!(
+            ZerberConfig::default().with_replication(2).validate(),
+            Ok(())
         );
     }
 

@@ -20,7 +20,239 @@
 //! the merge reproduce the global order exactly (see the
 //! `sharded_topk` property test).
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use zerber_index::RankedDoc;
+use zerber_net::{AuthToken, Message, NodeId};
+
+use crate::runtime::transport::{PendingReply, Transport, TransportError};
+
+/// One shard's fan-out unit: `(shard, replica list in placement
+/// order, encoded request payload)`.
+pub type ShardRequest = (u32, Vec<NodeId>, Arc<[u8]>);
+
+/// When to give up on a replica and try the next one.
+///
+/// `hedge_after` is the per-attempt patience: once a replica has been
+/// silent that long, a *hedged* request goes to the next replica while
+/// the first stays outstanding (its late answer is still collected —
+/// and counted — if it arrives). `deadline` bounds the whole per-shard
+/// effort; a shard none of whose replicas answered by then is reported
+/// unavailable, never silently dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgePolicy {
+    /// Patience per replica before hedging to the next.
+    pub hedge_after: Duration,
+    /// Total per-shard budget across all replicas.
+    pub deadline: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            // A healthy in-process peer answers in microseconds; 25 ms
+            // of silence means it is wedged or the link is injected
+            // with faults — stop stalling and hedge.
+            hedge_after: Duration::from_millis(25),
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One shard's answer from the hedged fan-out, with the failover
+/// bookkeeping the caller must surface.
+#[derive(Debug)]
+pub struct ShardFetch {
+    /// The logical shard this answer covers.
+    pub shard: u32,
+    /// The replica whose response was used.
+    pub peer: NodeId,
+    /// That replica's response message.
+    pub response: Message,
+    /// Extra (hedged) requests sent beyond the primary.
+    pub hedges: usize,
+    /// Replicas that failed before one answered — reported, not
+    /// silently dropped.
+    pub failed: Vec<(NodeId, TransportError)>,
+    /// Late answers from hedged-away replicas that had already arrived
+    /// when the shard settled. Their bytes are metered; the gather
+    /// uses exactly one response per shard.
+    pub duplicate_responses: usize,
+}
+
+/// A shard no replica answered for: the query cannot be completed
+/// correctly, so the whole attempt fails *closed* with the per-replica
+/// evidence.
+#[derive(Debug)]
+pub struct ShardUnavailable {
+    /// The uncovered shard.
+    pub shard: u32,
+    /// Every attempted replica with its failure.
+    pub attempts: Vec<(NodeId, TransportError)>,
+}
+
+/// Classifies one resolved attempt: a fault frame is a *failed
+/// attempt* (another replica may serve the identical request), any
+/// other message is the shard's answer.
+fn classify(result: Result<Message, TransportError>) -> Result<Message, TransportError> {
+    match result {
+        Ok(Message::Fault { code, .. }) => Err(TransportError::Rejected(code)),
+        other => other,
+    }
+}
+
+/// Fans one request per shard out to that shard's replica list and
+/// settles each shard on the first replica that answers.
+///
+/// All primary requests leave before any wait begins, so healthy
+/// shards work in parallel exactly like the plain fan-out; only a
+/// silent or failed replica costs `policy.hedge_after` before its
+/// successor is tried. Results align with `shards` order. Replica
+/// stores hold identical copies of their shard, so *which* replica
+/// answers cannot change the result — the replicated top-k stays
+/// bit-identical to the single-node oracle (property-tested in
+/// `tests/seeded_chaos.rs`).
+pub fn hedged_fan_out(
+    transport: &dyn Transport,
+    from: NodeId,
+    auth: AuthToken,
+    shards: &[ShardRequest],
+    policy: &HedgePolicy,
+) -> Vec<Result<ShardFetch, ShardUnavailable>> {
+    // Phase 1: the primary attempt for every shard — sends only, so
+    // every shard's work overlaps.
+    let mut primaries: Vec<Option<PendingReply>> = shards
+        .iter()
+        .map(|(_, replicas, payload)| {
+            replicas
+                .first()
+                .map(|&node| transport.begin(from, node, auth, Arc::clone(payload)))
+        })
+        .collect();
+    // Phase 2: settle shard by shard, hedging down each replica list.
+    shards
+        .iter()
+        .zip(primaries.iter_mut())
+        .map(|((shard, replicas, payload), primary)| {
+            settle_shard(
+                transport,
+                from,
+                auth,
+                *shard,
+                replicas,
+                payload,
+                primary.take(),
+                policy,
+            )
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn settle_shard(
+    transport: &dyn Transport,
+    from: NodeId,
+    auth: AuthToken,
+    shard: u32,
+    replicas: &[NodeId],
+    payload: &Arc<[u8]>,
+    primary: Option<PendingReply>,
+    policy: &HedgePolicy,
+) -> Result<ShardFetch, ShardUnavailable> {
+    let deadline = Instant::now() + policy.deadline;
+    let mut failed: Vec<(NodeId, TransportError)> = Vec::new();
+    // Attempts that timed out but whose channel is still open — a late
+    // answer is still collectable.
+    let mut laggards: Vec<PendingReply> = Vec::new();
+    let mut hedges = 0usize;
+
+    let mut attempt = primary;
+    let mut next_replica = 1usize;
+    while let Some(mut pending) = attempt.take() {
+        let peer = pending.peer();
+        match classify(pending.wait(policy.hedge_after)) {
+            Ok(response) => {
+                return Ok(settled(shard, peer, response, hedges, failed, laggards));
+            }
+            Err(error @ TransportError::Timeout(_)) => {
+                // Silent so far — keep listening while hedging on.
+                failed.push((peer, error));
+                laggards.push(pending);
+            }
+            Err(error) => failed.push((peer, error)),
+        }
+        if let Some(&node) = replicas.get(next_replica) {
+            next_replica += 1;
+            hedges += 1;
+            attempt = Some(transport.begin(from, node, auth, Arc::clone(payload)));
+        }
+    }
+
+    // Every replica has been tried; poll the laggards out to the
+    // deadline in case a slow-but-alive replica still answers.
+    while !laggards.is_empty() && Instant::now() < deadline {
+        let mut index = 0;
+        while index < laggards.len() {
+            match laggards[index].try_take() {
+                None => index += 1,
+                Some(result) => {
+                    let peer = laggards[index].peer();
+                    laggards.swap_remove(index);
+                    match classify(result) {
+                        Ok(response) => {
+                            // This peer's earlier Timeout entry is now
+                            // superseded by its answer.
+                            failed.retain(|&(node, _)| node != peer);
+                            return Ok(settled(shard, peer, response, hedges, failed, laggards));
+                        }
+                        Err(error) => {
+                            // Supersede the peer's provisional Timeout
+                            // entry — one attempt, one verdict.
+                            failed.retain(|&(node, _)| node != peer);
+                            failed.push((peer, error));
+                        }
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    Err(ShardUnavailable {
+        shard,
+        attempts: failed,
+    })
+}
+
+/// Builds the success record: drains already-arrived late answers from
+/// the hedged-away laggards (they count as duplicates) and drops the
+/// winner's own earlier Timeout entry from the failure list.
+fn settled(
+    shard: u32,
+    peer: NodeId,
+    response: Message,
+    hedges: usize,
+    mut failed: Vec<(NodeId, TransportError)>,
+    mut laggards: Vec<PendingReply>,
+) -> ShardFetch {
+    failed.retain(|&(node, _)| node != peer);
+    let mut duplicate_responses = 0;
+    for laggard in &mut laggards {
+        if let Some(Ok(_)) = laggard.try_take() {
+            duplicate_responses += 1;
+            failed.retain(|&(node, _)| node != laggard.peer());
+        }
+    }
+    ShardFetch {
+        shard,
+        peer,
+        response,
+        hedges,
+        failed,
+        duplicate_responses,
+    }
+}
 
 /// What the gather stage produced, with the work accounting the
 /// scalability experiment reports.

@@ -9,8 +9,14 @@
 //! * [`transport`] — the message-passing substrate: every RPC is
 //!   serialized to its exact [`zerber_net::Message`] wire bytes,
 //!   metered per link on a [`zerber_net::TrafficMeter`], and handed to
-//!   the destination peer's inbox ([`InProcTransport`] today; the
-//!   trait is wire-shaped so sockets can replace it).
+//!   the destination peer ([`InProcTransport`] in one process,
+//!   [`socket::SocketTransport`] over real length-framed TCP). The
+//!   trait hands back a [`transport::PendingReply`] per request, which
+//!   is what hedging and failover are built from.
+//! * [`fault`] — the deterministic chaos harness:
+//!   [`fault::FaultInjectTransport`] wraps any transport and injects
+//!   seeded drops, delays, duplicates, torn writes, and peer kills,
+//!   reproducible from a single seed.
 //! * [`peer`] — one OS thread per peer. [`ServerService`] runs the
 //!   share-holding index-server role (`ZerberSystem` hosts its `n`
 //!   servers this way); [`ShardService`] serves one *document shard*
@@ -23,29 +29,34 @@
 //! * [`gather`] — merges per-peer top-k candidates under the
 //!   threshold-algorithm bound; with document sharding the merge is
 //!   provably identical to single-node evaluation (property-tested in
-//!   `tests/sharded_topk.rs`).
+//!   `tests/sharded_topk.rs`). Its [`gather::hedged_fan_out`] drives
+//!   the replicated fetch: first live replica per shard wins, slow or
+//!   dead replicas are hedged around and *reported*.
 //! * [`ShardedSearch`] — the facade: place documents on `P` peers via
-//!   the consistent-hash ring ([`zerber_dht::ShardMap`]), build every
-//!   shard's posting store in parallel on its own thread, fan queries
-//!   out, gather.
+//!   the consistent-hash ring ([`zerber_dht::ShardMap`]), replicate
+//!   each shard on `R` successor peers, build every shard store in
+//!   parallel on its peer's thread, fan queries out, gather.
 //!
 //! # Query path
 //!
 //! ```text
-//!  client thread                    peer threads (one per shard)
-//!  ─────────────                    ────────────────────────────
+//!  client thread                    peer threads (R replicas/shard)
+//!  ─────────────                    ───────────────────────────────
 //!  idf weights (global df)
-//!  TopKQuery ── fan_out ──┬──────▶  shard 0: lazy block-max topk ─┐
-//!      (wire bytes        ├──────▶  shard 1: lazy block-max topk ─┤
-//!       metered per link) └──────▶  shard P: lazy block-max topk ─┤
-//!                                                            ▼
+//!  TopKQuery ─ hedged fan-out ─┬─▶  shard 0 @ peer 0 ─ block-max ─┐
+//!      (wire bytes             ├─▶  shard 1 @ peer 1 ─ block-max ─┤
+//!       metered per link;      └─▶  shard 2 @ peer 2 ✗ dead       │
+//!       silent replica ⇒ hedge)  └▶ shard 2 @ peer 3 ─ block-max ─┤
+//!                                                             ▼
 //!  ranked top-k  ◀── gather (TA bound) ◀── TopKResponse (sorted)
 //! ```
 
+pub mod fault;
 pub mod gather;
 pub mod handle;
 pub mod peer;
 pub mod shard;
+pub mod socket;
 pub mod transport;
 
 use std::collections::HashMap;
@@ -57,11 +68,17 @@ use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 
-pub use gather::{gather_topk, gather_topk_with, GatherOutcome, GatherScratch};
+pub use fault::{FaultInjectTransport, FaultPlan};
+pub use gather::{
+    gather_topk, gather_topk_with, hedged_fan_out, GatherOutcome, GatherScratch, HedgePolicy,
+    ShardFetch, ShardUnavailable,
+};
 pub use handle::RuntimeHandle;
 pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
 pub use shard::{build_shard_store, ShardStore, ShardStoreError};
-pub use transport::{InProcTransport, Transport, TransportError};
+pub use transport::{InProcTransport, PendingReply, Transport, TransportError};
+
+use crate::runtime::transport::DEFAULT_RPC_TIMEOUT;
 
 use crate::config::{ConfigError, ZerberConfig};
 
@@ -143,13 +160,22 @@ impl TermStats {
 pub struct ShardedQueryOutcome {
     /// The global top-k, identical to single-node evaluation.
     pub ranked: Vec<RankedDoc>,
-    /// Peers the query fanned out to.
+    /// Primary peers the query fanned out to (one per shard; hedged
+    /// retries are counted separately in [`Self::hedges`]).
     pub peers_contacted: usize,
     /// Candidates shipped back by all peers.
     pub candidates_received: usize,
     /// Candidates the gather merge examined before the threshold
     /// bound cut it off.
     pub candidates_examined: usize,
+    /// Hedged (extra, beyond-primary) requests this query sent.
+    pub hedges: usize,
+    /// Replicas that failed or stayed silent before their shard
+    /// settled — the dead are reported, never silently dropped.
+    pub failed_peers: Vec<NodeId>,
+    /// Late answers from hedged-away replicas. Their wire bytes are
+    /// metered; the gather used exactly one response per shard.
+    pub duplicate_responses: usize,
 }
 
 /// A concurrent, document-sharded top-k search deployment.
@@ -201,8 +227,16 @@ pub struct ShardedQueryOutcome {
 /// ```
 pub struct ShardedSearch {
     runtime: PeerRuntime,
-    peer_nodes: Vec<NodeId>,
+    /// The transport clients speak through. Normally the runtime's own
+    /// [`InProcTransport`]; [`ShardedSearch::launch_with_transport`]
+    /// lets a caller wrap it (the chaos harness injects faults here
+    /// without the peers knowing).
+    transport: Arc<dyn Transport>,
     map: ShardMap,
+    /// Copies per shard (`1` = unreplicated).
+    replicas: u32,
+    /// When queries hedge to the next replica.
+    policy: HedgePolicy,
     /// Global statistics plus the per-document term registry that
     /// keeps them incrementally exact under inserts and deletes.
     stats: RwLock<StatsState>,
@@ -244,14 +278,45 @@ impl From<TransportError> for IngestError {
     }
 }
 
-/// The backend one shard peer should build: the segmented backend
-/// gets a per-shard subdirectory so stores never collide on disk; the
-/// in-memory backends are borrowed as-is (no clone).
-fn shard_backend(backend: &PostingBackend, peer: usize) -> std::borrow::Cow<'_, PostingBackend> {
+/// Why a query could not complete. With the hedged gather, individual
+/// replica failures never surface here — only a shard *none* of whose
+/// replicas answered fails the query, and it fails closed with the
+/// per-replica evidence rather than returning a silently partial
+/// top-k.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A shard no replica answered for.
+    Unavailable(ShardUnavailable),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unavailable(s) => write!(
+                f,
+                "shard {} unavailable after {} attempts",
+                s.shard,
+                s.attempts.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The backend one replica store should build: the segmented backend
+/// gets a per-(peer, shard) subdirectory so replica stores never
+/// collide on disk; the in-memory backends are borrowed as-is (no
+/// clone).
+fn replica_backend(
+    backend: &PostingBackend,
+    peer: usize,
+    shard: u32,
+) -> std::borrow::Cow<'_, PostingBackend> {
     match backend {
         PostingBackend::Segmented { dir, compaction } => {
             std::borrow::Cow::Owned(PostingBackend::Segmented {
-                dir: dir.join(format!("shard-{peer:03}")),
+                dir: dir.join(format!("peer-{peer:03}-shard-{shard:03}")),
                 compaction: *compaction,
             })
         }
@@ -286,12 +351,42 @@ impl ShardedSearch {
     /// from `docs`, so a shard peer panics rather than silently merge
     /// previously recovered state (reopen such stores with
     /// `zerber_segment::SegmentStore` directly).
+    ///
+    /// With `config.replication = R > 1`, every logical shard is also
+    /// copied onto the `R - 1` successor peers on the ring
+    /// ([`ShardMap::replica_peers`]): writes fan to all copies, and
+    /// queries hedge to a successor when a replica is slow or dead —
+    /// any single peer can be lost without losing a shard.
     pub fn launch(config: &ZerberConfig, docs: &[Document]) -> Result<Self, ConfigError> {
+        Self::launch_with_transport(config, docs, |transport| transport)
+    }
+
+    /// [`ShardedSearch::launch`] with a transport wrapper: `wrap`
+    /// receives the runtime's [`InProcTransport`] and returns the
+    /// transport *clients* will speak through. Peers always reply via
+    /// the inner transport; only the client side is wrapped — which is
+    /// exactly where the fault-injection harness
+    /// ([`FaultInjectTransport`]) sits.
+    pub fn launch_with_transport<F>(
+        config: &ZerberConfig,
+        docs: &[Document],
+        wrap: F,
+    ) -> Result<Self, ConfigError>
+    where
+        F: FnOnce(Arc<InProcTransport>) -> Arc<dyn Transport>,
+    {
         if config.peers == 0 {
             return Err(ConfigError::NoPeers);
         }
+        if config.replication == 0 {
+            return Err(ConfigError::NoReplicas);
+        }
+        let replicas = (config.replication as u32).min(config.peers as u32);
         let map = ShardMap::new(config.peers as u32);
-        let shards = map.partition(docs, |doc| doc.id);
+        // Every peer needs read access to the shards it hosts (its own
+        // plus, under replication, its predecessors'), so the
+        // partition is shared rather than moved into one initializer.
+        let shards = Arc::new(map.partition(docs, |doc| doc.id));
         let stats = TermStats::from_documents(docs);
         let doc_terms: HashMap<DocId, Vec<TermId>> = docs
             .iter()
@@ -299,37 +394,68 @@ impl ShardedSearch {
             .collect();
 
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
-        let mut peer_nodes = Vec::with_capacity(shards.len());
         // One shared backend description for every peer; the
-        // per-shard variant (a subdirectory for the segmented engine)
-        // is derived on the peer's own thread without cloning the
-        // in-memory backends.
+        // per-replica variant (a subdirectory for the segmented
+        // engine) is derived on the peer's own thread without cloning
+        // the in-memory backends.
         let backend = Arc::new(config.postings.clone());
-        for (peer, shard) in shards.into_iter().enumerate() {
+        for peer in 0..config.peers {
             let node = NodeId::IndexServer(peer as u32);
             let backend = Arc::clone(&backend);
-            // The initializer runs on the peer's thread: shard stores
-            // build (index, compress, or seed the durable engine) in
-            // parallel across all peers.
+            let shards = Arc::clone(&shards);
+            let hosted = map.hosted_shards(peer as u32, replicas);
+            // The initializer runs on the peer's thread: every hosted
+            // replica store builds (index, compress, or seed the
+            // durable engine) in parallel across all peers.
             runtime.spawn_peer(node, move || {
-                ShardService::new(build_shard_store(
-                    shard_backend(&backend, peer).as_ref(),
-                    &shard,
-                ))
+                ShardService::hosting(hosted.into_iter().map(|shard| {
+                    let store = build_shard_store(
+                        replica_backend(&backend, peer, shard).as_ref(),
+                        &shards[shard as usize],
+                    );
+                    (shard, store)
+                }))
             });
-            peer_nodes.push(node);
         }
+        let transport = wrap(Arc::clone(runtime.transport()));
         Ok(Self {
             runtime,
-            peer_nodes,
+            transport,
             map,
+            replicas,
+            policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState { stats, doc_terms }),
         })
     }
 
     /// Number of shard peers.
     pub fn peer_count(&self) -> usize {
-        self.peer_nodes.len()
+        self.map.peer_count() as usize
+    }
+
+    /// Copies of each shard (clamped to the peer count at launch).
+    pub fn replication(&self) -> u32 {
+        self.replicas
+    }
+
+    /// Replaces the hedging policy (when to give up on a replica and
+    /// try its successor). Chaos tests tighten this to keep injected
+    /// delays from dominating wall-clock time.
+    pub fn set_hedge_policy(&mut self, policy: HedgePolicy) {
+        self.policy = policy;
+    }
+
+    /// The transport clients of this deployment speak through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Kills one peer: its thread shuts down and every later request
+    /// to it fails. With replication, queries keep answering from the
+    /// survivors; without, its shard becomes unavailable. (The
+    /// availability experiment and the failover tests use this.)
+    pub fn kill_peer(&self, peer: u32) {
+        self.runtime.transport().shutdown(NodeId::IndexServer(peer));
     }
 
     /// A copy of the current global collection statistics (the IDF
@@ -348,11 +474,46 @@ impl ShardedSearch {
         self.runtime.transport().meter()
     }
 
+    /// Fans one write to every replica of `shard` and requires *all*
+    /// of them to acknowledge — a write that any replica did not apply
+    /// would let the replicas diverge and break the bit-identity
+    /// guarantee queries rely on. All sends leave before any wait, so
+    /// the round trip costs the slowest replica, not the sum.
+    fn fan_write(
+        &self,
+        from: NodeId,
+        shard: u32,
+        request: &Message,
+    ) -> Result<Message, IngestError> {
+        let payload: Arc<[u8]> = Arc::from(request.encode().as_ref());
+        let mut pendings: Vec<PendingReply> = self
+            .map
+            .replica_peers(shard, self.replicas)
+            .into_iter()
+            .map(|peer| {
+                self.transport.begin(
+                    from,
+                    NodeId::IndexServer(peer.0),
+                    AuthToken(0),
+                    Arc::clone(&payload),
+                )
+            })
+            .collect();
+        let mut first: Option<Message> = None;
+        for pending in &mut pendings {
+            match pending.wait(DEFAULT_RPC_TIMEOUT)? {
+                Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
+                response => first.get_or_insert(response),
+            };
+        }
+        Ok(first.expect("a shard always has at least one replica"))
+    }
+
     /// Inserts (or replaces) documents live, as owner node `owner`:
-    /// each document is routed to the shard peer the consistent-hash
-    /// ring assigns it, and the global statistics are updated exactly
-    /// once the shards acknowledge. Returns the number of documents
-    /// shipped.
+    /// each document is routed to its shard by the consistent-hash
+    /// ring, shipped to *every* replica of that shard, and the global
+    /// statistics are updated exactly once all replicas acknowledge.
+    /// Returns the number of documents shipped.
     ///
     /// Concurrent queries keep running against whichever side of the
     /// mutation they catch — a query observes either the old or the
@@ -361,33 +522,27 @@ impl ShardedSearch {
         if docs.is_empty() {
             return Ok(0);
         }
-        // Group per owning peer, preserving arrival order within each
-        // group (later copies of a doc id must win).
-        let mut per_peer: HashMap<u32, Vec<&Document>> = HashMap::new();
+        // Group per shard, preserving arrival order within each group
+        // (later copies of a doc id must win).
+        let mut per_shard: HashMap<u32, Vec<&Document>> = HashMap::new();
         for doc in docs {
-            per_peer
+            per_shard
                 .entry(self.map.shard_of(doc.id).0)
                 .or_default()
                 .push(doc);
         }
-        for (peer, group) in per_peer {
+        for (shard, group) in per_shard {
             let request = Message::IndexDocs {
+                shard,
                 docs: group.iter().map(|doc| to_wire(doc)).collect(),
             };
-            let response = self.runtime.transport().request(
-                NodeId::Owner(owner),
-                NodeId::IndexServer(peer),
-                AuthToken(0),
-                &request,
-            )?;
-            match response {
+            match self.fan_write(NodeId::Owner(owner), shard, &request)? {
                 Message::InsertOk => {}
-                Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
-            // Account this peer's documents the moment it acknowledges:
-            // if a later peer fails, the statistics still describe
-            // exactly the documents that actually landed.
+            // Account this shard's documents the moment its replicas
+            // acknowledge: if a later shard fails, the statistics
+            // still describe exactly the documents that landed.
             let mut state = self.stats.write();
             for doc in &group {
                 let terms: Vec<TermId> = doc.terms.iter().map(|&(t, _)| t).collect();
@@ -401,19 +556,13 @@ impl ShardedSearch {
     }
 
     /// Deletes one document live (routed like
-    /// [`ShardedSearch::insert_documents`]). Returns whether the
-    /// document existed.
+    /// [`ShardedSearch::insert_documents`], fanned to every replica).
+    /// Returns whether the document existed.
     pub fn delete_document(&self, owner: u32, doc: DocId) -> Result<bool, IngestError> {
-        let peer = self.map.shard_of(doc).0;
-        let response = self.runtime.transport().request(
-            NodeId::Owner(owner),
-            NodeId::IndexServer(peer),
-            AuthToken(0),
-            &Message::RemoveDoc { doc },
-        )?;
-        let removed = match response {
+        let shard = self.map.shard_of(doc).0;
+        let request = Message::RemoveDoc { shard, doc };
+        let removed = match self.fan_write(NodeId::Owner(owner), shard, &request)? {
             Message::DeleteOk { removed } => removed > 0,
-            Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
             other => panic!("protocol violation: unexpected response {other:?}"),
         };
         if removed {
@@ -426,33 +575,63 @@ impl ShardedSearch {
     }
 
     /// Executes a top-`k` query as anonymous client 0.
-    pub fn query(&self, terms: &[TermId], k: usize) -> Result<ShardedQueryOutcome, TransportError> {
+    pub fn query(&self, terms: &[TermId], k: usize) -> Result<ShardedQueryOutcome, QueryError> {
         self.query_from(0, terms, k)
     }
 
     /// Executes a top-`k` query as client `client` (distinct clients
     /// get distinct links in the traffic accounting).
+    ///
+    /// The fan-out is *hedged*: each shard's request goes to its
+    /// primary replica first, and only a replica that is silent for
+    /// [`HedgePolicy::hedge_after`] (or answers with a fault) costs a
+    /// retry on the next replica. Replica stores are identical copies,
+    /// so whichever one answers, the gathered top-k is bit-identical
+    /// to the single-node oracle — a dead peer changes availability
+    /// accounting, never results.
     pub fn query_from(
         &self,
         client: u32,
         terms: &[TermId],
         k: usize,
-    ) -> Result<ShardedQueryOutcome, TransportError> {
-        let request = Message::TopKQuery {
-            terms: self.stats.read().stats.weights(terms),
-            // Saturate rather than truncate: document ids are 32-bit,
-            // so no shard can hold more than u32::MAX results anyway.
-            k: u32::try_from(k).unwrap_or(u32::MAX),
-        };
+    ) -> Result<ShardedQueryOutcome, QueryError> {
+        let weights = self.stats.read().stats.weights(terms);
+        // Saturate rather than truncate: document ids are 32-bit, so
+        // no shard can hold more than u32::MAX results anyway.
+        let wire_k = u32::try_from(k).unwrap_or(u32::MAX);
+        let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..self.map.peer_count())
+            .map(|shard| {
+                let request = Message::TopKQuery {
+                    shard,
+                    terms: weights.clone(),
+                    k: wire_k,
+                };
+                let replicas = self
+                    .map
+                    .replica_peers(shard, self.replicas)
+                    .into_iter()
+                    .map(|peer| NodeId::IndexServer(peer.0))
+                    .collect();
+                (shard, replicas, Arc::from(request.encode().as_ref()))
+            })
+            .collect();
         let from = NodeId::User(client);
-        let responses =
-            self.runtime
-                .transport()
-                .fan_out(from, &self.peer_nodes, AuthToken(0), &request);
-        let mut per_peer: Vec<Vec<RankedDoc>> = Vec::with_capacity(responses.len());
-        for response in responses {
-            match response? {
-                Message::TopKResponse { candidates } => per_peer.push(
+        let fetches = hedged_fan_out(
+            self.transport.as_ref(),
+            from,
+            AuthToken(0),
+            &shards,
+            &self.policy,
+        );
+
+        let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
+        let mut hedges = 0;
+        let mut duplicate_responses = 0;
+        let mut failed_peers: Vec<NodeId> = Vec::new();
+        for fetch in fetches {
+            let fetch = fetch.map_err(QueryError::Unavailable)?;
+            match fetch.response {
+                Message::TopKResponse { candidates } => per_shard.push(
                     candidates
                         .into_iter()
                         .map(|(doc, score)| RankedDoc { doc, score })
@@ -460,14 +639,20 @@ impl ShardedSearch {
                 ),
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
+            hedges += fetch.hedges;
+            duplicate_responses += fetch.duplicate_responses;
+            failed_peers.extend(fetch.failed.iter().map(|&(node, _)| node));
         }
         let gathered = GATHER_SCRATCH
-            .with(|scratch| gather_topk_with(&mut scratch.borrow_mut(), &per_peer, k));
+            .with(|scratch| gather_topk_with(&mut scratch.borrow_mut(), &per_shard, k));
         Ok(ShardedQueryOutcome {
             ranked: gathered.ranked,
-            peers_contacted: self.peer_nodes.len(),
+            peers_contacted: per_shard.len(),
             candidates_received: gathered.candidates_received,
             candidates_examined: gathered.candidates_examined,
+            hedges,
+            failed_peers,
+            duplicate_responses,
         })
     }
 }
@@ -638,7 +823,6 @@ mod tests {
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let map = ShardMap::new(2);
         let shards = map.partition(&docs, |doc| doc.id);
-        let mut peer_nodes = Vec::new();
         for (peer, shard) in shards.into_iter().enumerate() {
             let node = NodeId::IndexServer(peer as u32);
             let frozen_config = config.clone();
@@ -646,12 +830,14 @@ mod tests {
                 let index = InvertedIndex::from_documents(&shard);
                 ShardService::frozen(frozen_config.posting_store(&index))
             });
-            peer_nodes.push(node);
         }
+        let transport: Arc<dyn Transport> = Arc::clone(runtime.transport()) as Arc<dyn Transport>;
         let search = ShardedSearch {
             runtime,
-            peer_nodes,
+            transport,
             map,
+            replicas: 1,
+            policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState {
                 stats: TermStats::from_documents(&docs),
                 doc_terms: HashMap::new(),

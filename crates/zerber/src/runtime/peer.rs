@@ -10,15 +10,18 @@
 //!   [`IndexServer`] — the paper's index-server role
 //!   (insert/delete/lookup, Section 5), now executing off the caller's
 //!   thread;
-//! * [`ShardService`] hosts one *document shard* of a plaintext
-//!   collection behind the [`PostingStore`] trait and answers
-//!   [`Message::TopKQuery`] with its shard-local block-max top-k.
+//! * [`ShardService`] hosts the *document shards* this peer carries —
+//!   its own shard plus, under replication, copies of its
+//!   predecessors' — behind the [`PostingStore`] trait, and answers
+//!   [`Message::TopKQuery`] with the addressed shard's block-max
+//!   top-k.
 //!
 //! Service state is built *inside* the peer thread (the spawn takes an
 //! initializer closure), so expensive shard construction — tokenizing,
 //! compressing posting blocks — runs on all peers in parallel and the
 //! state never needs to be `Send`.
 
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -91,8 +94,17 @@ impl PeerService for ServerService {
     }
 }
 
-/// One document shard of a plaintext collection: ranked reads plus
-/// the live write stream.
+/// The document shards one peer hosts: ranked reads plus the live
+/// write stream, each request addressed to a logical shard by id.
+///
+/// Without replication a peer hosts exactly its own shard; with
+/// `R`-fold replication it also carries copies of its `R - 1`
+/// predecessors' shards (see `zerber_dht::ShardMap::hosted_shards`),
+/// and the `shard` field on [`Message::TopKQuery`] /
+/// [`Message::IndexDocs`] / [`Message::RemoveDoc`] selects which
+/// store serves the request. A request addressed to a shard this peer
+/// does not host bounces as an `UNSUPPORTED` fault — reported, never
+/// silently misrouted.
 ///
 /// Queries run the lazy [`ShardStore::query_topk`] pipeline — cursor-
 /// driven block-max top-k over
@@ -102,9 +114,9 @@ impl PeerService for ServerService {
 /// owns the [`TopKScratch`] (top-k heap + result buffer), reused
 /// across every RPC this peer serves: the fan-out hot path stops
 /// allocating per query. [`Message::IndexDocs`] and
-/// [`Message::RemoveDoc`] mutate the shard; a frozen shard answers
-/// them with an `UNSUPPORTED` fault, a durable shard that fails to
-/// persist answers `STORAGE`.
+/// [`Message::RemoveDoc`] mutate the addressed shard; a frozen shard
+/// answers them with an `UNSUPPORTED` fault, a durable shard that
+/// fails to persist answers `STORAGE`.
 ///
 /// # No access control
 ///
@@ -115,8 +127,10 @@ impl PeerService for ServerService {
 /// out of scope and scale is the subject. Do not put
 /// access-controlled collections behind it.
 pub struct ShardService {
-    shard: Box<dyn ShardStore>,
-    /// Per-peer reusable query scratch (heap, result buffer).
+    /// The stores this peer hosts, by logical shard id.
+    stores: HashMap<u32, Box<dyn ShardStore>>,
+    /// Per-peer reusable query scratch (heap, result buffer), shared
+    /// across all hosted stores (requests are serialized per peer).
     scratch: TopKScratch,
 }
 
@@ -146,16 +160,24 @@ fn shard_fault(error: ShardStoreError) -> Message {
 }
 
 impl ShardService {
-    /// Serves a shard store (mutable or frozen).
+    /// Serves a single store as logical shard 0 (the unreplicated
+    /// deployment shape).
     pub fn new(shard: Box<dyn ShardStore>) -> Self {
+        Self::hosting(std::iter::once((0, shard)))
+    }
+
+    /// Serves several shard stores, each addressed by its logical
+    /// shard id.
+    pub fn hosting(stores: impl IntoIterator<Item = (u32, Box<dyn ShardStore>)>) -> Self {
         Self {
-            shard,
+            stores: stores.into_iter().collect(),
             scratch: TopKScratch::new(),
         }
     }
 
-    /// Serves a frozen posting store (any backend) read-only — the
-    /// pre-ingest constructor, kept for bulk-built deployments.
+    /// Serves a frozen posting store (any backend) read-only as shard
+    /// 0 — the pre-ingest constructor, kept for bulk-built
+    /// deployments.
     pub fn frozen(store: Box<dyn PostingStore>) -> Self {
         Self::new(Box::new(FrozenShard::new(store)))
     }
@@ -167,8 +189,12 @@ impl PeerService for ShardService {
             code: fault::MALFORMED,
             group: GroupId(0),
         };
+        let not_hosted = Message::Fault {
+            code: fault::UNSUPPORTED,
+            group: GroupId(0),
+        };
         match request {
-            Message::TopKQuery { terms, k } => {
+            Message::TopKQuery { shard, terms, k } => {
                 // Wire input is untrusted (the transport is designed
                 // to be swappable for sockets): a NaN weight would
                 // panic this thread inside the result ordering, and a
@@ -181,7 +207,10 @@ impl PeerService for ShardService {
                 {
                     return malformed;
                 }
-                let _cost = self.shard.query_topk(&terms, k as usize, &mut self.scratch);
+                let Some(store) = self.stores.get_mut(&shard) else {
+                    return not_hosted;
+                };
+                let _cost = store.query_topk(&terms, k as usize, &mut self.scratch);
                 Message::TopKResponse {
                     candidates: self
                         .scratch
@@ -191,7 +220,7 @@ impl PeerService for ShardService {
                         .collect(),
                 }
             }
-            Message::IndexDocs { docs } => {
+            Message::IndexDocs { shard, docs } => {
                 let mut decoded = Vec::with_capacity(docs.len());
                 for wire in docs {
                     match decode_document(wire) {
@@ -199,21 +228,26 @@ impl PeerService for ShardService {
                         None => return malformed,
                     }
                 }
-                match self.shard.insert_documents(&decoded) {
+                let Some(store) = self.stores.get_mut(&shard) else {
+                    return not_hosted;
+                };
+                match store.insert_documents(&decoded) {
                     Ok(_) => Message::InsertOk,
                     Err(e) => shard_fault(e),
                 }
             }
-            Message::RemoveDoc { doc } => match self.shard.delete_document(doc) {
-                Ok(removed) => Message::DeleteOk {
-                    removed: u64::from(removed),
-                },
-                Err(e) => shard_fault(e),
-            },
-            _ => Message::Fault {
-                code: fault::UNSUPPORTED,
-                group: GroupId(0),
-            },
+            Message::RemoveDoc { shard, doc } => {
+                let Some(store) = self.stores.get_mut(&shard) else {
+                    return not_hosted;
+                };
+                match store.delete_document(doc) {
+                    Ok(removed) => Message::DeleteOk {
+                        removed: u64::from(removed),
+                    },
+                    Err(e) => shard_fault(e),
+                }
+            }
+            _ => not_hosted,
         }
     }
 }
@@ -271,8 +305,7 @@ impl PeerRuntime {
                         group: GroupId(0),
                     },
                 };
-                // A vanished requester is not the peer's problem.
-                let _ = envelope.reply.send(response.encode().to_vec());
+                envelope.reply.send(response.encode().to_vec());
             }
         });
         self.peers.push((node, handle));
@@ -363,6 +396,7 @@ mod tests {
         });
 
         let query = Message::TopKQuery {
+            shard: 0,
             terms: vec![(TermId(1), 1.0)],
             k: 2,
         };
@@ -392,6 +426,7 @@ mod tests {
         });
         for weight in [f64::NAN, f64::INFINITY, -1.0] {
             let query = Message::TopKQuery {
+                shard: 0,
                 terms: vec![(TermId(1), weight)],
                 k: 1,
             };
@@ -406,6 +441,7 @@ mod tests {
         }
         // The peer survived and still serves valid queries.
         let ok = Message::TopKQuery {
+            shard: 0,
             terms: vec![(TermId(1), 1.0)],
             k: 1,
         };
@@ -444,6 +480,7 @@ mod tests {
             ShardService::frozen(Box::new(RawPostingStore::default()))
         });
         let insert = Message::IndexDocs {
+            shard: 0,
             docs: vec![zerber_net::WireDocument {
                 doc: DocId(1),
                 group: GroupId(0),
@@ -451,7 +488,13 @@ mod tests {
                 terms: vec![(TermId(0), 1)],
             }],
         };
-        for request in [insert, Message::RemoveDoc { doc: DocId(1) }] {
+        for request in [
+            insert,
+            Message::RemoveDoc {
+                shard: 0,
+                doc: DocId(1),
+            },
+        ] {
             match runtime
                 .transport()
                 .request(NodeId::Owner(0), node, AuthToken(0), &request)
@@ -473,6 +516,7 @@ mod tests {
         });
         let transport = runtime.transport().clone();
         let insert = Message::IndexDocs {
+            shard: 0,
             docs: vec![zerber_net::WireDocument {
                 doc: DocId(4),
                 group: GroupId(0),
@@ -487,6 +531,7 @@ mod tests {
             Message::InsertOk
         );
         let query = Message::TopKQuery {
+            shard: 0,
             terms: vec![(TermId(2), 1.0)],
             k: 5,
         };
@@ -506,7 +551,10 @@ mod tests {
                     NodeId::Owner(0),
                     node,
                     AuthToken(0),
-                    &Message::RemoveDoc { doc: DocId(4) }
+                    &Message::RemoveDoc {
+                        shard: 0,
+                        doc: DocId(4)
+                    }
                 )
                 .unwrap(),
             Message::DeleteOk { removed: 1 }
@@ -521,6 +569,7 @@ mod tests {
         // Unsorted wire terms violate the Document invariant: rejected,
         // peer survives.
         let hostile = Message::IndexDocs {
+            shard: 0,
             docs: vec![zerber_net::WireDocument {
                 doc: DocId(5),
                 group: GroupId(0),

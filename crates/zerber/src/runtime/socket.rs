@@ -1,0 +1,707 @@
+//! The real network transport: length-framed TCP links.
+//!
+//! [`SocketTransport`] implements [`Transport`] over loopback (or any)
+//! TCP using the checksummed frames of [`zerber_net::framing`]:
+//!
+//! ```text
+//!  client process                      peer process
+//!  ──────────────                     ─────────────
+//!  begin() ─ Frame::Request{id,…} ──▶ accept loop ─▶ conn thread
+//!                 │ one pooled            │  FrameDecoder ─ Message
+//!                 │ connection per        │  PeerService::handle
+//!                 ▼ (from, to) link       ▼
+//!  reader thread ◀─ Frame::Response{id,…} ────────────────┘
+//!   └─ demux by id ─▶ the PendingReply that began it
+//! ```
+//!
+//! One connection is opened per `(from, to)` link and reused for every
+//! request on it; requests pipeline (the correlation `id` matches a
+//! response to its [`PendingReply`], whatever order answers arrive
+//! in). A per-link in-flight cap provides backpressure: `begin` blocks
+//! once [`SocketConfig::max_in_flight`] requests are unanswered, so a
+//! slow peer throttles its callers instead of buffering unboundedly.
+//! Writes carry [`SocketConfig::write_timeout`]; a failed or timed-out
+//! write, a torn frame, or a closed socket kills the link — every
+//! pending request on it resolves to [`TransportError::PeerGone`], and
+//! the next `begin` dials a fresh connection (so a restarted peer is
+//! picked up transparently).
+//!
+//! # Metering
+//!
+//! Each process accounts its *own* view on its own
+//! [`TrafficMeter`]: the client meters request payloads when they are
+//! written and response payloads when they arrive; a peer serving via
+//! [`serve_peer`] meters the same two directions as it sees them.
+//! Metered bytes are the exact [`Message::wire_size`] payload bytes —
+//! framing overhead (length prefix, correlation id, CRC) is the
+//! socket's envelope, excluded just as the in-process envelope is, so
+//! the paper's bandwidth accounting is identical whichever transport
+//! carries it. Give the client and the peer *separate* meters when
+//! both live in one process, or every payload double-counts.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use zerber_net::{AuthToken, Frame, FrameDecoder, Message, NodeId, TrafficMeter};
+
+use crate::runtime::peer::PeerService;
+use crate::runtime::transport::{
+    PendingReply, ReplySink, RequestEnvelope, Transport, TransportError,
+};
+
+/// Socket-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// Dial timeout for a new link.
+    pub connect_timeout: Duration,
+    /// Per-write deadline; a link that cannot accept a frame within it
+    /// is declared dead.
+    pub write_timeout: Duration,
+    /// Unanswered requests allowed per link before `begin` blocks
+    /// (backpressure toward the caller).
+    pub max_in_flight: usize,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// The in-flight gate of one link: counts unanswered requests and
+/// wakes writers as responses drain them. Uses the std primitives
+/// because waiting is the point (the vendored `parking_lot` carries no
+/// condvar).
+struct InFlight {
+    state: StdMutex<InFlightState>,
+    drained: Condvar,
+}
+
+struct InFlightState {
+    count: usize,
+    dead: bool,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            state: StdMutex::new(InFlightState {
+                count: 0,
+                dead: false,
+            }),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees up (or the link dies). Returns
+    /// whether the link is still usable.
+    fn acquire(&self, cap: usize) -> bool {
+        let mut state = self.state.lock().expect("in-flight gate poisoned");
+        while state.count >= cap && !state.dead {
+            state = self.drained.wait(state).expect("in-flight gate poisoned");
+        }
+        if state.dead {
+            return false;
+        }
+        state.count += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("in-flight gate poisoned");
+        state.count = state.count.saturating_sub(1);
+        drop(state);
+        self.drained.notify_one();
+    }
+
+    fn kill(&self) {
+        self.state.lock().expect("in-flight gate poisoned").dead = true;
+        self.drained.notify_all();
+    }
+}
+
+/// The demux table of one link: `request id → reply channel` for
+/// unanswered requests; `None` once the link is dead (dropping the
+/// senders fails every waiter closed).
+type PendingMap = Arc<Mutex<Option<HashMap<u64, std::sync::mpsc::Sender<Vec<u8>>>>>>;
+
+/// One pooled connection: the writer half, the demux table its reader
+/// thread feeds, and the in-flight gate.
+struct Link {
+    writer: Mutex<TcpStream>,
+    pending: PendingMap,
+    next_id: AtomicU64,
+    inflight: Arc<InFlight>,
+}
+
+impl Link {
+    fn is_dead(&self) -> bool {
+        self.pending.lock().is_none()
+    }
+}
+
+/// [`Transport`] over real TCP links. See the [module docs](self).
+pub struct SocketTransport {
+    meter: Arc<TrafficMeter>,
+    config: SocketConfig,
+    /// Where each peer listens.
+    addrs: Mutex<HashMap<NodeId, SocketAddr>>,
+    /// Pooled connections, one per `(from, to)` link.
+    links: Mutex<HashMap<(NodeId, NodeId), Arc<Link>>>,
+}
+
+impl SocketTransport {
+    /// A transport accounting on `meter` with default socket knobs.
+    pub fn new(meter: Arc<TrafficMeter>) -> Self {
+        Self::with_config(meter, SocketConfig::default())
+    }
+
+    /// A transport with explicit socket knobs.
+    pub fn with_config(meter: Arc<TrafficMeter>, config: SocketConfig) -> Self {
+        Self {
+            meter,
+            config,
+            addrs: Mutex::new(HashMap::new()),
+            links: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers where `node` listens. Replaces any previous address
+    /// (an existing pooled link keeps serving until it dies; the next
+    /// reconnect dials the new address).
+    pub fn register(&self, node: NodeId, addr: SocketAddr) {
+        self.addrs.lock().insert(node, addr);
+    }
+
+    /// Returns the live pooled link for `(from, to)`, dialing a fresh
+    /// connection if there is none or the pooled one is dead.
+    fn link(&self, from: NodeId, to: NodeId) -> Result<Arc<Link>, TransportError> {
+        let addr = match self.addrs.lock().get(&to) {
+            Some(&addr) => addr,
+            None => return Err(TransportError::UnknownPeer(to)),
+        };
+        {
+            let links = self.links.lock();
+            if let Some(link) = links.get(&(from, to)) {
+                if !link.is_dead() {
+                    return Ok(Arc::clone(link));
+                }
+            }
+        }
+        // Dial outside the pool lock: a slow connect must not stall
+        // every other link.
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|_| TransportError::PeerGone(to))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_write_timeout(Some(self.config.write_timeout))
+            .ok();
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|_| TransportError::PeerGone(to))?;
+        let link = Arc::new(Link {
+            writer: Mutex::new(stream),
+            pending: Arc::new(Mutex::new(Some(HashMap::new()))),
+            next_id: AtomicU64::new(1),
+            inflight: Arc::new(InFlight::new()),
+        });
+        spawn_link_reader(
+            reader_stream,
+            Arc::clone(&link.pending),
+            Arc::clone(&link.inflight),
+            Arc::clone(&self.meter),
+            to,
+            from,
+        );
+        let mut links = self.links.lock();
+        // Another caller may have raced us to reconnect; keep one.
+        let entry = links.entry((from, to)).or_insert_with(|| Arc::clone(&link));
+        if entry.is_dead() {
+            *entry = Arc::clone(&link);
+        }
+        Ok(Arc::clone(entry))
+    }
+}
+
+/// Demuxes one link's responses to their pending requests, metering
+/// each payload as it arrives. Exits — failing every outstanding
+/// request closed — on EOF, a read error, or a damaged frame (framing
+/// is stateful, so a corrupt frame forfeits the whole connection).
+fn spawn_link_reader(
+    mut stream: TcpStream,
+    pending: PendingMap,
+    inflight: Arc<InFlight>,
+    meter: Arc<TrafficMeter>,
+    peer: NodeId,
+    client: NodeId,
+) {
+    thread::spawn(move || {
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 64 * 1024];
+        'link: loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break 'link,
+                Ok(n) => n,
+            };
+            decoder.push(&buf[..n]);
+            loop {
+                match decoder.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some(Frame::Response { id, payload })) => {
+                        // Response bytes arrived whether or not anyone
+                        // is still waiting (the requester may have
+                        // hedged away) — they count either way.
+                        meter.record(peer, client, payload.len());
+                        inflight.release();
+                        let waiter = pending.lock().as_mut().and_then(|map| map.remove(&id));
+                        if let Some(tx) = waiter {
+                            let _ = tx.send(payload);
+                        }
+                    }
+                    // A request frame on the response path, or any
+                    // framing damage: protocol violation, drop the
+                    // link.
+                    Ok(Some(Frame::Request { .. })) | Err(_) => break 'link,
+                }
+            }
+        }
+        // Fail everything closed: dropping the senders disconnects
+        // every waiting PendingReply (→ PeerGone).
+        pending.lock().take();
+        inflight.kill();
+    });
+}
+
+impl Transport for SocketTransport {
+    fn meter(&self) -> &Arc<TrafficMeter> {
+        &self.meter
+    }
+
+    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+        let link = match self.link(from, to) {
+            Ok(link) => link,
+            Err(error) => return PendingReply::failed(to, error),
+        };
+        if !link.inflight.acquire(self.config.max_in_flight) {
+            return PendingReply::failed(to, TransportError::PeerGone(to));
+        }
+        let id = link.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        {
+            let mut pending = link.pending.lock();
+            match pending.as_mut() {
+                Some(map) => {
+                    map.insert(id, tx);
+                }
+                None => {
+                    link.inflight.release();
+                    return PendingReply::failed(to, TransportError::PeerGone(to));
+                }
+            }
+        }
+        let frame = Frame::Request {
+            id,
+            from,
+            auth,
+            payload: payload.to_vec(),
+        };
+        // The request leaves the client here: meter the payload (not
+        // the framing envelope), then write the frame.
+        self.meter.record(from, to, payload.len());
+        let wrote = {
+            let mut writer = link.writer.lock();
+            let result = writer
+                .write_all(&frame.encode())
+                .and_then(|()| writer.flush());
+            if result.is_err() {
+                // Kill the whole link: record alignment after a
+                // partial write is unknowable, so every request on it
+                // is lost. Closing the socket also unblocks the reader
+                // thread, which fails the other pendings closed.
+                writer.shutdown(std::net::Shutdown::Both).ok();
+            }
+            result
+        };
+        if wrote.is_err() {
+            link.pending.lock().take();
+            link.inflight.kill();
+            return PendingReply::failed(to, TransportError::PeerGone(to));
+        }
+        PendingReply::from_channel(to, rx)
+    }
+}
+
+/// A running socket peer: its accept loop, service thread, connection
+/// threads, and listen address. Dropping (or [`SocketPeer::shutdown`])
+/// closes the listener and every live connection — clients observe
+/// [`TransportError::PeerGone`], which is exactly what the
+/// kill-a-peer scenario injects.
+pub struct SocketPeer {
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl SocketPeer {
+    /// The address this peer accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every live connection, and joins the
+    /// accept loop.
+    pub fn shutdown(&mut self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().iter() {
+            conn.shutdown(std::net::Shutdown::Both).ok();
+        }
+        // Wake the accept loop with a throwaway dial.
+        TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)).ok();
+        if let Some(handle) = self.accept.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for SocketPeer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves a [`PeerService`] as node `node` on `listener`.
+///
+/// `init` runs on a dedicated *service thread* — the same
+/// one-thread-per-peer discipline as the in-process runtime, so the
+/// service state never needs to be `Send` and expensive construction
+/// (indexing a shard) happens off the accept path. Each accepted
+/// connection gets a reader thread that forwards decoded request
+/// frames to the service thread and writes back the correlated
+/// response frames; requests from concurrent connections are
+/// serialized by the service inbox exactly as the in-process peers
+/// serialize theirs. Payload bytes both ways land on `meter`.
+pub fn serve_peer<S, F>(
+    listener: TcpListener,
+    node: NodeId,
+    init: F,
+    meter: Arc<TrafficMeter>,
+) -> std::io::Result<SocketPeer>
+where
+    S: PeerService + 'static,
+    F: FnOnce() -> S + Send + 'static,
+{
+    let addr = listener.local_addr()?;
+    let closing = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The service thread: owns the state, drains the shared inbox.
+    let (inbox, requests) = std::sync::mpsc::channel::<RequestEnvelope>();
+    thread::spawn(move || {
+        let mut service = init();
+        while let Ok(envelope) = requests.recv() {
+            let response = match Message::decode(&envelope.payload) {
+                Ok(request) => service.handle(envelope.from, envelope.auth, request),
+                Err(_) => Message::Fault {
+                    code: zerber_net::message::fault::MALFORMED,
+                    group: zerber_index::GroupId(0),
+                },
+            };
+            // The ReplySink meters the response on the peer's meter
+            // before handing it to the connection thread for framing.
+            envelope.reply.send(response.encode().to_vec());
+        }
+    });
+
+    let accept = {
+        let closing = Arc::clone(&closing);
+        let conns = Arc::clone(&conns);
+        thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                if closing.load(Ordering::SeqCst) {
+                    break;
+                }
+                stream.set_nodelay(true).ok();
+                if let Ok(watch) = stream.try_clone() {
+                    conns.lock().push(watch);
+                }
+                let inbox = inbox.clone();
+                let meter = Arc::clone(&meter);
+                thread::spawn(move || serve_connection(stream, node, inbox, meter));
+            }
+        })
+    };
+    Ok(SocketPeer {
+        addr,
+        closing,
+        conns,
+        accept: Some(accept),
+    })
+}
+
+/// One client connection: decode request frames, forward them to the
+/// service thread, answer with correlated response frames. Any
+/// framing damage drops the connection (fail closed) — the client's
+/// reader resolves its pendings to `PeerGone` and a fresh connection
+/// re-dials.
+fn serve_connection(
+    mut stream: TcpStream,
+    node: NodeId,
+    inbox: std::sync::mpsc::Sender<RequestEnvelope>,
+    meter: Arc<TrafficMeter>,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        decoder.push(&buf[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Request {
+                    id,
+                    from,
+                    auth,
+                    payload,
+                })) => {
+                    meter.record(from, node, payload.len());
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    let envelope = RequestEnvelope {
+                        from,
+                        auth,
+                        payload: Arc::from(payload.as_slice()),
+                        reply: ReplySink::new(Arc::clone(&meter), node, from, tx),
+                    };
+                    if inbox.send(envelope).is_err() {
+                        break 'conn;
+                    }
+                    // One request at a time per connection: the
+                    // service inbox is shared with other connections,
+                    // but this link's answers go out in request order.
+                    let Ok(encoded) = rx.recv() else { break 'conn };
+                    let frame = Frame::Response {
+                        id,
+                        payload: encoded,
+                    };
+                    if stream.write_all(&frame.encode()).is_err() {
+                        break 'conn;
+                    }
+                }
+                Ok(Some(Frame::Response { .. })) | Err(_) => break 'conn,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::peer::ShardService;
+    use crate::runtime::shard::LiveIndexShard;
+    use zerber_index::{DocId, Document, GroupId, TermId};
+
+    fn shard_peer(docs: &[Document], node: NodeId, meter: Arc<TrafficMeter>) -> SocketPeer {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let docs = docs.to_vec();
+        serve_peer(
+            listener,
+            node,
+            move || ShardService::new(Box::new(LiveIndexShard::raw(&docs))),
+            meter,
+        )
+        .unwrap()
+    }
+
+    fn corpus(n: u32) -> Vec<Document> {
+        (0..n)
+            .map(|d| {
+                Document::from_term_counts(
+                    DocId(d),
+                    GroupId(0),
+                    vec![(TermId(d % 3), 1 + d % 2), (TermId(7), 1)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rpc_round_trip_over_real_tcp() {
+        let node = NodeId::IndexServer(0);
+        let peer_meter = Arc::new(TrafficMeter::new());
+        let peer = shard_peer(&corpus(8), node, Arc::clone(&peer_meter));
+
+        let client_meter = Arc::new(TrafficMeter::new());
+        let transport = SocketTransport::new(Arc::clone(&client_meter));
+        transport.register(node, peer.addr());
+
+        let user = NodeId::User(1);
+        let query = Message::TopKQuery {
+            shard: 0,
+            terms: vec![(TermId(7), 1.0)],
+            k: 3,
+        };
+        match transport.request(user, node, AuthToken(0), &query).unwrap() {
+            Message::TopKResponse { candidates } => assert_eq!(candidates.len(), 3),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Both processes' meters saw the same payload bytes, framing
+        // excluded: request on user→peer, response on peer→user.
+        assert_eq!(
+            client_meter.link_bytes(user, node),
+            query.wire_size() as u64
+        );
+        assert_eq!(
+            client_meter.link_bytes(user, node),
+            peer_meter.link_bytes(user, node)
+        );
+        assert_eq!(
+            client_meter.link_bytes(node, user),
+            peer_meter.link_bytes(node, user)
+        );
+        assert!(client_meter.link_bytes(node, user) > 0);
+    }
+
+    #[test]
+    fn one_connection_carries_many_requests() {
+        let node = NodeId::IndexServer(3);
+        let peer = shard_peer(&corpus(20), node, Arc::new(TrafficMeter::new()));
+        let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+        transport.register(node, peer.addr());
+        for k in 1..=10u32 {
+            let query = Message::TopKQuery {
+                shard: 0,
+                terms: vec![(TermId(7), 1.0)],
+                k,
+            };
+            match transport
+                .request(NodeId::User(0), node, AuthToken(0), &query)
+                .unwrap()
+            {
+                Message::TopKResponse { candidates } => {
+                    assert_eq!(candidates.len(), k.min(20) as usize)
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(transport.links.lock().len(), 1, "the link was reused");
+    }
+
+    #[test]
+    fn pipelined_requests_demux_by_id() {
+        let node = NodeId::IndexServer(0);
+        let peer = shard_peer(&corpus(30), node, Arc::new(TrafficMeter::new()));
+        let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+        transport.register(node, peer.addr());
+        let user = NodeId::User(0);
+        // Begin many before waiting on any; answers must route to the
+        // right pending whatever order they land in.
+        let queries: Vec<Message> = (1..=8u32)
+            .map(|k| Message::TopKQuery {
+                shard: 0,
+                terms: vec![(TermId(7), 1.0)],
+                k,
+            })
+            .collect();
+        let mut pendings: Vec<PendingReply> = queries
+            .iter()
+            .map(|q| transport.begin(user, node, AuthToken(0), Arc::from(q.encode().as_ref())))
+            .collect();
+        for (k, pending) in (1..=8usize).zip(pendings.iter_mut()) {
+            match pending.wait(Duration::from_secs(10)).unwrap() {
+                Message::TopKResponse { candidates } => assert_eq!(candidates.len(), k),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_peer_and_dead_peer_fail_typed() {
+        let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(9);
+        assert_eq!(
+            transport.request(NodeId::User(0), node, AuthToken(0), &Message::InsertOk),
+            Err(TransportError::UnknownPeer(node))
+        );
+        // A registered but unreachable address: dial fails → PeerGone.
+        let vacated = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        transport.register(node, vacated);
+        assert_eq!(
+            transport.request(NodeId::User(0), node, AuthToken(0), &Message::InsertOk),
+            Err(TransportError::PeerGone(node))
+        );
+    }
+
+    #[test]
+    fn killed_peer_fails_pending_and_later_requests_closed() {
+        let node = NodeId::IndexServer(1);
+        let mut peer = shard_peer(&corpus(5), node, Arc::new(TrafficMeter::new()));
+        let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+        transport.register(node, peer.addr());
+        let ok = Message::TopKQuery {
+            shard: 0,
+            terms: vec![(TermId(7), 1.0)],
+            k: 1,
+        };
+        transport
+            .request(NodeId::User(0), node, AuthToken(0), &ok)
+            .unwrap();
+        peer.shutdown();
+        // The pooled link dies; requests fail typed rather than hang.
+        let mut saw_gone = false;
+        for _ in 0..10 {
+            match transport.request(NodeId::User(0), node, AuthToken(0), &ok) {
+                Err(TransportError::PeerGone(n)) => {
+                    assert_eq!(n, node);
+                    saw_gone = true;
+                    break;
+                }
+                Err(TransportError::Timeout(_)) | Ok(_) => {
+                    // The OS may briefly accept into a dying backlog;
+                    // retry until the death is visible.
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(saw_gone, "peer death never surfaced as PeerGone");
+    }
+
+    #[test]
+    fn malformed_payload_comes_back_as_fault_frame() {
+        let node = NodeId::IndexServer(0);
+        let peer = shard_peer(&corpus(5), node, Arc::new(TrafficMeter::new()));
+        let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+        transport.register(node, peer.addr());
+        // Valid frame, garbage payload: the peer answers MALFORMED
+        // instead of dropping the link.
+        let mut pending = transport.begin(
+            NodeId::User(0),
+            node,
+            AuthToken(0),
+            Arc::from(&b"\xFF\xFE\xFD"[..]),
+        );
+        match pending.wait(Duration::from_secs(10)).unwrap() {
+            Message::Fault { code, .. } => {
+                assert_eq!(code, zerber_net::message::fault::MALFORMED)
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -4,10 +4,28 @@
 //! serialized to its exact [`Message`] wire bytes, the per-link byte
 //! count lands on the shared [`TrafficMeter`], and the peer decodes,
 //! executes, and replies the same way. [`InProcTransport`] is the
-//! in-process implementation — one mpsc inbox per peer thread — but
-//! the trait is deliberately wire-shaped (opaque byte buffers, node
-//! addressing, fan-out) so a socket transport can slot in without
-//! touching the peers or the clients.
+//! in-process implementation — one mpsc inbox per peer thread — and
+//! `runtime::socket::SocketTransport` is the real length-framed TCP
+//! implementation; both speak through the same trait, so peers and
+//! clients never know which one carries them.
+//!
+//! The trait is *asynchronous at the edges*: [`Transport::begin`]
+//! sends one request and returns a [`PendingReply`] the caller waits
+//! on with a timeout. That split is what failover is built from — the
+//! hedged gather starts a pending reply per replica and takes the
+//! first that answers, and the fault-injection harness fabricates
+//! pendings that fail, stall, or deliver late, all without the peers
+//! or the clients knowing.
+//!
+//! # Metering
+//!
+//! Request bytes are metered when the client sends; response bytes
+//! are metered when the *peer* sends (the [`ReplySink`] records before
+//! delivery). A response nobody waits for — the client hedged away,
+//! the harness dropped it — still crossed the link and still counts,
+//! which is exactly the honesty the hedging accounting needs:
+//! duplicate sends are real wire bytes even though the gather uses
+//! only one response per shard.
 //!
 //! The [`AuthToken`] accompanying a request models the authenticated
 //! session (the enterprise authentication layer of Section 5.4.2); it
@@ -18,10 +36,19 @@
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireError};
+
+/// How long the blocking convenience calls ([`Transport::request`],
+/// [`Transport::fan_out`]) wait before declaring a peer unresponsive.
+/// Deliberately generous: a healthy in-process peer answers in
+/// microseconds, and a *dead* one is detected immediately through the
+/// closed channel — the timeout only catches a peer that is alive but
+/// wedged.
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Transport-level failures (distinct from server-side
 /// [`zerber_server::ServerError`]s, which travel as
@@ -30,8 +57,17 @@ use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireError};
 pub enum TransportError {
     /// No peer is registered under this address.
     UnknownPeer(NodeId),
-    /// The peer's inbox or reply channel is closed (its thread exited).
+    /// The peer's inbox or reply channel is closed (its thread exited
+    /// or its connection dropped).
     PeerGone(NodeId),
+    /// The peer did not answer within the caller's deadline. The
+    /// request may still be executing — the caller must treat the
+    /// outcome as unknown.
+    Timeout(NodeId),
+    /// The peer answered with a fault frame where the protocol
+    /// expected data — surfaced by the hedged gather as a failed
+    /// attempt so another replica can be tried.
+    Rejected(u8),
     /// The response bytes did not decode.
     Wire(WireError),
 }
@@ -41,12 +77,53 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::UnknownPeer(node) => write!(f, "unknown peer {node:?}"),
             TransportError::PeerGone(node) => write!(f, "peer {node:?} is gone"),
+            TransportError::Timeout(node) => write!(f, "peer {node:?} timed out"),
+            TransportError::Rejected(code) => write!(f, "peer rejected the request (fault {code})"),
             TransportError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+/// The response path of one request: meters the bytes on the
+/// `peer → client` link *before* delivery, so a response the client
+/// abandoned (hedged away, timed out) is still accounted — it crossed
+/// the wire regardless of who was listening.
+pub struct ReplySink {
+    meter: Arc<TrafficMeter>,
+    /// The responding peer (source of the response link).
+    peer: NodeId,
+    /// The requesting node (destination of the response link).
+    client: NodeId,
+    tx: mpsc::Sender<Vec<u8>>,
+}
+
+impl ReplySink {
+    /// A sink delivering to `tx`, metering `peer → client` response
+    /// bytes on `meter`. Transport implementations (in-process and
+    /// socket alike) build one per request.
+    pub fn new(
+        meter: Arc<TrafficMeter>,
+        peer: NodeId,
+        client: NodeId,
+        tx: mpsc::Sender<Vec<u8>>,
+    ) -> Self {
+        Self {
+            meter,
+            peer,
+            client,
+            tx,
+        }
+    }
+
+    /// Meters and delivers one encoded response. A vanished requester
+    /// is not the peer's problem — the send outcome is ignored.
+    pub fn send(&self, bytes: Vec<u8>) {
+        self.meter.record(self.peer, self.client, bytes.len());
+        let _ = self.tx.send(bytes);
+    }
+}
 
 /// A request as a peer thread receives it.
 pub struct RequestEnvelope {
@@ -59,7 +136,7 @@ pub struct RequestEnvelope {
     /// same buffer.
     pub payload: Arc<[u8]>,
     /// Channel for the encoded response [`Message`].
-    pub reply: mpsc::Sender<Vec<u8>>,
+    pub reply: ReplySink,
 }
 
 /// What arrives in a peer's inbox.
@@ -70,17 +147,174 @@ pub enum PeerInbox {
     Shutdown,
 }
 
+enum PendingState {
+    /// The response will arrive on this channel.
+    Channel(mpsc::Receiver<Vec<u8>>),
+    /// The request already failed (unknown peer, dead peer, injected
+    /// fault); every wait reports the same error.
+    Failed(TransportError),
+    /// The response is withheld until an instant (an injected network
+    /// delay); after that it behaves as the inner pending.
+    Delayed {
+        until: Instant,
+        inner: Box<PendingState>,
+    },
+}
+
+/// One in-flight request: the handle [`Transport::begin`] returns.
+///
+/// The caller decides how long to wait — and may wait *again* after a
+/// [`TransportError::Timeout`]: the response channel stays open, so a
+/// hedged gather can come back to a laggard after trying another
+/// replica and still collect its (late) answer.
+pub struct PendingReply {
+    peer: NodeId,
+    state: PendingState,
+}
+
+impl PendingReply {
+    /// A pending whose response arrives on `rx` (the transport
+    /// implementations' normal case).
+    pub fn from_channel(peer: NodeId, rx: mpsc::Receiver<Vec<u8>>) -> Self {
+        Self {
+            peer,
+            state: PendingState::Channel(rx),
+        }
+    }
+
+    /// A pending that already failed. Used for dead peers and by the
+    /// fault harness for dropped requests/responses.
+    pub fn failed(peer: NodeId, error: TransportError) -> Self {
+        Self {
+            peer,
+            state: PendingState::Failed(error),
+        }
+    }
+
+    /// Wraps this pending so its response is withheld for `delay`
+    /// (the fault harness's injected network delay).
+    pub fn delayed(self, delay: Duration) -> Self {
+        Self {
+            peer: self.peer,
+            state: PendingState::Delayed {
+                until: Instant::now() + delay,
+                inner: Box::new(self.state),
+            },
+        }
+    }
+
+    /// The peer this request went to.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Unwraps elapsed delay layers. Returns the instant the caller
+    /// must not wait past for the *remaining* delay, if any.
+    fn settle_delay(&mut self) -> Option<Instant> {
+        loop {
+            match &self.state {
+                PendingState::Delayed { until, .. } => {
+                    let until = *until;
+                    if Instant::now() < until {
+                        return Some(until);
+                    }
+                    // Delay elapsed: splice the inner state in.
+                    let placeholder = PendingState::Failed(TransportError::Timeout(self.peer));
+                    if let PendingState::Delayed { inner, .. } =
+                        std::mem::replace(&mut self.state, placeholder)
+                    {
+                        self.state = *inner;
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for the response.
+    ///
+    /// `Err(Timeout)` leaves the pending intact — call `wait` or
+    /// [`PendingReply::try_take`] again later to collect a late
+    /// answer. Other errors are terminal and repeat on every call.
+    pub fn wait(&mut self, timeout: Duration) -> Result<Message, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(until) = self.settle_delay() {
+                if until >= deadline {
+                    // The injected delay outlasts the caller's
+                    // patience: behave exactly like a slow peer.
+                    std::thread::sleep(deadline.saturating_duration_since(Instant::now()));
+                    return Err(TransportError::Timeout(self.peer));
+                }
+                std::thread::sleep(until.saturating_duration_since(Instant::now()));
+                continue;
+            }
+            match &mut self.state {
+                PendingState::Failed(error) => return Err(*error),
+                PendingState::Channel(rx) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    return match rx.recv_timeout(budget) {
+                        Ok(bytes) => Message::decode(&bytes).map_err(TransportError::Wire),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            Err(TransportError::Timeout(self.peer))
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            let error = TransportError::PeerGone(self.peer);
+                            self.state = PendingState::Failed(error);
+                            Err(error)
+                        }
+                    };
+                }
+                PendingState::Delayed { .. } => unreachable!("settled above"),
+            }
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the request has resolved (a
+    /// response or a terminal error), `None` while still in flight.
+    pub fn try_take(&mut self) -> Option<Result<Message, TransportError>> {
+        if self.settle_delay().is_some() {
+            return None;
+        }
+        match &mut self.state {
+            PendingState::Failed(error) => Some(Err(*error)),
+            PendingState::Channel(rx) => match rx.try_recv() {
+                Ok(bytes) => Some(Message::decode(&bytes).map_err(TransportError::Wire)),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    let error = TransportError::PeerGone(self.peer);
+                    self.state = PendingState::Failed(error);
+                    Some(Err(error))
+                }
+            },
+            PendingState::Delayed { .. } => unreachable!("settled above"),
+        }
+    }
+}
+
 /// Request/response messaging between nodes, with per-link wire-byte
 /// accounting.
 pub trait Transport: Send + Sync {
-    /// Sends one request and blocks for the response.
+    /// The traffic meter every byte through this transport lands on.
+    fn meter(&self) -> &Arc<TrafficMeter>;
+
+    /// Sends one pre-encoded request and returns the in-flight handle.
+    /// Never blocks on the peer: failures surface when the returned
+    /// pending is waited on.
+    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply;
+
+    /// Sends one request and blocks for the response (up to
+    /// [`DEFAULT_RPC_TIMEOUT`]).
     fn request(
         &self,
         from: NodeId,
         to: NodeId,
         auth: AuthToken,
         message: &Message,
-    ) -> Result<Message, TransportError>;
+    ) -> Result<Message, TransportError> {
+        self.begin(from, to, auth, Arc::from(message.encode().as_ref()))
+            .wait(DEFAULT_RPC_TIMEOUT)
+    }
 
     /// Scatter-gathers one request to many peers: all sends complete
     /// before any receive blocks, so the round trip costs the *slowest
@@ -91,7 +325,19 @@ pub trait Transport: Send + Sync {
         peers: &[NodeId],
         auth: AuthToken,
         message: &Message,
-    ) -> Vec<Result<Message, TransportError>>;
+    ) -> Vec<Result<Message, TransportError>> {
+        // One serialization and one allocation for the whole fan-out;
+        // each peer's envelope bumps a refcount instead of copying.
+        let payload: Arc<[u8]> = Arc::from(message.encode().as_ref());
+        let pending: Vec<PendingReply> = peers
+            .iter()
+            .map(|&to| self.begin(from, to, auth, Arc::clone(&payload)))
+            .collect();
+        pending
+            .into_iter()
+            .map(|mut reply| reply.wait(DEFAULT_RPC_TIMEOUT))
+            .collect()
+    }
 }
 
 /// The in-process transport: one mpsc inbox per registered peer.
@@ -110,11 +356,6 @@ impl InProcTransport {
         }
     }
 
-    /// The shared traffic meter.
-    pub fn meter(&self) -> &Arc<TrafficMeter> {
-        &self.meter
-    }
-
     /// Registers a peer's inbox under its address. Replaces any
     /// previous registration.
     pub fn register(&self, node: NodeId, inbox: mpsc::Sender<PeerInbox>) {
@@ -128,84 +369,35 @@ impl InProcTransport {
             let _ = inbox.send(PeerInbox::Shutdown);
         }
     }
-
-    fn inbox_of(&self, node: NodeId) -> Result<mpsc::Sender<PeerInbox>, TransportError> {
-        self.inboxes
-            .lock()
-            .get(&node)
-            .cloned()
-            .ok_or(TransportError::UnknownPeer(node))
-    }
-
-    /// Dispatches one pre-encoded request, returning the receiver its
-    /// response will arrive on. (Encoding stays with the callers, and
-    /// the buffer is reference-counted, so a fan-out serializes *and
-    /// allocates* the message once, not once per peer.)
-    fn dispatch(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        auth: AuthToken,
-        payload: Arc<[u8]>,
-    ) -> Result<mpsc::Receiver<Vec<u8>>, TransportError> {
-        let inbox = self.inbox_of(to)?;
-        self.meter.record(from, to, payload.len());
-        let (reply, response) = mpsc::channel();
-        inbox
-            .send(PeerInbox::Request(RequestEnvelope {
-                from,
-                auth,
-                payload,
-                reply,
-            }))
-            .map_err(|_| TransportError::PeerGone(to))?;
-        Ok(response)
-    }
-
-    /// Receives, meters, and decodes one response.
-    fn collect(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        response: mpsc::Receiver<Vec<u8>>,
-    ) -> Result<Message, TransportError> {
-        let bytes = response.recv().map_err(|_| TransportError::PeerGone(to))?;
-        self.meter.record(to, from, bytes.len());
-        Message::decode(&bytes).map_err(TransportError::Wire)
-    }
 }
 
 impl Transport for InProcTransport {
-    fn request(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        auth: AuthToken,
-        message: &Message,
-    ) -> Result<Message, TransportError> {
-        let response = self.dispatch(from, to, auth, Arc::from(message.encode().as_ref()))?;
-        self.collect(from, to, response)
+    fn meter(&self) -> &Arc<TrafficMeter> {
+        &self.meter
     }
 
-    fn fan_out(
-        &self,
-        from: NodeId,
-        peers: &[NodeId],
-        auth: AuthToken,
-        message: &Message,
-    ) -> Vec<Result<Message, TransportError>> {
-        // One serialization and one allocation for the whole fan-out;
-        // each peer's envelope bumps a refcount instead of copying.
-        let payload: Arc<[u8]> = Arc::from(message.encode().as_ref());
-        let pending: Vec<_> = peers
-            .iter()
-            .map(|&to| self.dispatch(from, to, auth, Arc::clone(&payload)))
-            .collect();
-        pending
-            .into_iter()
-            .zip(peers)
-            .map(|(dispatched, &to)| dispatched.and_then(|rx| self.collect(from, to, rx)))
-            .collect()
+    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+        let Some(inbox) = self.inboxes.lock().get(&to).cloned() else {
+            return PendingReply::failed(to, TransportError::UnknownPeer(to));
+        };
+        // Request bytes leave the client here, delivered or not.
+        self.meter.record(from, to, payload.len());
+        let (tx, rx) = mpsc::channel();
+        let envelope = RequestEnvelope {
+            from,
+            auth,
+            payload,
+            reply: ReplySink {
+                meter: Arc::clone(&self.meter),
+                peer: to,
+                client: from,
+                tx,
+            },
+        };
+        if inbox.send(PeerInbox::Request(envelope)).is_err() {
+            return PendingReply::failed(to, TransportError::PeerGone(to));
+        }
+        PendingReply::from_channel(to, rx)
     }
 }
 
@@ -220,7 +412,7 @@ mod tests {
         transport.register(node, tx);
         thread::spawn(move || {
             while let Ok(PeerInbox::Request(envelope)) = rx.recv() {
-                let _ = envelope.reply.send(envelope.payload.to_vec());
+                envelope.reply.send(envelope.payload.to_vec());
             }
         })
     }
@@ -279,5 +471,81 @@ mod tests {
         for handle in handles {
             handle.join().unwrap();
         }
+    }
+
+    #[test]
+    fn timeout_leaves_the_pending_collectable() {
+        // A peer that answers only after we have already given up once.
+        let transport = InProcTransport::new(Arc::new(TrafficMeter::new()));
+        let peer = NodeId::IndexServer(0);
+        let (tx, rx) = mpsc::channel();
+        transport.register(peer, tx);
+        let slow = thread::spawn(move || {
+            if let Ok(PeerInbox::Request(envelope)) = rx.recv() {
+                thread::sleep(Duration::from_millis(40));
+                envelope.reply.send(Message::InsertOk.encode().to_vec());
+            }
+        });
+
+        let mut pending = transport.begin(
+            NodeId::User(0),
+            peer,
+            AuthToken(0),
+            Arc::from(Message::InsertOk.encode().as_ref()),
+        );
+        assert_eq!(
+            pending.wait(Duration::from_millis(1)),
+            Err(TransportError::Timeout(peer)),
+            "first wait times out"
+        );
+        assert_eq!(
+            pending.wait(Duration::from_secs(5)),
+            Ok(Message::InsertOk),
+            "the late answer is still collectable"
+        );
+        slow.join().unwrap();
+    }
+
+    #[test]
+    fn delayed_pending_withholds_then_delivers() {
+        let transport = InProcTransport::new(Arc::new(TrafficMeter::new()));
+        let peer = NodeId::IndexServer(0);
+        let handle = echo_peer(&transport, peer);
+        let payload: Arc<[u8]> = Arc::from(Message::InsertOk.encode().as_ref());
+        let mut pending = transport
+            .begin(NodeId::User(0), peer, AuthToken(0), payload)
+            .delayed(Duration::from_millis(30));
+        assert_eq!(
+            pending.wait(Duration::from_millis(2)),
+            Err(TransportError::Timeout(peer))
+        );
+        assert!(pending.try_take().is_none(), "still inside the delay");
+        assert_eq!(pending.wait(Duration::from_secs(5)), Ok(Message::InsertOk));
+        transport.shutdown(peer);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn abandoned_response_is_still_metered() {
+        let meter = Arc::new(TrafficMeter::new());
+        let transport = InProcTransport::new(meter.clone());
+        let peer = NodeId::IndexServer(0);
+        let handle = echo_peer(&transport, peer);
+        let user = NodeId::User(0);
+        let message = Message::DeleteOk { removed: 1 };
+        let pending = transport.begin(
+            user,
+            peer,
+            AuthToken(0),
+            Arc::from(message.encode().as_ref()),
+        );
+        drop(pending); // the client hedged away; the peer answers anyway
+        transport.shutdown(peer);
+        handle.join().unwrap();
+        assert_eq!(
+            meter.link_bytes(peer, user),
+            message.wire_size() as u64,
+            "the abandoned response still crossed the link"
+        );
     }
 }

@@ -12,6 +12,8 @@ use zerber_core::MappingTable;
 use zerber_index::{CorpusStats, Document, GroupId, TermId, UserId};
 use zerber_net::{NodeId, TrafficMeter};
 use zerber_server::{IndexServer, ServerError, TokenAuth};
+
+use crate::runtime::transport::Transport;
 use zerber_shamir::{RefreshRound, ShamirError, SharingScheme};
 
 use crate::config::{ConfigError, ZerberConfig};

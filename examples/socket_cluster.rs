@@ -1,0 +1,189 @@
+//! Multi-process socket cluster: four shard peers, each its own OS
+//! process serving replica shards over length-framed TCP, a client
+//! speaking [`SocketTransport`] — and one peer killed with SIGKILL
+//! mid-session to show the hedged gather absorbing the loss.
+//!
+//! Run with: `cargo run --example socket_cluster`
+//!
+//! The example re-executes itself as the peers: when
+//! `ZERBER_SOCKET_PEER` is set, the process is a shard peer — it
+//! rebuilds the (deterministic) corpus, serves its shards on an
+//! ephemeral loopback port, prints `READY <addr>`, and holds until its
+//! stdin closes. The parent spawns the children, collects their
+//! addresses, and drives queries over real TCP.
+
+use std::io::BufRead as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zerber::runtime::socket::{serve_peer, SocketTransport};
+use zerber::runtime::{
+    build_shard_store, gather_topk, hedged_fan_out, local_topk, HedgePolicy, ShardService,
+    TermStats,
+};
+use zerber::ZerberConfig;
+use zerber_dht::ShardMap;
+use zerber_index::{DocId, Document, GroupId, RankedDoc, TermId};
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+
+const PEERS: u32 = 4;
+const REPLICATION: u32 = 2;
+const K: usize = 5;
+
+/// The shared corpus — a pure function of nothing, so parent and
+/// children agree on every document without any IPC.
+fn corpus() -> Vec<Document> {
+    (0..400u32)
+        .map(|d| {
+            Document::from_term_counts(
+                DocId(d),
+                GroupId(0),
+                (0..4)
+                    .map(|i| (TermId((d * 3 + i * 7) % 50), 1 + (d + i) % 5))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Child role: serve one peer's replica shards until stdin closes.
+fn run_peer(peer: u32) {
+    let docs = corpus();
+    let map = ShardMap::new(PEERS);
+    let shards = map.partition(&docs, |doc| doc.id);
+    let hosted = map.hosted_shards(peer, REPLICATION);
+    let backend = ZerberConfig::default().postings;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = serve_peer(
+        listener,
+        NodeId::IndexServer(peer),
+        move || {
+            ShardService::hosting(
+                hosted
+                    .into_iter()
+                    .map(|shard| (shard, build_shard_store(&backend, &shards[shard as usize]))),
+            )
+        },
+        Arc::new(TrafficMeter::new()),
+    )
+    .expect("serve on loopback");
+    println!("READY {}", server.addr());
+    use std::io::Read as _;
+    let mut hold = String::new();
+    std::io::stdin().read_to_string(&mut hold).ok();
+}
+
+/// One hedged query over the socket transport — the same client path
+/// as `ShardedSearch::query`, across process boundaries.
+fn query(
+    transport: &SocketTransport,
+    map: &ShardMap,
+    stats: &TermStats,
+    terms: &[TermId],
+) -> Option<(Vec<RankedDoc>, usize, Vec<NodeId>)> {
+    let policy = HedgePolicy {
+        hedge_after: Duration::from_millis(25),
+        deadline: Duration::from_secs(2),
+    };
+    let weights = stats.weights(terms);
+    let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..map.peer_count())
+        .map(|shard| {
+            let request = Message::TopKQuery {
+                shard,
+                terms: weights.clone(),
+                k: K as u32,
+            };
+            let replicas = map
+                .replica_peers(shard, REPLICATION)
+                .into_iter()
+                .map(|peer| NodeId::IndexServer(peer.0))
+                .collect();
+            (shard, replicas, Arc::from(request.encode().as_ref()))
+        })
+        .collect();
+    let mut per_shard = Vec::new();
+    let mut hedges = 0;
+    let mut failed = Vec::new();
+    for fetch in hedged_fan_out(transport, NodeId::User(0), AuthToken(0), &shards, &policy) {
+        let fetch = fetch.ok()?;
+        hedges += fetch.hedges;
+        failed.extend(fetch.failed.iter().map(|&(node, _)| node));
+        match fetch.response {
+            Message::TopKResponse { candidates } => per_shard.push(
+                candidates
+                    .into_iter()
+                    .map(|(doc, score)| RankedDoc { doc, score })
+                    .collect(),
+            ),
+            _ => return None,
+        }
+    }
+    Some((gather_topk(&per_shard, K).ranked, hedges, failed))
+}
+
+fn main() {
+    if let Ok(peer) = std::env::var("ZERBER_SOCKET_PEER") {
+        run_peer(peer.parse().expect("peer index"));
+        return;
+    }
+
+    // --- 1. Spawn one child process per shard peer. -----------------
+    let exe = std::env::current_exe().expect("own path");
+    let docs = corpus();
+    let stats = TermStats::from_documents(&docs);
+    let map = ShardMap::new(PEERS);
+    let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+    let mut children: Vec<Child> = Vec::new();
+    for peer in 0..PEERS {
+        let mut child = Command::new(&exe)
+            .env("ZERBER_SOCKET_PEER", peer.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn peer process");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut ready = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut ready)
+            .expect("child handshake");
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .expect("READY line")
+            .parse()
+            .expect("socket address");
+        transport.register(NodeId::IndexServer(peer), addr);
+        println!("peer {peer} (pid {}) listening on {addr}", child.id());
+        children.push(child);
+    }
+
+    // --- 2. Query the healthy cluster over TCP. ---------------------
+    let terms = [TermId(9), TermId(21)];
+    let expected = local_topk(&ZerberConfig::default(), &docs, &terms, K);
+    let (ranked, hedges, _) = query(&transport, &map, &stats, &terms).expect("cluster healthy");
+    assert_eq!(ranked, expected, "socket top-k must match single-node");
+    println!("\nhealthy: top-{K} over TCP identical to single-node evaluation ({hedges} hedges)");
+    for r in &ranked {
+        println!("  doc {:>3}  score {:.4}", r.doc.0, r.score);
+    }
+
+    // --- 3. SIGKILL one peer; the hedged gather absorbs it. ---------
+    let victim = 1usize;
+    children[victim].kill().expect("kill peer process");
+    children[victim].wait().ok();
+    println!("\nkilled peer {victim} (SIGKILL)");
+    let (ranked, hedges, failed) =
+        query(&transport, &map, &stats, &terms).expect("replicas cover every shard");
+    assert_eq!(ranked, expected, "failover must not change results");
+    println!(
+        "after kill: results still identical; {hedges} hedge(s), dead peers reported: {failed:?}"
+    );
+
+    // --- 4. Shut the cluster down. ----------------------------------
+    for child in &mut children {
+        child.kill().ok();
+        child.wait().ok();
+    }
+    println!("\ncluster stopped; all {PEERS} peers reaped");
+}

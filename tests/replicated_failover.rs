@@ -1,0 +1,168 @@
+//! Failover integration tests: a replicated deployment must survive a
+//! peer dying *mid-query* — after the fan-out reached it, before the
+//! gather heard back — returning the oracle top-k bit-identically and
+//! reporting the dead peer rather than silently dropping it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zerber::runtime::{
+    local_topk, FaultInjectTransport, FaultPlan, HedgePolicy, QueryError, ShardedSearch,
+};
+use zerber::ZerberConfig;
+use zerber_index::{DocId, Document, GroupId, TermId};
+use zerber_net::NodeId;
+
+fn corpus(docs: u32, terms: u32) -> Vec<Document> {
+    (0..docs)
+        .map(|d| {
+            Document::from_term_counts(
+                DocId(d),
+                GroupId(0),
+                (0..3)
+                    .map(|i| (TermId((d + i) % terms), 1 + (d * 7 + i) % 4))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn fast_hedging() -> HedgePolicy {
+    HedgePolicy {
+        hedge_after: Duration::from_millis(3),
+        deadline: Duration::from_secs(5),
+    }
+}
+
+/// A replicated deployment with the chaos harness between the clients
+/// and the peers.
+fn launch_chaotic(
+    config: &ZerberConfig,
+    docs: &[Document],
+    plan: FaultPlan,
+) -> (ShardedSearch, Arc<FaultInjectTransport>) {
+    let mut harness = None;
+    let mut search = ShardedSearch::launch_with_transport(config, docs, |inner| {
+        let chaos = Arc::new(FaultInjectTransport::new(inner, plan));
+        harness = Some(Arc::clone(&chaos));
+        chaos
+    })
+    .expect("valid config");
+    search.set_hedge_policy(fast_hedging());
+    (search, harness.expect("wrap ran"))
+}
+
+#[test]
+fn peer_killed_between_fanout_and_gather_does_not_lose_the_query() {
+    let docs = corpus(150, 13);
+    let config = ZerberConfig::default().with_peers(4).with_replication(2);
+    let (search, chaos) = launch_chaotic(&config, &docs, FaultPlan::quiet(0));
+    let terms = [TermId(2), TermId(9)];
+    let expected = local_topk(&ZerberConfig::default(), &docs, &terms, 10);
+
+    // Baseline: healthy replicated deployment matches the oracle.
+    let healthy = search.query(&terms, 10).expect("all peers alive");
+    assert_eq!(healthy.ranked, expected);
+    assert_eq!(healthy.hedges, 0);
+    assert!(healthy.failed_peers.is_empty());
+
+    // Mute peer 1: the fan-out still *delivers* shard 1's query to it
+    // and the peer executes — its answer just never comes back. That
+    // is precisely "died between fan-out and gather".
+    let dead = NodeId::IndexServer(1);
+    chaos.mute(dead);
+    let outcome = search.query(&terms, 10).expect("replica covers the shard");
+    assert_eq!(outcome.ranked.len(), expected.len());
+    for (got, want) in outcome.ranked.iter().zip(&expected) {
+        assert_eq!(got.doc, want.doc);
+        assert_eq!(got.score.to_bits(), want.score.to_bits(), "bit-identical");
+    }
+    // The dead peer is reported, not silently dropped.
+    assert!(
+        outcome.failed_peers.contains(&dead),
+        "dead peer missing from {:?}",
+        outcome.failed_peers
+    );
+    assert!(outcome.hedges >= 1, "the shard must have hedged");
+}
+
+#[test]
+fn hard_killed_peer_fails_over_too() {
+    // kill_peer shuts the peer thread down for real: requests to it
+    // fail immediately instead of timing out, and the hedge covers.
+    let docs = corpus(120, 11);
+    let config = ZerberConfig::default().with_peers(5).with_replication(2);
+    let mut search = ShardedSearch::launch(&config, &docs).expect("valid config");
+    search.set_hedge_policy(fast_hedging());
+    let terms = [TermId(4), TermId(7)];
+    let expected = local_topk(&ZerberConfig::default(), &docs, &terms, 8);
+
+    search.kill_peer(3);
+    let outcome = search.query(&terms, 8).expect("replicas cover every shard");
+    assert_eq!(outcome.ranked, expected);
+    assert!(outcome.failed_peers.contains(&NodeId::IndexServer(3)));
+
+    // Writes to the dead peer's shards, however, must fail loudly:
+    // replication requires every copy to acknowledge.
+    let mut write_errors = 0;
+    for d in 500..520u32 {
+        let doc = Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(1), 1)]);
+        if search.insert_documents(0, &[doc]).is_err() {
+            write_errors += 1;
+        }
+    }
+    assert!(write_errors > 0, "some shard replicates onto the dead peer");
+}
+
+#[test]
+fn unreplicated_shard_loss_fails_closed() {
+    let docs = corpus(80, 7);
+    let config = ZerberConfig::default().with_peers(3); // replication = 1
+    let (search, chaos) = launch_chaotic(&config, &docs, FaultPlan::quiet(0));
+    chaos.mute(NodeId::IndexServer(2));
+    match search.query(&[TermId(1)], 5) {
+        Err(QueryError::Unavailable(shard)) => {
+            assert_eq!(shard.shard, 2);
+            assert_eq!(shard.attempts.len(), 1, "one replica, one attempt");
+            assert_eq!(shard.attempts[0].0, NodeId::IndexServer(2));
+        }
+        other => panic!("a lost unreplicated shard must fail closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn hedged_responses_are_metered_but_gathered_once() {
+    // The hedging accounting: a muted primary's response still crosses
+    // the wire (metered at the peer), but the gather uses exactly one
+    // response per shard — wire bytes and gather accounting diverge by
+    // design, and both must be visible.
+    let docs = corpus(100, 9);
+    let config = ZerberConfig::default().with_peers(3).with_replication(2);
+    let (search, chaos) = launch_chaotic(&config, &docs, FaultPlan::quiet(0));
+    let user = NodeId::User(0);
+    let primary = NodeId::IndexServer(0);
+    chaos.mute(primary);
+
+    let terms = [TermId(3)];
+    let outcome = search.query(&terms, 6).expect("replicated");
+    assert_eq!(
+        outcome.ranked,
+        local_topk(&ZerberConfig::default(), &docs, &terms, 6)
+    );
+    assert_eq!(outcome.peers_contacted, 3, "one primary per shard");
+    assert!(outcome.hedges >= 1);
+
+    // The muted primary executed and answered: poll briefly for its
+    // (asynchronous) response bytes to land on the meter.
+    let meter = search.traffic();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while meter.link_bytes(primary, user) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(
+        meter.link_bytes(primary, user) > 0,
+        "the hedged-away response still counts as wire bytes"
+    );
+    // And the shard that hedged got its answer from the successor.
+    assert!(meter.link_bytes(NodeId::IndexServer(1), user) > 0);
+}
