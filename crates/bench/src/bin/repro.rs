@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! repro [--smoke] [--json <dir>] [--socket]
-//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|security|ablation]
+//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|obs|security|ablation]
 //! ```
 //!
 //! `--socket` additionally runs the `scalability` kill-a-peer scenario
@@ -22,14 +22,17 @@
 //!
 //! `--json <dir>` additionally writes machine-readable
 //! `BENCH_<target>.json` files (currently for the perf-trajectory
-//! targets `scalability`, `ingest`, and `query`) so
+//! targets `scalability`, `ingest`, `query`, and `obs`) so
 //! qps/latency/bytes/blocks-decoded are trackable across commits; CI
-//! uploads the directory as a workflow artifact.
+//! uploads the directory as a workflow artifact. The `obs` target
+//! measures the metrics registry's own cost (enabled vs kill switch)
+//! plus the registry-derived latency quantiles, hedge rate, and
+//! decode-skip rate for the query and scalability deployment shapes.
 
 use zerber_bench::experiments::{
     ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
-    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, query, scalability,
-    security, storage, table1,
+    fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, obs, query,
+    scalability, security, storage, table1,
 };
 use zerber_bench::Scale;
 
@@ -175,6 +178,13 @@ fn main() {
         println!("{}", query::render(&result));
         if let Some(dir) = &json_dir {
             write_json(dir, "query", query::to_json(&result));
+        }
+    }
+    if wanted("obs") {
+        let result = obs::run(scale);
+        println!("{}", obs::render(&result));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "obs", obs::to_json(&result));
         }
     }
     if wanted("security") {

@@ -264,18 +264,24 @@ fn inproc_failover(
     let kill_at = queries.len() / 2;
     let mut latencies = Vec::with_capacity(queries.len());
     let mut ok = 0usize;
-    let mut hedges = 0usize;
     for (i, query) in queries.iter().enumerate() {
         if i == kill_at {
             search.kill_peer(KILLED_PEER);
         }
         let begun = Instant::now();
-        if let Ok(outcome) = search.query(query, K) {
+        if search.query(query, K).is_ok() {
             ok += 1;
-            hedges += outcome.hedges;
         }
         latencies.push(begun.elapsed().as_secs_f64() * 1e3);
     }
+    // Hedge accounting moved to the metrics registry: snapshot before
+    // the correctness replay below so only the workload's hedges count.
+    let hedges = search
+        .obs()
+        .registry()
+        .snapshot()
+        .counter("zerber_gather_hedges_total")
+        .unwrap_or(0) as usize;
     // Post-kill correctness: failover may never change results.
     let mut matches_single_node = true;
     for (query, expected) in queries[..reference.len()].iter().zip(reference) {
@@ -354,14 +360,14 @@ fn socket_query(
             (shard, replicas, Arc::from(request.encode().as_ref()))
         })
         .collect();
-    let fetches = hedged_fan_out(transport, NodeId::User(0), AuthToken(0), &shards, policy);
+    let fetches = hedged_fan_out(transport, NodeId::User(0), AuthToken(0), 0, &shards, policy);
     let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
     let mut hedges = 0usize;
     for fetch in fetches {
         let fetch = fetch.ok()?;
-        hedges += fetch.hedges;
+        hedges += fetch.hedges();
         match fetch.response {
-            Message::TopKResponse { candidates } => per_shard.push(
+            Message::TopKResponse { candidates, .. } => per_shard.push(
                 candidates
                     .into_iter()
                     .map(|(doc, score)| RankedDoc { doc, score })

@@ -25,6 +25,7 @@ pub mod experiments {
     pub mod fig9_amplification;
     pub mod ingest;
     pub mod micro;
+    pub mod obs;
     pub mod query;
     pub mod scalability;
     pub mod security;

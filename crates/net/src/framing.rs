@@ -16,7 +16,7 @@
 //! frame     := len:u32 | body | crc32(body):u32
 //!              (len counts body + crc, capped at MAX_FRAME_BODY)
 //! body      := kind:u8 | header | payload
-//! REQUEST   : kind=1 | id:u64 | from:node | auth:u64 | payload
+//! REQUEST   : kind=1 | id:u64 | from:node | auth:u64 | trace:u64 | payload
 //! RESPONSE  : kind=2 | id:u64 | payload
 //! node      := tag:u8 (1=User 2=Owner 3=IndexServer) | index:u32
 //! payload   := one encoded zerber_net::Message
@@ -24,12 +24,15 @@
 //!
 //! `id` correlates a response with its request so one connection can
 //! carry many requests concurrently (pipelining): the client stamps a
-//! fresh id per RPC and the peer echoes it back. The frame CRC covers
-//! the whole body, so a flipped bit anywhere — header or payload — is
-//! detected before `Message::decode` ever sees the bytes.
+//! fresh id per RPC and the peer echoes it back. `trace` carries the
+//! caller's query-trace id (zero = untraced) so a peer can correlate
+//! its work with the client-side span tree even across processes. The
+//! frame CRC covers the whole body, so a flipped bit anywhere —
+//! header or payload — is detected before `Message::decode` ever sees
+//! the bytes.
 //!
 //! The *accounted* wire bytes of an RPC remain the payload's
-//! [`Message::wire_size`](crate::Message::wire_size): framing overhead (13–21 B per frame) plays
+//! [`Message::wire_size`](crate::Message::wire_size): framing overhead (17–38 B per frame) plays
 //! the role of the envelope in the in-process transport, which the
 //! paper's bandwidth model also excludes (it sizes payloads only).
 
@@ -94,6 +97,8 @@ pub enum Frame {
         from: NodeId,
         /// The caller's session token.
         auth: AuthToken,
+        /// The caller's query-trace id (zero = untraced).
+        trace: u64,
         /// Encoded request [`crate::Message`] bytes.
         payload: Vec<u8>,
     },
@@ -115,12 +120,14 @@ impl Frame {
                 id,
                 from,
                 auth,
+                trace,
                 payload,
             } => {
                 body.put_u8(KIND_REQUEST);
                 body.put_u64(*id);
                 put_node(&mut body, *from);
                 body.put_u64(auth.0);
+                body.put_u64(*trace);
                 body.extend_from_slice(payload);
             }
             Frame::Response { id, payload } => {
@@ -154,10 +161,12 @@ impl Frame {
                 let id = take_u64(&mut body)?;
                 let from = take_node(&mut body)?;
                 let auth = AuthToken(take_u64(&mut body)?);
+                let trace = take_u64(&mut body)?;
                 Ok(Frame::Request {
                     id,
                     from,
                     auth,
+                    trace,
                     payload: body.to_vec(),
                 })
             }
@@ -322,6 +331,7 @@ mod tests {
             id: 7,
             from: NodeId::User(3),
             auth: AuthToken(0xFEED),
+            trace: 0xDECAF,
             payload: payload.to_vec(),
         }
     }

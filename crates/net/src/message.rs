@@ -149,8 +149,21 @@ pub enum Message {
     },
     /// Shard peer → user: the shard-local top-k, sorted by score
     /// descending then document id ascending — the sorted-access order
-    /// the gather stage's threshold bound relies on.
+    /// the gather stage's threshold bound relies on. The response also
+    /// carries the peer-side execution stats (decode wall clock and
+    /// block accounting), so the client can assemble a complete
+    /// per-query span tree even when the peer is a separate process
+    /// behind the socket transport.
     TopKResponse {
+        /// Peer-side wall clock of the top-k evaluation, nanoseconds
+        /// (measured on the peer's own clock; meaningful as a
+        /// duration, not as an offset).
+        decode_ns: u64,
+        /// Posting blocks the peer actually decompressed.
+        blocks_decoded: u32,
+        /// Posting blocks present across the query's lists (what an
+        /// eager evaluation would decode).
+        blocks_total: u32,
         /// Ranked `(doc, score)` candidates, at most `k` of them.
         candidates: Vec<(DocId, f64)>,
     },
@@ -302,8 +315,16 @@ impl Message {
                     buffer.put_u64(weight.to_bits());
                 }
             }
-            Message::TopKResponse { candidates } => {
+            Message::TopKResponse {
+                decode_ns,
+                blocks_decoded,
+                blocks_total,
+                candidates,
+            } => {
                 buffer.put_u8(TAG_TOPK_RESPONSE);
+                buffer.put_u64(*decode_ns);
+                buffer.put_u32(*blocks_decoded);
+                buffer.put_u32(*blocks_total);
                 buffer.put_u32(candidates.len() as u32);
                 for (doc, score) in candidates {
                     buffer.put_u32(doc.0);
@@ -420,6 +441,9 @@ impl Message {
                 Ok(Message::TopKQuery { shard, terms, k })
             }
             TAG_TOPK_RESPONSE => {
+                let decode_ns = read_u64(&mut buffer)?;
+                let blocks_decoded = read_u32(&mut buffer)?;
+                let blocks_total = read_u32(&mut buffer)?;
                 let count = read_u32(&mut buffer)? as usize;
                 let mut candidates = Vec::with_capacity(count.min(1 << 20));
                 for _ in 0..count {
@@ -427,7 +451,12 @@ impl Message {
                     let score = f64::from_bits(read_u64(&mut buffer)?);
                     candidates.push((doc, score));
                 }
-                Ok(Message::TopKResponse { candidates })
+                Ok(Message::TopKResponse {
+                    decode_ns,
+                    blocks_decoded,
+                    blocks_total,
+                    candidates,
+                })
             }
             TAG_INDEX_DOCS => {
                 let shard = read_u32(&mut buffer)?;
@@ -491,7 +520,9 @@ impl Message {
             Message::SnippetRequest { .. } => 1 + 4,
             Message::SnippetResponse { payload } => 1 + 4 + payload.len(),
             Message::TopKQuery { terms, .. } => 1 + 4 + 4 + 4 + terms.len() * (4 + 8),
-            Message::TopKResponse { candidates } => 1 + 4 + candidates.len() * (4 + 8),
+            Message::TopKResponse { candidates, .. } => {
+                1 + 8 + 4 + 4 + 4 + candidates.len() * (4 + 8)
+            }
             Message::IndexDocs { docs, .. } => {
                 1 + 4 + 4 + docs.iter().map(WireDocument::wire_size).sum::<usize>()
             }
@@ -621,6 +652,9 @@ mod tests {
         assert_eq!(Message::decode(&encoded).unwrap(), query);
 
         let response = Message::TopKResponse {
+            decode_ns: 123_456,
+            blocks_decoded: 3,
+            blocks_total: 11,
             candidates: vec![(DocId(3), 1.0 / 3.0), (DocId(1), 0.0)],
         };
         let encoded = response.encode();

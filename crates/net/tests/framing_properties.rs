@@ -58,8 +58,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
             prop::collection::vec((any::<u32>().prop_map(TermId), arb_f64()), 0..8)
         )
             .prop_map(|(shard, k, terms)| Message::TopKQuery { shard, terms, k }),
-        prop::collection::vec((any::<u32>().prop_map(DocId), arb_f64()), 0..12)
-            .prop_map(|candidates| Message::TopKResponse { candidates }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec((any::<u32>().prop_map(DocId), arb_f64()), 0..12)
+        )
+            .prop_map(|(decode_ns, blocks_decoded, blocks_total, candidates)| {
+                Message::TopKResponse {
+                    decode_ns,
+                    blocks_decoded,
+                    blocks_total,
+                    candidates,
+                }
+            }),
         (any::<u32>(), prop::collection::vec(arb_wire_doc(), 0..6))
             .prop_map(|(shard, docs)| Message::IndexDocs { shard, docs }),
         (any::<u32>(), any::<u32>()).prop_map(|(shard, doc)| Message::RemoveDoc {
@@ -86,6 +98,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 id,
                 from,
                 auth: AuthToken(auth),
+                trace: auth.rotate_left(13),
                 payload: message.encode().to_vec(),
             }
         ),
@@ -106,6 +119,7 @@ proptest! {
             id,
             from: NodeId::User(1),
             auth: AuthToken(id ^ 0xA5A5),
+            trace: id.wrapping_mul(31),
             payload: message.encode().to_vec(),
         };
         let encoded = frame.encode();

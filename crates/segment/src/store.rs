@@ -38,8 +38,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
+
+use zerber_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use zerber_index::cursor::{BlockCursor, EmptyCursor, ScoredListCursor, ShadowedMergeCursor};
 use zerber_index::store::SCORING_BLOCK;
@@ -72,6 +75,44 @@ struct Writer {
     next_seq: u64,
 }
 
+/// Pre-registered instrument handles for one observed store. Lives on
+/// [`Inner`] so the background compactor thread (which only holds an
+/// `Arc<Inner>`) can record as well.
+struct SegmentMetrics {
+    /// `zerber_segment_wal_fsync_ns`: WAL append+fsync latency when
+    /// `sync_wal` is on (the durable-ack critical path).
+    wal_fsync: Histogram,
+    /// `zerber_segment_wal_append_ns`: buffered WAL append latency
+    /// when `sync_wal` is off.
+    wal_append: Histogram,
+    /// `zerber_segment_flush_ns`: memtable-seal (deltas → segment +
+    /// manifest + WAL truncate) duration.
+    flush: Histogram,
+    /// `zerber_segment_compaction_ns`: one tiered-compaction step.
+    compaction: Histogram,
+    /// `zerber_segment_segments` gauge: current on-disk segment count.
+    segments: Gauge,
+    /// `zerber_segment_compactions_total`: compaction steps completed.
+    compactions: Counter,
+    /// `zerber_segment_tombstones_gc_total`: tombstones retired by
+    /// oldest-level compaction merges.
+    tombstones_gc: Counter,
+}
+
+impl SegmentMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            wal_fsync: registry.histogram("zerber_segment_wal_fsync_ns"),
+            wal_append: registry.histogram("zerber_segment_wal_append_ns"),
+            flush: registry.histogram("zerber_segment_flush_ns"),
+            compaction: registry.histogram("zerber_segment_compaction_ns"),
+            segments: registry.gauge("zerber_segment_segments"),
+            compactions: registry.counter("zerber_segment_compactions_total"),
+            tombstones_gc: registry.counter("zerber_segment_tombstones_gc_total"),
+        }
+    }
+}
+
 struct Inner {
     dir: PathBuf,
     policy: SegmentPolicy,
@@ -83,6 +124,8 @@ struct Inner {
     written: AtomicU64,
     /// At most one compaction at a time (explicit or background).
     compaction: Mutex<()>,
+    /// Instrument handles when the store was opened observed.
+    obs: Option<SegmentMetrics>,
 }
 
 /// A durable, crash-safe posting store with live inserts and deletes.
@@ -170,6 +213,7 @@ impl Inner {
         if deltas.is_empty() {
             return Ok(());
         }
+        let started = Instant::now();
         let sources: Vec<&dyn Source> = deltas.iter().map(|d| d.as_ref() as &dyn Source).collect();
         // With no older segments a tombstone has nothing to mask.
         let content = merge_sources(&sources, no_segments);
@@ -199,7 +243,12 @@ impl Inner {
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         self.write_manifest(writer.next_seq, &name_refs)?;
         // Only now is the WAL redundant.
-        writer.wal.truncate()
+        writer.wal.truncate()?;
+        if let Some(obs) = &self.obs {
+            obs.flush.record(started.elapsed().as_nanos() as u64);
+            obs.segments.set(names.len() as i64);
+        }
+        Ok(())
     }
 
     /// One tiered compaction step: when more than `max_segments`
@@ -215,6 +264,8 @@ impl Inner {
             let take = state.segments.len() - self.policy.max_segments.max(1) + 1;
             state.segments[..take].to_vec()
         };
+        let started = Instant::now();
+        let gc_candidates: usize = inputs.iter().map(|s| s.tombstones().len()).sum();
         // The merge covers the oldest level, so surviving tombstones
         // have nothing left to mask: garbage-collect them.
         let content = merge_segments(&inputs, true);
@@ -254,6 +305,14 @@ impl Inner {
         // from memory, not the files).
         for input in &inputs {
             let _ = std::fs::remove_file(self.dir.join(input.file_name()));
+        }
+        if let Some(obs) = &self.obs {
+            obs.compaction.record(started.elapsed().as_nanos() as u64);
+            obs.compactions.inc();
+            // The merge covered the oldest level with GC on, so every
+            // input tombstone was retired.
+            obs.tombstones_gc.add(gc_candidates as u64);
+            obs.segments.set(names.len() as i64);
         }
         Ok(true)
     }
@@ -306,7 +365,27 @@ impl SegmentStore {
     /// compactions are deleted, and the WAL is replayed — every fully
     /// written batch back into the memtable, a torn tail ignored.
     pub fn open(dir: impl Into<PathBuf>, policy: SegmentPolicy) -> Result<Self, SegmentError> {
-        let dir = dir.into();
+        Self::open_with(dir.into(), policy, None)
+    }
+
+    /// Like [`SegmentStore::open`], but with its write-path instruments
+    /// (`zerber_segment_*` WAL fsync/append, flush and compaction
+    /// histograms, segment-count gauge, compaction and tombstone-GC
+    /// counters) registered in `registry`. The background compactor
+    /// records through the same handles.
+    pub fn open_observed(
+        dir: impl Into<PathBuf>,
+        policy: SegmentPolicy,
+        registry: &MetricsRegistry,
+    ) -> Result<Self, SegmentError> {
+        Self::open_with(dir.into(), policy, Some(SegmentMetrics::register(registry)))
+    }
+
+    fn open_with(
+        dir: PathBuf,
+        policy: SegmentPolicy,
+        obs: Option<SegmentMetrics>,
+    ) -> Result<Self, SegmentError> {
         std::fs::create_dir_all(&dir)?;
         let manifest = dir.join(MANIFEST_FILE);
         let (next_seq, names) = if manifest.exists() {
@@ -334,6 +413,9 @@ impl SegmentStore {
             .collect();
         let mem_weight = deltas.iter().map(|d| d.weight()).sum();
         let wal = Wal::open(&dir.join(WAL_FILE))?;
+        if let Some(obs) = &obs {
+            obs.segments.set(segments.len() as i64);
+        }
         let inner = Arc::new(Inner {
             dir,
             policy,
@@ -345,6 +427,7 @@ impl SegmentStore {
             writer: Mutex::new(Writer { wal, next_seq }),
             written: AtomicU64::new(0),
             compaction: Mutex::new(()),
+            obs,
         });
         let compactor = policy.background.then(|| {
             let worker = Arc::clone(&inner);
@@ -413,7 +496,17 @@ impl SegmentStore {
     }
 
     fn apply_locked(&self, writer: &mut Writer, ops: Vec<WalOp>) -> Result<usize, SegmentError> {
-        let bytes = writer.wal.append(&ops, self.inner.policy.sync_wal)?;
+        let sync = self.inner.policy.sync_wal;
+        let appended = Instant::now();
+        let bytes = writer.wal.append(&ops, sync)?;
+        if let Some(obs) = &self.inner.obs {
+            let nanos = appended.elapsed().as_nanos() as u64;
+            if sync {
+                obs.wal_fsync.record(nanos);
+            } else {
+                obs.wal_append.record(nanos);
+            }
+        }
         self.inner.written.fetch_add(bytes, Ordering::Relaxed);
         let delta = Arc::new(MemDelta::from_ops(&ops));
         let added = delta.weight();

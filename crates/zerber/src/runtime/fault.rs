@@ -223,7 +223,14 @@ impl Transport for FaultInjectTransport {
         self.inner.meter()
     }
 
-    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+    fn begin_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        trace: u64,
+        payload: Arc<[u8]>,
+    ) -> PendingReply {
         // Explicit peer states apply armed or not: a dead peer is dead.
         if self.killed.lock().contains(&to) {
             return PendingReply::failed(to, TransportError::PeerGone(to));
@@ -231,11 +238,11 @@ impl Transport for FaultInjectTransport {
         if self.muted.lock().contains(&to) {
             // Delivered and executed; the response (metered at the
             // peer) vanishes on the way back.
-            drop(self.inner.begin(from, to, auth, payload));
+            drop(self.inner.begin_traced(from, to, auth, trace, payload));
             return PendingReply::failed(to, TransportError::Timeout(to));
         }
         if !self.armed.load(Ordering::SeqCst) {
-            return self.inner.begin(from, to, auth, payload);
+            return self.inner.begin_traced(from, to, auth, trace, payload);
         }
 
         let seq = {
@@ -259,7 +266,7 @@ impl Transport for FaultInjectTransport {
         bound += u64::from(plan.drop_response);
         if roll < bound {
             self.counts.lock().dropped_responses += 1;
-            drop(self.inner.begin(from, to, auth, payload));
+            drop(self.inner.begin_traced(from, to, auth, trace, payload));
             return PendingReply::failed(to, TransportError::Timeout(to));
         }
         bound += u64::from(plan.duplicate);
@@ -268,24 +275,27 @@ impl Transport for FaultInjectTransport {
             // and response bytes are both metered, the client reads
             // only the original.
             self.counts.lock().duplicated += 1;
-            drop(self.inner.begin(from, to, auth, Arc::clone(&payload)));
-            return self.inner.begin(from, to, auth, payload);
+            drop(
+                self.inner
+                    .begin_traced(from, to, auth, trace, Arc::clone(&payload)),
+            );
+            return self.inner.begin_traced(from, to, auth, trace, payload);
         }
         bound += u64::from(plan.torn);
         if roll < bound {
             self.counts.lock().torn += 1;
             let torn: Arc<[u8]> = Arc::from(&payload[..payload.len() / 2]);
-            return self.inner.begin(from, to, auth, torn);
+            return self.inner.begin_traced(from, to, auth, trace, torn);
         }
         bound += u64::from(plan.delay);
         if roll < bound {
             self.counts.lock().delayed += 1;
             return self
                 .inner
-                .begin(from, to, auth, payload)
+                .begin_traced(from, to, auth, trace, payload)
                 .delayed(plan.delay_for);
         }
-        self.inner.begin(from, to, auth, payload)
+        self.inner.begin_traced(from, to, auth, trace, payload)
     }
 }
 

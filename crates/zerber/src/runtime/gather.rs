@@ -60,8 +60,38 @@ impl Default for HedgePolicy {
     }
 }
 
-/// One shard's answer from the hedged fan-out, with the failover
-/// bookkeeping the caller must surface.
+/// How one replica attempt within a shard's hedged fan-out ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// This attempt's answer settled the shard.
+    Answered,
+    /// The attempt failed (timeout, dead peer, fault frame, …).
+    Failed(TransportError),
+    /// A hedged-away replica's late answer arrived after the shard had
+    /// already settled on another replica. Its bytes are metered; the
+    /// gather uses exactly one response per shard.
+    Duplicate,
+}
+
+/// One RPC attempt of the hedged fan-out: which replica, when it was
+/// sent (relative to the fan-out start), how long until it resolved,
+/// and how it ended. These records are the raw material for the
+/// per-shard span in a [`zerber_obs::QueryTrace`].
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptRecord {
+    /// The replica this attempt was sent to.
+    pub peer: NodeId,
+    /// Offset of the send from the fan-out start (zero for primaries).
+    pub started: Duration,
+    /// Wall clock from send until the attempt resolved — for an
+    /// unresolved laggard, until it was last observed silent.
+    pub duration: Duration,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+}
+
+/// One shard's answer from the hedged fan-out, with the per-attempt
+/// evidence the caller surfaces (and the tracer turns into spans).
 #[derive(Debug)]
 pub struct ShardFetch {
     /// The logical shard this answer covers.
@@ -70,15 +100,34 @@ pub struct ShardFetch {
     pub peer: NodeId,
     /// That replica's response message.
     pub response: Message,
+    /// Every attempt made for this shard, in send order. The first is
+    /// the primary; exactly one has [`AttemptOutcome::Answered`].
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl ShardFetch {
     /// Extra (hedged) requests sent beyond the primary.
-    pub hedges: usize,
-    /// Replicas that failed before one answered — reported, not
-    /// silently dropped.
-    pub failed: Vec<(NodeId, TransportError)>,
+    pub fn hedges(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
     /// Late answers from hedged-away replicas that had already arrived
-    /// when the shard settled. Their bytes are metered; the gather
-    /// uses exactly one response per shard.
-    pub duplicate_responses: usize,
+    /// when the shard settled.
+    pub fn duplicate_responses(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.outcome == AttemptOutcome::Duplicate)
+            .count()
+    }
+
+    /// Replicas that failed before one answered — reported, never
+    /// silently dropped.
+    pub fn failed(&self) -> impl Iterator<Item = (NodeId, TransportError)> + '_ {
+        self.attempts.iter().filter_map(|a| match a.outcome {
+            AttemptOutcome::Failed(error) => Some((a.peer, error)),
+            _ => None,
+        })
+    }
 }
 
 /// A shard no replica answered for: the query cannot be completed
@@ -88,8 +137,8 @@ pub struct ShardFetch {
 pub struct ShardUnavailable {
     /// The uncovered shard.
     pub shard: u32,
-    /// Every attempted replica with its failure.
-    pub attempts: Vec<(NodeId, TransportError)>,
+    /// Every attempted replica with its failure, in send order.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 /// Classifies one resolved attempt: a fault frame is a *failed
@@ -117,9 +166,11 @@ pub fn hedged_fan_out(
     transport: &dyn Transport,
     from: NodeId,
     auth: AuthToken,
+    trace: u64,
     shards: &[ShardRequest],
     policy: &HedgePolicy,
 ) -> Vec<Result<ShardFetch, ShardUnavailable>> {
+    let base = Instant::now();
     // Phase 1: the primary attempt for every shard — sends only, so
     // every shard's work overlaps.
     let mut primaries: Vec<Option<PendingReply>> = shards
@@ -127,7 +178,7 @@ pub fn hedged_fan_out(
         .map(|(_, replicas, payload)| {
             replicas
                 .first()
-                .map(|&node| transport.begin(from, node, auth, Arc::clone(payload)))
+                .map(|&node| transport.begin_traced(from, node, auth, trace, Arc::clone(payload)))
         })
         .collect();
     // Phase 2: settle shard by shard, hedging down each replica list.
@@ -139,14 +190,26 @@ pub fn hedged_fan_out(
                 transport,
                 from,
                 auth,
+                trace,
                 *shard,
                 replicas,
                 payload,
                 primary.take(),
                 policy,
+                base,
             )
         })
         .collect()
+}
+
+/// An attempt that timed out but whose channel is still open — a late
+/// answer is still collectable and must update its attempt record.
+struct Laggard {
+    pending: PendingReply,
+    /// Index of this attempt's record in the attempts vector.
+    index: usize,
+    /// When the attempt was sent (for resolving its final duration).
+    sent_at: Instant,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -154,38 +217,55 @@ fn settle_shard(
     transport: &dyn Transport,
     from: NodeId,
     auth: AuthToken,
+    trace: u64,
     shard: u32,
     replicas: &[NodeId],
     payload: &Arc<[u8]>,
     primary: Option<PendingReply>,
     policy: &HedgePolicy,
+    base: Instant,
 ) -> Result<ShardFetch, ShardUnavailable> {
     let deadline = Instant::now() + policy.deadline;
-    let mut failed: Vec<(NodeId, TransportError)> = Vec::new();
-    // Attempts that timed out but whose channel is still open — a late
-    // answer is still collectable.
-    let mut laggards: Vec<PendingReply> = Vec::new();
-    let mut hedges = 0usize;
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut laggards: Vec<Laggard> = Vec::new();
 
-    let mut attempt = primary;
+    // The primary was sent at `base` (phase 1); hedges are sent here.
+    let mut attempt = primary.map(|pending| (pending, base));
     let mut next_replica = 1usize;
-    while let Some(mut pending) = attempt.take() {
+    while let Some((mut pending, sent_at)) = attempt.take() {
         let peer = pending.peer();
-        match classify(pending.wait(policy.hedge_after)) {
+        let index = attempts.len();
+        let resolved = classify(pending.wait(policy.hedge_after));
+        attempts.push(AttemptRecord {
+            peer,
+            started: sent_at.saturating_duration_since(base),
+            duration: sent_at.elapsed(),
+            outcome: match &resolved {
+                Ok(_) => AttemptOutcome::Answered,
+                Err(error) => AttemptOutcome::Failed(*error),
+            },
+        });
+        match resolved {
             Ok(response) => {
-                return Ok(settled(shard, peer, response, hedges, failed, laggards));
+                return Ok(settled(shard, peer, response, attempts, laggards));
             }
-            Err(error @ TransportError::Timeout(_)) => {
+            Err(TransportError::Timeout(_)) => {
                 // Silent so far — keep listening while hedging on.
-                failed.push((peer, error));
-                laggards.push(pending);
+                laggards.push(Laggard {
+                    pending,
+                    index,
+                    sent_at,
+                });
             }
-            Err(error) => failed.push((peer, error)),
+            Err(_) => {}
         }
         if let Some(&node) = replicas.get(next_replica) {
             next_replica += 1;
-            hedges += 1;
-            attempt = Some(transport.begin(from, node, auth, Arc::clone(payload)));
+            let now = Instant::now();
+            attempt = Some((
+                transport.begin_traced(from, node, auth, trace, Arc::clone(payload)),
+                now,
+            ));
         }
     }
 
@@ -194,23 +274,21 @@ fn settle_shard(
     while !laggards.is_empty() && Instant::now() < deadline {
         let mut index = 0;
         while index < laggards.len() {
-            match laggards[index].try_take() {
+            match laggards[index].pending.try_take() {
                 None => index += 1,
                 Some(result) => {
-                    let peer = laggards[index].peer();
-                    laggards.swap_remove(index);
+                    let laggard = laggards.swap_remove(index);
+                    let peer = laggard.pending.peer();
+                    // One attempt, one verdict: the late resolution
+                    // supersedes the provisional Timeout record.
+                    attempts[laggard.index].duration = laggard.sent_at.elapsed();
                     match classify(result) {
                         Ok(response) => {
-                            // This peer's earlier Timeout entry is now
-                            // superseded by its answer.
-                            failed.retain(|&(node, _)| node != peer);
-                            return Ok(settled(shard, peer, response, hedges, failed, laggards));
+                            attempts[laggard.index].outcome = AttemptOutcome::Answered;
+                            return Ok(settled(shard, peer, response, attempts, laggards));
                         }
                         Err(error) => {
-                            // Supersede the peer's provisional Timeout
-                            // entry — one attempt, one verdict.
-                            failed.retain(|&(node, _)| node != peer);
-                            failed.push((peer, error));
+                            attempts[laggard.index].outcome = AttemptOutcome::Failed(error);
                         }
                     }
                 }
@@ -219,38 +297,33 @@ fn settle_shard(
         std::thread::sleep(Duration::from_micros(200));
     }
 
-    Err(ShardUnavailable {
-        shard,
-        attempts: failed,
-    })
+    Err(ShardUnavailable { shard, attempts })
 }
 
 /// Builds the success record: drains already-arrived late answers from
-/// the hedged-away laggards (they count as duplicates) and drops the
-/// winner's own earlier Timeout entry from the failure list.
+/// the hedged-away laggards (their records flip from the provisional
+/// Timeout to [`AttemptOutcome::Duplicate`]).
 fn settled(
     shard: u32,
     peer: NodeId,
     response: Message,
-    hedges: usize,
-    mut failed: Vec<(NodeId, TransportError)>,
-    mut laggards: Vec<PendingReply>,
+    mut attempts: Vec<AttemptRecord>,
+    laggards: Vec<Laggard>,
 ) -> ShardFetch {
-    failed.retain(|&(node, _)| node != peer);
-    let mut duplicate_responses = 0;
-    for laggard in &mut laggards {
-        if let Some(Ok(_)) = laggard.try_take() {
-            duplicate_responses += 1;
-            failed.retain(|&(node, _)| node != laggard.peer());
+    for mut laggard in laggards {
+        if let Some(result) = laggard.pending.try_take() {
+            attempts[laggard.index].duration = laggard.sent_at.elapsed();
+            attempts[laggard.index].outcome = match classify(result) {
+                Ok(_) => AttemptOutcome::Duplicate,
+                Err(error) => AttemptOutcome::Failed(error),
+            };
         }
     }
     ShardFetch {
         shard,
         peer,
         response,
-        hedges,
-        failed,
-        duplicate_responses,
+        attempts,
     }
 }
 

@@ -54,6 +54,7 @@
 pub mod fault;
 pub mod gather;
 pub mod handle;
+pub mod obs;
 pub mod peer;
 pub mod shard;
 pub mod socket;
@@ -61,21 +62,24 @@ pub mod transport;
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
 use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
+use zerber_obs::{QueryTrace, SpanRecord, TraceId};
 
 pub use fault::{FaultInjectTransport, FaultPlan};
 pub use gather::{
-    gather_topk, gather_topk_with, hedged_fan_out, GatherOutcome, GatherScratch, HedgePolicy,
-    ShardFetch, ShardUnavailable,
+    gather_topk, gather_topk_with, hedged_fan_out, AttemptOutcome, AttemptRecord, GatherOutcome,
+    GatherScratch, HedgePolicy, ShardFetch, ShardUnavailable,
 };
 pub use handle::RuntimeHandle;
+pub use obs::RuntimeObs;
 pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
-pub use shard::{build_shard_store, ShardStore, ShardStoreError};
+pub use shard::{build_shard_store, build_shard_store_observed, ShardStore, ShardStoreError};
 pub use transport::{InProcTransport, PendingReply, Transport, TransportError};
 
 use crate::runtime::transport::DEFAULT_RPC_TIMEOUT;
@@ -156,26 +160,31 @@ impl TermStats {
 }
 
 /// What one sharded query produced.
+///
+/// Hedge, duplicate-response, and failed-attempt *counts* moved off
+/// this struct and into the deployment's metrics registry
+/// ([`ShardedSearch::obs`], `zerber_gather_*` counter families); the
+/// per-query evidence — per-stage wall clock, per-attempt RPC spans,
+/// decode accounting — rides along as the full [`QueryTrace`].
 #[derive(Debug, Clone)]
 pub struct ShardedQueryOutcome {
     /// The global top-k, identical to single-node evaluation.
     pub ranked: Vec<RankedDoc>,
     /// Primary peers the query fanned out to (one per shard; hedged
-    /// retries are counted separately in [`Self::hedges`]).
+    /// retries are counted in `zerber_gather_hedges_total`).
     pub peers_contacted: usize,
     /// Candidates shipped back by all peers.
     pub candidates_received: usize,
     /// Candidates the gather merge examined before the threshold
     /// bound cut it off.
     pub candidates_examined: usize,
-    /// Hedged (extra, beyond-primary) requests this query sent.
-    pub hedges: usize,
     /// Replicas that failed or stayed silent before their shard
     /// settled — the dead are reported, never silently dropped.
     pub failed_peers: Vec<NodeId>,
-    /// Late answers from hedged-away replicas. Their wire bytes are
-    /// metered; the gather used exactly one response per shard.
-    pub duplicate_responses: usize,
+    /// The assembled span tree of this query: fan-out, per-shard RPC
+    /// attempts (with hedges, failures, and duplicates), peer-side
+    /// decode, and gather merge.
+    pub trace: Arc<QueryTrace>,
 }
 
 /// A concurrent, document-sharded top-k search deployment.
@@ -240,6 +249,9 @@ pub struct ShardedSearch {
     /// Global statistics plus the per-document term registry that
     /// keeps them incrementally exact under inserts and deletes.
     stats: RwLock<StatsState>,
+    /// Per-deployment metrics registry, trace allocator, and query
+    /// forensics (slow-query log, flight recorder).
+    obs: RuntimeObs,
 }
 
 struct StatsState {
@@ -393,6 +405,7 @@ impl ShardedSearch {
             .map(|doc| (doc.id, doc.terms.iter().map(|&(t, _)| t).collect()))
             .collect();
 
+        let obs = RuntimeObs::new();
         let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         // One shared backend description for every peer; the
         // per-replica variant (a subdirectory for the segmented
@@ -404,14 +417,19 @@ impl ShardedSearch {
             let backend = Arc::clone(&backend);
             let shards = Arc::clone(&shards);
             let hosted = map.hosted_shards(peer as u32, replicas);
+            // Segmented stores report WAL/flush/compaction timings
+            // into the deployment's registry; the registry is shared
+            // across all peers (instruments aggregate).
+            let registry = obs.registry().clone();
             // The initializer runs on the peer's thread: every hosted
             // replica store builds (index, compress, or seed the
             // durable engine) in parallel across all peers.
             runtime.spawn_peer(node, move || {
                 ShardService::hosting(hosted.into_iter().map(|shard| {
-                    let store = build_shard_store(
+                    let store = shard::build_shard_store_observed(
                         replica_backend(&backend, peer, shard).as_ref(),
                         &shards[shard as usize],
+                        Some(&registry),
                     );
                     (shard, store)
                 }))
@@ -425,6 +443,7 @@ impl ShardedSearch {
             replicas,
             policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState { stats, doc_terms }),
+            obs,
         })
     }
 
@@ -448,6 +467,14 @@ impl ShardedSearch {
     /// The transport clients of this deployment speak through.
     pub fn transport(&self) -> &Arc<dyn Transport> {
         &self.transport
+    }
+
+    /// This deployment's observability handle: metrics registry,
+    /// slow-query log, and flight recorder. Snapshot its registry for
+    /// the `zerber_*` counter/gauge/histogram families the query,
+    /// gather, and segment layers record into.
+    pub fn obs(&self) -> &RuntimeObs {
+        &self.obs
     }
 
     /// Kills one peer: its thread shuts down and every later request
@@ -616,22 +643,35 @@ impl ShardedSearch {
             })
             .collect();
         let from = NodeId::User(client);
-        let fetches = hedged_fan_out(
+        let started = Instant::now();
+        let trace_id = self.obs.next_trace_id();
+        let (fetches, fanout_span) = traced_topk_fanout(
+            &self.obs,
             self.transport.as_ref(),
             from,
             AuthToken(0),
+            trace_id,
             &shards,
             &self.policy,
         );
 
         let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
-        let mut hedges = 0;
-        let mut duplicate_responses = 0;
         let mut failed_peers: Vec<NodeId> = Vec::new();
         for fetch in fetches {
-            let fetch = fetch.map_err(QueryError::Unavailable)?;
+            let fetch = match fetch {
+                Ok(fetch) => fetch,
+                Err(unavailable) => {
+                    // A failed-closed query still counts: record its
+                    // latency and completion before surfacing the loss.
+                    let metrics = self.obs.metrics();
+                    metrics.latency.record(started.elapsed().as_nanos() as u64);
+                    metrics.total.inc();
+                    return Err(QueryError::Unavailable(unavailable));
+                }
+            };
+            failed_peers.extend(fetch.failed().map(|(node, _)| node));
             match fetch.response {
-                Message::TopKResponse { candidates } => per_shard.push(
+                Message::TopKResponse { candidates, .. } => per_shard.push(
                     candidates
                         .into_iter()
                         .map(|(doc, score)| RankedDoc { doc, score })
@@ -639,22 +679,148 @@ impl ShardedSearch {
                 ),
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
-            hedges += fetch.hedges;
-            duplicate_responses += fetch.duplicate_responses;
-            failed_peers.extend(fetch.failed.iter().map(|&(node, _)| node));
         }
+        let gather_started = Instant::now();
         let gathered = GATHER_SCRATCH
             .with(|scratch| gather_topk_with(&mut scratch.borrow_mut(), &per_shard, k));
+        let gather_span = SpanRecord::new(
+            "gather",
+            gather_started.duration_since(started),
+            gather_started.elapsed(),
+        )
+        .with_counter("candidates_received", gathered.candidates_received as u64)
+        .with_counter("candidates_examined", gathered.candidates_examined as u64);
+
+        let metrics = self.obs.metrics();
+        metrics
+            .candidates_received
+            .add(gathered.candidates_received as u64);
+        metrics
+            .candidates_examined
+            .add(gathered.candidates_examined as u64);
+        let total = started.elapsed();
+        metrics.latency.record(total.as_nanos() as u64);
+        metrics.total.inc();
+        self.obs.sync_traffic(self.traffic());
+
+        let root = SpanRecord::new("query", Duration::ZERO, total)
+            .with_counter("k", k as u64)
+            .with_child(fanout_span)
+            .with_child(gather_span);
+        let trace = Arc::new(QueryTrace {
+            id: trace_id,
+            label: format!("terms={terms:?} k={k}"),
+            total,
+            root,
+        });
+        self.obs.record_trace(Arc::clone(&trace));
+
         Ok(ShardedQueryOutcome {
             ranked: gathered.ranked,
             peers_contacted: per_shard.len(),
             candidates_received: gathered.candidates_received,
             candidates_examined: gathered.candidates_examined,
-            hedges,
             failed_peers,
-            duplicate_responses,
+            trace,
         })
     }
+}
+
+/// Runs [`hedged_fan_out`] under `trace`, folds the per-attempt RPC
+/// timings and the peers' decode accounting into `obs`'s registry, and
+/// builds the `fan_out` span (one child per shard, one grandchild per
+/// replica attempt, a `decode` great-grandchild under each winning
+/// attempt).
+///
+/// Shared by [`ShardedSearch::query_from`] and hand-wired clusters
+/// (`examples/socket_cluster.rs`, the observability tests) so the
+/// in-process and multi-process socket paths assemble identical trace
+/// shapes.
+pub fn traced_topk_fanout(
+    obs: &RuntimeObs,
+    transport: &dyn Transport,
+    from: NodeId,
+    auth: AuthToken,
+    trace: TraceId,
+    shards: &[gather::ShardRequest],
+    policy: &HedgePolicy,
+) -> (Vec<Result<ShardFetch, ShardUnavailable>>, SpanRecord) {
+    let started = Instant::now();
+    let fetches = hedged_fan_out(transport, from, auth, trace.0, shards, policy);
+    let fanout_wall = started.elapsed();
+    let metrics = obs.metrics();
+
+    let mut span = SpanRecord::new("fan_out", Duration::ZERO, fanout_wall);
+    for fetch in &fetches {
+        let (shard, attempts, settled_peer) = match fetch {
+            Ok(fetch) => (fetch.shard, &fetch.attempts, Some(fetch.peer)),
+            Err(unavailable) => (unavailable.shard, &unavailable.attempts, None),
+        };
+        let shard_wall = attempts
+            .iter()
+            .map(|a| a.started + a.duration)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let mut shard_span = SpanRecord::new(format!("shard {shard}"), Duration::ZERO, shard_wall);
+        if settled_peer.is_none() {
+            shard_span = shard_span.failed("no replica answered");
+        }
+        for attempt in attempts {
+            metrics
+                .rpc_latency
+                .record(attempt.duration.as_nanos() as u64);
+            let mut rpc = SpanRecord::new(
+                format!("rpc {:?}", attempt.peer),
+                attempt.started,
+                attempt.duration,
+            );
+            match attempt.outcome {
+                AttemptOutcome::Answered => {
+                    if let Some(Ok(fetch)) = (settled_peer == Some(attempt.peer))
+                        .then_some(fetch)
+                        .map(|f| f.as_ref())
+                    {
+                        if let Message::TopKResponse {
+                            decode_ns,
+                            blocks_decoded,
+                            blocks_total,
+                            ..
+                        } = fetch.response
+                        {
+                            metrics.decode_latency.record(decode_ns);
+                            metrics.blocks_decoded.add(u64::from(blocks_decoded));
+                            metrics
+                                .blocks_skipped
+                                .add(u64::from(blocks_total.saturating_sub(blocks_decoded)));
+                            rpc = rpc.with_child(
+                                SpanRecord::new(
+                                    "decode",
+                                    attempt.started,
+                                    Duration::from_nanos(decode_ns),
+                                )
+                                .with_counter("blocks_decoded", u64::from(blocks_decoded))
+                                .with_counter("blocks_total", u64::from(blocks_total)),
+                            );
+                        }
+                    }
+                }
+                AttemptOutcome::Failed(error) => {
+                    metrics.failed_attempts.inc();
+                    rpc = rpc.failed(format!("{error}"));
+                }
+                AttemptOutcome::Duplicate => {
+                    metrics.duplicate_responses.inc();
+                    rpc = rpc.with_counter("duplicate", 1);
+                }
+            }
+            shard_span = shard_span.with_child(rpc);
+        }
+        if let Ok(fetch) = fetch {
+            metrics.hedges.add(fetch.hedges() as u64);
+        }
+        span = span.with_child(shard_span);
+    }
+    (fetches, span)
 }
 
 /// The single-node reference: the same store backend, the same global
@@ -842,6 +1008,7 @@ mod tests {
                 stats: TermStats::from_documents(&docs),
                 doc_terms: HashMap::new(),
             }),
+            obs: RuntimeObs::new(),
         };
         let doc = Document::from_term_counts(DocId(900), GroupId(0), vec![(TermId(1), 1)]);
         assert!(matches!(

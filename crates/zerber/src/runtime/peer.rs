@@ -210,8 +210,18 @@ impl PeerService for ShardService {
                 let Some(store) = self.stores.get_mut(&shard) else {
                     return not_hosted;
                 };
-                let _cost = store.query_topk(&terms, k as usize, &mut self.scratch);
+                // Time the shard-local evaluation and ship the decode
+                // accounting back with the candidates: the querying
+                // client assembles its trace (and folds the counters
+                // into *its* registry) from the response alone, so
+                // in-process and remote socket peers report
+                // identically.
+                let started = std::time::Instant::now();
+                let cost = store.query_topk(&terms, k as usize, &mut self.scratch);
                 Message::TopKResponse {
+                    decode_ns: started.elapsed().as_nanos() as u64,
+                    blocks_decoded: cost.blocks_decoded as u32,
+                    blocks_total: cost.blocks_total as u32,
                     candidates: self
                         .scratch
                         .ranked
@@ -405,7 +415,7 @@ mod tests {
             .request(NodeId::User(0), node, AuthToken(0), &query)
             .unwrap()
         {
-            Message::TopKResponse { candidates } => {
+            Message::TopKResponse { candidates, .. } => {
                 assert_eq!(candidates.len(), 2);
                 // All three docs have length d, so tf = count/length = 1
                 // everywhere and ties break by doc id.
@@ -450,7 +460,7 @@ mod tests {
             .request(NodeId::User(0), node, AuthToken(0), &ok)
             .unwrap()
         {
-            Message::TopKResponse { candidates } => assert_eq!(candidates.len(), 1),
+            Message::TopKResponse { candidates, .. } => assert_eq!(candidates.len(), 1),
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -539,7 +549,7 @@ mod tests {
             .request(NodeId::User(0), node, AuthToken(0), &query)
             .unwrap()
         {
-            Message::TopKResponse { candidates } => {
+            Message::TopKResponse { candidates, .. } => {
                 assert_eq!(candidates.len(), 1);
                 assert_eq!(candidates[0].0, DocId(4));
             }
@@ -563,7 +573,7 @@ mod tests {
             .request(NodeId::User(0), node, AuthToken(0), &query)
             .unwrap()
         {
-            Message::TopKResponse { candidates } => assert!(candidates.is_empty()),
+            Message::TopKResponse { candidates, .. } => assert!(candidates.is_empty()),
             other => panic!("unexpected response {other:?}"),
         }
         // Unsorted wire terms violate the Document invariant: rejected,

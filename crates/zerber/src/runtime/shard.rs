@@ -239,12 +239,31 @@ impl ShardStore for SegmentShard {
 /// into a fresh directory. (A shard that cannot come up correctly is
 /// a deployment bug, matching the runtime's dead-peer stance.)
 pub fn build_shard_store(backend: &PostingBackend, docs: &[Document]) -> Box<dyn ShardStore> {
+    build_shard_store_observed(backend, docs, None)
+}
+
+/// [`build_shard_store`], but a segmented backend registers its
+/// `zerber_segment_*` instruments (WAL fsync latency, flush and
+/// compaction durations, segment count) in `registry` when one is
+/// given. The in-memory backends carry no write-path instruments, so
+/// the registry only matters for [`PostingBackend::Segmented`].
+///
+/// # Panics
+/// Same contract as [`build_shard_store`].
+pub fn build_shard_store_observed(
+    backend: &PostingBackend,
+    docs: &[Document],
+    registry: Option<&zerber_obs::MetricsRegistry>,
+) -> Box<dyn ShardStore> {
     match backend {
         PostingBackend::Raw => Box::new(LiveIndexShard::raw(docs)),
         PostingBackend::Compressed => Box::new(LiveIndexShard::compressed(docs)),
         PostingBackend::Segmented { dir, compaction } => {
-            let store =
-                SegmentStore::open(dir.clone(), *compaction).expect("segmented shard store opens");
+            let store = match registry {
+                Some(registry) => SegmentStore::open_observed(dir.clone(), *compaction, registry),
+                None => SegmentStore::open(dir.clone(), *compaction),
+            }
+            .expect("segmented shard store opens");
             let recovered = store.snapshot().live_doc_count();
             assert_eq!(
                 recovered,

@@ -50,6 +50,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use zerber_net::{AuthToken, Frame, FrameDecoder, Message, NodeId, TrafficMeter};
+use zerber_obs::{Counter, Gauge, MetricsRegistry};
 
 use crate::runtime::peer::PeerService;
 use crate::runtime::transport::{
@@ -86,6 +87,9 @@ impl Default for SocketConfig {
 struct InFlight {
     state: StdMutex<InFlightState>,
     drained: Condvar,
+    /// Aggregated `zerber_socket_in_flight` gauge (shared across
+    /// links) when the transport is observed.
+    gauge: Option<Gauge>,
 }
 
 struct InFlightState {
@@ -94,13 +98,14 @@ struct InFlightState {
 }
 
 impl InFlight {
-    fn new() -> Self {
+    fn new(gauge: Option<Gauge>) -> Self {
         Self {
             state: StdMutex::new(InFlightState {
                 count: 0,
                 dead: false,
             }),
             drained: Condvar::new(),
+            gauge,
         }
     }
 
@@ -115,18 +120,36 @@ impl InFlight {
             return false;
         }
         state.count += 1;
+        if let Some(gauge) = &self.gauge {
+            gauge.inc();
+        }
         true
     }
 
     fn release(&self) {
         let mut state = self.state.lock().expect("in-flight gate poisoned");
-        state.count = state.count.saturating_sub(1);
+        // `kill` may already have zeroed the count (and the gauge);
+        // never double-decrement.
+        if state.count > 0 {
+            state.count -= 1;
+            if let Some(gauge) = &self.gauge {
+                gauge.dec();
+            }
+        }
         drop(state);
         self.drained.notify_one();
     }
 
     fn kill(&self) {
-        self.state.lock().expect("in-flight gate poisoned").dead = true;
+        let mut state = self.state.lock().expect("in-flight gate poisoned");
+        state.dead = true;
+        // Requests still in flight on a dead link will never be
+        // released; keep the aggregate gauge honest.
+        if let Some(gauge) = &self.gauge {
+            gauge.add(-(state.count as i64));
+        }
+        state.count = 0;
+        drop(state);
         self.drained.notify_all();
     }
 }
@@ -151,10 +174,29 @@ impl Link {
     }
 }
 
+/// Client-side socket instrumentation handles, pre-registered so the
+/// hot path never touches the registry's name table.
+#[derive(Clone)]
+struct SocketMetrics {
+    /// `zerber_socket_requests_total`: frames handed to `begin_traced`.
+    requests: Counter,
+    /// `zerber_socket_write_failures_total`: writes that killed a link
+    /// (timeout or error — alignment after a partial write is
+    /// unknowable).
+    write_failures: Counter,
+    /// `zerber_socket_links_dialed_total`: fresh connections dialed
+    /// (first use and every reconnect after a link death).
+    links_dialed: Counter,
+    /// `zerber_socket_in_flight` gauge, shared by every link's gate.
+    in_flight: Gauge,
+}
+
 /// [`Transport`] over real TCP links. See the [module docs](self).
 pub struct SocketTransport {
     meter: Arc<TrafficMeter>,
     config: SocketConfig,
+    /// Client-side counters/gauges when observed; `None` costs nothing.
+    obs: Option<SocketMetrics>,
     /// Where each peer listens.
     addrs: Mutex<HashMap<NodeId, SocketAddr>>,
     /// Pooled connections, one per `(from, to)` link.
@@ -172,9 +214,23 @@ impl SocketTransport {
         Self {
             meter,
             config,
+            obs: None,
             addrs: Mutex::new(HashMap::new()),
             links: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Registers the client-side socket metric families
+    /// (`zerber_socket_*`) on `registry` and records into them from
+    /// now on. Call before the first request; builder-style.
+    pub fn observed(mut self, registry: &MetricsRegistry) -> Self {
+        self.obs = Some(SocketMetrics {
+            requests: registry.counter("zerber_socket_requests_total"),
+            write_failures: registry.counter("zerber_socket_write_failures_total"),
+            links_dialed: registry.counter("zerber_socket_links_dialed_total"),
+            in_flight: registry.gauge("zerber_socket_in_flight"),
+        });
+        self
     }
 
     /// Registers where `node` listens. Replaces any previous address
@@ -210,11 +266,16 @@ impl SocketTransport {
         let reader_stream = stream
             .try_clone()
             .map_err(|_| TransportError::PeerGone(to))?;
+        if let Some(obs) = &self.obs {
+            obs.links_dialed.inc();
+        }
         let link = Arc::new(Link {
             writer: Mutex::new(stream),
             pending: Arc::new(Mutex::new(Some(HashMap::new()))),
             next_id: AtomicU64::new(1),
-            inflight: Arc::new(InFlight::new()),
+            inflight: Arc::new(InFlight::new(
+                self.obs.as_ref().map(|obs| obs.in_flight.clone()),
+            )),
         });
         spawn_link_reader(
             reader_stream,
@@ -288,7 +349,17 @@ impl Transport for SocketTransport {
         &self.meter
     }
 
-    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+    fn begin_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        trace: u64,
+        payload: Arc<[u8]>,
+    ) -> PendingReply {
+        if let Some(obs) = &self.obs {
+            obs.requests.inc();
+        }
         let link = match self.link(from, to) {
             Ok(link) => link,
             Err(error) => return PendingReply::failed(to, error),
@@ -314,6 +385,7 @@ impl Transport for SocketTransport {
             id,
             from,
             auth,
+            trace,
             payload: payload.to_vec(),
         };
         // The request leaves the client here: meter the payload (not
@@ -334,6 +406,9 @@ impl Transport for SocketTransport {
             result
         };
         if wrote.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.write_failures.inc();
+            }
             link.pending.lock().take();
             link.inflight.kill();
             return PendingReply::failed(to, TransportError::PeerGone(to));
@@ -476,6 +551,7 @@ fn serve_connection(
                     id,
                     from,
                     auth,
+                    trace,
                     payload,
                 })) => {
                     meter.record(from, node, payload.len());
@@ -483,6 +559,7 @@ fn serve_connection(
                     let envelope = RequestEnvelope {
                         from,
                         auth,
+                        trace,
                         payload: Arc::from(payload.as_slice()),
                         reply: ReplySink::new(Arc::clone(&meter), node, from, tx),
                     };
@@ -555,7 +632,7 @@ mod tests {
             k: 3,
         };
         match transport.request(user, node, AuthToken(0), &query).unwrap() {
-            Message::TopKResponse { candidates } => assert_eq!(candidates.len(), 3),
+            Message::TopKResponse { candidates, .. } => assert_eq!(candidates.len(), 3),
             other => panic!("unexpected response {other:?}"),
         }
         // Both processes' meters saw the same payload bytes, framing
@@ -591,7 +668,7 @@ mod tests {
                 .request(NodeId::User(0), node, AuthToken(0), &query)
                 .unwrap()
             {
-                Message::TopKResponse { candidates } => {
+                Message::TopKResponse { candidates, .. } => {
                     assert_eq!(candidates.len(), k.min(20) as usize)
                 }
                 other => panic!("unexpected response {other:?}"),
@@ -622,7 +699,7 @@ mod tests {
             .collect();
         for (k, pending) in (1..=8usize).zip(pendings.iter_mut()) {
             match pending.wait(Duration::from_secs(10)).unwrap() {
-                Message::TopKResponse { candidates } => assert_eq!(candidates.len(), k),
+                Message::TopKResponse { candidates, .. } => assert_eq!(candidates.len(), k),
                 other => panic!("unexpected response {other:?}"),
             }
         }

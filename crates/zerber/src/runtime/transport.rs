@@ -131,6 +131,13 @@ pub struct RequestEnvelope {
     pub from: NodeId,
     /// The caller's session token.
     pub auth: AuthToken,
+    /// The caller's query-trace id (zero = untraced). Carried by the
+    /// envelope — and by the socket transport's request frames — so
+    /// peer-side work can be correlated with the client-side span
+    /// tree even when the peer is a separate process. Like the auth
+    /// token it is envelope metadata, not payload, and is not counted
+    /// in wire bytes.
+    pub trace: u64,
     /// Encoded request [`Message`]. Shared, not copied: a fan-out
     /// serializes the message once and every peer's envelope holds the
     /// same buffer.
@@ -298,10 +305,27 @@ pub trait Transport: Send + Sync {
     /// The traffic meter every byte through this transport lands on.
     fn meter(&self) -> &Arc<TrafficMeter>;
 
-    /// Sends one pre-encoded request and returns the in-flight handle.
-    /// Never blocks on the peer: failures surface when the returned
-    /// pending is waited on.
-    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply;
+    /// Sends one pre-encoded request carrying a query-trace id and
+    /// returns the in-flight handle. Never blocks on the peer:
+    /// failures surface when the returned pending is waited on. This
+    /// is the one required send primitive; implementations must
+    /// propagate `trace` onto the peer's [`RequestEnvelope`] (and, for
+    /// the socket transport, onto the wire frame).
+    fn begin_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        trace: u64,
+        payload: Arc<[u8]>,
+    ) -> PendingReply;
+
+    /// Sends one pre-encoded untraced request (trace id zero) — the
+    /// convenience form for control-plane and ingest traffic that no
+    /// span tree follows.
+    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+        self.begin_traced(from, to, auth, 0, payload)
+    }
 
     /// Sends one request and blocks for the response (up to
     /// [`DEFAULT_RPC_TIMEOUT`]).
@@ -376,7 +400,14 @@ impl Transport for InProcTransport {
         &self.meter
     }
 
-    fn begin(&self, from: NodeId, to: NodeId, auth: AuthToken, payload: Arc<[u8]>) -> PendingReply {
+    fn begin_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        trace: u64,
+        payload: Arc<[u8]>,
+    ) -> PendingReply {
         let Some(inbox) = self.inboxes.lock().get(&to).cloned() else {
             return PendingReply::failed(to, TransportError::UnknownPeer(to));
         };
@@ -386,6 +417,7 @@ impl Transport for InProcTransport {
         let envelope = RequestEnvelope {
             from,
             auth,
+            trace,
             payload,
             reply: ReplySink {
                 meter: Arc::clone(&self.meter),

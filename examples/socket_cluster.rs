@@ -11,21 +11,29 @@
 //! ephemeral loopback port, prints `READY <addr>`, and holds until its
 //! stdin closes. The parent spawns the children, collects their
 //! addresses, and drives queries over real TCP.
+//!
+//! The whole session is observed: every query runs under a trace id
+//! that crosses the process boundary in the request frames, the client
+//! assembles the full span tree (fan-out → per-replica RPC → decode →
+//! gather), and the run ends with the deployment's metrics in
+//! Prometheus exposition format plus the slowest recorded trace.
 
 use std::io::BufRead as _;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use zerber::runtime::socket::{serve_peer, SocketTransport};
 use zerber::runtime::{
-    build_shard_store, gather_topk, hedged_fan_out, local_topk, HedgePolicy, ShardService,
-    TermStats,
+    build_shard_store, gather_topk, local_topk, traced_topk_fanout, HedgePolicy, RuntimeObs,
+    ShardService, TermStats,
 };
 use zerber::ZerberConfig;
 use zerber_dht::ShardMap;
-use zerber_index::{DocId, Document, GroupId, RankedDoc, TermId};
+use zerber_index::{DocId, Document, GroupId, RankedDoc, SegmentPolicy, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+use zerber_obs::{QueryTrace, SpanRecord};
+use zerber_segment::SegmentStore;
 
 const PEERS: u32 = 4;
 const REPLICATION: u32 = 2;
@@ -75,8 +83,12 @@ fn run_peer(peer: u32) {
 }
 
 /// One hedged query over the socket transport — the same client path
-/// as `ShardedSearch::query`, across process boundaries.
+/// as `ShardedSearch::query`, across process boundaries, traced end to
+/// end. The trace id rides the request frames, the peers report their
+/// decode accounting in the responses, and the client assembles the
+/// span tree and files it in `obs`'s forensics sinks.
 fn query(
+    obs: &RuntimeObs,
     transport: &SocketTransport,
     map: &ShardMap,
     stats: &TermStats,
@@ -102,15 +114,26 @@ fn query(
             (shard, replicas, Arc::from(request.encode().as_ref()))
         })
         .collect();
+    let started = Instant::now();
+    let trace_id = obs.next_trace_id();
+    let (fetches, fanout_span) = traced_topk_fanout(
+        obs,
+        transport,
+        NodeId::User(0),
+        AuthToken(0),
+        trace_id,
+        &shards,
+        &policy,
+    );
     let mut per_shard = Vec::new();
     let mut hedges = 0;
     let mut failed = Vec::new();
-    for fetch in hedged_fan_out(transport, NodeId::User(0), AuthToken(0), &shards, &policy) {
+    for fetch in fetches {
         let fetch = fetch.ok()?;
-        hedges += fetch.hedges;
-        failed.extend(fetch.failed.iter().map(|&(node, _)| node));
+        hedges += fetch.hedges();
+        failed.extend(fetch.failed().map(|(node, _)| node));
         match fetch.response {
-            Message::TopKResponse { candidates } => per_shard.push(
+            Message::TopKResponse { candidates, .. } => per_shard.push(
                 candidates
                     .into_iter()
                     .map(|(doc, score)| RankedDoc { doc, score })
@@ -119,7 +142,60 @@ fn query(
             _ => return None,
         }
     }
-    Some((gather_topk(&per_shard, K).ranked, hedges, failed))
+    let gather_started = Instant::now();
+    let gathered = gather_topk(&per_shard, K);
+    let gather_span = SpanRecord::new(
+        "gather",
+        gather_started.duration_since(started),
+        gather_started.elapsed(),
+    )
+    .with_counter("candidates_received", gathered.candidates_received as u64);
+    let total = started.elapsed();
+    let registry = obs.registry();
+    registry
+        .histogram("zerber_query_latency_ns")
+        .record(total.as_nanos() as u64);
+    registry.counter("zerber_query_total").inc();
+    let root = SpanRecord::new("query", Duration::ZERO, total)
+        .with_counter("k", K as u64)
+        .with_child(fanout_span)
+        .with_child(gather_span);
+    obs.record_trace(Arc::new(QueryTrace {
+        id: trace_id,
+        label: format!("terms={terms:?} k={K}"),
+        total,
+        root,
+    }));
+    Some((gathered.ranked, hedges, failed))
+}
+
+/// A durable shard on the side, opened *observed* into the same
+/// registry: seed, flush, delete, and compact a [`SegmentStore`] so
+/// the WAL-fsync, flush, and compaction histograms show up in the
+/// final metrics dump next to the query-path families.
+fn durable_store_demo(obs: &RuntimeObs, docs: &[Document]) {
+    let dir = std::env::temp_dir().join(format!("zerber-socket-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = SegmentPolicy {
+        flush_postings: 64,
+        max_segments: 2,
+        sync_wal: true,
+        background: false,
+    };
+    let store = SegmentStore::open_observed(&dir, policy, obs.registry()).expect("open observed");
+    for batch in docs.chunks(40) {
+        store.insert(batch).expect("seed batch");
+    }
+    store.delete(docs[0].id).expect("delete one");
+    store.flush().expect("flush");
+    store.compact().expect("compact");
+    println!(
+        "\ndurable side-store: {} segment(s) after compaction, {} bytes on disk",
+        store.segment_count(),
+        store.disk_bytes()
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn main() {
@@ -133,7 +209,9 @@ fn main() {
     let docs = corpus();
     let stats = TermStats::from_documents(&docs);
     let map = ShardMap::new(PEERS);
-    let transport = SocketTransport::new(Arc::new(TrafficMeter::new()));
+    let obs = RuntimeObs::new();
+    let meter = Arc::new(TrafficMeter::new());
+    let transport = SocketTransport::new(Arc::clone(&meter)).observed(obs.registry());
     let mut children: Vec<Child> = Vec::new();
     for peer in 0..PEERS {
         let mut child = Command::new(&exe)
@@ -161,7 +239,8 @@ fn main() {
     // --- 2. Query the healthy cluster over TCP. ---------------------
     let terms = [TermId(9), TermId(21)];
     let expected = local_topk(&ZerberConfig::default(), &docs, &terms, K);
-    let (ranked, hedges, _) = query(&transport, &map, &stats, &terms).expect("cluster healthy");
+    let (ranked, hedges, _) =
+        query(&obs, &transport, &map, &stats, &terms).expect("cluster healthy");
     assert_eq!(ranked, expected, "socket top-k must match single-node");
     println!("\nhealthy: top-{K} over TCP identical to single-node evaluation ({hedges} hedges)");
     for r in &ranked {
@@ -174,16 +253,27 @@ fn main() {
     children[victim].wait().ok();
     println!("\nkilled peer {victim} (SIGKILL)");
     let (ranked, hedges, failed) =
-        query(&transport, &map, &stats, &terms).expect("replicas cover every shard");
+        query(&obs, &transport, &map, &stats, &terms).expect("replicas cover every shard");
     assert_eq!(ranked, expected, "failover must not change results");
     println!(
         "after kill: results still identical; {hedges} hedge(s), dead peers reported: {failed:?}"
     );
 
-    // --- 4. Shut the cluster down. ----------------------------------
+    // --- 4. Durable storage under the same registry. ----------------
+    durable_store_demo(&obs, &docs);
+
+    // --- 5. Shut the cluster down. ----------------------------------
     for child in &mut children {
         child.kill().ok();
         child.wait().ok();
     }
     println!("\ncluster stopped; all {PEERS} peers reaped");
+
+    // --- 6. Observability readout. ----------------------------------
+    println!("\n=== metrics (Prometheus exposition) ===");
+    print!("{}", obs.snapshot_with_traffic(&meter).to_prometheus());
+
+    let slowest = obs.slow_queries().slowest().expect("queries were traced");
+    println!("\n=== slowest recorded query trace ===");
+    print!("{}", slowest.render());
 }

@@ -1,0 +1,364 @@
+//! End-to-end observability integration tests: the span tree a traced
+//! query assembles (in-process and across the socket transport), its
+//! consistency with externally measured latency, and the Prometheus
+//! exposition of a deployment's registry.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zerber::runtime::socket::{serve_peer, SocketTransport};
+use zerber::runtime::{
+    build_shard_store, gather_topk, local_topk, traced_topk_fanout, FaultInjectTransport,
+    FaultPlan, HedgePolicy, RuntimeObs, ShardService, ShardedSearch, TermStats,
+};
+use zerber::{SegmentPolicy, ZerberConfig};
+use zerber_dht::ShardMap;
+use zerber_index::{DocId, Document, GroupId, RankedDoc, TermId};
+use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
+use zerber_obs::{QueryTrace, SpanRecord};
+use zerber_segment::SegmentStore;
+
+fn corpus(docs: u32, terms: u32) -> Vec<Document> {
+    (0..docs)
+        .map(|d| {
+            Document::from_term_counts(
+                DocId(d),
+                GroupId(0),
+                (0..3)
+                    .map(|i| (TermId((d + i) % terms), 1 + (d * 7 + i) % 4))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// A traced query through the chaos harness: muting a primary forces a
+/// hedge, and both the failed attempt and the hedge must be visible in
+/// the query's span tree and the registry.
+#[test]
+fn hedged_failover_is_recorded_in_the_span_tree() {
+    let docs = corpus(120, 11);
+    let config = ZerberConfig::default().with_peers(3).with_replication(2);
+    let mut harness = None;
+    let mut search = ShardedSearch::launch_with_transport(&config, &docs, |inner| {
+        let chaos = Arc::new(FaultInjectTransport::new(inner, FaultPlan::quiet(0)));
+        harness = Some(Arc::clone(&chaos));
+        chaos
+    })
+    .expect("valid config");
+    search.set_hedge_policy(HedgePolicy {
+        hedge_after: Duration::from_millis(3),
+        deadline: Duration::from_secs(5),
+    });
+    let chaos = harness.expect("wrap ran");
+
+    let dead = NodeId::IndexServer(0);
+    chaos.mute(dead);
+    let outcome = search
+        .query(&[TermId(1), TermId(4)], 8)
+        .expect("replica covers the muted peer's shards");
+
+    let fan_out = outcome.trace.root.find("fan_out").expect("fan-out span");
+    let hedged_shard = fan_out
+        .children
+        .iter()
+        .find(|shard| {
+            shard
+                .children
+                .iter()
+                .any(|rpc| rpc.name == format!("rpc {dead:?}") && rpc.is_failed())
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "muted primary's failed attempt missing from trace:\n{}",
+                outcome.trace.render()
+            )
+        });
+    assert!(
+        hedged_shard.children.len() >= 2,
+        "the hedge attempt must appear next to the failed one:\n{}",
+        outcome.trace.render()
+    );
+    assert!(
+        hedged_shard
+            .children
+            .iter()
+            .any(|rpc| !rpc.is_failed() && rpc.find("decode").is_some()),
+        "the winning attempt must carry the peer's decode span:\n{}",
+        outcome.trace.render()
+    );
+
+    let metrics = search.obs().registry().snapshot();
+    assert!(metrics.counter("zerber_gather_hedges_total").unwrap_or(0) >= 1);
+    assert!(
+        metrics
+            .counter("zerber_gather_failed_attempts_total")
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+/// One traced query through a real 4-peer replicated socket cluster:
+/// the client-side span tree must be complete — fan-out, one span per
+/// shard, per-replica RPC attempts, the peers' decode spans, gather —
+/// and every stage must fit inside the externally measured end-to-end
+/// latency.
+#[test]
+fn socket_cluster_query_yields_a_complete_consistent_trace() {
+    const PEERS: u32 = 4;
+    const REPLICATION: u32 = 2;
+    const K: usize = 6;
+
+    let docs = corpus(200, 17);
+    let map = ShardMap::new(PEERS);
+    let shards = map.partition(&docs, |doc| doc.id);
+    let stats = TermStats::from_documents(&docs);
+    let obs = RuntimeObs::new();
+    let meter = Arc::new(TrafficMeter::new());
+    let transport = SocketTransport::new(Arc::clone(&meter)).observed(obs.registry());
+    let mut peers = Vec::new();
+    for peer in 0..PEERS {
+        let hosted = map.hosted_shards(peer, REPLICATION);
+        let backend = ZerberConfig::default().postings;
+        let shard_docs = shards.clone();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let handle = serve_peer(
+            listener,
+            NodeId::IndexServer(peer),
+            move || {
+                ShardService::hosting(hosted.into_iter().map(|shard| {
+                    let store = build_shard_store(&backend, &shard_docs[shard as usize]);
+                    (shard, store)
+                }))
+            },
+            Arc::new(TrafficMeter::new()),
+        )
+        .expect("serve on loopback");
+        transport.register(NodeId::IndexServer(peer), handle.addr());
+        peers.push(handle);
+    }
+
+    let terms = [TermId(3), TermId(9)];
+    let weights = stats.weights(&terms);
+    let requests: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..map.peer_count())
+        .map(|shard| {
+            let request = Message::TopKQuery {
+                shard,
+                terms: weights.clone(),
+                k: K as u32,
+            };
+            let replicas = map
+                .replica_peers(shard, REPLICATION)
+                .into_iter()
+                .map(|peer| NodeId::IndexServer(peer.0))
+                .collect();
+            (shard, replicas, Arc::from(request.encode().as_ref()))
+        })
+        .collect();
+
+    let started = Instant::now();
+    let trace_id = obs.next_trace_id();
+    let (fetches, fanout_span) = traced_topk_fanout(
+        &obs,
+        &transport,
+        NodeId::User(0),
+        AuthToken(0),
+        trace_id,
+        &requests,
+        &HedgePolicy::default(),
+    );
+    let per_shard: Vec<Vec<RankedDoc>> = fetches
+        .into_iter()
+        .map(|fetch| {
+            let fetch = fetch.expect("healthy cluster");
+            match fetch.response {
+                Message::TopKResponse { candidates, .. } => candidates
+                    .into_iter()
+                    .map(|(doc, score)| RankedDoc { doc, score })
+                    .collect(),
+                other => panic!("unexpected response {other:?}"),
+            }
+        })
+        .collect();
+    let gather_started = Instant::now();
+    let gathered = gather_topk(&per_shard, K);
+    let gather_span = SpanRecord::new(
+        "gather",
+        gather_started.duration_since(started),
+        gather_started.elapsed(),
+    );
+    let total = started.elapsed();
+    let trace = QueryTrace {
+        id: trace_id,
+        label: format!("terms={terms:?} k={K}"),
+        total,
+        root: SpanRecord::new("query", Duration::ZERO, total)
+            .with_child(fanout_span)
+            .with_child(gather_span),
+    };
+    obs.record_trace(Arc::new(trace.clone()));
+
+    // Correctness first: the traced socket query returns the oracle.
+    assert_eq!(
+        gathered.ranked,
+        local_topk(&ZerberConfig::default(), &docs, &terms, K)
+    );
+
+    // Completeness: one shard span per shard, each with at least one
+    // RPC attempt, and every settled shard carries the winning peer's
+    // decode span (assembled from numbers that crossed the wire).
+    let fan_out = trace.root.find("fan_out").expect("fan-out span");
+    assert_eq!(fan_out.children.len(), PEERS as usize);
+    for shard_span in &fan_out.children {
+        assert!(
+            !shard_span.is_failed(),
+            "healthy cluster: {}",
+            trace.render()
+        );
+        assert!(!shard_span.children.is_empty(), "no RPC attempt recorded");
+        let decode = shard_span
+            .find("decode")
+            .unwrap_or_else(|| panic!("decode span missing:\n{}", trace.render()));
+        assert!(
+            decode
+                .counters
+                .iter()
+                .any(|&(name, _)| name == "blocks_total"),
+            "decode span must carry the peer's block accounting"
+        );
+    }
+    let gather = trace.root.find("gather").expect("gather span");
+
+    // Consistency: stages nest inside the measured end-to-end latency.
+    assert!(fan_out.duration + gather.duration <= total);
+    for shard_span in &fan_out.children {
+        assert!(shard_span.duration <= fan_out.duration);
+        for rpc in &shard_span.children {
+            assert!(rpc.start + rpc.duration <= shard_span.duration + Duration::from_millis(1));
+            if let Some(decode) = rpc.find("decode") {
+                assert!(
+                    decode.duration <= rpc.duration,
+                    "a peer's compute is contained in the RPC that carried it"
+                );
+            }
+        }
+    }
+
+    // The trace landed in both forensics sinks, and the transport's
+    // client-side metrics saw the session.
+    assert_eq!(obs.flight_recorder().len(), 1);
+    assert_eq!(
+        obs.slow_queries().slowest().expect("one trace").id,
+        trace_id
+    );
+    let metrics = obs.snapshot_with_traffic(&meter);
+    assert!(metrics.counter("zerber_socket_requests_total").unwrap_or(0) >= PEERS as u64);
+    assert!(metrics.gauge("zerber_transport_bytes_total").unwrap_or(0) > 0);
+    assert_eq!(
+        metrics
+            .histogram("zerber_transport_rpc_latency_ns")
+            .expect("rpc latency histogram")
+            .count,
+        PEERS as u64
+    );
+}
+
+/// The registry's Prometheus text exposition must parse line-by-line
+/// and include the histogram families the dashboards are built on:
+/// query latency, WAL fsync, and compaction duration.
+#[test]
+fn prometheus_exposition_parses_with_required_families() {
+    let docs = corpus(150, 13);
+    let config = ZerberConfig::default().with_peers(3).with_replication(2);
+    let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+    for q in 0..5u32 {
+        search
+            .query(&[TermId(q % 13), TermId((q * 3 + 1) % 13)], 5)
+            .expect("healthy cluster");
+    }
+
+    // A durable store observed into the same registry: drive enough
+    // synced WAL appends, flushes, and one compaction that the segment
+    // families carry samples, not just empty buckets.
+    let dir = std::env::temp_dir().join(format!("zerber-obs-prom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SegmentStore::open_observed(
+        &dir,
+        SegmentPolicy {
+            flush_postings: 48,
+            max_segments: 2,
+            background: false,
+            sync_wal: true,
+        },
+        search.obs().registry(),
+    )
+    .expect("open observed");
+    for batch in docs.chunks(30) {
+        store.insert(batch).expect("seed batch");
+    }
+    store.flush().expect("flush");
+    store.compact().expect("compact");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let text = search
+        .obs()
+        .snapshot_with_traffic(search.traffic())
+        .to_prometheus();
+
+    // Every line is either a comment (`# HELP` / `# TYPE`) or a sample
+    // `name[{labels}] value` whose value parses as a finite number.
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line:?}");
+        });
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        assert!(value.is_finite(), "non-finite value in {line:?}");
+        let name = name_part.split('{').next().expect("metric name");
+        assert!(
+            name.starts_with("zerber_"),
+            "metric outside the zerber_<layer>_<name> scheme: {line:?}"
+        );
+        assert_eq!(
+            name_part.contains('{'),
+            name_part.ends_with('}'),
+            "unbalanced label braces in {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition was empty");
+
+    // The required histogram families, each with observations.
+    for family in [
+        "zerber_query_latency_ns",
+        "zerber_segment_wal_fsync_ns",
+        "zerber_segment_compaction_ns",
+    ] {
+        assert!(
+            text.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")),
+            "missing +Inf bucket for {family}"
+        );
+        let count_line = text
+            .lines()
+            .find(|line| line.starts_with(&format!("{family}_count ")))
+            .unwrap_or_else(|| panic!("missing {family}_count"));
+        let count: u64 = count_line
+            .rsplit_once(' ')
+            .expect("count value")
+            .1
+            .parse()
+            .expect("integer count");
+        assert!(count > 0, "{family} recorded no observations");
+    }
+}

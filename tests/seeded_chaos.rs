@@ -122,8 +122,13 @@ fn pinned_plan() -> FaultPlan {
 }
 
 /// One full run of the pinned workload: every query observed, plus the
-/// fault counts the schedule produced.
-fn pinned_run() -> (Vec<Observed>, zerber::runtime::fault::FaultCounts) {
+/// fault counts the schedule produced and the deployment's final
+/// metrics snapshot.
+fn pinned_run() -> (
+    Vec<Observed>,
+    zerber::runtime::fault::FaultCounts,
+    zerber_obs::MetricsSnapshot,
+) {
     let docs = corpus(130, 17);
     let config = ZerberConfig::default().with_peers(4).with_replication(2);
     let (search, chaos) = launch_chaotic(&config, &docs, pinned_plan());
@@ -142,12 +147,13 @@ fn pinned_run() -> (Vec<Observed>, zerber::runtime::fault::FaultCounts) {
             seen
         })
         .collect();
-    (observed, chaos.counts())
+    let snapshot = search.obs().registry().snapshot();
+    (observed, chaos.counts(), snapshot)
 }
 
 #[test]
 fn pinned_seed_replays_identically_and_covers_every_fault_family() {
-    let (first, counts) = pinned_run();
+    let (first, counts, metrics) = pinned_run();
     assert!(
         counts.dropped_requests > 0,
         "schedule never dropped a request"
@@ -164,9 +170,29 @@ fn pinned_seed_replays_identically_and_covers_every_fault_family() {
         "the schedule must leave some queries alive"
     );
 
+    // The injected faults are visible in the metrics registry: every
+    // destroyed attempt was counted, every failover hedged, and every
+    // query — survivor or failed-closed — completed.
+    assert_eq!(metrics.counter("zerber_query_total"), Some(40));
+    assert!(
+        metrics
+            .counter("zerber_gather_failed_attempts_total")
+            .unwrap_or(0)
+            > 0,
+        "dropped requests/responses must surface as failed attempts"
+    );
+    assert!(
+        metrics.counter("zerber_gather_hedges_total").unwrap_or(0) > 0,
+        "failed primaries must surface as hedges"
+    );
+    let latency = metrics
+        .histogram("zerber_query_latency_ns")
+        .expect("query latency histogram");
+    assert_eq!(latency.count, 40, "one latency sample per query");
+
     // Same seed, same workload, fresh deployment: the entire schedule
     // and every surviving result replay bit-identically.
-    let (second, counts_again) = pinned_run();
+    let (second, counts_again, _) = pinned_run();
     assert_eq!(first, second);
     assert_eq!(counts, counts_again);
 }
