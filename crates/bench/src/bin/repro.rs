@@ -4,9 +4,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [--json <dir>] [--socket]
+//! repro [--smoke] [--json <dir>] [--socket] [--bulk]
 //!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|obs|security|ablation]
 //! ```
+//!
+//! `--bulk` narrows the `ingest` target to the offline SPIMI
+//! bulk-build path alone (skipping the slow incremental comparison):
+//! the full corpus is bulk-loaded into a fresh segmented store,
+//! oracle-checked, and reported as docs/s + write amplification. With
+//! `--json`, the result lands in `BENCH_ingest_bulk.json`; the plain
+//! `ingest` target's `BENCH_ingest.json` carries the same numbers in
+//! its `bulk` section next to the incremental baseline and the
+//! speedup ratio.
 //!
 //! `--socket` additionally runs the `scalability` kill-a-peer scenario
 //! in multi-process mode: this binary re-executes itself as the shard
@@ -16,7 +25,7 @@
 //!
 //! `--smoke` runs a reduced-scale variant (seconds instead of
 //! minutes); the default scale preserves the paper's distributional
-//! shapes at ~20k documents. Absolute numbers differ from the paper
+//! shapes at ~200k documents. Absolute numbers differ from the paper
 //! (different hardware and corpus scale); shapes, orderings and
 //! crossovers are the reproduction target — see EXPERIMENTS.md.
 //!
@@ -61,6 +70,7 @@ fn main() {
         return;
     }
     let socket_mode = args.iter().any(|a| a == "--socket");
+    let bulk_only = args.iter().any(|a| a == "--bulk");
     let json_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--json").map(|i| {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
@@ -167,10 +177,18 @@ fn main() {
         }
     }
     if wanted("ingest") {
-        let result = ingest::run(scale);
-        println!("{}", ingest::render(&result));
-        if let Some(dir) = &json_dir {
-            write_json(dir, "ingest", ingest::to_json(&result));
+        if bulk_only {
+            let result = ingest::run_bulk(scale);
+            println!("{}", ingest::render_bulk(&result));
+            if let Some(dir) = &json_dir {
+                write_json(dir, "ingest_bulk", ingest::bulk_to_json(&result));
+            }
+        } else {
+            let result = ingest::run(scale);
+            println!("{}", ingest::render(&result));
+            if let Some(dir) = &json_dir {
+                write_json(dir, "ingest", ingest::to_json(&result));
+            }
         }
     }
     if wanted("query") {

@@ -14,8 +14,10 @@ use zerber_index::CorpusStats;
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// Minutes-scale defaults: ~20k documents, ~120k-term vocabulary,
-    /// 100k queries. Same distributional shape as the paper.
+    /// Minutes-scale defaults: ~200k documents, ~120k-term vocabulary,
+    /// 200k queries. Same distributional shape as the paper; sized so
+    /// the ingest comparison (offline SPIMI bulk build vs incremental
+    /// WAL ingest) runs at a corpus where the difference matters.
     Default,
     /// Smoke-test scale for CI and unit tests.
     Smoke,
@@ -34,7 +36,7 @@ impl Scale {
     fn odp_config(self) -> OdpConfig {
         match self {
             Scale::Default => OdpConfig {
-                num_docs: 20_000,
+                num_docs: 200_000,
                 vocabulary_size: 120_000,
                 num_topics: 100,
                 ..OdpConfig::default()

@@ -118,12 +118,17 @@ impl OdpCorpus {
             .collect();
 
         let mut documents = Vec::with_capacity(config.num_docs);
-        let mut per_topic_sequence = vec![0u32; config.num_topics as usize];
+        // Sequence numbers are allocated per *host* slot, not per
+        // topic: topics 64 apart share a host (see `doc_host`), so
+        // per-topic counters would hand out colliding document ids
+        // once `num_topics > 64`.
+        let mut per_host_sequence = [0u32; crate::synth::DOC_HOST_SLOTS];
         for i in 0..config.num_docs {
             let topic = (i as u32) % config.num_topics;
             let group = GroupId(topic);
-            let sequence = per_topic_sequence[topic as usize];
-            per_topic_sequence[topic as usize] += 1;
+            let host = crate::synth::doc_host(group) as usize;
+            let sequence = per_host_sequence[host];
+            per_host_sequence[host] += 1;
             let length = sample_length(config.avg_doc_length, config.doc_length_sigma, &mut rng);
             let mut counts: std::collections::HashMap<TermId, u32> =
                 std::collections::HashMap::new();
@@ -193,6 +198,23 @@ impl OdpCorpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: with more than 64 topics the old 6-bit host wrap in
+    /// `doc_id_for` aliased topic 64+ ids onto topic 0+, producing
+    /// duplicate document ids at the default ODP scale (100 topics)
+    /// that doc-level shadowing then silently dropped during ingest.
+    #[test]
+    fn document_ids_are_unique_above_64_topics() {
+        let corpus = OdpCorpus::generate(&OdpConfig {
+            num_docs: 2_000,
+            num_topics: 100,
+            ..OdpConfig::tiny()
+        });
+        let mut ids: Vec<u32> = corpus.documents.iter().map(|d| d.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), corpus.documents.len());
+    }
 
     #[test]
     fn every_topic_gets_documents() {

@@ -112,12 +112,16 @@ impl StudipData {
 
         let mut documents = Vec::with_capacity(config.num_docs);
         let mut upload_day = Vec::with_capacity(config.num_docs);
-        let mut per_course_sequence = vec![0u32; config.num_courses as usize];
+        // Per-host (not per-course) sequence counters: courses 64
+        // apart share a host slot (see `doc_host`), so per-course
+        // counters would collide once `num_courses > 64`.
+        let mut per_host_sequence = [0u32; crate::synth::DOC_HOST_SLOTS];
         for _ in 0..config.num_docs {
             let course = course_popularity.sample(&mut rng) as u32;
             let group = GroupId(course);
-            let sequence = per_course_sequence[course as usize];
-            per_course_sequence[course as usize] += 1;
+            let host = crate::synth::doc_host(group) as usize;
+            let sequence = per_host_sequence[host];
+            per_host_sequence[host] += 1;
             let length = sample_length(config.avg_doc_length, config.doc_length_sigma, &mut rng);
             let mut counts: std::collections::HashMap<TermId, u32> =
                 std::collections::HashMap::new();
@@ -225,6 +229,22 @@ impl StudipData {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: per-course sequence counters used to collide for
+    /// courses 64 apart (which share a 6-bit host slot), duplicating
+    /// document ids at the default 300-course scale.
+    #[test]
+    fn document_ids_are_unique_above_64_courses() {
+        let data = StudipData::generate(&StudipConfig {
+            num_docs: 2_000,
+            num_courses: 300,
+            ..StudipConfig::tiny()
+        });
+        let mut ids: Vec<u32> = data.documents.iter().map(|d| d.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), data.documents.len());
+    }
 
     #[test]
     fn document_count_matches_config() {

@@ -68,9 +68,12 @@ impl SyntheticCorpus {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sampler = ZipfSampler::new(config.vocabulary_size, config.zipf_exponent);
         let mut documents = Vec::with_capacity(config.num_docs);
+        let mut per_host_sequence = [0u32; DOC_HOST_SLOTS];
         for i in 0..config.num_docs {
             let group = GroupId(i as u32 % config.num_groups);
-            let doc_id = doc_id_for(group, i as u32 / config.num_groups);
+            let host = doc_host(group) as usize;
+            let doc_id = doc_id_for(group, per_host_sequence[host]);
+            per_host_sequence[host] += 1;
             documents.push(generate_document(
                 doc_id,
                 group,
@@ -113,10 +116,28 @@ impl SyntheticCorpus {
     }
 }
 
+/// Number of distinct host slots in the document id scheme: the
+/// default wire codec packs a document id into 26 bits (6-bit host +
+/// 20-bit local number), so generators must wrap group ids into this
+/// space.
+pub const DOC_HOST_SLOTS: usize = 1 << 6;
+
+/// The host a group's documents live on (host id = group id, wrapped
+/// into the 6-bit host space the default wire codec can carry).
+pub fn doc_host(group: GroupId) -> u16 {
+    (group.0 as usize % DOC_HOST_SLOTS) as u16
+}
+
 /// Derives the document id hosting scheme: each group's documents live
-/// on that group's machine (host id = group id).
+/// on that group's machine (host id = group id, wrapped per
+/// [`doc_host`]).
+///
+/// Because groups 64 apart share a host slot, `sequence` numbers must
+/// be allocated **per host** (not per group) or ids collide — the
+/// generators in this crate all keep a `DOC_HOST_SLOTS`-sized counter
+/// array indexed by [`doc_host`] for exactly this reason.
 pub fn doc_id_for(group: GroupId, sequence: u32) -> DocId {
-    DocId::from_parts((group.0 % (1 << 6)) as u16, sequence)
+    DocId::from_parts(doc_host(group), sequence)
 }
 
 /// Generates a single document with Zipf-drawn tokens.

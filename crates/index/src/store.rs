@@ -43,7 +43,9 @@ pub enum PostingBackend {
     /// supports live inserts and deletes.
     Segmented {
         /// Root directory of the store. Multi-shard deployments create
-        /// one `shard-<i>` subdirectory per peer underneath it.
+        /// one `peer-<p>-shard-<s>` subdirectory per *hosted* replica
+        /// underneath it (a peer never creates directories for shards
+        /// it does not host).
         dir: std::path::PathBuf,
         /// Flush and compaction tuning.
         compaction: SegmentPolicy,

@@ -179,6 +179,19 @@ pub enum Message {
         /// previous version ("only the most recent copy").
         docs: Vec<WireDocument>,
     },
+    /// Owner → shard peer: bulk-load a batch of plaintext documents
+    /// through the offline SPIMI path — same payload as
+    /// [`Message::IndexDocs`], but the peer indexes it WAL-free
+    /// (parallel sorted runs, k-way merge, one atomic manifest swap)
+    /// instead of journaling it. Replicas each build their own copy;
+    /// like every write, the frame fans to all replicas of the shard.
+    BulkLoad {
+        /// The logical shard these documents belong to.
+        shard: u32,
+        /// Documents to load; re-sent document ids replace the
+        /// previous version ("only the most recent copy").
+        docs: Vec<WireDocument>,
+    },
     /// Owner → shard peer: remove one document and all its postings.
     RemoveDoc {
         /// The logical shard the document lives on.
@@ -255,6 +268,7 @@ const TAG_DELETE_OK: u8 = 10;
 const TAG_FAULT: u8 = 11;
 const TAG_INDEX_DOCS: u8 = 12;
 const TAG_REMOVE_DOC: u8 = 13;
+const TAG_BULK_LOAD: u8 = 14;
 
 impl Message {
     /// Serializes the message.
@@ -336,14 +350,15 @@ impl Message {
                 buffer.put_u32(*shard);
                 buffer.put_u32(docs.len() as u32);
                 for doc in docs {
-                    buffer.put_u32(doc.doc.0);
-                    buffer.put_u32(doc.group.0);
-                    buffer.put_u32(doc.length);
-                    buffer.put_u32(doc.terms.len() as u32);
-                    for (term, count) in &doc.terms {
-                        buffer.put_u32(term.0);
-                        buffer.put_u32(*count);
-                    }
+                    put_wire_document(&mut buffer, doc);
+                }
+            }
+            Message::BulkLoad { shard, docs } => {
+                buffer.put_u8(TAG_BULK_LOAD);
+                buffer.put_u32(*shard);
+                buffer.put_u32(docs.len() as u32);
+                for doc in docs {
+                    put_wire_document(&mut buffer, doc);
                 }
             }
             Message::RemoveDoc { shard, doc } => {
@@ -459,28 +474,12 @@ impl Message {
                 })
             }
             TAG_INDEX_DOCS => {
-                let shard = read_u32(&mut buffer)?;
-                let doc_count = read_u32(&mut buffer)? as usize;
-                let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
-                for _ in 0..doc_count {
-                    let doc = DocId(read_u32(&mut buffer)?);
-                    let group = GroupId(read_u32(&mut buffer)?);
-                    let length = read_u32(&mut buffer)?;
-                    let term_count = read_u32(&mut buffer)? as usize;
-                    let mut terms = Vec::with_capacity(term_count.min(1 << 20));
-                    for _ in 0..term_count {
-                        let term = TermId(read_u32(&mut buffer)?);
-                        let count = read_u32(&mut buffer)?;
-                        terms.push((term, count));
-                    }
-                    docs.push(WireDocument {
-                        doc,
-                        group,
-                        length,
-                        terms,
-                    });
-                }
+                let (shard, docs) = read_document_batch(&mut buffer)?;
                 Ok(Message::IndexDocs { shard, docs })
+            }
+            TAG_BULK_LOAD => {
+                let (shard, docs) = read_document_batch(&mut buffer)?;
+                Ok(Message::BulkLoad { shard, docs })
             }
             TAG_REMOVE_DOC => Ok(Message::RemoveDoc {
                 shard: read_u32(&mut buffer)?,
@@ -523,7 +522,7 @@ impl Message {
             Message::TopKResponse { candidates, .. } => {
                 1 + 8 + 4 + 4 + 4 + candidates.len() * (4 + 8)
             }
-            Message::IndexDocs { docs, .. } => {
+            Message::IndexDocs { docs, .. } | Message::BulkLoad { docs, .. } => {
                 1 + 4 + 4 + docs.iter().map(WireDocument::wire_size).sum::<usize>()
             }
             Message::RemoveDoc { .. } => 1 + 4 + 4,
@@ -532,6 +531,44 @@ impl Message {
             Message::Fault { .. } => 1 + 1 + 4,
         }
     }
+}
+
+fn put_wire_document(buffer: &mut BytesMut, doc: &WireDocument) {
+    buffer.put_u32(doc.doc.0);
+    buffer.put_u32(doc.group.0);
+    buffer.put_u32(doc.length);
+    buffer.put_u32(doc.terms.len() as u32);
+    for (term, count) in &doc.terms {
+        buffer.put_u32(term.0);
+        buffer.put_u32(*count);
+    }
+}
+
+/// The shared `shard + document batch` payload of
+/// [`Message::IndexDocs`] and [`Message::BulkLoad`].
+fn read_document_batch(buffer: &mut &[u8]) -> Result<(u32, Vec<WireDocument>), WireError> {
+    let shard = read_u32(buffer)?;
+    let doc_count = read_u32(buffer)? as usize;
+    let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
+    for _ in 0..doc_count {
+        let doc = DocId(read_u32(buffer)?);
+        let group = GroupId(read_u32(buffer)?);
+        let length = read_u32(buffer)?;
+        let term_count = read_u32(buffer)? as usize;
+        let mut terms = Vec::with_capacity(term_count.min(1 << 20));
+        for _ in 0..term_count {
+            let term = TermId(read_u32(buffer)?);
+            let count = read_u32(buffer)?;
+            terms.push((term, count));
+        }
+        docs.push(WireDocument {
+            doc,
+            group,
+            length,
+            terms,
+        });
+    }
+    Ok((shard, docs))
 }
 
 fn put_share(buffer: &mut BytesMut, share: &StoredShare) {
@@ -676,6 +713,36 @@ mod tests {
                 WireDocument {
                     doc: DocId(8),
                     group: GroupId(0),
+                    length: 0,
+                    terms: vec![],
+                },
+            ],
+        };
+        let encoded = message.encode();
+        assert_eq!(encoded.len(), message.wire_size());
+        assert_eq!(Message::decode(&encoded).unwrap(), message);
+        for cut in 0..encoded.len() {
+            assert!(
+                Message::decode(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_round_trips() {
+        let message = Message::BulkLoad {
+            shard: 2,
+            docs: vec![
+                WireDocument {
+                    doc: DocId(41),
+                    group: GroupId(3),
+                    length: 6,
+                    terms: vec![(TermId(0), 1), (TermId(5), 4)],
+                },
+                WireDocument {
+                    doc: DocId(42),
+                    group: GroupId(3),
                     length: 0,
                     terms: vec![],
                 },

@@ -20,6 +20,9 @@
 //!   [`CompressedPostingIter::advance_to`],
 //! * [`merge`] — [`merge_compressed`], a k-way merge that streams
 //!   blocks instead of materializing whole lists,
+//! * [`run`] — [`RunBuilder`], the SPIMI-style sorted-run
+//!   accumulator parallel bulk-load workers seal their document
+//!   slices with,
 //! * [`mod@column`] — a general integer-column codec with a raw escape,
 //!   used to reproduce the share-vs-plaintext compressibility
 //!   experiment,
@@ -39,6 +42,7 @@ pub mod column;
 pub mod cursor;
 pub mod list;
 pub mod merge;
+pub mod run;
 pub mod store;
 pub mod varint;
 
@@ -48,4 +52,5 @@ pub use column::{compression_ratio, decode_column, encode_column};
 pub use cursor::CompressedBlockCursor;
 pub use list::{block_meta_bytes, CompressedPostingIter, CompressedPostingList, RAW_ELEMENT_BYTES};
 pub use merge::{merge_compressed, naive_merge};
+pub use run::{RunBuilder, SortedRun};
 pub use store::{build_store, CompressedPostingStore};

@@ -1,0 +1,134 @@
+//! Offline bulk-build (SPIMI) knobs and accounting.
+//!
+//! The bulk path lives on [`crate::SegmentStore::bulk_load`]; this
+//! module holds its configuration, its returned accounting, and the
+//! crash-injection failpoints the recovery tests drive it with. The
+//! pipeline:
+//!
+//! ```text
+//! documents ──dedup (last copy wins)──► W worker slices
+//!   worker w: RunBuilder ──(≥ run_postings)──► run-E-w-N.zrun
+//!             (segment file format, tmp + fsync + rename)
+//!   k-way merge_compressed per group  ──►  seg-S.zseg  (or rename a
+//!                                          single-run group in place)
+//!   writer lock: flush memtable, append bulk segments, MANIFEST
+//!   delete run files
+//! ```
+//!
+//! No WAL record is ever written: the MANIFEST swap is the atomic
+//! commit point, and any file a crash strands (`.tmp`, `.zrun`, or an
+//! unlisted `.zseg`) is garbage-collected on the next open — the load
+//! is all-or-nothing.
+
+use zerber_index::Document;
+
+/// Tuning for one [`crate::SegmentStore::bulk_load`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BulkConfig {
+    /// Parallel SPIMI workers; `0` resolves to the available
+    /// parallelism (capped at 8 so per-shard loads inside a
+    /// many-peer deployment do not oversubscribe the machine).
+    pub workers: usize,
+    /// A worker seals its current run once it holds this many
+    /// postings (term-less documents count 1) — the bound on worker
+    /// memory.
+    pub run_postings: usize,
+}
+
+impl Default for BulkConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            run_postings: 1 << 20,
+        }
+    }
+}
+
+impl BulkConfig {
+    /// The effective worker count.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// What one bulk load did — the bench harness derives docs/s and the
+/// bulk share of write amplification from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BulkStats {
+    /// Distinct documents loaded (after last-copy-wins dedup).
+    pub docs: usize,
+    /// Postings stored across all bulk segments.
+    pub postings: usize,
+    /// Sorted runs the workers emitted.
+    pub runs: usize,
+    /// Bytes written for the run files.
+    pub run_bytes: u64,
+    /// Bytes rewritten by the merge phase (single-run groups are
+    /// renamed in place and cost nothing here).
+    pub merge_bytes: u64,
+    /// L1 segments registered in the manifest.
+    pub segments: usize,
+}
+
+/// Crash-injection points for the recovery tests: the bulk build
+/// returns early *as if the process died* at the named boundary,
+/// leaving exactly the on-disk state a real crash would. Hidden from
+/// docs; not part of the stable API.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkFailpoint {
+    /// Die once `n` run files have been written (mid phase 1).
+    AfterRun(usize),
+    /// Die with every run on disk, before any merge output exists.
+    BeforeMerge,
+    /// Die once `n` merged segment files have been written (mid
+    /// phase 2, nothing registered).
+    AfterMergedSegment(usize),
+    /// Die with every merged segment on disk, just before the
+    /// MANIFEST swap — the last moment the load must be invisible.
+    BeforeManifest,
+    /// Die after the MANIFEST swap but before run-file deletion — the
+    /// load must be fully visible and the strays collectable.
+    BeforeRunGc,
+}
+
+/// Keeps the last copy of every document id ("only the most recent
+/// copy of the document"), preserving first-occurrence order — the
+/// same batch semantics as the WAL path's `MemDelta::from_ops`.
+pub(crate) fn dedup_last(docs: &[Document]) -> Vec<&Document> {
+    let mut last: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::with_capacity(docs.len());
+    for (i, doc) in docs.iter().enumerate() {
+        last.insert(doc.id.0, i);
+    }
+    docs.iter()
+        .enumerate()
+        .filter(|(i, doc)| last[&doc.id.0] == *i)
+        .map(|(_, doc)| doc)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_index::{DocId, GroupId, TermId};
+
+    #[test]
+    fn dedup_keeps_the_last_copy() {
+        let doc = |id: u32, count: u32| {
+            Document::from_term_counts(DocId(id), GroupId(0), vec![(TermId(0), count)])
+        };
+        let docs = vec![doc(1, 1), doc(2, 1), doc(1, 9)];
+        let unique = dedup_last(&docs);
+        assert_eq!(unique.len(), 2);
+        assert_eq!(unique[0].id, DocId(2));
+        assert_eq!(unique[1].id, DocId(1));
+        assert_eq!(unique[1].terms[0].1, 9);
+    }
+}

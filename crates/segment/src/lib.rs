@@ -18,6 +18,10 @@
 //!   skip metadata, the documents whose current version the segment
 //!   defines, and absorbed tombstones — written atomically and
 //!   CRC-verified on load,
+//! * [`bulk`] — the offline SPIMI bulk-build knobs ([`BulkConfig`]):
+//!   parallel workers emit sorted runs in the segment format, a k-way
+//!   merge registers them through one atomic manifest swap, and no
+//!   WAL is written on the offline path,
 //! * [`store`] — the engine ([`SegmentStore`]): flush seals deltas
 //!   into segments, tiered compaction (optionally on a background
 //!   thread) bounds the segment count via the streaming compressed
@@ -70,6 +74,7 @@
 
 #![deny(missing_docs)]
 
+pub mod bulk;
 pub mod crc;
 pub mod error;
 pub mod memtable;
@@ -77,6 +82,7 @@ pub mod segment;
 pub mod store;
 pub mod wal;
 
+pub use bulk::{BulkConfig, BulkStats};
 pub use error::SegmentError;
 pub use memtable::MemDelta;
 pub use segment::Segment;

@@ -356,7 +356,18 @@ impl SegmentContent {
 
     /// Persists the image as `seg-<seq>.zseg` in `dir`.
     pub(crate) fn write(self, dir: &Path, seq: u64) -> Result<Segment, SegmentError> {
-        let file_name = format!("seg-{seq:06}.zseg");
+        self.write_named(dir, format!("seg-{seq:06}.zseg"))
+    }
+
+    /// Persists the image under an explicit file name (the bulk-build
+    /// path writes intermediate runs as `run-*.zrun` files in the same
+    /// format, so a run that survives alone can be *renamed* into a
+    /// segment instead of rewritten).
+    pub(crate) fn write_named(
+        self,
+        dir: &Path,
+        file_name: String,
+    ) -> Result<Segment, SegmentError> {
         let mut body = Vec::new();
         put_u32(&mut body, self.term_slots);
         put_u32(&mut body, self.live.len() as u32);
@@ -395,6 +406,14 @@ impl SegmentContent {
 }
 
 impl Segment {
+    /// Rebinds the in-memory image to a new file name after the file
+    /// itself was atomically renamed on disk (bulk-build run
+    /// adoption).
+    pub(crate) fn renamed(mut self, file_name: String) -> Segment {
+        self.file_name = file_name;
+        self
+    }
+
     /// Loads and verifies a segment file.
     pub(crate) fn load(path: &Path) -> Result<Segment, SegmentError> {
         let body = read_framed(path)?;

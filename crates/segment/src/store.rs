@@ -35,7 +35,7 @@
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Instant;
@@ -49,8 +49,11 @@ use zerber_index::store::SCORING_BLOCK;
 use zerber_index::{
     BlockScoredList, DocId, Document, Posting, PostingStore, SegmentPolicy, TermId,
 };
-use zerber_postings::{merge_compressed, CompressedBlockCursor, CompressedPostingList, RawEntry};
+use zerber_postings::{
+    merge_compressed, CompressedBlockCursor, CompressedPostingList, RawEntry, RunBuilder,
+};
 
+use crate::bulk::{dedup_last, BulkConfig, BulkFailpoint, BulkStats};
 use crate::error::SegmentError;
 use crate::memtable::MemDelta;
 use crate::segment::{merge_sources, read_framed, write_framed, Segment, SegmentContent, Source};
@@ -97,6 +100,18 @@ struct SegmentMetrics {
     /// `zerber_segment_tombstones_gc_total`: tombstones retired by
     /// oldest-level compaction merges.
     tombstones_gc: Counter,
+    /// `zerber_segment_bulk_docs_total`: documents loaded through the
+    /// offline bulk path.
+    bulk_docs: Counter,
+    /// `zerber_segment_bulk_runs_total`: SPIMI runs the bulk workers
+    /// emitted.
+    bulk_runs: Counter,
+    /// `zerber_segment_bulk_merge_bytes_total`: bytes rewritten by the
+    /// bulk run-merge phase.
+    bulk_merge_bytes: Counter,
+    /// `zerber_segment_bulk_build_ns`: end-to-end duration of one
+    /// bulk load (dedup → runs → merge → manifest).
+    bulk_build: Histogram,
 }
 
 impl SegmentMetrics {
@@ -109,6 +124,10 @@ impl SegmentMetrics {
             segments: registry.gauge("zerber_segment_segments"),
             compactions: registry.counter("zerber_segment_compactions_total"),
             tombstones_gc: registry.counter("zerber_segment_tombstones_gc_total"),
+            bulk_docs: registry.counter("zerber_segment_bulk_docs_total"),
+            bulk_runs: registry.counter("zerber_segment_bulk_runs_total"),
+            bulk_merge_bytes: registry.counter("zerber_segment_bulk_merge_bytes_total"),
+            bulk_build: registry.histogram("zerber_segment_bulk_build_ns"),
         }
     }
 }
@@ -124,6 +143,10 @@ struct Inner {
     written: AtomicU64,
     /// At most one compaction at a time (explicit or background).
     compaction: Mutex<()>,
+    /// Distinguishes the run files of successive bulk loads on one
+    /// open store, so an aborted load's strays (collected only at the
+    /// next open) can never collide with a later load's runs.
+    bulk_epoch: AtomicU64,
     /// Instrument handles when the store was opened observed.
     obs: Option<SegmentMetrics>,
 }
@@ -397,8 +420,12 @@ impl SegmentStore {
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            let is_garbage = (name.ends_with(".zseg") || name.ends_with(".tmp"))
-                && !listed.contains(name.as_str());
+            // `.zrun` files are bulk-build intermediates: a completed
+            // load deletes them, so any survivor is from a crash and
+            // never listed in the manifest.
+            let is_garbage =
+                (name.ends_with(".zseg") || name.ends_with(".zrun") || name.ends_with(".tmp"))
+                    && !listed.contains(name.as_str());
             if is_garbage {
                 let _ = std::fs::remove_file(entry.path());
             }
@@ -427,6 +454,7 @@ impl SegmentStore {
             writer: Mutex::new(Writer { wal, next_seq }),
             written: AtomicU64::new(0),
             compaction: Mutex::new(()),
+            bulk_epoch: AtomicU64::new(0),
             obs,
         });
         let compactor = policy.background.then(|| {
@@ -587,6 +615,267 @@ impl SegmentStore {
     /// by the logical data size for write amplification.
     pub fn written_bytes(&self) -> u64 {
         self.inner.written.load(Ordering::Relaxed)
+    }
+
+    /// Loads a document batch through the offline SPIMI bulk path —
+    /// the high-throughput alternative to [`SegmentStore::insert`]
+    /// for corpus-sized batches.
+    ///
+    /// The batch is deduplicated (last copy of a document id wins,
+    /// like the WAL path), partitioned across
+    /// [`BulkConfig::resolved_workers`] parallel workers that each
+    /// emit sorted `run-*.zrun` files *in the segment file format*
+    /// (per-term compressed posting lists with block-max skip
+    /// metadata, written tmp + fsync + rename), k-way merged into
+    /// [`BulkConfig`]-many L1 segments, and registered in the
+    /// `MANIFEST` under the writer lock — after sealing any live
+    /// memtable, so the bulk segments are strictly newest and replace
+    /// overlapping documents exactly like a fresh insert would.
+    ///
+    /// **No WAL record is written.** The manifest swap is the single
+    /// atomic commit point: a crash at any earlier step leaves only
+    /// unlisted `.zrun`/`.zseg`/`.tmp` files, which the next
+    /// [`SegmentStore::open`] garbage-collects — the load is
+    /// all-or-nothing (property- and crash-tested in
+    /// `tests/bulk_build_properties.rs`). Queries running from
+    /// [`SegmentStore::snapshot`]s and the background compactor are
+    /// never blocked for longer than the registration lock handover.
+    pub fn bulk_load(
+        &self,
+        docs: &[Document],
+        config: BulkConfig,
+    ) -> Result<BulkStats, SegmentError> {
+        Ok(self
+            .bulk_load_inner(docs, config, None)?
+            .expect("no failpoint was armed"))
+    }
+
+    /// Test hook: [`SegmentStore::bulk_load`] that "crashes" (returns
+    /// `Ok(None)` leaving the on-disk state as-is) at the given
+    /// boundary. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn bulk_load_failpoint(
+        &self,
+        docs: &[Document],
+        config: BulkConfig,
+        failpoint: BulkFailpoint,
+    ) -> Result<Option<BulkStats>, SegmentError> {
+        self.bulk_load_inner(docs, config, Some(failpoint))
+    }
+
+    fn bulk_load_inner(
+        &self,
+        docs: &[Document],
+        config: BulkConfig,
+        failpoint: Option<BulkFailpoint>,
+    ) -> Result<Option<BulkStats>, SegmentError> {
+        let started = Instant::now();
+        let unique = dedup_last(docs);
+        if unique.is_empty() {
+            return Ok(Some(BulkStats::default()));
+        }
+        let workers = config.resolved_workers().max(1);
+        let run_budget = config.run_postings.max(1);
+        let epoch = self.inner.bulk_epoch.fetch_add(1, Ordering::Relaxed);
+        let dir = self.inner.dir.clone();
+
+        // --- Phase 1: parallel SPIMI workers emit sorted runs. ------
+        let runs_written = AtomicUsize::new(0);
+        let run_bytes = AtomicU64::new(0);
+        // An armed failpoint "kills the process" cooperatively: once
+        // set, every worker stops, and the call returns `Ok(None)`
+        // with the disk exactly as the crash left it.
+        let died = AtomicBool::new(false);
+        let chunk = unique.len().div_ceil(workers);
+        let worker_results: Vec<Result<Vec<Segment>, SegmentError>> = thread::scope(|scope| {
+            let handles: Vec<_> = unique
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, slice)| {
+                    let (dir, died) = (&dir, &died);
+                    let (runs_written, run_bytes) = (&runs_written, &run_bytes);
+                    scope.spawn(move || -> Result<Vec<Segment>, SegmentError> {
+                        let mut runs: Vec<Segment> = Vec::new();
+                        let mut next_run = 0usize;
+                        let seal = |builder: RunBuilder,
+                                    next_run: &mut usize|
+                         -> Result<Segment, SegmentError> {
+                            let sealed = builder.build();
+                            let name = format!("run-{epoch:04}-{w:03}-{next_run:03}.zrun");
+                            *next_run += 1;
+                            let content = SegmentContent::from_parts(
+                                sealed.docs,
+                                Vec::new(),
+                                sealed.term_slots,
+                                sealed.terms,
+                            );
+                            let segment = content.write_named(dir, name)?;
+                            run_bytes.fetch_add(segment.disk_bytes(), Ordering::Relaxed);
+                            let total = runs_written.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(BulkFailpoint::AfterRun(n)) = failpoint {
+                                if total >= n {
+                                    died.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(segment)
+                        };
+                        let mut builder = RunBuilder::new();
+                        for doc in slice {
+                            if died.load(Ordering::Relaxed) {
+                                return Ok(runs);
+                            }
+                            builder.push_document(
+                                doc.id.0,
+                                doc.length,
+                                doc.terms.iter().map(|&(t, c)| (t.0, c)),
+                            );
+                            if builder.weight() >= run_budget {
+                                runs.push(seal(std::mem::take(&mut builder), &mut next_run)?);
+                            }
+                        }
+                        if !builder.is_empty() && !died.load(Ordering::Relaxed) {
+                            runs.push(seal(builder, &mut next_run)?);
+                        }
+                        Ok(runs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bulk worker panicked"))
+                .collect()
+        });
+        let mut runs: Vec<Segment> = Vec::new();
+        for result in worker_results {
+            runs.extend(result?);
+        }
+        if died.load(Ordering::Relaxed) || matches!(failpoint, Some(BulkFailpoint::BeforeMerge)) {
+            return Ok(None);
+        }
+
+        // --- Phase 2: k-way merge run groups into L1 segments. ------
+        let postings: usize = runs.iter().map(Segment::posting_count).sum();
+        let run_count = runs.len();
+        let run_names: Vec<String> = runs.iter().map(|r| r.file_name().to_owned()).collect();
+        let groups = workers.min(run_count).max(1);
+        // Reserve a contiguous seq range under the writer lock. The
+        // reservation only becomes durable with the registration
+        // manifest; after a crash the numbers are simply reused (any
+        // stray file wearing one was collected at open).
+        let first_seq = {
+            let mut writer = self.inner.writer.lock();
+            let seq = writer.next_seq;
+            writer.next_seq += groups as u64;
+            seq
+        };
+        let mut buckets: Vec<Vec<Segment>> = (0..groups).map(|_| Vec::new()).collect();
+        for (i, run) in runs.into_iter().enumerate() {
+            buckets[i % groups].push(run);
+        }
+        let merges_written = AtomicUsize::new(0);
+        let merge_bytes = AtomicU64::new(0);
+        let merged_results: Vec<Result<Arc<Segment>, SegmentError>> = thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(g, mut bucket)| {
+                    let (dir, died) = (&dir, &died);
+                    let (merges_written, merge_bytes) = (&merges_written, &merge_bytes);
+                    scope.spawn(move || -> Result<Arc<Segment>, SegmentError> {
+                        let seq = first_seq + g as u64;
+                        let segment = if bucket.len() == 1 {
+                            // A group of one run *is* its segment:
+                            // adopt it with an atomic rename instead
+                            // of a rewrite (no write amplification).
+                            let run = bucket.pop().expect("one run");
+                            let seg_name = format!("seg-{seq:06}.zseg");
+                            std::fs::rename(dir.join(run.file_name()), dir.join(&seg_name))?;
+                            std::fs::File::open(dir)?.sync_all()?;
+                            run.renamed(seg_name)
+                        } else {
+                            let inputs: Vec<Arc<Segment>> =
+                                bucket.into_iter().map(Arc::new).collect();
+                            // Runs are doc-disjoint and tombstone-free
+                            // by construction, so this takes the exact
+                            // streaming merge_compressed path.
+                            let segment = merge_segments(&inputs, true).write(dir, seq)?;
+                            merge_bytes.fetch_add(segment.disk_bytes(), Ordering::Relaxed);
+                            segment
+                        };
+                        let total = merges_written.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(BulkFailpoint::AfterMergedSegment(n)) = failpoint {
+                            if total >= n {
+                                died.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Arc::new(segment))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bulk merge worker panicked"))
+                .collect()
+        });
+        let mut bulk_segments: Vec<Arc<Segment>> = Vec::with_capacity(groups);
+        for result in merged_results {
+            bulk_segments.push(result?);
+        }
+        if died.load(Ordering::Relaxed) || matches!(failpoint, Some(BulkFailpoint::BeforeManifest))
+        {
+            return Ok(None);
+        }
+        // Deterministic recency order among the (doc-disjoint) bulk
+        // segments, so a rebuilt store is file-for-file identical.
+        bulk_segments.sort_by(|a, b| a.file_name().cmp(b.file_name()));
+
+        // --- Phase 3: register atomically under the writer lock. ----
+        self.inner.written.fetch_add(
+            run_bytes.load(Ordering::Relaxed) + merge_bytes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        let mut writer = self.inner.writer.lock();
+        // Seal any live memtable first: state ingested before this
+        // commit point must stay *older* than the bulk segments, which
+        // replace overlapping documents like a fresh insert.
+        self.inner.flush_locked(&mut writer)?;
+        let names: Vec<String> = {
+            let mut state = self.inner.state.write();
+            state.segments.extend(bulk_segments.iter().cloned());
+            state
+                .segments
+                .iter()
+                .map(|s| s.file_name().to_owned())
+                .collect()
+        };
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.inner.write_manifest(writer.next_seq, &name_refs)?;
+        drop(writer);
+        if matches!(failpoint, Some(BulkFailpoint::BeforeRunGc)) {
+            return Ok(None);
+        }
+
+        // --- Phase 4: the manifest no longer references the runs. ---
+        for name in &run_names {
+            let _ = std::fs::remove_file(dir.join(name));
+        }
+        self.wake_compactor();
+        if let Some(obs) = &self.inner.obs {
+            obs.bulk_docs.add(unique.len() as u64);
+            obs.bulk_runs.add(run_count as u64);
+            obs.bulk_merge_bytes
+                .add(merge_bytes.load(Ordering::Relaxed));
+            obs.bulk_build.record(started.elapsed().as_nanos() as u64);
+            obs.segments.set(names.len() as i64);
+        }
+        Ok(Some(BulkStats {
+            docs: unique.len(),
+            postings,
+            runs: run_count,
+            run_bytes: run_bytes.load(Ordering::Relaxed),
+            merge_bytes: merge_bytes.load(Ordering::Relaxed),
+            segments: groups,
+        }))
     }
 }
 

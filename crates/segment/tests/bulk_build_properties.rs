@@ -1,0 +1,316 @@
+//! Property battery for the offline SPIMI bulk-build path.
+//!
+//! Two obligations, mirroring the WAL-path batteries in
+//! `store_properties.rs` and `recovery_properties.rs`:
+//!
+//! 1. **Differential**: over arbitrary corpora (duplicate ids, odd
+//!    shapes, term-less docs) a [`SegmentStore::bulk_load`] must be
+//!    indistinguishable — live documents, document frequencies,
+//!    per-term posting entries, **bit-identical** top-k — from the
+//!    same batch fed through the incremental WAL `insert` path and
+//!    from a rebuild-from-scratch [`InvertedIndex`] oracle, including
+//!    after interleaved post-bulk inserts and deletes.
+//! 2. **Crash safety**: the bulk load killed at *every* step boundary
+//!    (after each run file, before the merge, after each merged
+//!    segment, before the manifest swap, before run GC) reopens to an
+//!    all-or-nothing state with every stray `run-*.zrun` / `*.tmp`
+//!    file garbage-collected, and the store keeps working.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use zerber_index::cursor::{block_max_topk_cursors, TopKScratch};
+use zerber_index::{DocId, Document, GroupId, InvertedIndex, PostingStore, SegmentPolicy, TermId};
+use zerber_segment::bulk::BulkFailpoint;
+use zerber_segment::{scratch_dir, BulkConfig, SegmentStore};
+
+const MAX_DOC: u32 = 80;
+const MAX_TERM: u32 = 20;
+
+/// A post-bulk mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<(u32, Vec<(u32, u32)>)>),
+    Delete(u32),
+    Flush,
+}
+
+fn arb_doc() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (
+        0u32..MAX_DOC,
+        prop::collection::vec((0u32..MAX_TERM, 1u32..5), 0..5).prop_map(|mut terms| {
+            terms.sort_by_key(|&(t, _)| t);
+            terms.dedup_by_key(|&mut (t, _)| t);
+            terms
+        }),
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(arb_doc(), 1..4).prop_map(Op::Insert),
+        (0u32..MAX_DOC).prop_map(Op::Delete),
+        Just(Op::Flush),
+    ]
+}
+
+fn materialize(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+fn tiny_policy() -> SegmentPolicy {
+    SegmentPolicy {
+        flush_postings: 8,
+        max_segments: 3,
+        background: false,
+        sync_wal: false,
+    }
+}
+
+/// Tiny runs and single-worker-unfriendly settings so small corpora
+/// still exercise multi-run seals and the k-way merge.
+fn tiny_bulk() -> BulkConfig {
+    BulkConfig {
+        workers: 3,
+        run_postings: 6,
+    }
+}
+
+/// The oracle's bit-pattern top-k over every term, plus df per term —
+/// the full observable surface of a snapshot.
+fn oracle_fingerprint(live: &BTreeMap<u32, Document>) -> (Vec<usize>, Vec<(DocId, u64)>) {
+    let docs: Vec<Document> = live.values().cloned().collect();
+    let index = InvertedIndex::from_documents(&docs);
+    let dfs: Vec<usize> = (0..MAX_TERM)
+        .map(|t| index.document_frequency(TermId(t)))
+        .collect();
+    let weights: Vec<(TermId, f64)> = (0..MAX_TERM)
+        .map(|t| (TermId(t), zerber_index::idf(live.len(), dfs[t as usize])))
+        .collect();
+    let lists = index.weighted_block_lists(&weights);
+    let topk = zerber_index::block_max_topk(&lists, 12)
+        .into_iter()
+        .map(|r| (r.doc, r.score.to_bits()))
+        .collect();
+    (dfs, topk)
+}
+
+/// A store snapshot's answer to the same fingerprint, through the lazy
+/// cursor pipeline the runtime serves with.
+fn store_fingerprint(
+    snapshot: &zerber_segment::SegmentSnapshot,
+    live_count: usize,
+) -> (Vec<usize>, Vec<(DocId, u64)>) {
+    let dfs: Vec<usize> = (0..MAX_TERM)
+        .map(|t| snapshot.document_frequency(TermId(t)))
+        .collect();
+    let weights: Vec<(TermId, f64)> = (0..MAX_TERM)
+        .map(|t| (TermId(t), zerber_index::idf(live_count, dfs[t as usize])))
+        .collect();
+    let mut cursors = snapshot.query_cursors(&weights);
+    let mut scratch = TopKScratch::new();
+    block_max_topk_cursors(&mut cursors, 12, &mut scratch);
+    let topk = scratch
+        .ranked
+        .iter()
+        .map(|r| (r.doc, r.score.to_bits()))
+        .collect();
+    (dfs, topk)
+}
+
+/// Asserts `snapshot` matches the oracle document-for-document,
+/// term-for-term, bit-for-bit.
+fn check_snapshot(
+    snapshot: &zerber_segment::SegmentSnapshot,
+    live: &BTreeMap<u32, Document>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(snapshot.live_doc_count(), live.len());
+    for id in 0..MAX_DOC {
+        prop_assert_eq!(
+            snapshot.contains_doc(DocId(id)),
+            live.contains_key(&id),
+            "doc {}",
+            id
+        );
+    }
+    let (dfs, topk) = store_fingerprint(snapshot, live.len());
+    let (want_dfs, want_topk) = oracle_fingerprint(live);
+    prop_assert_eq!(dfs, want_dfs, "document frequencies diverged");
+    prop_assert_eq!(topk, want_topk, "ranked answer diverged");
+    Ok(())
+}
+
+/// Per-term live posting entries — the raw (doc, count, length)
+/// triples after shadowing. Equality here is posting-level
+/// bit-identity between two stores.
+fn posting_image(
+    snapshot: &zerber_segment::SegmentSnapshot,
+) -> Vec<Vec<zerber_postings::RawEntry>> {
+    (0..MAX_TERM)
+        .map(|t| snapshot.live_postings(TermId(t)))
+        .collect()
+}
+
+/// Disk entries that only a mid-bulk crash leaves behind.
+fn stray_files(dir: &std::path::Path) -> Vec<String> {
+    let mut strays = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if name.ends_with(".zrun") || name.ends_with(".tmp") {
+            strays.push(name);
+        }
+    }
+    strays
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn bulk_load_is_bit_identical_to_wal_ingest_and_the_oracle(
+        corpus in prop::collection::vec(arb_doc(), 0..40),
+        ops in prop::collection::vec(arb_op(), 0..12),
+    ) {
+        let bulk_dir = scratch_dir("bulk-diff-b");
+        let wal_dir = scratch_dir("bulk-diff-w");
+        let bulk_store = SegmentStore::open(&bulk_dir, tiny_policy()).expect("open bulk");
+        let wal_store = SegmentStore::open(&wal_dir, tiny_policy()).expect("open wal");
+
+        let docs: Vec<Document> = corpus.iter().map(|(id, t)| materialize(*id, t)).collect();
+        let mut live: BTreeMap<u32, Document> = BTreeMap::new();
+        for doc in &docs {
+            live.insert(doc.id.0, doc.clone());
+        }
+
+        // Same batch, two maximally different ingest paths.
+        let stats = bulk_store.bulk_load(&docs, tiny_bulk()).expect("bulk load");
+        prop_assert_eq!(stats.docs, live.len(), "dedup keeps one copy per id");
+        wal_store.insert(&docs).expect("wal insert");
+
+        check_snapshot(&bulk_store.snapshot(), &live)?;
+        prop_assert_eq!(
+            posting_image(&bulk_store.snapshot()),
+            posting_image(&wal_store.snapshot()),
+            "bulk vs WAL posting entries diverged after load"
+        );
+
+        // Interleaved post-bulk traffic: both stores take the same
+        // live inserts/deletes/flushes and must keep agreeing.
+        for op in &ops {
+            match op {
+                Op::Insert(batch) => {
+                    let batch: Vec<Document> =
+                        batch.iter().map(|(id, t)| materialize(*id, t)).collect();
+                    bulk_store.insert(&batch).expect("post-bulk insert");
+                    wal_store.insert(&batch).expect("post-bulk insert");
+                    for doc in batch {
+                        live.insert(doc.id.0, doc);
+                    }
+                }
+                Op::Delete(id) => {
+                    let a = bulk_store.delete(DocId(*id)).expect("post-bulk delete");
+                    let b = wal_store.delete(DocId(*id)).expect("post-bulk delete");
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, live.remove(id).is_some());
+                }
+                Op::Flush => {
+                    bulk_store.flush().expect("flush");
+                    bulk_store.compact().expect("compact");
+                }
+            }
+        }
+        check_snapshot(&bulk_store.snapshot(), &live)?;
+        prop_assert_eq!(
+            posting_image(&bulk_store.snapshot()),
+            posting_image(&wal_store.snapshot()),
+            "bulk vs WAL posting entries diverged after post-bulk traffic"
+        );
+
+        // And the bulk-built store reopens to the same state (its
+        // post-bulk WAL tail replays over the bulk segments).
+        drop(bulk_store);
+        let reopened = SegmentStore::open(&bulk_dir, tiny_policy()).expect("reopen");
+        check_snapshot(&reopened.snapshot(), &live)?;
+        drop(reopened);
+        drop(wal_store);
+        std::fs::remove_dir_all(&bulk_dir).ok();
+        std::fs::remove_dir_all(&wal_dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn bulk_load_killed_at_any_boundary_is_all_or_nothing(
+        preload in prop::collection::vec(arb_doc(), 0..10),
+        corpus in prop::collection::vec(arb_doc(), 1..30),
+        boundary in 0usize..5,
+        step in 1usize..4,
+    ) {
+        let failpoint = match boundary {
+            0 => BulkFailpoint::AfterRun(step),
+            1 => BulkFailpoint::BeforeMerge,
+            2 => BulkFailpoint::AfterMergedSegment(step),
+            3 => BulkFailpoint::BeforeManifest,
+            _ => BulkFailpoint::BeforeRunGc,
+        };
+        let dir = scratch_dir("bulk-crash");
+        let store = SegmentStore::open(&dir, tiny_policy()).expect("open");
+
+        // Pre-bulk state that must survive the crash untouched.
+        let mut before: BTreeMap<u32, Document> = BTreeMap::new();
+        let preload_docs: Vec<Document> =
+            preload.iter().map(|(id, t)| materialize(*id, t)).collect();
+        if !preload_docs.is_empty() {
+            store.insert(&preload_docs).expect("preload");
+            store.flush().expect("preload flush");
+            for doc in &preload_docs {
+                before.insert(doc.id.0, doc.clone());
+            }
+        }
+
+        let docs: Vec<Document> = corpus.iter().map(|(id, t)| materialize(*id, t)).collect();
+        let outcome = store
+            .bulk_load_failpoint(&docs, tiny_bulk(), failpoint)
+            .expect("an aborted bulk load is not an error");
+        // The load is durable iff it ran to completion (a counted
+        // failpoint like `AfterRun(3)` never fires on a small corpus)
+        // or the kill landed at `BeforeRunGc` — the one boundary past
+        // the manifest swap, where only the cleanup was lost.
+        let committed = outcome.is_some() || matches!(failpoint, BulkFailpoint::BeforeRunGc);
+        drop(store); // "crash": nothing else runs before reopen
+
+        let expected = if committed {
+            let mut all = before.clone();
+            for doc in &docs {
+                all.insert(doc.id.0, doc.clone());
+            }
+            all
+        } else {
+            before.clone()
+        };
+        let reopened = SegmentStore::open(&dir, tiny_policy()).expect("reopen");
+        check_snapshot(&reopened.snapshot(), &expected)?;
+        prop_assert_eq!(
+            stray_files(&dir),
+            Vec::<String>::new(),
+            "open-time GC must remove every orphaned run/tmp file"
+        );
+
+        // The survivor keeps working: the same batch bulk-loads
+        // cleanly and lands fully this time.
+        reopened.bulk_load(&docs, tiny_bulk()).expect("retry bulk");
+        let mut all = before;
+        for doc in &docs {
+            all.insert(doc.id.0, doc.clone());
+        }
+        check_snapshot(&reopened.snapshot(), &all)?;
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -355,8 +355,10 @@ impl ShardedSearch {
     /// validated by [`ZerberConfig::validate`] at
     /// `ZerberSystem::bootstrap`.) Like the share path, this engine
     /// honors `config.postings` for the per-shard store backend; with
-    /// [`PostingBackend::Segmented`], each peer owns a durable store
-    /// in a `shard-<i>` subdirectory and the deployment supports live
+    /// [`PostingBackend::Segmented`], each replica owns a durable
+    /// store in a `peer-<p>-shard-<s>` subdirectory — created only for
+    /// the shards that peer actually hosts — and the deployment
+    /// supports live
     /// [`ShardedSearch::insert_documents`] /
     /// [`ShardedSearch::delete_document`] traffic. The segmented
     /// directories must be *fresh*: global statistics are computed
@@ -570,6 +572,83 @@ impl ShardedSearch {
             // Account this shard's documents the moment its replicas
             // acknowledge: if a later shard fails, the statistics
             // still describe exactly the documents that landed.
+            let mut state = self.stats.write();
+            for doc in &group {
+                let terms: Vec<TermId> = doc.terms.iter().map(|&(t, _)| t).collect();
+                state.stats.add_document(terms.iter().copied());
+                if let Some(old) = state.doc_terms.insert(doc.id, terms) {
+                    state.stats.remove_document(old);
+                }
+            }
+        }
+        Ok(docs.len())
+    }
+
+    /// Bulk-loads documents along the offline path, as owner node
+    /// `owner`. Routing and replacement semantics are identical to
+    /// [`ShardedSearch::insert_documents`] — each document goes to its
+    /// ring shard, every replica must acknowledge, and the global
+    /// statistics account each shard once all its replicas ack — but
+    /// the batch ships as [`Message::BulkLoad`], so a segmented
+    /// replica builds block-compressed segments through the parallel
+    /// SPIMI path (no WAL write) instead of journaling every posting.
+    /// Each replica builds its *own* copy of the shard from the same
+    /// wire batch, so replicas stay bit-identical without shipping
+    /// segment files.
+    ///
+    /// Unlike the live path, every shard's replica fan-out is begun
+    /// before any reply is awaited: bulk load is the throughput path,
+    /// and all hosting peers should be building concurrently. The
+    /// load costs the slowest replica, not the sum across shards.
+    /// Returns the number of documents shipped.
+    pub fn bulk_load(&self, owner: u32, docs: &[Document]) -> Result<usize, IngestError> {
+        if docs.is_empty() {
+            return Ok(0);
+        }
+        // Group per shard, preserving arrival order within each group
+        // (later copies of a doc id must win).
+        let mut per_shard: HashMap<u32, Vec<&Document>> = HashMap::new();
+        for doc in docs {
+            per_shard
+                .entry(self.map.shard_of(doc.id).0)
+                .or_default()
+                .push(doc);
+        }
+        let mut inflight: Vec<(Vec<&Document>, Vec<PendingReply>)> =
+            Vec::with_capacity(per_shard.len());
+        for (shard, group) in per_shard {
+            let request = Message::BulkLoad {
+                shard,
+                docs: group.iter().map(|doc| to_wire(doc)).collect(),
+            };
+            let payload: Arc<[u8]> = Arc::from(request.encode().as_ref());
+            let pendings = self
+                .map
+                .replica_peers(shard, self.replicas)
+                .into_iter()
+                .map(|peer| {
+                    self.transport.begin(
+                        NodeId::Owner(owner),
+                        NodeId::IndexServer(peer.0),
+                        AuthToken(0),
+                        Arc::clone(&payload),
+                    )
+                })
+                .collect();
+            inflight.push((group, pendings));
+        }
+        for (group, mut pendings) in inflight {
+            for pending in &mut pendings {
+                match pending.wait(DEFAULT_RPC_TIMEOUT)? {
+                    Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
+                    Message::InsertOk => {}
+                    other => panic!("protocol violation: unexpected response {other:?}"),
+                }
+            }
+            // Account this shard's documents the moment its replicas
+            // all acknowledge — exactly the live-insert discipline, so
+            // a failed shard leaves statistics describing only the
+            // documents that actually landed.
             let mut state = self.stats.write();
             for doc in &group {
                 let terms: Vec<TermId> = doc.terms.iter().map(|&(t, _)| t).collect();

@@ -193,6 +193,9 @@ impl PeerService for ShardService {
             code: fault::UNSUPPORTED,
             group: GroupId(0),
         };
+        // Captured before the match consumes `request`: IndexDocs and
+        // BulkLoad share one arm and differ only in the write path.
+        let offline = matches!(request, Message::BulkLoad { .. });
         match request {
             Message::TopKQuery { shard, terms, k } => {
                 // Wire input is untrusted (the transport is designed
@@ -230,7 +233,7 @@ impl PeerService for ShardService {
                         .collect(),
                 }
             }
-            Message::IndexDocs { shard, docs } => {
+            Message::IndexDocs { shard, docs } | Message::BulkLoad { shard, docs } => {
                 let mut decoded = Vec::with_capacity(docs.len());
                 for wire in docs {
                     match decode_document(wire) {
@@ -241,7 +244,12 @@ impl PeerService for ShardService {
                 let Some(store) = self.stores.get_mut(&shard) else {
                     return not_hosted;
                 };
-                match store.insert_documents(&decoded) {
+                let written = if offline {
+                    store.bulk_load_documents(&decoded)
+                } else {
+                    store.insert_documents(&decoded)
+                };
+                match written {
                     Ok(_) => Message::InsertOk,
                     Err(e) => shard_fault(e),
                 }

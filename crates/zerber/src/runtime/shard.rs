@@ -82,6 +82,18 @@ pub trait ShardStore {
     /// written.
     fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError>;
 
+    /// Bulk-indexes documents along the offline path; returns posting
+    /// elements written.
+    ///
+    /// Semantically identical to [`ShardStore::insert_documents`] —
+    /// the batch replaces any older copies of its documents — but a
+    /// durable backend is free to skip its WAL and build segments
+    /// directly (the SPIMI path in `zerber-segment`). The in-memory
+    /// backends simply forward to the insert path.
+    fn bulk_load_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
+        self.insert_documents(docs)
+    }
+
     /// Removes one document; returns whether it was live.
     fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError>;
 }
@@ -218,6 +230,13 @@ impl ShardStore for SegmentShard {
         self.store.insert(docs).map_err(ShardStoreError::Storage)
     }
 
+    fn bulk_load_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
+        self.store
+            .bulk_load(docs, zerber_segment::BulkConfig::default())
+            .map(|stats| stats.postings)
+            .map_err(ShardStoreError::Storage)
+    }
+
     fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError> {
         self.store.delete(doc).map_err(ShardStoreError::Storage)
     }
@@ -349,6 +368,11 @@ mod tests {
         // add doc 100.
         let replacement = doc(3, &[(5, 9)]);
         let addition = doc(100, &[(0, 2), (9, 4)]);
+        // The bulk path replaces doc 5 and adds docs 200..204, exactly
+        // like an insert batch would.
+        let bulk: Vec<Document> = std::iter::once(doc(5, &[(2, 6)]))
+            .chain((200..204u32).map(|d| doc(d, &[(d % 7, 2), (9, 1)])))
+            .collect();
         for shard in &mut shards {
             shard
                 .insert_documents(std::slice::from_ref(&replacement))
@@ -358,10 +382,12 @@ mod tests {
             shard
                 .insert_documents(std::slice::from_ref(&addition))
                 .unwrap();
+            shard.bulk_load_documents(&bulk).unwrap();
         }
-        live.retain(|d| d.id != DocId(3) && d.id != DocId(9));
+        live.retain(|d| d.id != DocId(3) && d.id != DocId(9) && d.id != DocId(5));
         live.push(replacement);
         live.push(addition);
+        live.extend(bulk.iter().cloned());
         let expected = oracle(&live);
         for (i, shard) in shards.iter_mut().enumerate() {
             assert_eq!(topk_of(shard.as_mut(), &live), expected, "backend {i}");
@@ -374,6 +400,10 @@ mod tests {
         let mut frozen = FrozenShard::new(Box::new(RawPostingStore::default()));
         assert!(matches!(
             frozen.insert_documents(&[doc(1, &[(0, 1)])]),
+            Err(ShardStoreError::Frozen)
+        ));
+        assert!(matches!(
+            frozen.bulk_load_documents(&[doc(1, &[(0, 1)])]),
             Err(ShardStoreError::Frozen)
         ));
         assert!(matches!(

@@ -299,8 +299,36 @@ fn prometheus_exposition_parses_with_required_families() {
     }
     store.flush().expect("flush");
     store.compact().expect("compact");
+    // And one offline bulk load, so the SPIMI instruments carry
+    // samples too.
+    let bulk: Vec<Document> = (500..560u32)
+        .map(|d| {
+            Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(d % 13), 1 + d % 4)])
+        })
+        .collect();
+    let bulk_stats = store
+        .bulk_load(&bulk, zerber_segment::BulkConfig::default())
+        .expect("bulk load");
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
+
+    // The bulk counters reflect the load that just ran.
+    let metrics = search.obs().registry().snapshot();
+    assert_eq!(
+        metrics.counter("zerber_segment_bulk_docs_total"),
+        Some(bulk.len() as u64),
+        "bulk docs counter"
+    );
+    assert_eq!(
+        metrics.counter("zerber_segment_bulk_runs_total"),
+        Some(bulk_stats.runs as u64),
+        "bulk runs counter"
+    );
+    assert_eq!(
+        metrics.counter("zerber_segment_bulk_merge_bytes_total"),
+        Some(bulk_stats.merge_bytes),
+        "bulk merge bytes counter"
+    );
 
     let text = search
         .obs()
@@ -344,6 +372,7 @@ fn prometheus_exposition_parses_with_required_families() {
         "zerber_query_latency_ns",
         "zerber_segment_wal_fsync_ns",
         "zerber_segment_compaction_ns",
+        "zerber_segment_bulk_build_ns",
     ] {
         assert!(
             text.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")),

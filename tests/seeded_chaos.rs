@@ -197,6 +197,70 @@ fn pinned_seed_replays_identically_and_covers_every_fault_family() {
     assert_eq!(counts, counts_again);
 }
 
+/// A replica that dies between receiving the bulk fan-out and the
+/// owner's gather — muted, the closest in-process model of "killed
+/// mid-bulk-load" — fails the load **closed**: `bulk_load` errors
+/// rather than acknowledge a write some replica may not hold. Revived,
+/// the replica rebuilds clean on retry, because the bulk batch
+/// replaces documents idempotently on every replica: copies that
+/// already applied it converge bit-identically with the one that
+/// missed it.
+#[test]
+fn replica_killed_mid_bulk_load_fails_closed_then_rebuilds_clean() {
+    let dir = zerber_segment::scratch_dir("chaos-bulk");
+    let config = ZerberConfig::default()
+        .with_peers(3)
+        .with_replication(2)
+        .with_postings(zerber::PostingBackend::Segmented {
+            dir: dir.clone(),
+            compaction: zerber::SegmentPolicy {
+                flush_postings: 32,
+                max_segments: 2,
+                background: true,
+                sync_wal: false,
+            },
+        });
+    let initial = corpus(60, 12);
+    let (search, chaos) = launch_chaotic(&config, &initial, FaultPlan::quiet(7));
+    // Never armed: only the explicit mute below fires.
+    chaos.mute(NodeId::IndexServer(1));
+
+    let bulk: Vec<Document> = (200..260u32)
+        .map(|d| {
+            Document::from_term_counts(
+                DocId(d),
+                GroupId(0),
+                vec![(TermId(d % 11), 2 + d % 3), (TermId(11), 1)],
+            )
+        })
+        .collect();
+    assert!(
+        search.bulk_load(0, &bulk).is_err(),
+        "a dead replica must fail the bulk load closed, not ack a diverged write"
+    );
+
+    chaos.revive(NodeId::IndexServer(1));
+    search
+        .bulk_load(0, &bulk)
+        .expect("a revived replica takes the retried bulk load");
+
+    // Every replica converged: queries are bit-identical to the oracle
+    // over initial ∪ bulk, including on shards whose primary is the
+    // once-dead peer.
+    let live: Vec<Document> = initial.iter().chain(bulk.iter()).cloned().collect();
+    assert_eq!(search.document_count(), live.len());
+    for q in 0..12u32 {
+        let terms = [TermId(q), TermId((q * 5 + 2) % 12)];
+        assert_eq!(
+            observe(search.query(&terms, 10)),
+            Observed::Ok(oracle_bits(&live, &terms, 10)),
+            "query {q}"
+        );
+    }
+    drop(search);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

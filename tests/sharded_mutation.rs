@@ -23,6 +23,10 @@ use zerber_index::{DocId, Document, GroupId, TermId};
 #[derive(Debug, Clone)]
 enum Step {
     Insert(Vec<(u32, Vec<(u32, u32)>)>),
+    /// A batch through [`ShardedSearch::bulk_load`] — the offline
+    /// SPIMI path on every segmented replica, racing the live queries
+    /// and the background compactor of this schedule.
+    Bulk(Vec<(u32, Vec<(u32, u32)>)>),
     Delete(u32),
     Query(Vec<u32>, usize),
 }
@@ -42,6 +46,7 @@ fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
         prop::collection::vec(arb_doc(), 1..4).prop_map(Step::Insert),
         prop::collection::vec(arb_doc(), 1..4).prop_map(Step::Insert),
+        prop::collection::vec(arb_doc(), 1..8).prop_map(Step::Bulk),
         (0u32..120).prop_map(Step::Delete),
         (prop::collection::vec(0u32..25, 1..4), 1usize..12)
             .prop_map(|(terms, k)| Step::Query(terms, k)),
@@ -101,6 +106,17 @@ proptest! {
                         live.insert(doc.id.0, doc);
                     }
                 }
+                Step::Bulk(batch) => {
+                    // Same replacement semantics as Insert — only the
+                    // ingest machinery differs (segments built
+                    // WAL-free on each replica).
+                    let docs: Vec<Document> =
+                        batch.iter().map(|(id, t)| materialize(*id, t)).collect();
+                    search.bulk_load(0, &docs).expect("bulk load lands");
+                    for doc in docs {
+                        live.insert(doc.id.0, doc);
+                    }
+                }
                 Step::Delete(id) => {
                     let removed = search.delete_document(0, DocId(*id)).expect("delete lands");
                     prop_assert_eq!(removed, live.remove(id).is_some());
@@ -124,4 +140,59 @@ proptest! {
         drop(search);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Regression: a replicated segmented deployment creates exactly one
+/// `peer-<p>-shard-<s>` directory per *hosted* replica — never for
+/// shards a peer does not host — and the offline
+/// [`ShardedSearch::bulk_load`] path writes only into those.
+#[test]
+fn segmented_replicas_create_only_hosted_shard_dirs() {
+    let dir = zerber_segment::scratch_dir("hosted-dirs");
+    let peers = 4u32;
+    let replication = 2u32;
+    let config = ZerberConfig::default()
+        .with_peers(peers as usize)
+        .with_replication(replication as usize)
+        .with_postings(PostingBackend::Segmented {
+            dir: dir.clone(),
+            compaction: SegmentPolicy {
+                flush_postings: 16,
+                max_segments: 2,
+                background: true,
+                sync_wal: false,
+            },
+        });
+    let initial: Vec<Document> = (0..40u32)
+        .map(|d| materialize(d, &[(d % 9, 1 + d % 3)]))
+        .collect();
+    let search = ShardedSearch::launch(&config, &initial).expect("valid config");
+    let bulk: Vec<Document> = (100..160u32)
+        .map(|d| materialize(d, &[(d % 9, 2), (11, 1)]))
+        .collect();
+    search.bulk_load(0, &bulk).expect("bulk load lands");
+
+    // Peer p hosts its own shard plus its `replication - 1`
+    // predecessors' (`ShardMap::hosted_shards`).
+    let mut expected: Vec<String> = (0..peers)
+        .flat_map(|peer| {
+            (0..replication)
+                .map(move |j| (peer, (peer + peers - j) % peers))
+                .map(|(peer, shard)| format!("peer-{peer:03}-shard-{shard:03}"))
+        })
+        .collect();
+    expected.sort();
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("store root exists")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    found.sort();
+    assert_eq!(found, expected, "replica directory layout");
+    drop(search);
+    std::fs::remove_dir_all(&dir).ok();
 }
