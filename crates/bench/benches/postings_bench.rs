@@ -23,6 +23,7 @@ fn synthetic_entries(len: usize, seed: u64) -> Vec<RawEntry> {
                 doc,
                 count: 1 + rng.random::<u32>() % 12,
                 doc_length: 120,
+                pos: 0,
             }
         })
         .collect()

@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! repro [--smoke] [--json <dir>] [--socket] [--bulk]
-//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|obs|security|ablation]
+//!       [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|micro|bandwidth|storage|compression|scalability|ingest|query|obs|serving|security|ablation]
 //! ```
+//!
+//! The `serving` target replays a shaped Zipf query log (bag-of-words,
+//! AND, phrase) through the sharded query engine: planned evaluators
+//! oracle-checked and timed head-to-head (block-max TA vs MaxScore),
+//! cached vs uncached latency split with the epoch-keyed result
+//! cache's hit rate, and an interleaved-writes phase proving zero
+//! stale hits. With `--json`, `BENCH_serving.json`.
 //!
 //! `--bulk` narrows the `ingest` target to the offline SPIMI
 //! bulk-build path alone (skipping the slow incremental comparison):
@@ -41,7 +48,7 @@
 use zerber_bench::experiments::{
     ablation, bandwidth, compression, fig10_qratio, fig11_efficiency, fig12_response, fig5_studip,
     fig6_workload, fig7_pt, fig8_r_vs_m, fig9_amplification, ingest, micro, obs, query,
-    scalability, security, storage, table1,
+    scalability, security, serving, storage, table1,
 };
 use zerber_bench::Scale;
 
@@ -203,6 +210,13 @@ fn main() {
         println!("{}", obs::render(&result));
         if let Some(dir) = &json_dir {
             write_json(dir, "obs", obs::to_json(&result));
+        }
+    }
+    if wanted("serving") {
+        let result = serving::run(scale);
+        println!("{}", serving::render(&result));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "serving", serving::to_json(&result));
         }
     }
     if wanted("security") {

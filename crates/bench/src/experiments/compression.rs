@@ -203,9 +203,11 @@ mod tests {
         let result = run(Scale::Smoke);
         assert!(result.total_postings > 0);
         // The storage engine shrinks plaintext postings: the Zipf tail
-        // of tiny lists caps the wire ratio, the serving footprint
-        // still drops well past 2x.
-        assert!(result.store_ratio > 1.5, "wire {}", result.store_ratio);
+        // of tiny lists caps the wire ratio — and since the positional
+        // column (phrase queries) joined the block format, each posting
+        // carries a position varint too — the serving footprint still
+        // drops well past 2x.
+        assert!(result.store_ratio > 1.3, "wire {}", result.store_ratio);
         assert!(result.memory_ratio > 2.0, "memory {}", result.memory_ratio);
         assert!(result.compressed_bytes < result.raw_bytes);
         // Same-codec columns: plaintext ≫ 1, shares within 5% of 1.

@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod query;
     pub mod scalability;
     pub mod security;
+    pub mod serving;
     pub mod storage;
     pub mod table1;
 }

@@ -79,6 +79,13 @@ pub trait BlockCursor {
     /// `!at_end()`.
     fn block_max(&self) -> f64;
 
+    /// Static upper bound on the score of *every* posting in the
+    /// underlying list(s) — the whole-list σ bound MaxScore partitions
+    /// cursors by. Computed from metadata at construction; callable at
+    /// any time (including after exhaustion) and constant for the
+    /// cursor's lifetime.
+    fn list_max_score(&self) -> f64;
+
     /// The last document the current block(s) cover. Only meaningful
     /// while `!at_end()`.
     fn block_last_doc(&self) -> DocId;
@@ -337,6 +344,9 @@ impl BlockCursor for EmptyCursor {
     fn block_max(&self) -> f64 {
         0.0
     }
+    fn list_max_score(&self) -> f64 {
+        0.0
+    }
     fn block_last_doc(&self) -> DocId {
         DocId(0)
     }
@@ -362,6 +372,9 @@ impl BlockCursor for EmptyCursor {
 #[derive(Debug)]
 pub struct ScoredListCursor<L> {
     list: L,
+    /// Static whole-list score bound (max over the block maxima),
+    /// computed once at construction for MaxScore partitioning.
+    max_score: f64,
     /// The logical position's document id must be ≥ this (u64 so
     /// `last consumed + 1` can never overflow).
     bound: u64,
@@ -395,8 +408,15 @@ impl<'a> ScoredListCursor<&'a BlockScoredList> {
 
 impl<L: std::borrow::Borrow<BlockScoredList>> ScoredListCursor<L> {
     fn new(list: L) -> Self {
+        let max_score = list
+            .borrow()
+            .blocks
+            .iter()
+            .map(|&(_, max)| max)
+            .fold(0.0, f64::max);
         Self {
             list,
+            max_score,
             bound: 0,
             block: 0,
             pos: 0,
@@ -452,6 +472,10 @@ impl<L: std::borrow::Borrow<BlockScoredList>> BlockCursor for ScoredListCursor<L
 
     fn block_max(&self) -> f64 {
         self.blocks()[self.block].1
+    }
+
+    fn list_max_score(&self) -> f64 {
+        self.max_score
     }
 
     fn block_last_doc(&self) -> DocId {
@@ -596,6 +620,15 @@ impl BlockCursor for ShadowedMergeCursor<'_> {
             .iter()
             .filter(|(_, s)| !s.at_end())
             .map(|(_, s)| s.block_max())
+            .fold(0.0f64, f64::max)
+    }
+
+    fn list_max_score(&self) -> f64 {
+        // Any merged posting comes from exactly one sub, so the max of
+        // the subs' static bounds bounds every merged score.
+        self.subs
+            .iter()
+            .map(|(_, s)| s.list_max_score())
             .fold(0.0f64, f64::max)
     }
 

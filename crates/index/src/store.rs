@@ -17,7 +17,7 @@ use crate::cursor::{BlockCursor, ScoredListCursor};
 use crate::postings::{Posting, PostingList};
 use crate::stats::CorpusStats;
 use crate::topk::BlockScoredList;
-use crate::types::TermId;
+use crate::types::{DocId, TermId};
 use crate::InvertedIndex;
 
 /// Posting entries per block when a store materializes scored lists
@@ -162,6 +162,31 @@ pub trait PostingStore {
             .into_iter()
             .map(|list| Box::new(ScoredListCursor::owned(list)) as Box<dyn BlockCursor + 'a>)
             .collect()
+    }
+
+    /// The term's occurrence positions in `doc`'s canonical token
+    /// stream — `Some(positions)` when the document contains the term,
+    /// `None` otherwise. The canonical convention: a document's token
+    /// stream is its terms in ascending term-id order, each occupying
+    /// `count` consecutive slots, so a term's positions are the
+    /// contiguous run starting at the sum of the document's
+    /// smaller-term counts. Phrase evaluation consumes these lists.
+    ///
+    /// The default derives the run by scanning the smaller-id lists —
+    /// acceptable for the in-memory backends; backends with a stored
+    /// positional column (the compressed engine, the segmented store)
+    /// override it with a point lookup.
+    fn term_positions(&self, term: TermId, doc: DocId) -> Option<Vec<u32>> {
+        let hit = self.postings(term).find(|p| p.doc == doc)?;
+        let start: u32 = (0..term.0)
+            .map(|t| {
+                self.postings(TermId(t))
+                    .filter(|p| p.doc == doc)
+                    .map(|p| p.count)
+                    .sum::<u32>()
+            })
+            .sum();
+        Some((start..start + hit.count).collect())
     }
 
     /// Corpus statistics over the stored document frequencies

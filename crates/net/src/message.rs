@@ -147,6 +147,29 @@ pub enum Message {
         /// How many ranked results to return.
         k: u32,
     },
+    /// User → shard peer: a *planned* query — like
+    /// [`Message::TopKQuery`] but carrying the query shape and an
+    /// evaluator override, so one frame serves disjunctive,
+    /// conjunctive, and phrase evaluation. The shape and override are
+    /// raw bytes here (this crate stays independent of the query
+    /// crate); the serving layer converts them. The peer answers with
+    /// a plain [`Message::TopKResponse`].
+    PlanQuery {
+        /// Which logical shard this peer should answer from.
+        shard: u32,
+        /// Query shape: 0 = disjunctive terms, 1 = conjunctive AND,
+        /// 2 = exact phrase. Anything else is malformed.
+        shape: u8,
+        /// Disjunctive evaluator override: 0 = planner default,
+        /// 1 = force block-max TA, 2 = force MaxScore. Anything else
+        /// is malformed.
+        forced: u8,
+        /// Query slots with their global IDF weights — phrase order
+        /// (duplicates allowed) for the phrase shape.
+        terms: Vec<(TermId, f64)>,
+        /// How many ranked results to return.
+        k: u32,
+    },
     /// Shard peer → user: the shard-local top-k, sorted by score
     /// descending then document id ascending — the sorted-access order
     /// the gather stage's threshold bound relies on. The response also
@@ -269,6 +292,7 @@ const TAG_FAULT: u8 = 11;
 const TAG_INDEX_DOCS: u8 = 12;
 const TAG_REMOVE_DOC: u8 = 13;
 const TAG_BULK_LOAD: u8 = 14;
+const TAG_PLAN_QUERY: u8 = 15;
 
 impl Message {
     /// Serializes the message.
@@ -322,6 +346,24 @@ impl Message {
             Message::TopKQuery { shard, terms, k } => {
                 buffer.put_u8(TAG_TOPK_QUERY);
                 buffer.put_u32(*shard);
+                buffer.put_u32(*k);
+                buffer.put_u32(terms.len() as u32);
+                for (term, weight) in terms {
+                    buffer.put_u32(term.0);
+                    buffer.put_u64(weight.to_bits());
+                }
+            }
+            Message::PlanQuery {
+                shard,
+                shape,
+                forced,
+                terms,
+                k,
+            } => {
+                buffer.put_u8(TAG_PLAN_QUERY);
+                buffer.put_u32(*shard);
+                buffer.put_u8(*shape);
+                buffer.put_u8(*forced);
                 buffer.put_u32(*k);
                 buffer.put_u32(terms.len() as u32);
                 for (term, weight) in terms {
@@ -455,6 +497,29 @@ impl Message {
                 }
                 Ok(Message::TopKQuery { shard, terms, k })
             }
+            TAG_PLAN_QUERY => {
+                let shard = read_u32(&mut buffer)?;
+                if buffer.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let shape = buffer.get_u8();
+                let forced = buffer.get_u8();
+                let k = read_u32(&mut buffer)?;
+                let count = read_u32(&mut buffer)? as usize;
+                let mut terms = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let term = TermId(read_u32(&mut buffer)?);
+                    let weight = f64::from_bits(read_u64(&mut buffer)?);
+                    terms.push((term, weight));
+                }
+                Ok(Message::PlanQuery {
+                    shard,
+                    shape,
+                    forced,
+                    terms,
+                    k,
+                })
+            }
             TAG_TOPK_RESPONSE => {
                 let decode_ns = read_u64(&mut buffer)?;
                 let blocks_decoded = read_u32(&mut buffer)?;
@@ -519,6 +584,7 @@ impl Message {
             Message::SnippetRequest { .. } => 1 + 4,
             Message::SnippetResponse { payload } => 1 + 4 + payload.len(),
             Message::TopKQuery { terms, .. } => 1 + 4 + 4 + 4 + terms.len() * (4 + 8),
+            Message::PlanQuery { terms, .. } => 1 + 4 + 1 + 1 + 4 + 4 + terms.len() * (4 + 8),
             Message::TopKResponse { candidates, .. } => {
                 1 + 8 + 4 + 4 + 4 + candidates.len() * (4 + 8)
             }
@@ -697,6 +763,28 @@ mod tests {
         let encoded = response.encode();
         assert_eq!(encoded.len(), response.wire_size());
         assert_eq!(Message::decode(&encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn plan_query_round_trips_and_rejects_every_cut() {
+        for (shape, forced) in [(0u8, 0u8), (1, 0), (2, 0), (0, 1), (0, 2)] {
+            let message = Message::PlanQuery {
+                shard: 3,
+                shape,
+                forced,
+                terms: vec![(TermId(7), 0.1), (TermId(7), 0.1), (TermId(2), 3.75)],
+                k: 10,
+            };
+            let encoded = message.encode();
+            assert_eq!(encoded.len(), message.wire_size());
+            assert_eq!(Message::decode(&encoded).unwrap(), message);
+            for cut in 0..encoded.len() {
+                assert!(
+                    Message::decode(&encoded[..cut]).is_err(),
+                    "cut at {cut} should fail"
+                );
+            }
+        }
     }
 
     #[test]

@@ -217,11 +217,28 @@ impl Default for MetricsRegistry {
 }
 
 fn assert_metric_name(name: &str) {
-    debug_assert!(
-        !name.is_empty()
-            && name
+    // `zerber_<layer>_<name>`, optionally followed by one Prometheus
+    // label block: `zerber_query_plan_total{plan="maxscore"}`.
+    fn base_ok(base: &str) -> bool {
+        !base.is_empty()
+            && base
                 .bytes()
-                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    }
+    let ok = match name.split_once('{') {
+        None => base_ok(name),
+        Some((base, labels)) => {
+            base_ok(base)
+                && labels.ends_with('}')
+                && labels[..labels.len() - 1].bytes().all(|b| {
+                    b.is_ascii_lowercase()
+                        || b.is_ascii_digit()
+                        || matches!(b, b'_' | b'=' | b'"' | b',')
+                })
+        }
+    };
+    debug_assert!(
+        ok,
         "metric name {name:?} violates the zerber_<layer>_<name> scheme"
     );
 }

@@ -20,8 +20,9 @@ use crate::varint;
 pub const BLOCK_SIZE: usize = 128;
 
 /// One posting at the codec layer: a 64-bit doc key plus the raw
-/// occurrence count and document length (the fields of
-/// [`zerber_index::Posting`]).
+/// occurrence count, document length (the fields of
+/// [`zerber_index::Posting`]), and the first position of the term's
+/// occurrence run in the document's canonical token stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawEntry {
     /// Document key, strictly increasing within a list.
@@ -30,6 +31,13 @@ pub struct RawEntry {
     pub count: u32,
     /// Document length (term-frequency denominator).
     pub doc_length: u32,
+    /// First token position of this term in the document. Under the
+    /// canonical token-stream convention (terms laid out in ascending
+    /// term-id order, each occupying `count` consecutive slots) the
+    /// term's occurrence positions are exactly `pos..pos + count`, so
+    /// one u32 carries the whole positional column for phrase
+    /// evaluation.
+    pub pos: u32,
 }
 
 impl RawEntry {
@@ -170,10 +178,11 @@ fn bits_for(max: u32) -> u32 {
 /// Encodes one block of postings (sorted by strictly increasing doc
 /// key) onto `out`, returning its skip metadata.
 ///
-/// Payload layout, after the two width bytes:
+/// Payload layout, after the three width bytes:
 /// varint doc-key gaps for entries 1.. (the first doc lives in the
 /// metadata), then the counts bit-packed at the block's count width,
-/// then the doc lengths bit-packed at the block's length width.
+/// then the doc lengths bit-packed at the block's length width, then
+/// the run-start positions bit-packed at the block's position width.
 pub fn encode_block(entries: &[RawEntry], out: &mut Vec<u8>) -> BlockMeta {
     assert!(!entries.is_empty() && entries.len() <= BLOCK_SIZE);
     debug_assert!(entries.windows(2).all(|w| w[0].doc < w[1].doc));
@@ -186,8 +195,10 @@ pub fn encode_block(entries: &[RawEntry], out: &mut Vec<u8>) -> BlockMeta {
             .max()
             .expect("non-empty"),
     );
+    let pos_bits = bits_for(entries.iter().map(|e| e.pos).max().expect("non-empty"));
     out.push(count_bits as u8);
     out.push(length_bits as u8);
+    out.push(pos_bits as u8);
     for pair in entries.windows(2) {
         varint::write_u64(out, pair[1].doc - pair[0].doc);
     }
@@ -201,6 +212,11 @@ pub fn encode_block(entries: &[RawEntry], out: &mut Vec<u8>) -> BlockMeta {
         lengths.push(entry.doc_length, length_bits);
     }
     lengths.finish();
+    let mut positions = BitWriter::new(out);
+    for entry in entries {
+        positions.push(entry.pos, pos_bits);
+    }
+    positions.finish();
     BlockMeta {
         first_doc: entries[0].doc,
         last_doc: entries[entries.len() - 1].doc,
@@ -223,11 +239,15 @@ pub fn decode_block(
     out.clear();
     let len = meta.len as usize;
     let payload = data.get(meta.offset..).ok_or(DecodeError::Truncated)?;
-    let [count_bits, length_bits, rest @ ..] = payload else {
+    let [count_bits, length_bits, pos_bits, rest @ ..] = payload else {
         return Err(DecodeError::Truncated);
     };
-    let (count_bits, length_bits) = (u32::from(*count_bits), u32::from(*length_bits));
-    if count_bits > 32 || length_bits > 32 {
+    let (count_bits, length_bits, pos_bits) = (
+        u32::from(*count_bits),
+        u32::from(*length_bits),
+        u32::from(*pos_bits),
+    );
+    if count_bits > 32 || length_bits > 32 || pos_bits > 32 {
         return Err(DecodeError::Truncated);
     }
     let mut docs = Vec::with_capacity(len);
@@ -245,6 +265,7 @@ pub fn decode_block(
     }
     let counts_bytes = (len * count_bits as usize).div_ceil(8);
     let lengths_bytes = (len * length_bits as usize).div_ceil(8);
+    let pos_bytes = (len * pos_bits as usize).div_ceil(8);
     let columns = rest.get(cursor..).ok_or(DecodeError::Truncated)?;
     let mut counts = BitReader::new(columns);
     let mut count_values = Vec::with_capacity(len);
@@ -254,14 +275,24 @@ pub fn decode_block(
     debug_assert_eq!(counts.bytes_consumed(), counts_bytes);
     let length_column = columns.get(counts_bytes..).ok_or(DecodeError::Truncated)?;
     let mut lengths = BitReader::new(length_column);
-    for (doc, count) in docs.iter().zip(count_values) {
+    let mut length_values = Vec::with_capacity(len);
+    for _ in 0..len {
+        length_values.push(lengths.pull(length_bits)?);
+    }
+    debug_assert_eq!(lengths.bytes_consumed(), lengths_bytes);
+    let pos_column = length_column
+        .get(lengths_bytes..)
+        .ok_or(DecodeError::Truncated)?;
+    let mut positions = BitReader::new(pos_column);
+    for ((doc, count), doc_length) in docs.iter().zip(count_values).zip(length_values) {
         out.push(RawEntry {
             doc: *doc,
             count,
-            doc_length: lengths.pull(length_bits)?,
+            doc_length,
+            pos: positions.pull(pos_bits)?,
         });
     }
-    Ok(2 + cursor + counts_bytes + lengths_bytes)
+    Ok(3 + cursor + counts_bytes + lengths_bytes + pos_bytes)
 }
 
 #[cfg(test)]
@@ -273,6 +304,7 @@ mod tests {
             doc,
             count,
             doc_length,
+            pos: (doc % 1000) as u32,
         }
     }
 
@@ -325,12 +357,19 @@ mod tests {
 
     #[test]
     fn uniform_zero_columns_pack_to_nothing() {
-        // All counts and lengths zero ⇒ zero bit width ⇒ only the two
-        // width bytes plus the gap varints.
-        let entries: Vec<RawEntry> = (1..=64).map(|doc| entry(doc, 0, 0)).collect();
+        // All counts, lengths, and positions zero ⇒ zero bit width ⇒
+        // only the three width bytes plus the gap varints.
+        let entries: Vec<RawEntry> = (1..=64)
+            .map(|doc| RawEntry {
+                doc,
+                count: 0,
+                doc_length: 0,
+                pos: 0,
+            })
+            .collect();
         let mut data = Vec::new();
         let meta = encode_block(&entries, &mut data);
-        assert_eq!(data.len(), 2 + 63); // 63 one-byte gaps of 1
+        assert_eq!(data.len(), 3 + 63); // 63 one-byte gaps of 1
         let mut decoded = Vec::new();
         decode_block(&meta, &data, &mut decoded).unwrap();
         assert_eq!(decoded, entries);

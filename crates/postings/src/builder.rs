@@ -90,6 +90,7 @@ mod tests {
             doc,
             count: 1,
             doc_length: 10,
+            pos: 0,
         }
     }
 
@@ -123,6 +124,7 @@ mod tests {
             doc: i * 2,
             count: (i % 4) as u32,
             doc_length: 8,
+            pos: i as u32,
         }));
         let blocks = list.blocks();
         assert_eq!(blocks[0].first_doc, 0);

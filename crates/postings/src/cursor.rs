@@ -28,6 +28,9 @@ use crate::list::CompressedPostingList;
 pub struct CompressedBlockCursor<'a> {
     list: &'a CompressedPostingList,
     weight: f64,
+    /// Static whole-list score bound: max block max_tf × weight,
+    /// computed once at construction for MaxScore partitioning.
+    max_score: f64,
     /// The logical position's doc key must be ≥ this.
     bound: u64,
     /// Current block (normalized: first block whose `last_doc` reaches
@@ -47,9 +50,15 @@ impl<'a> CompressedBlockCursor<'a> {
     /// A cursor positioned before the first posting, scoring with
     /// `weight` (a non-negative finite IDF factor).
     pub fn new(list: &'a CompressedPostingList, weight: f64) -> Self {
+        let max_score = list
+            .blocks()
+            .iter()
+            .map(|meta| meta.max_tf * weight)
+            .fold(0.0, f64::max);
         Self {
             list,
             weight,
+            max_score,
             bound: 0,
             block: 0,
             buffer: Vec::with_capacity(BLOCK_SIZE),
@@ -92,6 +101,10 @@ impl BlockCursor for CompressedBlockCursor<'_> {
 
     fn block_max(&self) -> f64 {
         self.list.blocks()[self.block].max_tf * self.weight
+    }
+
+    fn list_max_score(&self) -> f64 {
+        self.max_score
     }
 
     fn block_last_doc(&self) -> DocId {
@@ -176,6 +189,7 @@ mod tests {
             doc,
             count: (doc % 7) as u32 + 1,
             doc_length: 100,
+            pos: 0,
         }))
     }
 

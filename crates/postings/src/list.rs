@@ -108,6 +108,23 @@ impl CompressedPostingList {
     pub fn decode_all(&self) -> Vec<RawEntry> {
         self.iter().collect()
     }
+
+    /// The posting for `doc`, if the list contains one: a point lookup
+    /// through the block index (one block decoded at most), used by
+    /// phrase evaluation to fetch a term's positional run in a single
+    /// document.
+    pub fn entry_for(&self, doc: u64) -> Option<RawEntry> {
+        let block = self.blocks.partition_point(|b| b.last_doc < doc);
+        let meta = self.blocks.get(block)?;
+        if meta.first_doc > doc {
+            return None;
+        }
+        let mut buffer = Vec::with_capacity(meta.len as usize);
+        decode_block(meta, &self.data, &mut buffer)
+            .expect("builder-produced blocks decode cleanly");
+        let at = buffer.binary_search_by_key(&doc, |e| e.doc).ok()?;
+        Some(buffer[at])
+    }
 }
 
 impl<'a> IntoIterator for &'a CompressedPostingList {
@@ -243,6 +260,7 @@ mod tests {
                 doc,
                 count: (doc % 7) as u32 + 1,
                 doc_length: 100,
+                pos: (doc % 50) as u32,
             });
         }
         builder.build()
@@ -294,6 +312,21 @@ mod tests {
         // Target inside the consumed block: never rewinds, lands on
         // the first entry of the next block.
         assert_eq!(iter.advance_to(5).unwrap().doc, 128);
+    }
+
+    #[test]
+    fn entry_for_finds_exactly_the_stored_docs() {
+        let docs: Vec<u64> = (0..500).map(|i| i * 3 + 1).collect();
+        let list = list_of(&docs);
+        for &doc in &docs {
+            let entry = list.entry_for(doc).expect("stored doc");
+            assert_eq!(entry.doc, doc);
+            assert_eq!(entry.pos, (doc % 50) as u32);
+        }
+        assert!(list.entry_for(0).is_none());
+        assert!(list.entry_for(2).is_none()); // between stored keys
+        assert!(list.entry_for(u64::MAX).is_none());
+        assert!(CompressedPostingList::default().entry_for(7).is_none());
     }
 
     #[test]

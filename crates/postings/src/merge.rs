@@ -102,6 +102,7 @@ mod tests {
             doc,
             count,
             doc_length: 50,
+            pos: count % 10,
         }))
     }
 

@@ -68,17 +68,24 @@ impl RunBuilder {
         terms: impl IntoIterator<Item = (u32, u32)>,
     ) {
         self.docs.push(doc);
-        let mut pushed = 0usize;
-        for (term, count) in terms {
-            pushed += 1;
+        // Canonical token-stream positions: terms laid out in
+        // ascending term-id order, each occupying `count` consecutive
+        // slots, so a term's run starts at the sum of smaller terms'
+        // counts.
+        let mut sorted: Vec<(u32, u32)> = terms.into_iter().collect();
+        sorted.sort_unstable_by_key(|&(term, _)| term);
+        let mut next_pos = 0u32;
+        for &(term, count) in &sorted {
             self.term_slots = self.term_slots.max(term + 1);
             self.terms.entry(term).or_default().push(RawEntry {
                 doc: doc as u64,
                 count,
                 doc_length: length,
+                pos: next_pos,
             });
+            next_pos += count;
         }
-        self.weight += pushed.max(1);
+        self.weight += sorted.len().max(1);
     }
 
     /// Accumulated weight (postings, with term-less documents counting

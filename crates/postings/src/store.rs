@@ -10,14 +10,6 @@ use crate::builder::CompressedPostingBuilder;
 use crate::cursor::CompressedBlockCursor;
 use crate::list::CompressedPostingList;
 
-fn to_raw(posting: &Posting) -> RawEntry {
-    RawEntry {
-        doc: u64::from(posting.doc.0),
-        count: posting.count,
-        doc_length: posting.doc_length,
-    }
-}
-
 fn to_posting(entry: RawEntry) -> Posting {
     Posting {
         // Doc keys built from `DocId` round-trip losslessly: the codec
@@ -42,12 +34,31 @@ pub struct CompressedPostingStore {
 
 impl CompressedPostingStore {
     /// Compresses every posting list of an index.
+    ///
+    /// Positions follow the canonical token-stream convention: terms
+    /// in ascending id order, each occupying `count` consecutive
+    /// slots. Sweeping the term-ordered lists while tracking each
+    /// document's cumulative count yields every entry's run start in
+    /// one pass over the postings.
     pub fn from_index(index: &InvertedIndex) -> Self {
+        let mut next_pos: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         Self {
             lists: index
                 .posting_lists()
                 .iter()
-                .map(|list| CompressedPostingBuilder::from_sorted(list.iter().map(to_raw)))
+                .map(|list| {
+                    CompressedPostingBuilder::from_sorted(list.iter().map(|posting| {
+                        let slot = next_pos.entry(posting.doc.0).or_insert(0);
+                        let pos = *slot;
+                        *slot += posting.count;
+                        RawEntry {
+                            doc: u64::from(posting.doc.0),
+                            count: posting.count,
+                            doc_length: posting.doc_length,
+                            pos,
+                        }
+                    }))
+                })
                 .collect(),
         }
     }
@@ -150,6 +161,13 @@ impl PostingStore for CompressedPostingStore {
                 _ => BlockScoredList::from_doc_ordered(Vec::new(), BLOCK_SIZE),
             })
             .collect()
+    }
+
+    /// Override: a point lookup through the stored positional column —
+    /// one block decoded at most, no scan of the smaller-id lists.
+    fn term_positions(&self, term: TermId, doc: DocId) -> Option<Vec<u32>> {
+        let entry = self.list(term)?.entry_for(u64::from(doc.0))?;
+        Some((entry.pos..entry.pos + entry.count).collect())
     }
 
     /// Override: one [`CompressedBlockCursor`] per term, decoding
@@ -335,6 +353,25 @@ mod tests {
         );
         let eager = zerber_index::block_max_topk(&store.weighted_block_lists(&weights), 3);
         assert_eq!(scratch.ranked, eager);
+    }
+
+    #[test]
+    fn stored_positions_match_the_derived_canonical_runs() {
+        // The compressed store's positional column must agree with the
+        // raw backend's scan-derived canonical positions for every
+        // (term, doc) pair — and miss identically on absent pairs.
+        let index = sample_index(300, 7);
+        let raw = RawPostingStore::from_index(&index);
+        let compressed = CompressedPostingStore::from_index(&index);
+        for term in (0..raw.term_count() as u32).map(TermId) {
+            for doc in (0..300u32).map(DocId) {
+                assert_eq!(
+                    compressed.term_positions(term, doc),
+                    raw.term_positions(term, doc),
+                    "term {term} doc {doc}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,17 +15,21 @@ use zerber_postings::{
 /// Sorted lists with doc keys drawn from the full u64 range, so block
 /// and list boundaries see gaps far beyond 2³².
 fn arb_entries() -> impl Strategy<Value = Vec<RawEntry>> {
-    prop::collection::btree_map(any::<u64>(), (any::<u32>(), any::<u32>()), 0..400).prop_map(
-        |map: BTreeMap<u64, (u32, u32)>| {
-            map.into_iter()
-                .map(|(doc, (count, doc_length))| RawEntry {
-                    doc,
-                    count,
-                    doc_length,
-                })
-                .collect()
-        },
+    prop::collection::btree_map(
+        any::<u64>(),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        0..400,
     )
+    .prop_map(|map: BTreeMap<u64, (u32, u32, u32)>| {
+        map.into_iter()
+            .map(|(doc, (count, doc_length, pos))| RawEntry {
+                doc,
+                count,
+                doc_length,
+                pos,
+            })
+            .collect()
+    })
 }
 
 fn compress(entries: &[RawEntry]) -> CompressedPostingList {
@@ -42,7 +46,7 @@ proptest! {
 
     #[test]
     fn single_element_lists_round_trip(doc in any::<u64>(), count in any::<u32>()) {
-        let entries = vec![RawEntry { doc, count, doc_length: count / 2 }];
+        let entries = vec![RawEntry { doc, count, doc_length: count / 2, pos: count.wrapping_mul(3) }];
         prop_assert_eq!(compress(&entries).decode_all(), entries);
     }
 
@@ -94,6 +98,7 @@ fn gaps_beyond_u32_cross_block_boundaries() {
             doc: i << 33,
             count: i as u32,
             doc_length: 1 + i as u32,
+            pos: (i as u32) * 2,
         })
         .collect();
     let list = compress(&entries);

@@ -1,0 +1,205 @@
+//! The query AST and its normal form.
+//!
+//! Three shapes cover the serving workload: bag-of-words disjunctive
+//! ranking ([`Query::Terms`]), conjunctive filtering ([`Query::And`]),
+//! and exact phrase matching ([`Query::Phrase`]). Normalization maps
+//! every query to a canonical spelling so that the result cache can
+//! key on bytes: `Terms` sorts its terms (duplicates kept — a repeated
+//! term scores twice, so dropping it would change results), `And`
+//! sorts and deduplicates (conjunctive semantics are set semantics),
+//! and `Phrase` is order-sensitive and stays untouched.
+
+use zerber_index::TermId;
+
+/// The shape of a query — what the evaluator must guarantee, not how
+/// it runs (that is the planner's choice, see [`crate::plan()`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// Disjunctive bag-of-words: rank every document containing any
+    /// query term by its summed TF·IDF contributions.
+    Terms,
+    /// Conjunctive: rank only documents containing *all* distinct
+    /// query terms.
+    And,
+    /// Exact phrase: conjunctive, plus the terms must occur at
+    /// consecutive positions of the document's canonical token stream.
+    Phrase,
+}
+
+impl QueryShape {
+    /// Stable single-byte encoding for wire frames and cache keys.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            QueryShape::Terms => 0,
+            QueryShape::And => 1,
+            QueryShape::Phrase => 2,
+        }
+    }
+
+    /// Inverse of [`QueryShape::as_u8`]; `None` on an unknown byte.
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(QueryShape::Terms),
+            1 => Some(QueryShape::And),
+            2 => Some(QueryShape::Phrase),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed query: a shape, its terms, and the result budget `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Disjunctive bag-of-words top-k.
+    Terms { terms: Vec<TermId>, k: usize },
+    /// Conjunctive top-k over the distinct terms.
+    And { terms: Vec<TermId>, k: usize },
+    /// Exact-phrase top-k; term order is the phrase order.
+    Phrase { terms: Vec<TermId>, k: usize },
+}
+
+impl Query {
+    /// This query's shape.
+    pub fn shape(&self) -> QueryShape {
+        match self {
+            Query::Terms { .. } => QueryShape::Terms,
+            Query::And { .. } => QueryShape::And,
+            Query::Phrase { .. } => QueryShape::Phrase,
+        }
+    }
+
+    /// The result budget.
+    pub fn k(&self) -> usize {
+        match self {
+            Query::Terms { k, .. } | Query::And { k, .. } | Query::Phrase { k, .. } => *k,
+        }
+    }
+
+    /// The term list (phrase order for [`Query::Phrase`]).
+    pub fn terms(&self) -> &[TermId] {
+        match self {
+            Query::Terms { terms, .. } | Query::And { terms, .. } | Query::Phrase { terms, .. } => {
+                terms
+            }
+        }
+    }
+
+    /// The canonical spelling: semantically equal queries normalize to
+    /// byte-equal forms, so cache keys collide exactly when results
+    /// must. `Terms` sorts (keeping duplicates — each occurrence
+    /// contributes to the score), `And` sorts and deduplicates,
+    /// `Phrase` keeps its order.
+    pub fn normalized(mut self) -> Query {
+        match &mut self {
+            Query::Terms { terms, .. } => terms.sort_unstable(),
+            Query::And { terms, .. } => {
+                terms.sort_unstable();
+                terms.dedup();
+            }
+            Query::Phrase { .. } => {}
+        }
+        self
+    }
+
+    /// The cache key of this (already normalized) query under a store
+    /// epoch: `[shape][k][epoch][terms…]`, all little-endian. Baking
+    /// the epoch in makes write invalidation free — a write bumps the
+    /// epoch, every old key becomes unreachable, and LRU reclaims the
+    /// dead entries.
+    pub fn cache_key(&self, epoch: u64) -> Vec<u8> {
+        let terms = self.terms();
+        let mut key = Vec::with_capacity(1 + 8 + 8 + terms.len() * 4);
+        key.push(self.shape().as_u8());
+        key.extend_from_slice(&(self.k() as u64).to_le_bytes());
+        key.extend_from_slice(&epoch.to_le_bytes());
+        for term in terms {
+            key.extend_from_slice(&term.0.to_le_bytes());
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(ids: &[u32]) -> Vec<TermId> {
+        ids.iter().map(|&t| TermId(t)).collect()
+    }
+
+    #[test]
+    fn normalization_is_shape_aware() {
+        let q = Query::Terms {
+            terms: terms(&[3, 1, 3]),
+            k: 5,
+        }
+        .normalized();
+        assert_eq!(q.terms(), terms(&[1, 3, 3]).as_slice(), "duplicates kept");
+
+        let q = Query::And {
+            terms: terms(&[3, 1, 3]),
+            k: 5,
+        }
+        .normalized();
+        assert_eq!(q.terms(), terms(&[1, 3]).as_slice(), "and dedups");
+
+        let q = Query::Phrase {
+            terms: terms(&[3, 1, 3]),
+            k: 5,
+        }
+        .normalized();
+        assert_eq!(q.terms(), terms(&[3, 1, 3]).as_slice(), "phrase order kept");
+    }
+
+    #[test]
+    fn cache_keys_separate_shape_k_epoch_and_terms() {
+        let base = Query::And {
+            terms: terms(&[1, 2]),
+            k: 10,
+        };
+        let key = base.cache_key(7);
+        // Same query, same epoch: byte-equal keys.
+        assert_eq!(key, base.clone().cache_key(7));
+        // Any varied component separates the keys.
+        assert_ne!(key, base.cache_key(8));
+        assert_ne!(
+            key,
+            Query::Terms {
+                terms: terms(&[1, 2]),
+                k: 10
+            }
+            .cache_key(7)
+        );
+        assert_ne!(
+            key,
+            Query::And {
+                terms: terms(&[1, 2]),
+                k: 11
+            }
+            .cache_key(7)
+        );
+        assert_ne!(
+            key,
+            Query::And {
+                terms: terms(&[1, 3]),
+                k: 10
+            }
+            .cache_key(7)
+        );
+        // Normalization makes spelled-differently queries collide.
+        let scrambled = Query::And {
+            terms: terms(&[2, 1, 2]),
+            k: 10,
+        }
+        .normalized();
+        assert_eq!(key, scrambled.cache_key(7));
+    }
+
+    #[test]
+    fn shape_bytes_round_trip() {
+        for shape in [QueryShape::Terms, QueryShape::And, QueryShape::Phrase] {
+            assert_eq!(QueryShape::from_u8(shape.as_u8()), Some(shape));
+        }
+        assert_eq!(QueryShape::from_u8(3), None);
+    }
+}

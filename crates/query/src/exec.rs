@@ -1,0 +1,380 @@
+//! The evaluators: block-max TA, MaxScore, conjunctive leapfrog, and
+//! phrase matching — all over [`BlockCursor`] sorted access, all
+//! **bit-identical** to the exhaustive oracles in [`crate::oracle`].
+//!
+//! Bit-identity is the load-bearing invariant (shard fan-out merges
+//! candidate lists by exact score, so a one-ulp divergence between
+//! backends or evaluators would make sharded results depend on
+//! placement). It rests on three rules every evaluator here obeys:
+//!
+//! 1. A document's score is the sum of its per-slot contributions
+//!    accumulated **in slot order** — f64 addition is commutative but
+//!    not associative, so the grouping order is part of the contract.
+//! 2. Pruning bounds are compared **strictly** (`<`), and any bound
+//!    assembled in a different summation order than rule 1 prescribes
+//!    is inflated by a rigorous rounding margin before use, so a
+//!    tie-by-bits can never be skipped.
+//! 3. The final ranking is `sort_by(RankedDoc::result_order)` then
+//!    `truncate(k)` — the same total order everywhere.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use zerber_index::{
+    block_max_topk_cursors, BlockCursor, DocId, PostingStore, QueryCost, RankedDoc, TermId,
+    TopKScratch,
+};
+
+use crate::ast::QueryShape;
+use crate::plan::{plan, EvaluatorKind, Forced};
+
+/// The result of one planned query evaluation on one store.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Top-k documents, `(score desc, doc asc)`.
+    pub ranked: Vec<RankedDoc>,
+    /// Block decode accounting across the query's cursors.
+    pub cost: QueryCost,
+    /// The evaluator the planner chose.
+    pub plan: EvaluatorKind,
+}
+
+/// Plans and evaluates one query against a store. `slots` are the
+/// query's `(term, weight)` pairs in query order (phrase order for
+/// [`QueryShape::Phrase`], duplicates allowed); weights must be
+/// non-negative and finite.
+pub fn execute(
+    store: &dyn PostingStore,
+    shape: QueryShape,
+    slots: &[(TermId, f64)],
+    k: usize,
+    forced: Forced,
+    scratch: &mut TopKScratch,
+) -> QueryOutcome {
+    let plan = plan(shape, slots.len(), forced);
+    match plan {
+        EvaluatorKind::BlockMaxTa => {
+            let mut cursors = store.query_cursors(slots);
+            block_max_topk_cursors(&mut cursors, k, scratch);
+            QueryOutcome {
+                ranked: scratch.take_ranked(),
+                cost: QueryCost::of(&cursors),
+                plan,
+            }
+        }
+        EvaluatorKind::MaxScore => {
+            let mut cursors = store.query_cursors(slots);
+            let ranked = maxscore_topk(&mut cursors, k);
+            QueryOutcome {
+                ranked,
+                cost: QueryCost::of(&cursors),
+                plan,
+            }
+        }
+        EvaluatorKind::Conjunctive => {
+            let distinct = distinct_slots(slots);
+            let mut cursors = store.query_cursors(&distinct);
+            let ranked = conjunctive_topk(&mut cursors, k, |_| true);
+            QueryOutcome {
+                ranked,
+                cost: QueryCost::of(&cursors),
+                plan,
+            }
+        }
+        EvaluatorKind::Phrase => {
+            let phrase: Vec<TermId> = slots.iter().map(|&(t, _)| t).collect();
+            let distinct = distinct_slots(slots);
+            let mut cursors = store.query_cursors(&distinct);
+            let ranked = if phrase.is_empty() {
+                Vec::new()
+            } else {
+                conjunctive_topk(&mut cursors, k, |doc| phrase_match(store, &phrase, doc))
+            };
+            QueryOutcome {
+                ranked,
+                cost: QueryCost::of(&cursors),
+                plan,
+            }
+        }
+    }
+}
+
+/// The distinct `(term, weight)` slots in first-occurrence order —
+/// the scoring slots of conjunctive and phrase evaluation (a phrase
+/// repeating a term constrains positions twice but scores it once).
+pub fn distinct_slots(slots: &[(TermId, f64)]) -> Vec<(TermId, f64)> {
+    let mut distinct: Vec<(TermId, f64)> = Vec::with_capacity(slots.len());
+    for &(term, weight) in slots {
+        if !distinct.iter().any(|&(t, _)| t == term) {
+            distinct.push((term, weight));
+        }
+    }
+    distinct
+}
+
+/// Does `doc` contain the exact phrase? Positions are canonical
+/// token-stream runs ([`PostingStore::term_positions`]): the phrase
+/// matches iff some start position `p` of slot 0 has every later slot
+/// `i` occurring at `p + i`.
+pub fn phrase_match(store: &dyn PostingStore, phrase: &[TermId], doc: DocId) -> bool {
+    let mut position_lists = Vec::with_capacity(phrase.len());
+    for &term in phrase {
+        match store.term_positions(term, doc) {
+            Some(positions) if !positions.is_empty() => position_lists.push(positions),
+            _ => return false,
+        }
+    }
+    position_lists[0].iter().any(|&start| {
+        (1..phrase.len()).all(|i| match start.checked_add(i as u32) {
+            Some(want) => position_lists[i].binary_search(&want).is_ok(),
+            None => false,
+        })
+    })
+}
+
+/// An f64 score with the total order [`f64::total_cmp`] — the heap key
+/// for the local top-k threshold (scores are non-negative and finite,
+/// where `total_cmp` agrees with the numeric order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdScore(f64);
+
+impl Eq for OrdScore {}
+
+impl PartialOrd for OrdScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Smallest current document across the cursors selected by `chosen`,
+/// decoding only bound-tied cursors — the fixpoint of
+/// [`zerber_index::block_max_topk_cursors`], restricted to a subset so
+/// MaxScore can enumerate candidates from the essential frontier only.
+fn select_exact_min(cursors: &mut [Box<dyn BlockCursor + '_>], chosen: &[usize]) -> Option<DocId> {
+    loop {
+        let mut min: Option<DocId> = None;
+        for &i in chosen {
+            let cursor = &cursors[i];
+            if !cursor.at_end() {
+                let bound = cursor.doc_lower_bound();
+                min = Some(min.map_or(bound, |m: DocId| m.min(bound)));
+            }
+        }
+        let min = min?;
+        let mut all_exact = true;
+        for &i in chosen {
+            let cursor = &mut cursors[i];
+            if !cursor.at_end() && !cursor.is_exact() && cursor.doc_lower_bound() == min {
+                // May pin the position at `min`, raise the bound past
+                // it, or discover exhaustion — re-evaluate either way.
+                let _ = cursor.materialize();
+                all_exact = false;
+                break;
+            }
+        }
+        if all_exact {
+            return Some(min);
+        }
+    }
+}
+
+/// MaxScore top-k: cursors are partitioned by their static whole-list
+/// σ bound ([`BlockCursor::list_max_score`]) into *non-essential*
+/// (smallest bounds, their σ prefix sum strictly below the current
+/// k-th score) and *essential* (the rest). Candidates are enumerated
+/// from the essential frontier only — a document absent from every
+/// essential list scores at most the non-essential σ sum, which is
+/// strictly below the k-th score, so it can never rank — and
+/// non-essential lists are probed by `advance_past` seek per
+/// candidate. As the threshold rises, more lists demote; the demotion
+/// is monotone, so sorted-access work on long low-σ lists stops early.
+///
+/// Per-document pruning by partial score is deliberately **absent**: a
+/// partial-sum bound would be assembled in σ order, not slot order,
+/// and f64 addition is order-sensitive, so such a bound could undercut
+/// the true slot-order score by ulps and skip a tie. List-level σ
+/// prefix sums face the same hazard, which `safe_upper` covers with
+/// a rigorous rounding margin. Scores themselves are always summed in
+/// original slot order — bit-identical to the exhaustive oracle.
+pub fn maxscore_topk(cursors: &mut [Box<dyn BlockCursor + '_>], k: usize) -> Vec<RankedDoc> {
+    let mut ranked = Vec::new();
+    if k == 0 || cursors.is_empty() {
+        return ranked;
+    }
+
+    // Cursor indices ascending by σ; `prefix[n]` = σ sum of the n
+    // smallest. Cursors stay in their original slots — `order` only
+    // names them — so contribution sums keep the slot order.
+    let mut order: Vec<usize> = (0..cursors.len()).collect();
+    order.sort_by(|&a, &b| {
+        cursors[a]
+            .list_max_score()
+            .total_cmp(&cursors[b].list_max_score())
+    });
+    let mut prefix = Vec::with_capacity(order.len() + 1);
+    prefix.push(0.0f64);
+    for &i in &order {
+        prefix.push(prefix.last().unwrap() + cursors[i].list_max_score());
+    }
+
+    let mut best: BinaryHeap<Reverse<OrdScore>> = BinaryHeap::new();
+    // Count of non-essential cursors (a prefix of `order`); only ever
+    // grows, because the k-th score only rises.
+    let mut n_non = 0usize;
+    let mut contributions: Vec<Option<f64>> = vec![None; cursors.len()];
+
+    loop {
+        if best.len() == k {
+            let kth = best.peek().expect("heap holds k scores").0 .0;
+            while n_non < order.len() && safe_upper(prefix[n_non + 1], n_non + 1) < kth {
+                n_non += 1;
+            }
+        }
+        if n_non >= order.len() {
+            // Every document left is bounded strictly below the k-th
+            // score by the full σ sum.
+            break;
+        }
+        let Some(candidate) = select_exact_min(cursors, &order[n_non..]) else {
+            // Essential lists exhausted; whatever remains lives only
+            // in non-essential lists and is bounded below the k-th
+            // score (n_non > 0 implies the heap is full).
+            break;
+        };
+
+        // Essential cursors parked on the candidate contribute and
+        // advance (select_exact_min's postcondition: every cursor that
+        // could hold the candidate is exact).
+        contributions.iter_mut().for_each(|c| *c = None);
+        for &i in &order[n_non..] {
+            let cursor = &mut cursors[i];
+            if cursor.at_end() || !cursor.is_exact() {
+                continue;
+            }
+            let (doc, score) = cursor.materialize().expect("exact cursor has an entry");
+            if doc == candidate {
+                contributions[i] = Some(score);
+                cursor.step();
+            }
+        }
+        // Non-essential cursors are probed by seek: jump to the first
+        // posting ≥ candidate, contribute on a hit.
+        for &i in &order[..n_non] {
+            let cursor = &mut cursors[i];
+            if cursor.at_end() {
+                continue;
+            }
+            if candidate.0 > 0 {
+                cursor.advance_past(DocId(candidate.0 - 1));
+            }
+            if cursor.at_end() || cursor.doc_lower_bound() > candidate {
+                continue;
+            }
+            if let Some((doc, score)) = cursor.materialize() {
+                if doc == candidate {
+                    contributions[i] = Some(score);
+                    cursor.step();
+                }
+            }
+        }
+
+        // Sum in original slot order — the bit-identity contract.
+        let mut score = 0.0;
+        for contribution in contributions.iter().flatten() {
+            score += contribution;
+        }
+        ranked.push(RankedDoc {
+            doc: candidate,
+            score,
+        });
+        if best.len() < k {
+            best.push(Reverse(OrdScore(score)));
+        } else if score > best.peek().expect("heap holds k scores").0 .0 {
+            best.pop();
+            best.push(Reverse(OrdScore(score)));
+        }
+    }
+
+    ranked.sort_by(RankedDoc::result_order);
+    ranked.truncate(k);
+    ranked
+}
+
+/// A rigorous upper bound on the sum of `n` non-negative f64 addends
+/// whose σ-order computed sum is `computed`: any other summation order
+/// (in particular the slot order actual scores use) differs from the
+/// exact sum by at most `(n-1)·ε` relatively, so inflating by `2nε`
+/// dominates both roundings. Without this margin a score equal to the
+/// bound up to one ulp could be pruned — a lost tie.
+fn safe_upper(computed: f64, n: usize) -> f64 {
+    computed * (1.0 + 2.0 * n as f64 * f64::EPSILON)
+}
+
+/// Conjunctive leapfrog top-k: all cursors align on a document via
+/// `advance_past` seeks to the running maximum; each aligned document
+/// passes through `accept` (the phrase filter, or always-true for
+/// plain AND), and accepted documents score as the slot-order sum of
+/// their per-cursor contributions. No threshold pruning — conjunctive
+/// selectivity already bounds the candidate set — so every match is
+/// scored and the final sort/truncate picks the top k.
+pub fn conjunctive_topk(
+    cursors: &mut [Box<dyn BlockCursor + '_>],
+    k: usize,
+    mut accept: impl FnMut(DocId) -> bool,
+) -> Vec<RankedDoc> {
+    let mut ranked = Vec::new();
+    if cursors.is_empty() {
+        return ranked;
+    }
+    'scan: loop {
+        // Materialize everyone; the running maximum is the only doc
+        // that could be a match.
+        let mut target = DocId(0);
+        for cursor in cursors.iter_mut() {
+            let Some((doc, _)) = cursor.materialize() else {
+                break 'scan;
+            };
+            target = target.max(doc);
+        }
+        // Leapfrog: cursors strictly below the target seek past
+        // `target - 1`; a single pass may overshoot (raising the
+        // target), so re-run until alignment.
+        let mut aligned = true;
+        for cursor in cursors.iter_mut() {
+            let Some((doc, _)) = cursor.materialize() else {
+                break 'scan;
+            };
+            if doc < target {
+                cursor.advance_past(DocId(target.0 - 1));
+                aligned = false;
+            }
+        }
+        if !aligned {
+            continue;
+        }
+        if accept(target) {
+            // Slot-order contribution sum — the bit-identity contract.
+            let mut score = 0.0;
+            for cursor in cursors.iter_mut() {
+                let (doc, contribution) =
+                    cursor.materialize().expect("aligned cursor has an entry");
+                debug_assert_eq!(doc, target);
+                score += contribution;
+            }
+            ranked.push(RankedDoc { doc: target, score });
+        }
+        for cursor in cursors.iter_mut() {
+            let _ = cursor.materialize();
+            cursor.step();
+        }
+    }
+    ranked.sort_by(RankedDoc::result_order);
+    ranked.truncate(k);
+    ranked
+}

@@ -1,0 +1,33 @@
+//! The Zerber query engine: AST, planner, evaluators, result cache.
+//!
+//! The index crates answer "what are this term's scored postings";
+//! this crate answers "what are this *query's* top-k documents". It
+//! sits between the storage backends (anything implementing
+//! [`zerber_index::PostingStore`]) and the serving runtime:
+//!
+//! * [`ast`] — the query shapes ([`Query::Terms`] / [`Query::And`] /
+//!   [`Query::Phrase`]), normalization, and epoch-keyed cache keys;
+//! * [`plan()`] — the shape → evaluator planner, with a [`plan::Forced`]
+//!   override so benchmarks can pit TA against MaxScore head-to-head;
+//! * [`exec`] — the evaluators over [`zerber_index::BlockCursor`]
+//!   sorted access: the block-max Threshold Algorithm (re-exported
+//!   from `zerber-index`), MaxScore with whole-list σ partitioning,
+//!   conjunctive leapfrog, and phrase matching over the positional
+//!   column;
+//! * [`oracle`] — exhaustive reference evaluators; every [`exec`]
+//!   evaluator is property-tested **bit-identical** against them;
+//! * [`cache`] — the sharded LRU result cache whose keys embed the
+//!   store epoch, so write invalidation is free.
+
+pub mod ast;
+pub mod cache;
+pub mod exec;
+pub mod oracle;
+pub mod plan;
+
+pub use ast::{Query, QueryShape};
+pub use cache::{CacheConfig, ResultCache};
+pub use exec::{
+    conjunctive_topk, distinct_slots, execute, maxscore_topk, phrase_match, QueryOutcome,
+};
+pub use plan::{plan, EvaluatorKind, Forced};

@@ -1,0 +1,124 @@
+//! Exhaustive reference evaluators — the ground truth the cursor
+//! evaluators in [`crate::exec`] are property-tested against.
+//!
+//! Every oracle walks raw postings through [`PostingStore::postings`]
+//! (no cursors, no pruning, no stored skip metadata) and accumulates
+//! each document's score slot-by-slot **in slot order** — the same
+//! floating-point summation sequence the evaluators use, so agreement
+//! is checked bit for bit, not approximately. The phrase oracle even
+//! re-derives positions from scratch (summing smaller-term counts)
+//! instead of trusting [`PostingStore::term_positions`], so a backend
+//! with a buggy positional column cannot agree with it by accident.
+
+use std::collections::HashMap;
+
+use zerber_index::{DocId, PostingStore, RankedDoc, TermId};
+
+use crate::exec::distinct_slots;
+
+/// Exhaustive disjunctive top-k: every posting of every slot scored,
+/// per-document sums accumulated in slot order.
+pub fn oracle_terms(store: &dyn PostingStore, slots: &[(TermId, f64)], k: usize) -> Vec<RankedDoc> {
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for &(term, weight) in slots {
+        for posting in store.postings(term) {
+            *scores.entry(posting.doc.0).or_insert(0.0) += posting.term_frequency() * weight;
+        }
+    }
+    rank(
+        scores.into_iter().map(|(doc, score)| RankedDoc {
+            doc: DocId(doc),
+            score,
+        }),
+        k,
+    )
+}
+
+/// Exhaustive conjunctive top-k over the distinct slots.
+pub fn oracle_and(store: &dyn PostingStore, slots: &[(TermId, f64)], k: usize) -> Vec<RankedDoc> {
+    rank(conjunctive_matches(store, &distinct_slots(slots)), k)
+}
+
+/// Exhaustive phrase top-k: conjunctive matches over the distinct
+/// slots, filtered by an independently derived positional check.
+pub fn oracle_phrase(
+    store: &dyn PostingStore,
+    slots: &[(TermId, f64)],
+    k: usize,
+) -> Vec<RankedDoc> {
+    let phrase: Vec<TermId> = slots.iter().map(|&(t, _)| t).collect();
+    if phrase.is_empty() {
+        return Vec::new();
+    }
+    let matches = conjunctive_matches(store, &distinct_slots(slots))
+        .filter(|ranked| naive_phrase_match(store, &phrase, ranked.doc));
+    rank(matches, k)
+}
+
+/// All documents containing every distinct slot term, scored in slot
+/// order (iteration order of the result is arbitrary; [`rank`]
+/// imposes the total order).
+fn conjunctive_matches<'a>(
+    store: &'a dyn PostingStore,
+    distinct: &[(TermId, f64)],
+) -> impl Iterator<Item = RankedDoc> + 'a {
+    let mut hits: HashMap<u32, (f64, usize)> = HashMap::new();
+    for &(term, weight) in distinct {
+        for posting in store.postings(term) {
+            let slot = hits.entry(posting.doc.0).or_insert((0.0, 0));
+            slot.0 += posting.term_frequency() * weight;
+            slot.1 += 1;
+        }
+    }
+    let needed = distinct.len();
+    hits.into_iter()
+        .filter(move |&(_, (_, seen))| seen == needed)
+        .map(|(doc, (score, _))| RankedDoc {
+            doc: DocId(doc),
+            score,
+        })
+}
+
+/// Phrase check from first principles: each slot's canonical run is
+/// re-derived as `[start, start + count)` with `start` = the sum of
+/// the document's smaller-term counts, scanned straight off the raw
+/// posting lists.
+fn naive_phrase_match(store: &dyn PostingStore, phrase: &[TermId], doc: DocId) -> bool {
+    // One pass over every term's list collects the doc's term counts.
+    let mut counts: Vec<(u32, u32)> = Vec::new();
+    for term in 0..store.term_count() as u32 {
+        if let Some(posting) = store.postings(TermId(term)).find(|p| p.doc == doc) {
+            counts.push((term, posting.count));
+        }
+    }
+    let run = |term: TermId| -> Option<(u64, u64)> {
+        let mut start = 0u64;
+        for &(t, count) in &counts {
+            if t < term.0 {
+                start += u64::from(count);
+            } else if t == term.0 {
+                return Some((start, start + u64::from(count)));
+            }
+        }
+        None
+    };
+    let Some((first_lo, first_hi)) = run(phrase[0]) else {
+        return false;
+    };
+    (first_lo..first_hi).any(|p0| {
+        phrase.iter().enumerate().skip(1).all(|(i, &term)| {
+            run(term).is_some_and(|(lo, hi)| {
+                let want = p0 + i as u64;
+                want >= lo && want < hi
+            })
+        })
+    })
+}
+
+/// The shared tail: total order `(score desc, doc asc)`, truncated.
+fn rank(matches: impl Iterator<Item = RankedDoc>, k: usize) -> Vec<RankedDoc> {
+    let mut ranked: Vec<RankedDoc> = matches.collect();
+    ranked.sort_by(RankedDoc::result_order);
+    ranked.truncate(k);
+    ranked
+}

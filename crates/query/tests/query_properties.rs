@@ -1,0 +1,250 @@
+//! The evaluator bit-identity battery: every planned evaluator —
+//! MaxScore, conjunctive, phrase, and the block-max TA it shares a
+//! planner with — returns **bit-for-bit** the same ranked results as
+//! the exhaustive oracles, on arbitrary corpora, across all four
+//! posting backends (live index, raw lists, compressed blocks, and an
+//! LSM snapshot straddling a flushed segment and live memtable
+//! deltas). Plus the pruning claims: MaxScore never decodes more
+//! blocks than exist, and on a selective workload decodes strictly
+//! fewer.
+
+use proptest::prelude::*;
+use zerber_index::{
+    DocId, Document, GroupId, InvertedIndex, PostingStore, RankedDoc, RawPostingStore,
+    SegmentPolicy, TermId, TopKScratch,
+};
+use zerber_postings::CompressedPostingStore;
+use zerber_query::{execute, oracle, Forced, QueryShape};
+use zerber_segment::{scratch_dir, SegmentStore};
+
+const TERMS: u32 = 12;
+
+fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+/// Arbitrary corpora over a small vocabulary: runs of consecutive term
+/// ids are common, so phrase queries genuinely match.
+fn arb_corpus() -> impl Strategy<Value = Vec<Document>> {
+    prop::collection::btree_map(
+        0..40u32,
+        (
+            // A consecutive run start + length: guarantees adjacency.
+            0..TERMS,
+            1..4u32,
+            // Plus a few scattered extra terms.
+            prop::collection::btree_map(0..TERMS, 1..3u32, 0..4),
+        ),
+        1..25,
+    )
+    .prop_map(|map| {
+        map.into_iter()
+            .map(|(id, (start, run, extra))| {
+                let mut terms: Vec<(u32, u32)> = (start..(start + run).min(TERMS))
+                    .map(|t| (t, 1 + (id + t) % 3))
+                    .collect();
+                for (t, c) in extra {
+                    if !terms.iter().any(|&(have, _)| have == t) {
+                        terms.push((t, c));
+                    }
+                }
+                doc(id, &terms)
+            })
+            .collect()
+    })
+}
+
+fn arb_query_terms() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..TERMS, 1..4)
+}
+
+/// IDF weights computed once (identical across backends — a weight
+/// mismatch would trivially break cross-backend bit-identity).
+fn slots(index: &InvertedIndex, terms: &[u32]) -> Vec<(TermId, f64)> {
+    let n = index.document_count();
+    terms
+        .iter()
+        .map(|&t| {
+            let term = TermId(t);
+            (term, zerber_index::idf(n, index.document_frequency(term)))
+        })
+        .collect()
+}
+
+/// Runs `check` against all four posting backends.
+fn for_each_backend(docs: &[Document], mut check: impl FnMut(&str, &dyn PostingStore)) {
+    let index = InvertedIndex::from_documents(docs);
+    check("live-index", &index);
+    check("raw", &RawPostingStore::from_index(&index));
+    check("compressed", &CompressedPostingStore::from_index(&index));
+
+    // LSM snapshot: half the docs sealed into a segment, half still in
+    // memtable deltas, so merged shadow cursors are on the query path.
+    let dir = scratch_dir("query-props");
+    let store = SegmentStore::open(
+        &dir,
+        SegmentPolicy {
+            flush_postings: 1_000_000,
+            max_segments: 4,
+            background: false,
+            sync_wal: false,
+        },
+    )
+    .expect("open");
+    let half = docs.len() / 2;
+    store.insert(&docs[..half]).expect("insert");
+    store.flush().expect("flush");
+    store.insert(&docs[half..]).expect("insert");
+    check("segmented", &store.snapshot());
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn assert_bit_identical(label: &str, got: &[RankedDoc], want: &[RankedDoc]) {
+    assert_eq!(got.len(), want.len(), "{label}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.doc, w.doc, "{label}: doc order");
+        assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{label}: score bits for doc {:?}",
+            g.doc
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn disjunctive_evaluators_match_the_oracle(
+        docs in arb_corpus(),
+        terms in arb_query_terms(),
+        k in 1usize..8,
+    ) {
+        let index = InvertedIndex::from_documents(&docs);
+        let slots = slots(&index, &terms);
+        let want = oracle::oracle_terms(&index, &slots, k);
+        let mut scratch = TopKScratch::new();
+        for_each_backend(&docs, |backend, store| {
+            for forced in [Forced::BlockMaxTa, Forced::MaxScore] {
+                let outcome =
+                    execute(store, QueryShape::Terms, &slots, k, forced, &mut scratch);
+                assert_bit_identical(
+                    &format!("{backend}/{forced:?}"),
+                    &outcome.ranked,
+                    &want,
+                );
+                assert!(
+                    outcome.cost.blocks_decoded <= outcome.cost.blocks_total,
+                    "{backend}/{forced:?}: decoded beyond total"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn conjunctive_evaluator_matches_the_oracle(
+        docs in arb_corpus(),
+        terms in arb_query_terms(),
+        k in 1usize..8,
+    ) {
+        let index = InvertedIndex::from_documents(&docs);
+        let slots = slots(&index, &terms);
+        let want = oracle::oracle_and(&index, &slots, k);
+        let mut scratch = TopKScratch::new();
+        for_each_backend(&docs, |backend, store| {
+            let outcome =
+                execute(store, QueryShape::And, &slots, k, Forced::Auto, &mut scratch);
+            assert_bit_identical(&format!("{backend}/and"), &outcome.ranked, &want);
+        });
+    }
+
+    #[test]
+    fn phrase_evaluator_matches_the_oracle(
+        docs in arb_corpus(),
+        start in 0..TERMS,
+        len in 1u32..4,
+        k in 1usize..8,
+    ) {
+        // Phrases are consecutive term-id runs — the shape the
+        // canonical position convention makes matchable — so a healthy
+        // fraction of cases have non-empty results.
+        let terms: Vec<u32> = (start..(start + len).min(TERMS)).collect();
+        let index = InvertedIndex::from_documents(&docs);
+        let slots = slots(&index, &terms);
+        let want = oracle::oracle_phrase(&index, &slots, k);
+        let mut scratch = TopKScratch::new();
+        for_each_backend(&docs, |backend, store| {
+            let outcome =
+                execute(store, QueryShape::Phrase, &slots, k, Forced::Auto, &mut scratch);
+            assert_bit_identical(&format!("{backend}/phrase"), &outcome.ranked, &want);
+        });
+    }
+
+    #[test]
+    fn degenerate_phrases_match_the_oracle(
+        docs in arb_corpus(),
+        terms in prop::collection::vec(0..TERMS, 1..4),
+        k in 1usize..8,
+    ) {
+        // Arbitrary (mostly non-adjacent, possibly repeating) phrases:
+        // usually empty results, and the evaluator must agree exactly.
+        let index = InvertedIndex::from_documents(&docs);
+        let slots = slots(&index, &terms);
+        let want = oracle::oracle_phrase(&index, &slots, k);
+        let mut scratch = TopKScratch::new();
+        for_each_backend(&docs, |backend, store| {
+            let outcome =
+                execute(store, QueryShape::Phrase, &slots, k, Forced::Auto, &mut scratch);
+            assert_bit_identical(&format!("{backend}/degenerate"), &outcome.ranked, &want);
+        });
+    }
+}
+
+#[test]
+fn selective_maxscore_decodes_strictly_fewer_blocks() {
+    // A rare term over the first few documents and a common term over
+    // every document: once the heap fills from the rare list, the
+    // common list's σ falls below the threshold, demotes to
+    // non-essential, and its blocks are only probed near rare-list
+    // candidates — strictly fewer decodes than the block count.
+    let docs: Vec<Document> = (0..1600u32)
+        .map(|id| {
+            let mut terms = vec![(0u32, 1u32)];
+            if id < 4 {
+                terms.push((1, 5));
+            }
+            doc(id, &terms)
+        })
+        .collect();
+    let index = InvertedIndex::from_documents(&docs);
+    let store = CompressedPostingStore::from_index(&index);
+    let slots = vec![(TermId(0), 0.001), (TermId(1), 100.0)];
+    let mut scratch = TopKScratch::new();
+    let outcome = execute(
+        &store,
+        QueryShape::Terms,
+        &slots,
+        3,
+        Forced::MaxScore,
+        &mut scratch,
+    );
+    assert_eq!(outcome.ranked.len(), 3);
+    assert_eq!(outcome.ranked[0].doc, DocId(0));
+    assert!(
+        outcome.cost.blocks_decoded < outcome.cost.blocks_total,
+        "MaxScore must skip decode work on a selective query: {:?}",
+        outcome.cost
+    );
+    // And the pruned result still matches the oracle bit for bit.
+    let want = oracle::oracle_terms(&index, &slots, 3);
+    for (g, w) in outcome.ranked.iter().zip(&want) {
+        assert_eq!(g.doc, w.doc);
+        assert_eq!(g.score.to_bits(), w.score.to_bits());
+    }
+}

@@ -55,20 +55,27 @@ impl MemDelta {
         let mut delta = MemDelta::default();
         for (doc, outcome) in net {
             match outcome {
-                Some((length, terms)) => {
+                Some((length, mut terms)) => {
                     delta.live.push(doc);
                     // A term-less document still weighs 1: every
                     // touched doc must add flush pressure, or a stream
                     // of empty inserts could grow the WAL and delta
                     // list forever without crossing the threshold.
                     delta.weight += terms.len().max(1);
+                    // Canonical token-stream positions: terms in
+                    // ascending id order, each occupying `count`
+                    // consecutive slots.
+                    terms.sort_unstable_by_key(|&(term, _)| term);
+                    let mut next_pos = 0u32;
                     for (term, count) in terms {
                         delta.term_slots = delta.term_slots.max(term + 1);
                         delta.terms.entry(term).or_default().push(RawEntry {
                             doc: u64::from(doc),
                             count,
                             doc_length: length,
+                            pos: next_pos,
                         });
+                        next_pos += count;
                     }
                 }
                 None => {

@@ -219,7 +219,10 @@ pub(crate) fn merge_sources(sources: &[&dyn Source], gc_tombstones: bool) -> Seg
 }
 
 const MAGIC: u32 = 0x5A53_4547; // "ZSEG"
-const VERSION: u32 = 1;
+/// Version 2 added the bit-packed positional column to block
+/// payloads; version-1 files would decode garbage positions, so the
+/// bump rejects them cleanly as unsupported.
+const VERSION: u32 = 2;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

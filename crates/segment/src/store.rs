@@ -147,6 +147,11 @@ struct Inner {
     /// open store, so an aborted load's strays (collected only at the
     /// next open) can never collide with a later load's runs.
     bulk_epoch: AtomicU64,
+    /// The MVCC snapshot epoch: bumped under the state write lock by
+    /// every mutation that changes what a snapshot would see (applied
+    /// batches, flushes, compactions, bulk commits). Result caches key
+    /// on it, so any write invalidates cached results for free.
+    epoch: AtomicU64,
     /// Instrument handles when the store was opened observed.
     obs: Option<SegmentMetrics>,
 }
@@ -244,6 +249,7 @@ impl Inner {
             let mut state = self.state.write();
             state.deltas.clear();
             state.mem_weight = 0;
+            self.epoch.fetch_add(1, Ordering::Relaxed);
             drop(state);
             return writer.wal.truncate();
         }
@@ -257,6 +263,7 @@ impl Inner {
             state.segments.push(segment);
             state.deltas.clear();
             state.mem_weight = 0;
+            self.epoch.fetch_add(1, Ordering::Relaxed);
             state
                 .segments
                 .iter()
@@ -314,6 +321,7 @@ impl Inner {
             let mut rebuilt: Vec<Arc<Segment>> = merged.into_iter().collect();
             rebuilt.extend_from_slice(&state.segments[inputs.len()..]);
             state.segments = rebuilt;
+            self.epoch.fetch_add(1, Ordering::Relaxed);
             state
                 .segments
                 .iter()
@@ -455,6 +463,7 @@ impl SegmentStore {
             written: AtomicU64::new(0),
             compaction: Mutex::new(()),
             bulk_epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             obs,
         });
         let compactor = policy.background.then(|| {
@@ -542,6 +551,7 @@ impl SegmentStore {
             let mut state = self.inner.state.write();
             state.mem_weight += delta.weight();
             state.deltas.push(delta);
+            self.inner.epoch.fetch_add(1, Ordering::Relaxed);
             state.mem_weight >= self.inner.policy.flush_postings.max(1)
         };
         if over_threshold {
@@ -582,7 +592,17 @@ impl SegmentStore {
         SegmentSnapshot {
             segments: state.segments.clone(),
             deltas: state.deltas.clone(),
+            epoch: self.inner.epoch.load(Ordering::Relaxed),
         }
+    }
+
+    /// The MVCC snapshot epoch: monotonically increasing, bumped by
+    /// every mutation path (applied insert/delete batches, flushes,
+    /// compactions, bulk commits). Two equal epochs guarantee
+    /// identical query results, so epoch-keyed result caches are
+    /// invalidated for free by any write.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
     }
 
     /// Number of on-disk segments.
@@ -842,6 +862,7 @@ impl SegmentStore {
         let names: Vec<String> = {
             let mut state = self.inner.state.write();
             state.segments.extend(bulk_segments.iter().cloned());
+            self.inner.epoch.fetch_add(1, Ordering::Relaxed);
             state
                 .segments
                 .iter()
@@ -895,6 +916,8 @@ impl Drop for SegmentStore {
 pub struct SegmentSnapshot {
     segments: Vec<Arc<Segment>>,
     deltas: Vec<Arc<MemDelta>>,
+    /// The store's MVCC epoch at capture time.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for SegmentSnapshot {
@@ -980,6 +1003,13 @@ impl SegmentSnapshot {
     pub fn delta_len(&self) -> usize {
         self.deltas.len()
     }
+
+    /// The store's MVCC epoch at capture time. Snapshots with equal
+    /// epochs see identical data, so this is the cache-key component
+    /// that makes epoch-keyed result caches write-consistent.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 fn to_posting(entry: RawEntry) -> Posting {
@@ -1011,6 +1041,38 @@ impl PostingStore for SegmentSnapshot {
         let segments: usize = self.segments.iter().map(|s| s.compressed_bytes()).sum();
         let deltas: usize = self.deltas.iter().map(|d| d.approx_bytes()).sum();
         segments + deltas
+    }
+
+    /// Point lookup under doc-level shadowing: the newest source
+    /// touching the doc defines its current version, so the walk goes
+    /// deltas newest→oldest, then segments newest→oldest, and stops at
+    /// the first toucher. Per-source lookups are binary searches (and
+    /// a single block decode for segments) — no merged-list
+    /// materialization.
+    fn term_positions(&self, term: TermId, doc: DocId) -> Option<Vec<u32>> {
+        let run = |entry: RawEntry| (entry.pos..entry.pos + entry.count).collect();
+        for delta in self.deltas.iter().rev() {
+            if delta.touches(doc.0) {
+                if delta.tombstones().binary_search(&doc.0).is_ok() {
+                    return None;
+                }
+                let entries = delta.term_postings(term.0);
+                let at = entries
+                    .binary_search_by_key(&u64::from(doc.0), |e| e.doc)
+                    .ok()?;
+                return Some(run(entries[at]));
+            }
+        }
+        for segment in self.segments.iter().rev() {
+            if segment.touches(doc.0) {
+                if segment.tombstones().binary_search(&doc.0).is_ok() {
+                    return None;
+                }
+                let entry = segment.list(term.0)?.entry_for(u64::from(doc.0))?;
+                return Some(run(entry));
+            }
+        }
+        None
     }
 
     /// Like the frozen compressed store, reuses stored block-max skip

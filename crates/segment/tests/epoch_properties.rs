@@ -1,0 +1,162 @@
+//! The MVCC epoch contract: every mutation path that changes what a
+//! snapshot would see — applied insert/delete batches, flushes,
+//! compactions, bulk commits — strictly increases
+//! [`SegmentStore::epoch`], and snapshots capture the epoch they were
+//! taken at. Epoch-keyed result caches rely on exactly this: a stale
+//! entry can never be served because its key names an epoch no current
+//! snapshot reports.
+
+use zerber_index::{DocId, Document, GroupId, PostingStore, SegmentPolicy, TermId};
+use zerber_segment::{scratch_dir, BulkConfig, SegmentStore};
+
+fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+fn policy() -> SegmentPolicy {
+    SegmentPolicy {
+        flush_postings: 1_000_000, // flush only when asked
+        max_segments: 1,           // any second segment compacts
+        background: false,
+        sync_wal: false,
+    }
+}
+
+/// Runs one mutation and asserts the epoch strictly increased.
+fn bumps(store: &SegmentStore, what: &str, mutate: impl FnOnce(&SegmentStore)) {
+    let before = store.epoch();
+    mutate(store);
+    assert!(
+        store.epoch() > before,
+        "{what} must bump the epoch (stayed at {before})"
+    );
+}
+
+#[test]
+fn every_mutation_path_bumps_the_epoch() {
+    let dir = scratch_dir("epoch");
+    let store = SegmentStore::open(&dir, policy()).expect("open");
+
+    bumps(&store, "insert", |s| {
+        s.insert(&[doc(1, &[(0, 2), (3, 1)])]).expect("insert");
+    });
+    bumps(&store, "delete", |s| {
+        assert!(s.delete(DocId(1)).expect("delete"));
+    });
+    bumps(&store, "delete of an absent doc", |s| {
+        // Still a mutation: it appends a tombstone a snapshot can see.
+        assert!(!s.delete(DocId(99)).expect("delete"));
+    });
+    bumps(&store, "flush", |s| {
+        s.insert(&[doc(2, &[(1, 1)])]).expect("insert");
+        s.flush().expect("flush");
+    });
+    bumps(&store, "flush that seals an all-tombstone memtable", |s| {
+        s.delete(DocId(2)).expect("delete");
+        s.flush().expect("flush");
+    });
+    bumps(&store, "compaction", |s| {
+        // Two segments with max_segments = 1 force a merge.
+        s.insert(&[doc(3, &[(2, 1)])]).expect("insert");
+        s.flush().expect("flush");
+        let segments = s.segment_count();
+        s.compact().expect("compact");
+        assert!(s.segment_count() < segments, "compaction must have run");
+    });
+    bumps(&store, "bulk load", |s| {
+        s.bulk_load(&[doc(7, &[(4, 2)])], BulkConfig::default())
+            .expect("bulk load");
+    });
+
+    // A no-op flush (empty memtable) leaves visible state unchanged;
+    // the epoch may stay put — what matters is it never goes back.
+    let before = store.epoch();
+    store.flush().expect("no-op flush");
+    assert!(store.epoch() >= before, "the epoch never decreases");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshots_capture_the_epoch_and_stay_pinned() {
+    let dir = scratch_dir("epoch-snap");
+    let store = SegmentStore::open(&dir, policy()).expect("open");
+    store.insert(&[doc(1, &[(0, 1)])]).expect("insert");
+
+    let old = store.snapshot();
+    assert_eq!(old.epoch(), store.epoch());
+
+    store.insert(&[doc(2, &[(0, 3)])]).expect("insert");
+    let new = store.snapshot();
+    assert!(
+        new.epoch() > old.epoch(),
+        "a write must separate the snapshots' epochs"
+    );
+    // The pinned snapshot still answers from its own world.
+    assert_eq!(old.document_frequency(TermId(0)), 1);
+    assert_eq!(new.document_frequency(TermId(0)), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The positional column under shadowing: `term_positions` on a
+/// snapshot must report the canonical run (terms in ascending id
+/// order, each occupying `count` consecutive slots) of the *newest*
+/// version of a document, wherever it lives — delta over segment,
+/// newer segment over older — and `None` once tombstoned.
+#[test]
+fn term_positions_respect_shadowing_across_sources() {
+    let dir = scratch_dir("epoch-pos");
+    let store = SegmentStore::open(&dir, policy()).expect("open");
+
+    // v1 of doc 1 in a segment: terms 2 (count 2) then 5 (count 1).
+    store.insert(&[doc(1, &[(5, 1), (2, 2)])]).expect("insert");
+    store.flush().expect("flush");
+    let v1 = store.snapshot();
+    assert_eq!(v1.term_positions(TermId(2), DocId(1)), Some(vec![0, 1]));
+    assert_eq!(v1.term_positions(TermId(5), DocId(1)), Some(vec![2]));
+    assert_eq!(v1.term_positions(TermId(9), DocId(1)), None);
+
+    // v2 in the memtable shadows the segment copy entirely.
+    store.insert(&[doc(1, &[(7, 3)])]).expect("insert");
+    let v2 = store.snapshot();
+    assert_eq!(v2.term_positions(TermId(7), DocId(1)), Some(vec![0, 1, 2]));
+    assert_eq!(
+        v2.term_positions(TermId(2), DocId(1)),
+        None,
+        "the segment copy of term 2 is dead under the newer delta"
+    );
+
+    // A tombstone hides every position; the pinned v2 still sees them.
+    store.delete(DocId(1)).expect("delete");
+    let v3 = store.snapshot();
+    assert_eq!(v3.term_positions(TermId(7), DocId(1)), None);
+    assert_eq!(v2.term_positions(TermId(7), DocId(1)), Some(vec![0, 1, 2]));
+
+    // And the override agrees with the trait's default derivation
+    // (recomputing runs from `postings`) on a multi-doc corpus.
+    let store2 = SegmentStore::open(dir.join("agree"), policy()).expect("open");
+    let docs: Vec<Document> = (0..40u32)
+        .map(|id| doc(id, &[(id % 7, 1 + id % 3), (7 + id % 5, 2)]))
+        .collect();
+    store2.insert(&docs[..20]).expect("insert");
+    store2.flush().expect("flush");
+    store2.insert(&docs[20..]).expect("insert");
+    let snap = store2.snapshot();
+    let oracle = zerber_index::InvertedIndex::from_documents(&docs);
+    for id in 0..40u32 {
+        for term in 0..12u32 {
+            assert_eq!(
+                snap.term_positions(TermId(term), DocId(id)),
+                oracle.term_positions(TermId(term), DocId(id)),
+                "term {term} doc {id}"
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -61,6 +61,7 @@ pub mod socket;
 pub mod transport;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,7 @@ use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 use zerber_obs::{QueryTrace, SpanRecord, TraceId};
+use zerber_query::{CacheConfig, Forced, Query, ResultCache};
 
 pub use fault::{FaultInjectTransport, FaultPlan};
 pub use gather::{
@@ -252,6 +254,13 @@ pub struct ShardedSearch {
     /// Per-deployment metrics registry, trace allocator, and query
     /// forensics (slow-query log, flight recorder).
     obs: RuntimeObs,
+    /// The epoch-keyed result cache behind
+    /// [`ShardedSearch::query_shaped`].
+    cache: ResultCache,
+    /// Serving epoch: bumped after every acknowledged visible mutation
+    /// (insert, bulk load, effective delete). Cache keys embed it, so
+    /// entries minted before a write can never be looked up after it.
+    epoch: AtomicU64,
 }
 
 struct StatsState {
@@ -446,6 +455,8 @@ impl ShardedSearch {
             policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState { stats, doc_terms }),
             obs,
+            cache: ResultCache::new(CacheConfig::default()),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -580,6 +591,11 @@ impl ShardedSearch {
                     state.stats.remove_document(old);
                 }
             }
+            drop(state);
+            // Bump per acknowledged group, not once at the end: if a
+            // later shard fails, the groups that *did* land must still
+            // have invalidated the cache.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
         Ok(docs.len())
     }
@@ -657,6 +673,8 @@ impl ShardedSearch {
                     state.stats.remove_document(old);
                 }
             }
+            drop(state);
+            self.epoch.fetch_add(1, Ordering::Release);
         }
         Ok(docs.len())
     }
@@ -676,6 +694,10 @@ impl ShardedSearch {
             if let Some(old) = state.doc_terms.remove(&doc) {
                 state.stats.remove_document(old);
             }
+            drop(state);
+            // A miss (the doc never existed) changes no visible
+            // result, so it keeps the epoch — and the cache — intact.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
         Ok(removed)
     }
@@ -789,6 +811,195 @@ impl ShardedSearch {
         let trace = Arc::new(QueryTrace {
             id: trace_id,
             label: format!("terms={terms:?} k={k}"),
+            total,
+            root,
+        });
+        self.obs.record_trace(Arc::clone(&trace));
+
+        Ok(ShardedQueryOutcome {
+            ranked: gathered.ranked,
+            peers_contacted: per_shard.len(),
+            candidates_received: gathered.candidates_received,
+            candidates_examined: gathered.candidates_examined,
+            failed_peers,
+            trace,
+        })
+    }
+
+    /// The current serving epoch (the cache-key component writes bump).
+    pub fn serving_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The epoch-keyed result cache behind
+    /// [`ShardedSearch::query_shaped`].
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Executes a shaped top-`k` query ([`Query::Terms`] /
+    /// [`Query::And`] / [`Query::Phrase`]) as client `client`.
+    ///
+    /// The query is normalized, then probed against the epoch-keyed
+    /// result cache; a hit answers without touching any peer (the
+    /// trace records a `cache` span instead of a fan-out). A miss
+    /// ships [`Message::PlanQuery`] to every shard — each peer runs
+    /// the planned evaluator (block-max TA, MaxScore, conjunctive
+    /// leapfrog, or phrase) over its backend — gathers exactly like
+    /// [`ShardedSearch::query_from`], and fills the cache under the
+    /// epoch the probe used. Because writes bump the epoch *after*
+    /// every replica acknowledges, a key minted before a write can
+    /// never be looked up after it: stale hits are structurally
+    /// impossible, not scrubbed.
+    ///
+    /// `forced` overrides the disjunctive planner choice
+    /// ([`Forced::BlockMaxTa`] / [`Forced::MaxScore`]) so benchmarks
+    /// can pit the evaluators against each other; every evaluator is
+    /// bit-identical to the exhaustive oracle, so `forced` changes
+    /// cost, never results.
+    pub fn query_shaped(
+        &self,
+        client: u32,
+        query: Query,
+        forced: Forced,
+    ) -> Result<ShardedQueryOutcome, QueryError> {
+        let started = Instant::now();
+        let normalized = query.normalized();
+        let k = normalized.k();
+        let label = format!(
+            "{:?} terms={:?} k={k} forced={forced:?}",
+            normalized.shape(),
+            normalized.terms()
+        );
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let key = normalized.cache_key(epoch);
+        let metrics = self.obs.metrics();
+        if let Some(ranked) = self.cache.get(&key) {
+            metrics.cache_hits.inc();
+            let total = started.elapsed();
+            metrics.latency.record(total.as_nanos() as u64);
+            metrics.total.inc();
+            let cache_span = SpanRecord::new("cache", Duration::ZERO, total)
+                .with_counter("hit", 1)
+                .with_counter("epoch", epoch);
+            let root = SpanRecord::new("query", Duration::ZERO, total)
+                .with_counter("k", k as u64)
+                .with_child(cache_span);
+            let trace = Arc::new(QueryTrace {
+                id: self.obs.next_trace_id(),
+                label,
+                total,
+                root,
+            });
+            self.obs.record_trace(Arc::clone(&trace));
+            return Ok(ShardedQueryOutcome {
+                ranked: ranked.as_ref().clone(),
+                peers_contacted: 0,
+                candidates_received: 0,
+                candidates_examined: 0,
+                failed_peers: Vec::new(),
+                trace,
+            });
+        }
+        metrics.cache_misses.inc();
+        metrics
+            .plan_counter(zerber_query::plan(
+                normalized.shape(),
+                normalized.terms().len(),
+                forced,
+            ))
+            .inc();
+
+        let weights = self.stats.read().stats.weights(normalized.terms());
+        let wire_k = u32::try_from(k).unwrap_or(u32::MAX);
+        let shape = normalized.shape().as_u8();
+        let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..self.map.peer_count())
+            .map(|shard| {
+                let request = Message::PlanQuery {
+                    shard,
+                    shape,
+                    forced: forced.as_u8(),
+                    terms: weights.clone(),
+                    k: wire_k,
+                };
+                let replicas = self
+                    .map
+                    .replica_peers(shard, self.replicas)
+                    .into_iter()
+                    .map(|peer| NodeId::IndexServer(peer.0))
+                    .collect();
+                (shard, replicas, Arc::from(request.encode().as_ref()))
+            })
+            .collect();
+        let from = NodeId::User(client);
+        let trace_id = self.obs.next_trace_id();
+        let (fetches, fanout_span) = traced_topk_fanout(
+            &self.obs,
+            self.transport.as_ref(),
+            from,
+            AuthToken(0),
+            trace_id,
+            &shards,
+            &self.policy,
+        );
+
+        let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
+        let mut failed_peers: Vec<NodeId> = Vec::new();
+        for fetch in fetches {
+            let fetch = match fetch {
+                Ok(fetch) => fetch,
+                Err(unavailable) => {
+                    let metrics = self.obs.metrics();
+                    metrics.latency.record(started.elapsed().as_nanos() as u64);
+                    metrics.total.inc();
+                    return Err(QueryError::Unavailable(unavailable));
+                }
+            };
+            failed_peers.extend(fetch.failed().map(|(node, _)| node));
+            match fetch.response {
+                Message::TopKResponse { candidates, .. } => per_shard.push(
+                    candidates
+                        .into_iter()
+                        .map(|(doc, score)| RankedDoc { doc, score })
+                        .collect(),
+                ),
+                other => panic!("protocol violation: unexpected response {other:?}"),
+            }
+        }
+        let gather_started = Instant::now();
+        let gathered = GATHER_SCRATCH
+            .with(|scratch| gather_topk_with(&mut scratch.borrow_mut(), &per_shard, k));
+        let gather_span = SpanRecord::new(
+            "gather",
+            gather_started.duration_since(started),
+            gather_started.elapsed(),
+        )
+        .with_counter("candidates_received", gathered.candidates_received as u64)
+        .with_counter("candidates_examined", gathered.candidates_examined as u64);
+
+        // Fill the cache under the epoch the probe used: if a write
+        // landed mid-flight the epoch has moved on, this key names a
+        // dead epoch, and no future probe can ever read it.
+        let evicted = self.cache.insert(key, Arc::new(gathered.ranked.clone()));
+        metrics.cache_evictions.add(evicted);
+        metrics
+            .candidates_received
+            .add(gathered.candidates_received as u64);
+        metrics
+            .candidates_examined
+            .add(gathered.candidates_examined as u64);
+        let total = started.elapsed();
+        metrics.latency.record(total.as_nanos() as u64);
+        metrics.total.inc();
+        self.obs.sync_traffic(self.traffic());
+
+        let root = SpanRecord::new("query", Duration::ZERO, total)
+            .with_counter("k", k as u64)
+            .with_child(fanout_span)
+            .with_child(gather_span);
+        let trace = Arc::new(QueryTrace {
+            id: trace_id,
+            label,
             total,
             root,
         });
@@ -921,6 +1132,35 @@ pub fn local_topk(
     zerber_index::block_max_topk_cursors(&mut cursors, k, &mut scratch);
     drop(cursors);
     scratch.take_ranked()
+}
+
+/// The single-node reference for the shaped-query path: the same
+/// backend, the same global IDF weights, the same planned evaluator —
+/// without sharding, caching, or the wire.
+/// [`ShardedSearch::query_shaped`] returns exactly this (the
+/// `sharded_topk` shaped properties prove bit-identity for arbitrary
+/// corpora, shapes, peer counts, and `k`).
+pub fn local_planned(
+    config: &ZerberConfig,
+    docs: &[Document],
+    query: &Query,
+    forced: Forced,
+) -> Vec<RankedDoc> {
+    let index = InvertedIndex::from_documents(docs);
+    let store = config.posting_store(&index);
+    let stats = TermStats::from_documents(docs);
+    let normalized = query.clone().normalized();
+    let slots = stats.weights(normalized.terms());
+    let mut scratch = zerber_index::TopKScratch::new();
+    zerber_query::execute(
+        store.as_ref(),
+        normalized.shape(),
+        &slots,
+        normalized.k(),
+        forced,
+        &mut scratch,
+    )
+    .ranked
 }
 
 #[cfg(test)]
@@ -1088,6 +1328,8 @@ mod tests {
                 doc_terms: HashMap::new(),
             }),
             obs: RuntimeObs::new(),
+            cache: ResultCache::new(CacheConfig::default()),
+            epoch: AtomicU64::new(0),
         };
         let doc = Document::from_term_counts(DocId(900), GroupId(0), vec![(TermId(1), 1)]);
         assert!(matches!(

@@ -71,6 +71,33 @@ pub(crate) struct QueryMetrics {
     /// points (the meter stays the source of truth for the paper's
     /// bandwidth accounting; the registry mirrors it at read time).
     pub bytes_total: Gauge,
+    /// `zerber_cache_hits_total`: planned queries answered from the
+    /// epoch-keyed result cache.
+    pub cache_hits: Counter,
+    /// `zerber_cache_misses_total`: planned queries that fanned out.
+    pub cache_misses: Counter,
+    /// `zerber_cache_evictions_total`: entries pushed out by the LRU
+    /// byte budget.
+    pub cache_evictions: Counter,
+    /// `zerber_query_plan_total{plan=...}`: one counter per evaluator
+    /// the planner picked (labels are baked into the metric name so
+    /// the hot path never formats).
+    pub plan_block_max_ta: Counter,
+    pub plan_maxscore: Counter,
+    pub plan_conjunctive: Counter,
+    pub plan_phrase: Counter,
+}
+
+impl QueryMetrics {
+    /// The `zerber_query_plan_total` counter for `kind`.
+    pub fn plan_counter(&self, kind: zerber_query::EvaluatorKind) -> &Counter {
+        match kind {
+            zerber_query::EvaluatorKind::BlockMaxTa => &self.plan_block_max_ta,
+            zerber_query::EvaluatorKind::MaxScore => &self.plan_maxscore,
+            zerber_query::EvaluatorKind::Conjunctive => &self.plan_conjunctive,
+            zerber_query::EvaluatorKind::Phrase => &self.plan_phrase,
+        }
+    }
 }
 
 /// The observability handle of one deployment. Clones share state.
@@ -108,6 +135,13 @@ impl RuntimeObs {
             blocks_decoded: registry.counter("zerber_peer_blocks_decoded_total"),
             blocks_skipped: registry.counter("zerber_peer_blocks_skipped_total"),
             bytes_total: registry.gauge("zerber_transport_bytes_total"),
+            cache_hits: registry.counter("zerber_cache_hits_total"),
+            cache_misses: registry.counter("zerber_cache_misses_total"),
+            cache_evictions: registry.counter("zerber_cache_evictions_total"),
+            plan_block_max_ta: registry.counter("zerber_query_plan_total{plan=\"block_max_ta\"}"),
+            plan_maxscore: registry.counter("zerber_query_plan_total{plan=\"maxscore\"}"),
+            plan_conjunctive: registry.counter("zerber_query_plan_total{plan=\"conjunctive\"}"),
+            plan_phrase: registry.counter("zerber_query_plan_total{plan=\"phrase\"}"),
         };
         Self {
             inner: Arc::new(ObsInner {

@@ -233,6 +233,41 @@ impl PeerService for ShardService {
                         .collect(),
                 }
             }
+            Message::PlanQuery {
+                shard,
+                shape,
+                forced,
+                terms,
+                k,
+            } => {
+                // Same untrusted-input stance as TopKQuery, plus the
+                // two raw bytes the planner consumes: an unknown shape
+                // or override is malformed, not a panic.
+                if terms
+                    .iter()
+                    .any(|&(_, weight)| !weight.is_finite() || weight < 0.0)
+                {
+                    return malformed;
+                }
+                let (Some(shape), Some(forced)) = (
+                    zerber_query::QueryShape::from_u8(shape),
+                    zerber_query::Forced::from_u8(forced),
+                ) else {
+                    return malformed;
+                };
+                let Some(store) = self.stores.get_mut(&shard) else {
+                    return not_hosted;
+                };
+                let started = std::time::Instant::now();
+                let outcome =
+                    store.query_planned(shape, &terms, k as usize, forced, &mut self.scratch);
+                Message::TopKResponse {
+                    decode_ns: started.elapsed().as_nanos() as u64,
+                    blocks_decoded: outcome.cost.blocks_decoded as u32,
+                    blocks_total: outcome.cost.blocks_total as u32,
+                    candidates: outcome.ranked.iter().map(|r| (r.doc, r.score)).collect(),
+                }
+            }
             Message::IndexDocs { shard, docs } | Message::BulkLoad { shard, docs } => {
                 let mut decoded = Vec::with_capacity(docs.len());
                 for wire in docs {

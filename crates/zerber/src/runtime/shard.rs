@@ -23,6 +23,7 @@
 use zerber_index::cursor::{block_max_topk_cursors, QueryCost, TopKScratch};
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, PostingStore, TermId};
 use zerber_postings::CompressedPostingStore;
+use zerber_query::{execute, Forced, QueryOutcome, QueryShape};
 use zerber_segment::SegmentStore;
 
 /// Runs the lazy cursor-driven top-k over any [`PostingStore`],
@@ -78,6 +79,22 @@ pub trait ShardStore {
         scratch: &mut TopKScratch,
     ) -> QueryCost;
 
+    /// The planned read path: dispatches a shaped query (disjunctive /
+    /// conjunctive / phrase, see [`zerber_query::plan()`]) through the
+    /// planner to the chosen evaluator. [`ShardStore::query_topk`]
+    /// remains the scratch-reusing fast path for plain disjunctive
+    /// queries; this entry point adds the shapes that need positional
+    /// or conjunctive evaluation, plus the TA/MaxScore override the
+    /// benchmark harness uses.
+    fn query_planned(
+        &mut self,
+        shape: QueryShape,
+        slots: &[(TermId, f64)],
+        k: usize,
+        forced: Forced,
+        scratch: &mut TopKScratch,
+    ) -> QueryOutcome;
+
     /// Inserts (or replaces) documents; returns posting elements
     /// written.
     fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError>;
@@ -120,6 +137,17 @@ impl ShardStore for FrozenShard {
         scratch: &mut TopKScratch,
     ) -> QueryCost {
         cursor_topk(self.store.as_ref(), terms, k, scratch)
+    }
+
+    fn query_planned(
+        &mut self,
+        shape: QueryShape,
+        slots: &[(TermId, f64)],
+        k: usize,
+        forced: Forced,
+        scratch: &mut TopKScratch,
+    ) -> QueryOutcome {
+        execute(self.store.as_ref(), shape, slots, k, forced, scratch)
     }
 
     fn insert_documents(&mut self, _docs: &[Document]) -> Result<usize, ShardStoreError> {
@@ -176,6 +204,27 @@ impl ShardStore for LiveIndexShard {
         }
     }
 
+    fn query_planned(
+        &mut self,
+        shape: QueryShape,
+        slots: &[(TermId, f64)],
+        k: usize,
+        forced: Forced,
+        scratch: &mut TopKScratch,
+    ) -> QueryOutcome {
+        match &mut self.compressed {
+            None => execute(&self.index, shape, slots, k, forced, scratch),
+            Some(cache) => execute(
+                cache.get_or_insert_with(|| CompressedPostingStore::from_index(&self.index)),
+                shape,
+                slots,
+                k,
+                forced,
+                scratch,
+            ),
+        }
+    }
+
     fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {
         self.index.insert_batch(docs);
         if let Some(cache) = &mut self.compressed {
@@ -224,6 +273,18 @@ impl ShardStore for SegmentShard {
         // for exactly the duration of this query.
         let snapshot = self.store.snapshot();
         cursor_topk(&snapshot, terms, k, scratch)
+    }
+
+    fn query_planned(
+        &mut self,
+        shape: QueryShape,
+        slots: &[(TermId, f64)],
+        k: usize,
+        forced: Forced,
+        scratch: &mut TopKScratch,
+    ) -> QueryOutcome {
+        let snapshot = self.store.snapshot();
+        execute(&snapshot, shape, slots, k, forced, scratch)
     }
 
     fn insert_documents(&mut self, docs: &[Document]) -> Result<usize, ShardStoreError> {

@@ -17,6 +17,7 @@ use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, GroupId, RankedDoc, TermId};
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter};
 use zerber_obs::{QueryTrace, SpanRecord};
+use zerber_query::{Forced, Query};
 use zerber_segment::SegmentStore;
 
 fn corpus(docs: u32, terms: u32) -> Vec<Document> {
@@ -262,6 +263,74 @@ fn socket_cluster_query_yields_a_complete_consistent_trace() {
             .count,
         PEERS as u64
     );
+}
+
+/// The shaped-query path's counters: every ask lands in exactly one of
+/// `zerber_cache_{hits,misses}_total`, every miss increments its
+/// evaluator's `zerber_query_plan_total{plan=...}` counter, and a
+/// cache-served query's trace carries a `cache` span instead of a
+/// fan-out.
+#[test]
+fn cache_and_plan_counters_track_the_shaped_path() {
+    let docs = corpus(100, 11);
+    let config = ZerberConfig::default().with_peers(3);
+    let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+
+    let two_terms = Query::Terms {
+        terms: vec![TermId(1), TermId(4)],
+        k: 5,
+    };
+    let miss = search
+        .query_shaped(0, two_terms.clone(), Forced::Auto)
+        .expect("healthy");
+    assert!(miss.peers_contacted > 0);
+    assert!(miss.trace.root.find("fan_out").is_some());
+    let hit = search
+        .query_shaped(0, two_terms, Forced::Auto)
+        .expect("healthy");
+    assert_eq!(hit.peers_contacted, 0);
+    assert_eq!(hit.ranked, miss.ranked);
+    let cache_span = hit
+        .trace
+        .root
+        .find("cache")
+        .unwrap_or_else(|| panic!("cache span missing:\n{}", hit.trace.render()));
+    assert!(cache_span.counters.iter().any(|&(name, _)| name == "hit"));
+    assert!(hit.trace.root.find("fan_out").is_none());
+
+    // One miss per remaining evaluator: single-term Terms plans the
+    // block-max TA, And the conjunctive leapfrog, Phrase the phrase
+    // filter.
+    for query in [
+        Query::Terms {
+            terms: vec![TermId(2)],
+            k: 5,
+        },
+        Query::And {
+            terms: vec![TermId(1), TermId(2)],
+            k: 5,
+        },
+        Query::Phrase {
+            terms: vec![TermId(1), TermId(2)],
+            k: 5,
+        },
+    ] {
+        search
+            .query_shaped(0, query, Forced::Auto)
+            .expect("healthy");
+    }
+
+    let metrics = search.obs().registry().snapshot();
+    assert_eq!(metrics.counter("zerber_cache_hits_total"), Some(1));
+    assert_eq!(metrics.counter("zerber_cache_misses_total"), Some(4));
+    assert_eq!(metrics.counter("zerber_cache_evictions_total"), Some(0));
+    for plan in ["maxscore", "block_max_ta", "conjunctive", "phrase"] {
+        assert_eq!(
+            metrics.counter(&format!("zerber_query_plan_total{{plan=\"{plan}\"}}")),
+            Some(1),
+            "plan counter for {plan}"
+        );
+    }
 }
 
 /// The registry's Prometheus text exposition must parse line-by-line

@@ -13,9 +13,10 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use zerber::runtime::{local_topk, ShardedSearch};
+use zerber::runtime::{local_planned, local_topk, ShardedSearch};
 use zerber::ZerberConfig;
 use zerber_index::{DocId, Document, GroupId, PostingBackend, TermId};
+use zerber_query::{Forced, Query};
 
 /// An arbitrary corpus: doc id → (term → count), with gaps in the doc
 /// id space and shared vocabulary so shards genuinely overlap on
@@ -77,4 +78,142 @@ proptest! {
         // The gather never examines more than k candidates.
         prop_assert!(outcome.candidates_examined <= k);
     }
+
+    /// The shaped path extends the theorem to every planned evaluator:
+    /// Terms (TA or MaxScore), And (conjunctive leapfrog), and Phrase
+    /// (positional filter) through the full PlanQuery fan-out — and
+    /// the second, cache-served answer is the same bits again.
+    #[test]
+    fn shaped_sharded_queries_are_bit_identical_to_local_planned(
+        corpus in arb_corpus(),
+        peers in 1usize..7,
+        k in 1usize..12,
+        query in arb_query(),
+        shape in 0u8..3,
+        force_maxscore in any::<bool>(),
+        compressed in any::<bool>(),
+    ) {
+        let docs = materialize(&corpus);
+        let terms: Vec<TermId> = query.into_iter().map(TermId).collect();
+        let shaped = match shape {
+            0 => Query::Terms { terms, k },
+            1 => Query::And { terms, k },
+            _ => Query::Phrase { terms, k },
+        };
+        let forced = if force_maxscore {
+            Forced::MaxScore
+        } else {
+            Forced::Auto
+        };
+        let backend = if compressed {
+            PostingBackend::Compressed
+        } else {
+            PostingBackend::Raw
+        };
+        let config = ZerberConfig::default().with_peers(peers).with_postings(backend);
+
+        let expected = local_planned(&config, &docs, &shaped, forced);
+        let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+        let miss = search
+            .query_shaped(0, shaped.clone(), forced)
+            .expect("peers alive");
+        prop_assert!(miss.peers_contacted > 0, "first ask must fan out");
+        let hit = search
+            .query_shaped(0, shaped, forced)
+            .expect("cache answers");
+        prop_assert_eq!(hit.peers_contacted, 0, "second ask must hit the cache");
+        for outcome in [&miss, &hit] {
+            prop_assert_eq!(outcome.ranked.len(), expected.len());
+            for (got, want) in outcome.ranked.iter().zip(&expected) {
+                prop_assert_eq!(got.doc, want.doc);
+                prop_assert_eq!(got.score.to_bits(), want.score.to_bits());
+            }
+        }
+    }
+}
+
+/// Interleaved writes can never serve a stale cached answer: every
+/// acknowledged mutation bumps the serving epoch, the epoch is baked
+/// into the cache key, so the post-write ask misses and re-evaluates
+/// against the mutated shards.
+#[test]
+fn writes_invalidate_the_shaped_result_cache() {
+    let mut docs: Vec<Document> = (0..60u32)
+        .map(|d| {
+            Document::from_term_counts(
+                DocId(d),
+                GroupId(0),
+                vec![(TermId(d % 5), 1 + d % 3), (TermId(7), 1)],
+            )
+        })
+        .collect();
+    let config = ZerberConfig::default().with_peers(3);
+    let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+    let query = Query::Terms {
+        terms: vec![TermId(2), TermId(7)],
+        k: 8,
+    };
+
+    let warm = search
+        .query_shaped(0, query.clone(), Forced::Auto)
+        .expect("healthy");
+    assert!(warm.peers_contacted > 0);
+    assert_eq!(
+        search
+            .query_shaped(0, query.clone(), Forced::Auto)
+            .expect("healthy")
+            .peers_contacted,
+        0,
+        "unwritten deployment serves from cache"
+    );
+
+    // Insert, delete, and bulk-load; after each, the next ask must
+    // miss (no stale hit) and match a from-scratch local evaluation.
+    let insert = Document::from_term_counts(DocId(900), GroupId(0), vec![(TermId(2), 9)]);
+    search
+        .insert_documents(0, std::slice::from_ref(&insert))
+        .expect("insert");
+    docs.push(insert);
+    let after_insert = search
+        .query_shaped(0, query.clone(), Forced::Auto)
+        .expect("healthy");
+    assert!(after_insert.peers_contacted > 0, "stale hit after insert");
+    assert_eq!(
+        after_insert.ranked,
+        local_planned(&config, &docs, &query, Forced::Auto)
+    );
+
+    assert!(search.delete_document(0, DocId(2)).expect("delete"));
+    docs.retain(|d| d.id != DocId(2));
+    let after_delete = search
+        .query_shaped(0, query.clone(), Forced::Auto)
+        .expect("healthy");
+    assert!(after_delete.peers_contacted > 0, "stale hit after delete");
+    assert_eq!(
+        after_delete.ranked,
+        local_planned(&config, &docs, &query, Forced::Auto)
+    );
+
+    let bulk: Vec<Document> = (1000..1010u32)
+        .map(|d| Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(7), 2)]))
+        .collect();
+    search.bulk_load(0, &bulk).expect("bulk load");
+    docs.extend(bulk);
+    let after_bulk = search
+        .query_shaped(0, query.clone(), Forced::Auto)
+        .expect("healthy");
+    assert!(after_bulk.peers_contacted > 0, "stale hit after bulk load");
+    assert_eq!(
+        after_bulk.ranked,
+        local_planned(&config, &docs, &query, Forced::Auto)
+    );
+
+    // And with no further writes, the refreshed entry serves again.
+    assert_eq!(
+        search
+            .query_shaped(0, query, Forced::Auto)
+            .expect("healthy")
+            .peers_contacted,
+        0
+    );
 }
