@@ -73,7 +73,10 @@ fn main() {
                 eprintln!("--serve-peer needs a peer index");
                 std::process::exit(2);
             });
-        scalability::serve_socket_peer(peer, scale);
+        // `--rebuild`: start empty and mid-rebuild (the replacement
+        // process for a SIGKILLed peer) instead of serving shards.
+        let rebuild = args.iter().any(|a| a == "--rebuild");
+        scalability::serve_socket_peer(peer, scale, rebuild);
         return;
     }
     let socket_mode = args.iter().any(|a| a == "--socket");
@@ -163,20 +166,24 @@ fn main() {
             // the shard peers (`--serve-peer <i>`), each serving its
             // replica shards over a real TCP socket.
             let exe = std::env::current_exe().expect("own path");
-            let point = scalability::run_socket(scale, &mut |peer| {
+            let (failover, repair) = scalability::run_socket(scale, &mut |peer, rebuild| {
                 let mut command = std::process::Command::new(&exe);
                 command
                     .arg("--serve-peer")
                     .arg(peer.to_string())
                     .stdin(std::process::Stdio::piped())
                     .stdout(std::process::Stdio::piped());
+                if rebuild {
+                    command.arg("--rebuild");
+                }
                 if smoke {
                     command.arg("--smoke");
                 }
                 command.spawn()
             })
             .expect("socket-mode children");
-            result.failover.push(point);
+            result.failover.push(failover);
+            result.repair.push(repair);
         }
         println!("{}", scalability::render(&result));
         if let Some(dir) = &json_dir {

@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use zerber::runtime::socket::{serve_peer, SocketTransport};
 use zerber::runtime::{
-    build_shard_store, gather_topk, hedged_fan_out, local_topk, HedgePolicy, ShardService,
-    ShardedSearch, TermStats,
+    build_shard_store, gather_topk, hedged_fan_out, local_topk, rebuild_shard, restore_shard_store,
+    HedgePolicy, ShardService, ShardedSearch, TermStats,
 };
 use zerber::ZerberConfig;
 use zerber_dht::ShardMap;
@@ -103,6 +103,37 @@ pub struct FailoverPoint {
     pub matches_single_node: bool,
 }
 
+/// Mean time to repair: after the kill-a-peer workload, the dead
+/// replica is revived and every shard it hosts is re-shipped from a
+/// live replica (in-proc: [`ShardedSearch::revive_peer`]; socket mode:
+/// a fresh child process rebuilt over TCP). The row reports how long
+/// the rebuild took, how much it shipped, and whether the repaired
+/// deployment still answers bit-identically.
+#[derive(Debug)]
+pub struct RepairPoint {
+    /// `"in-proc"` or `"socket"`.
+    pub transport: &'static str,
+    /// Shard peers in the deployment.
+    pub peers: usize,
+    /// Replicas per shard.
+    pub replication: usize,
+    /// Wall clock from starting the revival (socket mode: from
+    /// respawning the child) to the last shard's cutover.
+    pub mttr_ms: f64,
+    /// Snapshot files streamed to the rebuilt replica.
+    pub segments_shipped: u64,
+    /// Snapshot payload bytes streamed to the rebuilt replica.
+    pub bytes_shipped: u64,
+    /// Queries replayed against the repaired deployment.
+    pub queries: usize,
+    /// How many of those succeeded.
+    pub ok: usize,
+    /// `ok / queries`, in percent — must be 100 after a repair.
+    pub availability_pct: f64,
+    /// Whether post-repair results match single-node evaluation.
+    pub matches_single_node: bool,
+}
+
 /// The full sweep.
 #[derive(Debug)]
 pub struct Scalability {
@@ -113,6 +144,9 @@ pub struct Scalability {
     /// Kill-a-peer scenarios (always the in-proc one; `repro
     /// scalability --socket` appends the multi-process point).
     pub failover: Vec<FailoverPoint>,
+    /// Kill→revive→rebuild scenarios, paired with `failover` (the
+    /// repair runs on the same deployment the kill degraded).
+    pub repair: Vec<RepairPoint>,
 }
 
 /// Runs the sweep on the shared ODP scenario.
@@ -214,12 +248,13 @@ pub fn run(scale: Scale) -> Scalability {
         });
     }
 
-    let failover = vec![inproc_failover(docs, &queries, &reference)];
+    let (failover_point, repair_point) = inproc_failover(docs, &queries, &reference);
 
     Scalability {
         points,
         reference_checks: checks,
-        failover,
+        failover: vec![failover_point],
+        repair: vec![repair_point],
     }
 }
 
@@ -248,15 +283,43 @@ fn failover_point(
     }
 }
 
+/// Folds a post-repair replay into a [`RepairPoint`].
+#[allow(clippy::too_many_arguments)]
+fn repair_point(
+    transport: &'static str,
+    mttr_ms: f64,
+    segments_shipped: u64,
+    bytes_shipped: u64,
+    queries: usize,
+    ok: usize,
+    matches_single_node: bool,
+) -> RepairPoint {
+    RepairPoint {
+        transport,
+        peers: FAILOVER_PEERS,
+        replication: FAILOVER_REPLICATION,
+        mttr_ms,
+        segments_shipped,
+        bytes_shipped,
+        queries,
+        ok,
+        availability_pct: 100.0 * ok as f64 / queries.max(1) as f64,
+        matches_single_node,
+    }
+}
+
 /// The in-proc kill-a-peer scenario: replicated deployment, one peer's
 /// thread shut down halfway through the workload. With R = 2 no shard
 /// is lost, so availability must hold at 100% while the hedge rate
-/// records the failovers.
+/// records the failovers. Afterwards the dead peer is revived —
+/// respawned mid-rebuild and re-shipped from live replicas — and the
+/// repaired deployment replays the workload again, which must stay at
+/// 100% availability and bit-identical results.
 fn inproc_failover(
     docs: &[zerber_index::Document],
     queries: &[Vec<TermId>],
     reference: &[Vec<RankedDoc>],
-) -> FailoverPoint {
+) -> (FailoverPoint, RepairPoint) {
     let config = ZerberConfig::default()
         .with_peers(FAILOVER_PEERS)
         .with_replication(FAILOVER_REPLICATION);
@@ -290,7 +353,39 @@ fn inproc_failover(
             Err(_) => false,
         };
     }
-    failover_point("in-proc", latencies, ok, hedges, matches_single_node)
+    let failover = failover_point("in-proc", latencies, ok, hedges, matches_single_node);
+
+    // Revive: the dead peer respawns mid-rebuild, every shard it hosts
+    // streams back from a live replica, and the repaired deployment
+    // replays the workload — 100% availability, bit-identical results.
+    let begun = Instant::now();
+    let shipped = search
+        .revive_peer(KILLED_PEER)
+        .expect("a live replica per shard to rebuild from");
+    let mttr_ms = begun.elapsed().as_secs_f64() * 1e3;
+    let mut repaired_ok = 0usize;
+    for query in queries {
+        if search.query(query, K).is_ok() {
+            repaired_ok += 1;
+        }
+    }
+    let mut repaired_matches = true;
+    for (query, expected) in queries[..reference.len()].iter().zip(reference) {
+        repaired_matches &= match search.query(query, K) {
+            Ok(outcome) => &outcome.ranked == expected,
+            Err(_) => false,
+        };
+    }
+    let repair = repair_point(
+        "in-proc",
+        mttr_ms,
+        shipped.segments,
+        shipped.bytes,
+        queries.len(),
+        repaired_ok,
+        repaired_matches,
+    );
+    (failover, repair)
 }
 
 // ---------------------------------------------------------------------
@@ -307,11 +402,13 @@ fn inproc_failover(
 /// deployment on an ephemeral loopback port, announce `READY <addr>`
 /// on stdout, and hold until stdin closes (or the process is killed —
 /// which is the point of the scenario).
-pub fn serve_socket_peer(peer: usize, scale: Scale) {
-    let scenario = OdpScenario::shared(scale);
-    let docs = &scenario.corpus.documents;
+///
+/// With `rebuild` the child starts *empty*, mid-rebuild: it buffers
+/// writes and bounces reads on every hosted shard until the parent
+/// streams each shard's snapshot over the socket and commits it —
+/// the replacement process for a SIGKILLed peer.
+pub fn serve_socket_peer(peer: usize, scale: Scale, rebuild: bool) {
     let map = ShardMap::new(FAILOVER_PEERS as u32);
-    let shards = map.partition(docs, |doc| doc.id);
     let hosted = map.hosted_shards(peer as u32, FAILOVER_REPLICATION as u32);
     let backend = ZerberConfig::default().postings;
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
@@ -319,10 +416,18 @@ pub fn serve_socket_peer(peer: usize, scale: Scale) {
         listener,
         NodeId::IndexServer(peer as u32),
         move || {
-            ShardService::hosting(hosted.into_iter().map(|shard| {
-                let store = build_shard_store(&backend, &shards[shard as usize]);
-                (shard, store)
-            }))
+            if rebuild {
+                ShardService::rebuilding(hosted.clone()).with_restore(Box::new(move |_, files| {
+                    restore_shard_store(&backend, files)
+                }))
+            } else {
+                let scenario = OdpScenario::shared(scale);
+                let shards = map.partition(&scenario.corpus.documents, |doc| doc.id);
+                ShardService::hosting(hosted.clone().into_iter().map(|shard| {
+                    let store = build_shard_store(&backend, &shards[shard as usize]);
+                    (shard, store)
+                }))
+            }
         },
         Arc::new(TrafficMeter::new()),
     )
@@ -379,17 +484,41 @@ fn socket_query(
     Some((gather_topk(&per_shard, K).ranked, hedges))
 }
 
+/// Reads one child's `READY <addr>` handshake and registers the
+/// address with the transport.
+fn register_child(
+    transport: &SocketTransport,
+    peer: usize,
+    child: &mut std::process::Child,
+) -> std::io::Result<()> {
+    use std::io::BufRead as _;
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut ready = String::new();
+    std::io::BufReader::new(stdout).read_line(&mut ready)?;
+    let addr = ready
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("bad child handshake: {ready:?}"))
+        .parse()
+        .expect("child printed a socket address");
+    transport.register(NodeId::IndexServer(peer as u32), addr);
+    Ok(())
+}
+
 /// Parent side of socket mode. `spawn` launches one peer child (the
-/// `repro` binary re-executing itself with `--serve-peer <i>`) with
-/// piped stdin/stdout; the parent reads each child's `READY <addr>`
+/// `repro` binary re-executing itself with `--serve-peer <i>`, plus
+/// `--rebuild` when the second argument is set) with piped
+/// stdin/stdout; the parent reads each child's `READY <addr>`
 /// handshake, registers the addresses, replays the query log, and
-/// SIGKILLs peer [`KILLED_PEER`] halfway through.
+/// SIGKILLs peer [`KILLED_PEER`] halfway through. Afterwards the
+/// killed peer is *replaced*: a fresh `--rebuild` child spawns empty,
+/// every shard it hosts streams over TCP from a live peer, and the
+/// repaired deployment is re-verified — the SIGKILL-and-rebuild MTTR
+/// row.
 pub fn run_socket(
     scale: Scale,
-    spawn: &mut dyn FnMut(usize) -> std::io::Result<std::process::Child>,
-) -> std::io::Result<FailoverPoint> {
-    use std::io::BufRead as _;
-
+    spawn: &mut dyn FnMut(usize, bool) -> std::io::Result<std::process::Child>,
+) -> std::io::Result<(FailoverPoint, RepairPoint)> {
     let scenario = OdpScenario::shared(scale);
     let docs = &scenario.corpus.documents;
     let sample = match scale {
@@ -414,17 +543,8 @@ pub fn run_socket(
 
     let mut children = Vec::with_capacity(FAILOVER_PEERS);
     for peer in 0..FAILOVER_PEERS {
-        let mut child = spawn(peer)?;
-        let stdout = child.stdout.take().expect("child stdout is piped");
-        let mut ready = String::new();
-        std::io::BufReader::new(stdout).read_line(&mut ready)?;
-        let addr = ready
-            .trim()
-            .strip_prefix("READY ")
-            .unwrap_or_else(|| panic!("bad child handshake: {ready:?}"))
-            .parse()
-            .expect("child printed a socket address");
-        transport.register(NodeId::IndexServer(peer as u32), addr);
+        let mut child = spawn(peer, false)?;
+        register_child(&transport, peer, &mut child)?;
         children.push(child);
     }
 
@@ -457,18 +577,69 @@ pub fn run_socket(
             None => false,
         };
     }
+    let failover = failover_point("socket", latencies, ok, hedges, matches_single_node);
+
+    // Replace the SIGKILLed peer: a fresh `--rebuild` child spawns
+    // empty (buffering writes, bouncing reads), and every shard it
+    // hosts streams from a live peer over the same TCP transport the
+    // queries use. MTTR covers respawn + handshake + every rebuild.
+    let begun = Instant::now();
+    let mut replacement = spawn(KILLED_PEER as usize, true)?;
+    register_child(&transport, KILLED_PEER as usize, &mut replacement)?;
+    let mut segments_shipped = 0u64;
+    let mut bytes_shipped = 0u64;
+    for shard in map.hosted_shards(KILLED_PEER, FAILOVER_REPLICATION as u32) {
+        let source = map
+            .replica_peers(shard, FAILOVER_REPLICATION as u32)
+            .into_iter()
+            .map(|p| p.0)
+            .find(|&p| p != KILLED_PEER)
+            .expect("R = 2 leaves a live replica");
+        let shipped = rebuild_shard(
+            &transport,
+            NodeId::Owner(0),
+            AuthToken(0),
+            NodeId::IndexServer(source),
+            NodeId::IndexServer(KILLED_PEER),
+            shard,
+            None,
+        )
+        .expect("the live replica ships the shard over TCP");
+        segments_shipped += shipped.segments;
+        bytes_shipped += shipped.bytes;
+    }
+    let mttr_ms = begun.elapsed().as_secs_f64() * 1e3;
+    children[KILLED_PEER as usize] = replacement;
+
+    // The repaired deployment replays the workload and re-verifies.
+    let mut repaired_ok = 0usize;
+    for query in &queries {
+        if socket_query(&transport, &map, &stats, &policy, query).is_some() {
+            repaired_ok += 1;
+        }
+    }
+    let mut repaired_matches = true;
+    for (query, expected) in queries[..checks].iter().zip(&reference) {
+        repaired_matches &= match socket_query(&transport, &map, &stats, &policy, query) {
+            Some((ranked, _)) => &ranked == expected,
+            None => false,
+        };
+    }
+    let repair = repair_point(
+        "socket",
+        mttr_ms,
+        segments_shipped,
+        bytes_shipped,
+        queries.len(),
+        repaired_ok,
+        repaired_matches,
+    );
 
     for child in &mut children {
         child.kill().ok();
         child.wait().ok();
     }
-    Ok(failover_point(
-        "socket",
-        latencies,
-        ok,
-        hedges,
-        matches_single_node,
-    ))
+    Ok((failover, repair))
 }
 
 /// Formats the sweep.
@@ -537,6 +708,41 @@ pub fn render(result: &Scalability) -> String {
          keeps a live replica, so availability holds and the hedge rate records the \
          failovers (run `repro scalability --socket` for the multi-process TCP variant)\n",
     ));
+
+    let mut repair = Table::new(
+        "Repair: the killed replica revived and rebuilt from live replicas",
+        &[
+            "transport",
+            "peers",
+            "R",
+            "mttr ms",
+            "segments",
+            "bytes",
+            "queries",
+            "avail %",
+            "= 1-node",
+        ],
+    );
+    for p in &result.repair {
+        repair.row(&[
+            p.transport.to_string(),
+            p.peers.to_string(),
+            p.replication.to_string(),
+            format!("{:.3}", p.mttr_ms),
+            p.segments_shipped.to_string(),
+            p.bytes_shipped.to_string(),
+            p.queries.to_string(),
+            format!("{:.2}", p.availability_pct),
+            if p.matches_single_node { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&repair.render());
+    out.push_str(
+        "mttr is the wall clock from starting the revival (socket mode: respawning the \
+         replacement process) to the last hosted shard's cutover; the repaired deployment \
+         replays the whole workload at 100% availability, bit-identical to single-node\n",
+    );
     out
 }
 
@@ -604,11 +810,39 @@ pub fn to_json(result: &Scalability) -> String {
             ])
         })
         .collect();
+    let repair: Vec<String> = result
+        .repair
+        .iter()
+        .map(|p| {
+            object(&[
+                ("transport", crate::json::string(p.transport)),
+                ("peers", number(p.peers as f64)),
+                ("replication", number(p.replication as f64)),
+                ("killed_peer", number(f64::from(KILLED_PEER))),
+                ("mttr_ms", number(p.mttr_ms)),
+                ("segments_shipped", number(p.segments_shipped as f64)),
+                ("bytes_shipped", number(p.bytes_shipped as f64)),
+                ("queries", number(p.queries as f64)),
+                ("ok", number(p.ok as f64)),
+                ("availability_pct", number(p.availability_pct)),
+                (
+                    "matches_single_node",
+                    if p.matches_single_node {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                    .to_owned(),
+                ),
+            ])
+        })
+        .collect();
     object(&[
         ("k", number(K as f64)),
         ("reference_checks", number(result.reference_checks as f64)),
         ("points", array(&points)),
         ("failover", array(&failover)),
+        ("repair", array(&repair)),
     ])
 }
 
@@ -645,6 +879,18 @@ mod tests {
                 p95_ms: 4.0,
                 matches_single_node: true,
             }],
+            repair: vec![RepairPoint {
+                transport: "in-proc",
+                peers: 4,
+                replication: 2,
+                mttr_ms: 12.5,
+                segments_shipped: 4,
+                bytes_shipped: 4096,
+                queries: 100,
+                ok: 100,
+                availability_pct: 100.0,
+                matches_single_node: true,
+            }],
         };
         let json = to_json(&result);
         assert!(json.contains("\"points\":[{"));
@@ -654,6 +900,9 @@ mod tests {
         assert!(json.contains("\"availability_pct\":100"));
         assert!(json.contains("\"hedge_rate\":0.25"));
         assert!(json.contains("\"transport\":\"in-proc\""));
+        assert!(json.contains("\"repair\":[{"));
+        assert!(json.contains("\"mttr_ms\":12.5"));
+        assert!(json.contains("\"bytes_shipped\":4096"));
     }
 
     #[test]
@@ -690,5 +939,16 @@ mod tests {
         assert!((failover.availability_pct - 100.0).abs() < 1e-9);
         assert!(failover.hedge_rate > 0.0, "the kill must force hedges");
         assert!(failover.matches_single_node, "failover changed results");
+
+        // The repair row: the killed peer was revived, real bytes were
+        // shipped, and the repaired deployment lost nothing.
+        let repair = &result.repair[0];
+        assert_eq!(repair.transport, "in-proc");
+        assert!(repair.mttr_ms > 0.0);
+        assert!(repair.segments_shipped > 0, "rebuild shipped no segments");
+        assert!(repair.bytes_shipped > 0, "rebuild shipped no bytes");
+        assert_eq!(repair.ok, repair.queries, "repair lost availability");
+        assert!((repair.availability_pct - 100.0).abs() < 1e-9);
+        assert!(repair.matches_single_node, "repair changed results");
     }
 }

@@ -32,4 +32,4 @@ pub mod shard;
 
 pub use placement::{DhtIndex, DhtStats};
 pub use ring::{ConsistentHashRing, PeerId};
-pub use shard::ShardMap;
+pub use shard::{ShardMap, ShardMove};

@@ -27,6 +27,9 @@ pub mod message;
 pub mod sizes;
 
 pub use bandwidth::{LinkSpec, NodeId, TrafficMeter};
+/// Re-exported so message constructors (e.g. the repair frames'
+/// payloads) can be built without a direct `bytes` dependency.
+pub use bytes::Bytes;
 pub use entropy::entropy_bits_per_byte;
 pub use framing::{Frame, FrameDecoder, FrameError};
 pub use message::{AuthToken, Message, StoredShare, WireDocument, WireError};

@@ -240,6 +240,67 @@ pub enum Message {
         /// Offending group for [`fault::NOT_GROUP_MEMBER`].
         group: GroupId,
     },
+    /// Repair controller → live replica: freeze a consistent snapshot
+    /// of this shard's on-disk state and describe it. The peer answers
+    /// with a [`Message::SnapshotManifest`].
+    PrepareSnapshot {
+        /// The shard to snapshot.
+        shard: u32,
+    },
+    /// Live replica → repair controller: the frozen snapshot's file
+    /// inventory. Each entry names one immutable file (segment or
+    /// manifest) with its byte length and CRC32, so the controller can
+    /// fetch files one by one and verify every frame independently.
+    SnapshotManifest {
+        /// The snapshotted shard.
+        shard: u32,
+        /// The shard store's durable epoch at snapshot time.
+        epoch: u64,
+        /// `(file name, byte length, crc32)` per snapshot file.
+        files: Vec<(String, u64, u32)>,
+    },
+    /// Repair controller → live replica: stream one named snapshot
+    /// file. The peer answers with a [`Message::SegmentData`].
+    FetchSegment {
+        /// The snapshotted shard the file belongs to.
+        shard: u32,
+        /// File name from the [`Message::SnapshotManifest`].
+        name: String,
+    },
+    /// Live replica → repair controller: the bytes of one snapshot
+    /// file, CRC-framed so a corrupt hop is detected before the file
+    /// is ever installed.
+    SegmentData {
+        /// CRC32 of `payload`.
+        crc: u32,
+        /// The file bytes.
+        payload: Bytes,
+    },
+    /// Repair controller → rebuilding replica: install one snapshot
+    /// file into the shard's staging directory (tmp + fsync + rename,
+    /// same protocol as the segment store's own commits). An empty
+    /// `name` with `commit = false` *begins* a rebuild (the replica
+    /// starts buffering live writes); `commit = true` atomically cuts
+    /// the staged files over to serving and replays the buffer.
+    InstallShard {
+        /// The shard being rebuilt.
+        shard: u32,
+        /// The snapshot epoch the staged files belong to.
+        epoch: u64,
+        /// Staged file name; empty for begin/commit control frames.
+        name: String,
+        /// CRC32 of `payload`.
+        crc: u32,
+        /// True on the final frame: cut over and start serving.
+        commit: bool,
+        /// The file bytes (empty for control frames).
+        payload: Bytes,
+    },
+    /// Membership prober → peer: liveness probe. Any reachable peer
+    /// answers [`Message::Pong`] regardless of role.
+    Ping,
+    /// Peer → membership prober: liveness acknowledgement.
+    Pong,
 }
 
 /// Fault codes carried by [`Message::Fault`].
@@ -256,6 +317,12 @@ pub mod fault {
     /// The peer's storage engine rejected the operation (e.g. a WAL
     /// write failed on a durable shard).
     pub const STORAGE: u8 = 5;
+    /// The shard is mid-rebuild on this replica and cannot serve
+    /// queries yet (writes are buffered, reads must fail over).
+    pub const REBUILDING: u8 = 6;
+    /// A repair frame failed verification (CRC mismatch, unknown
+    /// snapshot file, or a commit without a staged snapshot).
+    pub const REPAIR: u8 = 7;
 }
 
 /// Wire decoding errors.
@@ -293,6 +360,13 @@ const TAG_INDEX_DOCS: u8 = 12;
 const TAG_REMOVE_DOC: u8 = 13;
 const TAG_BULK_LOAD: u8 = 14;
 const TAG_PLAN_QUERY: u8 = 15;
+const TAG_PREPARE_SNAPSHOT: u8 = 16;
+const TAG_SNAPSHOT_MANIFEST: u8 = 17;
+const TAG_FETCH_SEGMENT: u8 = 18;
+const TAG_SEGMENT_DATA: u8 = 19;
+const TAG_INSTALL_SHARD: u8 = 20;
+const TAG_PING: u8 = 21;
+const TAG_PONG: u8 = 22;
 
 impl Message {
     /// Serializes the message.
@@ -419,6 +493,59 @@ impl Message {
                 buffer.put_u8(TAG_FAULT);
                 buffer.put_u8(*code);
                 buffer.put_u32(group.0);
+            }
+            Message::PrepareSnapshot { shard } => {
+                buffer.put_u8(TAG_PREPARE_SNAPSHOT);
+                buffer.put_u32(*shard);
+            }
+            Message::SnapshotManifest {
+                shard,
+                epoch,
+                files,
+            } => {
+                buffer.put_u8(TAG_SNAPSHOT_MANIFEST);
+                buffer.put_u32(*shard);
+                buffer.put_u64(*epoch);
+                buffer.put_u32(files.len() as u32);
+                for (name, len, crc) in files {
+                    put_string(&mut buffer, name);
+                    buffer.put_u64(*len);
+                    buffer.put_u32(*crc);
+                }
+            }
+            Message::FetchSegment { shard, name } => {
+                buffer.put_u8(TAG_FETCH_SEGMENT);
+                buffer.put_u32(*shard);
+                put_string(&mut buffer, name);
+            }
+            Message::SegmentData { crc, payload } => {
+                buffer.put_u8(TAG_SEGMENT_DATA);
+                buffer.put_u32(*crc);
+                buffer.put_u32(payload.len() as u32);
+                buffer.put_slice(payload);
+            }
+            Message::InstallShard {
+                shard,
+                epoch,
+                name,
+                crc,
+                commit,
+                payload,
+            } => {
+                buffer.put_u8(TAG_INSTALL_SHARD);
+                buffer.put_u32(*shard);
+                buffer.put_u64(*epoch);
+                put_string(&mut buffer, name);
+                buffer.put_u32(*crc);
+                buffer.put_u8(u8::from(*commit));
+                buffer.put_u32(payload.len() as u32);
+                buffer.put_slice(payload);
+            }
+            Message::Ping => {
+                buffer.put_u8(TAG_PING);
+            }
+            Message::Pong => {
+                buffer.put_u8(TAG_PONG);
             }
         }
         buffer.freeze()
@@ -562,6 +689,57 @@ impl Message {
                 let group = GroupId(read_u32(&mut buffer)?);
                 Ok(Message::Fault { code, group })
             }
+            TAG_PREPARE_SNAPSHOT => Ok(Message::PrepareSnapshot {
+                shard: read_u32(&mut buffer)?,
+            }),
+            TAG_SNAPSHOT_MANIFEST => {
+                let shard = read_u32(&mut buffer)?;
+                let epoch = read_u64(&mut buffer)?;
+                let count = read_u32(&mut buffer)? as usize;
+                let mut files = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let name = read_string(&mut buffer)?;
+                    let len = read_u64(&mut buffer)?;
+                    let crc = read_u32(&mut buffer)?;
+                    files.push((name, len, crc));
+                }
+                Ok(Message::SnapshotManifest {
+                    shard,
+                    epoch,
+                    files,
+                })
+            }
+            TAG_FETCH_SEGMENT => {
+                let shard = read_u32(&mut buffer)?;
+                let name = read_string(&mut buffer)?;
+                Ok(Message::FetchSegment { shard, name })
+            }
+            TAG_SEGMENT_DATA => {
+                let crc = read_u32(&mut buffer)?;
+                let payload = read_bytes(&mut buffer)?;
+                Ok(Message::SegmentData { crc, payload })
+            }
+            TAG_INSTALL_SHARD => {
+                let shard = read_u32(&mut buffer)?;
+                let epoch = read_u64(&mut buffer)?;
+                let name = read_string(&mut buffer)?;
+                let crc = read_u32(&mut buffer)?;
+                if buffer.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                let commit = buffer.get_u8() != 0;
+                let payload = read_bytes(&mut buffer)?;
+                Ok(Message::InstallShard {
+                    shard,
+                    epoch,
+                    name,
+                    crc,
+                    commit,
+                    payload,
+                })
+            }
+            TAG_PING => Ok(Message::Ping),
+            TAG_PONG => Ok(Message::Pong),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -595,6 +773,22 @@ impl Message {
             Message::InsertOk => 1,
             Message::DeleteOk { .. } => 1 + 8,
             Message::Fault { .. } => 1 + 1 + 4,
+            Message::PrepareSnapshot { .. } => 1 + 4,
+            Message::SnapshotManifest { files, .. } => {
+                1 + 4
+                    + 8
+                    + 4
+                    + files
+                        .iter()
+                        .map(|(name, _, _)| 4 + name.len() + 8 + 4)
+                        .sum::<usize>()
+            }
+            Message::FetchSegment { name, .. } => 1 + 4 + 4 + name.len(),
+            Message::SegmentData { payload, .. } => 1 + 4 + 4 + payload.len(),
+            Message::InstallShard { name, payload, .. } => {
+                1 + 4 + 8 + 4 + name.len() + 4 + 1 + 4 + payload.len()
+            }
+            Message::Ping | Message::Pong => 1,
         }
     }
 }
@@ -655,6 +849,31 @@ fn read_u64(buffer: &mut &[u8]) -> Result<u64, WireError> {
         return Err(WireError::Truncated);
     }
     Ok(buffer.get_u64())
+}
+
+fn put_string(buffer: &mut BytesMut, value: &str) {
+    buffer.put_u32(value.len() as u32);
+    buffer.put_slice(value.as_bytes());
+}
+
+fn read_string(buffer: &mut &[u8]) -> Result<String, WireError> {
+    let len = read_u32(buffer)? as usize;
+    if buffer.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let value = String::from_utf8_lossy(&buffer[..len]).into_owned();
+    buffer.advance(len);
+    Ok(value)
+}
+
+fn read_bytes(buffer: &mut &[u8]) -> Result<Bytes, WireError> {
+    let len = read_u32(buffer)? as usize;
+    if buffer.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let value = Bytes::copy_from_slice(&buffer[..len]);
+    buffer.advance(len);
+    Ok(value)
 }
 
 fn read_share(buffer: &mut &[u8]) -> Result<StoredShare, WireError> {
@@ -871,6 +1090,63 @@ mod tests {
             let encoded = message.encode();
             assert_eq!(encoded.len(), message.wire_size());
             assert_eq!(Message::decode(&encoded).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn repair_frames_round_trip_and_reject_every_cut() {
+        let messages = [
+            Message::PrepareSnapshot { shard: 3 },
+            Message::SnapshotManifest {
+                shard: 3,
+                epoch: 17,
+                files: vec![
+                    ("MANIFEST".to_string(), 96, 0xdead_beef),
+                    ("seg-000001.zseg".to_string(), 4096, 0x1234_5678),
+                ],
+            },
+            Message::SnapshotManifest {
+                shard: 0,
+                epoch: 0,
+                files: vec![],
+            },
+            Message::FetchSegment {
+                shard: 3,
+                name: "seg-000001.zseg".to_string(),
+            },
+            Message::SegmentData {
+                crc: 0xcafe_f00d,
+                payload: Bytes::from_static(b"segment bytes"),
+            },
+            Message::InstallShard {
+                shard: 3,
+                epoch: 17,
+                name: "seg-000001.zseg".to_string(),
+                crc: 0xcafe_f00d,
+                commit: false,
+                payload: Bytes::from_static(b"segment bytes"),
+            },
+            Message::InstallShard {
+                shard: 3,
+                epoch: 17,
+                name: String::new(),
+                crc: 0,
+                commit: true,
+                payload: Bytes::new(),
+            },
+            Message::Ping,
+            Message::Pong,
+        ];
+        for message in messages {
+            let encoded = message.encode();
+            assert_eq!(encoded.len(), message.wire_size(), "{message:?}");
+            assert_eq!(Message::decode(&encoded).unwrap(), message);
+            for cut in 0..encoded.len() {
+                assert!(
+                    Message::decode(&encoded[..cut]).is_err(),
+                    "{message:?}: cut at {cut} should fail"
+                );
+            }
         }
     }
 

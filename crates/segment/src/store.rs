@@ -898,6 +898,63 @@ impl SegmentStore {
             segments: groups,
         }))
     }
+
+    /// Exports a consistent on-disk snapshot of the store for replica
+    /// rebuild: seals the memtable (so the WAL holds nothing the
+    /// segments don't), then — with compaction quiesced so no listed
+    /// file can be rewritten or deleted mid-read — returns the MVCC
+    /// epoch plus the manifest and every live segment file as named
+    /// byte blobs. Feeding the returned set to
+    /// [`SegmentStore::install_files`] and opening the target
+    /// directory yields a store with identical query results.
+    #[allow(clippy::type_complexity)]
+    pub fn export_files(&self) -> Result<(u64, Vec<(String, Vec<u8>)>), SegmentError> {
+        // Same order as `compact_once`: compaction lock before writer
+        // lock, so this cannot deadlock against the compactor.
+        let _quiesce = self.inner.compaction.lock();
+        let mut writer = self.inner.writer.lock();
+        self.inner.flush_locked(&mut writer)?;
+        let epoch = self.inner.epoch.load(Ordering::Relaxed);
+        let manifest = self.inner.dir.join(MANIFEST_FILE);
+        let mut files = Vec::new();
+        if manifest.exists() {
+            let (_, names) = parse_manifest(&manifest)?;
+            files.push((MANIFEST_FILE.to_string(), std::fs::read(&manifest)?));
+            for name in names {
+                let bytes = std::fs::read(self.inner.dir.join(&name))?;
+                files.push((name, bytes));
+            }
+        }
+        Ok((epoch, files))
+    }
+
+    /// Stages an exported file set into `dir` using the same
+    /// durability protocol as the store's own commits (tmp + fsync +
+    /// rename, then directory fsync). File names are confined to the
+    /// target directory — anything resembling a path escapes with a
+    /// `Corrupt` error. After staging, open the directory with
+    /// [`SegmentStore::open`] (or `open_observed`) to serve from it.
+    pub fn install_files(
+        dir: impl Into<PathBuf>,
+        files: &[(String, Vec<u8>)],
+    ) -> Result<(), SegmentError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for (name, bytes) in files {
+            if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+                return Err(SegmentError::Corrupt {
+                    file: name.clone(),
+                    reason: "snapshot file name escapes the target directory",
+                });
+            }
+            let tmp = dir.join(format!("{name}.tmp"));
+            std::fs::write(&tmp, bytes)?;
+            std::fs::File::open(&tmp)?.sync_all()?;
+            std::fs::rename(&tmp, dir.join(name))?;
+        }
+        std::fs::File::open(&dir)?.sync_all()?;
+        Ok(())
+    }
 }
 
 impl Drop for SegmentStore {

@@ -1,0 +1,145 @@
+//! Replica-rebuild snapshot shipping: `export_files` on a live store
+//! plus `install_files` into a fresh directory must reproduce a store
+//! with identical query-visible state — including un-flushed memtable
+//! contents (export seals them first) — and installed stores must
+//! survive reopening like any other store.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use zerber_index::{DocId, Document, GroupId, SegmentPolicy, TermId};
+use zerber_segment::{scratch_dir, SegmentStore};
+
+fn policy() -> SegmentPolicy {
+    SegmentPolicy {
+        flush_postings: 16,
+        max_segments: 2,
+        ..SegmentPolicy::default()
+    }
+}
+
+fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+    Document::from_term_counts(
+        DocId(id),
+        GroupId(0),
+        terms.iter().map(|&(t, c)| (TermId(t), c)).collect(),
+    )
+}
+
+fn postings_table(store: &SegmentStore, terms: u32) -> BTreeMap<u32, Vec<(u32, u32, u32)>> {
+    let snapshot = store.snapshot();
+    (0..terms)
+        .map(|t| {
+            let entries = snapshot
+                .live_postings(TermId(t))
+                .into_iter()
+                .map(|e| (e.doc as u32, e.count, e.doc_length))
+                .collect();
+            (t, entries)
+        })
+        .collect()
+}
+
+#[test]
+fn export_then_install_reproduces_the_store() {
+    let source_dir = scratch_dir("export-src");
+    let source = SegmentStore::open(&source_dir, policy()).unwrap();
+    source
+        .insert(&[doc(1, &[(0, 2), (3, 1)]), doc(2, &[(0, 1)])])
+        .unwrap();
+    source.flush().unwrap();
+    source.insert(&[doc(3, &[(3, 4)])]).unwrap();
+    source.delete(DocId(2)).unwrap();
+    // Deliberately no flush: the export must seal the memtable itself.
+
+    let (epoch, files) = source.export_files().unwrap();
+    assert!(epoch > 0);
+    assert!(
+        files.iter().any(|(name, _)| name == "MANIFEST.zman"),
+        "manifest must ship with the snapshot"
+    );
+
+    let clone_dir = scratch_dir("export-dst");
+    SegmentStore::install_files(&clone_dir, &files).unwrap();
+    let clone = SegmentStore::open(&clone_dir, policy()).unwrap();
+    assert_eq!(postings_table(&source, 8), postings_table(&clone, 8));
+    assert!(clone.snapshot().contains_doc(DocId(1)));
+    assert!(!clone.snapshot().contains_doc(DocId(2)));
+
+    // The installed store is a real store: it keeps taking writes and
+    // survives reopen.
+    clone.insert(&[doc(9, &[(5, 1)])]).unwrap();
+    drop(clone);
+    let reopened = SegmentStore::open(&clone_dir, policy()).unwrap();
+    assert!(reopened.snapshot().contains_doc(DocId(9)));
+}
+
+#[test]
+fn empty_store_exports_and_installs_cleanly() {
+    let source = SegmentStore::open(scratch_dir("export-empty-src"), policy()).unwrap();
+    let (_, files) = source.export_files().unwrap();
+    let clone_dir = scratch_dir("export-empty-dst");
+    SegmentStore::install_files(&clone_dir, &files).unwrap();
+    let clone = SegmentStore::open(&clone_dir, policy()).unwrap();
+    assert_eq!(clone.snapshot().live_doc_count(), 0);
+}
+
+#[test]
+fn install_rejects_path_escaping_names() {
+    for name in ["../evil", "a/b", "a\\b", ""] {
+        let err = SegmentStore::install_files(
+            scratch_dir("export-escape"),
+            &[(name.to_string(), vec![1, 2, 3])],
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("escapes"),
+            "{name:?} should be rejected, got {err}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any write history (including deletes and mid-history flushes)
+    /// exports to a file set whose install is posting-for-posting
+    /// identical to the source.
+    #[test]
+    fn export_install_round_trips_any_history(
+        steps in prop::collection::vec(
+            (
+                0u32..30,
+                prop::collection::vec((0u32..10, 1u32..4), 0..3).prop_map(|mut terms| {
+                    terms.sort_by_key(|&(t, _)| t);
+                    terms.dedup_by_key(|&mut (t, _)| t);
+                    terms
+                }),
+                0u32..6,
+            ),
+            1..20,
+        ),
+    ) {
+        let source = SegmentStore::open(scratch_dir("export-prop-src"), policy()).unwrap();
+        for (id, terms, action) in &steps {
+            if *action == 0 {
+                source.delete(DocId(*id)).unwrap();
+            } else {
+                source.insert(&[doc(*id, terms)]).unwrap();
+            }
+            if *action == 1 {
+                source.flush().unwrap();
+            }
+        }
+        let (_, files) = source.export_files().unwrap();
+        let clone_dir = scratch_dir("export-prop-dst");
+        SegmentStore::install_files(&clone_dir, &files).unwrap();
+        let clone = SegmentStore::open(&clone_dir, policy()).unwrap();
+        prop_assert_eq!(postings_table(&source, 10), postings_table(&clone, 10));
+        prop_assert_eq!(
+            source.snapshot().live_doc_count(),
+            clone.snapshot().live_doc_count()
+        );
+    }
+}

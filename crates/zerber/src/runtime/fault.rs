@@ -143,6 +143,32 @@ fn node_key(node: NodeId) -> u64 {
     }
 }
 
+/// One scheduled membership transition in a chaos run (see
+/// [`FaultInjectTransport::at_request`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Kill the peer: requests fail immediately, nothing delivered.
+    Kill(NodeId),
+    /// Mute the peer: requests execute, responses vanish.
+    Mute(NodeId),
+    /// Undo a kill/mute — the peer answers again (its *state* is
+    /// whatever it was; rejoining the serving set correctly is the
+    /// repair subsystem's job, which is exactly what the chaos tests
+    /// exercise).
+    Revive(NodeId),
+}
+
+/// The scheduled kill→revive script and the global request clock that
+/// drives it.
+struct ChaosSchedule {
+    /// Requests observed so far, across every link — the deterministic
+    /// clock scheduled actions key on.
+    clock: u64,
+    /// `(fire_at, action)`, kept sorted by `fire_at` (stable for equal
+    /// ticks): applied as the clock passes each mark.
+    pending: Vec<(u64, ChaosAction)>,
+}
+
 /// A seeded chaos wrapper around any [`Transport`].
 ///
 /// See the [module docs](self) for the fault model. The wrapper is the
@@ -159,6 +185,7 @@ pub struct FaultInjectTransport {
     killed: Mutex<HashSet<NodeId>>,
     muted: Mutex<HashSet<NodeId>>,
     counts: Mutex<FaultCounts>,
+    schedule: Mutex<ChaosSchedule>,
 }
 
 impl FaultInjectTransport {
@@ -173,6 +200,10 @@ impl FaultInjectTransport {
             killed: Mutex::new(HashSet::new()),
             muted: Mutex::new(HashSet::new()),
             counts: Mutex::new(FaultCounts::default()),
+            schedule: Mutex::new(ChaosSchedule {
+                clock: 0,
+                pending: Vec::new(),
+            }),
         }
     }
 
@@ -211,6 +242,42 @@ impl FaultInjectTransport {
         *self.counts.lock()
     }
 
+    /// Schedules `action` to fire once the global request clock (every
+    /// request on every link ticks it) passes `at`. Actions sharing a
+    /// tick apply in the order they were scheduled. Because the clock
+    /// counts *client behavior*, not wall time, a kill→revive→rejoin
+    /// script replays identically on every run of the same workload —
+    /// the membership-churn analogue of the seeded fault plan.
+    pub fn at_request(&self, at: u64, action: ChaosAction) {
+        let mut schedule = self.schedule.lock();
+        let pos = schedule.pending.partition_point(|&(t, _)| t <= at);
+        schedule.pending.insert(pos, (at, action));
+    }
+
+    /// The global request clock: requests observed so far on all links.
+    pub fn requests_seen(&self) -> u64 {
+        self.schedule.lock().clock
+    }
+
+    /// Advances the request clock one tick and applies every scheduled
+    /// action whose mark has passed.
+    fn tick(&self) {
+        let due: Vec<ChaosAction> = {
+            let mut schedule = self.schedule.lock();
+            schedule.clock += 1;
+            let clock = schedule.clock;
+            let upto = schedule.pending.partition_point(|&(t, _)| t <= clock);
+            schedule.pending.drain(..upto).map(|(_, a)| a).collect()
+        };
+        for action in due {
+            match action {
+                ChaosAction::Kill(node) => self.kill(node),
+                ChaosAction::Mute(node) => self.mute(node),
+                ChaosAction::Revive(node) => self.revive(node),
+            }
+        }
+    }
+
     /// The deterministic roll for one request on one link.
     fn roll(&self, from: NodeId, to: NodeId, seq: u64) -> u64 {
         let link = splitmix64(node_key(from) ^ node_key(to).rotate_left(17));
@@ -231,6 +298,9 @@ impl Transport for FaultInjectTransport {
         trace: u64,
         payload: Arc<[u8]>,
     ) -> PendingReply {
+        // The membership script runs on the global request clock,
+        // armed or not — churn is part of the scenario, not the noise.
+        self.tick();
         // Explicit peer states apply armed or not: a dead peer is dead.
         if self.killed.lock().contains(&to) {
             return PendingReply::failed(to, TransportError::PeerGone(to));
@@ -423,6 +493,24 @@ mod tests {
                 .unwrap(),
             message
         );
+        drop(chaos);
+        handle.join().ok();
+    }
+
+    #[test]
+    fn scheduled_churn_replays_on_the_request_clock() {
+        let (chaos, handle, peer) = harness(FaultPlan::quiet(11));
+        let user = NodeId::User(0);
+        let message = Message::InsertOk;
+        // Dead as of the 2nd request, back as of the 4th — keyed to
+        // the request clock, so the script is workload-deterministic.
+        chaos.at_request(2, ChaosAction::Kill(peer));
+        chaos.at_request(4, ChaosAction::Revive(peer));
+        let outcomes: Vec<bool> = (0..6)
+            .map(|_| chaos.request(user, peer, AuthToken(0), &message).is_ok())
+            .collect();
+        assert_eq!(outcomes, vec![true, false, false, true, true, true]);
+        assert_eq!(chaos.requests_seen(), 6);
         drop(chaos);
         handle.join().ok();
     }

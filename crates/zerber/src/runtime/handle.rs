@@ -122,7 +122,7 @@ mod tests {
         let server = Arc::new(IndexServer::new(0, Fp::new(3), auth.clone()));
         server.add_user_to_group(UserId(1), GroupId(0));
         let meter = Arc::new(TrafficMeter::new());
-        let mut runtime = PeerRuntime::new(meter.clone());
+        let runtime = PeerRuntime::new(meter.clone());
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || ServerService::new(server));
         let handle = RuntimeHandle::new(

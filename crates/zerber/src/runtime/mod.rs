@@ -54,18 +54,20 @@
 pub mod fault;
 pub mod gather;
 pub mod handle;
+pub mod membership;
 pub mod obs;
 pub mod peer;
+pub mod repair;
 pub mod shard;
 pub mod socket;
 pub mod transport;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use zerber_dht::ShardMap;
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, RankedDoc, TermId};
@@ -73,15 +75,19 @@ use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 use zerber_obs::{QueryTrace, SpanRecord, TraceId};
 use zerber_query::{CacheConfig, Forced, Query, ResultCache};
 
-pub use fault::{FaultInjectTransport, FaultPlan};
+pub use fault::{ChaosAction, FaultInjectTransport, FaultPlan};
 pub use gather::{
     gather_topk, gather_topk_with, hedged_fan_out, AttemptOutcome, AttemptRecord, GatherOutcome,
     GatherScratch, HedgePolicy, ShardFetch, ShardUnavailable,
 };
 pub use handle::RuntimeHandle;
+pub use membership::{MembershipTable, PeerStatus};
 pub use obs::RuntimeObs;
-pub use peer::{PeerRuntime, PeerService, ServerService, ShardService};
-pub use shard::{build_shard_store, build_shard_store_observed, ShardStore, ShardStoreError};
+pub use peer::{PeerRuntime, PeerService, RestoreFn, ServerService, ShardService};
+pub use repair::{rebuild_shard, Backoff, RepairError, RepairStats};
+pub use shard::{
+    build_shard_store, build_shard_store_observed, restore_shard_store, ShardStore, ShardStoreError,
+};
 pub use transport::{InProcTransport, PendingReply, Transport, TransportError};
 
 use crate::runtime::transport::DEFAULT_RPC_TIMEOUT;
@@ -181,12 +187,32 @@ pub struct ShardedQueryOutcome {
     /// bound cut it off.
     pub candidates_examined: usize,
     /// Replicas that failed or stayed silent before their shard
-    /// settled — the dead are reported, never silently dropped.
-    pub failed_peers: Vec<NodeId>,
+    /// settled, each with its terminal error (timeout vs. dead link
+    /// vs. fault) — the dead are reported, never silently dropped.
+    pub failed_peers: Vec<(NodeId, TransportError)>,
+    /// Shards *no* replica answered for, served as empty under
+    /// [`DegradedMode::FlaggedPartial`]. Empty on a complete answer —
+    /// and always empty under [`DegradedMode::FailClosed`], which
+    /// turns the first uncovered shard into a [`QueryError`].
+    pub partial_shards: Vec<u32>,
     /// The assembled span tree of this query: fan-out, per-shard RPC
     /// attempts (with hedges, failures, and duplicates), peer-side
     /// decode, and gather merge.
     pub trace: Arc<QueryTrace>,
+}
+
+/// What a query does when a shard has no answering replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedMode {
+    /// Fail the whole query with the per-replica evidence
+    /// ([`QueryError::Unavailable`]). The default: a silently partial
+    /// top-k is a *wrong* top-k.
+    #[default]
+    FailClosed,
+    /// Serve the covered shards and *flag* the uncovered ones in
+    /// [`ShardedQueryOutcome::partial_shards`]. Partial answers never
+    /// fill the result cache.
+    FlaggedPartial,
 }
 
 /// A concurrent, document-sharded top-k search deployment.
@@ -243,7 +269,27 @@ pub struct ShardedSearch {
     /// lets a caller wrap it (the chaos harness injects faults here
     /// without the peers knowing).
     transport: Arc<dyn Transport>,
-    map: ShardMap,
+    /// The serving shard → peer assignment. Queries read it; only a
+    /// join/leave cutover writes it.
+    map: RwLock<ShardMap>,
+    /// The *next* assignment while a join/leave migration is in
+    /// flight: writes fan to the union of old and new placement (so
+    /// no acknowledged write misses a future replica), while queries
+    /// keep serving from the old assignment until cutover.
+    transition: Mutex<Option<ShardMap>>,
+    /// Peers that missed an acknowledged write (their replica fan-out
+    /// leg kept failing after retries): queries skip them until
+    /// [`ShardedSearch::repair_peer`] re-ships their shards, because a
+    /// replica that missed a write may not serve — bit-identity over
+    /// availability.
+    tainted: Mutex<HashSet<u32>>,
+    /// Heartbeat-driven peer health (feeds `zerber_membership_up`).
+    membership: Mutex<MembershipTable>,
+    /// What queries do about a shard with no live replica.
+    degraded: RwLock<DegradedMode>,
+    /// The per-replica store backend — kept so repaired/joining peers
+    /// rebuild their stores from shipped snapshots.
+    backend: Arc<PostingBackend>,
     /// Copies per shard (`1` = unreplicated).
     replicas: u32,
     /// When queries hedge to the next replica.
@@ -313,12 +359,23 @@ pub enum QueryError {
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueryError::Unavailable(s) => write!(
-                f,
-                "shard {} unavailable after {} attempts",
-                s.shard,
-                s.attempts.len()
-            ),
+            QueryError::Unavailable(s) => {
+                write!(
+                    f,
+                    "shard {} unavailable after {} attempts",
+                    s.shard,
+                    s.attempts.len()
+                )?;
+                // The per-replica terminal evidence: a timeout reads
+                // differently from a dead link or a fault frame, and
+                // the operator debugging an outage needs to know which.
+                for attempt in &s.attempts {
+                    if let AttemptOutcome::Failed(error) = attempt.outcome {
+                        write!(f, "; {:?}: {error}", attempt.peer)?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -352,6 +409,33 @@ fn to_wire(doc: &Document) -> WireDocument {
         length: doc.length,
         terms: doc.terms.clone(),
     }
+}
+
+/// Merges one replica's write acknowledgement into the settled
+/// response, preferring the highest `DeleteOk.removed` — a
+/// mid-rebuild replica buffers deletes and acks `removed: 0`, so a
+/// live replica's observation must win.
+fn merge_write_ack(best: &mut Option<Message>, response: Message) {
+    match (best.as_mut(), response) {
+        (Some(Message::DeleteOk { removed }), Message::DeleteOk { removed: other }) => {
+            *removed = (*removed).max(other);
+        }
+        (Some(_), _) => {}
+        (None, response) => *best = Some(response),
+    }
+}
+
+/// The snapshot-restore factory one peer's [`ShardService`] uses to
+/// become a rebuild target: installed files build a fresh store on the
+/// peer's own backend (and, for the segmented engine, in the peer's
+/// own replica directory).
+fn restore_factory(backend: Arc<PostingBackend>, peer: u32) -> peer::RestoreFn {
+    Box::new(move |shard, files| {
+        shard::restore_shard_store(
+            replica_backend(&backend, peer as usize, shard).as_ref(),
+            files,
+        )
+    })
 }
 
 impl ShardedSearch {
@@ -417,7 +501,7 @@ impl ShardedSearch {
             .collect();
 
         let obs = RuntimeObs::new();
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         // One shared backend description for every peer; the
         // per-replica variant (a subdirectory for the segmented
         // engine) is derived on the peer's own thread without cloning
@@ -436,6 +520,7 @@ impl ShardedSearch {
             // replica store builds (index, compress, or seed the
             // durable engine) in parallel across all peers.
             runtime.spawn_peer(node, move || {
+                let restore = restore_factory(Arc::clone(&backend), peer as u32);
                 ShardService::hosting(hosted.into_iter().map(|shard| {
                     let store = shard::build_shard_store_observed(
                         replica_backend(&backend, peer, shard).as_ref(),
@@ -444,13 +529,24 @@ impl ShardedSearch {
                     );
                     (shard, store)
                 }))
+                .with_restore(restore)
             });
         }
         let transport = wrap(Arc::clone(runtime.transport()));
+        let membership =
+            MembershipTable::new(map.peer_ids().iter().map(|&p| NodeId::IndexServer(p)));
+        obs.metrics()
+            .membership_up
+            .set(membership.up_count() as i64);
         Ok(Self {
             runtime,
             transport,
-            map,
+            map: RwLock::new(map),
+            transition: Mutex::new(None),
+            tainted: Mutex::new(HashSet::new()),
+            membership: Mutex::new(membership),
+            degraded: RwLock::new(DegradedMode::default()),
+            backend,
             replicas,
             policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState { stats, doc_terms }),
@@ -460,14 +556,37 @@ impl ShardedSearch {
         })
     }
 
-    /// Number of shard peers.
+    /// Number of live shard peers (changes under join/leave).
     pub fn peer_count(&self) -> usize {
-        self.map.peer_count() as usize
+        self.map.read().peer_count() as usize
+    }
+
+    /// Number of logical shards (fixed at launch).
+    pub fn shard_count(&self) -> u32 {
+        self.map.read().shard_count()
+    }
+
+    /// A copy of the current serving shard → peer assignment.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map.read().clone()
     }
 
     /// Copies of each shard (clamped to the peer count at launch).
     pub fn replication(&self) -> u32 {
         self.replicas
+    }
+
+    /// What queries do when a shard has no answering replica.
+    pub fn set_degraded_mode(&self, mode: DegradedMode) {
+        *self.degraded.write() = mode;
+    }
+
+    /// The peers currently excluded from query fan-out because they
+    /// missed an acknowledged write (sorted; empty when healthy).
+    pub fn tainted_peers(&self) -> Vec<u32> {
+        let mut peers: Vec<u32> = self.tainted.lock().iter().copied().collect();
+        peers.sort_unstable();
+        peers
     }
 
     /// Replaces the hedging policy (when to give up on a replica and
@@ -514,11 +633,129 @@ impl ShardedSearch {
         self.runtime.transport().meter()
     }
 
-    /// Fans one write to every replica of `shard` and requires *all*
-    /// of them to acknowledge — a write that any replica did not apply
-    /// would let the replicas diverge and break the bit-identity
-    /// guarantee queries rely on. All sends leave before any wait, so
-    /// the round trip costs the slowest replica, not the sum.
+    /// The peers one write to `shard` must reach: the current replica
+    /// set, plus — during a join/leave migration — the new
+    /// assignment's replicas, so no acknowledged write can miss a
+    /// peer that is about to start serving the shard.
+    fn write_peers(&self, shard: u32) -> Vec<u32> {
+        let mut peers: Vec<u32> = self
+            .map
+            .read()
+            .replica_peers(shard, self.replicas)
+            .into_iter()
+            .map(|p| p.0)
+            .collect();
+        if let Some(next) = self.transition.lock().as_ref() {
+            for p in next.replica_peers(shard, self.replicas) {
+                if !peers.contains(&p.0) {
+                    peers.push(p.0);
+                }
+            }
+        }
+        peers
+    }
+
+    /// Begins one write on every peer in `peers` (all sends leave
+    /// before any wait, so the round trip costs the slowest replica).
+    fn begin_write(&self, from: NodeId, peers: &[u32], payload: &Arc<[u8]>) -> Vec<PendingReply> {
+        peers
+            .iter()
+            .map(|&peer| {
+                self.transport.begin(
+                    from,
+                    NodeId::IndexServer(peer),
+                    AuthToken(0),
+                    Arc::clone(payload),
+                )
+            })
+            .collect()
+    }
+
+    /// Settles one shard's replica write fan-out under the
+    /// retry-then-repair discipline:
+    ///
+    /// * a **fault** from any replica fails the write closed
+    ///   ([`IngestError::Rejected`], no epoch bump, cache intact) —
+    ///   the store itself said no, and retrying cannot change that;
+    /// * a **transport failure** retries briefly with jittered
+    ///   backoff; a replica that still will not take the write is
+    ///   *tainted* — excluded from query fan-out until
+    ///   [`ShardedSearch::repair_peer`] re-ships it the shard
+    ///   (re-shipping is idempotent: replay applies documents by id);
+    /// * the write **succeeds** while at least one replica
+    ///   acknowledged — availability is preserved without ever letting
+    ///   a stale replica answer queries.
+    ///
+    /// Responses are merged preferring the highest `DeleteOk.removed`:
+    /// a mid-rebuild replica buffers the delete and acks `removed: 0`,
+    /// so a live replica's count must win.
+    fn settle_write(
+        &self,
+        from: NodeId,
+        shard: u32,
+        request: &Message,
+        peers: &[u32],
+        pendings: Vec<PendingReply>,
+    ) -> Result<Message, IngestError> {
+        let mut best: Option<Message> = None;
+        let mut acked = 0usize;
+        let mut last_error: Option<TransportError> = None;
+        let mut retry: Vec<u32> = Vec::new();
+        for (&peer, mut pending) in peers.iter().zip(pendings) {
+            match pending.wait(DEFAULT_RPC_TIMEOUT) {
+                Ok(Message::Fault { code, .. }) => return Err(IngestError::Rejected { code }),
+                Ok(response) => {
+                    acked += 1;
+                    merge_write_ack(&mut best, response);
+                }
+                Err(error) => {
+                    last_error = Some(error);
+                    retry.push(peer);
+                }
+            }
+        }
+        if !retry.is_empty() {
+            let mut backoff = repair::Backoff::for_seed(u64::from(shard) ^ 0x57A7_E0F5_ED11_BEEF);
+            for peer in retry {
+                let mut landed = false;
+                for _ in 0..2 {
+                    std::thread::sleep(backoff.next_delay());
+                    match self.transport.request(
+                        from,
+                        NodeId::IndexServer(peer),
+                        AuthToken(0),
+                        request,
+                    ) {
+                        Ok(Message::Fault { code, .. }) => {
+                            return Err(IngestError::Rejected { code })
+                        }
+                        Ok(response) => {
+                            acked += 1;
+                            merge_write_ack(&mut best, response);
+                            landed = true;
+                            break;
+                        }
+                        Err(error) => last_error = Some(error),
+                    }
+                }
+                if !landed {
+                    // The replica missed an acknowledged write: it may
+                    // not serve queries again until repaired.
+                    self.tainted.lock().insert(peer);
+                }
+            }
+        }
+        if acked == 0 {
+            return Err(IngestError::Transport(
+                last_error.expect("zero acks imply at least one error"),
+            ));
+        }
+        Ok(best.expect("acked responses were merged"))
+    }
+
+    /// Fans one write to every replica of `shard` under the
+    /// retry-then-repair discipline of
+    /// [`ShardedSearch::settle_write`].
     fn fan_write(
         &self,
         from: NodeId,
@@ -526,27 +763,9 @@ impl ShardedSearch {
         request: &Message,
     ) -> Result<Message, IngestError> {
         let payload: Arc<[u8]> = Arc::from(request.encode().as_ref());
-        let mut pendings: Vec<PendingReply> = self
-            .map
-            .replica_peers(shard, self.replicas)
-            .into_iter()
-            .map(|peer| {
-                self.transport.begin(
-                    from,
-                    NodeId::IndexServer(peer.0),
-                    AuthToken(0),
-                    Arc::clone(&payload),
-                )
-            })
-            .collect();
-        let mut first: Option<Message> = None;
-        for pending in &mut pendings {
-            match pending.wait(DEFAULT_RPC_TIMEOUT)? {
-                Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
-                response => first.get_or_insert(response),
-            };
-        }
-        Ok(first.expect("a shard always has at least one replica"))
+        let peers = self.write_peers(shard);
+        let pendings = self.begin_write(from, &peers, &payload);
+        self.settle_write(from, shard, request, &peers, pendings)
     }
 
     /// Inserts (or replaces) documents live, as owner node `owner`:
@@ -565,11 +784,14 @@ impl ShardedSearch {
         // Group per shard, preserving arrival order within each group
         // (later copies of a doc id must win).
         let mut per_shard: HashMap<u32, Vec<&Document>> = HashMap::new();
-        for doc in docs {
-            per_shard
-                .entry(self.map.shard_of(doc.id).0)
-                .or_default()
-                .push(doc);
+        {
+            let map = self.map.read();
+            for doc in docs {
+                per_shard
+                    .entry(map.shard_of(doc.id).0)
+                    .or_default()
+                    .push(doc);
+            }
         }
         for (shard, group) in per_shard {
             let request = Message::IndexDocs {
@@ -624,13 +846,17 @@ impl ShardedSearch {
         // Group per shard, preserving arrival order within each group
         // (later copies of a doc id must win).
         let mut per_shard: HashMap<u32, Vec<&Document>> = HashMap::new();
-        for doc in docs {
-            per_shard
-                .entry(self.map.shard_of(doc.id).0)
-                .or_default()
-                .push(doc);
+        {
+            let map = self.map.read();
+            for doc in docs {
+                per_shard
+                    .entry(map.shard_of(doc.id).0)
+                    .or_default()
+                    .push(doc);
+            }
         }
-        let mut inflight: Vec<(Vec<&Document>, Vec<PendingReply>)> =
+        #[allow(clippy::type_complexity)]
+        let mut inflight: Vec<(u32, Message, Vec<&Document>, Vec<u32>, Vec<PendingReply>)> =
             Vec::with_capacity(per_shard.len());
         for (shard, group) in per_shard {
             let request = Message::BulkLoad {
@@ -638,28 +864,14 @@ impl ShardedSearch {
                 docs: group.iter().map(|doc| to_wire(doc)).collect(),
             };
             let payload: Arc<[u8]> = Arc::from(request.encode().as_ref());
-            let pendings = self
-                .map
-                .replica_peers(shard, self.replicas)
-                .into_iter()
-                .map(|peer| {
-                    self.transport.begin(
-                        NodeId::Owner(owner),
-                        NodeId::IndexServer(peer.0),
-                        AuthToken(0),
-                        Arc::clone(&payload),
-                    )
-                })
-                .collect();
-            inflight.push((group, pendings));
+            let peers = self.write_peers(shard);
+            let pendings = self.begin_write(NodeId::Owner(owner), &peers, &payload);
+            inflight.push((shard, request, group, peers, pendings));
         }
-        for (group, mut pendings) in inflight {
-            for pending in &mut pendings {
-                match pending.wait(DEFAULT_RPC_TIMEOUT)? {
-                    Message::Fault { code, .. } => return Err(IngestError::Rejected { code }),
-                    Message::InsertOk => {}
-                    other => panic!("protocol violation: unexpected response {other:?}"),
-                }
+        for (shard, request, group, peers, pendings) in inflight {
+            match self.settle_write(NodeId::Owner(owner), shard, &request, &peers, pendings)? {
+                Message::InsertOk => {}
+                other => panic!("protocol violation: unexpected response {other:?}"),
             }
             // Account this shard's documents the moment its replicas
             // all acknowledge — exactly the live-insert discipline, so
@@ -683,7 +895,7 @@ impl ShardedSearch {
     /// [`ShardedSearch::insert_documents`], fanned to every replica).
     /// Returns whether the document existed.
     pub fn delete_document(&self, owner: u32, doc: DocId) -> Result<bool, IngestError> {
-        let shard = self.map.shard_of(doc).0;
+        let shard = self.map.read().shard_of(doc).0;
         let request = Message::RemoveDoc { shard, doc };
         let removed = match self.fan_write(NodeId::Owner(owner), shard, &request)? {
             Message::DeleteOk { removed } => removed > 0,
@@ -700,6 +912,28 @@ impl ShardedSearch {
             self.epoch.fetch_add(1, Ordering::Release);
         }
         Ok(removed)
+    }
+
+    /// Builds one query's fan-out list: one request per shard, fanned
+    /// to that shard's replicas *minus* any tainted peer — a replica
+    /// that missed an acknowledged write may hold stale postings, so
+    /// it must not answer queries until repaired (correctness over
+    /// availability). The map is read once, so a concurrent cutover
+    /// flips between queries, never inside one.
+    fn query_shards(&self, build: impl Fn(u32) -> Message) -> Vec<gather::ShardRequest> {
+        let map = self.map.read();
+        let tainted = self.tainted.lock();
+        (0..map.shard_count())
+            .map(|shard| {
+                let replicas = map
+                    .replica_peers(shard, self.replicas)
+                    .into_iter()
+                    .filter(|peer| !tainted.contains(&peer.0))
+                    .map(|peer| NodeId::IndexServer(peer.0))
+                    .collect();
+                (shard, replicas, Arc::from(build(shard).encode().as_ref()))
+            })
+            .collect()
     }
 
     /// Executes a top-`k` query as anonymous client 0.
@@ -727,22 +961,11 @@ impl ShardedSearch {
         // Saturate rather than truncate: document ids are 32-bit, so
         // no shard can hold more than u32::MAX results anyway.
         let wire_k = u32::try_from(k).unwrap_or(u32::MAX);
-        let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..self.map.peer_count())
-            .map(|shard| {
-                let request = Message::TopKQuery {
-                    shard,
-                    terms: weights.clone(),
-                    k: wire_k,
-                };
-                let replicas = self
-                    .map
-                    .replica_peers(shard, self.replicas)
-                    .into_iter()
-                    .map(|peer| NodeId::IndexServer(peer.0))
-                    .collect();
-                (shard, replicas, Arc::from(request.encode().as_ref()))
-            })
-            .collect();
+        let shards = self.query_shards(|shard| Message::TopKQuery {
+            shard,
+            terms: weights.clone(),
+            k: wire_k,
+        });
         let from = NodeId::User(client);
         let started = Instant::now();
         let trace_id = self.obs.next_trace_id();
@@ -756,21 +979,32 @@ impl ShardedSearch {
             &self.policy,
         );
 
+        let degraded = *self.degraded.read();
         let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
-        let mut failed_peers: Vec<NodeId> = Vec::new();
+        let mut failed_peers: Vec<(NodeId, TransportError)> = Vec::new();
+        let mut partial_shards: Vec<u32> = Vec::new();
+        let mut unavailable_err: Option<ShardUnavailable> = None;
         for fetch in fetches {
             let fetch = match fetch {
                 Ok(fetch) => fetch,
-                Err(unavailable) => {
-                    // A failed-closed query still counts: record its
-                    // latency and completion before surfacing the loss.
-                    let metrics = self.obs.metrics();
-                    metrics.latency.record(started.elapsed().as_nanos() as u64);
-                    metrics.total.inc();
-                    return Err(QueryError::Unavailable(unavailable));
-                }
+                Err(unavailable) => match degraded {
+                    DegradedMode::FailClosed => {
+                        unavailable_err = Some(unavailable);
+                        break;
+                    }
+                    DegradedMode::FlaggedPartial => {
+                        partial_shards.push(unavailable.shard);
+                        failed_peers.extend(unavailable.attempts.iter().filter_map(|a| {
+                            match a.outcome {
+                                AttemptOutcome::Failed(error) => Some((a.peer, error)),
+                                _ => None,
+                            }
+                        }));
+                        continue;
+                    }
+                },
             };
-            failed_peers.extend(fetch.failed().map(|(node, _)| node));
+            failed_peers.extend(fetch.failed());
             match fetch.response {
                 Message::TopKResponse { candidates, .. } => per_shard.push(
                     candidates
@@ -780,6 +1014,27 @@ impl ShardedSearch {
                 ),
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
+        }
+        if let Some(unavailable) = unavailable_err {
+            // A failed-closed query still counts: record its latency,
+            // completion, and a *failure trace* (the slow-query log is
+            // exactly where an operator looks for the terminal
+            // per-replica errors) before surfacing the loss.
+            let total = started.elapsed();
+            let metrics = self.obs.metrics();
+            metrics.latency.record(total.as_nanos() as u64);
+            metrics.total.inc();
+            let root = SpanRecord::new("query", Duration::ZERO, total)
+                .with_counter("k", k as u64)
+                .failed(format!("shard {} unavailable", unavailable.shard))
+                .with_child(fanout_span);
+            self.obs.record_trace(Arc::new(QueryTrace {
+                id: trace_id,
+                label: format!("terms={terms:?} k={k}"),
+                total,
+                root,
+            }));
+            return Err(QueryError::Unavailable(unavailable));
         }
         let gather_started = Instant::now();
         let gathered = GATHER_SCRATCH
@@ -822,6 +1077,7 @@ impl ShardedSearch {
             candidates_received: gathered.candidates_received,
             candidates_examined: gathered.candidates_examined,
             failed_peers,
+            partial_shards,
             trace,
         })
     }
@@ -898,6 +1154,7 @@ impl ShardedSearch {
                 candidates_received: 0,
                 candidates_examined: 0,
                 failed_peers: Vec::new(),
+                partial_shards: Vec::new(),
                 trace,
             });
         }
@@ -913,24 +1170,13 @@ impl ShardedSearch {
         let weights = self.stats.read().stats.weights(normalized.terms());
         let wire_k = u32::try_from(k).unwrap_or(u32::MAX);
         let shape = normalized.shape().as_u8();
-        let shards: Vec<(u32, Vec<NodeId>, Arc<[u8]>)> = (0..self.map.peer_count())
-            .map(|shard| {
-                let request = Message::PlanQuery {
-                    shard,
-                    shape,
-                    forced: forced.as_u8(),
-                    terms: weights.clone(),
-                    k: wire_k,
-                };
-                let replicas = self
-                    .map
-                    .replica_peers(shard, self.replicas)
-                    .into_iter()
-                    .map(|peer| NodeId::IndexServer(peer.0))
-                    .collect();
-                (shard, replicas, Arc::from(request.encode().as_ref()))
-            })
-            .collect();
+        let shards = self.query_shards(|shard| Message::PlanQuery {
+            shard,
+            shape,
+            forced: forced.as_u8(),
+            terms: weights.clone(),
+            k: wire_k,
+        });
         let from = NodeId::User(client);
         let trace_id = self.obs.next_trace_id();
         let (fetches, fanout_span) = traced_topk_fanout(
@@ -943,19 +1189,32 @@ impl ShardedSearch {
             &self.policy,
         );
 
+        let degraded = *self.degraded.read();
         let mut per_shard: Vec<Vec<RankedDoc>> = Vec::with_capacity(fetches.len());
-        let mut failed_peers: Vec<NodeId> = Vec::new();
+        let mut failed_peers: Vec<(NodeId, TransportError)> = Vec::new();
+        let mut partial_shards: Vec<u32> = Vec::new();
+        let mut unavailable_err: Option<ShardUnavailable> = None;
         for fetch in fetches {
             let fetch = match fetch {
                 Ok(fetch) => fetch,
-                Err(unavailable) => {
-                    let metrics = self.obs.metrics();
-                    metrics.latency.record(started.elapsed().as_nanos() as u64);
-                    metrics.total.inc();
-                    return Err(QueryError::Unavailable(unavailable));
-                }
+                Err(unavailable) => match degraded {
+                    DegradedMode::FailClosed => {
+                        unavailable_err = Some(unavailable);
+                        break;
+                    }
+                    DegradedMode::FlaggedPartial => {
+                        partial_shards.push(unavailable.shard);
+                        failed_peers.extend(unavailable.attempts.iter().filter_map(|a| {
+                            match a.outcome {
+                                AttemptOutcome::Failed(error) => Some((a.peer, error)),
+                                _ => None,
+                            }
+                        }));
+                        continue;
+                    }
+                },
             };
-            failed_peers.extend(fetch.failed().map(|(node, _)| node));
+            failed_peers.extend(fetch.failed());
             match fetch.response {
                 Message::TopKResponse { candidates, .. } => per_shard.push(
                     candidates
@@ -965,6 +1224,22 @@ impl ShardedSearch {
                 ),
                 other => panic!("protocol violation: unexpected response {other:?}"),
             }
+        }
+        if let Some(unavailable) = unavailable_err {
+            let total = started.elapsed();
+            metrics.latency.record(total.as_nanos() as u64);
+            metrics.total.inc();
+            let root = SpanRecord::new("query", Duration::ZERO, total)
+                .with_counter("k", k as u64)
+                .failed(format!("shard {} unavailable", unavailable.shard))
+                .with_child(fanout_span);
+            self.obs.record_trace(Arc::new(QueryTrace {
+                id: trace_id,
+                label,
+                total,
+                root,
+            }));
+            return Err(QueryError::Unavailable(unavailable));
         }
         let gather_started = Instant::now();
         let gathered = GATHER_SCRATCH
@@ -979,9 +1254,13 @@ impl ShardedSearch {
 
         // Fill the cache under the epoch the probe used: if a write
         // landed mid-flight the epoch has moved on, this key names a
-        // dead epoch, and no future probe can ever read it.
-        let evicted = self.cache.insert(key, Arc::new(gathered.ranked.clone()));
-        metrics.cache_evictions.add(evicted);
+        // dead epoch, and no future probe can ever read it. A partial
+        // answer (flagged-degraded mode with shards missing) never
+        // fills the cache — it is not *the* answer for this epoch.
+        if partial_shards.is_empty() {
+            let evicted = self.cache.insert(key, Arc::new(gathered.ranked.clone()));
+            metrics.cache_evictions.add(evicted);
+        }
         metrics
             .candidates_received
             .add(gathered.candidates_received as u64);
@@ -1011,8 +1290,262 @@ impl ShardedSearch {
             candidates_received: gathered.candidates_received,
             candidates_examined: gathered.candidates_examined,
             failed_peers,
+            partial_shards,
             trace,
         })
+    }
+
+    /// The identity control-plane RPCs (heartbeats, shard rebuilds)
+    /// travel as.
+    const CONTROLLER: NodeId = NodeId::Owner(0);
+
+    /// Probes every mapped peer with [`Message::Ping`] and feeds the
+    /// outcomes into the membership table, returning each peer's
+    /// debounced status. One missed probe makes a peer `Suspect`;
+    /// a streak declares it `Down` (repair-eligible); any answer —
+    /// including a fault — snaps it back to `Up`. Also refreshes the
+    /// `zerber_membership_up` gauge.
+    pub fn heartbeat(&self) -> Vec<(NodeId, PeerStatus)> {
+        let peers: Vec<NodeId> = self
+            .map
+            .read()
+            .peer_ids()
+            .iter()
+            .map(|&p| NodeId::IndexServer(p))
+            .collect();
+        let mut membership = self.membership.lock();
+        for &node in &peers {
+            let alive = repair::probe(self.transport.as_ref(), Self::CONTROLLER, node);
+            if membership.status(node).is_none() {
+                membership.admit(node);
+            }
+            if alive {
+                membership.note_success(node);
+            } else {
+                membership.note_failure(node);
+            }
+        }
+        self.obs
+            .metrics()
+            .membership_up
+            .set(membership.up_count() as i64);
+        peers
+            .iter()
+            .map(|&node| {
+                (
+                    node,
+                    membership.status(node).expect("probed peers are tracked"),
+                )
+            })
+            .collect()
+    }
+
+    /// Respawns a killed peer and rebuilds every shard it hosts from
+    /// live replicas. The revived service starts mid-rebuild — it
+    /// buffers writes and bounces reads from its very first request,
+    /// so it can never serve the stale state it died with — and each
+    /// shard starts serving again only when its snapshot commit (plus
+    /// buffered-write replay) succeeds. Returns the total shipped.
+    pub fn revive_peer(&self, peer: u32) -> Result<RepairStats, RepairError> {
+        let hosted = self.map.read().hosted_shards(peer, self.replicas);
+        let backend = Arc::clone(&self.backend);
+        self.runtime.spawn_peer(NodeId::IndexServer(peer), move || {
+            ShardService::rebuilding(hosted).with_restore(restore_factory(backend, peer))
+        });
+        self.repair_peer(peer)
+    }
+
+    /// Re-ships every shard hosted by `peer` from a live replica and,
+    /// on success, clears the peer's taint and readmits it to
+    /// membership. Safe to run on a currently-serving peer (the begin
+    /// frame flips each shard to write-buffering) and idempotent:
+    /// snapshot replay applies documents by id, so re-shipping state
+    /// the peer already holds changes nothing.
+    ///
+    /// While the repair runs the peer is tainted — queries skip it —
+    /// and it is untainted only once *every* hosted shard has cut
+    /// over, so a half-repaired peer never answers.
+    pub fn repair_peer(&self, peer: u32) -> Result<RepairStats, RepairError> {
+        let map = self.map.read().clone();
+        if !map.contains_peer(peer) {
+            return Err(RepairError::Protocol(format!("peer {peer} is not mapped")));
+        }
+        let target = NodeId::IndexServer(peer);
+        self.tainted.lock().insert(peer);
+        let mut total = RepairStats::default();
+        for shard in map.hosted_shards(peer, self.replicas) {
+            let source = map
+                .replica_peers(shard, self.replicas)
+                .into_iter()
+                .map(|p| p.0)
+                .find(|&p| p != peer && !self.tainted.lock().contains(&p))
+                .ok_or_else(|| {
+                    RepairError::Protocol(format!("shard {shard} has no live replica to ship from"))
+                })?;
+            let stats = rebuild_shard(
+                self.transport.as_ref(),
+                Self::CONTROLLER,
+                AuthToken(0),
+                NodeId::IndexServer(source),
+                target,
+                shard,
+                Some(&self.obs),
+            )?;
+            total.segments += stats.segments;
+            total.bytes += stats.bytes;
+        }
+        self.tainted.lock().remove(&peer);
+        let mut membership = self.membership.lock();
+        membership.admit(target);
+        self.obs
+            .metrics()
+            .membership_up
+            .set(membership.up_count() as i64);
+        Ok(total)
+    }
+
+    /// Tells `target` to start write-buffering `shard` (the begin
+    /// frame of the rebuild protocol) — sent to every peer *gaining* a
+    /// shard in a join/leave migration before writes start fanning to
+    /// the new placement, so a gained peer acks (buffers) writes it
+    /// cannot yet serve instead of rejecting them.
+    fn begin_buffering(&self, shard: u32, target: NodeId) -> Result<(), RepairError> {
+        let begin = Message::InstallShard {
+            shard,
+            epoch: 0,
+            name: String::new(),
+            crc: 0,
+            commit: false,
+            payload: zerber_net::Bytes::new(),
+        };
+        let mut backoff = Backoff::for_seed(u64::from(shard) ^ 0x0B5E_55ED_B00F_FEED);
+        let response = repair::retry_request(
+            self.transport.as_ref(),
+            Self::CONTROLLER,
+            target,
+            AuthToken(0),
+            &begin,
+            3,
+            &mut backoff,
+        )
+        .map_err(RepairError::Transport)?;
+        match response {
+            Message::InsertOk => Ok(()),
+            Message::Fault { code, .. } => Err(RepairError::Refused { node: target, code }),
+            other => Err(RepairError::Protocol(format!("begin answered {other:?}"))),
+        }
+    }
+
+    /// Ships every [`zerber_dht::ShardMove`] of a computed transition:
+    /// begin frames to all gaining peers, then the transition becomes
+    /// the write fan-out union, then each moved shard streams from a
+    /// live old-assignment source, and finally queries cut over to the
+    /// new assignment atomically. On failure the transition stays
+    /// installed — writes keep reaching both placements (so a retry
+    /// ships a superset snapshot and loses nothing) and queries keep
+    /// serving the old assignment.
+    fn migrate(
+        &self,
+        next: ShardMap,
+        moves: &[zerber_dht::ShardMove],
+    ) -> Result<RepairStats, RepairError> {
+        for mv in moves {
+            for gained in &mv.gained {
+                self.begin_buffering(mv.shard, NodeId::IndexServer(gained.0))?;
+            }
+        }
+        *self.transition.lock() = Some(next.clone());
+        let mut total = RepairStats::default();
+        for mv in moves {
+            let source = mv
+                .sources
+                .iter()
+                .map(|p| p.0)
+                .find(|p| !mv.gained.iter().any(|g| g.0 == *p) && !self.tainted.lock().contains(p))
+                .ok_or_else(|| {
+                    RepairError::Protocol(format!(
+                        "shard {} has no live source to migrate from",
+                        mv.shard
+                    ))
+                })?;
+            for gained in &mv.gained {
+                let stats = rebuild_shard(
+                    self.transport.as_ref(),
+                    Self::CONTROLLER,
+                    AuthToken(0),
+                    NodeId::IndexServer(source),
+                    NodeId::IndexServer(gained.0),
+                    mv.shard,
+                    Some(&self.obs),
+                )?;
+                total.segments += stats.segments;
+                total.bytes += stats.bytes;
+            }
+        }
+        *self.map.write() = next;
+        *self.transition.lock() = None;
+        Ok(total)
+    }
+
+    /// Adds `peer` to the ring and rebalances: the joiner spawns
+    /// mid-rebuild (buffering every shard it will host from its first
+    /// request), every moved shard ships from a live source while
+    /// queries keep serving the old assignment, and the cutover flips
+    /// atomically once all copies are installed. Returns the total
+    /// shipped across all moves.
+    pub fn join_peer(&self, peer: u32) -> Result<RepairStats, RepairError> {
+        let mut next = {
+            let map = self.map.read();
+            if map.contains_peer(peer) {
+                return Err(RepairError::Protocol(format!("peer {peer} already mapped")));
+            }
+            map.clone()
+        };
+        let moves = next.join(peer, self.replicas);
+        let hosted = next.hosted_shards(peer, self.replicas);
+        let backend = Arc::clone(&self.backend);
+        self.runtime.spawn_peer(NodeId::IndexServer(peer), move || {
+            ShardService::rebuilding(hosted).with_restore(restore_factory(backend, peer))
+        });
+        let total = self.migrate(next, &moves)?;
+        let mut membership = self.membership.lock();
+        membership.admit(NodeId::IndexServer(peer));
+        self.obs
+            .metrics()
+            .membership_up
+            .set(membership.up_count() as i64);
+        Ok(total)
+    }
+
+    /// Gracefully removes `peer` from the ring: its shards re-home
+    /// onto the survivors, every moved copy ships (the leaver is a
+    /// valid source until cutover), queries flip to the new
+    /// assignment, and only then is the leaver shut down and evicted
+    /// from membership. Returns the total shipped across all moves.
+    pub fn leave_peer(&self, peer: u32) -> Result<RepairStats, RepairError> {
+        let mut next = {
+            let map = self.map.read();
+            if !map.contains_peer(peer) {
+                return Err(RepairError::Protocol(format!("peer {peer} is not mapped")));
+            }
+            if map.peer_count() <= 1 {
+                return Err(RepairError::Protocol(
+                    "cannot remove the last peer".to_string(),
+                ));
+            }
+            map.clone()
+        };
+        let moves = next.leave(peer, self.replicas);
+        let total = self.migrate(next, &moves)?;
+        let mut membership = self.membership.lock();
+        membership.evict(NodeId::IndexServer(peer));
+        self.obs
+            .metrics()
+            .membership_up
+            .set(membership.up_count() as i64);
+        drop(membership);
+        self.kill_peer(peer);
+        Ok(total)
     }
 }
 
@@ -1305,7 +1838,7 @@ mod tests {
         // writes; the typed rejection must reach the caller.
         let docs = corpus(20, 4);
         let config = ZerberConfig::default().with_peers(2);
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let map = ShardMap::new(2);
         let shards = map.partition(&docs, |doc| doc.id);
         for (peer, shard) in shards.into_iter().enumerate() {
@@ -1317,10 +1850,17 @@ mod tests {
             });
         }
         let transport: Arc<dyn Transport> = Arc::clone(runtime.transport()) as Arc<dyn Transport>;
+        let membership =
+            MembershipTable::new(map.peer_ids().iter().map(|&p| NodeId::IndexServer(p)));
         let search = ShardedSearch {
             runtime,
             transport,
-            map,
+            map: RwLock::new(map),
+            transition: Mutex::new(None),
+            tainted: Mutex::new(HashSet::new()),
+            membership: Mutex::new(membership),
+            degraded: RwLock::new(DegradedMode::default()),
+            backend: Arc::new(config.postings.clone()),
             replicas: 1,
             policy: HedgePolicy::default(),
             stats: RwLock::new(StatsState {

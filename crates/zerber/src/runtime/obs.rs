@@ -86,6 +86,20 @@ pub(crate) struct QueryMetrics {
     pub plan_maxscore: Counter,
     pub plan_conjunctive: Counter,
     pub plan_phrase: Counter,
+    /// `zerber_repair_rebuilds_total`: shard copies rebuilt by
+    /// snapshot shipping (one per shard per repaired replica).
+    pub repair_rebuilds: Counter,
+    /// `zerber_repair_segments_shipped_total`: snapshot files streamed
+    /// during rebuilds (manifest + segments).
+    pub repair_segments_shipped: Counter,
+    /// `zerber_repair_bytes_shipped_total`: snapshot payload bytes
+    /// streamed during rebuilds.
+    pub repair_bytes_shipped: Counter,
+    /// `zerber_repair_rebuild_ns`: wall clock of one shard rebuild
+    /// (begin → snapshot → ship → commit).
+    pub repair_rebuild_ns: Histogram,
+    /// `zerber_membership_up` gauge: peers currently believed `Up`.
+    pub membership_up: Gauge,
 }
 
 impl QueryMetrics {
@@ -142,6 +156,11 @@ impl RuntimeObs {
             plan_maxscore: registry.counter("zerber_query_plan_total{plan=\"maxscore\"}"),
             plan_conjunctive: registry.counter("zerber_query_plan_total{plan=\"conjunctive\"}"),
             plan_phrase: registry.counter("zerber_query_plan_total{plan=\"phrase\"}"),
+            repair_rebuilds: registry.counter("zerber_repair_rebuilds_total"),
+            repair_segments_shipped: registry.counter("zerber_repair_segments_shipped_total"),
+            repair_bytes_shipped: registry.counter("zerber_repair_bytes_shipped_total"),
+            repair_rebuild_ns: registry.histogram("zerber_repair_rebuild_ns"),
+            membership_up: registry.gauge("zerber_membership_up"),
         };
         Self {
             inner: Arc::new(ObsInner {

@@ -26,8 +26,11 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
+use parking_lot::Mutex;
+
 use zerber_index::cursor::TopKScratch;
-use zerber_index::{Document, GroupId, PostingStore};
+use zerber_index::{DocId, Document, GroupId, PostingStore};
+use zerber_net::framing::crc32;
 use zerber_net::message::fault;
 use zerber_net::{AuthToken, Message, NodeId, TrafficMeter, WireDocument};
 use zerber_server::{IndexServer, ServerError};
@@ -128,10 +131,54 @@ impl PeerService for ServerService {
 /// access-controlled collections behind it.
 pub struct ShardService {
     /// The stores this peer hosts, by logical shard id.
-    stores: HashMap<u32, Box<dyn ShardStore>>,
+    stores: HashMap<u32, HostedShard>,
     /// Per-peer reusable query scratch (heap, result buffer), shared
     /// across all hosted stores (requests are serialized per peer).
     scratch: TopKScratch,
+    /// Frozen snapshots awaiting [`Message::FetchSegment`] pulls, per
+    /// shard (this peer acting as a rebuild *source*). Replaced by the
+    /// next [`Message::PrepareSnapshot`] for the same shard.
+    pending_snapshot: HashMap<u32, Vec<(String, Vec<u8>)>>,
+    /// Builds a shard store from installed snapshot files (this peer
+    /// acting as a rebuild *target*). Services launched without one
+    /// answer [`Message::InstallShard`] commits with `UNSUPPORTED`.
+    restore: Option<RestoreFn>,
+}
+
+/// Builds a shard store from a shipped snapshot: `(shard, files)` →
+/// store. Runs on the peer's own thread (it is handed to the service
+/// inside the spawn initializer), so it needs no `Send` bound of its
+/// own.
+pub type RestoreFn =
+    Box<dyn FnMut(u32, &[(String, Vec<u8>)]) -> Result<Box<dyn ShardStore>, ShardStoreError>>;
+
+/// One write frame buffered while its shard rebuilds, replayed in
+/// arrival order at commit. Replay is idempotent — a write that also
+/// made the shipped snapshot re-applies as a same-bytes replacement
+/// (doc-level shadowing), so the buffer may safely overlap the
+/// snapshot.
+enum BufferedWrite {
+    /// A live [`Message::IndexDocs`] batch.
+    Insert(Vec<Document>),
+    /// An offline [`Message::BulkLoad`] batch.
+    Bulk(Vec<Document>),
+    /// A [`Message::RemoveDoc`].
+    Remove(DocId),
+}
+
+/// The serving state of one hosted shard.
+enum HostedShard {
+    /// Normal operation: reads and writes hit the store directly.
+    Serving(Box<dyn ShardStore>),
+    /// Mid-rebuild: snapshot files stage here, reads bounce with
+    /// [`fault::REBUILDING`] (the hedged gather fails over to a live
+    /// replica), and writes are acknowledged into the replay buffer so
+    /// the cluster-wide all-replicas-ack write discipline keeps
+    /// working while the copy is shipped.
+    Rebuilding {
+        staged: Vec<(String, Vec<u8>)>,
+        buffered: Vec<BufferedWrite>,
+    },
 }
 
 /// Validates and converts one wire document. Wire input is untrusted:
@@ -170,9 +217,48 @@ impl ShardService {
     /// shard id.
     pub fn hosting(stores: impl IntoIterator<Item = (u32, Box<dyn ShardStore>)>) -> Self {
         Self {
-            stores: stores.into_iter().collect(),
+            stores: stores
+                .into_iter()
+                .map(|(shard, store)| (shard, HostedShard::Serving(store)))
+                .collect(),
             scratch: TopKScratch::new(),
+            pending_snapshot: HashMap::new(),
+            restore: None,
         }
+    }
+
+    /// A service whose every hosted shard starts mid-rebuild: writes
+    /// buffer from the first request, reads bounce with
+    /// [`fault::REBUILDING`]. This is the *revived replica* launch
+    /// shape — a peer respawned after a kill must never serve the
+    /// stale (or empty) state it woke up with; it buffers until the
+    /// repair controller ships it a snapshot and commits.
+    pub fn rebuilding(shards: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            stores: shards
+                .into_iter()
+                .map(|shard| {
+                    (
+                        shard,
+                        HostedShard::Rebuilding {
+                            staged: Vec::new(),
+                            buffered: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+            scratch: TopKScratch::new(),
+            pending_snapshot: HashMap::new(),
+            restore: None,
+        }
+    }
+
+    /// Installs the snapshot-restore factory, enabling this service to
+    /// be a rebuild *target* (see [`Message::InstallShard`]).
+    /// Builder-style.
+    pub fn with_restore(mut self, restore: RestoreFn) -> Self {
+        self.restore = Some(restore);
+        self
     }
 
     /// Serves a frozen posting store (any backend) read-only as shard
@@ -193,6 +279,14 @@ impl PeerService for ShardService {
             code: fault::UNSUPPORTED,
             group: GroupId(0),
         };
+        let rebuilding = Message::Fault {
+            code: fault::REBUILDING,
+            group: GroupId(0),
+        };
+        let repair_fault = Message::Fault {
+            code: fault::REPAIR,
+            group: GroupId(0),
+        };
         // Captured before the match consumes `request`: IndexDocs and
         // BulkLoad share one arm and differ only in the write path.
         let offline = matches!(request, Message::BulkLoad { .. });
@@ -210,8 +304,10 @@ impl PeerService for ShardService {
                 {
                     return malformed;
                 }
-                let Some(store) = self.stores.get_mut(&shard) else {
-                    return not_hosted;
+                let store = match self.stores.get_mut(&shard) {
+                    Some(HostedShard::Serving(store)) => store,
+                    Some(HostedShard::Rebuilding { .. }) => return rebuilding,
+                    None => return not_hosted,
                 };
                 // Time the shard-local evaluation and ship the decode
                 // accounting back with the candidates: the querying
@@ -255,8 +351,10 @@ impl PeerService for ShardService {
                 ) else {
                     return malformed;
                 };
-                let Some(store) = self.stores.get_mut(&shard) else {
-                    return not_hosted;
+                let store = match self.stores.get_mut(&shard) {
+                    Some(HostedShard::Serving(store)) => store,
+                    Some(HostedShard::Rebuilding { .. }) => return rebuilding,
+                    None => return not_hosted,
                 };
                 let started = std::time::Instant::now();
                 let outcome =
@@ -276,29 +374,195 @@ impl PeerService for ShardService {
                         None => return malformed,
                     }
                 }
-                let Some(store) = self.stores.get_mut(&shard) else {
-                    return not_hosted;
-                };
-                let written = if offline {
-                    store.bulk_load_documents(&decoded)
-                } else {
-                    store.insert_documents(&decoded)
-                };
-                match written {
-                    Ok(_) => Message::InsertOk,
-                    Err(e) => shard_fault(e),
+                match self.stores.get_mut(&shard) {
+                    Some(HostedShard::Serving(store)) => {
+                        let written = if offline {
+                            store.bulk_load_documents(&decoded)
+                        } else {
+                            store.insert_documents(&decoded)
+                        };
+                        match written {
+                            Ok(_) => Message::InsertOk,
+                            Err(e) => shard_fault(e),
+                        }
+                    }
+                    Some(HostedShard::Rebuilding { buffered, .. }) => {
+                        // Acknowledge into the replay buffer: the
+                        // cluster-wide all-replicas-ack discipline keeps
+                        // committing while this copy is shipped, and the
+                        // buffer replays (idempotently) at commit.
+                        buffered.push(if offline {
+                            BufferedWrite::Bulk(decoded)
+                        } else {
+                            BufferedWrite::Insert(decoded)
+                        });
+                        Message::InsertOk
+                    }
+                    None => not_hosted,
                 }
             }
             Message::RemoveDoc { shard, doc } => {
-                let Some(store) = self.stores.get_mut(&shard) else {
-                    return not_hosted;
-                };
-                match store.delete_document(doc) {
-                    Ok(removed) => Message::DeleteOk {
-                        removed: u64::from(removed),
+                match self.stores.get_mut(&shard) {
+                    Some(HostedShard::Serving(store)) => match store.delete_document(doc) {
+                        Ok(removed) => Message::DeleteOk {
+                            removed: u64::from(removed),
+                        },
+                        Err(e) => shard_fault(e),
                     },
+                    Some(HostedShard::Rebuilding { buffered, .. }) => {
+                        // `removed: 0` — this copy cannot know whether the
+                        // doc exists; a live replica's count wins at the
+                        // coordinator.
+                        buffered.push(BufferedWrite::Remove(doc));
+                        Message::DeleteOk { removed: 0 }
+                    }
+                    None => not_hosted,
+                }
+            }
+            Message::PrepareSnapshot { shard } => {
+                // Rebuild *source* side: freeze a consistent file-set
+                // snapshot of the shard and advertise it. The files are
+                // cached whole until the next PrepareSnapshot for the
+                // same shard, so FetchSegment pulls are repeatable.
+                let store = match self.stores.get_mut(&shard) {
+                    Some(HostedShard::Serving(store)) => store,
+                    Some(HostedShard::Rebuilding { .. }) => return rebuilding,
+                    None => return not_hosted,
+                };
+                match store.export_snapshot() {
+                    Ok((epoch, files)) => {
+                        let manifest = files
+                            .iter()
+                            .map(|(name, bytes)| (name.clone(), bytes.len() as u64, crc32(bytes)))
+                            .collect();
+                        self.pending_snapshot.insert(shard, files);
+                        Message::SnapshotManifest {
+                            shard,
+                            epoch,
+                            files: manifest,
+                        }
+                    }
                     Err(e) => shard_fault(e),
                 }
+            }
+            Message::FetchSegment { shard, name } => {
+                let Some(files) = self.pending_snapshot.get(&shard) else {
+                    return repair_fault;
+                };
+                match files.iter().find(|(n, _)| *n == name) {
+                    Some((_, bytes)) => Message::SegmentData {
+                        crc: crc32(bytes),
+                        payload: zerber_net::Bytes::copy_from_slice(bytes),
+                    },
+                    None => repair_fault,
+                }
+            }
+            Message::InstallShard {
+                shard,
+                name,
+                crc,
+                commit,
+                payload,
+                ..
+            } => {
+                // Rebuild *target* side. Three frame shapes:
+                //   begin  — empty name, commit=false: enter Rebuilding
+                //            (writes start buffering *before* the source
+                //            snapshots, so no write can fall between),
+                //   file   — named, commit=false: stage one CRC-checked
+                //            snapshot file,
+                //   commit — commit=true: restore a store from the staged
+                //            files, replay the buffer, cut over.
+                if !commit && name.is_empty() {
+                    match self.stores.entry(shard) {
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            match slot.get_mut() {
+                                // Restart of a failed ship: keep the
+                                // buffered writes (they are still owed),
+                                // drop stale staged files.
+                                HostedShard::Rebuilding { staged, .. } => staged.clear(),
+                                serving => {
+                                    *serving = HostedShard::Rebuilding {
+                                        staged: Vec::new(),
+                                        buffered: Vec::new(),
+                                    };
+                                }
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            // A shard this peer is *gaining* (join
+                            // rebalance): host it, buffering from now.
+                            slot.insert(HostedShard::Rebuilding {
+                                staged: Vec::new(),
+                                buffered: Vec::new(),
+                            });
+                        }
+                    }
+                    return Message::InsertOk;
+                }
+                if !commit {
+                    if crc32(&payload) != crc {
+                        return repair_fault;
+                    }
+                    return match self.stores.get_mut(&shard) {
+                        Some(HostedShard::Rebuilding { staged, .. }) => {
+                            staged.push((name, payload.to_vec()));
+                            Message::InsertOk
+                        }
+                        // File frame without a begin: protocol error.
+                        _ => repair_fault,
+                    };
+                }
+                let Some(restore) = self.restore.as_mut() else {
+                    return not_hosted;
+                };
+                let (staged, buffered) = match self.stores.remove(&shard) {
+                    Some(HostedShard::Rebuilding { staged, buffered }) => (staged, buffered),
+                    // Commit without a begin (or on a serving shard):
+                    // protocol error, and the serving store must stay.
+                    Some(serving) => {
+                        self.stores.insert(shard, serving);
+                        return repair_fault;
+                    }
+                    None => return repair_fault,
+                };
+                let mut store = match restore(shard, &staged) {
+                    Ok(store) => store,
+                    Err(_) => {
+                        // Keep the owed writes; the controller re-ships.
+                        self.stores.insert(
+                            shard,
+                            HostedShard::Rebuilding {
+                                staged: Vec::new(),
+                                buffered,
+                            },
+                        );
+                        return repair_fault;
+                    }
+                };
+                for write in buffered {
+                    let applied = match write {
+                        BufferedWrite::Insert(docs) => store.insert_documents(&docs).map(|_| ()),
+                        BufferedWrite::Bulk(docs) => store.bulk_load_documents(&docs).map(|_| ()),
+                        BufferedWrite::Remove(doc) => store.delete_document(doc).map(|_| ()),
+                    };
+                    if let Err(e) = applied {
+                        // Never serve a possibly-diverged store: drop it
+                        // and stay rebuilding (the controller restarts the
+                        // whole ship, which re-captures these writes in
+                        // its fresh snapshot).
+                        self.stores.insert(
+                            shard,
+                            HostedShard::Rebuilding {
+                                staged: Vec::new(),
+                                buffered: Vec::new(),
+                            },
+                        );
+                        return shard_fault(e);
+                    }
+                }
+                self.stores.insert(shard, HostedShard::Serving(store));
+                Message::InsertOk
             }
             _ => not_hosted,
         }
@@ -307,9 +571,14 @@ impl PeerService for ShardService {
 
 /// A set of peer threads sharing one transport. Dropping the runtime
 /// shuts every peer down and joins its thread.
+///
+/// The peer list is interior-mutable so repair — reviving a killed
+/// peer, spawning a joining one — works through the `&self` handles
+/// the query path already shares (e.g. a bench thread measuring
+/// availability while the repair controller respawns a peer).
 pub struct PeerRuntime {
     transport: Arc<InProcTransport>,
-    peers: Vec<(NodeId, thread::JoinHandle<()>)>,
+    peers: Mutex<Vec<(NodeId, thread::JoinHandle<()>)>>,
 }
 
 impl PeerRuntime {
@@ -317,7 +586,7 @@ impl PeerRuntime {
     pub fn new(meter: Arc<TrafficMeter>) -> Self {
         Self {
             transport: Arc::new(InProcTransport::new(meter)),
-            peers: Vec::new(),
+            peers: Mutex::new(Vec::new()),
         }
     }
 
@@ -328,18 +597,21 @@ impl PeerRuntime {
 
     /// Addresses of all spawned peers, in spawn order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        self.peers.iter().map(|(node, _)| *node).collect()
+        self.peers.lock().iter().map(|(node, _)| *node).collect()
     }
 
     /// Number of live peers.
     pub fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.peers.lock().len()
     }
 
     /// Spawns one peer thread at `node`. `init` runs *on the new
     /// thread* to build the service state, so per-peer construction
     /// (e.g. indexing a document shard) parallelizes across peers.
-    pub fn spawn_peer<F, S>(&mut self, node: NodeId, init: F)
+    ///
+    /// Respawning a node that was previously shut down re-registers
+    /// its inbox — this is the *revive* path of the repair protocol.
+    pub fn spawn_peer<F, S>(&self, node: NodeId, init: F)
     where
         F: FnOnce() -> S + Send + 'static,
         S: PeerService + 'static,
@@ -352,6 +624,11 @@ impl PeerRuntime {
             // dropped.
             while let Ok(PeerInbox::Request(envelope)) = requests.recv() {
                 let response = match Message::decode(&envelope.payload) {
+                    // Liveness probes are answered by the peer *loop*,
+                    // not the service: any service type is probeable,
+                    // and a Pong proves the thread itself is draining
+                    // its inbox.
+                    Ok(Message::Ping) => Message::Pong,
                     Ok(request) => service.handle(envelope.from, envelope.auth, request),
                     Err(_) => Message::Fault {
                         code: fault::MALFORMED,
@@ -361,16 +638,17 @@ impl PeerRuntime {
                 envelope.reply.send(response.encode().to_vec());
             }
         });
-        self.peers.push((node, handle));
+        self.peers.lock().push((node, handle));
     }
 }
 
 impl Drop for PeerRuntime {
     fn drop(&mut self) {
-        for (node, _) in &self.peers {
+        let mut peers = self.peers.lock();
+        for (node, _) in peers.iter() {
             self.transport.shutdown(*node);
         }
-        for (_, handle) in self.peers.drain(..) {
+        for (_, handle) in peers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -391,7 +669,7 @@ mod tests {
         server.add_user_to_group(UserId(1), GroupId(0));
         let token = auth.issue(UserId(1));
 
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || ServerService::new(server));
         let transport = runtime.transport().clone();
@@ -442,7 +720,7 @@ mod tests {
             .map(|d| Document::from_term_counts(DocId(d), GroupId(0), vec![(TermId(1), d)]))
             .collect();
         let index = InvertedIndex::from_documents(&docs);
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || {
             ShardService::frozen(Box::new(RawPostingStore::from_index(&index)))
@@ -472,7 +750,7 @@ mod tests {
     fn hostile_weights_are_rejected_not_served() {
         let docs = vec![Document::from_term_counts(DocId(1), GroupId(0), vec![(TermId(1), 1)]); 1];
         let index = InvertedIndex::from_documents(&docs);
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, move || {
             ShardService::frozen(Box::new(RawPostingStore::from_index(&index)))
@@ -510,7 +788,7 @@ mod tests {
 
     #[test]
     fn wrong_request_type_is_a_typed_fault() {
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, || {
             ShardService::frozen(Box::new(RawPostingStore::default()))
@@ -527,7 +805,7 @@ mod tests {
 
     #[test]
     fn frozen_shards_fault_on_mutation_frames() {
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, || {
             ShardService::frozen(Box::new(RawPostingStore::default()))
@@ -562,7 +840,7 @@ mod tests {
     #[test]
     fn mutable_shard_takes_inserts_and_deletes_over_the_wire() {
         use crate::runtime::shard::LiveIndexShard;
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         let node = NodeId::IndexServer(0);
         runtime.spawn_peer(node, || {
             ShardService::new(Box::new(LiveIndexShard::raw(&[])))
@@ -637,5 +915,376 @@ mod tests {
             Message::Fault { code, .. } => assert_eq!(code, fault::MALFORMED),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    fn wire_doc(id: u32, term: u32, count: u32) -> zerber_net::WireDocument {
+        zerber_net::WireDocument {
+            doc: DocId(id),
+            group: GroupId(0),
+            length: count,
+            terms: vec![(TermId(term), count)],
+        }
+    }
+
+    fn ranked_docs(transport: &Arc<InProcTransport>, node: NodeId, term: u32) -> Vec<u32> {
+        match transport
+            .request(
+                NodeId::User(0),
+                node,
+                AuthToken(0),
+                &Message::TopKQuery {
+                    shard: 0,
+                    terms: vec![(TermId(term), 1.0)],
+                    k: 16,
+                },
+            )
+            .unwrap()
+        {
+            Message::TopKResponse { candidates, .. } => {
+                candidates.into_iter().map(|(doc, _)| doc.0).collect()
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// The full rebuild protocol over the wire: a fresh peer launched
+    /// in `rebuilding` state buffers writes and bounces reads, a live
+    /// source snapshots and streams its files, and after commit the
+    /// target serves snapshot ∪ buffered writes — including a write
+    /// that overlapped the snapshot (idempotent replay).
+    #[test]
+    fn rebuild_protocol_ships_a_shard_and_replays_buffered_writes() {
+        use crate::runtime::shard::{restore_shard_store, LiveIndexShard};
+        use zerber_index::PostingBackend;
+
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let source = NodeId::IndexServer(0);
+        let target = NodeId::IndexServer(1);
+        runtime.spawn_peer(source, || {
+            ShardService::new(Box::new(LiveIndexShard::raw(&[])))
+        });
+        runtime.spawn_peer(target, || {
+            ShardService::rebuilding([0]).with_restore(Box::new(|_, files| {
+                restore_shard_store(&PostingBackend::Raw, files)
+            }))
+        });
+        let transport = runtime.transport().clone();
+        let controller = NodeId::Owner(0);
+        let rpc = |node, message: &Message| {
+            transport
+                .request(controller, node, AuthToken(0), message)
+                .unwrap()
+        };
+
+        // Seed the source, pre-rebuild.
+        for id in 1..=3 {
+            assert_eq!(
+                rpc(
+                    source,
+                    &Message::IndexDocs {
+                        shard: 0,
+                        docs: vec![wire_doc(id, 7, id)],
+                    }
+                ),
+                Message::InsertOk
+            );
+        }
+
+        // Target pre-commit: reads bounce REBUILDING, writes buffer.
+        match rpc(
+            target,
+            &Message::TopKQuery {
+                shard: 0,
+                terms: vec![(TermId(7), 1.0)],
+                k: 4,
+            },
+        ) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REBUILDING),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // Begin: from here on the target owes every write it acks.
+        assert_eq!(
+            rpc(
+                target,
+                &Message::InstallShard {
+                    shard: 0,
+                    epoch: 0,
+                    name: String::new(),
+                    crc: 0,
+                    commit: false,
+                    payload: zerber_net::Bytes::new(),
+                }
+            ),
+            Message::InsertOk
+        );
+        // A write lands on both the source (pre-snapshot, so it is in
+        // the shipped files) and the target's buffer: replay must
+        // shadow, not duplicate.
+        for node in [source, target] {
+            assert_eq!(
+                rpc(
+                    node,
+                    &Message::IndexDocs {
+                        shard: 0,
+                        docs: vec![wire_doc(4, 7, 2)],
+                    }
+                ),
+                Message::InsertOk
+            );
+        }
+        // A delete during rebuild acks removed=0 on the buffering copy.
+        assert_eq!(
+            rpc(
+                source,
+                &Message::RemoveDoc {
+                    shard: 0,
+                    doc: DocId(2)
+                }
+            ),
+            Message::DeleteOk { removed: 1 }
+        );
+        assert_eq!(
+            rpc(
+                target,
+                &Message::RemoveDoc {
+                    shard: 0,
+                    doc: DocId(2)
+                }
+            ),
+            Message::DeleteOk { removed: 0 }
+        );
+
+        // Snapshot the source and stream every file to the target.
+        let (epoch, manifest) = match rpc(source, &Message::PrepareSnapshot { shard: 0 }) {
+            Message::SnapshotManifest {
+                shard,
+                epoch,
+                files,
+            } => {
+                assert_eq!(shard, 0);
+                (epoch, files)
+            }
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert!(!manifest.is_empty());
+        for (name, len, crc) in manifest {
+            let payload = match rpc(
+                source,
+                &Message::FetchSegment {
+                    shard: 0,
+                    name: name.clone(),
+                },
+            ) {
+                Message::SegmentData { crc: got, payload } => {
+                    assert_eq!(got, crc, "{name} CRC mismatch on fetch");
+                    assert_eq!(payload.len() as u64, len);
+                    assert_eq!(crc32(&payload), crc);
+                    payload
+                }
+                other => panic!("unexpected response {other:?}"),
+            };
+            assert_eq!(
+                rpc(
+                    target,
+                    &Message::InstallShard {
+                        shard: 0,
+                        epoch,
+                        name,
+                        crc,
+                        commit: false,
+                        payload,
+                    }
+                ),
+                Message::InsertOk
+            );
+        }
+        // Commit: restore + replay + cut over.
+        assert_eq!(
+            rpc(
+                target,
+                &Message::InstallShard {
+                    shard: 0,
+                    epoch,
+                    name: String::new(),
+                    crc: 0,
+                    commit: true,
+                    payload: zerber_net::Bytes::new(),
+                }
+            ),
+            Message::InsertOk
+        );
+
+        // The rebuilt copy is bit-identical to the live source.
+        assert_eq!(
+            ranked_docs(&transport, source, 7),
+            ranked_docs(&transport, target, 7)
+        );
+        let mut docs = ranked_docs(&transport, target, 7);
+        docs.sort_unstable();
+        assert_eq!(docs, vec![1, 3, 4], "doc 2 deleted, doc 4 not duplicated");
+        // And it serves writes like any live replica.
+        assert_eq!(
+            rpc(
+                target,
+                &Message::IndexDocs {
+                    shard: 0,
+                    docs: vec![wire_doc(9, 7, 1)],
+                }
+            ),
+            Message::InsertOk
+        );
+        assert!(ranked_docs(&transport, target, 7).contains(&9));
+    }
+
+    /// Protocol misuse and corruption bounce with typed faults and
+    /// never disturb a serving store.
+    #[test]
+    fn rebuild_frames_reject_corruption_and_misuse() {
+        use crate::runtime::shard::{restore_shard_store, LiveIndexShard};
+        use zerber_index::PostingBackend;
+
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || {
+            ShardService::hosting([(0, Box::new(LiveIndexShard::raw(&[])) as Box<dyn ShardStore>)])
+                .with_restore(Box::new(|_, files| {
+                    restore_shard_store(&PostingBackend::Raw, files)
+                }))
+        });
+        let transport = runtime.transport().clone();
+        let rpc = |message: &Message| {
+            transport
+                .request(NodeId::Owner(0), node, AuthToken(0), message)
+                .unwrap()
+        };
+        assert_eq!(
+            rpc(&Message::IndexDocs {
+                shard: 0,
+                docs: vec![wire_doc(1, 3, 2)],
+            }),
+            Message::InsertOk
+        );
+
+        // Commit on a *serving* shard is a protocol error — and the
+        // store must survive it.
+        match rpc(&Message::InstallShard {
+            shard: 0,
+            epoch: 0,
+            name: String::new(),
+            crc: 0,
+            commit: true,
+            payload: zerber_net::Bytes::new(),
+        }) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REPAIR),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(ranked_docs(&transport, node, 3), vec![1]);
+
+        // Fetch without a prepared snapshot: REPAIR fault.
+        match rpc(&Message::FetchSegment {
+            shard: 0,
+            name: "MANIFEST.zman".into(),
+        }) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REPAIR),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // Begin, then a torn file frame (CRC mismatch): rejected, and
+        // the stage stays clean for a clean retry.
+        assert_eq!(
+            rpc(&Message::InstallShard {
+                shard: 0,
+                epoch: 0,
+                name: String::new(),
+                crc: 0,
+                commit: false,
+                payload: zerber_net::Bytes::new(),
+            }),
+            Message::InsertOk
+        );
+        match rpc(&Message::InstallShard {
+            shard: 0,
+            epoch: 0,
+            name: "docs.zdump".into(),
+            crc: 0xDEAD_BEEF,
+            commit: false,
+            payload: zerber_net::Bytes::from_static(b"not the right bytes"),
+        }) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REPAIR),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Committing garbage staged files re-enters Rebuilding rather
+        // than serving a broken store.
+        match rpc(&Message::InstallShard {
+            shard: 0,
+            epoch: 0,
+            name: String::new(),
+            crc: 0,
+            commit: true,
+            payload: zerber_net::Bytes::new(),
+        }) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REPAIR),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match rpc(&Message::TopKQuery {
+            shard: 0,
+            terms: vec![(TermId(3), 1.0)],
+            k: 1,
+        }) {
+            Message::Fault { code, .. } => assert_eq!(code, fault::REBUILDING),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// A commit on a service launched without a restore factory is
+    /// `UNSUPPORTED` — distinct from retryable `REPAIR` faults.
+    #[test]
+    fn commit_without_restore_factory_is_unsupported() {
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || ShardService::rebuilding([0]));
+        match runtime
+            .transport()
+            .request(
+                NodeId::Owner(0),
+                node,
+                AuthToken(0),
+                &Message::InstallShard {
+                    shard: 0,
+                    epoch: 0,
+                    name: String::new(),
+                    crc: 0,
+                    commit: true,
+                    payload: zerber_net::Bytes::new(),
+                },
+            )
+            .unwrap()
+        {
+            Message::Fault { code, .. } => assert_eq!(code, fault::UNSUPPORTED),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Every peer answers `Ping` from its loop — even one whose service
+    /// would bounce the frame — and revived nodes re-register.
+    #[test]
+    fn ping_pong_and_revive_reregistration() {
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let node = NodeId::IndexServer(0);
+        runtime.spawn_peer(node, || {
+            ShardService::frozen(Box::new(RawPostingStore::default()))
+        });
+        let transport = runtime.transport().clone();
+        let ping = |t: &Arc<InProcTransport>| {
+            t.request(NodeId::Owner(0), node, AuthToken(0), &Message::Ping)
+        };
+        assert_eq!(ping(&transport).unwrap(), Message::Pong);
+        // Kill the peer: probes now fail...
+        transport.shutdown(node);
+        assert!(ping(&transport).is_err());
+        // ...until a respawn re-registers the same address.
+        runtime.spawn_peer(node, || ShardService::rebuilding([0]));
+        assert_eq!(ping(&transport).unwrap(), Message::Pong);
     }
 }

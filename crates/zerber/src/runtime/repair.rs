@@ -1,0 +1,393 @@
+//! The repair controller: rebuilds a dead (or joining) replica's
+//! shard copy by streaming a live replica's snapshot over the wire,
+//! with capped-exponential-backoff retries on every hop.
+//!
+//! One rebuild is four phases of [`Message`] frames, in an order
+//! chosen so that **no acknowledged write can be lost**:
+//!
+//! ```text
+//!  controller              target (rebuilding)        source (live)
+//!  ──────────              ───────────────────        ─────────────
+//!  1. InstallShard begin ─▶ buffer writes from now
+//!  2.                                      PrepareSnapshot ─▶ freeze
+//!     ◀──────────────────────────────────── SnapshotManifest
+//!  3. FetchSegment ──────────────────────────────────▶ (per file)
+//!     ◀─────────────────────────────────────── SegmentData (CRC)
+//!     InstallShard file ──▶ stage (CRC re-check)
+//!  4. InstallShard commit ▶ restore + replay buffer + serve
+//! ```
+//!
+//! The begin frame lands *before* the source snapshots, so every
+//! write is either in the shipped snapshot (acked by the source
+//! pre-freeze) or in the target's replay buffer (acked by the target
+//! post-begin) — possibly both, which is safe because replay
+//! re-applies documents by id (doc-level shadowing, PR 8's delete
+//! semantics). Each file frame is CRC32-checked twice: once by this
+//! controller against the manifest, once by the target against the
+//! frame.
+//!
+//! Retries use [`Backoff`]: capped exponential delay with seeded
+//! (deterministic) jitter, so chaos tests reproduce from a seed while
+//! real deployments still avoid thundering-herd redials. Only
+//! *transport* errors retry — a typed fault is the peer answering
+//! "no", and repeating the question would not change the answer.
+
+use std::time::{Duration, Instant};
+
+use zerber_net::framing::crc32;
+use zerber_net::{AuthToken, Message, NodeId};
+
+use crate::runtime::obs::RuntimeObs;
+use crate::runtime::transport::{Transport, TransportError};
+
+/// How many times each repair RPC is attempted before the rebuild is
+/// abandoned (transport errors only; faults never retry).
+pub const REPAIR_RPC_ATTEMPTS: u32 = 4;
+
+/// Default first retry delay.
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(2);
+
+/// Default retry-delay ceiling.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// SplitMix64 — the same tiny deterministic scrambler the fault
+/// harness uses, so jitter is reproducible from a seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `n` waits a uniformly jittered duration in
+/// `[d/2, d]` where `d = min(cap, base · 2ⁿ)` — exponential growth
+/// bounds retry pressure, the cap bounds worst-case latency, and the
+/// half-to-full jitter window desynchronizes concurrent retriers
+/// without ever collapsing the delay to zero.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, capped at `cap`, jittered from
+    /// `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            state: seed,
+        }
+    }
+
+    /// The defaults, jittered from `seed`.
+    pub fn for_seed(seed: u64) -> Self {
+        Self::new(DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP, seed)
+    }
+
+    /// The next delay to sleep before retrying. Advances the attempt
+    /// counter and the jitter stream.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        self.state = splitmix64(self.state);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // Uniform in [nanos/2, nanos].
+        let jittered = nanos / 2 + self.state % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Restarts the schedule (e.g. after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Why a repair attempt failed.
+#[derive(Debug)]
+pub enum RepairError {
+    /// A hop kept failing at the transport layer after all retries.
+    Transport(TransportError),
+    /// A peer answered with a typed fault (e.g. the chosen source is
+    /// itself rebuilding, or the target has no restore factory).
+    Refused {
+        /// The refusing peer.
+        node: NodeId,
+        /// Its wire fault code (see [`zerber_net::message::fault`]).
+        code: u8,
+    },
+    /// A shipped file failed its CRC or length check against the
+    /// manifest.
+    Corrupt(String),
+    /// A peer answered with a frame the protocol does not expect.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Transport(e) => write!(f, "repair transport failure: {e}"),
+            RepairError::Refused { node, code } => {
+                write!(f, "peer {node:?} refused repair (fault code {code})")
+            }
+            RepairError::Corrupt(what) => write!(f, "snapshot corruption: {what}"),
+            RepairError::Protocol(what) => write!(f, "repair protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// What one completed shard rebuild shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Snapshot files streamed (manifest included).
+    pub segments: u64,
+    /// Payload bytes streamed.
+    pub bytes: u64,
+}
+
+/// Sends `message` to `to`, retrying transport failures up to
+/// `attempts` times with `backoff` sleeps in between. A decoded
+/// response — fault or not — returns immediately: the peer is alive
+/// and has spoken.
+pub fn retry_request(
+    transport: &dyn Transport,
+    from: NodeId,
+    to: NodeId,
+    auth: AuthToken,
+    message: &Message,
+    attempts: u32,
+    backoff: &mut Backoff,
+) -> Result<Message, TransportError> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff.next_delay());
+        }
+        match transport.request(from, to, auth, message) {
+            Ok(response) => return Ok(response),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Expects a non-fault response; converts faults into
+/// [`RepairError::Refused`].
+fn accept(node: NodeId, response: Message) -> Result<Message, RepairError> {
+    match response {
+        Message::Fault { code, .. } => Err(RepairError::Refused { node, code }),
+        other => Ok(other),
+    }
+}
+
+/// Rebuilds `target`'s copy of `shard` from live replica `source`:
+/// begin → snapshot → stream → commit, as documented on this module.
+/// Returns what was shipped; records the `zerber_repair_*` metrics
+/// and the rebuild-latency histogram into `obs` when given.
+pub fn rebuild_shard(
+    transport: &dyn Transport,
+    from: NodeId,
+    auth: AuthToken,
+    source: NodeId,
+    target: NodeId,
+    shard: u32,
+    obs: Option<&RuntimeObs>,
+) -> Result<RepairStats, RepairError> {
+    let started = Instant::now();
+    // Jitter seeded from the (shard, source, target) triple: two
+    // controllers repairing different shards never share a schedule,
+    // and reruns of the same repair reproduce exactly.
+    let mut backoff = Backoff::for_seed(
+        (u64::from(shard) << 32)
+            ^ splitmix64(node_seed(source) ^ node_seed(target).rotate_left(17)),
+    );
+    let rpc = |to: NodeId, message: &Message, backoff: &mut Backoff| {
+        retry_request(
+            transport,
+            from,
+            to,
+            auth,
+            message,
+            REPAIR_RPC_ATTEMPTS,
+            backoff,
+        )
+        .map_err(RepairError::Transport)
+        .and_then(|response| accept(to, response))
+    };
+
+    // Phase 1 — begin: the target buffers every write it acks from
+    // here on, *before* the source freezes its snapshot, so the
+    // buffer ∪ snapshot covers all acknowledged writes.
+    let begin = Message::InstallShard {
+        shard,
+        epoch: 0,
+        name: String::new(),
+        crc: 0,
+        commit: false,
+        payload: zerber_net::Bytes::new(),
+    };
+    match rpc(target, &begin, &mut backoff)? {
+        Message::InsertOk => {}
+        other => return Err(RepairError::Protocol(format!("begin answered {other:?}"))),
+    }
+
+    // Phase 2 — snapshot the source.
+    let (epoch, manifest) = match rpc(source, &Message::PrepareSnapshot { shard }, &mut backoff)? {
+        Message::SnapshotManifest {
+            shard: got,
+            epoch,
+            files,
+        } => {
+            if got != shard {
+                return Err(RepairError::Protocol(format!(
+                    "manifest for shard {got}, wanted {shard}"
+                )));
+            }
+            (epoch, files)
+        }
+        other => {
+            return Err(RepairError::Protocol(format!(
+                "snapshot answered {other:?}"
+            )))
+        }
+    };
+
+    // Phase 3 — stream every file, verifying each hop.
+    let mut stats = RepairStats::default();
+    for (name, len, crc) in manifest {
+        let payload = match rpc(
+            source,
+            &Message::FetchSegment {
+                shard,
+                name: name.clone(),
+            },
+            &mut backoff,
+        )? {
+            Message::SegmentData {
+                crc: framed,
+                payload,
+            } => {
+                if framed != crc || payload.len() as u64 != len || crc32(&payload) != crc {
+                    return Err(RepairError::Corrupt(format!(
+                        "file {name:?}: manifest says {len}B crc {crc:#010x}, frame carries {}B crc {framed:#010x}",
+                        payload.len(),
+                    )));
+                }
+                payload
+            }
+            other => return Err(RepairError::Protocol(format!("fetch answered {other:?}"))),
+        };
+        stats.segments += 1;
+        stats.bytes += payload.len() as u64;
+        let install = Message::InstallShard {
+            shard,
+            epoch,
+            name: name.clone(),
+            crc,
+            commit: false,
+            payload,
+        };
+        match rpc(target, &install, &mut backoff)? {
+            Message::InsertOk => {}
+            other => {
+                return Err(RepairError::Protocol(format!(
+                    "install of {name:?} answered {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Phase 4 — commit: the target restores, replays its buffer, and
+    // cuts over to serving.
+    let commit = Message::InstallShard {
+        shard,
+        epoch,
+        name: String::new(),
+        crc: 0,
+        commit: true,
+        payload: zerber_net::Bytes::new(),
+    };
+    match rpc(target, &commit, &mut backoff)? {
+        Message::InsertOk => {}
+        other => return Err(RepairError::Protocol(format!("commit answered {other:?}"))),
+    }
+
+    if let Some(obs) = obs {
+        let metrics = obs.metrics();
+        metrics.repair_rebuilds.inc();
+        metrics.repair_segments_shipped.add(stats.segments);
+        metrics.repair_bytes_shipped.add(stats.bytes);
+        metrics
+            .repair_rebuild_ns
+            .record(started.elapsed().as_nanos() as u64);
+    }
+    Ok(stats)
+}
+
+/// One liveness probe: does `node` answer [`Message::Ping`]? A fault
+/// response still counts as alive — the peer's loop is draining its
+/// inbox, which is what the probe measures.
+pub fn probe(transport: &dyn Transport, from: NodeId, node: NodeId) -> bool {
+    matches!(
+        transport.request(from, node, AuthToken(0), &Message::Ping),
+        Ok(Message::Pong) | Ok(Message::Fault { .. })
+    )
+}
+
+fn node_seed(node: NodeId) -> u64 {
+    match node {
+        NodeId::User(i) => (1u64 << 32) | u64::from(i),
+        NodeId::Owner(i) => (2u64 << 32) | u64::from(i),
+        NodeId::IndexServer(i) => (3u64 << 32) | u64::from(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(100);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        let delays: Vec<Duration> = (0..12).map(|_| a.next_delay()).collect();
+        // Deterministic: same seed, same schedule.
+        assert_eq!(delays, (0..12).map(|_| b.next_delay()).collect::<Vec<_>>());
+        for (i, &d) in delays.iter().enumerate() {
+            let exp = base.saturating_mul(1 << i.min(16)).min(cap);
+            assert!(d <= exp, "attempt {i}: {d:?} above {exp:?}");
+            assert!(d >= exp / 2, "attempt {i}: {d:?} below half of {exp:?}");
+        }
+        // The cap binds: late delays never exceed it.
+        assert!(delays[11] <= cap);
+        // Different seeds give different jitter somewhere.
+        let mut c = Backoff::new(base, cap, 43);
+        assert_ne!(delays, (0..12).map(|_| c.next_delay()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backoff_reset_restarts_the_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(4), Duration::from_secs(1), 7);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        b.reset();
+        assert!(b.next_delay() <= Duration::from_millis(4));
+    }
+}

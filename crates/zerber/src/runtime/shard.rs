@@ -22,9 +22,14 @@
 
 use zerber_index::cursor::{block_max_topk_cursors, QueryCost, TopKScratch};
 use zerber_index::{DocId, Document, InvertedIndex, PostingBackend, PostingStore, TermId};
+use zerber_net::{Message, WireDocument};
 use zerber_postings::CompressedPostingStore;
 use zerber_query::{execute, Forced, QueryOutcome, QueryShape};
 use zerber_segment::SegmentStore;
+
+/// The virtual snapshot file the in-memory backends export: one
+/// [`Message::BulkLoad`] frame holding the shard's live documents.
+pub const LIVE_SNAPSHOT_FILE: &str = "docs.zdump";
 
 /// Runs the lazy cursor-driven top-k over any [`PostingStore`],
 /// leaving the ranked result in `scratch.ranked` and returning the
@@ -113,6 +118,17 @@ pub trait ShardStore {
 
     /// Removes one document; returns whether it was live.
     fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError>;
+
+    /// Exports the shard's full state as a `(epoch, named files)`
+    /// snapshot — the replica-rebuild shipping unit. A durable backend
+    /// ships its sealed segment directory
+    /// ([`SegmentStore::export_files`]); the in-memory backends ship
+    /// one virtual [`LIVE_SNAPSHOT_FILE`] holding a
+    /// [`Message::BulkLoad`] frame of their live documents. A frozen
+    /// shard exports nothing ([`ShardStoreError::Frozen`]) — it cannot
+    /// diverge, so it never needs repair.
+    #[allow(clippy::type_complexity)]
+    fn export_snapshot(&mut self) -> Result<(u64, Vec<(String, Vec<u8>)>), ShardStoreError>;
 }
 
 /// A read-only posting store wrapped as a shard (the pre-ingest
@@ -155,6 +171,10 @@ impl ShardStore for FrozenShard {
     }
 
     fn delete_document(&mut self, _doc: DocId) -> Result<bool, ShardStoreError> {
+        Err(ShardStoreError::Frozen)
+    }
+
+    fn export_snapshot(&mut self) -> Result<(u64, Vec<(String, Vec<u8>)>), ShardStoreError> {
         Err(ShardStoreError::Frozen)
     }
 }
@@ -242,6 +262,31 @@ impl ShardStore for LiveIndexShard {
         }
         Ok(removed)
     }
+
+    fn export_snapshot(&mut self) -> Result<(u64, Vec<(String, Vec<u8>)>), ShardStoreError> {
+        // One virtual file: a BulkLoad frame of the live documents,
+        // sorted by id so identical states export identical bytes. The
+        // `shard` field is a placeholder — restore addresses by the
+        // install frames, not the payload.
+        let mut docs = self.index.export_documents();
+        docs.sort_unstable_by_key(|doc| doc.id);
+        let frame = Message::BulkLoad {
+            shard: 0,
+            docs: docs
+                .iter()
+                .map(|doc| WireDocument {
+                    doc: doc.id,
+                    group: doc.group,
+                    length: doc.length,
+                    terms: doc.terms.clone(),
+                })
+                .collect(),
+        };
+        Ok((
+            docs.len() as u64,
+            vec![(LIVE_SNAPSHOT_FILE.to_string(), frame.encode().to_vec())],
+        ))
+    }
 }
 
 /// The durable shard: every mutation journaled and crash-safe, reads
@@ -301,6 +346,10 @@ impl ShardStore for SegmentShard {
     fn delete_document(&mut self, doc: DocId) -> Result<bool, ShardStoreError> {
         self.store.delete(doc).map_err(ShardStoreError::Storage)
     }
+
+    fn export_snapshot(&mut self) -> Result<(u64, Vec<(String, Vec<u8>)>), ShardStoreError> {
+        self.store.export_files().map_err(ShardStoreError::Storage)
+    }
 }
 
 /// Builds the shard store a backend selection names, over an initial
@@ -355,6 +404,68 @@ pub fn build_shard_store_observed(
             );
             store.insert(docs).expect("segmented shard store seeds");
             Box::new(SegmentShard::new(store))
+        }
+    }
+}
+
+fn corrupt_snapshot(reason: &'static str) -> ShardStoreError {
+    ShardStoreError::Storage(zerber_segment::SegmentError::Corrupt {
+        file: LIVE_SNAPSHOT_FILE.to_string(),
+        reason,
+    })
+}
+
+/// Rebuilds a shard store of backend `backend` from a shipped
+/// snapshot — the install side of [`ShardStore::export_snapshot`].
+///
+/// For [`PostingBackend::Segmented`] the snapshot files are installed
+/// into the backend's directory (tmp + fsync + rename per file; any
+/// previous contents are discarded first — a rebuild *replaces* the
+/// replica) and the store is reopened directly with
+/// [`SegmentStore::open`], bypassing [`build_shard_store`]'s
+/// fresh-directory assertion: recovered documents are exactly what a
+/// rebuild installs. The in-memory backends decode the virtual
+/// [`LIVE_SNAPSHOT_FILE`] bulk-load frame back into documents.
+pub fn restore_shard_store(
+    backend: &PostingBackend,
+    files: &[(String, Vec<u8>)],
+) -> Result<Box<dyn ShardStore>, ShardStoreError> {
+    match backend {
+        PostingBackend::Raw | PostingBackend::Compressed => {
+            let (_, bytes) = files
+                .iter()
+                .find(|(name, _)| name == LIVE_SNAPSHOT_FILE)
+                .ok_or_else(|| corrupt_snapshot("snapshot carries no document dump"))?;
+            let Ok(Message::BulkLoad { docs: wire, .. }) = Message::decode(bytes) else {
+                return Err(corrupt_snapshot("document dump does not decode"));
+            };
+            let mut docs = Vec::with_capacity(wire.len());
+            for doc in wire {
+                // Snapshot bytes crossed a wire: re-validate the
+                // Document invariant rather than panic on it.
+                if !doc.terms.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(corrupt_snapshot("document dump has unsorted terms"));
+                }
+                docs.push(Document {
+                    id: doc.doc,
+                    group: doc.group,
+                    terms: doc.terms,
+                    length: doc.length,
+                });
+            }
+            Ok(match backend {
+                PostingBackend::Compressed => Box::new(LiveIndexShard::compressed(&docs)),
+                _ => Box::new(LiveIndexShard::raw(&docs)),
+            })
+        }
+        PostingBackend::Segmented { dir, compaction } => {
+            // A rebuild replaces the replica wholesale; stale segments
+            // or WAL records must not survive into the installed state.
+            std::fs::remove_dir_all(dir).ok();
+            SegmentStore::install_files(dir, files).map_err(ShardStoreError::Storage)?;
+            let store =
+                SegmentStore::open(dir.clone(), *compaction).map_err(ShardStoreError::Storage)?;
+            Ok(Box::new(SegmentShard::new(store)))
         }
     }
 }
@@ -457,6 +568,63 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trips_every_mutable_backend() {
+        let initial = corpus();
+        let src_dir = zerber_segment::scratch_dir("shard-snap-src");
+        let dst_dir = zerber_segment::scratch_dir("shard-snap-dst");
+        let policy = zerber_index::SegmentPolicy {
+            flush_postings: 16,
+            max_segments: 2,
+            background: false,
+            sync_wal: false,
+        };
+        let backends = [
+            (PostingBackend::Raw, PostingBackend::Raw),
+            (PostingBackend::Compressed, PostingBackend::Compressed),
+            (
+                PostingBackend::Segmented {
+                    dir: src_dir.clone(),
+                    compaction: policy,
+                },
+                PostingBackend::Segmented {
+                    dir: dst_dir.clone(),
+                    compaction: policy,
+                },
+            ),
+        ];
+        for (source_backend, target_backend) in backends {
+            let mut source = build_shard_store(&source_backend, &initial);
+            source
+                .insert_documents(&[doc(100, &[(0, 2), (9, 4)])])
+                .unwrap();
+            assert!(source.delete_document(DocId(9)).unwrap());
+            let (_, files) = source.export_snapshot().unwrap();
+            let mut restored = restore_shard_store(&target_backend, &files).unwrap();
+            let mut live = initial.clone();
+            live.retain(|d| d.id != DocId(9));
+            live.push(doc(100, &[(0, 2), (9, 4)]));
+            assert_eq!(
+                topk_of(restored.as_mut(), &live),
+                topk_of(source.as_mut(), &live),
+            );
+            // The restored replica keeps taking the write stream.
+            restored.insert_documents(&[doc(300, &[(1, 1)])]).unwrap();
+        }
+        std::fs::remove_dir_all(&src_dir).ok();
+        std::fs::remove_dir_all(&dst_dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_typed() {
+        assert!(restore_shard_store(&PostingBackend::Raw, &[]).is_err());
+        assert!(restore_shard_store(
+            &PostingBackend::Raw,
+            &[(LIVE_SNAPSHOT_FILE.to_string(), vec![0xFF, 0xFE])],
+        )
+        .is_err());
+    }
+
+    #[test]
     fn frozen_shards_reject_writes() {
         let mut frozen = FrozenShard::new(Box::new(RawPostingStore::default()));
         assert!(matches!(
@@ -469,6 +637,10 @@ mod tests {
         ));
         assert!(matches!(
             frozen.delete_document(DocId(1)),
+            Err(ShardStoreError::Frozen)
+        ));
+        assert!(matches!(
+            frozen.export_snapshot(),
             Err(ShardStoreError::Frozen)
         ));
     }

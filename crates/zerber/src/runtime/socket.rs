@@ -68,6 +68,14 @@ pub struct SocketConfig {
     /// Unanswered requests allowed per link before `begin` blocks
     /// (backpressure toward the caller).
     pub max_in_flight: usize,
+    /// Extra attempts after a failed dial or a write that killed the
+    /// link; each retry re-dials a fresh connection, so a peer that
+    /// restarts mid-burst is picked up without the caller noticing.
+    /// `0` restores fail-fast.
+    pub retries: u32,
+    /// Base delay of the capped-exponential, seeded-jitter backoff
+    /// between retries (the cap is eight doublings above it).
+    pub retry_backoff: Duration,
 }
 
 impl Default for SocketConfig {
@@ -76,6 +84,8 @@ impl Default for SocketConfig {
             connect_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_in_flight: 64,
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -344,28 +354,21 @@ fn spawn_link_reader(
     });
 }
 
-impl Transport for SocketTransport {
-    fn meter(&self) -> &Arc<TrafficMeter> {
-        &self.meter
-    }
-
-    fn begin_traced(
+impl SocketTransport {
+    /// One begin attempt: take (or dial) the link, gate, register the
+    /// pending, write the frame. A `PeerGone` result killed the link,
+    /// so the caller may retry on a fresh connection.
+    fn begin_attempt(
         &self,
         from: NodeId,
         to: NodeId,
         auth: AuthToken,
         trace: u64,
-        payload: Arc<[u8]>,
-    ) -> PendingReply {
-        if let Some(obs) = &self.obs {
-            obs.requests.inc();
-        }
-        let link = match self.link(from, to) {
-            Ok(link) => link,
-            Err(error) => return PendingReply::failed(to, error),
-        };
+        payload: &Arc<[u8]>,
+    ) -> Result<PendingReply, TransportError> {
+        let link = self.link(from, to)?;
         if !link.inflight.acquire(self.config.max_in_flight) {
-            return PendingReply::failed(to, TransportError::PeerGone(to));
+            return Err(TransportError::PeerGone(to));
         }
         let id = link.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = std::sync::mpsc::channel();
@@ -377,7 +380,7 @@ impl Transport for SocketTransport {
                 }
                 None => {
                     link.inflight.release();
-                    return PendingReply::failed(to, TransportError::PeerGone(to));
+                    return Err(TransportError::PeerGone(to));
                 }
             }
         }
@@ -411,10 +414,60 @@ impl Transport for SocketTransport {
             }
             link.pending.lock().take();
             link.inflight.kill();
-            return PendingReply::failed(to, TransportError::PeerGone(to));
+            return Err(TransportError::PeerGone(to));
         }
-        PendingReply::from_channel(to, rx)
+        Ok(PendingReply::from_channel(to, rx))
     }
+}
+
+impl Transport for SocketTransport {
+    fn meter(&self) -> &Arc<TrafficMeter> {
+        &self.meter
+    }
+
+    fn begin_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        auth: AuthToken,
+        trace: u64,
+        payload: Arc<[u8]>,
+    ) -> PendingReply {
+        if let Some(obs) = &self.obs {
+            obs.requests.inc();
+        }
+        let mut backoff = crate::runtime::repair::Backoff::new(
+            self.config.retry_backoff,
+            self.config.retry_backoff.saturating_mul(1 << 8),
+            link_seed(from, to),
+        );
+        let mut last = TransportError::PeerGone(to);
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                thread::sleep(backoff.next_delay());
+            }
+            match self.begin_attempt(from, to, auth, trace, &payload) {
+                Ok(pending) => return pending,
+                // An unregistered peer cannot be retried into
+                // existence; everything else killed the link, so the
+                // next attempt dials fresh.
+                Err(error @ TransportError::UnknownPeer(_)) => {
+                    return PendingReply::failed(to, error)
+                }
+                Err(error) => last = error,
+            }
+        }
+        PendingReply::failed(to, last)
+    }
+}
+
+/// A per-link jitter seed: distinct links never share a retry
+/// schedule, and the same link reproduces it exactly.
+fn link_seed(from: NodeId, to: NodeId) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    (from, to).hash(&mut hasher);
+    hasher.finish()
 }
 
 /// A running socket peer: its accept loop, service thread, connection
@@ -487,6 +540,9 @@ where
         let mut service = init();
         while let Ok(envelope) = requests.recv() {
             let response = match Message::decode(&envelope.payload) {
+                // Liveness probes answer ahead of the service: any
+                // socket peer is probeable, whatever role it hosts.
+                Ok(Message::Ping) => Message::Pong,
                 Ok(request) => service.handle(envelope.from, envelope.auth, request),
                 Err(_) => Message::Fault {
                     code: zerber_net::message::fault::MALFORMED,
@@ -503,17 +559,37 @@ where
         let closing = Arc::clone(&closing);
         let conns = Arc::clone(&conns);
         thread::spawn(move || {
-            while let Ok((stream, _)) = listener.accept() {
-                if closing.load(Ordering::SeqCst) {
-                    break;
+            // Transient accept() failures (EMFILE pressure, a
+            // connection aborted in the backlog) must not take the
+            // whole peer down: note the error, back off briefly, and
+            // keep accepting. Only a deliberate shutdown exits.
+            let mut consecutive_errors = 0u32;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if closing.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        consecutive_errors = 0;
+                        stream.set_nodelay(true).ok();
+                        if let Ok(watch) = stream.try_clone() {
+                            conns.lock().push(watch);
+                        }
+                        let inbox = inbox.clone();
+                        let meter = Arc::clone(&meter);
+                        thread::spawn(move || serve_connection(stream, node, inbox, meter));
+                    }
+                    Err(_) if closing.load(Ordering::SeqCst) => break,
+                    Err(error) => {
+                        eprintln!("zerber: accept() on {node:?} failed transiently: {error}");
+                        consecutive_errors = consecutive_errors.saturating_add(1);
+                        // Linear backoff, capped: enough to ride out fd
+                        // exhaustion without going silent for long.
+                        thread::sleep(Duration::from_millis(
+                            (10 * u64::from(consecutive_errors)).min(500),
+                        ));
+                    }
                 }
-                stream.set_nodelay(true).ok();
-                if let Ok(watch) = stream.try_clone() {
-                    conns.lock().push(watch);
-                }
-                let inbox = inbox.clone();
-                let meter = Arc::clone(&meter);
-                thread::spawn(move || serve_connection(stream, node, inbox, meter));
             }
         })
     };

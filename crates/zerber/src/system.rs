@@ -119,7 +119,7 @@ impl ZerberSystem {
             .enumerate()
             .map(|(i, &x)| Arc::new(IndexServer::new(i as u32, x, auth.clone())))
             .collect();
-        let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+        let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
         for (i, server) in servers.iter().enumerate() {
             let server = server.clone();
             runtime.spawn_peer(NodeId::IndexServer(i as u32), move || {

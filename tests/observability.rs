@@ -460,3 +460,49 @@ fn prometheus_exposition_parses_with_required_families() {
         assert!(count > 0, "{family} recorded no observations");
     }
 }
+
+/// Repair observability: rebuilding a peer's shards accounts every
+/// rebuilt copy, shipped segment, and shipped byte in the registry,
+/// times each rebuild in the `zerber_repair_rebuild_ns` histogram, and
+/// refreshes the `zerber_membership_up` gauge. The counters must agree
+/// exactly with the [`RepairStats`] the repair itself returned — two
+/// independent tallies of the same stream.
+#[test]
+fn repair_metrics_account_for_the_rebuild() {
+    let docs = corpus(90, 9);
+    let config = ZerberConfig::default().with_peers(3).with_replication(2);
+    let search = ShardedSearch::launch(&config, &docs).expect("valid config");
+
+    // Repairing a currently-serving peer is safe (the begin frame
+    // flips its shards to write-buffering) and idempotent.
+    let shipped = search.repair_peer(1).expect("repair a serving peer");
+    assert!(shipped.segments > 0, "the rebuild streamed snapshot files");
+    assert!(shipped.bytes > 0, "the rebuild streamed real bytes");
+
+    let hosted = search
+        .shard_map()
+        .hosted_shards(1, search.replication())
+        .len() as u64;
+    let metrics = search.obs().registry().snapshot();
+    assert_eq!(
+        metrics.counter("zerber_repair_rebuilds_total"),
+        Some(hosted)
+    );
+    assert_eq!(
+        metrics.counter("zerber_repair_segments_shipped_total"),
+        Some(shipped.segments)
+    );
+    assert_eq!(
+        metrics.counter("zerber_repair_bytes_shipped_total"),
+        Some(shipped.bytes)
+    );
+    let rebuild = metrics
+        .histogram("zerber_repair_rebuild_ns")
+        .expect("rebuild wall-clock histogram");
+    assert_eq!(rebuild.count, hosted, "one timing sample per shard copy");
+    assert_eq!(
+        metrics.gauge("zerber_membership_up"),
+        Some(3),
+        "the readmitted peer counts as Up"
+    );
+}

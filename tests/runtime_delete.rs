@@ -59,7 +59,7 @@ fn one_server_world() -> (PeerRuntime, AuthToken) {
     let server = Arc::new(IndexServer::new(0, Fp::new(5), auth.clone()));
     server.add_user_to_group(UserId(1), GroupId(0));
     let token = auth.issue(UserId(1));
-    let mut runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
+    let runtime = PeerRuntime::new(Arc::new(TrafficMeter::new()));
     runtime.spawn_peer(NodeId::IndexServer(0), move || ServerService::new(server));
     let share = StoredShare {
         element: ElementId(1),

@@ -199,14 +199,15 @@ fn pinned_seed_replays_identically_and_covers_every_fault_family() {
 
 /// A replica that dies between receiving the bulk fan-out and the
 /// owner's gather — muted, the closest in-process model of "killed
-/// mid-bulk-load" — fails the load **closed**: `bulk_load` errors
-/// rather than acknowledge a write some replica may not hold. Revived,
-/// the replica rebuilds clean on retry, because the bulk batch
-/// replaces documents idempotently on every replica: copies that
-/// already applied it converge bit-identically with the one that
-/// missed it.
+/// mid-bulk-load". Under the retry-then-repair write discipline the
+/// load **succeeds** on the surviving replicas and the silent one is
+/// *tainted*: excluded from query fan-out, because the controller
+/// cannot know whether it holds the write. Repair re-ships its shards
+/// from a live replica and readmits it, converged bit-identically —
+/// re-shipping is idempotent, so a replica that (like this one) did
+/// apply the batch before going silent converges all the same.
 #[test]
-fn replica_killed_mid_bulk_load_fails_closed_then_rebuilds_clean() {
+fn replica_killed_mid_bulk_load_taints_then_repairs_clean() {
     let dir = zerber_segment::scratch_dir("chaos-bulk");
     let config = ZerberConfig::default()
         .with_peers(3)
@@ -234,19 +235,16 @@ fn replica_killed_mid_bulk_load_fails_closed_then_rebuilds_clean() {
             )
         })
         .collect();
-    assert!(
-        search.bulk_load(0, &bulk).is_err(),
-        "a dead replica must fail the bulk load closed, not ack a diverged write"
-    );
-
-    chaos.revive(NodeId::IndexServer(1));
     search
         .bulk_load(0, &bulk)
-        .expect("a revived replica takes the retried bulk load");
+        .expect("the surviving replicas acknowledge the load");
+    assert!(
+        search.tainted_peers().contains(&1),
+        "the silent replica missed an acknowledged write and must be tainted"
+    );
 
-    // Every replica converged: queries are bit-identical to the oracle
-    // over initial ∪ bulk, including on shards whose primary is the
-    // once-dead peer.
+    // Queries keep serving bit-identically to the oracle *without* the
+    // tainted peer ever answering.
     let live: Vec<Document> = initial.iter().chain(bulk.iter()).cloned().collect();
     assert_eq!(search.document_count(), live.len());
     for q in 0..12u32 {
@@ -254,7 +252,24 @@ fn replica_killed_mid_bulk_load_fails_closed_then_rebuilds_clean() {
         assert_eq!(
             observe(search.query(&terms, 10)),
             Observed::Ok(oracle_bits(&live, &terms, 10)),
-            "query {q}"
+            "query {q} while degraded"
+        );
+    }
+
+    // Revive and repair: the shard re-ships from a live replica, the
+    // taint clears, and the readmitted peer serves converged state.
+    chaos.revive(NodeId::IndexServer(1));
+    let shipped = search
+        .repair_peer(1)
+        .expect("repair re-ships the tainted replica");
+    assert!(shipped.bytes > 0, "the rebuild streamed real segment bytes");
+    assert!(search.tainted_peers().is_empty());
+    for q in 0..12u32 {
+        let terms = [TermId(q), TermId((q * 5 + 2) % 12)];
+        assert_eq!(
+            observe(search.query(&terms, 10)),
+            Observed::Ok(oracle_bits(&live, &terms, 10)),
+            "query {q} after repair"
         );
     }
     drop(search);
